@@ -1,0 +1,336 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Tables 1-4, Figures 2-3, the appendix statistics and a headline
+   summary), then runs Bechamel micro-benchmarks of the algorithmic
+   stages — one per table/figure target.
+
+   Usage:
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- table1 fig2   # selected sections
+   Sections: table1 table2 table3 table4 fig2 fig3 appendix summary
+             spec95 dynamic procorder btfnt replication ablation micro csv *)
+
+let wanted =
+  let args = Array.to_list Sys.argv |> List.tl in
+  fun name -> args = [] || List.mem name args
+
+let ppf = Fmt.stdout
+
+(* ------------------------------------------------------------------ *)
+(* Experiment sections                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let need_rows =
+  List.exists wanted
+    [ "table1"; "table2"; "table4"; "fig2"; "fig3"; "summary" ]
+
+let rows =
+  if need_rows then begin
+    Fmt.pf ppf "running the full experiment suite (6 benchmarks x 2 data sets)...@.";
+    let rows, t = Ba_harness.Timing.time (fun () -> Ba_harness.Runner.run_all ()) in
+    Fmt.pf ppf "experiments done in %.1fs@." t;
+    rows
+  end
+  else []
+
+let () = if wanted "table1" then Ba_harness.Tables.table1 ppf rows
+let () = if wanted "table2" then Ba_harness.Tables.table2 ppf rows
+
+let () =
+  if wanted "table3" then
+    Ba_harness.Tables.table3 ppf Ba_machine.Penalties.alpha_21164
+
+let () = if wanted "table4" then Ba_harness.Tables.table4 ppf rows
+
+let () =
+  if wanted "fig2" then begin
+    Ba_harness.Tables.fig2_penalties ppf rows;
+    Ba_harness.Tables.fig2_times ppf rows
+  end
+
+let () =
+  if wanted "fig3" then begin
+    Ba_harness.Tables.fig3_penalties ppf rows;
+    Ba_harness.Tables.fig3_times ppf rows
+  end
+
+let () =
+  if wanted "appendix" then begin
+    Fmt.pf ppf "@.running the appendix bound study...@.";
+    let corpus =
+      Ba_harness.Synthetic.workload_instances ()
+      @ Ba_harness.Synthetic.corpus ~sizes:[ 6; 8; 10; 12; 14; 17; 24; 40 ]
+          ~per_size:3 ()
+    in
+    let stats = Ba_harness.Appendix.study corpus in
+    Ba_harness.Tables.appendix ppf stats
+  end
+
+let () = if wanted "summary" then Ba_harness.Tables.summary ppf rows
+
+let () =
+  if wanted "dynamic" then begin
+    Fmt.pf ppf "@.running the dynamic-prediction extension...@.";
+    Ba_harness.Dyn_exp.print ppf (Ba_harness.Dyn_exp.run_all ());
+    (* aliasing ablation: a tiny BHT makes layout-dependent aliasing
+       visible (paper footnote 6) *)
+    let tiny =
+      { Ba_machine.Predictor.default with Ba_machine.Predictor.bht_entries = 64 }
+    in
+    Fmt.pf ppf "@.same, with a tiny 64-entry BHT (aliasing regime):@.";
+    Ba_harness.Dyn_exp.print ppf
+      (Ba_harness.Dyn_exp.run_all ~config:tiny ())
+  end
+
+let () =
+  if wanted "btfnt" then begin
+    Fmt.pf ppf "@.%s@." (String.make 78 '-');
+    Fmt.pf ppf
+      "Extension: the same layouts on a BTFNT machine (paper footnote 3)@.";
+    Fmt.pf ppf "%s@." (String.make 78 '-');
+    Fmt.pf ppf "%-9s %12s %8s %8s   (penalties normalized to BTFNT-original)@."
+      "bench.ds" "orig-btfnt" "greedy" "tsp";
+    let p = Ba_machine.Penalties.alpha_21164 in
+    let gs = ref [] and ts = ref [] in
+    List.iter
+      (fun w ->
+        List.iter
+          (fun ds ->
+            let compiled = Ba_workloads.Workload.compile w in
+            let cfgs = compiled.Ba_minic.Compile.cfgs in
+            let prof =
+              Ba_minic.Compile.profile compiled
+                ~input:ds.Ba_workloads.Workload.input
+            in
+            let eval m =
+              let a = Ba_align.Driver.align m p cfgs ~train:prof in
+              Ba_align.Btfnt.program_penalty p cfgs
+                ~realized:a.Ba_align.Driver.realized ~test:prof
+            in
+            let o = eval Ba_align.Driver.Original in
+            let g = eval Ba_align.Driver.Greedy in
+            let t = eval (Ba_align.Driver.Tsp Ba_align.Tsp_align.default) in
+            let norm v = if o = 0 then 1.0 else float_of_int v /. float_of_int o in
+            gs := norm g :: !gs;
+            ts := norm t :: !ts;
+            Fmt.pf ppf "%-9s %12d %8.3f %8.3f@."
+              (w.Ba_workloads.Workload.name ^ "." ^ ds.Ba_workloads.Workload.ds_name)
+              o (norm g) (norm t))
+          (Ba_workloads.Workload.dataset_list w))
+      Ba_workloads.Workload.all;
+    let mean l =
+      match l with
+      | [] -> 0.0
+      | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+    in
+    Fmt.pf ppf "%-9s %12s %8.3f %8.3f@." "MEAN" "" (mean !gs) (mean !ts);
+    Fmt.pf ppf
+      "reading: both aligners still help on average, but the TSP layout is@.";
+    Fmt.pf ppf
+      "tuned to the profile-prediction model and can backfire on hardware@.";
+    Fmt.pf ppf
+      "that predicts by direction (see xli) — footnote 3's warning made@.";
+    Fmt.pf ppf
+      "concrete: the reduction is only as good as its machine model.@."
+  end
+
+let () =
+  if wanted "spec95" then begin
+    Fmt.pf ppf
+      "@.running the SPEC95-style extension suite (5 benchmarks x 2 data sets)...@.";
+    let rows95 =
+      Ba_harness.Runner.run_all ~workloads:Ba_workloads.Workload95.all ()
+    in
+    Ba_harness.Tables.table1 ppf rows95;
+    Ba_harness.Tables.table4 ppf rows95;
+    Ba_harness.Tables.fig2_penalties ppf rows95;
+    Ba_harness.Tables.fig2_times ppf rows95;
+    Ba_harness.Tables.fig3_penalties ppf rows95;
+    Ba_harness.Tables.fig3_times ppf rows95;
+    Ba_harness.Tables.summary ppf rows95
+  end
+
+let () =
+  if wanted "procorder" then begin
+    Fmt.pf ppf "@.running the interprocedural-placement extension...@.";
+    Ba_harness.Interproc.print ppf (Ba_harness.Interproc.run ())
+  end
+
+let () =
+  if wanted "replication" then begin
+    Fmt.pf ppf "@.running the code-replication extension...@.";
+    Ba_harness.Replication.print ppf (Ba_harness.Replication.run_all ())
+  end
+
+let () =
+  if wanted "csv" then begin
+    Fmt.pf ppf "@.exporting CSV results...@.";
+    let rows = if rows <> [] then rows else Ba_harness.Runner.run_all () in
+    let rows95 =
+      Ba_harness.Runner.run_all ~workloads:Ba_workloads.Workload95.all ()
+    in
+    let appendix =
+      Ba_harness.Appendix.study
+        (Ba_harness.Synthetic.workload_instances ()
+        @ Ba_harness.Synthetic.corpus ~sizes:[ 6; 10; 14; 24 ] ~per_size:3 ())
+    in
+    let paths =
+      Ba_harness.Csv.export ~dir:"results" ~rows ~rows95
+        ~appendix:(Some appendix)
+    in
+    List.iter (fun p -> Fmt.pf ppf "wrote %s@." p) paths
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md §6)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  if wanted "ablation" then begin
+    Fmt.pf ppf "@.";
+    Fmt.pf ppf "%s@." (String.make 78 '-');
+    Fmt.pf ppf "Ablations: solver parameters on the synthetic corpus@.";
+    Fmt.pf ppf "%s@." (String.make 78 '-');
+    let corpus =
+      Ba_harness.Synthetic.corpus ~sizes:[ 16; 32; 48 ] ~per_size:4 ()
+    in
+    let p = Ba_machine.Penalties.alpha_21164 in
+    let instances =
+      List.map
+        (fun { Ba_harness.Synthetic.g; prof; name } ->
+          (name, Ba_align.Reduction.build p g ~profile:prof))
+        corpus
+    in
+    let total config =
+      let cost = ref 0 in
+      let _, t =
+        Ba_harness.Timing.time (fun () ->
+            List.iter
+              (fun (_, inst) ->
+                let r = Ba_align.Tsp_align.solve_instance ~config inst in
+                cost := !cost + r.Ba_align.Tsp_align.cost)
+              instances)
+      in
+      (!cost, t)
+    in
+    let base = { Ba_align.Tsp_align.default with exact_below = 0 } in
+    let variants =
+      [
+        ("paper default (10 runs, 2n kicks, k=12)", base);
+        ( "1 run",
+          { base with solver = { base.solver with Ba_tsp.Iterated.runs = 1 } } );
+        ( "3 runs",
+          { base with solver = { base.solver with Ba_tsp.Iterated.runs = 3 } } );
+        ( "no kicks",
+          { base with solver = { base.solver with Ba_tsp.Iterated.kick_factor = 0 } } );
+        ( "k=4 neighbors",
+          { base with solver = { base.solver with Ba_tsp.Iterated.neighbors = 4 } } );
+        ( "k=24 neighbors",
+          { base with solver = { base.solver with Ba_tsp.Iterated.neighbors = 24 } } );
+      ]
+    in
+    Fmt.pf ppf "%-40s %14s %10s@." "variant" "total penalty" "time (s)";
+    List.iter
+      (fun (name, config) ->
+        let cost, t = total config in
+        Fmt.pf ppf "%-40s %14d %10.2f@." name cost t)
+      variants;
+    (* greedy priority ablation: frequency vs cost-model savings *)
+    Fmt.pf ppf "@.greedy edge-priority ablation (same corpus):@.";
+    let eval_method f =
+      List.fold_left
+        (fun acc { Ba_harness.Synthetic.g; prof; _ } ->
+          let order = f g prof in
+          acc
+          + Ba_align.Evaluate.proc_penalty p g ~order ~train:prof ~test:prof)
+        0 corpus
+    in
+    Fmt.pf ppf "%-40s %14d@." "pettis-hansen (frequency)"
+      (eval_method (fun g prof -> Ba_align.Greedy.align g ~profile:prof));
+    Fmt.pf ppf "%-40s %14d@." "calder-grunwald (cost model)"
+      (eval_method (fun g prof -> Ba_align.Calder.align p g ~profile:prof));
+    Fmt.pf ppf "%-40s %14d@." "calder-grunwald + exhaustive prefix"
+      (eval_method (fun g prof ->
+           Ba_align.Calder.align_exhaustive p g ~profile:prof))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  if wanted "micro" then begin
+    Fmt.pf ppf "@.";
+    Fmt.pf ppf "%s@." (String.make 78 '-');
+    Fmt.pf ppf "Bechamel micro-benchmarks (ns/run of each pipeline stage)@.";
+    Fmt.pf ppf "%s@." (String.make 78 '-');
+    let open Bechamel in
+    let p = Ba_machine.Penalties.alpha_21164 in
+    (* a mid-sized fixed instance for stage benchmarks *)
+    let inst =
+      List.nth (Ba_harness.Synthetic.corpus ~sizes:[ 32 ] ~per_size:1 ()) 0
+    in
+    let g = inst.Ba_harness.Synthetic.g and prof = inst.Ba_harness.Synthetic.prof in
+    let red = Ba_align.Reduction.build p g ~profile:prof in
+    let dtsp = red.Ba_align.Reduction.dtsp in
+    let quick =
+      { Ba_tsp.Iterated.default with Ba_tsp.Iterated.runs = 2; kick_factor = 1 }
+    in
+    let com = Ba_workloads.Workload.com in
+    let compiled = Ba_workloads.Workload.compile com in
+    let small_input = Ba_workloads.Src_com.dataset_text ~n:2_000 ~seed:3 in
+    let tests =
+      [
+        (* table 2 stages *)
+        Test.make ~name:"t2-compile-com"
+          (Staged.stage (fun () -> Ba_workloads.Workload.compile com));
+        Test.make ~name:"t2-profile-com-2k"
+          (Staged.stage (fun () ->
+               Ba_minic.Compile.profile compiled ~input:small_input));
+        Test.make ~name:"t2-greedy-align"
+          (Staged.stage (fun () -> Ba_align.Greedy.align g ~profile:prof));
+        Test.make ~name:"t2-tsp-matrix"
+          (Staged.stage (fun () -> Ba_align.Reduction.build p g ~profile:prof));
+        Test.make ~name:"t2-tsp-solve"
+          (Staged.stage (fun () -> Ba_tsp.Iterated.solve ~config:quick dtsp));
+        (* table 4 / fig 2 machinery *)
+        Test.make ~name:"t4-hk-bound"
+          (Staged.stage (fun () ->
+               Ba_tsp.Held_karp.directed_bound dtsp
+                 ~upper_bound:
+                   (Ba_tsp.Dtsp.tour_cost dtsp
+                      (Ba_tsp.Construct.identity dtsp.Ba_tsp.Dtsp.n))));
+        Test.make ~name:"appendix-ap-bound"
+          (Staged.stage (fun () -> Ba_tsp.Hungarian.ap_bound dtsp));
+        Test.make ~name:"appendix-patching"
+          (Staged.stage (fun () -> Ba_tsp.Patching.solve dtsp));
+        Test.make ~name:"fig2-evaluate-layout"
+          (Staged.stage (fun () ->
+               Ba_align.Evaluate.proc_penalty p g
+                 ~order:(Ba_cfg.Layout.identity g) ~train:prof ~test:prof));
+      ]
+    in
+    let benchmark test =
+      let instances = Toolkit.Instance.[ monotonic_clock ] in
+      let cfg =
+        Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false
+          ~compaction:false ()
+      in
+      Benchmark.all cfg instances test
+    in
+    let analyze raw =
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      Analyze.all ols Toolkit.Instance.monotonic_clock raw
+    in
+    let grouped = Test.make_grouped ~name:"stages" ~fmt:"%s %s" tests in
+    let results = analyze (benchmark grouped) in
+    Hashtbl.iter
+      (fun name ols ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Fmt.pf ppf "%-32s %14.0f ns/run@." name est
+        | _ -> Fmt.pf ppf "%-32s (no estimate)@." name)
+      results
+  end
+
+let () = Fmt.pf ppf "@.done.@."

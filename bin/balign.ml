@@ -1,0 +1,328 @@
+(* balign — branch alignment driver.
+
+   Subcommands:
+     compile   parse + lower a minic program, print CFG statistics
+     dot       dump the CFGs in Graphviz format
+     profile   run a program and print its edge-frequency profile
+     align     lay out a program with a chosen method, report penalties
+     bounds    per-procedure lower bounds vs the TSP aligner
+     bench     run the paper's experiment for one built-in benchmark
+     report    print the paper's tables/figures (same as bench/main.exe) *)
+
+open Cmdliner
+
+let penalties = Ba_machine.Penalties.alpha_21164
+
+(* ---------------- shared helpers ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_input (s : string) : int array =
+  s
+  |> String.split_on_char ','
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter_map (fun tok ->
+         let tok = String.trim tok in
+         if tok = "" then None
+         else
+           match int_of_string_opt tok with
+           | Some v -> Some v
+           | None ->
+               Fmt.epr "error: input token %S is not an integer@." tok;
+               exit 1)
+  |> Array.of_list
+
+let load_program path =
+  match Ba_minic.Compile.compile (read_file path) with
+  | Ok c -> c
+  | Error m ->
+      Fmt.epr "error: %s@." m;
+      exit 1
+
+let load_input ~input ~input_file =
+  match (input, input_file) with
+  | Some s, None -> parse_input s
+  | None, Some f -> parse_input (read_file f)
+  | None, None -> [||]
+  | Some _, Some _ ->
+      Fmt.epr "error: give --input or --input-file, not both@.";
+      exit 1
+
+(* ---------------- common options ---------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"minic source file")
+
+let input_opt =
+  Arg.(value & opt (some string) None & info [ "input" ] ~docv:"INTS"
+         ~doc:"comma/space separated integers fed to read()")
+
+let input_file_opt =
+  Arg.(value & opt (some file) None & info [ "input-file" ] ~docv:"FILE"
+         ~doc:"file of integers fed to read()")
+
+(* ---------------- compile ---------------- *)
+
+let compile_cmd =
+  let run file =
+    let c = load_program file in
+    Fmt.pr "%d function(s)@." (Array.length c.Ba_minic.Compile.cfgs);
+    Array.iteri
+      (fun fid g ->
+        Fmt.pr "  [%d] %-16s %3d blocks, %3d CFG edges, %3d branch sites, %4d instrs@."
+          fid c.Ba_minic.Compile.names.(fid) (Ba_cfg.Cfg.n_blocks g)
+          (Ba_cfg.Cfg.n_edges g) (Ba_cfg.Cfg.n_branch_sites g)
+          (Ba_cfg.Cfg.total_size g))
+      c.Ba_minic.Compile.cfgs
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"compile a minic program and print CFG statistics")
+    Term.(const run $ file_arg)
+
+(* ---------------- dot ---------------- *)
+
+let dot_cmd =
+  let run file func =
+    let c = load_program file in
+    Array.iteri
+      (fun fid g ->
+        if func = None || func = Some c.Ba_minic.Compile.names.(fid) then
+          print_string (Ba_cfg.Dot.to_string g))
+      c.Ba_minic.Compile.cfgs
+  in
+  let func =
+    Arg.(value & opt (some string) None & info [ "function" ] ~docv:"NAME"
+           ~doc:"only this function")
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"dump CFGs in Graphviz DOT format")
+    Term.(const run $ file_arg $ func)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let run file input input_file =
+    let c = load_program file in
+    let inp = load_input ~input ~input_file in
+    let prof = Ba_minic.Compile.profile c ~input:inp in
+    Array.iteri
+      (fun fid g ->
+        let p = Ba_profile.Profile.proc prof fid in
+        Fmt.pr "function %s: %d transfers, %d/%d branch sites touched@."
+          c.Ba_minic.Compile.names.(fid)
+          (Ba_profile.Profile.total_transfers p)
+          (Ba_profile.Profile.branch_sites_touched g p)
+          (Ba_cfg.Cfg.n_branch_sites g);
+        Fmt.pr "%a" Ba_profile.Profile.pp_proc p)
+      c.Ba_minic.Compile.cfgs
+  in
+  Cmd.v (Cmd.info "profile" ~doc:"run a program and print its edge profile")
+    Term.(const run $ file_arg $ input_opt $ input_file_opt)
+
+(* ---------------- align ---------------- *)
+
+let method_conv : Ba_align.Driver.method_ Arg.conv =
+  let parse = function
+    | "original" -> Ok Ba_align.Driver.Original
+    | "greedy" -> Ok Ba_align.Driver.Greedy
+    | "calder" -> Ok Ba_align.Driver.Calder
+    | "calder-exhaustive" -> Ok Ba_align.Driver.Calder_exhaustive
+    | "tsp" -> Ok (Ba_align.Driver.Tsp Ba_align.Tsp_align.default)
+    | s -> Error (`Msg (Printf.sprintf "unknown method %s" s))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Ba_align.Driver.method_name m))
+
+let method_opt =
+  Arg.(value & opt method_conv (Ba_align.Driver.Tsp Ba_align.Tsp_align.default)
+       & info [ "method" ] ~docv:"METHOD"
+           ~doc:"original | greedy | calder | calder-exhaustive | tsp")
+
+let align_cmd =
+  let run file input input_file m =
+    let c = load_program file in
+    let inp = load_input ~input ~input_file in
+    let prof = Ba_minic.Compile.profile c ~input:inp in
+    let cfgs = c.Ba_minic.Compile.cfgs in
+    let aligned = Ba_align.Driver.align m penalties cfgs ~train:prof in
+    let orig =
+      Ba_align.Driver.align Ba_align.Driver.Original penalties cfgs ~train:prof
+    in
+    let before = Ba_align.Driver.analytic_penalty penalties orig ~test:prof in
+    let after = Ba_align.Driver.analytic_penalty penalties aligned ~test:prof in
+    Array.iteri
+      (fun fid order ->
+        Fmt.pr "%s: %a@." c.Ba_minic.Compile.names.(fid)
+          Fmt.(array ~sep:(any " ") int)
+          order)
+      aligned.Ba_align.Driver.orders;
+    Fmt.pr "control penalty: %d -> %d cycles (%s)@." before after
+      (Ba_align.Driver.method_name m);
+    let run_prog sink = ignore (Ba_minic.Compile.run c ~input:inp ~sink) in
+    let sim_o = Ba_align.Driver.simulate penalties orig ~run:run_prog in
+    let sim_a = Ba_align.Driver.simulate penalties aligned ~run:run_prog in
+    Fmt.pr "simulated cycles: %d -> %d (icache misses %d -> %d)@."
+      sim_o.Ba_machine.Cycles.cycles sim_a.Ba_machine.Cycles.cycles
+      sim_o.Ba_machine.Cycles.icache_misses sim_a.Ba_machine.Cycles.icache_misses
+  in
+  Cmd.v
+    (Cmd.info "align" ~doc:"align a program and report penalty and cycle changes")
+    Term.(const run $ file_arg $ input_opt $ input_file_opt $ method_opt)
+
+(* ---------------- evaluate (cross-validation) ---------------- *)
+
+let evaluate_cmd =
+  let run file train_input test_input =
+    let c = load_program file in
+    let cfgs = c.Ba_minic.Compile.cfgs in
+    let train = Ba_minic.Compile.profile c ~input:(parse_input train_input) in
+    let test = Ba_minic.Compile.profile c ~input:(parse_input test_input) in
+    Fmt.pr "%-18s %14s %14s@." "method" "train=test" "cross-trained";
+    List.iter
+      (fun m ->
+        let self_ = Ba_align.Driver.align m penalties cfgs ~train:test in
+        let cross = Ba_align.Driver.align m penalties cfgs ~train in
+        Fmt.pr "%-18s %14d %14d@."
+          (Ba_align.Driver.method_name m)
+          (Ba_align.Driver.analytic_penalty penalties self_ ~test)
+          (Ba_align.Driver.analytic_penalty penalties cross ~test))
+      [
+        Ba_align.Driver.Original;
+        Ba_align.Driver.Greedy;
+        Ba_align.Driver.Calder;
+        Ba_align.Driver.Tsp Ba_align.Tsp_align.default;
+      ]
+  in
+  let train_arg =
+    Arg.(required & opt (some string) None & info [ "train-input" ] ~docv:"INTS"
+           ~doc:"training input (integers fed to read())")
+  in
+  let test_arg =
+    Arg.(required & opt (some string) None & info [ "test-input" ] ~docv:"INTS"
+           ~doc:"testing input (integers fed to read())")
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"cross-validate: penalties when training and testing inputs differ")
+    Term.(const run $ file_arg $ train_arg $ test_arg)
+
+(* ---------------- bounds ---------------- *)
+
+let bounds_cmd =
+  let run file input input_file =
+    let c = load_program file in
+    let inp = load_input ~input ~input_file in
+    let prof = Ba_minic.Compile.profile c ~input:inp in
+    Fmt.pr "%-16s %8s %12s %12s %12s %12s@." "function" "blocks" "tsp" "hk-bound"
+      "ap-bound" "exact";
+    Array.iteri
+      (fun fid g ->
+        let p = Ba_profile.Profile.proc prof fid in
+        let r = Ba_align.Tsp_align.align penalties g ~profile:p in
+        let hk =
+          Ba_align.Bounds.held_karp penalties g ~profile:p
+            ~upper:r.Ba_align.Tsp_align.cost
+        in
+        let ap = Ba_align.Bounds.ap penalties g ~profile:p in
+        let ex =
+          match Ba_align.Bounds.exact penalties g ~profile:p with
+          | Some v -> string_of_int v
+          | None -> "-"
+        in
+        Fmt.pr "%-16s %8d %12d %12d %12d %12s@." c.Ba_minic.Compile.names.(fid)
+          (Ba_cfg.Cfg.n_blocks g) r.Ba_align.Tsp_align.cost hk ap ex)
+      c.Ba_minic.Compile.cfgs
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"per-procedure lower bounds vs the TSP aligner")
+    Term.(const run $ file_arg $ input_opt $ input_file_opt)
+
+(* ---------------- bench ---------------- *)
+
+let bench_cmd =
+  let run name =
+    let find name =
+      List.find_opt
+        (fun w -> w.Ba_workloads.Workload.name = name)
+        Ba_workloads.Workload_apps.everything
+    in
+    match find name with
+    | None ->
+        Fmt.epr "unknown benchmark %s (have: %s)@." name
+          (String.concat ", "
+             (List.map (fun w -> w.Ba_workloads.Workload.name)
+                Ba_workloads.Workload_apps.everything));
+        exit 1
+    | Some w ->
+        let rows =
+          List.map
+            (fun ds -> Ba_harness.Runner.run_benchmark w ~test:ds)
+            (Ba_workloads.Workload.dataset_list w)
+        in
+        Ba_harness.Tables.table1 Fmt.stdout rows;
+        Ba_harness.Tables.table4 Fmt.stdout rows;
+        Ba_harness.Tables.fig2_penalties Fmt.stdout rows;
+        Ba_harness.Tables.fig2_times Fmt.stdout rows;
+        Ba_harness.Tables.fig3_penalties Fmt.stdout rows;
+        Ba_harness.Tables.fig3_times Fmt.stdout rows
+  in
+  let bench_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"
+           ~doc:"benchmark short name (spec92: com dod eqn esp su2 xli; spec95: m88 ijp prl vor go)")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"run the paper's experiment for one built-in benchmark")
+    Term.(const run $ bench_name)
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let run sections =
+    let rows = Ba_harness.Runner.run_all () in
+    let want s = sections = [] || List.mem s sections in
+    if want "table1" then Ba_harness.Tables.table1 Fmt.stdout rows;
+    if want "table2" then Ba_harness.Tables.table2 Fmt.stdout rows;
+    if want "table3" then Ba_harness.Tables.table3 Fmt.stdout penalties;
+    if want "table4" then Ba_harness.Tables.table4 Fmt.stdout rows;
+    if want "fig2" then begin
+      Ba_harness.Tables.fig2_penalties Fmt.stdout rows;
+      Ba_harness.Tables.fig2_times Fmt.stdout rows
+    end;
+    if want "fig3" then begin
+      Ba_harness.Tables.fig3_penalties Fmt.stdout rows;
+      Ba_harness.Tables.fig3_times Fmt.stdout rows
+    end;
+    if want "summary" then Ba_harness.Tables.summary Fmt.stdout rows
+  in
+  let sections =
+    Arg.(value & pos_all string [] & info [] ~docv:"SECTION"
+           ~doc:"table1 table2 table3 table4 fig2 fig3 summary (default: all)")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"print the paper's tables and figures")
+    Term.(const run $ sections)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "near-optimal intraprocedural branch alignment (PLDI 1997)" in
+  let info = Cmd.info "balign" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        compile_cmd; dot_cmd; profile_cmd; align_cmd; evaluate_cmd; bounds_cmd;
+        bench_cmd; report_cmd;
+      ]
+  in
+  exit
+    (try Cmd.eval ~catch:false group with
+    | Ba_minic.Interp.Runtime_error m ->
+        Fmt.epr "error: runtime: %s@." m;
+        1
+    | Sys_error m ->
+        Fmt.epr "error: %s@." m;
+        1
+    | Stack_overflow ->
+        Fmt.epr "error: stack overflow@.";
+        1)

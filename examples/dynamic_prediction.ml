@@ -1,0 +1,69 @@
+(* Dynamic prediction: does branch alignment still matter when the
+   hardware predicts branches itself?
+
+   Run with:  dune exec examples/dynamic_prediction.exe
+
+   The paper's cost model assumes per-branch static prediction; its
+   conclusions sketch a trace-driven simulation of real prediction
+   hardware as future work (footnote 6), noting that such a simulation
+   would capture address-aliasing effects that change with the layout.
+   This example runs exactly that simulation on one benchmark: the same
+   three layouts under (a) the static model, (b) a 2K-entry bimodal BHT +
+   BTB, (c) a deliberately tiny 64-entry BHT where aliasing bites, and
+   (d) a gshare predictor. *)
+
+module W = Ba_workloads.Workload
+module Driver = Ba_align.Driver
+
+let () =
+  let p = Ba_machine.Penalties.alpha_21164 in
+  let w = W.eqn in
+  let ds = fst w.W.datasets in
+  let compiled = W.compile w in
+  let cfgs = compiled.Ba_minic.Compile.cfgs in
+  let prof = Ba_minic.Compile.profile compiled ~input:ds.W.input in
+  let run sink = ignore (Ba_minic.Compile.run compiled ~input:ds.W.input ~sink) in
+  let methods =
+    [
+      ("original", Driver.Original);
+      ("greedy", Driver.Greedy);
+      ("tsp", Driver.Tsp Ba_align.Tsp_align.default);
+    ]
+  in
+  let predictors =
+    [
+      ("bimodal 2K + BTB", Ba_machine.Predictor.default);
+      ( "tiny bimodal 64",
+        { Ba_machine.Predictor.default with Ba_machine.Predictor.bht_entries = 64 } );
+      ("gshare 2K/8", Ba_machine.Predictor.gshare);
+    ]
+  in
+  Fmt.pr "benchmark %s.%s — control penalties per layout and predictor:@.@."
+    w.W.name ds.W.ds_name;
+  Fmt.pr "%-10s %14s" "layout" "static model";
+  List.iter (fun (n, _) -> Fmt.pr " %18s" n) predictors;
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, m) ->
+      let a = Driver.align m p cfgs ~train:prof in
+      let static_ = Driver.analytic_penalty p a ~test:prof in
+      Fmt.pr "%-10s %14d" name static_;
+      List.iter
+        (fun (_, config) ->
+          let counters, sink =
+            Ba_machine.Dynamic.make_sink ~config p ~realized:a.Driver.realized
+              ~addr:a.Driver.addr
+          in
+          run sink;
+          Fmt.pr " %11d (%5d)" counters.Ba_machine.Dynamic.penalty_cycles
+            counters.Ba_machine.Dynamic.cond_mispredicts)
+        predictors;
+      Fmt.pr "@.")
+    methods;
+  Fmt.pr
+    "@.cells are penalty cycles (conditional mispredicts in parentheses).@.";
+  Fmt.pr
+    "alignment keeps paying under hardware prediction — fall-throughs avoid@.";
+  Fmt.pr
+    "fetch redirects no predictor can hide — and with the tiny table the@.";
+  Fmt.pr "mispredict counts shift between layouts: address aliasing at work.@."

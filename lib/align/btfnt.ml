@@ -1,0 +1,74 @@
+(** BTFNT evaluation: backward-taken / forward-not-taken static
+    prediction.
+
+    The paper's footnote 3 points out that machines predicting by branch
+    direction (backward taken, forward not-taken) violate the reduction's
+    assumption that the penalty at a block depends only on its layout
+    successor: under BTFNT the prediction itself depends on where the
+    target was placed.  The DTSP reduction therefore cannot target such
+    machines directly — but we can still {e evaluate} any layout under
+    BTFNT hardware, which is what this module does, and the experiment in
+    the harness measures how much of the profile-trained layouts' benefit
+    survives on such a machine.
+
+    Rules: a conditional's taken arm is predicted iff its block starts at
+    a lower layout position than the branch (a backward branch);
+    unconditional jumps are unavoidable ([uncond_taken]); indirect
+    branches have no static direction, so without profile hints every
+    indirect transfer pays [multi_mispredict]. *)
+
+open Ba_cfg
+open Ba_machine
+module Profile = Ba_profile.Profile
+
+(** [prediction ~positions ~src rt] is the BTFNT-predicted destination of
+    the realized conditional [rt] at block [src], or [None] when the
+    hardware has no prediction (indirect branches). *)
+let prediction ~(positions : int array) ~(src : int) (rt : Layout.rterm) :
+    int option =
+  match rt with
+  | Layout.R_cond { taken; fall; _ } ->
+      (* a self-loop jumps back to the top of its own block: backward *)
+      if positions.(taken) <= positions.(src) then Some taken else Some fall
+  | _ -> None
+
+(** [proc_penalty p cfg ~realized ~test] is the total control penalty of
+    the realized layout on the [test] profile under BTFNT hardware. *)
+let proc_penalty (p : Penalties.t) (cfg : Cfg.t)
+    ~(realized : Layout.realized) ~(test : Profile.proc) : int =
+  let positions = Layout.positions realized.Layout.order in
+  let total = ref 0 in
+  Cfg.iter
+    (fun b ->
+      let src = b.Block.id in
+      let rt = realized.Layout.terms.(src) in
+      Array.iter
+        (fun (dst, n) ->
+          if n > 0 then
+            let cycles =
+              match rt with
+              | Layout.R_exit -> 0
+              | Layout.R_multi _ -> p.Penalties.multi_mispredict
+              | Layout.R_cond _ ->
+                  let predicted = prediction ~positions ~src rt in
+                  Cost.transfer_penalty p rt ~predicted ~dest:dst
+              | Layout.R_fall _ | Layout.R_jump _ ->
+                  Cost.transfer_penalty p rt ~predicted:None ~dest:dst
+            in
+            total := !total + (n * cycles))
+        (Profile.block_freqs test src))
+    cfg;
+  !total
+
+(** [program_penalty p cfgs ~realized ~test] sums over procedures. *)
+let program_penalty (p : Penalties.t) (cfgs : Cfg.t array)
+    ~(realized : Layout.realized array) ~(test : Ba_profile.Profile.t) : int =
+  let total = ref 0 in
+  Array.iteri
+    (fun fid cfg ->
+      total :=
+        !total
+        + proc_penalty p cfg ~realized:realized.(fid)
+            ~test:(Profile.proc test fid))
+    cfgs;
+  !total

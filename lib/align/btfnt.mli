@@ -1,0 +1,26 @@
+(** BTFNT evaluation — backward-taken / forward-not-taken static
+    prediction, the architecture class of the paper's footnote 3 whose
+    prediction depends on the layout itself and therefore breaks the
+    DTSP reduction's assumption.  Layouts can still be {e evaluated}
+    under it. *)
+
+open Ba_cfg
+open Ba_machine
+module Profile = Ba_profile.Profile
+
+(** BTFNT-predicted destination of a realized conditional ([None] for
+    terminators the hardware cannot predict). *)
+val prediction : positions:int array -> src:int -> Layout.rterm -> int option
+
+(** Total control penalty of a realized layout on the [test] profile
+    under BTFNT hardware (indirect branches always mispredict). *)
+val proc_penalty :
+  Penalties.t -> Cfg.t -> realized:Layout.realized -> test:Profile.proc -> int
+
+(** Sum over procedures. *)
+val program_penalty :
+  Penalties.t ->
+  Cfg.t array ->
+  realized:Layout.realized array ->
+  test:Ba_profile.Profile.t ->
+  int

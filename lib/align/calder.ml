@@ -1,0 +1,127 @@
+(** Calder–Grunwald-style greedy branch alignment [2].
+
+    Two improvements over Pettis–Hansen, both reproduced here:
+
+    - edges are prioritized by {e modelled penalty savings} rather than by
+      raw frequency: the priority of edge (a, b) is the cost of block [a]
+      when [b] is {e not} its layout successor minus its cost when it is
+      (so, e.g., edges out of indirect branches — whose cost is layout
+      independent — get zero priority);
+    - an optional bounded exhaustive search over the blocks touched by the
+      hottest edges (they searched the 15 hottest; we force each
+      permutation of those blocks as an initial chain and complete
+      greedily, keeping the cheapest result). *)
+
+open Ba_cfg
+open Ba_machine
+module Profile = Ba_profile.Profile
+
+(** [savings p cfg ~profile src dst] is the modelled benefit of placing
+    [dst] right after [src]: penalty at [src] with an unrelated layout
+    successor minus penalty with [dst] as successor. *)
+let savings (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) src dst =
+  let term = (Cfg.block cfg src).Block.term in
+  let predicted = Profile.predicted profile src in
+  let freqs = Profile.block_freqs profile src in
+  Cost.edge_cost p term ~succ:None ~predicted ~freqs
+  - Cost.edge_cost p term ~succ:(Some dst) ~predicted ~freqs
+
+(** Profiled edges sorted by decreasing modelled savings (ties by
+    frequency, then (src, dst)). *)
+let edges_by_savings (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) =
+  let edges = ref [] in
+  Array.iteri
+    (fun src row ->
+      Array.iter
+        (fun (dst, n) ->
+          if src <> dst then
+            edges := (savings p cfg ~profile src dst, n, src, dst) :: !edges)
+        row)
+    profile.Profile.freqs;
+  List.sort
+    (fun (s1, n1, a1, b1) (s2, n2, a2, b2) ->
+      if s1 <> s2 then compare s2 s1
+      else if n1 <> n2 then compare n2 n1
+      else compare (a1, b1) (a2, b2))
+    !edges
+
+(** [align p cfg ~profile] is the cost-model greedy layout. *)
+let align (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) :
+    Layout.order =
+  let t = Chain.create cfg in
+  List.iter
+    (fun (s, _, src, dst) -> if s > 0 then ignore (Chain.try_link t src dst))
+    (edges_by_savings p cfg ~profile);
+  Chain.concat_chains t ~weight:(Chain.profile_weight profile)
+
+(* ------------------------------------------------------------------ *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+        l
+
+(** [align_exhaustive ?top_edges ?max_blocks p cfg ~profile] augments
+    {!align} with the bounded exhaustive search: take the blocks touched
+    by the [top_edges] highest-savings edges (skipping the search if more
+    than [max_blocks] are touched), try every permutation of them as a
+    forced initial chain, complete each greedily, and keep the layout
+    with the smallest modelled penalty. *)
+let align_exhaustive ?(top_edges = 15) ?(max_blocks = 6) (p : Penalties.t)
+    (cfg : Cfg.t) ~(profile : Profile.proc) : Layout.order =
+  let edges = edges_by_savings p cfg ~profile in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  let hot = take top_edges edges in
+  let touched =
+    List.concat_map (fun (_, _, a, b) -> [ a; b ]) hot |> List.sort_uniq compare
+  in
+  if List.length touched > max_blocks || touched = [] then align p cfg ~profile
+  else begin
+    let evaluate order =
+      let predicted =
+        Profile.predictions profile ~n_blocks:(Cfg.n_blocks cfg)
+      in
+      let lsucc = Layout.layout_successor order in
+      let total = ref 0 in
+      Cfg.iter
+        (fun b ->
+          let l = b.Block.id in
+          total :=
+            !total
+            + Cost.edge_cost p b.Block.term ~succ:lsucc.(l)
+                ~predicted:predicted.(l)
+                ~freqs:(Profile.block_freqs profile l))
+        cfg;
+      !total
+    in
+    let best = ref None in
+    List.iter
+      (fun perm ->
+        let t = Chain.create cfg in
+        (* force the permutation as chain links where permissible *)
+        let rec link = function
+          | a :: (b :: _ as tl) ->
+              ignore (Chain.try_link t a b);
+              link tl
+          | _ -> ()
+        in
+        link perm;
+        List.iter
+          (fun (s, _, src, dst) ->
+            if s > 0 then ignore (Chain.try_link t src dst))
+          edges;
+        let order = Chain.concat_chains t ~weight:(Chain.profile_weight profile) in
+        let cost = evaluate order in
+        match !best with
+        | Some (bc, _) when bc <= cost -> ()
+        | _ -> best := Some (cost, order))
+      (permutations touched);
+    match !best with Some (_, o) -> o | None -> align p cfg ~profile
+  end

@@ -1,0 +1,36 @@
+(** Calder–Grunwald-style greedy branch alignment: edges prioritized by
+    modelled penalty savings instead of raw frequency, plus an optional
+    bounded exhaustive search over the blocks touched by the hottest
+    edges. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+(** Modelled benefit of placing [dst] right after [src]: cost with an
+    unrelated successor minus cost with [dst] as successor. *)
+val savings :
+  Ba_machine.Penalties.t -> Cfg.t -> profile:Profile.proc -> int -> int -> int
+
+(** Profiled edges as [(savings, freq, src, dst)], by decreasing
+    savings. *)
+val edges_by_savings :
+  Ba_machine.Penalties.t ->
+  Cfg.t ->
+  profile:Profile.proc ->
+  (int * int * int * int) list
+
+(** The cost-model greedy layout. *)
+val align :
+  Ba_machine.Penalties.t -> Cfg.t -> profile:Profile.proc -> Layout.order
+
+(** {!align} plus the bounded exhaustive prefix search: every permutation
+    of the blocks touched by the [top_edges] highest-savings edges
+    (skipped when more than [max_blocks] are touched) is forced as an
+    initial chain; the cheapest completed layout wins. *)
+val align_exhaustive :
+  ?top_edges:int ->
+  ?max_blocks:int ->
+  Ba_machine.Penalties.t ->
+  Cfg.t ->
+  profile:Profile.proc ->
+  Layout.order

@@ -1,0 +1,128 @@
+(** Chain-building machinery shared by the greedy aligners
+    (Pettis–Hansen [23] and Calder–Grunwald [2]).
+
+    Blocks are linked into disjoint chains by considering candidate edges
+    in priority order; an edge (a, b) is accepted when [a] is still a
+    chain tail, [b] a chain head, linking does not close a cycle, and [b]
+    is not the procedure entry (the entry must start the layout).
+    Completed chains are then concatenated: the entry chain first, then
+    repeatedly the chain most strongly connected to the blocks already
+    placed. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+type t = {
+  n : int;
+  entry : Block.label;
+  next : int array;  (** successor within chain, -1 at tail *)
+  prev : int array;  (** predecessor within chain, -1 at head *)
+  parent : int array;  (** union-find *)
+}
+
+let create (cfg : Cfg.t) =
+  let n = Cfg.n_blocks cfg in
+  {
+    n;
+    entry = cfg.Cfg.entry;
+    next = Array.make n (-1);
+    prev = Array.make n (-1);
+    parent = Array.init n (fun i -> i);
+  }
+
+let rec find t i =
+  if t.parent.(i) = i then i
+  else begin
+    let r = find t t.parent.(i) in
+    t.parent.(i) <- r;
+    r
+  end
+
+(** [try_link t a b] links chains tail [a] → head [b] if permissible;
+    returns whether the link was made. *)
+let try_link t a b =
+  if
+    a <> b
+    && b <> t.entry
+    && t.next.(a) < 0
+    && t.prev.(b) < 0
+    && find t a <> find t b
+  then begin
+    t.next.(a) <- b;
+    t.prev.(b) <- a;
+    t.parent.(find t a) <- find t b;
+    true
+  end
+  else false
+
+(** [chains t] lists the chains as block lists, heads first. *)
+let chains t =
+  let out = ref [] in
+  for h = t.n - 1 downto 0 do
+    if t.prev.(h) < 0 then begin
+      let chain = ref [] and cur = ref h in
+      while !cur >= 0 do
+        chain := !cur :: !chain;
+        cur := t.next.(!cur)
+      done;
+      out := List.rev !chain :: !out
+    end
+  done;
+  !out
+
+(** [concat_chains t ~weight] produces the final layout order:
+    the entry's chain first, then repeatedly the chain with the largest
+    connection weight to already-placed blocks, where
+    [weight placed candidate_chain] sums profile frequencies between the
+    placed set and the chain (both directions).  Chains never connected
+    to placed code are appended in head order. *)
+let concat_chains t ~(weight : placed:bool array -> int list -> int) :
+    Layout.order =
+  let all = chains t in
+  let entry_chain, rest =
+    match List.partition (fun c -> List.mem t.entry c) all with
+    | [ e ], rest -> (e, rest)
+    | _ -> invalid_arg "Chain.concat_chains: entry chain not unique"
+  in
+  let placed = Array.make t.n false in
+  let order = ref (List.rev entry_chain) in
+  List.iter (fun b -> placed.(b) <- true) entry_chain;
+  let remaining = ref rest in
+  while !remaining <> [] do
+    let scored =
+      List.map (fun c -> (weight ~placed c, c)) !remaining
+    in
+    let best =
+      List.fold_left
+        (fun acc (w, c) ->
+          match acc with
+          | Some (bw, _) when bw >= w -> acc
+          | _ -> Some (w, c))
+        None scored
+    in
+    let _, chosen = Option.get best in
+    List.iter
+      (fun b ->
+        placed.(b) <- true;
+        order := b :: !order)
+      chosen;
+    remaining := List.filter (fun c -> c != chosen) !remaining
+  done;
+  Array.of_list (List.rev !order)
+
+(** Connection weight used by both greedy aligners: total profiled
+    transfers between the placed set and the chain, either direction. *)
+let profile_weight (profile : Profile.proc) ~placed (chain : int list) =
+  let in_chain = Hashtbl.create 8 in
+  List.iter (fun b -> Hashtbl.replace in_chain b ()) chain;
+  let w = ref 0 in
+  Array.iteri
+    (fun src row ->
+      Array.iter
+        (fun (dst, n) ->
+          let src_placed = placed.(src) and dst_in = Hashtbl.mem in_chain dst in
+          let dst_placed = placed.(dst) and src_in = Hashtbl.mem in_chain src in
+          if (src_placed && dst_in) || (dst_placed && src_in) then w := !w + n)
+        row)
+    profile.Profile.freqs;
+  !w

@@ -1,0 +1,28 @@
+(** Chain-building machinery shared by the greedy aligners: link blocks
+    into disjoint chains edge by edge, then concatenate chains (entry
+    chain first, then strongest-connected). *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+type t
+
+val create : Cfg.t -> t
+
+(** [try_link t a b] links chain tail [a] → chain head [b] when
+    permissible (no slot conflicts, no cycle, [b] not the entry);
+    returns whether the link was made. *)
+val try_link : t -> int -> int -> bool
+
+(** The chains as block lists, heads first. *)
+val chains : t -> int list list
+
+(** Concatenate the chains into a layout: entry chain first, then
+    repeatedly the chain with the largest [weight] to already-placed
+    blocks. *)
+val concat_chains :
+  t -> weight:(placed:bool array -> int list -> int) -> Layout.order
+
+(** The standard connection weight: profiled transfers between the
+    placed set and the chain, either direction. *)
+val profile_weight : Profile.proc -> placed:bool array -> int list -> int

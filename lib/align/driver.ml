@@ -1,0 +1,121 @@
+(** Whole-program alignment driver.
+
+    Ties everything together for a program of several procedures: pick a
+    layout per procedure with the chosen method, realize the layouts
+    against the training profile, and expose analytic evaluation and
+    full-machine simulation (penalties + I-cache + cycles) against any
+    testing workload. *)
+
+open Ba_cfg
+open Ba_machine
+module Profile = Ba_profile.Profile
+
+(** Alignment method. *)
+type method_ =
+  | Original  (** keep the front end's block order *)
+  | Greedy  (** Pettis–Hansen frequency-greedy *)
+  | Calder  (** Calder–Grunwald cost-model greedy *)
+  | Calder_exhaustive  (** … with the bounded exhaustive prefix search *)
+  | Tsp of Tsp_align.config  (** the paper's DTSP-based aligner *)
+
+let method_name = function
+  | Original -> "original"
+  | Greedy -> "greedy"
+  | Calder -> "calder"
+  | Calder_exhaustive -> "calder-exhaustive"
+  | Tsp _ -> "tsp"
+
+(** A fully aligned and realized program. *)
+type aligned = {
+  cfgs : Cfg.t array;
+  orders : Layout.order array;
+  realized : Layout.realized array;
+  predicted : int option array array;  (** static predictions, from training *)
+  addr : Addr.t;  (** code addresses under this layout *)
+  method_ : method_;
+}
+
+(** [align_proc method_ p cfg ~profile] lays out one procedure. *)
+let align_proc (m : method_) (p : Penalties.t) (cfg : Cfg.t)
+    ~(profile : Profile.proc) : Layout.order =
+  match m with
+  | Original -> Layout.identity cfg
+  | Greedy -> Greedy.align cfg ~profile
+  | Calder -> Calder.align p cfg ~profile
+  | Calder_exhaustive -> Calder.align_exhaustive p cfg ~profile
+  | Tsp config -> (Tsp_align.align ~config p cfg ~profile).Tsp_align.order
+
+(** [align m p cfgs ~train] aligns a whole program with method [m],
+    realizing every layout against the training profile. *)
+let align (m : method_) (p : Penalties.t) (cfgs : Cfg.t array)
+    ~(train : Ba_profile.Profile.t) : aligned =
+  let orders =
+    Array.mapi
+      (fun fid cfg -> align_proc m p cfg ~profile:(Profile.proc train fid))
+      cfgs
+  in
+  let realized = Array.make (Array.length cfgs) None in
+  let predicted =
+    Array.mapi
+      (fun fid cfg ->
+        let r, pred =
+          Evaluate.realize p cfg ~order:orders.(fid)
+            ~train:(Profile.proc train fid)
+        in
+        realized.(fid) <- Some r;
+        pred)
+      cfgs
+  in
+  let realized = Array.map Option.get realized in
+  let addr = Addr.build (Array.map2 (fun g r -> (g, r)) cfgs realized) in
+  { cfgs; orders; realized; predicted; addr; method_ = m }
+
+(** [analytic_penalty p a ~test] is the modelled control penalty of the
+    aligned program when executed on the [test] workload's profile. *)
+let analytic_penalty (p : Penalties.t) (a : aligned)
+    ~(test : Ba_profile.Profile.t) : int =
+  let total = ref 0 in
+  Array.iteri
+    (fun fid cfg ->
+      let t = Profile.proc test fid in
+      Cfg.iter
+        (fun b ->
+          let l = b.Block.id in
+          total :=
+            !total
+            + Cost.rterm_cost p a.realized.(fid).Layout.terms.(l)
+                ~predicted:a.predicted.(fid).(l)
+                ~freqs:(Profile.block_freqs t l))
+        cfg)
+    a.cfgs;
+  !total
+
+(** [simulate ?cycles_config p a ~run] replays an execution (the [run]
+    callback feeds trace events into the provided sink) through the full
+    machine model and returns the cycle breakdown. *)
+let simulate ?cycles_config (p : Penalties.t) (a : aligned)
+    ~(run : Trace.sink -> unit) : Cycles.result =
+  let ctxs =
+    Array.mapi
+      (fun fid r -> Pipeline.ctx_of_realized r ~predicted:a.predicted.(fid))
+      a.realized
+  in
+  let sink, result =
+    Cycles.make_sink ?config:cycles_config p ~cfgs:a.cfgs ~ctxs ~addr:a.addr
+  in
+  run sink;
+  result ()
+
+(** [check a] verifies that every realized layout is semantically
+    faithful to its CFG. *)
+let check (a : aligned) =
+  let err = ref None in
+  Array.iteri
+    (fun fid cfg ->
+      match Layout.check_semantics cfg a.realized.(fid) with
+      | Ok () -> ()
+      | Error m ->
+          if !err = None then
+            err := Some (Printf.sprintf "procedure %d (%s): %s" fid cfg.Cfg.name m))
+    a.cfgs;
+  match !err with None -> Ok () | Some m -> Error m

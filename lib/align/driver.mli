@@ -1,0 +1,51 @@
+(** Whole-program alignment driver: pick a layout per procedure, realize
+    against the training profile, evaluate analytically or simulate on
+    the full machine model. *)
+
+open Ba_cfg
+open Ba_machine
+module Profile = Ba_profile.Profile
+
+(** Alignment method. *)
+type method_ =
+  | Original  (** keep the front end's block order *)
+  | Greedy  (** Pettis–Hansen frequency-greedy *)
+  | Calder  (** Calder–Grunwald cost-model greedy *)
+  | Calder_exhaustive  (** … with the bounded exhaustive prefix search *)
+  | Tsp of Tsp_align.config  (** the paper's DTSP-based aligner *)
+
+val method_name : method_ -> string
+
+(** A fully aligned and realized program. *)
+type aligned = {
+  cfgs : Cfg.t array;
+  orders : Layout.order array;
+  realized : Layout.realized array;
+  predicted : int option array array;  (** static predictions (training) *)
+  addr : Addr.t;  (** code addresses under this layout *)
+  method_ : method_;
+}
+
+(** Lay out one procedure. *)
+val align_proc :
+  method_ -> Penalties.t -> Cfg.t -> profile:Profile.proc -> Layout.order
+
+(** Align a whole program. *)
+val align :
+  method_ -> Penalties.t -> Cfg.t array -> train:Ba_profile.Profile.t -> aligned
+
+(** Modelled control penalty on the [test] workload's profile. *)
+val analytic_penalty :
+  Penalties.t -> aligned -> test:Ba_profile.Profile.t -> int
+
+(** Replay an execution through the full machine model ([run] feeds
+    trace events into the provided sink). *)
+val simulate :
+  ?cycles_config:Cycles.config ->
+  Penalties.t ->
+  aligned ->
+  run:(Trace.sink -> unit) ->
+  Cycles.result
+
+(** Verify every realized layout is semantically faithful to its CFG. *)
+val check : aligned -> (unit, string) result

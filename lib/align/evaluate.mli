@@ -1,0 +1,37 @@
+(** Analytic control-penalty evaluation, with distinct training and
+    testing profiles (the paper's cross-validation study): realization
+    and predictions come from training, transfer counts from testing. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+(** Realize a layout against the training profile; returns the realized
+    layout and the per-block static predictions.
+    @raise Invalid_argument on invalid layouts. *)
+val realize :
+  Ba_machine.Penalties.t ->
+  Cfg.t ->
+  order:Layout.order ->
+  train:Profile.proc ->
+  Layout.realized * int option array
+
+(** Total control-penalty cycles of a procedure under the given
+    training/testing split.  With [train = test] this equals the DTSP
+    walk cost of the layout. *)
+val proc_penalty :
+  Ba_machine.Penalties.t ->
+  Cfg.t ->
+  order:Layout.order ->
+  train:Profile.proc ->
+  test:Profile.proc ->
+  int
+
+(** Sum of {!proc_penalty} over all procedures.
+    @raise Invalid_argument on shape mismatch. *)
+val program_penalty :
+  Ba_machine.Penalties.t ->
+  Cfg.t array ->
+  orders:Layout.order array ->
+  train:Ba_profile.Profile.t ->
+  test:Ba_profile.Profile.t ->
+  int

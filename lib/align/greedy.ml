@@ -1,0 +1,36 @@
+(** Pettis–Hansen-style greedy branch alignment [23].
+
+    The classic bottom-up positioning algorithm the paper (and most
+    commercial tools of its era) uses as the baseline: consider CFG edges
+    in decreasing execution-frequency order and chain the endpoint blocks
+    when both layout slots are free and no cycle would form; then
+    concatenate the chains, entry chain first, strongest-connected chain
+    next.  Priorities use raw frequencies only — no machine cost model —
+    which is exactly the handicap the paper points out. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+(** Profiled edges, highest frequency first; ties broken by (src, dst)
+    for determinism.  Self edges can never be layout edges and are
+    dropped. *)
+let edges_by_frequency (profile : Profile.proc) =
+  let edges = ref [] in
+  Array.iteri
+    (fun src row ->
+      Array.iter
+        (fun (dst, n) -> if src <> dst then edges := (n, src, dst) :: !edges)
+        row)
+    profile.Profile.freqs;
+  List.sort
+    (fun (n1, s1, d1) (n2, s2, d2) ->
+      if n1 <> n2 then compare n2 n1 else compare (s1, d1) (s2, d2))
+    !edges
+
+(** [align cfg ~profile] computes the greedy layout. *)
+let align (cfg : Cfg.t) ~(profile : Profile.proc) : Layout.order =
+  let t = Chain.create cfg in
+  List.iter
+    (fun (_, src, dst) -> ignore (Chain.try_link t src dst))
+    (edges_by_frequency profile);
+  Chain.concat_chains t ~weight:(Chain.profile_weight profile)

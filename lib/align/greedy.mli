@@ -1,0 +1,13 @@
+(** Pettis–Hansen-style greedy branch alignment — the paper's baseline:
+    chain blocks along CFG edges in decreasing execution-frequency
+    order, no machine cost model. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+(** Profiled edges as [(freq, src, dst)], highest frequency first (ties
+    by labels); self edges dropped. *)
+val edges_by_frequency : Profile.proc -> (int * int * int) list
+
+(** Compute the greedy layout. *)
+val align : Cfg.t -> profile:Profile.proc -> Layout.order

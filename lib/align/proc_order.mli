@@ -1,0 +1,12 @@
+(** Pettis–Hansen procedure ordering — interprocedural placement (the
+    paper's future work): place procedures that call each other
+    frequently close together to reduce I-cache conflicts. *)
+
+(** Procedure permutation from dynamic call counts
+    [(caller, callee, count)]; the entry procedure's chain leads.
+    @raise Invalid_argument on a bad entry id. *)
+val order : n_procs:int -> entry:int -> (int * int * int) list -> int array
+
+(** Simple alternative: entry first, then procedures by total dynamic
+    call involvement, hottest first. *)
+val by_weight : n_procs:int -> entry:int -> (int * int * int) list -> int array

@@ -1,0 +1,81 @@
+(** The paper's reduction: branch alignment → directed TSP (Section 2.2).
+
+    Cities are the procedure's basic blocks plus one dummy city marking
+    the end of the layout.  The cost of edge (B, X) is the total penalty
+    incurred at B's terminator when X is laid out immediately after B,
+    under the training profile — computed by {!Ba_machine.Cost.edge_cost},
+    fixup jumps included.  Edges out of the dummy carry a prohibitive
+    cost except dummy → entry, which is free: a minimum directed tour
+    therefore reads dummy, entry, …, last block, and its cost equals the
+    minimum achievable control penalty of any layout. *)
+
+open Ba_cfg
+open Ba_machine
+module Profile = Ba_profile.Profile
+
+type t = {
+  cfg : Cfg.t;
+  dtsp : Ba_tsp.Dtsp.t;  (** cities 0..n−1 = blocks, city n = dummy *)
+  dummy : int;  (** = [Cfg.n_blocks cfg] *)
+  forbid : int;  (** cost of dummy → non-entry edges *)
+}
+
+(** [build p cfg ~profile] constructs the DTSP instance of one
+    procedure. *)
+let build (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) : t =
+  let n = Cfg.n_blocks cfg in
+  let dummy = n in
+  let predicted = Profile.predictions profile ~n_blocks:n in
+  let block_cost i succ =
+    Cost.edge_cost p (Cfg.block cfg i).Block.term ~succ ~predicted:predicted.(i)
+      ~freqs:(Profile.block_freqs profile i)
+  in
+  (* the forbidden cost must exceed the cost of any real layout: one more
+     than the sum over blocks of their worst edge *)
+  let worst = ref 1 in
+  for i = 0 to n - 1 do
+    let w = ref (block_cost i None) in
+    for j = 0 to n - 1 do
+      if j <> i then w := max !w (block_cost i (Some j))
+    done;
+    worst := !worst + !w
+  done;
+  let forbid = !worst in
+  let cost =
+    Array.init (n + 1) (fun i ->
+        Array.init (n + 1) (fun j ->
+            if i = j then 0
+            else if i = dummy then if j = cfg.Cfg.entry then 0 else forbid
+            else if j = dummy then block_cost i None
+            else block_cost i (Some j)))
+  in
+  { cfg; dtsp = Ba_tsp.Dtsp.make cost; dummy; forbid }
+
+(** [tour_of_order t order] is the directed tour (starting at the dummy)
+    corresponding to a layout. *)
+let tour_of_order t (order : Layout.order) : int array =
+  Array.append [| t.dummy |] order
+
+(** [order_of_tour t tour] recovers a layout from a directed tour: drop
+    the dummy and rotate the remaining cycle so the entry block is first.
+    For tours produced by the solver this is exactly the walk after the
+    dummy; for degenerate tours (a forbidden dummy edge survived) it is
+    still a valid layout, just not the one the tour cost describes.
+    @raise Invalid_argument if the tour is not a permutation of the
+    cities. *)
+let order_of_tour t (tour : int array) : Layout.order =
+  if not (Ba_tsp.Dtsp.is_tour t.dtsp tour) then
+    invalid_arg "Reduction.order_of_tour: not a tour";
+  let rot = Ba_tsp.Dtsp.rotate_to tour t.dummy in
+  let order = Array.sub rot 1 (Array.length rot - 1) in
+  if order.(0) = t.cfg.Cfg.entry then order
+  else
+    (* rotate the dummy-free cycle so the entry leads *)
+    Ba_tsp.Dtsp.rotate_to order t.cfg.Cfg.entry
+
+(** [layout_cost t order] is the DTSP walk cost of a layout — by
+    construction equal to the analytic control penalty of the layout
+    under the profile the instance was built from (a property the test
+    suite checks against {!Evaluate}). *)
+let layout_cost t (order : Layout.order) : int =
+  Ba_tsp.Dtsp.tour_cost t.dtsp (tour_of_order t order)

@@ -1,0 +1,29 @@
+(** The paper's reduction (Section 2.2): branch alignment → directed
+    TSP.  Cities are the blocks plus a dummy end-of-layout city; the
+    cost of edge (B, X) is the penalty at B's terminator when X is its
+    layout successor under the training profile; a minimum directed tour
+    is an optimal alignment. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+type t = {
+  cfg : Cfg.t;
+  dtsp : Ba_tsp.Dtsp.t;  (** cities 0..n−1 = blocks, city n = dummy *)
+  dummy : int;
+  forbid : int;  (** cost on dummy → non-entry edges *)
+}
+
+(** Build the DTSP instance of one procedure. *)
+val build : Ba_machine.Penalties.t -> Cfg.t -> profile:Profile.proc -> t
+
+(** Layout → the corresponding directed tour (dummy first). *)
+val tour_of_order : t -> Layout.order -> int array
+
+(** Directed tour → layout: drop the dummy, rotate the entry first.
+    @raise Invalid_argument if the tour is not a permutation. *)
+val order_of_tour : t -> int array -> Layout.order
+
+(** DTSP walk cost of a layout — equal, by construction, to its analytic
+    control penalty under the instance's profile. *)
+val layout_cost : t -> Layout.order -> int

@@ -1,0 +1,49 @@
+(** The paper's TSP-based branch aligner.
+
+    Build the DTSP instance of the procedure ({!Reduction}), solve it
+    near-optimally — exactly (Held–Karp DP) when the instance is small,
+    with iterated 3-Opt on the symmetrized instance otherwise — and read
+    the layout off the best tour. *)
+
+open Ba_cfg
+open Ba_tsp
+module Profile = Ba_profile.Profile
+
+type config = {
+  solver : Iterated.config;  (** iterated 3-Opt parameters *)
+  exact_below : int;
+      (** solve instances with at most this many cities (blocks + dummy)
+          exactly by DP; 0 disables exact solving *)
+}
+
+let default = { solver = Iterated.default; exact_below = 13 }
+
+type result = {
+  order : Layout.order;
+  cost : int;  (** DTSP walk cost = modelled penalty under the training profile *)
+  exact : bool;  (** the instance was solved to proven optimality *)
+  stats : Iterated.stats option;  (** heuristic solver statistics, if used *)
+}
+
+(** [solve_instance ?config inst] solves a pre-built reduction instance
+    (lets callers time matrix construction and solving separately). *)
+let solve_instance ?(config = default) (inst : Reduction.t) : result =
+  let n_cities = inst.Reduction.dtsp.Dtsp.n in
+  if n_cities <= min config.exact_below Exact.max_n then begin
+    let tour, cost = Exact.solve inst.Reduction.dtsp in
+    let order = Reduction.order_of_tour inst tour in
+    { order; cost; exact = true; stats = None }
+  end
+  else begin
+    let tour, stats = Iterated.solve ~config:config.solver inst.Reduction.dtsp in
+    let order = Reduction.order_of_tour inst tour in
+    (* recompute from the layout in case the tour was degenerate *)
+    let cost = Reduction.layout_cost inst order in
+    { order; cost; exact = false; stats = Some stats }
+  end
+
+(** [align ?config p cfg ~profile] aligns one procedure: build the
+    reduction instance, then solve it. *)
+let align ?config (p : Ba_machine.Penalties.t) (cfg : Cfg.t)
+    ~(profile : Profile.proc) : result =
+  solve_instance ?config (Reduction.build p cfg ~profile)

@@ -1,0 +1,34 @@
+(** The paper's TSP-based branch aligner: build the DTSP instance, solve
+    it (exactly on small instances, iterated 3-Opt otherwise), read the
+    layout off the best tour. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+type config = {
+  solver : Ba_tsp.Iterated.config;
+  exact_below : int;
+      (** solve instances with at most this many cities exactly;
+          0 disables exact solving *)
+}
+
+val default : config
+
+type result = {
+  order : Layout.order;
+  cost : int;  (** modelled penalty under the training profile *)
+  exact : bool;  (** solved to proven optimality *)
+  stats : Ba_tsp.Iterated.stats option;  (** when the heuristic ran *)
+}
+
+(** Solve a pre-built reduction instance (lets callers time matrix
+    construction and solving separately). *)
+val solve_instance : ?config:config -> Reduction.t -> result
+
+(** Align one procedure. *)
+val align :
+  ?config:config ->
+  Ba_machine.Penalties.t ->
+  Cfg.t ->
+  profile:Profile.proc ->
+  result

@@ -1,0 +1,108 @@
+(** Per-procedure control-flow graphs.
+
+    A CFG is an array of {!Block.t} indexed by label, plus a distinguished
+    entry block.  This is the {e shape} consumed by the alignment
+    algorithms; the executable IR of the mini-language (see [Ba_minic.Ir])
+    projects onto it. *)
+
+type t = {
+  name : string;  (** procedure name, for reporting *)
+  entry : Block.label;  (** label of the entry block *)
+  blocks : Block.t array;  (** blocks indexed by label *)
+}
+
+(** Number of basic blocks. *)
+let n_blocks g = Array.length g.blocks
+
+(** [block g l] is the block labelled [l].
+    @raise Invalid_argument if [l] is out of range. *)
+let block g l =
+  if l < 0 || l >= n_blocks g then
+    invalid_arg (Printf.sprintf "Cfg.block: label %d out of range in %s" l g.name);
+  g.blocks.(l)
+
+(** CFG successors of block [l]. *)
+let successors g l = Block.successors (block g l)
+
+(** [make ~name ~entry blocks] builds and validates a CFG.
+    @raise Invalid_argument if validation fails (see {!validate}). *)
+let make ~name ~entry blocks =
+  let g = { name; entry; blocks } in
+  match
+    (let ( let* ) r f = Result.bind r f in
+     let* () =
+       if Array.length blocks = 0 then Error "empty CFG" else Ok ()
+     in
+     let* () =
+       if entry < 0 || entry >= Array.length blocks then
+         Error "entry out of range"
+       else Ok ()
+     in
+     let bad = ref None in
+     Array.iteri
+       (fun i b ->
+         if b.Block.id <> i then bad := Some (Printf.sprintf "block %d has id %d" i b.Block.id);
+         List.iter
+           (fun s ->
+             if s < 0 || s >= Array.length blocks then
+               bad := Some (Printf.sprintf "block %d has successor %d out of range" i s))
+           (Block.successors b))
+       blocks;
+     match !bad with Some m -> Error m | None -> Ok ())
+  with
+  | Ok () -> g
+  | Error m -> invalid_arg (Printf.sprintf "Cfg.make(%s): %s" name m)
+
+(** [validate g] re-checks the structural invariants of [g]:
+    non-empty, entry in range, dense ids, successors in range. *)
+let validate g =
+  match make ~name:g.name ~entry:g.entry g.blocks with
+  | (_ : t) -> Ok ()
+  | exception Invalid_argument m -> Error m
+
+(** [reachable g] marks the blocks reachable from the entry. *)
+let reachable g =
+  let seen = Array.make (n_blocks g) false in
+  let rec go l =
+    if not seen.(l) then begin
+      seen.(l) <- true;
+      List.iter go (successors g l)
+    end
+  in
+  go g.entry;
+  seen
+
+(** [n_reachable g] counts blocks reachable from the entry. *)
+let n_reachable g =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (reachable g)
+
+(** Total number of (static) CFG edges, counting duplicate multiway
+    targets once per distinct destination. *)
+let n_edges g =
+  Array.fold_left
+    (fun acc b -> acc + List.length (Block.distinct_successors b))
+    0 g.blocks
+
+(** All distinct CFG edges [(src, dst)]. *)
+let edges g =
+  Array.to_list g.blocks
+  |> List.concat_map (fun b ->
+         List.map (fun s -> (b.Block.id, s)) (Block.distinct_successors b))
+
+(** Static count of blocks ending in a control-transfer instruction. *)
+let n_branch_sites g =
+  Array.fold_left (fun acc b -> if Block.is_cti b then acc + 1 else acc) 0 g.blocks
+
+(** Total instruction count over all blocks (terminators excluded). *)
+let total_size g = Array.fold_left (fun acc b -> acc + b.Block.size) 0 g.blocks
+
+(** Fold over blocks in label order. *)
+let fold f init g = Array.fold_left f init g.blocks
+
+(** Iterate over blocks in label order. *)
+let iter f g = Array.iter f g.blocks
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>cfg %s (entry %d)@,%a@]" g.name g.entry
+    Fmt.(array ~sep:cut Block.pp)
+    g.blocks

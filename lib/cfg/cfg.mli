@@ -1,0 +1,48 @@
+(** Per-procedure control-flow graphs: an array of {!Block.t} indexed by
+    label, plus a distinguished entry block. *)
+
+type t = {
+  name : string;  (** procedure name, for reporting *)
+  entry : Block.label;
+  blocks : Block.t array;  (** indexed by label *)
+}
+
+(** Number of basic blocks. *)
+val n_blocks : t -> int
+
+(** [block g l] is the block labelled [l].
+    @raise Invalid_argument if [l] is out of range. *)
+val block : t -> Block.label -> Block.t
+
+(** CFG successors of block [l]. *)
+val successors : t -> Block.label -> Block.label list
+
+(** [make ~name ~entry blocks] builds and validates a CFG: non-empty,
+    entry in range, ids dense and in order, successors in range.
+    @raise Invalid_argument if validation fails. *)
+val make : name:string -> entry:Block.label -> Block.t array -> t
+
+(** Re-check the structural invariants of an existing CFG. *)
+val validate : t -> (unit, string) result
+
+(** [reachable g].(l) is true iff block [l] is reachable from the entry. *)
+val reachable : t -> bool array
+
+(** Number of blocks reachable from the entry. *)
+val n_reachable : t -> int
+
+(** Number of distinct static CFG edges. *)
+val n_edges : t -> int
+
+(** All distinct CFG edges as [(src, dst)] pairs. *)
+val edges : t -> (Block.label * Block.label) list
+
+(** Static count of blocks ending in a control-transfer instruction. *)
+val n_branch_sites : t -> int
+
+(** Total instruction count over all blocks (terminators excluded). *)
+val total_size : t -> int
+
+val fold : ('a -> Block.t -> 'a) -> 'a -> t -> 'a
+val iter : (Block.t -> unit) -> t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Graphviz export of CFGs, optionally annotated with edge
+    frequencies, for debugging and documentation. *)
+
+(** [emit ?freq ppf g] writes [g] in DOT syntax.  When [freq] is given,
+    [freq src dst] labels the edge with its execution count. *)
+let emit ?freq ppf (g : Cfg.t) =
+  Fmt.pf ppf "digraph %S {@." g.Cfg.name;
+  Fmt.pf ppf "  node [shape=box fontname=monospace];@.";
+  Cfg.iter
+    (fun b ->
+      let open Block in
+      let shape_attr =
+        if b.id = g.Cfg.entry then " style=bold"
+        else match b.term with Exit -> " style=dashed" | _ -> ""
+      in
+      Fmt.pf ppf "  n%d [label=\"b%d\\nsize %d\"%s];@." b.id b.id b.size
+        shape_attr;
+      let edge ?(style = "") dst =
+        let lbl =
+          match freq with
+          | None -> ""
+          | Some f -> Printf.sprintf " label=\"%d\"" (f b.id dst)
+        in
+        Fmt.pf ppf "  n%d -> n%d [%s%s];@." b.id dst style lbl
+      in
+      match b.term with
+      | Exit -> ()
+      | Goto l -> edge l
+      | Branch { t; f } ->
+          edge ~style:"color=red" t;
+          edge ~style:"color=blue" f
+      | Multiway ts -> Array.iter (edge ~style:"color=gray") ts)
+    g;
+  Fmt.pf ppf "}@."
+
+(** [to_string ?freq g] renders {!emit} to a string. *)
+let to_string ?freq g = Fmt.str "%a" (emit ?freq) g

@@ -1,0 +1,10 @@
+(** Graphviz export of CFGs, optionally annotated with edge
+    frequencies. *)
+
+(** [emit ?freq ppf g] writes [g] in DOT syntax; [freq src dst] labels
+    each edge with its execution count. *)
+val emit :
+  ?freq:(Block.label -> Block.label -> int) -> Format.formatter -> Cfg.t -> unit
+
+(** [to_string ?freq g] renders {!emit} to a string. *)
+val to_string : ?freq:(Block.label -> Block.label -> int) -> Cfg.t -> string

@@ -1,0 +1,160 @@
+(** Layouts: linear orders of a procedure's basic blocks, and their
+    {e realization} as concrete control transfers.
+
+    A layout is a permutation of the block labels with the entry block
+    first.  Realizing a layout decides, for every block, how its
+    terminator is implemented given its layout successor: fall-throughs
+    are free, single-successor blocks that do not fall through get an
+    unconditional jump, conditional branches may be inverted, and when
+    neither arm of a conditional is the layout successor an extra
+    {e fixup} unconditional jump is inserted after the block (the paper's
+    "fixup basic block", Section 2.2 and Table 3). *)
+
+(** A layout order: [order.(i)] is the label placed at position [i].
+    Invariant (checked by {!is_valid}): a permutation of [0..n-1] with the
+    entry block at position 0. *)
+type order = Block.label array
+
+(** The identity layout: blocks in label order.  Requires the CFG entry to
+    be block 0 (which our front end guarantees); otherwise the entry is
+    swapped to the front. *)
+let identity (g : Cfg.t) : order =
+  let n = Cfg.n_blocks g in
+  let o = Array.init n (fun i -> i) in
+  if g.entry <> 0 then begin
+    o.(g.entry) <- 0;
+    o.(0) <- g.entry
+  end;
+  o
+
+(** [is_valid g o] checks that [o] is a permutation of [g]'s labels with
+    the entry first. *)
+let is_valid (g : Cfg.t) (o : order) =
+  let n = Cfg.n_blocks g in
+  Array.length o = n
+  && o.(0) = g.entry
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun l ->
+      if l < 0 || l >= n || seen.(l) then false
+      else begin
+        seen.(l) <- true;
+        true
+      end)
+    o
+
+(** [positions o] inverts a layout: [positions o].(l) is the position of
+    block [l]. *)
+let positions (o : order) =
+  let pos = Array.make (Array.length o) (-1) in
+  Array.iteri (fun i l -> pos.(l) <- i) o;
+  pos
+
+(** [layout_successor o].(l) is [Some l'] when block [l'] is placed
+    immediately after block [l], or [None] for the last block. *)
+let layout_successor (o : order) : Block.label option array =
+  let n = Array.length o in
+  let succ = Array.make n None in
+  for i = 0 to n - 2 do
+    succ.(o.(i)) <- Some o.(i + 1)
+  done;
+  succ
+
+(** Realized terminator of a block in a particular layout.
+
+    - [R_fall l] — no CTI at all; execution falls into [l], the layout
+      successor.
+    - [R_jump l] — an unconditional jump to [l].
+    - [R_exit] — procedure return.
+    - [R_cond {taken; fall; via_fixup}] — a conditional branch whose taken
+      target is [taken] and whose fall-through arm reaches [fall].  When
+      [via_fixup] is true, the fall-through path first executes an inserted
+      unconditional jump (the fixup block) before reaching [fall]; this
+      happens when neither CFG arm is the layout successor.
+    - [R_multi] — an indirect branch; realization is layout-independent. *)
+type rterm =
+  | R_fall of Block.label
+  | R_jump of Block.label
+  | R_exit
+  | R_cond of { taken : Block.label; fall : Block.label; via_fixup : bool }
+  | R_multi of { targets : Block.label array }
+
+(** Items of the final linearized procedure body, in memory order.
+    [I_fixup {src; target}] is the one-instruction unconditional jump
+    inserted after conditional block [src] to reach its fall arm
+    [target]. *)
+type item =
+  | I_block of Block.label
+  | I_fixup of { src : Block.label; target : Block.label }
+
+(** A fully realized layout. *)
+type realized = {
+  order : order;  (** the block order realized *)
+  terms : rterm array;  (** realized terminator, indexed by label *)
+  items : item array;  (** memory order including fixup blocks *)
+}
+
+(** Destinations reachable from a realized terminator (for semantics
+    checks): must equal the distinct CFG successors of the block. *)
+let rterm_destinations = function
+  | R_fall l | R_jump l -> [ l ]
+  | R_exit -> []
+  | R_cond { taken; fall; _ } -> List.sort_uniq compare [ taken; fall ]
+  | R_multi { targets } -> List.sort_uniq compare (Array.to_list targets)
+
+(** Number of instructions a realized terminator occupies: fall-throughs
+    cost nothing, jumps/conditionals/returns one instruction, indirect
+    branches two (table load + jump). *)
+let rterm_instrs = function
+  | R_fall _ -> 0
+  | R_jump _ -> 1
+  | R_exit -> 1
+  | R_cond _ -> 1
+  | R_multi _ -> 2
+
+(** [build_items order terms] lays the blocks out in [order], inserting a
+    fixup item after every block whose realized conditional requires
+    one. *)
+let build_items (o : order) (terms : rterm array) : item array =
+  let out = ref [] in
+  Array.iter
+    (fun l ->
+      out := I_block l :: !out;
+      match terms.(l) with
+      | R_cond { fall; via_fixup = true; _ } ->
+          out := I_fixup { src = l; target = fall } :: !out
+      | _ -> ())
+    o;
+  Array.of_list (List.rev !out)
+
+(** [check_semantics g r] verifies that the realized layout transfers
+    control to exactly the same destinations as the CFG: for every block,
+    the realized terminator's destination set equals the block's distinct
+    CFG successors.  Returns an error message naming the first offending
+    block. *)
+let check_semantics (g : Cfg.t) (r : realized) =
+  if not (is_valid g r.order) then Error "invalid layout order"
+  else
+    let bad = ref None in
+    Cfg.iter
+      (fun b ->
+        let want = Block.distinct_successors b in
+        let got = rterm_destinations r.terms.(b.Block.id) in
+        if want <> got && !bad = None then
+          bad :=
+            Some
+              (Printf.sprintf "block %d: realized destinations differ from CFG"
+                 b.Block.id))
+      g;
+    match !bad with None -> Ok () | Some m -> Error m
+
+let pp_rterm ppf = function
+  | R_fall l -> Fmt.pf ppf "fall %d" l
+  | R_jump l -> Fmt.pf ppf "jump %d" l
+  | R_exit -> Fmt.string ppf "exit"
+  | R_cond { taken; fall; via_fixup } ->
+      Fmt.pf ppf "cond taken:%d fall:%d%s" taken fall
+        (if via_fixup then " (fixup)" else "")
+  | R_multi { targets } ->
+      Fmt.pf ppf "multi [%a]" Fmt.(array ~sep:(any " ") int) targets

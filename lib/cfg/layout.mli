@@ -1,0 +1,64 @@
+(** Layouts: linear orders of a procedure's basic blocks, and their
+    {e realization} as concrete control transfers (fall-throughs, jumps,
+    inverted conditionals, inserted fixup jumps). *)
+
+(** A layout order: [order.(i)] is the label placed at position [i].
+    Invariant (checked by {!is_valid}): a permutation of [0..n-1] with
+    the entry block at position 0. *)
+type order = Block.label array
+
+(** The identity layout: blocks in label order (entry swapped to the
+    front if it is not block 0). *)
+val identity : Cfg.t -> order
+
+(** [is_valid g o] checks that [o] is a permutation of [g]'s labels with
+    the entry first. *)
+val is_valid : Cfg.t -> order -> bool
+
+(** [positions o].(l) is the position of block [l] in the layout. *)
+val positions : order -> int array
+
+(** [layout_successor o].(l) is the block placed immediately after [l],
+    or [None] for the last block. *)
+val layout_successor : order -> Block.label option array
+
+(** Realized terminator of a block in a particular layout. *)
+type rterm =
+  | R_fall of Block.label  (** no CTI; falls into the layout successor *)
+  | R_jump of Block.label  (** unconditional jump *)
+  | R_exit
+  | R_cond of { taken : Block.label; fall : Block.label; via_fixup : bool }
+      (** conditional; when [via_fixup] the fall path runs through an
+          inserted unconditional jump before reaching [fall] *)
+  | R_multi of { targets : Block.label array }  (** indirect branch *)
+
+(** Items of the final linearized procedure body, in memory order. *)
+type item =
+  | I_block of Block.label
+  | I_fixup of { src : Block.label; target : Block.label }
+      (** the one-instruction fixup jump inserted after block [src] *)
+
+(** A fully realized layout. *)
+type realized = {
+  order : order;
+  terms : rterm array;  (** realized terminator, indexed by label *)
+  items : item array;  (** memory order including fixup blocks *)
+}
+
+(** Destinations reachable from a realized terminator, sorted distinct —
+    must equal the block's distinct CFG successors. *)
+val rterm_destinations : rterm -> Block.label list
+
+(** Instructions a realized terminator occupies (0 for fall-throughs, 1
+    for jumps/conditionals/returns, 2 for indirect branches). *)
+val rterm_instrs : rterm -> int
+
+(** [build_items order terms] lays out the blocks, inserting fixup items
+    where realized conditionals require them. *)
+val build_items : order -> rterm array -> item array
+
+(** [check_semantics g r] verifies the realized layout transfers control
+    to exactly the same destinations as the CFG. *)
+val check_semantics : Cfg.t -> realized -> (unit, string) result
+
+val pp_rterm : Format.formatter -> rterm -> unit

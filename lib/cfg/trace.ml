@@ -1,0 +1,71 @@
+(** Execution-trace events.
+
+    The mini-language interpreter (and any other front end) reports
+    execution as a stream of events; the profiler and the pipeline
+    simulator consume the same stream.  Events are scoped per procedure
+    {e invocation}: a [Block] event always refers to the procedure of the
+    innermost open [Enter].  Intraprocedural control transfers are the
+    consecutive [Block] events within one invocation; callee blocks in
+    between do not break the caller's adjacency (returning into the middle
+    of a block is not a layout transfer). *)
+
+type event =
+  | Enter of int  (** procedure [fid] is invoked *)
+  | Block of int  (** block [bid] of the innermost open procedure executes *)
+  | Leave  (** the innermost open procedure returns *)
+
+(** A consumer of trace events. *)
+type sink = event -> unit
+
+(** [tee a b] duplicates a stream into two sinks. *)
+let tee (a : sink) (b : sink) : sink =
+ fun e ->
+  a e;
+  b e
+
+(** The null sink. *)
+let null : sink = fun _ -> ()
+
+(** [count_blocks ()] is a sink counting [Block] events plus an accessor. *)
+let count_blocks () =
+  let n = ref 0 in
+  let sink = function Block _ -> incr n | _ -> () in
+  (sink, fun () -> !n)
+
+(** [invocation_walker ~on_block ()] builds a sink that maintains the
+    invocation stack and reports every block execution together with the
+    previous block of the {e same invocation} ([prev = None] for the first
+    block after [Enter]).  This is the canonical way to recover
+    intraprocedural control transfers from a trace; the profiler, the
+    pipeline simulator and the cycle model are all built on it.
+
+    @raise Invalid_argument on malformed streams ([Block]/[Leave] with no
+    open invocation). *)
+let invocation_walker ?(on_enter = fun _ -> ()) ?(on_leave = fun _ -> ())
+    ?(on_call = fun ~caller:_ ~callee:_ -> ())
+    ~(on_block : fid:int -> bid:int -> prev:int option -> unit) () : sink =
+  let stack = ref [] in
+  fun e ->
+    match e with
+    | Enter f ->
+        let caller = match !stack with [] -> None | (g, _) :: _ -> Some g in
+        on_call ~caller ~callee:f;
+        stack := (f, ref None) :: !stack;
+        on_enter f
+    | Block b -> (
+        match !stack with
+        | [] -> invalid_arg "Trace: Block event outside any procedure"
+        | (f, last) :: _ ->
+            on_block ~fid:f ~bid:b ~prev:!last;
+            last := Some b)
+    | Leave -> (
+        match !stack with
+        | [] -> invalid_arg "Trace: Leave event without matching Enter"
+        | (f, _) :: rest ->
+            stack := rest;
+            on_leave f)
+
+let pp ppf = function
+  | Enter f -> Fmt.pf ppf "enter %d" f
+  | Block b -> Fmt.pf ppf "block %d" b
+  | Leave -> Fmt.string ppf "leave"

@@ -1,0 +1,77 @@
+(** CSV export of the experiment results, for plotting the figures with
+    external tools.  One file per table/figure, written under a results
+    directory. *)
+
+let write_file path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        lines)
+
+let frac a b = if b = 0 then 1.0 else float_of_int a /. float_of_int b
+
+(** [rows_csv rows] renders the full measurement set — one line per
+    benchmark/data-set pair, raw counts plus normalized series for both
+    figures. *)
+let rows_csv (rows : Runner.row list) : string list =
+  "bench,ds,train_ds,procs,blocks,branch_sites,sites_touched,executed_branches,\
+   orig_penalty,greedy_self_penalty,tsp_self_penalty,greedy_cross_penalty,\
+   tsp_cross_penalty,lower_bound,orig_cycles,greedy_self_cycles,\
+   tsp_self_cycles,greedy_cross_cycles,tsp_cross_cycles,\
+   fig2_greedy,fig2_tsp,fig2_bound,fig2_greedy_time,fig2_tsp_time"
+  :: List.map
+       (fun (r : Runner.row) ->
+         let m (x : Runner.measurement) = x.Runner.penalty in
+         let c (x : Runner.measurement) = x.Runner.cycles in
+         let op = m r.Runner.original and oc = c r.Runner.original in
+         Printf.sprintf
+           "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f"
+           r.Runner.bench r.Runner.ds r.Runner.train_ds r.Runner.n_procs
+           r.Runner.n_blocks r.Runner.branch_sites r.Runner.branch_sites_touched
+           r.Runner.executed_branches op
+           (m r.Runner.greedy_self) (m r.Runner.tsp_self)
+           (m r.Runner.greedy_cross) (m r.Runner.tsp_cross) r.Runner.lower_bound
+           oc
+           (c r.Runner.greedy_self) (c r.Runner.tsp_self)
+           (c r.Runner.greedy_cross) (c r.Runner.tsp_cross)
+           (frac (m r.Runner.greedy_self) op)
+           (frac (m r.Runner.tsp_self) op)
+           (frac r.Runner.lower_bound op)
+           (frac (c r.Runner.greedy_self) oc)
+           (frac (c r.Runner.tsp_self) oc))
+       rows
+
+(** [appendix_csv stats] renders the per-instance bound study. *)
+let appendix_csv (s : Appendix.stats) : string list =
+  "instance,cities,tour,opt,ap,hk,patching,runs_with_best,runs"
+  :: List.map
+       (fun (r : Appendix.per_instance) ->
+         Printf.sprintf "%s,%d,%d,%s,%d,%d,%d,%d,%d" r.Appendix.name
+           r.Appendix.n_cities r.Appendix.tour_cost
+           (match r.Appendix.opt with Some o -> string_of_int o | None -> "")
+           r.Appendix.ap r.Appendix.hk r.Appendix.patching
+           r.Appendix.runs_with_best r.Appendix.runs)
+       s.Appendix.instances
+
+(** [export ~dir ~rows ~rows95 ~appendix] writes all CSV files; returns
+    the paths written. *)
+let export ~dir ~(rows : Runner.row list) ~(rows95 : Runner.row list)
+    ~(appendix : Appendix.stats option) : string list =
+  (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+  let paths = ref [] in
+  let emit name lines =
+    let path = Filename.concat dir name in
+    write_file path lines;
+    paths := path :: !paths
+  in
+  if rows <> [] then emit "spec92.csv" (rows_csv rows);
+  if rows95 <> [] then emit "spec95.csv" (rows_csv rows95);
+  (match appendix with
+  | Some s -> emit "appendix.csv" (appendix_csv s)
+  | None -> ());
+  List.rev !paths

@@ -1,0 +1,15 @@
+(** CSV export of the experiment results, for external plotting. *)
+
+(** Full measurement set, one line per benchmark/data-set pair. *)
+val rows_csv : Runner.row list -> string list
+
+(** Per-instance bound study. *)
+val appendix_csv : Appendix.stats -> string list
+
+(** Write all CSV files under [dir]; returns the paths written. *)
+val export :
+  dir:string ->
+  rows:Runner.row list ->
+  rows95:Runner.row list ->
+  appendix:Appendix.stats option ->
+  string list

@@ -1,0 +1,16 @@
+(** Extension experiment: branch alignment under dynamic branch
+    prediction hardware (the paper's future-work footnote 6). *)
+
+module W = Ba_workloads.Workload
+
+type row = {
+  bench : string;
+  ds : string;
+  static_ : int * int * int;  (** original, greedy, tsp penalties *)
+  dynamic : int * int * int;
+  dynamic_mispredicts : int * int * int;
+}
+
+val run_one : ?config:Ba_machine.Predictor.config -> W.t -> test:W.dataset -> row
+val run_all : ?config:Ba_machine.Predictor.config -> unit -> row list
+val print : Format.formatter -> row list -> unit

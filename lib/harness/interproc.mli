@@ -1,0 +1,20 @@
+(** Extension experiment: interprocedural code placement via
+    Pettis–Hansen procedure ordering, on a generated many-procedure
+    program whose code exceeds the I-cache. *)
+
+(** Generate the experiment's minic program: [n_funcs] worker functions
+    plus a skewed dispatcher. *)
+val gen_source : n_funcs:int -> string
+
+type placement = { name : string; icache_misses : int; cycles : int }
+
+type result = {
+  n_funcs : int;
+  total_instrs : int;
+  calls : int;
+  placements : placement list;
+      (** declaration / Pettis–Hansen / hottest-first / adversarial *)
+}
+
+val run : ?n_funcs:int -> ?iterations:int -> unit -> result
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,256 @@
+(** The experiment engine: everything Figures 2–3 and Tables 1, 2 and 4
+    need, for one benchmark × data set.
+
+    For each benchmark and {e testing} data set the runner produces:
+    - Table 1 statistics (branch sites touched, executed branches);
+    - original / greedy / TSP layouts trained on the testing set itself
+      ("self", the paper's Section 4.1 setting) and on the sibling data
+      set ("cross", Section 4.2);
+    - analytic control penalties for all of those plus the Held–Karp
+      lower bound;
+    - full-machine simulated cycle counts (penalties + I-cache) for the
+      original, greedy and TSP programs under both training regimes;
+    - per-stage wall-clock timings (Table 2). *)
+
+open Ba_align
+module Workload = Ba_workloads.Workload
+module Profile = Ba_profile.Profile
+module Cycles = Ba_machine.Cycles
+
+type measurement = {
+  penalty : int;  (** analytic control-penalty cycles on the testing set *)
+  cycles : int;  (** simulated execution cycles on the testing set *)
+  icache_misses : int;
+}
+
+type row = {
+  bench : string;
+  ds : string;  (** testing data set *)
+  train_ds : string;  (** sibling data set used for cross-validation *)
+  n_procs : int;
+  n_blocks : int;
+  branch_sites : int;  (** static CTI blocks *)
+  branch_sites_touched : int;
+  executed_branches : int;
+  original : measurement;
+  greedy_self : measurement;
+  tsp_self : measurement;
+  greedy_cross : measurement;
+  tsp_cross : measurement;
+  lower_bound : int;
+  tsp_exact_procs : int;  (** procedures solved to proven optimality *)
+  stages : Timing.stages;
+}
+
+type config = {
+  penalties : Ba_machine.Penalties.t;
+  tsp : Tsp_align.config;
+  cycles : Cycles.config;
+  hk : Ba_tsp.Held_karp.config;
+}
+
+let default =
+  {
+    penalties = Ba_machine.Penalties.alpha_21164;
+    tsp = Tsp_align.default;
+    cycles = Cycles.default;
+    hk = Ba_tsp.Held_karp.default;
+  }
+
+(** Align every procedure with the TSP method, timing matrix construction
+    and solving separately.  Returns the orders and how many procedures
+    were solved exactly. *)
+let tsp_align_program (cfg : config) (st : Timing.stages) cfgs ~train =
+  let n_exact = ref 0 in
+  let orders =
+    Array.mapi
+      (fun fid g ->
+        let inst, mt =
+          Timing.time (fun () ->
+              Reduction.build cfg.penalties g ~profile:(Profile.proc train fid))
+        in
+        st.Timing.matrix_s <- st.Timing.matrix_s +. mt;
+        let r, sv =
+          Timing.time (fun () -> Tsp_align.solve_instance ~config:cfg.tsp inst)
+        in
+        st.Timing.solve_s <- st.Timing.solve_s +. sv;
+        if r.Tsp_align.exact then incr n_exact;
+        r.Tsp_align.order)
+      cfgs
+  in
+  (orders, !n_exact)
+
+let realize_program (cfg : config) (st : Timing.stages) ~stage cfgs orders
+    ~train =
+  let a, t =
+    Timing.time (fun () ->
+        let orders' = orders in
+        (* Driver.align re-runs the aligner; realize directly instead *)
+        let realized = Array.make (Array.length cfgs) None in
+        let predicted =
+          Array.mapi
+            (fun fid g ->
+              let r, pred =
+                Evaluate.realize cfg.penalties g ~order:orders'.(fid)
+                  ~train:(Profile.proc train fid)
+              in
+              realized.(fid) <- Some r;
+              pred)
+            cfgs
+        in
+        let realized = Array.map Option.get realized in
+        let addr =
+          Ba_machine.Addr.build (Array.map2 (fun g r -> (g, r)) cfgs realized)
+        in
+        {
+          Driver.cfgs;
+          orders = orders';
+          realized;
+          predicted;
+          addr;
+          method_ = Driver.Original;
+        })
+  in
+  (match stage with
+  | `Greedy -> st.Timing.greedy_s <- st.Timing.greedy_s +. t
+  | `Tsp -> st.Timing.tsp_program_s <- st.Timing.tsp_program_s +. t
+  | `Other -> ());
+  a
+
+(** [measure cfg aligned ~test_profile ~run] evaluates one aligned
+    program against the testing workload. *)
+let measure (cfg : config) (aligned : Driver.aligned) ~test_profile ~run :
+    measurement =
+  let penalty = Driver.analytic_penalty cfg.penalties aligned ~test:test_profile in
+  let sim = Driver.simulate ~cycles_config:cfg.cycles cfg.penalties aligned ~run in
+  (* internal consistency: the trace-driven penalty count must equal the
+     analytic one computed from the very profile that trace produces *)
+  if sim.Cycles.penalty_cycles <> penalty then
+    invalid_arg
+      (Printf.sprintf
+         "Runner.measure: simulated penalty %d <> analytic penalty %d"
+         sim.Cycles.penalty_cycles penalty);
+  {
+    penalty;
+    cycles = sim.Cycles.cycles;
+    icache_misses = sim.Cycles.icache_misses;
+  }
+
+(** [run_benchmark ?config w ~test] runs the full experiment for one
+    benchmark on testing data set [test] (training on [test] for the
+    self rows and on the sibling set for the cross rows). *)
+let run_benchmark ?(config = default) (w : Workload.t)
+    ~(test : Workload.dataset) : row =
+  let st = Timing.zero () in
+  let compiled, ct = Timing.time (fun () -> Workload.compile w) in
+  st.Timing.compile_s <- ct;
+  let cfgs = compiled.Ba_minic.Compile.cfgs in
+  let train_ds = Workload.sibling w test in
+  let run_input input sink =
+    ignore (Ba_minic.Compile.run compiled ~input ~sink)
+  in
+  let run_test = run_input test.Workload.input in
+  let test_profile, pt =
+    Timing.time (fun () ->
+        Ba_minic.Compile.profile compiled ~input:test.Workload.input)
+  in
+  st.Timing.profile_s <- pt;
+  let cross_profile =
+    Ba_minic.Compile.profile compiled ~input:train_ds.Workload.input
+  in
+  (* ---- layouts ---- *)
+  let original =
+    realize_program config st ~stage:`Other cfgs
+      (Array.map Ba_cfg.Layout.identity cfgs)
+      ~train:test_profile
+  in
+  let greedy_orders_of train =
+    Array.mapi
+      (fun fid g -> Greedy.align g ~profile:(Profile.proc train fid))
+      cfgs
+  in
+  let greedy_self_orders, gt =
+    Timing.time (fun () -> greedy_orders_of test_profile)
+  in
+  st.Timing.greedy_s <- st.Timing.greedy_s +. gt;
+  let greedy_self =
+    realize_program config st ~stage:`Greedy cfgs greedy_self_orders
+      ~train:test_profile
+  in
+  let tsp_self_orders, n_exact = tsp_align_program config st cfgs ~train:test_profile in
+  let tsp_self =
+    realize_program config st ~stage:`Tsp cfgs tsp_self_orders ~train:test_profile
+  in
+  let greedy_cross =
+    realize_program config st ~stage:`Other cfgs (greedy_orders_of cross_profile)
+      ~train:cross_profile
+  in
+  let tsp_cross_orders, _ = tsp_align_program config st cfgs ~train:cross_profile in
+  let tsp_cross =
+    realize_program config st ~stage:`Other cfgs tsp_cross_orders
+      ~train:cross_profile
+  in
+  (* ---- measurements (always on the testing input) ---- *)
+  let m a = measure config a ~test_profile ~run:run_test in
+  let original_m = m original in
+  let greedy_self_m = m greedy_self in
+  let tsp_self_m = m tsp_self in
+  let greedy_cross_m = m greedy_cross in
+  let tsp_cross_m = m tsp_cross in
+  (* ---- lower bound ---- *)
+  let bound, bt =
+    Timing.time (fun () ->
+        let total = ref 0 in
+        Array.iteri
+          (fun fid g ->
+            let prof = Profile.proc test_profile fid in
+            let upper =
+              Evaluate.proc_penalty config.penalties g
+                ~order:tsp_self_orders.(fid) ~train:prof ~test:prof
+            in
+            total :=
+              !total
+              + Bounds.held_karp ~config:config.hk config.penalties g
+                  ~profile:prof ~upper)
+          cfgs;
+        !total)
+  in
+  st.Timing.bounds_s <- bt;
+  (* ---- table 1 statistics ---- *)
+  let sites = Array.fold_left (fun acc g -> acc + Ba_cfg.Cfg.n_branch_sites g) 0 cfgs in
+  let touched = ref 0 and executed = ref 0 in
+  Array.iteri
+    (fun fid g ->
+      let prof = Profile.proc test_profile fid in
+      touched := !touched + Profile.branch_sites_touched g prof;
+      executed := !executed + Profile.executed_branches g prof)
+    cfgs;
+  {
+    bench = w.Workload.name;
+    ds = test.Workload.ds_name;
+    train_ds = train_ds.Workload.ds_name;
+    n_procs = Array.length cfgs;
+    n_blocks = Array.fold_left (fun acc g -> acc + Ba_cfg.Cfg.n_blocks g) 0 cfgs;
+    branch_sites = sites;
+    branch_sites_touched = !touched;
+    executed_branches = !executed;
+    original = original_m;
+    greedy_self = greedy_self_m;
+    tsp_self = tsp_self_m;
+    greedy_cross = greedy_cross_m;
+    tsp_cross = tsp_cross_m;
+    lower_bound = bound;
+    tsp_exact_procs = n_exact;
+    stages = st;
+  }
+
+(** [run_all ?config ?workloads ()] runs the experiment for every
+    benchmark × data set pair of the given suite (default: the SPEC92
+    stand-ins, in Table 1 order; pass
+    [Ba_workloads.Workload95.all] for the SPEC95 extension suite). *)
+let run_all ?(config = default) ?(workloads = Workload.all) () : row list =
+  List.concat_map
+    (fun w ->
+      List.map (fun ds -> run_benchmark ~config w ~test:ds)
+        (Workload.dataset_list w))
+    workloads

@@ -1,0 +1,48 @@
+(** The experiment engine: everything Figures 2–3 and Tables 1, 2 and 4
+    need, for one benchmark × data set (self-trained and cross-validated
+    layouts, analytic penalties, simulated cycles, lower bounds, stage
+    timings). *)
+
+module Workload = Ba_workloads.Workload
+
+type measurement = {
+  penalty : int;  (** analytic control-penalty cycles on the testing set *)
+  cycles : int;  (** simulated execution cycles on the testing set *)
+  icache_misses : int;
+}
+
+type row = {
+  bench : string;
+  ds : string;  (** testing data set *)
+  train_ds : string;  (** sibling set used for cross-validation *)
+  n_procs : int;
+  n_blocks : int;
+  branch_sites : int;
+  branch_sites_touched : int;
+  executed_branches : int;
+  original : measurement;
+  greedy_self : measurement;
+  tsp_self : measurement;
+  greedy_cross : measurement;
+  tsp_cross : measurement;
+  lower_bound : int;
+  tsp_exact_procs : int;  (** procedures solved to proven optimality *)
+  stages : Timing.stages;
+}
+
+type config = {
+  penalties : Ba_machine.Penalties.t;
+  tsp : Ba_align.Tsp_align.config;
+  cycles : Ba_machine.Cycles.config;
+  hk : Ba_tsp.Held_karp.config;
+}
+
+val default : config
+
+(** Run the full experiment for one benchmark on one testing data set. *)
+val run_benchmark : ?config:config -> Workload.t -> test:Workload.dataset -> row
+
+(** Run the experiment over a whole suite (default: the SPEC92
+    stand-ins; pass [Ba_workloads.Workload95.all] for the extension
+    suite). *)
+val run_all : ?config:config -> ?workloads:Workload.t list -> unit -> row list

@@ -1,0 +1,113 @@
+(** Synthetic procedure corpus for the appendix and ablation studies.
+
+    The paper's bound-gap statistics are computed over the procedures of
+    a whole benchmark (179 procedures in esp.tl).  Our minic workloads
+    are single-digit procedure counts, so the corpus is topped up with
+    randomly generated — but structurally CFG-shaped — procedures plus a
+    random-walk profile, giving the gap statistics a comparable
+    population.  Generation is deterministic per seed. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+(** [cfg rng ~n] builds a random valid CFG (same generator family as the
+    test suite: forward-biased targets with occasional back edges). *)
+let cfg rng ~n =
+  let pick_target i =
+    if Random.State.int rng 4 = 0 then Random.State.int rng n
+    else min (n - 1) (i + 1 + Random.State.int rng (max 1 (n - i)))
+  in
+  let blocks =
+    Array.init n (fun i ->
+        let size = 1 + Random.State.int rng 12 in
+        let term =
+          if i = n - 1 then Block.Exit
+          else
+            match Random.State.int rng 10 with
+            | 0 -> Block.Exit
+            | 1 | 2 | 3 -> Block.Goto (pick_target i)
+            | 4 | 5 | 6 | 7 | 8 ->
+                Block.Branch { t = pick_target i; f = pick_target i }
+            | _ ->
+                Block.Multiway
+                  (Array.init (2 + Random.State.int rng 3) (fun _ -> pick_target i))
+        in
+        Block.make ~id:i ~size term)
+  in
+  Cfg.make ~name:(Printf.sprintf "syn%d" n) ~entry:0 blocks
+
+(** [profile rng g ~invocations ~max_steps] profiles random walks through
+    [g] with skewed successor choice (hot paths exist, like real code). *)
+let profile rng (g : Cfg.t) ~invocations ~max_steps : Profile.proc =
+  let n = Cfg.n_blocks g in
+  (* per-block fixed successor bias so the same branch leans the same way
+     on every visit, like real branches do *)
+  let bias = Array.init n (fun _ -> Random.State.int rng 100) in
+  let counts = Array.init n (fun _ -> Hashtbl.create 4) in
+  for _ = 1 to invocations do
+    let cur = ref g.Cfg.entry and steps = ref 0 and stop = ref false in
+    while not !stop do
+      incr steps;
+      let succs = Cfg.successors g !cur in
+      if succs = [] || !steps >= max_steps then stop := true
+      else begin
+        let k = List.length succs in
+        let pick =
+          (* 85% of the time follow the block's biased favourite *)
+          if Random.State.int rng 100 < 85 then bias.(!cur) mod k
+          else Random.State.int rng k
+        in
+        let next = List.nth succs pick in
+        let tbl = counts.(!cur) in
+        Hashtbl.replace tbl next
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl next));
+        cur := next
+      end
+    done
+  done;
+  {
+    Profile.freqs =
+      Array.map
+        (fun tbl ->
+          Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+          |> List.sort compare |> Array.of_list)
+        counts;
+  }
+
+(** One synthetic alignment instance. *)
+type instance = { name : string; g : Cfg.t; prof : Profile.proc }
+
+(** [corpus ?seed ~sizes ~per_size ()] generates the instance corpus. *)
+let corpus ?(seed = 97) ~(sizes : int list) ~per_size () : instance list =
+  let rng = Random.State.make [| seed |] in
+  List.concat_map
+    (fun n ->
+      List.init per_size (fun k ->
+          let g = cfg rng ~n in
+          let prof = profile rng g ~invocations:(40 + Random.State.int rng 60) ~max_steps:200 in
+          { name = Printf.sprintf "syn-n%d-%d" n k; g; prof }))
+    sizes
+
+(** Instances from the real workloads: every procedure of every
+    benchmark, profiled on its first data set. *)
+let workload_instances () : instance list =
+  List.concat_map
+    (fun w ->
+      let compiled = Ba_workloads.Workload.compile w in
+      let ds = fst w.Ba_workloads.Workload.datasets in
+      let prof =
+        Ba_minic.Compile.profile compiled ~input:ds.Ba_workloads.Workload.input
+      in
+      Array.to_list
+        (Array.mapi
+           (fun fid g ->
+             {
+               name =
+                 Printf.sprintf "%s.%s/%s" w.Ba_workloads.Workload.name
+                   ds.Ba_workloads.Workload.ds_name
+                   compiled.Ba_minic.Compile.names.(fid);
+               g;
+               prof = Profile.proc prof fid;
+             })
+           compiled.Ba_minic.Compile.cfgs))
+    Ba_workloads.Workload.all

@@ -1,0 +1,23 @@
+(** Synthetic procedure corpus for the appendix and ablation studies:
+    random but structurally CFG-shaped procedures with skewed
+    random-walk profiles, plus instances extracted from the real
+    workloads.  Deterministic per seed. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+(** Random valid CFG with [n] blocks. *)
+val cfg : Random.State.t -> n:int -> Cfg.t
+
+(** Skewed random-walk profile of a CFG. *)
+val profile :
+  Random.State.t -> Cfg.t -> invocations:int -> max_steps:int -> Profile.proc
+
+type instance = { name : string; g : Cfg.t; prof : Profile.proc }
+
+(** [corpus ~sizes ~per_size ()] generates the synthetic corpus. *)
+val corpus : ?seed:int -> sizes:int list -> per_size:int -> unit -> instance list
+
+(** Every procedure of every SPEC92 workload, profiled on its first data
+    set. *)
+val workload_instances : unit -> instance list

@@ -1,0 +1,31 @@
+(** Wall-clock stage timing for the Table 2 reproduction. *)
+
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(** Stage timings of one benchmark compilation+alignment pipeline,
+    mirroring the paper's Table 2 columns (see EXPERIMENTS.md for the
+    mapping). *)
+type stages = {
+  mutable compile_s : float;  (** source → IR + CFG shapes *)
+  mutable profile_s : float;  (** training profiling run *)
+  mutable greedy_s : float;  (** greedy layout + realization *)
+  mutable matrix_s : float;  (** DTSP matrix construction *)
+  mutable solve_s : float;  (** DTSP solving *)
+  mutable tsp_program_s : float;  (** tour → layout + realization *)
+  mutable bounds_s : float;  (** Held–Karp lower bounds (analysis only) *)
+}
+
+let zero () =
+  {
+    compile_s = 0.;
+    profile_s = 0.;
+    greedy_s = 0.;
+    matrix_s = 0.;
+    solve_s = 0.;
+    tsp_program_s = 0.;
+    bounds_s = 0.;
+  }

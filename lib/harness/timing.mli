@@ -1,0 +1,17 @@
+(** Wall-clock stage timing for the Table 2 reproduction. *)
+
+(** Run a thunk, returning its result and elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** Stage timings of one benchmark pipeline (Table 2 columns). *)
+type stages = {
+  mutable compile_s : float;
+  mutable profile_s : float;
+  mutable greedy_s : float;
+  mutable matrix_s : float;
+  mutable solve_s : float;
+  mutable tsp_program_s : float;
+  mutable bounds_s : float;
+}
+
+val zero : unit -> stages

@@ -1,0 +1,67 @@
+(** Address assignment for realized layouts.
+
+    Procedures are placed one after another in procedure-id order
+    (intraprocedural alignment does not reorder procedures; the paper
+    leaves interprocedural placement to future work).  Within a
+    procedure, blocks and fixup jumps are placed in item order.  All
+    addresses are in instruction units; multiply by
+    [Icache.config.instr_bytes] for byte addresses. *)
+
+open Ba_cfg
+
+type proc = {
+  block_addr : int array;  (** start address of each block, by label *)
+  block_len : int array;
+      (** instructions occupied by the block: body + realized terminator *)
+  fixup_addr : int option array;
+      (** address of the fixup jump inserted after block [l], if any *)
+  code_end : int;  (** first address after this procedure *)
+}
+
+type t = {
+  procs : proc array;
+  total_instrs : int;  (** total code size of the program in instructions *)
+}
+
+(** [build ?proc_order layouts] assigns addresses to every block and
+    fixup jump.  [layouts.(fid)] pairs each procedure's CFG with its
+    realized layout.  Procedures are placed in [proc_order] (a
+    permutation of the ids; defaults to id order — see
+    [Ba_align.Proc_order] for the Pettis–Hansen ordering). *)
+let build ?proc_order (layouts : (Cfg.t * Layout.realized) array) : t =
+  let n = Array.length layouts in
+  let proc_order =
+    match proc_order with
+    | None -> Array.init n (fun i -> i)
+    | Some o ->
+        if Array.length o <> n then invalid_arg "Addr.build: bad proc order";
+        o
+  in
+  let cursor = ref 0 in
+  let assign ((g : Cfg.t), (r : Layout.realized)) =
+        let n = Cfg.n_blocks g in
+        let block_addr = Array.make n (-1) in
+        let block_len = Array.make n 0 in
+        let fixup_addr = Array.make n None in
+        Array.iter
+          (fun item ->
+            match item with
+            | Layout.I_block l ->
+                let len =
+                  (Cfg.block g l).Block.size + Layout.rterm_instrs r.Layout.terms.(l)
+                in
+                block_addr.(l) <- !cursor;
+                block_len.(l) <- len;
+                cursor := !cursor + len
+            | Layout.I_fixup { src; _ } ->
+                fixup_addr.(src) <- Some !cursor;
+                cursor := !cursor + 1)
+          r.Layout.items;
+        { block_addr; block_len; fixup_addr; code_end = !cursor }
+  in
+  (* assign in placement order, but keep the result indexed by fid *)
+  let procs = Array.make n None in
+  Array.iter
+    (fun fid -> procs.(fid) <- Some (assign layouts.(fid)))
+    proc_order;
+  { procs = Array.map Option.get procs; total_instrs = !cursor }

@@ -1,0 +1,25 @@
+(** Address assignment for realized layouts.  Addresses are in
+    instruction units; multiply by [Icache.config.instr_bytes] for
+    bytes. *)
+
+open Ba_cfg
+
+type proc = {
+  block_addr : int array;  (** start address of each block, by label *)
+  block_len : int array;  (** body + realized terminator instructions *)
+  fixup_addr : int option array;
+      (** address of the fixup jump inserted after block [l], if any *)
+  code_end : int;  (** first address after this procedure *)
+}
+
+type t = {
+  procs : proc array;  (** indexed by procedure id *)
+  total_instrs : int;  (** total program code size in instructions *)
+}
+
+(** [build ?proc_order layouts] assigns addresses to every block and
+    fixup jump; [layouts.(fid)] pairs each procedure's CFG with its
+    realized layout.  Procedures are placed in [proc_order] (defaults to
+    id order; see [Ba_align.Proc_order]).
+    @raise Invalid_argument if [proc_order] has the wrong length. *)
+val build : ?proc_order:int array -> (Cfg.t * Layout.realized) array -> t

@@ -1,0 +1,164 @@
+(** The block-cost function: the single source of truth shared by the
+    DTSP reduction, the analytic penalty evaluator, and the pipeline
+    simulator.
+
+    Section 2.2 of the paper defines the cost of laying block [X]
+    immediately after block [B] as
+
+    {v cost(B,X) = C_BX·p_NN + I_BX·p_TN + Σ_{B'≠X} (C_BB'·p_TT + I_BB'·p_NT) v}
+
+    where [C]/[I] are the correctly/incorrectly predicted transfer counts.
+    Under per-branch static prediction (always predict the most common CFG
+    successor observed during training) this specializes to the per-kind
+    penalties of {!Penalties}.  Fixup unconditional jumps — inserted when
+    neither arm of a conditional is the layout successor — count as extra
+    [uncond_taken] cycles on the arm routed through them, and the cheaper
+    of the two possible routings is chosen (DESIGN.md §6). *)
+
+open Ba_cfg
+
+(** Classification of a single dynamic control transfer, for counter
+    breakdowns. *)
+type kind =
+  | K_fall  (** straight-line execution, no CTI *)
+  | K_uncond  (** unconditional jump (including fixup jumps) *)
+  | K_cond_fall  (** conditional falls through, correctly predicted *)
+  | K_cond_taken  (** conditional taken, correctly predicted: misfetch *)
+  | K_cond_mispredict  (** conditional mispredict *)
+  | K_multi_correct  (** indirect branch to predicted target *)
+  | K_multi_mispredict  (** indirect branch elsewhere *)
+
+let kind_to_string = function
+  | K_fall -> "fall"
+  | K_uncond -> "uncond"
+  | K_cond_fall -> "cond-fall"
+  | K_cond_taken -> "cond-taken"
+  | K_cond_mispredict -> "cond-mispredict"
+  | K_multi_correct -> "multi-correct"
+  | K_multi_mispredict -> "multi-mispredict"
+
+(** [effective_prediction rt ~predicted] resolves the statically predicted
+    destination for a realized conditional or indirect branch.  A missing
+    or stale prediction (block never executed during training) defaults to
+    the fall-through arm for conditionals and to the first table entry for
+    indirect branches — the classic forward-not-taken static default. *)
+let effective_prediction (rt : Layout.rterm) ~(predicted : int option) =
+  match rt with
+  | Layout.R_cond { taken; fall; _ } -> (
+      match predicted with
+      | Some x when x = taken || x = fall -> x
+      | _ -> fall)
+  | Layout.R_multi { targets } -> (
+      match predicted with
+      | Some x when Array.exists (Int.equal x) targets -> x
+      | _ -> targets.(0))
+  | _ -> invalid_arg "Cost.effective_prediction: not a predicted branch"
+
+(** [transfer p rt ~predicted ~dest] is the kind and the penalty in cycles
+    of one dynamic transfer to [dest] through realized terminator [rt],
+    given the statically predicted successor [predicted].
+
+    For a fixup-routed conditional fall arm, the penalty includes the
+    inserted jump's [uncond_taken] cycles; the mispredict/fall-correct
+    classification refers to the conditional itself.
+
+    @raise Invalid_argument if [dest] is not a destination of [rt], or if
+    [rt] is [R_exit]. *)
+let transfer (p : Penalties.t) (rt : Layout.rterm) ~(predicted : int option)
+    ~(dest : int) : kind * int =
+  match rt with
+  | Layout.R_fall l ->
+      if dest <> l then invalid_arg "Cost.transfer: fall to wrong block";
+      (K_fall, 0)
+  | Layout.R_jump l ->
+      if dest <> l then invalid_arg "Cost.transfer: jump to wrong block";
+      (K_uncond, p.uncond_taken)
+  | Layout.R_exit -> invalid_arg "Cost.transfer: transfer out of exit block"
+  | Layout.R_cond { taken; fall; via_fixup } ->
+      let pred = effective_prediction rt ~predicted in
+      if dest = taken then
+        if pred = taken then (K_cond_taken, p.cond_taken_correct)
+        else (K_cond_mispredict, p.cond_mispredict)
+      else if dest = fall then
+        let fixup_extra = if via_fixup then p.uncond_taken else 0 in
+        if pred = fall then (K_cond_fall, p.cond_fall_correct + fixup_extra)
+        else (K_cond_mispredict, p.cond_mispredict + fixup_extra)
+      else invalid_arg "Cost.transfer: conditional to non-successor"
+  | Layout.R_multi { targets } ->
+      if not (Array.exists (Int.equal dest) targets) then
+        invalid_arg "Cost.transfer: multiway to non-successor";
+      let pred = effective_prediction rt ~predicted in
+      if dest = pred then (K_multi_correct, p.multi_correct)
+      else (K_multi_mispredict, p.multi_mispredict)
+
+(** [transfer_penalty] is [snd (transfer ...)]. *)
+let transfer_penalty p rt ~predicted ~dest = snd (transfer p rt ~predicted ~dest)
+
+(** [rterm_cost p rt ~predicted ~freqs] is the total penalty in cycles of
+    executing realized terminator [rt] with the given per-destination
+    transfer counts: [Σ freq(d) × transfer_penalty d].  Destinations with
+    zero frequency contribute nothing.  [freqs] may aggregate duplicate
+    multiway targets; keys must be CFG successors. *)
+let rterm_cost p (rt : Layout.rterm) ~(predicted : int option)
+    ~(freqs : (int * int) array) : int =
+  match rt with
+  | Layout.R_exit -> 0
+  | _ ->
+      Array.fold_left
+        (fun acc (dest, n) ->
+          if n = 0 then acc
+          else acc + (n * transfer_penalty p rt ~predicted ~dest))
+        0 freqs
+
+(** [realize_term p term ~succ ~predicted ~freqs] decides how to implement
+    [term] when its layout successor is [succ] ([None] at the end of the
+    layout), using the {e training} profile ([predicted], [freqs]) to pick
+    the cheaper fixup arrangement when neither conditional arm is the
+    layout successor.  The resulting realized terminator can then be
+    costed against a different (testing) profile for cross-validation. *)
+let realize_term p (term : Block.terminator) ~(succ : int option)
+    ~(predicted : int option) ~(freqs : (int * int) array) : Layout.rterm =
+  match term with
+  | Block.Exit -> Layout.R_exit
+  | Block.Goto l -> (
+      match succ with
+      | Some s when s = l -> Layout.R_fall l
+      | _ -> Layout.R_jump l)
+  | Block.Branch { t; f } -> (
+      match succ with
+      | Some s when s = t -> Layout.R_cond { taken = f; fall = t; via_fixup = false }
+      | Some s when s = f -> Layout.R_cond { taken = t; fall = f; via_fixup = false }
+      | _ ->
+          (* Neither arm follows in the layout: one arm takes the branch
+             directly, the other goes through an inserted jump.  Choose
+             the arrangement that is cheaper under the training profile. *)
+          let a = Layout.R_cond { taken = t; fall = f; via_fixup = true } in
+          let b = Layout.R_cond { taken = f; fall = t; via_fixup = true } in
+          if rterm_cost p a ~predicted ~freqs <= rterm_cost p b ~predicted ~freqs
+          then a
+          else b)
+  | Block.Multiway ts -> Layout.R_multi { targets = ts }
+
+(** [edge_cost p term ~succ ~predicted ~freqs] is the same-profile cost of
+    giving the block layout successor [succ]: realize with the profile,
+    then cost with the same profile.  This is exactly the DTSP edge weight
+    of Section 2.2. *)
+let edge_cost p term ~succ ~predicted ~freqs =
+  let rt = realize_term p term ~succ ~predicted ~freqs in
+  rterm_cost p rt ~predicted ~freqs
+
+(** [realize p g ~order ~predicted ~freqs] realizes a whole layout:
+    chooses each block's realized terminator given its layout successor
+    and the training profile, and materializes the item sequence
+    (including fixup jumps).  [predicted.(l)] and [freqs l] give the
+    training prediction and transfer counts of block [l]. *)
+let realize p (g : Cfg.t) ~(order : Layout.order)
+    ~(predicted : int option array) ~(freqs : int -> (int * int) array) :
+    Layout.realized =
+  let lsucc = Layout.layout_successor order in
+  let terms =
+    Array.init (Cfg.n_blocks g) (fun l ->
+        realize_term p (Cfg.block g l).Block.term ~succ:lsucc.(l)
+          ~predicted:predicted.(l) ~freqs:(freqs l))
+  in
+  { Layout.order; terms; items = Layout.build_items order terms }

@@ -1,0 +1,77 @@
+(** The block-cost function: the single source of truth shared by the
+    DTSP reduction, the analytic penalty evaluator and the pipeline
+    simulator (Section 2.2 of the paper; fixup jumps included, with the
+    cheaper of the two possible fixup routings chosen). *)
+
+open Ba_cfg
+
+(** Classification of a single dynamic control transfer. *)
+type kind =
+  | K_fall
+  | K_uncond
+  | K_cond_fall
+  | K_cond_taken
+  | K_cond_mispredict
+  | K_multi_correct
+  | K_multi_mispredict
+
+val kind_to_string : kind -> string
+
+(** Resolve the statically predicted destination of a realized
+    conditional or indirect branch; a missing/stale prediction defaults
+    to the fall arm (conditionals) or the first table entry (indirect).
+    @raise Invalid_argument on other terminators. *)
+val effective_prediction : Layout.rterm -> predicted:int option -> int
+
+(** [transfer p rt ~predicted ~dest] is the kind and penalty cycles of
+    one dynamic transfer to [dest] through [rt] given the static
+    prediction.  Fixup-routed fall arms include the inserted jump's
+    cost.
+    @raise Invalid_argument if [dest] is not a destination of [rt]. *)
+val transfer :
+  Penalties.t -> Layout.rterm -> predicted:int option -> dest:int -> kind * int
+
+(** [snd (transfer ...)]. *)
+val transfer_penalty :
+  Penalties.t -> Layout.rterm -> predicted:int option -> dest:int -> int
+
+(** Total penalty of a realized terminator against per-destination
+    transfer counts: [Σ freq(d) × transfer_penalty d]. *)
+val rterm_cost :
+  Penalties.t ->
+  Layout.rterm ->
+  predicted:int option ->
+  freqs:(int * int) array ->
+  int
+
+(** [realize_term p term ~succ ~predicted ~freqs] decides how to
+    implement [term] given layout successor [succ] ([None] at the end of
+    the layout), choosing the cheaper fixup arrangement under the
+    training profile. *)
+val realize_term :
+  Penalties.t ->
+  Block.terminator ->
+  succ:int option ->
+  predicted:int option ->
+  freqs:(int * int) array ->
+  Layout.rterm
+
+(** Same-profile cost of giving the block layout successor [succ] — the
+    DTSP edge weight of Section 2.2. *)
+val edge_cost :
+  Penalties.t ->
+  Block.terminator ->
+  succ:int option ->
+  predicted:int option ->
+  freqs:(int * int) array ->
+  int
+
+(** Realize a whole layout against a training profile ([predicted.(l)]
+    and [freqs l] give block [l]'s prediction and transfer counts). *)
+val realize :
+  Penalties.t ->
+  Cfg.t ->
+  order:Layout.order ->
+  predicted:int option array ->
+  freqs:(int -> (int * int) array) ->
+  Layout.realized

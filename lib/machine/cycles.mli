@@ -1,0 +1,35 @@
+(** End-to-end execution-time model: issue slots + control penalties +
+    I-cache misses + call overhead — the stand-in for the paper's
+    AlphaStation wall-clock measurements. *)
+
+open Ba_cfg
+
+type config = {
+  icache : Icache.config;
+  call_overhead : int;  (** cycles per call/return pair *)
+}
+
+val default : config
+
+type result = {
+  instrs : int;  (** instructions issued, fixup jumps included *)
+  penalty_cycles : int;
+  icache_misses : int;
+  icache_accesses : int;
+  calls : int;
+  cycles : int;  (** total modelled cycles *)
+  counters : Pipeline.counters;  (** full penalty breakdown *)
+}
+
+(** [make_sink ?config p ~cfgs ~ctxs ~addr] simulates the whole machine;
+    feed the trace into the sink, then call the accessor.
+    @raise Invalid_argument on inconsistent program descriptions. *)
+val make_sink :
+  ?config:config ->
+  Penalties.t ->
+  cfgs:Cfg.t array ->
+  ctxs:Pipeline.proc_ctx array ->
+  addr:Addr.t ->
+  Trace.sink * (unit -> result)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,121 @@
+(** Trace-driven penalty simulation under {e dynamic} branch prediction.
+
+    The static model ({!Pipeline}) charges penalties against per-branch
+    static predictions derived from the training profile; this simulator
+    instead runs the realized program through {!Predictor} hardware.
+    Branch identities are their instruction addresses under the layout's
+    {!Addr} map, so two alignments of the same program can differ not
+    only in taken/fall-through mix but also in BHT/BTB aliasing — the
+    effect the paper's footnote 6 anticipates.
+
+    Penalty mapping (same {!Penalties} cycles as the static model):
+    - conditional predicted correctly: fall-through free, taken pays the
+      misfetch;
+    - conditional mispredicted: full mispredict cost, either direction;
+    - fixup-routed fall arms additionally pay the inserted jump;
+    - indirect branch: BTB hit with the right target pays
+      [multi_correct], anything else [multi_mispredict];
+    - unconditional jumps always pay [uncond_taken]. *)
+
+open Ba_cfg
+
+type counters = {
+  mutable transfers : int;
+  mutable penalty_cycles : int;
+  mutable cond_mispredicts : int;
+  mutable cond_correct : int;
+  mutable btb_misses : int;
+  mutable btb_hits : int;
+}
+
+let create_counters () =
+  {
+    transfers = 0;
+    penalty_cycles = 0;
+    cond_mispredicts = 0;
+    cond_correct = 0;
+    btb_misses = 0;
+    btb_hits = 0;
+  }
+
+(** [branch_addr pa ~bid] is the address of the CTI ending block [bid]:
+    its last instruction slot. *)
+let branch_addr (pa : Addr.proc) ~bid =
+  pa.Addr.block_addr.(bid) + (max 0 (pa.Addr.block_len.(bid) - 1))
+
+(** [record c p pred ~pa ~terms ~src ~dst] accounts one transfer under
+    dynamic prediction. *)
+let record (c : counters) (p : Penalties.t) (pred : Predictor.t)
+    ~(pa : Addr.proc) ~(terms : Layout.rterm array) ~src ~dst =
+  c.transfers <- c.transfers + 1;
+  let cycles =
+    match terms.(src) with
+    | Layout.R_fall l ->
+        if dst <> l then invalid_arg "Dynamic: fall to wrong block";
+        0
+    | Layout.R_jump l ->
+        if dst <> l then invalid_arg "Dynamic: jump to wrong block";
+        p.Penalties.uncond_taken
+    | Layout.R_exit -> invalid_arg "Dynamic: transfer out of exit"
+    | Layout.R_cond { taken; fall; via_fixup } ->
+        let addr = branch_addr pa ~bid:src in
+        let actual_taken = dst = taken in
+        if (not actual_taken) && dst <> fall then
+          invalid_arg "Dynamic: conditional to non-successor";
+        let predicted_taken = Predictor.predict_taken pred ~addr in
+        Predictor.update_cond pred ~addr ~taken:actual_taken;
+        let fixup_extra =
+          if (not actual_taken) && via_fixup then p.Penalties.uncond_taken else 0
+        in
+        if predicted_taken = actual_taken then begin
+          c.cond_correct <- c.cond_correct + 1;
+          (if actual_taken then p.Penalties.cond_taken_correct
+           else p.Penalties.cond_fall_correct)
+          + fixup_extra
+        end
+        else begin
+          c.cond_mispredicts <- c.cond_mispredicts + 1;
+          p.Penalties.cond_mispredict + fixup_extra
+        end
+    | Layout.R_multi { targets } ->
+        if not (Array.exists (Int.equal dst) targets) then
+          invalid_arg "Dynamic: multiway to non-successor";
+        let addr = branch_addr pa ~bid:src in
+        let target_addr = pa.Addr.block_addr.(dst) in
+        let hit =
+          match Predictor.btb_lookup pred ~addr with
+          | Some t -> t = target_addr
+          | None -> false
+        in
+        Predictor.btb_update pred ~addr ~target:target_addr;
+        if hit then begin
+          c.btb_hits <- c.btb_hits + 1;
+          p.Penalties.multi_correct
+        end
+        else begin
+          c.btb_misses <- c.btb_misses + 1;
+          p.Penalties.multi_mispredict
+        end
+  in
+  c.penalty_cycles <- c.penalty_cycles + cycles
+
+(** [make_sink ?config p ~realized ~addr] builds a trace sink simulating
+    dynamic prediction over the whole program (one predictor shared by
+    all procedures, like real hardware).  Returns live counters and the
+    sink. *)
+let make_sink ?(config = Predictor.default) (p : Penalties.t)
+    ~(realized : Layout.realized array) ~(addr : Addr.t) :
+    counters * Trace.sink =
+  let c = create_counters () in
+  let pred = Predictor.create config in
+  let sink =
+    Trace.invocation_walker
+      ~on_block:(fun ~fid ~bid ~prev ->
+        match prev with
+        | None -> ()
+        | Some src ->
+            record c p pred ~pa:addr.Addr.procs.(fid)
+              ~terms:realized.(fid).Layout.terms ~src ~dst:bid)
+      ()
+  in
+  (c, sink)

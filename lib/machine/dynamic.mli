@@ -1,0 +1,41 @@
+(** Trace-driven penalty simulation under {e dynamic} branch prediction
+    (BHT + BTB), with branch identities taken from the layout's address
+    map — so alignment also changes predictor aliasing (the paper's
+    footnote 6). *)
+
+open Ba_cfg
+
+type counters = {
+  mutable transfers : int;
+  mutable penalty_cycles : int;
+  mutable cond_mispredicts : int;
+  mutable cond_correct : int;
+  mutable btb_misses : int;
+  mutable btb_hits : int;
+}
+
+val create_counters : unit -> counters
+
+(** Address of the CTI ending block [bid]: its last instruction slot. *)
+val branch_addr : Addr.proc -> bid:int -> int
+
+(** Account one transfer under dynamic prediction.
+    @raise Invalid_argument on impossible transfers. *)
+val record :
+  counters ->
+  Penalties.t ->
+  Predictor.t ->
+  pa:Addr.proc ->
+  terms:Layout.rterm array ->
+  src:int ->
+  dst:int ->
+  unit
+
+(** [make_sink ?config p ~realized ~addr] simulates dynamic prediction
+    over the whole program (one predictor shared by all procedures). *)
+val make_sink :
+  ?config:Predictor.config ->
+  Penalties.t ->
+  realized:Layout.realized array ->
+  addr:Addr.t ->
+  counters * Trace.sink

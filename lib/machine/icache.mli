@@ -1,0 +1,34 @@
+(** Direct-mapped instruction-cache simulator — supplies the "unmodeled
+    caching benefits" term the paper measured with IPROBE (Section 4.1).
+    The default geometry is the Alpha 21164 L1 I-cache. *)
+
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  instr_bytes : int;  (** bytes per instruction (4 on Alpha) *)
+  miss_penalty : int;  (** cycles per miss *)
+}
+
+(** 8 KB, direct-mapped, 32-byte lines, 10-cycle miss. *)
+val alpha_l1 : config
+
+type t
+
+(** @raise Invalid_argument on non-positive or misaligned geometry. *)
+val create : config -> t
+
+(** Clear contents and counters. *)
+val reset : t -> unit
+
+(** [touch_line c ~line] accesses one line; [true] on a miss. *)
+val touch_line : t -> line:int -> bool
+
+(** [touch_range c ~addr ~ninstr] fetches [ninstr] instructions starting
+    at instruction address [addr]; returns the number of line misses. *)
+val touch_range : t -> addr:int -> ninstr:int -> int
+
+val accesses : t -> int
+val misses : t -> int
+
+(** Miss ratio over all accesses so far (0 when idle). *)
+val miss_ratio : t -> float

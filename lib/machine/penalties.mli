@@ -1,0 +1,32 @@
+(** Control-penalty machine model (the paper's Table 3).
+
+    Penalties in cycles per dynamic control transfer, by CTI kind and
+    prediction outcome.  The default models the paper's Alpha 21164:
+    1-cycle misfetch on correctly predicted taken branches, 5-cycle
+    conditional mispredict, 2-cycle unconditional jump, 1/3 cycles for
+    indirect branches (predicted / other target). *)
+
+type t = {
+  uncond_taken : int;  (** unconditional jump: issue + misfetch *)
+  cond_fall_correct : int;  (** p_NN: falls through, predicted not-taken *)
+  cond_taken_correct : int;  (** p_TT: taken, predicted taken (misfetch) *)
+  cond_mispredict : int;  (** p_NT = p_TN, any layout *)
+  multi_correct : int;  (** indirect branch to its predicted target *)
+  multi_mispredict : int;  (** indirect branch to any other successor *)
+}
+
+(** The Alpha 21164 model used throughout the paper's evaluation. *)
+val alpha_21164 : t
+
+(** Deeper-pipeline variant (double mispredict cost), for ablations. *)
+val deep_pipeline : t
+
+(** Free taken branches: alignment then only fights mispredicts and
+    inserted jumps.  For tests and ablations. *)
+val free_fetch : t
+
+(** Rows of the paper's Table 3:
+    (block-ending control event, penalty cycles, formulaic term). *)
+val table_rows : t -> (string * int * string) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+(** Trace-driven pipeline penalty simulator.
+
+    Replays an execution trace against a realized layout and counts the
+    control-penalty cycles event by event, using exactly the same
+    {!Cost.transfer} function as the analytic model.  On matching
+    training/testing data the simulated total equals the analytic total
+    (a property the test suite asserts); its value is that it validates
+    the analytic model and supplies per-kind breakdowns. *)
+
+open Ba_cfg
+
+(** Per-procedure context: how each block's terminator was realized and
+    which successor the static predictor favours. *)
+type proc_ctx = {
+  terms : Layout.rterm array;
+  predicted : int option array;
+}
+
+(** [ctx_of_realized r ~predicted] packages a realized layout. *)
+let ctx_of_realized (r : Layout.realized) ~predicted =
+  { terms = r.Layout.terms; predicted }
+
+let n_kinds = 7
+
+let kind_index : Cost.kind -> int = function
+  | Cost.K_fall -> 0
+  | Cost.K_uncond -> 1
+  | Cost.K_cond_fall -> 2
+  | Cost.K_cond_taken -> 3
+  | Cost.K_cond_mispredict -> 4
+  | Cost.K_multi_correct -> 5
+  | Cost.K_multi_mispredict -> 6
+
+let all_kinds =
+  Cost.
+    [
+      K_fall;
+      K_uncond;
+      K_cond_fall;
+      K_cond_taken;
+      K_cond_mispredict;
+      K_multi_correct;
+      K_multi_mispredict;
+    ]
+
+type counters = {
+  mutable transfers : int;  (** intra-invocation control transfers seen *)
+  mutable penalty_cycles : int;  (** total penalty cycles *)
+  by_kind_count : int array;  (** transfer count per {!Cost.kind} *)
+  by_kind_cycles : int array;  (** penalty cycles per {!Cost.kind} *)
+  per_proc_cycles : int array;  (** penalty cycles per procedure *)
+  mutable fixup_transfers : int;
+      (** transfers that ran through an inserted fixup jump *)
+}
+
+let create_counters ~n_procs =
+  {
+    transfers = 0;
+    penalty_cycles = 0;
+    by_kind_count = Array.make n_kinds 0;
+    by_kind_cycles = Array.make n_kinds 0;
+    per_proc_cycles = Array.make n_procs 0;
+    fixup_transfers = 0;
+  }
+
+(** [record c p ctxs ~fid ~src ~dst] accounts one intraprocedural transfer
+    from block [src] to block [dst] of procedure [fid]. *)
+let record (c : counters) (p : Penalties.t) (ctxs : proc_ctx array) ~fid ~src
+    ~dst =
+  let ctx = ctxs.(fid) in
+  let rt = ctx.terms.(src) in
+  let kind, cycles = Cost.transfer p rt ~predicted:ctx.predicted.(src) ~dest:dst in
+  let ki = kind_index kind in
+  c.transfers <- c.transfers + 1;
+  c.penalty_cycles <- c.penalty_cycles + cycles;
+  c.by_kind_count.(ki) <- c.by_kind_count.(ki) + 1;
+  c.by_kind_cycles.(ki) <- c.by_kind_cycles.(ki) + cycles;
+  c.per_proc_cycles.(fid) <- c.per_proc_cycles.(fid) + cycles;
+  match rt with
+  | Layout.R_cond { fall; via_fixup = true; _ } when dst = fall ->
+      c.fixup_transfers <- c.fixup_transfers + 1
+  | _ -> ()
+
+(** [make_sink p ctxs] builds a trace sink that accumulates penalty
+    counters for a program whose procedure [fid] runs under
+    [ctxs.(fid)].  Returns the (live) counters and the sink. *)
+let make_sink (p : Penalties.t) (ctxs : proc_ctx array) :
+    counters * Trace.sink =
+  let c = create_counters ~n_procs:(Array.length ctxs) in
+  let sink =
+    Trace.invocation_walker
+      ~on_block:(fun ~fid ~bid ~prev ->
+        match prev with
+        | None -> ()
+        | Some src -> record c p ctxs ~fid ~src ~dst:bid)
+      ()
+  in
+  (c, sink)
+
+let pp_counters ppf c =
+  Fmt.pf ppf "@[<v>transfers: %d, penalty cycles: %d, via fixup: %d@,"
+    c.transfers c.penalty_cycles c.fixup_transfers;
+  List.iter
+    (fun k ->
+      let i = kind_index k in
+      if c.by_kind_count.(i) > 0 then
+        Fmt.pf ppf "%-18s %10d transfers %10d cycles@," (Cost.kind_to_string k)
+          c.by_kind_count.(i) c.by_kind_cycles.(i))
+    all_kinds;
+  Fmt.pf ppf "@]"

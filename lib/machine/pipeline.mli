@@ -1,0 +1,39 @@
+(** Trace-driven pipeline penalty simulator under static prediction —
+    event-by-event counting with the same {!Cost.transfer} function as
+    the analytic model, so on matching training/testing data the
+    simulated total equals the analytic total. *)
+
+open Ba_cfg
+
+(** Per-procedure context: realized terminators + static predictions. *)
+type proc_ctx = {
+  terms : Layout.rterm array;
+  predicted : int option array;
+}
+
+val ctx_of_realized : Layout.realized -> predicted:int option array -> proc_ctx
+
+val n_kinds : int
+val kind_index : Cost.kind -> int
+val all_kinds : Cost.kind list
+
+type counters = {
+  mutable transfers : int;
+  mutable penalty_cycles : int;
+  by_kind_count : int array;
+  by_kind_cycles : int array;
+  per_proc_cycles : int array;
+  mutable fixup_transfers : int;
+}
+
+val create_counters : n_procs:int -> counters
+
+(** Account one intraprocedural transfer. *)
+val record :
+  counters -> Penalties.t -> proc_ctx array -> fid:int -> src:int -> dst:int -> unit
+
+(** [make_sink p ctxs] builds a trace sink accumulating penalty counters
+    for a program whose procedure [fid] runs under [ctxs.(fid)]. *)
+val make_sink : Penalties.t -> proc_ctx array -> counters * Trace.sink
+
+val pp_counters : Format.formatter -> counters -> unit

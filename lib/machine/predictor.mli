@@ -1,0 +1,35 @@
+(** Dynamic branch-prediction hardware: 2-bit saturating-counter branch
+    history table (bimodal or gshare) and a direct-mapped branch target
+    buffer.  Tables are indexed by instruction address, so realigning a
+    program changes which branches alias — the paper's footnote 6. *)
+
+type config = {
+  bht_entries : int;  (** power of two *)
+  history_bits : int;  (** 0 = bimodal; n > 0 = gshare *)
+  btb_entries : int;  (** power of two *)
+}
+
+(** 2K-entry bimodal BHT, 256-entry BTB. *)
+val default : config
+
+(** gshare variant with 8 history bits. *)
+val gshare : config
+
+type t
+
+(** @raise Invalid_argument unless table sizes are powers of two. *)
+val create : config -> t
+
+val reset : t -> unit
+
+(** Direction prediction for the conditional branch at [addr]. *)
+val predict_taken : t -> addr:int -> bool
+
+(** Train the BHT (and shift global history) after the branch resolves. *)
+val update_cond : t -> addr:int -> taken:bool -> unit
+
+(** Predicted target of the indirect branch at [addr], if cached. *)
+val btb_lookup : t -> addr:int -> int option
+
+(** Record the observed target (direct-mapped, always replaces). *)
+val btb_update : t -> addr:int -> target:int -> unit

@@ -1,0 +1,72 @@
+(** Abstract syntax of minic, the small imperative language used as the
+    compiler front end of this reproduction (the SUIF stand-in).
+
+    Values are machine integers and integer arrays.  Control flow is
+    structured: [if]/[else], [while] (with [break]/[continue]) and
+    [switch] (no fall-through; each case is its own block, lowered to an
+    indirect jump), which together generate all the CFG shapes the
+    alignment algorithms care about — conditionals, loops, and multiway
+    register branches. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And  (** short-circuit in conditions, strict 0/1 in value position *)
+  | Or   (** likewise *)
+  | Band | Bor | Bxor | Shl | Shr
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** [a\[e\]] *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+      (** user function call, or one of the builtins: [read()] (next input
+          integer, −1 when exhausted), [array(n)] (fresh zero array),
+          [len(a)] *)
+
+type stmt =
+  | Decl of string * expr  (** [var x = e;] — function-scoped *)
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [a\[i\] = e;] *)
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt * expr * stmt * block
+      (** [for (init; cond; step) { … }] — [init]/[step] are simple
+          statements (declaration, assignment or store); [continue]
+          jumps to the step *)
+  | Switch of expr * (int * block) list * block  (** cases, default *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Print of expr  (** append to the program's output stream *)
+  | Expr of expr  (** expression statement (calls) *)
+
+and block = stmt list
+
+type func = { name : string; params : string list; body : block }
+
+(** A program is a list of functions; execution starts at [main()]. *)
+type program = func list
+
+(** Builtin function names (reserved). *)
+let builtins = [ "read"; "array"; "len" ]
+
+(** Number of AST nodes in an expression — the stand-in for "number of
+    instructions" when sizing basic blocks. *)
+let rec expr_weight = function
+  | Int _ | Var _ -> 1
+  | Index (_, e) -> 1 + expr_weight e
+  | Unary (_, e) -> 1 + expr_weight e
+  | Binary (_, a, b) -> 1 + expr_weight a + expr_weight b
+  | Call (_, args) ->
+      2 + List.fold_left (fun acc e -> acc + expr_weight e) 0 args
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"

@@ -1,0 +1,122 @@
+(** Static checks on the minic AST, run before lowering.
+
+    Scoping is function-wide (like C with all declarations hoisted):
+    locals default to 0, so the checks are about obvious mistakes —
+    undeclared names, unknown callees, arity mismatches, duplicate
+    definitions, [break]/[continue] outside loops and duplicate case
+    values — not a full definite-assignment analysis. *)
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let rec names_declared (b : Ast.block) : string list =
+  List.concat_map
+    (function
+      | Ast.Decl (x, _) -> [ x ]
+      | Ast.If (_, t, f) -> names_declared t @ names_declared f
+      | Ast.While (_, b) -> names_declared b
+      | Ast.For (init, _, step, b) ->
+          names_declared [ init ] @ names_declared [ step ] @ names_declared b
+      | Ast.Switch (_, cases, d) ->
+          List.concat_map (fun (_, b) -> names_declared b) cases
+          @ names_declared d
+      | _ -> [])
+    b
+
+let check_func ~(arities : (string, int) Hashtbl.t) (f : Ast.func) =
+  let fname = f.Ast.name in
+  (* duplicate parameters *)
+  let rec dup = function
+    | [] -> None
+    | x :: tl -> if List.mem x tl then Some x else dup tl
+  in
+  (match dup f.Ast.params with
+  | Some x -> err "%s: duplicate parameter %s" fname x
+  | None -> ());
+  let declared = f.Ast.params @ names_declared f.Ast.body in
+  (match dup declared with
+  | Some x -> err "%s: duplicate declaration of %s" fname x
+  | None -> ());
+  List.iter
+    (fun x ->
+      if List.mem x Ast.builtins then err "%s: %s shadows a builtin" fname x)
+    declared;
+  let known x = List.mem x declared in
+  let rec expr = function
+    | Ast.Int _ -> ()
+    | Ast.Var x -> if not (known x) then err "%s: undeclared variable %s" fname x
+    | Ast.Index (x, e) ->
+        if not (known x) then err "%s: undeclared array %s" fname x;
+        expr e
+    | Ast.Unary (_, e) -> expr e
+    | Ast.Binary (_, a, b) ->
+        expr a;
+        expr b
+    | Ast.Call (callee, args) ->
+        List.iter expr args;
+        let nargs = List.length args in
+        (match callee with
+        | "read" -> if nargs <> 0 then err "%s: read() takes no arguments" fname
+        | "array" -> if nargs <> 1 then err "%s: array(n) takes one argument" fname
+        | "len" -> if nargs <> 1 then err "%s: len(a) takes one argument" fname
+        | _ -> (
+            match Hashtbl.find_opt arities callee with
+            | None -> err "%s: call to unknown function %s" fname callee
+            | Some k ->
+                if k <> nargs then
+                  err "%s: %s expects %d arguments, got %d" fname callee k nargs))
+  in
+  let rec stmt ~in_loop = function
+    | Ast.Decl (_, e) | Ast.Print e | Ast.Expr e -> expr e
+    | Ast.Assign (x, e) ->
+        if not (known x) then err "%s: undeclared variable %s" fname x;
+        expr e
+    | Ast.Store (x, i, e) ->
+        if not (known x) then err "%s: undeclared array %s" fname x;
+        expr i;
+        expr e
+    | Ast.If (c, t, f) ->
+        expr c;
+        List.iter (stmt ~in_loop) t;
+        List.iter (stmt ~in_loop) f
+    | Ast.While (c, b) ->
+        expr c;
+        List.iter (stmt ~in_loop:true) b
+    | Ast.For (init, c, step, b) ->
+        stmt ~in_loop init;
+        expr c;
+        stmt ~in_loop step;
+        List.iter (stmt ~in_loop:true) b
+    | Ast.Switch (e, cases, d) ->
+        expr e;
+        let vals = List.map fst cases in
+        (match dup vals with
+        | Some _ -> err "%s: duplicate case value" fname
+        | None -> ());
+        List.iter (fun (_, b) -> List.iter (stmt ~in_loop) b) cases;
+        List.iter (stmt ~in_loop) d
+    | Ast.Return (Some e) -> expr e
+    | Ast.Return None -> ()
+    | Ast.Break | Ast.Continue ->
+        if not in_loop then err "%s: break/continue outside a loop" fname
+  in
+  List.iter (stmt ~in_loop:false) f.Ast.body
+
+(** [check program] validates a whole program.
+    @raise Error describing the first problem found. *)
+let check (p : Ast.program) =
+  let arities = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem arities f.Ast.name then
+        err "duplicate function %s" f.Ast.name;
+      if List.mem f.Ast.name Ast.builtins then
+        err "function %s shadows a builtin" f.Ast.name;
+      Hashtbl.replace arities f.Ast.name (List.length f.Ast.params))
+    p;
+  (match Hashtbl.find_opt arities "main" with
+  | None -> err "program has no main()"
+  | Some 0 -> ()
+  | Some _ -> err "main() must take no parameters");
+  List.iter (check_func ~arities) p

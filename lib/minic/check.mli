@@ -1,0 +1,9 @@
+(** Static checks on the minic AST (run before lowering): undeclared
+    names, unknown callees, arity mismatches, duplicate definitions,
+    [break]/[continue] outside loops, duplicate case values, a valid
+    [main]. *)
+
+exception Error of string
+
+(** @raise Error describing the first problem found. *)
+val check : Ast.program -> unit

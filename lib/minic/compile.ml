@@ -1,0 +1,55 @@
+(** The minic compilation pipeline: source → AST → checks → IR → CFG
+    shapes.  This is the "Intermediate Representation" stage of the
+    paper's Table 2. *)
+
+type compiled = {
+  prog : Ir.program;  (** executable IR *)
+  cfgs : Ba_cfg.Cfg.t array;  (** shape per function, index = fid *)
+  names : string array;  (** function names, index = fid *)
+}
+
+(** [compile src] runs the whole front end.  Errors (lexing, parsing,
+    checking, lowering) are returned as human-readable strings. *)
+let compile (src : string) : (compiled, string) result =
+  match
+    let ast = Parser.parse src in
+    Check.check ast;
+    let prog = Lower.lower ast in
+    let cfgs = Ir.shape prog in
+    let names = Array.map (fun f -> f.Ir.name) prog.Ir.funcs in
+    { prog; cfgs; names }
+  with
+  | c -> Ok c
+  | exception Lexer.Error m -> Error ("lexer: " ^ m)
+  | exception Parser.Error m -> Error ("parser: " ^ m)
+  | exception Check.Error m -> Error ("check: " ^ m)
+  | exception Lower.Error m -> Error ("lower: " ^ m)
+
+(** [compile_exn src] is {!compile} but raising [Failure] on error —
+    convenient for the built-in workloads, which must compile. *)
+let compile_exn src =
+  match compile src with Ok c -> c | Error m -> failwith m
+
+(** [n_blocks c] is the per-function block count array the profiler
+    needs. *)
+let n_blocks (c : compiled) =
+  Array.map Ba_cfg.Cfg.n_blocks c.cfgs
+
+(** [run c ~input ~sink] executes the compiled program (see
+    {!Interp.run}). *)
+let run ?limit (c : compiled) ~input ~sink = Interp.run ?limit c.prog ~input ~sink
+
+(** [profile c ~input] runs once and collects the edge-frequency
+    profile. *)
+let profile ?limit (c : compiled) ~input =
+  Ba_profile.Collect.profile_of_run ~n_blocks:(n_blocks c) (fun sink ->
+      ignore (run ?limit c ~input ~sink))
+
+(** [of_ir prog] wraps an already-built IR program (e.g. the output of
+    {!Transform}) in the compiled-program interface. *)
+let of_ir (prog : Ir.program) : compiled =
+  {
+    prog;
+    cfgs = Ir.shape prog;
+    names = Array.map (fun f -> f.Ir.name) prog.Ir.funcs;
+  }

@@ -1,0 +1,32 @@
+(** The minic compilation pipeline: source → AST → checks → IR → CFG
+    shapes. *)
+
+type compiled = {
+  prog : Ir.program;  (** executable IR *)
+  cfgs : Ba_cfg.Cfg.t array;  (** shape per function, index = fid *)
+  names : string array;  (** function names, index = fid *)
+}
+
+(** Run the whole front end; errors become human-readable strings. *)
+val compile : string -> (compiled, string) result
+
+(** {!compile}, raising [Failure] on error. *)
+val compile_exn : string -> compiled
+
+(** Per-function block counts, as the profiler needs them. *)
+val n_blocks : compiled -> int array
+
+(** Execute the compiled program (see {!Interp.run}). *)
+val run :
+  ?limit:int ->
+  compiled ->
+  input:int array ->
+  sink:Ba_cfg.Trace.sink ->
+  Interp.result
+
+(** Run once and collect the edge-frequency profile. *)
+val profile : ?limit:int -> compiled -> input:int array -> Ba_profile.Profile.t
+
+(** Wrap an already-built IR program (e.g. the output of {!Transform})
+    in the compiled-program interface. *)
+val of_ir : Ir.program -> compiled

@@ -1,0 +1,169 @@
+(** Interpreter for the minic IR, emitting trace events.
+
+    This is simultaneously the "instrumented program" and the "hardware"
+    of the reproduction: every executed basic block is reported to the
+    trace sink, from which the profiler collects edge frequencies and the
+    machine model simulates pipelines and caches.  Execution is
+    deterministic given the program and input. *)
+
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type value = Vint of int | Varr of int array
+
+type state = {
+  prog : Ir.program;
+  input : int array;
+  mutable cursor : int;  (** next input index for [read()] *)
+  mutable out : int list;  (** reversed output of [print] *)
+  mutable blocks_executed : int;
+  limit : int;  (** block-execution budget; guards runaway programs *)
+  mutable depth : int;  (** current call depth *)
+  max_depth : int;  (** recursion budget; fails fast on runaway recursion *)
+  sink : Ba_cfg.Trace.sink;
+}
+
+let as_int = function
+  | Vint n -> n
+  | Varr _ -> err "expected an integer, got an array"
+
+let as_arr = function
+  | Varr a -> a
+  | Vint _ -> err "expected an array, got an integer"
+
+let truthy v = as_int v <> 0
+
+let binop op a b =
+  let ia = as_int a and ib = as_int b in
+  let bool_ c = Vint (if c then 1 else 0) in
+  match (op : Ast.binop) with
+  | Ast.Add -> Vint (ia + ib)
+  | Ast.Sub -> Vint (ia - ib)
+  | Ast.Mul -> Vint (ia * ib)
+  | Ast.Div -> if ib = 0 then err "division by zero" else Vint (ia / ib)
+  | Ast.Mod -> if ib = 0 then err "modulo by zero" else Vint (ia mod ib)
+  | Ast.Lt -> bool_ (ia < ib)
+  | Ast.Le -> bool_ (ia <= ib)
+  | Ast.Gt -> bool_ (ia > ib)
+  | Ast.Ge -> bool_ (ia >= ib)
+  | Ast.Eq -> bool_ (ia = ib)
+  | Ast.Ne -> bool_ (ia <> ib)
+  | Ast.And -> bool_ (ia <> 0 && ib <> 0)
+  | Ast.Or -> bool_ (ia <> 0 || ib <> 0)
+  | Ast.Band -> Vint (ia land ib)
+  | Ast.Bor -> Vint (ia lor ib)
+  | Ast.Bxor -> Vint (ia lxor ib)
+  | Ast.Shl ->
+      if ib < 0 || ib > 62 then err "shift amount %d out of range" ib
+      else Vint (ia lsl ib)
+  | Ast.Shr ->
+      if ib < 0 || ib > 62 then err "shift amount %d out of range" ib
+      else Vint (ia asr ib)
+
+let rec eval (st : state) (locals : value array) (e : Ir.expr) : value =
+  match e with
+  | Ir.Const n -> Vint n
+  | Ir.Local s -> locals.(s)
+  | Ir.Load (s, i) ->
+      let a = as_arr locals.(s) and idx = as_int (eval st locals i) in
+      if idx < 0 || idx >= Array.length a then
+        err "array index %d out of bounds (length %d)" idx (Array.length a)
+      else Vint a.(idx)
+  | Ir.Unary (Ast.Neg, a) -> Vint (-as_int (eval st locals a))
+  | Ir.Unary (Ast.Not, a) -> Vint (if as_int (eval st locals a) = 0 then 1 else 0)
+  | Ir.Binary (op, a, b) ->
+      let va = eval st locals a in
+      let vb = eval st locals b in
+      binop op va vb
+  | Ir.Call (fid, args) ->
+      let vs = Array.map (eval st locals) args in
+      call st fid vs
+  | Ir.Read ->
+      if st.cursor >= Array.length st.input then Vint (-1)
+      else begin
+        let v = st.input.(st.cursor) in
+        st.cursor <- st.cursor + 1;
+        Vint v
+      end
+  | Ir.ArrayNew n ->
+      let len = as_int (eval st locals n) in
+      if len < 0 then err "array(%d): negative length" len
+      else Varr (Array.make len 0)
+  | Ir.ArrayLen s -> Vint (Array.length (as_arr locals.(s)))
+
+and exec_instr st locals = function
+  | Ir.Set (s, e) -> locals.(s) <- eval st locals e
+  | Ir.Store (s, i, e) ->
+      let a = as_arr locals.(s) in
+      let idx = as_int (eval st locals i) in
+      if idx < 0 || idx >= Array.length a then
+        err "store index %d out of bounds (length %d)" idx (Array.length a)
+      else a.(idx) <- as_int (eval st locals e)
+  | Ir.Print e -> st.out <- as_int (eval st locals e) :: st.out
+  | Ir.Eval e -> ignore (eval st locals e)
+
+and call (st : state) fid (args : value array) : value =
+  let f = st.prog.Ir.funcs.(fid) in
+  if Array.length args <> f.Ir.n_params then
+    err "%s: arity mismatch" f.Ir.name;
+  st.depth <- st.depth + 1;
+  if st.depth > st.max_depth then
+    err "call depth limit (%d) exceeded" st.max_depth;
+  st.sink (Ba_cfg.Trace.Enter fid);
+  let locals = Array.make (max 1 f.Ir.n_locals) (Vint 0) in
+  Array.blit args 0 locals 0 (Array.length args);
+  let result = ref (Vint 0) in
+  let blk = ref 0 and running = ref true in
+  while !running do
+    st.blocks_executed <- st.blocks_executed + 1;
+    if st.blocks_executed > st.limit then
+      err "block execution limit (%d) exceeded" st.limit;
+    let b = f.Ir.blocks.(!blk) in
+    st.sink (Ba_cfg.Trace.Block !blk);
+    Array.iter (exec_instr st locals) b.Ir.instrs;
+    match b.Ir.term with
+    | Ir.Goto l -> blk := l
+    | Ir.If (c, t, fl) -> blk := (if truthy (eval st locals c) then t else fl)
+    | Ir.Switch (e, cases, d) ->
+        let v = as_int (eval st locals e) in
+        let target = ref d in
+        Array.iter (fun (cv, blk') -> if cv = v then target := blk') cases;
+        blk := !target
+    | Ir.Ret e ->
+        (match e with Some e -> result := eval st locals e | None -> ());
+        running := false
+  done;
+  st.sink Ba_cfg.Trace.Leave;
+  st.depth <- st.depth - 1;
+  !result
+
+type result = {
+  output : int list;  (** values printed, in order *)
+  return_value : int;
+  blocks_executed : int;
+  inputs_consumed : int;
+}
+
+(** [run ?limit prog ~input ~sink] executes [main()] and returns the
+    observable results.  [limit] bounds total block executions (default
+    200 million).
+    @raise Runtime_error on dynamic errors or budget exhaustion. *)
+let run ?(limit = 200_000_000) ?(max_depth = 100_000) (prog : Ir.program)
+    ~(input : int array) ~(sink : Ba_cfg.Trace.sink) : result =
+  match Ir.find_func prog "main" with
+  | None -> err "program has no main()"
+  | Some fid ->
+      let st =
+        {
+          prog; input; cursor = 0; out = []; blocks_executed = 0; limit;
+          depth = 0; max_depth; sink;
+        }
+      in
+      let v = call st fid [||] in
+      {
+        output = List.rev st.out;
+        return_value = as_int v;
+        blocks_executed = st.blocks_executed;
+        inputs_consumed = st.cursor;
+      }

@@ -1,0 +1,85 @@
+(** Executable CFG intermediate representation of minic.
+
+    Names are resolved to dense local slots and function indices; each
+    function is an array of basic blocks whose shape projects exactly
+    onto {!Ba_cfg.Cfg} for the alignment algorithms, while remaining
+    directly interpretable (see {!Interp}) to produce execution traces. *)
+
+type expr =
+  | Const of int
+  | Local of int  (** read a local slot *)
+  | Load of int * expr  (** [a\[e\]] where slot holds an array *)
+  | Unary of Ast.unop * expr
+  | Binary of Ast.binop * expr * expr
+  | Call of int * expr array  (** user function by index *)
+  | Read  (** next input integer, −1 when exhausted *)
+  | ArrayNew of expr  (** fresh zero-filled array *)
+  | ArrayLen of int  (** length of the array in a slot *)
+
+type instr =
+  | Set of int * expr  (** local := e *)
+  | Store of int * expr * expr  (** slot[idx] := e *)
+  | Print of expr
+  | Eval of expr  (** evaluate for effect *)
+
+type term =
+  | Goto of int
+  | If of expr * int * int  (** condition, then-target, else-target *)
+  | Switch of expr * (int * int) array * int
+      (** scrutinee, (case value, target) table, default target —
+          projects to a multiway (register) branch *)
+  | Ret of expr option
+
+type block = {
+  instrs : instr array;
+  term : term;
+  weight : int;  (** straight-line instruction estimate (AST nodes) *)
+}
+
+type func = {
+  name : string;
+  n_params : int;
+  n_locals : int;  (** slots including params *)
+  blocks : block array;  (** entry is block 0 *)
+}
+
+type program = { funcs : func array }
+
+let find_func (p : program) name =
+  let found = ref None in
+  Array.iteri (fun i f -> if f.name = name then found := Some i) p.funcs;
+  !found
+
+(** Successor block ids of a terminator (shape order: conditional taken
+    arm first, switch cases then default). *)
+let term_successors = function
+  | Goto l -> [ l ]
+  | If (_, t, f) -> [ t; f ]
+  | Switch (_, cases, d) -> Array.to_list (Array.map snd cases) @ [ d ]
+  | Ret _ -> []
+
+(** [to_cfg f] projects a function onto the pure CFG shape consumed by
+    the aligners.  Conditional arms map to branch taken/fall arms;
+    switches become multiway branches whose target table lists the case
+    targets followed by the default. *)
+let to_cfg (f : func) : Ba_cfg.Cfg.t =
+  let blocks =
+    Array.mapi
+      (fun i b ->
+        let term =
+          match b.term with
+          | Goto l -> Ba_cfg.Block.Goto l
+          | If (_, t, fl) -> Ba_cfg.Block.Branch { t; f = fl }
+          | Switch (_, cases, d) ->
+              Ba_cfg.Block.Multiway
+                (Array.append (Array.map snd cases) [| d |])
+          | Ret _ -> Ba_cfg.Block.Exit
+        in
+        Ba_cfg.Block.make ~id:i ~size:b.weight term)
+      f.blocks
+  in
+  Ba_cfg.Cfg.make ~name:f.name ~entry:0 blocks
+
+(** [shape p] projects the whole program; index [fid] matches
+    [p.funcs.(fid)]. *)
+let shape (p : program) : Ba_cfg.Cfg.t array = Array.map to_cfg p.funcs

@@ -1,0 +1,84 @@
+(** Hand-written lexer for minic (no Menhir/ocamllex in the sealed
+    environment, and the token language is tiny anyway). *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (** fn var if else while switch case default return
+                      break continue print *)
+  | PUNCT of string  (** operators and punctuation *)
+  | EOF
+
+type t = { toks : (token * int) array (* token, line *) }
+
+exception Error of string
+
+let keywords =
+  [ "fn"; "var"; "if"; "else"; "while"; "for"; "switch"; "case"; "default";
+    "return"; "break"; "continue"; "print" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+(** [tokenize src] splits the source into tokens with line numbers.
+    Comments run from [//] to end of line.
+    @raise Error on an unexpected character. *)
+let tokenize (src : string) : t =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      push (INT (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else if is_alpha c then begin
+      let j = ref !i in
+      while !j < n && is_alnum src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      push (if List.mem word keywords then KW word else IDENT word);
+      i := !j
+    end
+    else begin
+      (* longest-match punctuation *)
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("<=" | ">=" | "==" | "!=" | "&&" | "||" | "<<" | ">>") as op) ->
+          push (PUNCT op);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' | '!' | '&' | '|'
+          | '^' | '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | ':' ->
+              push (PUNCT (String.make 1 c));
+              incr i
+          | _ ->
+              raise
+                (Error
+                   (Printf.sprintf "line %d: unexpected character %C" !line c)))
+    end
+  done;
+  push EOF;
+  { toks = Array.of_list (List.rev !toks) }

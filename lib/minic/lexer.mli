@@ -1,0 +1,19 @@
+(** Hand-written lexer for minic. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type t = { toks : (token * int) array  (** token with its line number *) }
+
+exception Error of string
+
+(** Reserved words of the language. *)
+val keywords : string list
+
+(** Tokenize a source string ([//] comments stripped).
+    @raise Error on an unexpected character. *)
+val tokenize : string -> t

@@ -1,0 +1,247 @@
+(** Lowering from the minic AST to the executable CFG IR.
+
+    The interesting part for branch alignment is condition lowering:
+    [&&], [||] and [!] in condition position are lowered by
+    short-circuiting into separate blocks (extra conditional branches,
+    just like a real compiler), while in value position they evaluate
+    strictly to 0/1.  [switch] becomes a jump-table terminator.
+    Statements after a terminator ([return]/[break]/[continue]) are
+    unreachable and dropped. *)
+
+exception Error of string
+
+(* growable function builder *)
+type builder = {
+  mutable rev_instrs : Ir.instr list array;  (** per block, reversed *)
+  mutable terms : Ir.term option array;
+  mutable n_blocks : int;
+}
+
+let new_block (b : builder) =
+  if b.n_blocks = Array.length b.terms then begin
+    let cap = max 8 (2 * b.n_blocks) in
+    let ri = Array.make cap [] and ts = Array.make cap None in
+    Array.blit b.rev_instrs 0 ri 0 b.n_blocks;
+    Array.blit b.terms 0 ts 0 b.n_blocks;
+    b.rev_instrs <- ri;
+    b.terms <- ts
+  end;
+  let id = b.n_blocks in
+  b.n_blocks <- id + 1;
+  id
+
+let emit b blk i = b.rev_instrs.(blk) <- i :: b.rev_instrs.(blk)
+
+let set_term b blk t =
+  match b.terms.(blk) with
+  | Some _ -> invalid_arg "Lower: block terminated twice"
+  | None -> b.terms.(blk) <- Some t
+
+type env = {
+  slots : (string, int) Hashtbl.t;
+  mutable n_slots : int;
+  fids : (string, int) Hashtbl.t;
+}
+
+let slot env x =
+  match Hashtbl.find_opt env.slots x with
+  | Some s -> s
+  | None ->
+      let s = env.n_slots in
+      env.n_slots <- s + 1;
+      Hashtbl.replace env.slots x s;
+      s
+
+let rec lower_expr env (e : Ast.expr) : Ir.expr =
+  match e with
+  | Ast.Int n -> Ir.Const n
+  | Ast.Var x -> Ir.Local (slot env x)
+  | Ast.Index (x, i) -> Ir.Load (slot env x, lower_expr env i)
+  | Ast.Unary (op, a) -> Ir.Unary (op, lower_expr env a)
+  | Ast.Binary (op, a, b) -> Ir.Binary (op, lower_expr env a, lower_expr env b)
+  | Ast.Call ("read", []) -> Ir.Read
+  | Ast.Call ("array", [ n ]) -> Ir.ArrayNew (lower_expr env n)
+  | Ast.Call ("len", [ Ast.Var x ]) -> Ir.ArrayLen (slot env x)
+  | Ast.Call ("len", _) -> raise (Error "len() expects a variable")
+  | Ast.Call (f, args) -> (
+      match Hashtbl.find_opt env.fids f with
+      | Some fid ->
+          Ir.Call (fid, Array.of_list (List.map (lower_expr env) args))
+      | None -> raise (Error ("unknown function " ^ f)))
+
+(** Short-circuit lowering of conditions: jump to [tblk] when true,
+    [fblk] when false.  [cur] is the open block evaluating the
+    condition. *)
+let rec lower_cond env b cur (e : Ast.expr) ~tblk ~fblk =
+  match e with
+  | Ast.Binary (Ast.And, l, r) ->
+      let mid = new_block b in
+      lower_cond env b cur l ~tblk:mid ~fblk;
+      lower_cond env b mid r ~tblk ~fblk
+  | Ast.Binary (Ast.Or, l, r) ->
+      let mid = new_block b in
+      lower_cond env b cur l ~tblk ~fblk:mid;
+      lower_cond env b mid r ~tblk ~fblk
+  | Ast.Unary (Ast.Not, a) -> lower_cond env b cur a ~tblk:fblk ~fblk:tblk
+  | _ -> set_term b cur (Ir.If (lower_expr env e, tblk, fblk))
+
+(** Lower a statement into open block [cur]; result is the block left
+    open afterwards, or [None] if control cannot fall through. *)
+let rec lower_stmt env b cur ~brk ~cont (s : Ast.stmt) : int option =
+  match s with
+  | Ast.Decl (x, e) | Ast.Assign (x, e) ->
+      emit b cur (Ir.Set (slot env x, lower_expr env e));
+      Some cur
+  | Ast.Store (x, i, e) ->
+      emit b cur (Ir.Store (slot env x, lower_expr env i, lower_expr env e));
+      Some cur
+  | Ast.Print e ->
+      emit b cur (Ir.Print (lower_expr env e));
+      Some cur
+  | Ast.Expr e ->
+      emit b cur (Ir.Eval (lower_expr env e));
+      Some cur
+  | Ast.Return e ->
+      set_term b cur (Ir.Ret (Option.map (lower_expr env) e));
+      None
+  | Ast.Break -> (
+      match brk with
+      | Some target ->
+          set_term b cur (Ir.Goto target);
+          None
+      | None -> raise (Error "break outside loop"))
+  | Ast.Continue -> (
+      match cont with
+      | Some target ->
+          set_term b cur (Ir.Goto target);
+          None
+      | None -> raise (Error "continue outside loop"))
+  | Ast.If (c, tb, fb) ->
+      let tblk = new_block b and fblk = new_block b and after = new_block b in
+      lower_cond env b cur c ~tblk ~fblk;
+      (match lower_stmts env b tblk ~brk ~cont tb with
+      | Some open_t -> set_term b open_t (Ir.Goto after)
+      | None -> ());
+      (match lower_stmts env b fblk ~brk ~cont fb with
+      | Some open_f -> set_term b open_f (Ir.Goto after)
+      | None -> ());
+      Some after
+  | Ast.While (c, body) ->
+      let head = new_block b and bodyb = new_block b and after = new_block b in
+      set_term b cur (Ir.Goto head);
+      lower_cond env b head c ~tblk:bodyb ~fblk:after;
+      (match
+         lower_stmts env b bodyb ~brk:(Some after) ~cont:(Some head) body
+       with
+      | Some open_b -> set_term b open_b (Ir.Goto head)
+      | None -> ());
+      Some after
+  | Ast.For (init, cond, step, body) -> (
+      match lower_stmt env b cur ~brk ~cont init with
+      | None -> None (* unreachable: init is a simple statement *)
+      | Some cur' ->
+          let head = new_block b
+          and bodyb = new_block b
+          and stepb = new_block b
+          and after = new_block b in
+          set_term b cur' (Ir.Goto head);
+          lower_cond env b head cond ~tblk:bodyb ~fblk:after;
+          (* continue jumps to the step block, preserving C semantics *)
+          (match
+             lower_stmts env b bodyb ~brk:(Some after) ~cont:(Some stepb) body
+           with
+          | Some open_b -> set_term b open_b (Ir.Goto stepb)
+          | None -> ());
+          (match lower_stmt env b stepb ~brk:None ~cont:None step with
+          | Some open_s -> set_term b open_s (Ir.Goto head)
+          | None -> ());
+          Some after)
+  | Ast.Switch (e, cases, default) ->
+      let scrut = lower_expr env e in
+      let after = new_block b in
+      let case_blocks =
+        List.map (fun (v, body) -> (v, new_block b, body)) cases
+      in
+      let dblk = new_block b in
+      set_term b cur
+        (Ir.Switch
+           (scrut, Array.of_list (List.map (fun (v, blk, _) -> (v, blk)) case_blocks), dblk));
+      List.iter
+        (fun (_, blk, body) ->
+          match lower_stmts env b blk ~brk:(Some after) ~cont body with
+          | Some open_b -> set_term b open_b (Ir.Goto after)
+          | None -> ())
+        case_blocks;
+      (match lower_stmts env b dblk ~brk:(Some after) ~cont default with
+      | Some open_d -> set_term b open_d (Ir.Goto after)
+      | None -> ());
+      Some after
+
+and lower_stmts env b cur ~brk ~cont (ss : Ast.block) : int option =
+  match ss with
+  | [] -> Some cur
+  | s :: rest -> (
+      match lower_stmt env b cur ~brk ~cont s with
+      | Some cur' -> lower_stmts env b cur' ~brk ~cont rest
+      | None -> None (* unreachable tail dropped *))
+
+let instr_weight = function
+  | Ir.Set (_, _) -> 1
+  | Ir.Store (_, _, _) -> 2
+  | Ir.Print _ -> 1
+  | Ir.Eval _ -> 0
+
+let rec expr_weight = function
+  | Ir.Const _ | Ir.Local _ | Ir.Read | Ir.ArrayLen _ -> 1
+  | Ir.Load (_, e) | Ir.ArrayNew e | Ir.Unary (_, e) -> 1 + expr_weight e
+  | Ir.Binary (_, a, b) -> 1 + expr_weight a + expr_weight b
+  | Ir.Call (_, args) ->
+      2 + Array.fold_left (fun acc e -> acc + expr_weight e) 0 args
+
+let instr_full_weight i =
+  instr_weight i
+  +
+  match i with
+  | Ir.Set (_, e) | Ir.Print e | Ir.Eval e -> expr_weight e
+  | Ir.Store (_, a, b) -> expr_weight a + expr_weight b
+
+let term_expr_weight = function
+  | Ir.Goto _ -> 0
+  | Ir.If (e, _, _) | Ir.Switch (e, _, _) | Ir.Ret (Some e) -> expr_weight e
+  | Ir.Ret None -> 0
+
+let lower_func ~fids (f : Ast.func) : Ir.func =
+  let env = { slots = Hashtbl.create 16; n_slots = 0; fids } in
+  List.iter (fun p -> ignore (slot env p)) f.Ast.params;
+  let b = { rev_instrs = Array.make 8 []; terms = Array.make 8 None; n_blocks = 0 } in
+  let entry = new_block b in
+  (match lower_stmts env b entry ~brk:None ~cont:None f.Ast.body with
+  | Some open_b -> set_term b open_b (Ir.Ret None)
+  | None -> ());
+  let blocks =
+    Array.init b.n_blocks (fun i ->
+        let instrs = Array.of_list (List.rev b.rev_instrs.(i)) in
+        let term =
+          match b.terms.(i) with
+          | Some t -> t
+          | None -> Ir.Ret None (* unreferenced spare block *)
+        in
+        let weight =
+          Array.fold_left (fun acc ins -> acc + instr_full_weight ins) 0 instrs
+          + term_expr_weight term
+        in
+        { Ir.instrs; term; weight })
+  in
+  {
+    Ir.name = f.Ast.name;
+    n_params = List.length f.Ast.params;
+    n_locals = env.n_slots;
+    blocks;
+  }
+
+(** [lower program] lowers a checked program.  Function ids follow
+    declaration order. *)
+let lower (p : Ast.program) : Ir.program =
+  let fids = Hashtbl.create 16 in
+  List.iteri (fun i (f : Ast.func) -> Hashtbl.replace fids f.Ast.name i) p;
+  { Ir.funcs = Array.of_list (List.map (lower_func ~fids) p) }

@@ -1,0 +1,9 @@
+(** Lowering from the minic AST to the executable CFG IR: short-circuit
+    conditions become extra branches, [switch] becomes a jump-table
+    terminator, unreachable statements are dropped, names resolve to
+    dense local slots and function indices. *)
+
+exception Error of string
+
+(** Lower a checked program.  Function ids follow declaration order. *)
+val lower : Ast.program -> Ir.program

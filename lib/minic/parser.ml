@@ -1,0 +1,317 @@
+(** Recursive-descent parser for minic with precedence climbing for
+    expressions.  Reports errors with line numbers. *)
+
+exception Error of string
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Error (Printf.sprintf "line %d: %s" (line st) msg))
+
+let expect_punct st s =
+  match peek st with
+  | Lexer.PUNCT p when p = s -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" s)
+
+let expect_kw st s =
+  match peek st with
+  | Lexer.KW k when k = s -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" s)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT x ->
+      advance st;
+      x
+  | _ -> fail st "expected identifier"
+
+let accept_punct st s =
+  match peek st with
+  | Lexer.PUNCT p when p = s ->
+      advance st;
+      true
+  | _ -> false
+
+(* precedence table: larger binds tighter *)
+let binop_of_punct = function
+  | "||" -> Some (Ast.Or, 1)
+  | "&&" -> Some (Ast.And, 2)
+  | "|" -> Some (Ast.Bor, 3)
+  | "^" -> Some (Ast.Bxor, 4)
+  | "&" -> Some (Ast.Band, 5)
+  | "==" -> Some (Ast.Eq, 6)
+  | "!=" -> Some (Ast.Ne, 6)
+  | "<" -> Some (Ast.Lt, 7)
+  | "<=" -> Some (Ast.Le, 7)
+  | ">" -> Some (Ast.Gt, 7)
+  | ">=" -> Some (Ast.Ge, 7)
+  | "<<" -> Some (Ast.Shl, 8)
+  | ">>" -> Some (Ast.Shr, 8)
+  | "+" -> Some (Ast.Add, 9)
+  | "-" -> Some (Ast.Sub, 9)
+  | "*" -> Some (Ast.Mul, 10)
+  | "/" -> Some (Ast.Div, 10)
+  | "%" -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PUNCT p -> (
+        match binop_of_punct p with
+        | Some (op, prec) when prec >= min_prec ->
+            advance st;
+            let rhs = parse_binary st (prec + 1) in
+            lhs := Ast.Binary (op, !lhs, rhs)
+        | _ -> continue := false)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+      advance st;
+      Ast.Unary (Ast.Neg, parse_unary st)
+  | Lexer.PUNCT "!" ->
+      advance st;
+      Ast.Unary (Ast.Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Ast.Int n
+  | Lexer.PUNCT "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | Lexer.IDENT x -> (
+      advance st;
+      match peek st with
+      | Lexer.PUNCT "(" ->
+          advance st;
+          let args = parse_args st in
+          Ast.Call (x, args)
+      | Lexer.PUNCT "[" ->
+          advance st;
+          let e = parse_expr st in
+          expect_punct st "]";
+          Ast.Index (x, e)
+      | _ -> Ast.Var x)
+  | _ -> fail st "expected expression"
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept_punct st "," then go (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | Lexer.KW "var" ->
+      advance st;
+      let x = expect_ident st in
+      expect_punct st "=";
+      let e = parse_expr st in
+      expect_punct st ";";
+      Ast.Decl (x, e)
+  | Lexer.KW "if" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      let t = parse_block st in
+      let f =
+        match peek st with
+        | Lexer.KW "else" -> (
+            advance st;
+            match peek st with
+            | Lexer.KW "if" -> [ parse_stmt st ] (* else-if chain *)
+            | _ -> parse_block st)
+        | _ -> []
+      in
+      Ast.If (c, t, f)
+  | Lexer.KW "while" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      let b = parse_block st in
+      Ast.While (c, b)
+  | Lexer.KW "for" ->
+      advance st;
+      expect_punct st "(";
+      let init = parse_simple_stmt st in
+      expect_punct st ";";
+      let cond = parse_expr st in
+      expect_punct st ";";
+      let step = parse_simple_stmt st in
+      expect_punct st ")";
+      let body = parse_block st in
+      Ast.For (init, cond, step, body)
+  | Lexer.KW "switch" ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      expect_punct st "{";
+      let cases = ref [] and default = ref [] in
+      let continue = ref true in
+      while !continue do
+        match peek st with
+        | Lexer.KW "case" ->
+            advance st;
+            let neg = accept_punct st "-" in
+            let v =
+              match peek st with
+              | Lexer.INT n ->
+                  advance st;
+                  if neg then -n else n
+              | _ -> fail st "expected case value"
+            in
+            expect_punct st ":";
+            let b = parse_block st in
+            cases := (v, b) :: !cases
+        | Lexer.KW "default" ->
+            advance st;
+            expect_punct st ":";
+            default := parse_block st
+        | Lexer.PUNCT "}" ->
+            advance st;
+            continue := false
+        | _ -> fail st "expected 'case', 'default' or '}'"
+      done;
+      Ast.Switch (e, List.rev !cases, !default)
+  | Lexer.KW "return" ->
+      advance st;
+      if accept_punct st ";" then Ast.Return None
+      else begin
+        let e = parse_expr st in
+        expect_punct st ";";
+        Ast.Return (Some e)
+      end
+  | Lexer.KW "break" ->
+      advance st;
+      expect_punct st ";";
+      Ast.Break
+  | Lexer.KW "continue" ->
+      advance st;
+      expect_punct st ";";
+      Ast.Continue
+  | Lexer.KW "print" ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      Ast.Print e
+  | Lexer.IDENT x -> (
+      advance st;
+      match peek st with
+      | Lexer.PUNCT "=" ->
+          advance st;
+          let e = parse_expr st in
+          expect_punct st ";";
+          Ast.Assign (x, e)
+      | Lexer.PUNCT "[" ->
+          advance st;
+          let idx = parse_expr st in
+          expect_punct st "]";
+          if accept_punct st "=" then begin
+            let e = parse_expr st in
+            expect_punct st ";";
+            Ast.Store (x, idx, e)
+          end
+          else fail st "expected '=' after index expression"
+      | Lexer.PUNCT "(" ->
+          advance st;
+          let args = parse_args st in
+          expect_punct st ";";
+          Ast.Expr (Ast.Call (x, args))
+      | _ -> fail st "expected '=', '[' or '(' after identifier")
+  | _ -> fail st "expected statement"
+
+(* headers of for-loops: a declaration, assignment, store or call,
+   without the trailing semicolon *)
+and parse_simple_stmt st : Ast.stmt =
+  match peek st with
+  | Lexer.KW "var" ->
+      advance st;
+      let x = expect_ident st in
+      expect_punct st "=";
+      Ast.Decl (x, parse_expr st)
+  | Lexer.IDENT x -> (
+      advance st;
+      match peek st with
+      | Lexer.PUNCT "=" ->
+          advance st;
+          Ast.Assign (x, parse_expr st)
+      | Lexer.PUNCT "[" ->
+          advance st;
+          let idx = parse_expr st in
+          expect_punct st "]";
+          expect_punct st "=";
+          Ast.Store (x, idx, parse_expr st)
+      | Lexer.PUNCT "(" ->
+          advance st;
+          Ast.Expr (Ast.Call (x, parse_args st))
+      | _ -> fail st "expected '=', '[' or '(' in loop header")
+  | _ -> fail st "expected a simple statement in loop header"
+
+and parse_block st : Ast.block =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (accept_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+let parse_func st : Ast.func =
+  expect_kw st "fn";
+  let name = expect_ident st in
+  expect_punct st "(";
+  let params =
+    if accept_punct st ")" then []
+    else begin
+      let rec go acc =
+        let x = expect_ident st in
+        if accept_punct st "," then go (x :: acc)
+        else begin
+          expect_punct st ")";
+          List.rev (x :: acc)
+        end
+      in
+      go []
+    end
+  in
+  let body = parse_block st in
+  { Ast.name; params; body }
+
+(** [parse src] parses a whole program.
+    @raise Error or {!Lexer.Error} on malformed input. *)
+let parse (src : string) : Ast.program =
+  let st = { toks = (Lexer.tokenize src).Lexer.toks; pos = 0 } in
+  let funcs = ref [] in
+  while peek st <> Lexer.EOF do
+    funcs := parse_func st :: !funcs
+  done;
+  List.rev !funcs

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for minic with precedence climbing. *)
+
+exception Error of string
+
+(** Parse a whole program.
+    @raise Error (or {!Lexer.Error}) with a line number on malformed
+    input. *)
+val parse : string -> Ast.program

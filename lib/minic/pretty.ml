@@ -1,0 +1,75 @@
+(** Pretty-printer for the minic AST.  [parse (to_string p)] returns a
+    structurally equal program — a property the test suite fuzzes — so
+    this is also the canonical formatter for generated programs. *)
+
+let binop = Ast.binop_to_string
+
+(* precedence must mirror the parser's table so emitted parentheses are
+   sufficient; we simply parenthesize every nested binary/unary
+   expression, which is always safe and keeps the printer obviously
+   correct *)
+let rec expr (e : Ast.expr) : string =
+  match e with
+  | Ast.Int n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | Ast.Var x -> x
+  | Ast.Index (x, i) -> Printf.sprintf "%s[%s]" x (expr i)
+  | Ast.Unary (Ast.Neg, a) -> Printf.sprintf "(-%s)" (expr a)
+  | Ast.Unary (Ast.Not, a) -> Printf.sprintf "(!%s)" (expr a)
+  | Ast.Binary (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr a) (binop op) (expr b)
+  | Ast.Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+
+let rec stmt ~indent (s : Ast.stmt) : string =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.Decl (x, e) -> Printf.sprintf "%svar %s = %s;" pad x (expr e)
+  | Ast.Assign (x, e) -> Printf.sprintf "%s%s = %s;" pad x (expr e)
+  | Ast.Store (x, i, e) ->
+      Printf.sprintf "%s%s[%s] = %s;" pad x (expr i) (expr e)
+  | Ast.Print e -> Printf.sprintf "%sprint(%s);" pad (expr e)
+  | Ast.Expr e -> Printf.sprintf "%s%s;" pad (expr e)
+  | Ast.Return None -> pad ^ "return;"
+  | Ast.Return (Some e) -> Printf.sprintf "%sreturn %s;" pad (expr e)
+  | Ast.Break -> pad ^ "break;"
+  | Ast.Continue -> pad ^ "continue;"
+  | Ast.If (c, t, []) ->
+      Printf.sprintf "%sif (%s) %s" pad (expr c) (block ~indent t)
+  | Ast.If (c, t, f) ->
+      Printf.sprintf "%sif (%s) %s else %s" pad (expr c) (block ~indent t)
+        (block ~indent f)
+  | Ast.While (c, b) ->
+      Printf.sprintf "%swhile (%s) %s" pad (expr c) (block ~indent b)
+  | Ast.For (init, c, step, b) ->
+      let header s =
+        (* strip the indentation and trailing ';' of the simple stmt *)
+        let s = String.trim (stmt ~indent:0 s) in
+        String.sub s 0 (String.length s - 1)
+      in
+      Printf.sprintf "%sfor (%s; %s; %s) %s" pad (header init) (expr c)
+        (header step) (block ~indent b)
+  | Ast.Switch (e, cases, d) ->
+      let case (v, b) =
+        Printf.sprintf "%s  case %d: %s" pad v (block ~indent:(indent + 2) b)
+      in
+      Printf.sprintf "%sswitch (%s) {\n%s\n%s  default: %s\n%s}" pad (expr e)
+        (String.concat "\n" (List.map case cases))
+        pad
+        (block ~indent:(indent + 2) d)
+        pad
+
+and block ~indent (b : Ast.block) : string =
+  if b = [] then "{ }"
+  else
+    Printf.sprintf "{\n%s\n%s}"
+      (String.concat "\n" (List.map (stmt ~indent:(indent + 2)) b))
+      (String.make indent ' ')
+
+let func (f : Ast.func) : string =
+  Printf.sprintf "fn %s(%s) %s" f.Ast.name
+    (String.concat ", " f.Ast.params)
+    (block ~indent:0 f.Ast.body)
+
+(** Render a whole program as parseable source. *)
+let program (p : Ast.program) : string =
+  String.concat "\n\n" (List.map func p)

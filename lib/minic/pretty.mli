@@ -1,0 +1,11 @@
+(** Pretty-printer for the minic AST.  [Parser.parse (program p)] returns
+    a structurally equal program (for programs whose integer literals are
+    non-negative — the parser produces negatives via unary minus). *)
+
+val expr : Ast.expr -> string
+val stmt : indent:int -> Ast.stmt -> string
+val block : indent:int -> Ast.block -> string
+val func : Ast.func -> string
+
+(** Render a whole program as parseable source. *)
+val program : Ast.program -> string

@@ -1,0 +1,94 @@
+(** Code replication on the executable IR: tail duplication.
+
+    The paper's related-work section cites code replication (Krall [15];
+    Mueller & Whalley [22]) as the complementary technique to alignment:
+    where alignment can only pick {e one} layout successor per block,
+    duplicating a small join block into its hot predecessors gives every
+    hot path its own copy to fall into — trading code size (and I-cache
+    pressure) for fewer taken branches.  This transform runs on the
+    executable IR, so the duplicated program still runs, profiles and
+    simulates end-to-end; the test suite checks observable behaviour is
+    unchanged.
+
+    The transform clones a block [S] for a predecessor [P] when:
+    - [P] ends in [Goto S] (an unconditional join edge),
+    - [S] has more than one predecessor (otherwise alignment already
+      wins),
+    - [S] is not the entry block and not [P] itself,
+    - [S]'s weight is at most [max_size],
+    - the edge is {e hot}: its profiled count is at least [min_count]
+      (profile supplied per function).
+
+    One pass, no fixpoint: a clone can itself end in [Goto], but we do
+    not re-duplicate within the same call, bounding code growth. *)
+
+type config = {
+  max_size : int;  (** largest block weight worth cloning *)
+  min_count : int;  (** minimum profiled edge count to bother *)
+}
+
+let default = { max_size = 12; min_count = 1 }
+
+type stats = {
+  clones : int;  (** blocks duplicated *)
+  grown_weight : int;  (** total instruction weight added *)
+}
+
+(** [func ?config ~edge_count f] tail-duplicates one function.
+    [edge_count ~src ~dst] is the profiled transfer count (from a
+    training run of this same function). *)
+let func ?(config = default) ~(edge_count : src:int -> dst:int -> int)
+    (f : Ir.func) : Ir.func * stats =
+  let n = Array.length f.Ir.blocks in
+  (* count predecessors over distinct CFG edges *)
+  let preds = Array.make n 0 in
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun s -> preds.(s) <- preds.(s) + 1)
+        (List.sort_uniq compare (Ir.term_successors b.Ir.term)))
+    f.Ir.blocks;
+  let extra = ref [] in
+  let n_extra = ref 0 in
+  let clones = ref 0 and grown = ref 0 in
+  let blocks =
+    Array.mapi
+      (fun p (b : Ir.block) ->
+        match b.Ir.term with
+        | Ir.Goto s
+          when s <> p && s <> 0
+               && preds.(s) > 1
+               && f.Ir.blocks.(s).Ir.weight <= config.max_size
+               && edge_count ~src:p ~dst:s >= config.min_count ->
+            let clone_id = n + !n_extra in
+            incr n_extra;
+            incr clones;
+            grown := !grown + f.Ir.blocks.(s).Ir.weight;
+            extra := f.Ir.blocks.(s) :: !extra;
+            { b with Ir.term = Ir.Goto clone_id }
+        | _ -> b)
+      f.Ir.blocks
+  in
+  ( { f with Ir.blocks = Array.append blocks (Array.of_list (List.rev !extra)) },
+    { clones = !clones; grown_weight = !grown } )
+
+(** [program ?config prog ~profile] transforms every function, using the
+    per-function profiles for hotness. *)
+let program ?config (prog : Ir.program) ~(profile : Ba_profile.Profile.t) :
+    Ir.program * stats =
+  let total = ref { clones = 0; grown_weight = 0 } in
+  let funcs =
+    Array.mapi
+      (fun fid f ->
+        let pr = Ba_profile.Profile.proc profile fid in
+        let edge_count ~src ~dst = Ba_profile.Profile.freq pr ~src ~dst in
+        let f', st = func ?config ~edge_count f in
+        total :=
+          {
+            clones = !total.clones + st.clones;
+            grown_weight = !total.grown_weight + st.grown_weight;
+          };
+        f')
+      prog.Ir.funcs
+  in
+  ({ Ir.funcs }, !total)

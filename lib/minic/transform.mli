@@ -1,0 +1,32 @@
+(** Code replication on the executable IR: tail duplication of small,
+    hot join blocks into their unconditional predecessors (the
+    complementary technique to alignment discussed in the paper's
+    related work [15, 22]).  Observable behaviour is preserved; block
+    counts and code size grow. *)
+
+type config = {
+  max_size : int;  (** largest block weight worth cloning *)
+  min_count : int;  (** minimum profiled edge count to bother *)
+}
+
+val default : config
+
+type stats = {
+  clones : int;  (** blocks duplicated *)
+  grown_weight : int;  (** total instruction weight added *)
+}
+
+(** Tail-duplicate one function; [edge_count] gives profiled transfer
+    counts. *)
+val func :
+  ?config:config ->
+  edge_count:(src:int -> dst:int -> int) ->
+  Ir.func ->
+  Ir.func * stats
+
+(** Transform every function, taking hotness from the profile. *)
+val program :
+  ?config:config ->
+  Ir.program ->
+  profile:Ba_profile.Profile.t ->
+  Ir.program * stats

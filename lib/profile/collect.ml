@@ -1,0 +1,70 @@
+(** Online profiler: folds a trace-event stream into a {!Profile.t}.
+
+    This is the stand-in for the paper's HALT instrumentation: it observes
+    the same information (every intraprocedural control transfer) without
+    storing the trace. *)
+
+open Ba_cfg
+
+type t = {
+  tables : (int, int) Hashtbl.t array array;
+      (** [tables.(fid).(src)] maps destination to count *)
+  calls : (int * int, int) Hashtbl.t;  (** dynamic call-graph edges *)
+  sink : Trace.sink;
+}
+
+(** [create ~n_blocks] starts a collector for a program whose procedure
+    [fid] has [n_blocks.(fid)] basic blocks. *)
+let create ~(n_blocks : int array) : t =
+  let tables =
+    Array.map (fun n -> Array.init n (fun _ -> Hashtbl.create 2)) n_blocks
+  in
+  let calls = Hashtbl.create 16 in
+  let sink =
+    Trace.invocation_walker
+      ~on_call:(fun ~caller ~callee ->
+        match caller with
+        | None -> ()
+        | Some c ->
+            Hashtbl.replace calls (c, callee)
+              (1 + Option.value ~default:0 (Hashtbl.find_opt calls (c, callee))))
+      ~on_block:(fun ~fid ~bid ~prev ->
+        match prev with
+        | None -> ()
+        | Some src ->
+            let tbl = tables.(fid).(src) in
+            Hashtbl.replace tbl bid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl bid)))
+      ()
+  in
+  { tables; calls; sink }
+
+(** The event sink to feed the interpreter's trace into. *)
+let sink t = t.sink
+
+(** [freeze t] produces the immutable profile collected so far. *)
+let freeze t : Profile.t =
+  {
+    Profile.procs =
+      Array.map
+        (fun proc_tables ->
+          {
+            Profile.freqs =
+              Array.map
+                (fun tbl ->
+                  Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl []
+                  |> List.sort compare |> Array.of_list)
+                proc_tables;
+          })
+        t.tables;
+    calls =
+      Hashtbl.fold (fun (c, e) n acc -> (c, e, n) :: acc) t.calls []
+      |> List.sort compare;
+  }
+
+(** [profile_of_run ~n_blocks run] profiles one execution: [run] is given
+    a sink and must replay the program into it. *)
+let profile_of_run ~n_blocks (run : Trace.sink -> unit) : Profile.t =
+  let c = create ~n_blocks in
+  run c.sink;
+  freeze c

@@ -1,0 +1,20 @@
+(** Online profiler: folds a trace-event stream into a {!Profile.t}
+    without storing the trace (the HALT-instrumentation stand-in). *)
+
+open Ba_cfg
+
+type t
+
+(** [create ~n_blocks] starts a collector for a program whose procedure
+    [fid] has [n_blocks.(fid)] basic blocks. *)
+val create : n_blocks:int array -> t
+
+(** The event sink to feed the interpreter's trace into. *)
+val sink : t -> Trace.sink
+
+(** The immutable profile collected so far. *)
+val freeze : t -> Profile.t
+
+(** [profile_of_run ~n_blocks run] profiles one execution: [run] is
+    handed a sink and must replay the program into it. *)
+val profile_of_run : n_blocks:int array -> (Trace.sink -> unit) -> Profile.t

@@ -1,0 +1,145 @@
+(** Tour-construction heuristics for directed instances.
+
+    The iterated 3-Opt solver of the paper uses "5 randomized Greedy
+    starts, 4 randomized Nearest Neighbor starts, and once the original
+    ordering given by the compiler" (Appendix).  Both heuristics here are
+    randomized in the classic way: instead of always taking the cheapest
+    feasible choice, pick uniformly among the best few. *)
+
+(** The identity tour 0,1,…,n−1. *)
+let identity n = Array.init n (fun i -> i)
+
+(** [nearest_neighbor ?rng ?choices d ~start] grows a tour from [start],
+    repeatedly moving to one of the [choices] nearest unvisited cities
+    (uniformly at random among them; [choices = 1] is the deterministic
+    heuristic). *)
+let nearest_neighbor ?rng ?(choices = 1) (d : Dtsp.t) ~start =
+  if start < 0 || start >= d.Dtsp.n then invalid_arg "nearest_neighbor: bad start";
+  let n = d.Dtsp.n in
+  let visited = Array.make n false in
+  let tour = Array.make n start in
+  visited.(start) <- true;
+  let cur = ref start in
+  (* scratch: candidate (cost, city) pairs of the current step *)
+  let cand = Array.make choices (max_int, -1) in
+  for i = 1 to n - 1 do
+    let n_cand = ref 0 in
+    for j = 0 to n - 1 do
+      if not visited.(j) then begin
+        let c = d.Dtsp.cost.(!cur).(j) in
+        (* insert (c, j) into the best-[choices] candidate buffer *)
+        if !n_cand < choices then begin
+          cand.(!n_cand) <- (c, j);
+          incr n_cand;
+          (* keep the buffer sorted, worst last *)
+          let k = ref (!n_cand - 1) in
+          while !k > 0 && fst cand.(!k) < fst cand.(!k - 1) do
+            let t = cand.(!k) in
+            cand.(!k) <- cand.(!k - 1);
+            cand.(!k - 1) <- t;
+            decr k
+          done
+        end
+        else if c < fst cand.(choices - 1) then begin
+          cand.(choices - 1) <- (c, j);
+          let k = ref (choices - 1) in
+          while !k > 0 && fst cand.(!k) < fst cand.(!k - 1) do
+            let t = cand.(!k) in
+            cand.(!k) <- cand.(!k - 1);
+            cand.(!k - 1) <- t;
+            decr k
+          done
+        end
+      end
+    done;
+    let pick =
+      match rng with
+      | None -> 0
+      | Some st -> Random.State.int st !n_cand
+    in
+    let _, next = cand.(pick) in
+    tour.(i) <- next;
+    visited.(next) <- true;
+    cur := next
+  done;
+  tour
+
+(** [greedy_edge ?rng ?skip_prob d] builds a tour by scanning all directed
+    edges in increasing cost order and accepting an edge when its source
+    still lacks a layout successor, its destination lacks a predecessor,
+    and it does not close a subtour early.  With [rng], each acceptable
+    edge is randomly skipped with probability [skip_prob], which
+    randomizes the construction; leftover path fragments are then stitched
+    cheapest-first.  This mirrors the greedy matching heuristic the
+    greedy branch aligners use, applied to the full cost matrix. *)
+let greedy_edge ?rng ?(skip_prob = 0.1) (d : Dtsp.t) =
+  let n = d.Dtsp.n in
+  if n = 2 then [| 0; 1 |]
+  else begin
+    let next = Array.make n (-1) and prev = Array.make n (-1) in
+    (* union-find over path fragments to detect early cycles *)
+    let parent = Array.init n (fun i -> i) in
+    let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); find parent.(i)) in
+    let accepted = ref 0 in
+    let try_edge i j =
+      if
+        !accepted < n - 1 && i <> j && next.(i) < 0 && prev.(j) < 0
+        && find i <> find j
+      then begin
+        next.(i) <- j;
+        prev.(j) <- i;
+        parent.(find i) <- find j;
+        incr accepted
+      end
+    in
+    let edges = Array.make (n * (n - 1)) (0, 0, 0) in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          edges.(!k) <- (d.Dtsp.cost.(i).(j), i, j);
+          incr k
+        end
+      done
+    done;
+    Array.sort compare edges;
+    Array.iter
+      (fun (_, i, j) ->
+        let skip =
+          match rng with
+          | Some st -> Random.State.float st 1.0 < skip_prob
+          | None -> false
+        in
+        if not skip then try_edge i j)
+      edges;
+    (* stitch any remaining fragments: connect each open tail to the
+       cheapest open head of another fragment *)
+    while !accepted < n - 1 do
+      let best = ref (max_int, -1, -1) in
+      for i = 0 to n - 1 do
+        if next.(i) < 0 then
+          for j = 0 to n - 1 do
+            if prev.(j) < 0 && i <> j && find i <> find j then begin
+              let c = d.Dtsp.cost.(i).(j) in
+              let bc, _, _ = !best in
+              if c < bc then best := (c, i, j)
+            end
+          done
+      done;
+      let _, i, j = !best in
+      if i < 0 then invalid_arg "greedy_edge: cannot complete tour";
+      try_edge i j
+    done;
+    (* close the single remaining path into a cycle *)
+    let head = ref (-1) in
+    for j = 0 to n - 1 do
+      if prev.(j) < 0 then head := j
+    done;
+    let tour = Array.make n 0 in
+    let cur = ref !head in
+    for i = 0 to n - 1 do
+      tour.(i) <- !cur;
+      cur := next.(!cur)
+    done;
+    tour
+  end

@@ -1,0 +1,18 @@
+(** Tour-construction heuristics for directed instances; both are
+    randomized the way the paper's solver uses them (pick among the best
+    few / randomly skip edges). *)
+
+(** The identity tour 0,1,…,n−1. *)
+val identity : int -> int array
+
+(** Grow a tour from [start], moving to one of the [choices] nearest
+    unvisited cities (uniformly among them; [choices = 1] is
+    deterministic). *)
+val nearest_neighbor :
+  ?rng:Random.State.t -> ?choices:int -> Dtsp.t -> start:int -> int array
+
+(** Scan all edges in increasing cost order, linking chain tails to
+    chain heads; with [rng], acceptable edges are skipped with
+    probability [skip_prob] and leftover fragments stitched
+    cheapest-first. *)
+val greedy_edge : ?rng:Random.State.t -> ?skip_prob:float -> Dtsp.t -> int array

@@ -1,0 +1,75 @@
+(** Directed (asymmetric) TSP instances.
+
+    An instance is a complete directed graph on [n] cities given by a full
+    cost matrix; [cost.(i).(j)] is the cost of travelling i → j.  Costs
+    are arbitrary non-negative integers (the branch-alignment reduction
+    also uses a large-but-finite cost to forbid edges, see
+    [Ba_align.Reduction]).  We look for a minimum-cost directed
+    Hamiltonian {e cycle}; the alignment reduction closes its layout walk
+    into a cycle with a dummy city. *)
+
+type t = {
+  n : int;  (** number of cities, [>= 2] *)
+  cost : int array array;  (** [n × n]; the diagonal is ignored *)
+}
+
+(** [make cost] wraps a square matrix.
+    @raise Invalid_argument if the matrix is smaller than 2×2 or ragged. *)
+let make cost =
+  let n = Array.length cost in
+  if n < 2 then invalid_arg "Dtsp.make: need at least 2 cities";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Dtsp.make: ragged matrix")
+    cost;
+  { n; cost }
+
+(** Largest off-diagonal cost in the instance (0 for an all-zero one). *)
+let max_cost t =
+  let m = ref 0 in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      if i <> j && t.cost.(i).(j) > !m then m := t.cost.(i).(j)
+    done
+  done;
+  !m
+
+(** [is_tour t tour] checks that [tour] is a permutation of [0..n-1]. *)
+let is_tour t tour =
+  Array.length tour = t.n
+  &&
+  let seen = Array.make t.n false in
+  Array.for_all
+    (fun c ->
+      if c < 0 || c >= t.n || seen.(c) then false
+      else begin
+        seen.(c) <- true;
+        true
+      end)
+    tour
+
+(** Cost of the directed cycle visiting cities in [tour] order (including
+    the closing edge back to [tour.(0)]).
+    @raise Invalid_argument if [tour] is not a permutation. *)
+let tour_cost t tour =
+  if not (is_tour t tour) then invalid_arg "Dtsp.tour_cost: not a tour";
+  let n = t.n in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    total := !total + t.cost.(tour.(i)).(tour.((i + 1) mod n))
+  done;
+  !total
+
+(** [rotate_to tour city] is the same cyclic tour rotated so that [city]
+    comes first.  @raise Not_found if [city] is absent. *)
+let rotate_to tour city =
+  let n = Array.length tour in
+  let i = ref (-1) in
+  Array.iteri (fun k c -> if c = city then i := k) tour;
+  if !i < 0 then raise Not_found;
+  Array.init n (fun k -> tour.((k + !i) mod n))
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>dtsp n=%d@,%a@]" t.n
+    Fmt.(array ~sep:cut (array ~sep:sp int))
+    t.cost

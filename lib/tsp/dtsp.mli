@@ -1,0 +1,28 @@
+(** Directed (asymmetric) TSP instances: a complete directed graph given
+    by a full cost matrix; we seek a minimum-cost directed Hamiltonian
+    cycle. *)
+
+type t = {
+  n : int;  (** number of cities, ≥ 2 *)
+  cost : int array array;  (** [n × n]; diagonal ignored *)
+}
+
+(** Wrap a square matrix.
+    @raise Invalid_argument if smaller than 2×2 or ragged. *)
+val make : int array array -> t
+
+(** Largest off-diagonal cost. *)
+val max_cost : t -> int
+
+(** Is the array a permutation of the cities? *)
+val is_tour : t -> int array -> bool
+
+(** Cost of the directed cycle visiting the cities in order (closing
+    edge included).  @raise Invalid_argument if not a tour. *)
+val tour_cost : t -> int array -> int
+
+(** Rotate a cyclic tour so the given city comes first.
+    @raise Not_found if absent. *)
+val rotate_to : int array -> int -> int array
+
+val pp : Format.formatter -> t -> unit

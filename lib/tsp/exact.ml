@@ -1,0 +1,73 @@
+(** Exact directed TSP by Held–Karp dynamic programming, O(n²·2ⁿ).
+
+    Practical up to n ≈ 16–18 cities.  Used by the test suite to certify
+    that the heuristic solver and the lower bounds bracket the true
+    optimum, and by the appendix experiment to measure AP-bound gaps on
+    small procedures. *)
+
+(** Largest instance [solve] accepts. *)
+let max_n = 18
+
+(** [solve d] returns an optimal directed tour (starting at city 0) and
+    its cost.  @raise Invalid_argument if [d.n > max_n]. *)
+let solve (d : Dtsp.t) : int array * int =
+  let n = d.Dtsp.n in
+  if n > max_n then invalid_arg "Exact.solve: instance too large";
+  if n = 2 then begin
+    let t = [| 0; 1 |] in
+    (t, Dtsp.tour_cost d t)
+  end
+  else begin
+    let c = d.Dtsp.cost in
+    (* dp over subsets of cities 1..n-1; bit (j-1) set means j visited.
+       dp.(mask).(j-1) = min cost of a path 0 → j visiting exactly the
+       cities of mask. *)
+    let nsets = 1 lsl (n - 1) in
+    let inf = max_int / 4 in
+    let dp = Array.make_matrix nsets (n - 1) inf in
+    let par = Array.make_matrix nsets (n - 1) (-1) in
+    for j = 1 to n - 1 do
+      dp.(1 lsl (j - 1)).(j - 1) <- c.(0).(j)
+    done;
+    for mask = 1 to nsets - 1 do
+      for j = 1 to n - 1 do
+        let bj = 1 lsl (j - 1) in
+        if mask land bj <> 0 && dp.(mask).(j - 1) < inf then begin
+          let base = dp.(mask).(j - 1) in
+          for k = 1 to n - 1 do
+            let bk = 1 lsl (k - 1) in
+            if mask land bk = 0 then begin
+              let m' = mask lor bk in
+              let v = base + c.(j).(k) in
+              if v < dp.(m').(k - 1) then begin
+                dp.(m').(k - 1) <- v;
+                par.(m').(k - 1) <- j
+              end
+            end
+          done
+        end
+      done
+    done;
+    let full = nsets - 1 in
+    let best = ref inf and last = ref (-1) in
+    for j = 1 to n - 1 do
+      let v = dp.(full).(j - 1) + c.(j).(0) in
+      if v < !best then begin
+        best := v;
+        last := j
+      end
+    done;
+    (* reconstruct *)
+    let tour = Array.make n 0 in
+    let mask = ref full and j = ref !last in
+    for i = n - 1 downto 1 do
+      tour.(i) <- !j;
+      let p = par.(!mask).(!j - 1) in
+      mask := !mask land lnot (1 lsl (!j - 1));
+      j := if p < 0 then 0 else p
+    done;
+    (tour, !best)
+  end
+
+(** [optimal_cost d] is just the cost part of {!solve}. *)
+let optimal_cost d = snd (solve d)

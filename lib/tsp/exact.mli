@@ -1,0 +1,12 @@
+(** Exact directed TSP by Held–Karp dynamic programming, O(n²·2ⁿ) —
+    certifies optima on small instances. *)
+
+(** Largest instance {!solve} accepts (18). *)
+val max_n : int
+
+(** Optimal directed tour (starting at city 0) and its cost.
+    @raise Invalid_argument if [n > max_n]. *)
+val solve : Dtsp.t -> int array * int
+
+(** Just the cost part of {!solve}. *)
+val optimal_cost : Dtsp.t -> int

@@ -1,0 +1,144 @@
+(** Held–Karp lower bound via 1-tree Lagrangian relaxation [6, 7].
+
+    For node potentials π, the minimum 1-tree under modified weights
+    w(u,v) = c(u,v) + π(u) + π(v), minus 2·Σπ, lower-bounds every tour;
+    maximizing over π by subgradient ascent gives the Held–Karp bound,
+    empirically within a fraction of a percent of the optimum on a wide
+    range of instance classes [12] — including, as the paper shows, the
+    symmetrized branch-alignment instances.
+
+    We use the Polyak step rule t = λ·(UB − L)/‖deg − 2‖², halving λ when
+    the bound stagnates, which is scale-free and therefore robust to the
+    large locked-edge weights of {!Sym} instances. *)
+
+type config = {
+  iterations : int;  (** max subgradient iterations *)
+  lambda0 : float;  (** initial step multiplier *)
+  patience : int;  (** iterations without improvement before halving λ *)
+}
+
+let default = { iterations = 20_000; lambda0 = 2.0; patience = 100 }
+
+(** [one_tree cost pi] computes a minimum 1-tree under π-modified weights:
+    a minimum spanning tree over cities 1..n−1 (Prim, O(n²)) plus the two
+    cheapest edges incident to city 0.  Returns the modified weight and
+    the degree of every node. *)
+let one_tree (cost : int array array) (pi : float array) =
+  let n = Array.length cost in
+  let w u v = float_of_int cost.(u).(v) +. pi.(u) +. pi.(v) in
+  let deg = Array.make n 0 in
+  let in_tree = Array.make n false in
+  let best = Array.make n infinity and parent = Array.make n (-1) in
+  (* Prim over 1..n-1, rooted at 1 *)
+  in_tree.(1) <- true;
+  for v = 2 to n - 1 do
+    best.(v) <- w 1 v;
+    parent.(v) <- 1
+  done;
+  let weight = ref 0.0 in
+  for _ = 2 to n - 1 do
+    let u = ref (-1) in
+    for v = 2 to n - 1 do
+      if (not in_tree.(v)) && (!u < 0 || best.(v) < best.(!u)) then u := v
+    done;
+    let u = !u in
+    in_tree.(u) <- true;
+    weight := !weight +. best.(u);
+    deg.(u) <- deg.(u) + 1;
+    deg.(parent.(u)) <- deg.(parent.(u)) + 1;
+    for v = 2 to n - 1 do
+      if (not in_tree.(v)) && w u v < best.(v) then begin
+        best.(v) <- w u v;
+        parent.(v) <- u
+      end
+    done
+  done;
+  (* two cheapest edges from city 0 *)
+  let e1 = ref (-1) and e2 = ref (-1) in
+  for v = 1 to n - 1 do
+    if !e1 < 0 || w 0 v < w 0 !e1 then begin
+      e2 := !e1;
+      e1 := v
+    end
+    else if !e2 < 0 || w 0 v < w 0 !e2 then e2 := v
+  done;
+  weight := !weight +. w 0 !e1 +. w 0 !e2;
+  deg.(0) <- 2;
+  deg.(!e1) <- deg.(!e1) + 1;
+  deg.(!e2) <- deg.(!e2) + 1;
+  (!weight, deg)
+
+(** [bound ?config cost ~upper_bound] is the Held–Karp lower bound for the
+    symmetric instance [cost], as a float.  [upper_bound] is the cost of
+    any known tour (used only to scale subgradient steps; a loose value
+    merely slows convergence).  For [n < 3] the bound is the exact forced
+    tour cost. *)
+let bound ?(config = default) (cost : int array array) ~upper_bound : float =
+  let n = Array.length cost in
+  if n < 2 then invalid_arg "Held_karp.bound: need at least 2 cities";
+  if n = 2 then float_of_int (2 * cost.(0).(1))
+  else if n = 3 then
+    float_of_int (cost.(0).(1) + cost.(1).(2) + cost.(2).(0))
+  else begin
+    let pi = Array.make n 0.0 in
+    let prev_grad = Array.make n 0.0 in
+    let best = ref neg_infinity in
+    let lambda = ref config.lambda0 in
+    let since_improve = ref 0 in
+    let iter = ref 0 in
+    let continue = ref true in
+    while !continue && !iter < config.iterations do
+      incr iter;
+      let weight, deg = one_tree cost pi in
+      let sum_pi = Array.fold_left ( +. ) 0.0 pi in
+      let l = weight -. (2.0 *. sum_pi) in
+      if l > !best then begin
+        best := l;
+        since_improve := 0;
+        (* the bound can never exceed the optimum: once it reaches the
+           known upper bound it has certified that tour optimal *)
+        if l >= float_of_int upper_bound -. 1e-9 then continue := false
+      end
+      else begin
+        incr since_improve;
+        if !since_improve >= config.patience then begin
+          lambda := !lambda /. 2.0;
+          since_improve := 0
+        end
+      end;
+      let norm2 = ref 0.0 in
+      for v = 0 to n - 1 do
+        let g = float_of_int (deg.(v) - 2) in
+        norm2 := !norm2 +. (g *. g)
+      done;
+      if !norm2 = 0.0 then continue := false (* the 1-tree is a tour: optimal *)
+      else if !lambda < 1e-6 then continue := false
+      else begin
+        let gap = float_of_int upper_bound -. l in
+        let gap = if gap <= 0.0 then 1.0 else gap in
+        let t = !lambda *. gap /. !norm2 in
+        for v = 0 to n - 1 do
+          (* momentum 0.7/0.3 smooths the zig-zag of pure subgradients *)
+          let g =
+            (0.7 *. float_of_int (deg.(v) - 2)) +. (0.3 *. prev_grad.(v))
+          in
+          prev_grad.(v) <- g;
+          pi.(v) <- pi.(v) +. (t *. g)
+        done
+      end
+    done;
+    !best
+  end
+
+(** [directed_bound ?config d ~upper_bound] is an integer Held–Karp lower
+    bound on the optimal directed tour of [d]: the bound of the
+    symmetrized instance shifted back by the locked-edge offset, rounded
+    up (tour costs are integral).  [upper_bound] is any known directed
+    tour cost. *)
+let directed_bound ?config (d : Dtsp.t) ~upper_bound : int =
+  let s = Sym.of_dtsp d in
+  let b =
+    bound ?config s.Sym.cost ~upper_bound:(upper_bound - s.Sym.offset)
+  in
+  let shifted = b +. float_of_int s.Sym.offset in
+  int_of_float (Float.ceil (shifted -. 1e-6))

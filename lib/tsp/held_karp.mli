@@ -1,0 +1,26 @@
+(** Held–Karp lower bound via 1-tree Lagrangian relaxation with Polyak
+    subgradient steps — the paper's source of provable near-optimality
+    certificates. *)
+
+type config = {
+  iterations : int;  (** max subgradient iterations *)
+  lambda0 : float;  (** initial step multiplier *)
+  patience : int;  (** iterations without improvement before halving λ *)
+}
+
+val default : config
+
+(** Minimum 1-tree under π-modified weights: MST over cities 1..n−1 plus
+    the two cheapest edges at city 0; returns (modified weight,
+    degrees). *)
+val one_tree : int array array -> float array -> float * int array
+
+(** Held–Karp bound for a symmetric instance, as a float.
+    [upper_bound] is any known tour cost (scales the steps; reaching it
+    certifies optimality and stops early).
+    @raise Invalid_argument if [n < 2]. *)
+val bound : ?config:config -> int array array -> upper_bound:int -> float
+
+(** Integer Held–Karp lower bound on the optimal directed tour: bound of
+    the symmetrized instance, shifted back and rounded up. *)
+val directed_bound : ?config:config -> Dtsp.t -> upper_bound:int -> int

@@ -1,0 +1,14 @@
+(** Assignment-problem solver (Hungarian algorithm, shortest augmenting
+    paths, O(n³)) and the AP lower bound on directed tours — the bound
+    the paper's appendix shows is too weak on branch-alignment
+    instances. *)
+
+(** [solve cost] is [(assignment, total)]: [assignment.(i)] is the
+    column matched to row [i], minimizing the total.  Square matrices
+    only; forbid entries by making them very large.
+    @raise Invalid_argument on empty or ragged input. *)
+val solve : int array array -> int array * int
+
+(** AP lower bound on the optimal directed tour (self-assignment
+    forbidden); exact when the optimal cycle cover is a single cycle. *)
+val ap_bound : Dtsp.t -> int

@@ -1,0 +1,183 @@
+(** Iterated 3-Opt for the directed TSP (via symmetrization).
+
+    Following the paper's appendix: each {e run} starts from a
+    construction tour (the original ordering once, randomized greedy and
+    randomized nearest-neighbor for the rest), optimizes it with 3-Opt to
+    exhaustion, then performs a number of {e iterations}, each consisting
+    of a random double-bridge 4-Opt kick [20] followed by 3-Opt
+    re-optimization; a worsening iteration is undone.  The best tour over
+    all runs is returned.  The paper uses 10 runs of 2·N iterations. *)
+
+type config = {
+  runs : int;  (** independent restarts (paper: 10) *)
+  kick_factor : int;  (** iterations per run = kick_factor × n (paper: 2) *)
+  max_kicks : int;  (** hard cap on iterations per run *)
+  neighbors : int;  (** candidate-list width for 3-Opt *)
+  nn_choices : int;  (** randomization width of nearest-neighbor starts *)
+  greedy_skip : float;  (** skip probability of randomized greedy starts *)
+  seed : int;
+}
+
+let default =
+  {
+    runs = 10;
+    kick_factor = 2;
+    max_kicks = 2000;
+    neighbors = 12;
+    nn_choices = 3;
+    greedy_skip = 0.1;
+    seed = 0x5eed;
+  }
+
+type stats = {
+  best_cost : int;  (** directed cost of the best tour *)
+  runs_with_best : int;  (** how many runs ended at the best cost *)
+  kicks : int;  (** total kicks over all runs *)
+  moves_2opt : int;
+  moves_3opt : int;
+}
+
+(* ------------------------------------------------------------------ *)
+
+(** Overwrite the search state's tour. *)
+let set_tour (st : Three_opt.state) (tour : int array) =
+  Array.blit tour 0 st.Three_opt.tour 0 (Array.length tour);
+  Array.iteri (fun i c -> st.Three_opt.pos.(c) <- i) tour
+
+(** Random double-bridge kick that never cuts a locked pair edge.
+    Returns the boundary cities whose don't-look bits must be cleared. *)
+let double_bridge (st : Three_opt.state) rng =
+  let s = st.Three_opt.s in
+  let n = s.Sym.nn in
+  let t = Array.copy st.Three_opt.tour in
+  (* make sure the wrap-around edge (t[n-1], t[0]) is not locked; the
+     rotation does not change the cycle *)
+  if Sym.is_locked s t.(n - 1) t.(0) then begin
+    let first = t.(0) in
+    Array.blit t 1 t 0 (n - 1);
+    t.(n - 1) <- first
+  end;
+  let ok p = not (Sym.is_locked s t.(p - 1) t.(p)) in
+  let rand_cut () =
+    let p = ref (1 + Random.State.int rng (n - 1)) in
+    while not (ok !p) do
+      p := 1 + ((!p + 1 - 1) mod (n - 1))
+    done;
+    !p
+  in
+  let p1 = ref (rand_cut ()) and p2 = ref (rand_cut ()) and p3 = ref (rand_cut ()) in
+  (* need three distinct sorted cut positions *)
+  let attempts = ref 0 in
+  while (!p1 = !p2 || !p2 = !p3 || !p1 = !p3) && !attempts < 64 do
+    incr attempts;
+    p2 := rand_cut ();
+    p3 := rand_cut ()
+  done;
+  if !p1 = !p2 || !p2 = !p3 || !p1 = !p3 then [] (* degenerate: skip kick *)
+  else begin
+    let a = min !p1 (min !p2 !p3) and c = max !p1 (max !p2 !p3) in
+    let b = !p1 + !p2 + !p3 - a - c in
+    (* A = t[0..a-1], B = t[a..b-1], C = t[b..c-1], D = t[c..n-1];
+       double bridge: A C B D *)
+    let t' = Array.make n 0 in
+    let k = ref 0 in
+    let push lo hi =
+      for i = lo to hi do
+        t'.(!k) <- t.(i);
+        incr k
+      done
+    in
+    push 0 (a - 1);
+    push b (c - 1);
+    push a (b - 1);
+    push c (n - 1);
+    let touched =
+      [
+        t.(0); t.(n - 1);
+        t.(a - 1); t.(a);
+        t.(b - 1); t.(b);
+        t.(c - 1); t.(c);
+      ]
+    in
+    set_tour st t';
+    touched
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let brute_force (d : Dtsp.t) =
+  (* for n <= 3 every cyclic order is exhausted trivially *)
+  match d.Dtsp.n with
+  | 2 ->
+      let t = [| 0; 1 |] in
+      (t, Dtsp.tour_cost d t)
+  | 3 ->
+      let t1 = [| 0; 1; 2 |] and t2 = [| 0; 2; 1 |] in
+      let c1 = Dtsp.tour_cost d t1 and c2 = Dtsp.tour_cost d t2 in
+      if c1 <= c2 then (t1, c1) else (t2, c2)
+  | _ -> invalid_arg "Iterated.brute_force: n > 3"
+
+(** [solve ?config d] returns the best directed tour found and solver
+    statistics.  Deterministic for a fixed [config.seed]. *)
+let solve ?(config = default) (d : Dtsp.t) : int array * stats =
+  let n = d.Dtsp.n in
+  if n <= 3 then begin
+    let tour, c = brute_force d in
+    ( tour,
+      { best_cost = c; runs_with_best = config.runs; kicks = 0; moves_2opt = 0; moves_3opt = 0 } )
+  end
+  else begin
+    let rng = Random.State.make [| config.seed; n; Dtsp.max_cost d |] in
+    let s = Sym.of_dtsp d in
+    let nbr = Neighbors.of_sym s ~k:config.neighbors in
+    let kicks_per_run = min config.max_kicks (config.kick_factor * n) in
+    let best_tour = ref None and best_cost = ref max_int in
+    let runs_with_best = ref 0 in
+    let total_kicks = ref 0 and m2 = ref 0 and m3 = ref 0 in
+    for run = 0 to config.runs - 1 do
+      let start_directed =
+        if run = 0 then Construct.identity n
+        else if run land 1 = 1 then
+          Construct.greedy_edge ~rng ~skip_prob:config.greedy_skip d
+        else
+          Construct.nearest_neighbor ~rng ~choices:config.nn_choices d
+            ~start:(Random.State.int rng n)
+      in
+      let st = Three_opt.init s ~nbr ~tour:(Sym.expand s start_directed) in
+      Three_opt.activate_all st;
+      Three_opt.run st;
+      let run_best = ref (Three_opt.tour st) in
+      let run_best_cost = ref (Three_opt.cost st) in
+      for _ = 1 to kicks_per_run do
+        incr total_kicks;
+        let touched = double_bridge st rng in
+        List.iter (Three_opt.activate st) touched;
+        Three_opt.run st;
+        let c = Three_opt.cost st in
+        if c < !run_best_cost then begin
+          run_best_cost := c;
+          run_best := Three_opt.tour st
+        end
+        else set_tour st !run_best
+      done;
+      m2 := !m2 + st.Three_opt.moves_2opt;
+      m3 := !m3 + st.Three_opt.moves_3opt;
+      let directed_cost = !run_best_cost + s.Sym.offset in
+      if directed_cost < !best_cost then begin
+        best_cost := directed_cost;
+        best_tour := Some (Sym.extract s !run_best);
+        runs_with_best := 1
+      end
+      else if directed_cost = !best_cost then incr runs_with_best
+    done;
+    let tour = Option.get !best_tour in
+    assert (Dtsp.tour_cost d tour = !best_cost);
+    ( tour,
+      {
+        best_cost = !best_cost;
+        runs_with_best = !runs_with_best;
+        kicks = !total_kicks;
+        moves_2opt = !m2;
+        moves_3opt = !m3;
+      } )
+  end

@@ -1,0 +1,37 @@
+(** Iterated 3-Opt for the directed TSP (via symmetrization), following
+    the paper's appendix: randomized Greedy / Nearest-Neighbor / identity
+    starts, 3-Opt to exhaustion, then double-bridge kicks with
+    re-optimization, worsening kicks undone; best tour over all runs. *)
+
+type config = {
+  runs : int;  (** independent restarts (paper: 10) *)
+  kick_factor : int;  (** iterations per run = kick_factor × n (paper: 2) *)
+  max_kicks : int;  (** hard cap on iterations per run *)
+  neighbors : int;  (** candidate-list width *)
+  nn_choices : int;  (** randomization width of NN starts *)
+  greedy_skip : float;  (** skip probability of greedy starts *)
+  seed : int;
+}
+
+val default : config
+
+type stats = {
+  best_cost : int;  (** directed cost of the best tour *)
+  runs_with_best : int;  (** how many runs ended at the best cost *)
+  kicks : int;
+  moves_2opt : int;
+  moves_3opt : int;
+}
+
+(** Overwrite a search state's tour (positions recomputed). *)
+val set_tour : Three_opt.state -> int array -> unit
+
+(** Random double-bridge kick that never cuts a locked pair edge;
+    returns the boundary cities to re-activate (empty if the kick
+    degenerated and was skipped). *)
+val double_bridge : Three_opt.state -> Random.State.t -> int list
+
+(** [solve ?config d] returns the best directed tour found and solver
+    statistics.  Deterministic for a fixed seed.  Instances with n ≤ 3
+    are enumerated exactly. *)
+val solve : ?config:config -> Dtsp.t -> int array * stats

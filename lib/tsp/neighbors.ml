@@ -1,0 +1,20 @@
+(** k-nearest-neighbor candidate lists for local search.
+
+    Only finite, non-locked edges are useful candidates: locked pair edges
+    are always in the tour already and forbidden pairs can never improve a
+    tour.  Lists are sorted by increasing cost so searches can stop
+    early. *)
+
+(** [of_sym s ~k] builds, for every symmetric city, its up-to-[k]
+    cheapest candidate partners (finite cost, not the locked partner). *)
+let of_sym (s : Sym.t) ~k =
+  let nn = s.Sym.nn in
+  Array.init nn (fun a ->
+      let cand = ref [] in
+      for b = 0 to nn - 1 do
+        if b <> a && (not (Sym.is_locked s a b)) && s.Sym.cost.(a).(b) < s.Sym.inf
+        then cand := b :: !cand
+      done;
+      let arr = Array.of_list !cand in
+      Array.sort (fun x y -> compare s.Sym.cost.(a).(x) s.Sym.cost.(a).(y)) arr;
+      if Array.length arr <= k then arr else Array.sub arr 0 k)

@@ -1,0 +1,4 @@
+(** k-nearest-neighbor candidate lists (finite, non-locked partners
+    only), sorted by increasing cost so searches can stop early. *)
+
+val of_sym : Sym.t -> k:int -> int array array

@@ -1,0 +1,95 @@
+(** Karp's patching algorithm for the directed TSP [14, 34].
+
+    The classic AP-based heuristic the paper's appendix contrasts with
+    iterated 3-Opt: solve the assignment problem (a minimum cycle cover),
+    then repeatedly patch the two largest cycles together using the
+    cheapest 2-exchange between them, until a single Hamiltonian cycle
+    remains.  Excellent when the AP bound is near the optimum (e.g.
+    random matrices), much weaker on branch-alignment instances — which
+    is exactly the point the appendix makes, and which the appendix
+    experiment here measures. *)
+
+(** [solve d] returns a tour and its cost. *)
+let solve (d : Dtsp.t) : int array * int =
+  let n = d.Dtsp.n in
+  if n = 2 then begin
+    let t = [| 0; 1 |] in
+    (t, Dtsp.tour_cost d t)
+  end
+  else begin
+    let forbid = 1 + (n * (Dtsp.max_cost d + 1)) in
+    let cost =
+      Array.init n (fun i ->
+          Array.init n (fun j -> if i = j then forbid else d.Dtsp.cost.(i).(j)))
+    in
+    let succ, _ = Hungarian.solve cost in
+    (* identify cycles *)
+    let cycle_of = Array.make n (-1) in
+    let cycle_sizes = ref [] in
+    let n_cycles = ref 0 in
+    for v = 0 to n - 1 do
+      if cycle_of.(v) < 0 then begin
+        let id = !n_cycles in
+        incr n_cycles;
+        let size = ref 0 and cur = ref v in
+        while cycle_of.(!cur) < 0 do
+          cycle_of.(!cur) <- id;
+          incr size;
+          cur := succ.(!cur)
+        done;
+        cycle_sizes := (id, !size) :: !cycle_sizes
+      end
+    done;
+    let sizes = Hashtbl.create 8 in
+    List.iter (fun (id, s) -> Hashtbl.replace sizes id s) !cycle_sizes;
+    (* repeatedly patch the two largest cycles *)
+    while Hashtbl.length sizes > 1 do
+      (* find ids of the two largest cycles *)
+      let best1 = ref (-1, -1) and best2 = ref (-1, -1) in
+      Hashtbl.iter
+        (fun id s ->
+          if s > snd !best1 then begin
+            best2 := !best1;
+            best1 := (id, s)
+          end
+          else if s > snd !best2 then best2 := (id, s))
+        sizes;
+      let c1 = fst !best1 and c2 = fst !best2 in
+      (* cheapest patch: delete (i, succ i) from c1 and (j, succ j) from
+         c2; add (i, succ j) and (j, succ i) *)
+      let best = ref (max_int, -1, -1) in
+      for i = 0 to n - 1 do
+        if cycle_of.(i) = c1 then
+          for j = 0 to n - 1 do
+            if cycle_of.(j) = c2 then begin
+              let delta =
+                d.Dtsp.cost.(i).(succ.(j)) + d.Dtsp.cost.(j).(succ.(i))
+                - d.Dtsp.cost.(i).(succ.(i))
+                - d.Dtsp.cost.(j).(succ.(j))
+              in
+              let bc, _, _ = !best in
+              if delta < bc then best := (delta, i, j)
+            end
+          done
+      done;
+      let _, i, j = !best in
+      let si = succ.(i) and sj = succ.(j) in
+      succ.(i) <- sj;
+      succ.(j) <- si;
+      (* cycle c2 is absorbed into c1 *)
+      let s1 = Hashtbl.find sizes c1 and s2 = Hashtbl.find sizes c2 in
+      Hashtbl.remove sizes c2;
+      Hashtbl.replace sizes c1 (s1 + s2);
+      for v = 0 to n - 1 do
+        if cycle_of.(v) = c2 then cycle_of.(v) <- c1
+      done
+    done;
+    (* read off the tour *)
+    let tour = Array.make n 0 in
+    let cur = ref 0 in
+    for k = 0 to n - 1 do
+      tour.(k) <- !cur;
+      cur := succ.(!cur)
+    done;
+    (tour, Dtsp.tour_cost d tour)
+  end

@@ -1,0 +1,7 @@
+(** Karp's patching algorithm for the directed TSP: solve the assignment
+    problem, then repeatedly patch the two largest cycles with the
+    cheapest 2-exchange.  The AP-based rival method the paper's appendix
+    argues against on branch-alignment instances. *)
+
+(** A tour and its cost. *)
+val solve : Dtsp.t -> int array * int

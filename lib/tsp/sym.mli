@@ -1,0 +1,38 @@
+(** DTSP → symmetric TSP via the standard 2-city transformation: city
+    [i] becomes in-city [2i] and out-city [2i+1] joined by a locked edge
+    of weight [−m]; directed edge i → j becomes (out i, in j); all other
+    pairs are forbidden ([inf]).  Improving local-search moves can
+    neither drop a locked edge nor add a forbidden one. *)
+
+type t = {
+  n_cities : int;  (** directed cities *)
+  nn : int;  (** symmetric cities = 2 × n_cities *)
+  cost : int array array;  (** symmetric [nn × nn] *)
+  m : int;  (** locked-edge weight magnitude *)
+  inf : int;  (** forbidden-pair weight *)
+  real_max : int;  (** largest directed cost; bounds improving gains *)
+  offset : int;  (** directed cost = symmetric cost + offset (= n·m) *)
+}
+
+val in_city : int -> int
+val out_city : int -> int
+
+(** Build the symmetric instance. *)
+val of_dtsp : Dtsp.t -> t
+
+(** Is (a, b) an in/out pair edge? *)
+val is_locked : t -> int -> int -> bool
+
+(** Directed tour → symmetric tour [in t0; out t0; in t1; …]. *)
+val expand : t -> int array -> int array
+
+(** Cost of a symmetric cycle. *)
+val tour_cost : t -> int array -> int
+
+(** Are all in/out pairs adjacent (all locked edges intact)? *)
+val check_alternating : t -> int array -> bool
+
+(** Recover the directed tour from a symmetric tour with intact locked
+    edges, orientation normalized.
+    @raise Invalid_argument if a locked edge was dropped. *)
+val extract : t -> int array -> int array

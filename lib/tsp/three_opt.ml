@@ -1,0 +1,253 @@
+(** 3-Opt local search with neighbor lists and don't-look bits
+    (Johnson–McGeoch [10]).
+
+    Works on a symmetric instance produced by {!Sym.of_dtsp}.  A move
+    removes up to three tour edges and reconnects the segments; the four
+    pure-3-opt reconnection types plus classic 2-opt are searched
+    first-improvement, with candidate added edges restricted to the
+    k-nearest-neighbor lists.  Locked pair edges (weight −m) are never
+    profitable to remove and forbidden pairs (weight inf) never profitable
+    to add, so the alternating in/out structure of the symmetrized tour is
+    preserved by construction (and re-checked by the caller).
+
+    Tour representation: [tour] maps position → city, [pos] city →
+    position; segment reversals keep both in sync. *)
+
+type state = {
+  s : Sym.t;
+  nbr : int array array;  (** candidate lists, sorted by cost *)
+  tour : int array;
+  pos : int array;
+  in_queue : bool array;
+  queue : int Queue.t;
+  mutable moves_2opt : int;
+  mutable moves_3opt : int;
+}
+
+let nn st = st.s.Sym.nn
+let d st a b = st.s.Sym.cost.(a).(b)
+let city_at st p = st.tour.(p)
+let succ st c = st.tour.((st.pos.(c) + 1) mod nn st)
+let pred st c = st.tour.((st.pos.(c) - 1 + nn st) mod nn st)
+
+(** [init s ~nbr ~tour] starts a search state from a tour (copied). *)
+let init (s : Sym.t) ~nbr ~tour =
+  let n = s.Sym.nn in
+  if Array.length tour <> n then invalid_arg "Three_opt.init: wrong tour size";
+  let pos = Array.make n (-1) in
+  Array.iteri (fun i c -> pos.(c) <- i) tour;
+  Array.iter (fun p -> if p < 0 then invalid_arg "Three_opt.init: not a permutation") pos;
+  {
+    s;
+    nbr;
+    tour = Array.copy tour;
+    pos;
+    in_queue = Array.make n false;
+    queue = Queue.create ();
+    moves_2opt = 0;
+    moves_3opt = 0;
+  }
+
+(** Mark a city to be re-examined. *)
+let activate st c =
+  if not st.in_queue.(c) then begin
+    st.in_queue.(c) <- true;
+    Queue.add c st.queue
+  end
+
+let activate_all st =
+  for c = 0 to nn st - 1 do
+    activate st c
+  done
+
+(** Reverse the cyclic position segment [l..r] (inclusive). *)
+let reverse_seg st l r =
+  let n = nn st in
+  let len = ((r - l + n) mod n) + 1 in
+  let i = ref l and j = ref r in
+  for _ = 1 to len / 2 do
+    let ci = st.tour.(!i) and cj = st.tour.(!j) in
+    st.tour.(!i) <- cj;
+    st.tour.(!j) <- ci;
+    st.pos.(cj) <- !i;
+    st.pos.(ci) <- !j;
+    i := (!i + 1) mod n;
+    j := (!j - 1 + n) mod n
+  done
+
+(** Reverse the cheaper side for a 2-opt move cutting after positions
+    [pa] and [px] (removing edges (t[pa],t[pa+1]) and (t[px],t[px+1])). *)
+let apply_2opt st ~pa ~px =
+  let n = nn st in
+  let len_fwd = (px - pa + n) mod n in
+  (* reversing positions pa+1..px, or equivalently px+1..pa *)
+  if len_fwd <= n - len_fwd then reverse_seg st ((pa + 1) mod n) px
+  else reverse_seg st ((px + 1) mod n) pa;
+  st.moves_2opt <- st.moves_2opt + 1
+
+type reconnection = T3 | T4 | T5 | T6
+
+(** Apply a pure 3-opt reconnection with cuts after positions [pi],
+    [pi+jj], [pi+kk] (see DESIGN.md §6 for the segment algebra). *)
+let apply_3opt st ~pi ~jj ~kk ty =
+  let n = nn st in
+  let pj = (pi + jj) mod n and pk = (pi + kk) mod n in
+  let p1 = (pi + 1) mod n and pj1 = (pj + 1) mod n in
+  (match ty with
+  | T3 ->
+      reverse_seg st p1 pj;
+      reverse_seg st pj1 pk
+  | T4 ->
+      reverse_seg st p1 pj;
+      reverse_seg st pj1 pk;
+      reverse_seg st p1 pk
+  | T5 ->
+      reverse_seg st pj1 pk;
+      reverse_seg st p1 pk
+  | T6 ->
+      reverse_seg st p1 pj;
+      reverse_seg st p1 pk);
+  st.moves_3opt <- st.moves_3opt + 1
+
+(** Search one improving move around city [a]; apply it and return [true],
+    or return [false] if none exists in the candidate neighborhood. *)
+let try_city st a =
+  let n = nn st in
+  let found = ref false in
+  let dirs = [| true; false |] in
+  let di = ref 0 in
+  while (not !found) && !di < 2 do
+    let forward = dirs.(!di) in
+    incr di;
+    (* the removed base edge, read as (a, b) with b following a in the
+       chosen direction; in position terms the cut is after position pa *)
+    let b = if forward then succ st a else pred st a in
+    if not (Sym.is_locked st.s a b) then begin
+      let dab = d st a b in
+      (* ---- 2-opt scan: added edge (a, x) ---- *)
+      let na = st.nbr.(a) in
+      let i = ref 0 in
+      while (not !found) && !i < Array.length na do
+        let x = na.(!i) in
+        incr i;
+        let dax = d st a x in
+        if dax >= dab then i := Array.length na (* sorted: no gain further on *)
+        else if x <> b then begin
+          let y = if forward then succ st x else pred st x in
+          if y <> a then begin
+            let gain = dab + d st x y - dax - d st b y in
+            if gain > 0 then begin
+              (* in forward reading, cuts are after a and after x;
+                 in backward reading, after b' = pred a and after y *)
+              (if forward then apply_2opt st ~pa:st.pos.(a) ~px:st.pos.(x)
+               else apply_2opt st ~pa:st.pos.(y) ~px:st.pos.(b));
+              activate st a;
+              activate st b;
+              activate st x;
+              activate st y;
+              found := true
+            end
+          end
+        end
+      done;
+      (* ---- pure 3-opt scan (forward orientation only; every move is
+              found from one of its removed edges read forward) ---- *)
+      if (not !found) && forward then begin
+        let pi = st.pos.(a) in
+        let limit = dab + (2 * st.s.Sym.real_max) in
+        let na = st.nbr.(a) and nb = st.nbr.(b) in
+        let xi = ref 0 in
+        while (not !found) && !xi < Array.length na do
+          let x = na.(!xi) in
+          incr xi;
+          let dax = d st a x in
+          if dax >= limit then xi := Array.length na
+          else begin
+            let px = st.pos.(x) in
+            let yi = ref 0 in
+            while (not !found) && !yi < Array.length nb do
+              let y = nb.(!yi) in
+              incr yi;
+              let dby = d st b y in
+              if dby >= limit then yi := Array.length nb
+              else begin
+                let py = st.pos.(y) in
+                (* helper: relative position from pi *)
+                let rel p = (p - pi + n) mod n in
+                let at p = city_at st (p mod n) in
+                (* T3: x = c at cut j, y = e at cut k.
+                   added (a,c) (b,e) (d,f) *)
+                (let jj = rel px and kk = rel py in
+                 if (not !found) && jj >= 1 && kk > jj && kk <= n - 1 then begin
+                   let dd = at (pi + jj + 1) and f = at (pi + kk + 1) in
+                   let gain =
+                     dab + d st x dd + d st y f - dax - dby - d st dd f
+                   in
+                   if gain > 0 then begin
+                     apply_3opt st ~pi ~jj ~kk T3;
+                     List.iter (activate st) [ a; b; x; y; dd; f ];
+                     found := true
+                   end
+                 end);
+                (* T4: x = d (so cut j is just before x), y = e at cut k.
+                   added (a,d) (e,b) (c,f) *)
+                (let jj = (rel px - 1 + n) mod n and kk = rel py in
+                 if (not !found) && jj >= 1 && kk > jj && kk <= n - 1 then begin
+                   let c = at (pi + jj) and f = at (pi + kk + 1) in
+                   let gain = dab + d st c x + d st y f - dax - dby - d st c f in
+                   if gain > 0 then begin
+                     apply_3opt st ~pi ~jj ~kk T4;
+                     List.iter (activate st) [ a; b; x; y; c; f ];
+                     found := true
+                   end
+                 end);
+                (* T5: x = d (cut j before x), y = f (cut k before y).
+                   added (a,d) (e,c) (b,f) *)
+                (let jj = (rel px - 1 + n) mod n and kk = (rel py - 1 + n) mod n in
+                 if (not !found) && jj >= 1 && kk > jj && kk <= n - 1 then begin
+                   let c = at (pi + jj) and e = at (pi + kk) in
+                   let gain = dab + d st c x + d st e y - dax - dby - d st e c in
+                   if gain > 0 then begin
+                     apply_3opt st ~pi ~jj ~kk T5;
+                     List.iter (activate st) [ a; b; x; y; c; e ];
+                     found := true
+                   end
+                 end);
+                (* T6: x = e at cut k, y = d (cut j before y).
+                   added (a,e) (d,b) (c,f) *)
+                (let jj = (rel py - 1 + n) mod n and kk = rel px in
+                 if (not !found) && jj >= 1 && kk > jj && kk <= n - 1 then begin
+                   let c = at (pi + jj) and f = at (pi + kk + 1) in
+                   let gain = dab + d st c y + d st x f - dax - dby - d st c f in
+                   if gain > 0 then begin
+                     apply_3opt st ~pi ~jj ~kk T6;
+                     List.iter (activate st) [ a; b; x; y; c; f ];
+                     found := true
+                   end
+                 end)
+              end
+            done
+          end
+        done
+      end
+    end
+  done;
+  !found
+
+(** Run to local optimality: process the active queue, repeatedly
+    improving around each active city until its neighborhood is
+    exhausted. *)
+let run st =
+  while not (Queue.is_empty st.queue) do
+    let a = Queue.pop st.queue in
+    st.in_queue.(a) <- false;
+    while try_city st a do
+      ()
+    done
+  done
+
+(** Current tour (copied). *)
+let tour st = Array.copy st.tour
+
+(** Current symmetric tour cost. *)
+let cost st = Sym.tour_cost st.s st.tour

@@ -1,0 +1,37 @@
+(** 3-Opt local search with neighbor lists and don't-look bits
+    (Johnson–McGeoch), on instances produced by {!Sym.of_dtsp}.  The
+    locked/forbidden weight structure guarantees improving moves preserve
+    the alternating in/out tour shape. *)
+
+type state = {
+  s : Sym.t;
+  nbr : int array array;
+  tour : int array;  (** position → city *)
+  pos : int array;  (** city → position *)
+  in_queue : bool array;
+  queue : int Queue.t;
+  mutable moves_2opt : int;
+  mutable moves_3opt : int;
+}
+
+(** Start a search state from a tour (copied).
+    @raise Invalid_argument on malformed tours. *)
+val init : Sym.t -> nbr:int array array -> tour:int array -> state
+
+(** Mark a city for (re-)examination. *)
+val activate : state -> int -> unit
+
+val activate_all : state -> unit
+
+(** Search one improving move around a city; apply it and return [true],
+    or [false] if its candidate neighborhood is exhausted. *)
+val try_city : state -> int -> bool
+
+(** Run to local optimality over the active queue. *)
+val run : state -> unit
+
+(** Current tour (copied). *)
+val tour : state -> int array
+
+(** Current symmetric tour cost. *)
+val cost : state -> int

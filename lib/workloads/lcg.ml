@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random input generation for the workload data
+    sets.  A fixed 64-bit LCG keeps every data set bit-reproducible
+    across runs and platforms (OCaml ints are 63-bit; we mask to 48 bits
+    of state and use the high bits). *)
+
+type t = { mutable state : int }
+
+let mask48 = (1 lsl 48) - 1
+
+let create seed = { state = ((seed * 2862933555777941757) + 3037000493) land mask48 }
+
+(** Next raw 16-bit value. *)
+let next t =
+  t.state <- (t.state * 25214903917 + 11) land mask48;
+  (t.state lsr 32) land 0xFFFF
+
+(** Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Lcg.int: non-positive bound";
+  next t mod bound
+
+(** Biased byte stream resembling ASCII program text: letters and spaces
+    dominate, with punctuation sprinkled in — gives an LZW compressor the
+    skewed, repetitive distribution of the paper's "program text" input. *)
+let text_byte t =
+  let r = int t 100 in
+  if r < 18 then 32 (* space *)
+  else if r < 70 then 97 + int t 26 (* lowercase *)
+  else if r < 80 then 101 (* extra 'e' weight *)
+  else if r < 88 then 48 + int t 10 (* digits *)
+  else if r < 94 then 10 (* newline *)
+  else [| 40; 41; 59; 61; 42; 43 |].(int t 6)
+
+(** Byte stream resembling compressed media: near-uniform with short
+    runs, like the paper's MPEG input — much less compressible. *)
+let media_byte t =
+  if int t 16 = 0 then 0 (* occasional run-marker byte *) else int t 256

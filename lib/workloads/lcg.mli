@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random input generation for the workload data
+    sets (bit-reproducible across runs and platforms). *)
+
+type t
+
+val create : int -> t
+
+(** Next raw 16-bit value. *)
+val next : t -> int
+
+(** Uniform integer in [0, bound).
+    @raise Invalid_argument on non-positive bounds. *)
+val int : t -> int -> int
+
+(** Biased byte stream resembling program text (letters/spaces dominate) —
+    the paper's compressible "program text" input flavour. *)
+val text_byte : t -> int
+
+(** Near-uniform byte stream resembling compressed media — the paper's
+    MPEG input flavour. *)
+val media_byte : t -> int

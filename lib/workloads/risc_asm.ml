@@ -1,0 +1,182 @@
+(** Cross-assembler for the m88 RISC simulator (see {!Src_m88}): four
+    words per instruction, label-resolved branch targets, plus the two
+    guest programs used as data sets. *)
+
+type reg = int
+
+type instr =
+  | Halt
+  | Loadi of reg * int
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Ld of reg * reg * int  (** rd ← mem[ra + imm] *)
+  | St of reg * int * reg  (** mem[ra + imm] ← rs *)
+  | Beq of reg * reg * string
+  | Bne of reg * reg * string
+  | Blt of reg * reg * string
+  | Jmp of string
+  | Out of reg
+  | And_ of reg * reg * reg
+  | Or_ of reg * reg * reg
+  | Xor_ of reg * reg * reg
+  | Shl of reg * reg * reg
+  | Shr of reg * reg * reg
+  | Mods of reg * reg * reg
+  | Mov of reg * reg
+  | Label of string
+
+exception Error of string
+
+let width = function Label _ -> 0 | _ -> 4
+
+(** Resolve labels and encode the four-word stream. *)
+let assemble (prog : instr list) : int array =
+  let labels = Hashtbl.create 16 in
+  let pc = ref 0 in
+  List.iter
+    (fun i ->
+      (match i with
+      | Label l ->
+          if Hashtbl.mem labels l then raise (Error ("duplicate label " ^ l));
+          Hashtbl.replace labels l !pc
+      | _ -> ());
+      pc := !pc + width i)
+    prog;
+  let target l =
+    match Hashtbl.find_opt labels l with
+    | Some a -> a
+    | None -> raise (Error ("undefined label " ^ l))
+  in
+  let out = ref [] in
+  let quad a b c d = out := d :: c :: b :: a :: !out in
+  List.iter
+    (fun i ->
+      match i with
+      | Label _ -> ()
+      | Halt -> quad 0 0 0 0
+      | Loadi (rd, imm) -> quad 1 rd imm 0
+      | Add (rd, ra, rb) -> quad 2 rd ra rb
+      | Sub (rd, ra, rb) -> quad 3 rd ra rb
+      | Mul (rd, ra, rb) -> quad 4 rd ra rb
+      | Div (rd, ra, rb) -> quad 5 rd ra rb
+      | Ld (rd, ra, imm) -> quad 6 rd ra imm
+      | St (ra, imm, rs) -> quad 7 ra imm rs
+      | Beq (ra, rb, l) -> quad 8 ra rb (target l)
+      | Bne (ra, rb, l) -> quad 9 ra rb (target l)
+      | Blt (ra, rb, l) -> quad 10 ra rb (target l)
+      | Jmp l -> quad 11 0 0 (target l)
+      | Out ra -> quad 12 ra 0 0
+      | And_ (rd, ra, rb) -> quad 13 rd ra rb
+      | Or_ (rd, ra, rb) -> quad 14 rd ra rb
+      | Xor_ (rd, ra, rb) -> quad 15 rd ra rb
+      | Shl (rd, ra, rb) -> quad 16 rd ra rb
+      | Shr (rd, ra, rb) -> quad 17 rd ra rb
+      | Mods (rd, ra, rb) -> quad 18 rd ra rb
+      | Mov (rd, ra) -> quad 19 rd ra 0)
+    prog;
+  Array.of_list (List.rev !out)
+
+(** Pack a guest program + initial memory into the simulator's input
+    stream. *)
+let dataset ~memsize (code : int array) ~(init : (int * int) list) : int array =
+  Array.concat
+    [
+      [| memsize; Array.length code |];
+      code;
+      [| List.length init |];
+      Array.of_list (List.concat_map (fun (a, v) -> [ a; v ]) init);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+(** Guest program 1: in-place bubble sort of [n] words at memory 0, then
+    output a checksum of the sorted array.  Registers: r1=i, r2=j, r3=n,
+    r4/r5 scratch, r6 = tmp addr, r7 = acc, r15 = constant 1. *)
+let bubble_sort_program ~n : int array =
+  assemble
+    [
+      Loadi (3, n);
+      Loadi (15, 1);
+      Loadi (1, 0);
+      Label "outer";
+      (* if i >= n-1 goto done *)
+      Sub (4, 3, 15);
+      Blt (1, 4, "inner_init");
+      Jmp "sum";
+      Label "inner_init";
+      Loadi (2, 0);
+      Label "inner";
+      Sub (4, 3, 1);
+      Sub (4, 4, 15);
+      Blt (2, 4, "body");
+      (* i++, next outer *)
+      Add (1, 1, 15);
+      Jmp "outer";
+      Label "body";
+      (* if mem[j] > mem[j+1] swap *)
+      Ld (5, 2, 0);
+      Ld (6, 2, 1);
+      Blt (6, 5, "swap");
+      Jmp "next";
+      Label "swap";
+      St (2, 0, 6);
+      St (2, 1, 5);
+      Label "next";
+      Add (2, 2, 15);
+      Jmp "inner";
+      Label "sum";
+      (* checksum: r7 = sum of i*mem[i] *)
+      Loadi (7, 0);
+      Loadi (1, 0);
+      Label "sum_loop";
+      Blt (1, 3, "sum_body");
+      Out 7;
+      Halt;
+      Label "sum_body";
+      Ld (5, 1, 0);
+      Mul (5, 5, 1);
+      Add (7, 7, 5);
+      Add (1, 1, 15);
+      Jmp "sum_loop";
+    ]
+
+(** Guest program 2: iterated Collatz lengths — for each seed in
+    [1..count], walk the 3n+1 sequence, accumulate total steps.  Very
+    branchy guest code.  r1=seed, r2=x, r3=steps, r4=total, r5/r6
+    scratch, r14=2, r15=1. *)
+let collatz_program ~count : int array =
+  assemble
+    [
+      Loadi (15, 1);
+      Loadi (14, 2);
+      Loadi (12, 3);
+      Loadi (13, count);
+      Loadi (1, 1);
+      Loadi (4, 0);
+      Label "seeds";
+      Blt (13, 1, "done");
+      Mov (2, 1);
+      Loadi (3, 0);
+      Label "step";
+      Beq (2, 15, "seed_done");
+      Mods (5, 2, 14);
+      Beq (5, 15, "odd");
+      Div (2, 2, 14);
+      Jmp "stepped";
+      Label "odd";
+      Mul (2, 2, 12);
+      Add (2, 2, 15);
+      Jmp "stepped";
+      Label "stepped";
+      Add (3, 3, 15);
+      Jmp "step";
+      Label "seed_done";
+      Add (4, 4, 3);
+      Add (1, 1, 15);
+      Jmp "seeds";
+      Label "done";
+      Out 4;
+      Halt;
+    ]

@@ -1,0 +1,43 @@
+(** Cross-assembler for the m88 RISC simulator (four words per
+    instruction), plus the two guest programs used as data sets. *)
+
+type reg = int
+
+type instr =
+  | Halt
+  | Loadi of reg * int
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Ld of reg * reg * int  (** rd ← mem[ra + imm] *)
+  | St of reg * int * reg  (** mem[ra + imm] ← rs *)
+  | Beq of reg * reg * string
+  | Bne of reg * reg * string
+  | Blt of reg * reg * string
+  | Jmp of string
+  | Out of reg
+  | And_ of reg * reg * reg
+  | Or_ of reg * reg * reg
+  | Xor_ of reg * reg * reg
+  | Shl of reg * reg * reg
+  | Shr of reg * reg * reg
+  | Mods of reg * reg * reg
+  | Mov of reg * reg
+  | Label of string
+
+exception Error of string
+
+(** Resolve labels and encode the four-word stream.
+    @raise Error on duplicate or undefined labels. *)
+val assemble : instr list -> int array
+
+(** Pack a guest program + initial memory into the simulator's input. *)
+val dataset : memsize:int -> int array -> init:(int * int) list -> int array
+
+(** Guest: in-place bubble sort of [n] words, then a position-weighted
+    checksum. *)
+val bubble_sort_program : n:int -> int array
+
+(** Guest: total Collatz walk lengths for seeds 1..count. *)
+val collatz_program : count:int -> int array

@@ -1,0 +1,78 @@
+(** "com" — the 026.compress stand-in: an LZW compressor with an
+    open-addressing string table.  Control structure mirrors the real
+    thing: a hot probe loop inside the per-symbol loop, a hit/miss
+    conditional, and a table-reset branch. *)
+
+let source =
+  String.concat "\n"
+    [
+      "// LZW compressor over a byte stream.";
+      "// input: n, then n symbols in 0..255.";
+      "// output: emitted code count, final dictionary size, checksum.";
+      "fn hash(key) {";
+      "  var h = key * 40503;";
+      "  h = (h ^ (h >> 7)) & 16383;";
+      "  return h;";
+      "}";
+      "fn main() {";
+      "  var n = read();";
+      "  var hkey = array(16384);";
+      "  var hval = array(16384);";
+      "  var i = 0;";
+      "  while (i < 16384) { hkey[i] = 0 - 1; i = i + 1; }";
+      "  var next_code = 256;";
+      "  var prefix = read();";
+      "  var count = 1;";
+      "  var emitted = 0;";
+      "  var checksum = 0;";
+      "  while (count < n) {";
+      "    var sym = read();";
+      "    count = count + 1;";
+      "    var key = prefix * 256 + sym;";
+      "    var h = hash(key);";
+      "    var found = 0 - 1;";
+      "    var probing = 1;";
+      "    while (probing) {";
+      "      if (hkey[h] == key) {";
+      "        found = hval[h];";
+      "        probing = 0;";
+      "      } else {";
+      "        if (hkey[h] < 0) { probing = 0; }";
+      "        else { h = (h + 1) & 16383; }";
+      "      }";
+      "    }";
+      "    if (found >= 0) {";
+      "      prefix = found;";
+      "    } else {";
+      "      emitted = emitted + 1;";
+      "      checksum = (checksum * 31 + prefix) & 1048575;";
+      "      if (next_code < 4096) {";
+      "        hkey[h] = key;";
+      "        hval[h] = next_code;";
+      "        next_code = next_code + 1;";
+      "      } else {";
+      "        // dictionary full: reset, like compress(1) does";
+      "        var j = 0;";
+      "        while (j < 16384) { hkey[j] = 0 - 1; j = j + 1; }";
+      "        next_code = 256;";
+      "      }";
+      "      prefix = sym;";
+      "    }";
+      "  }";
+      "  emitted = emitted + 1;";
+      "  checksum = (checksum * 31 + prefix) & 1048575;";
+      "  print(emitted);";
+      "  print(next_code);";
+      "  print(checksum);";
+      "}";
+    ]
+
+(** Text-like input ("in", the paper's program-text reference input). *)
+let dataset_text ~n ~seed =
+  let g = Lcg.create seed in
+  Array.init (n + 1) (fun i -> if i = 0 then n else Lcg.text_byte g)
+
+(** Media-like input ("st", the paper's MPEG movie data). *)
+let dataset_media ~n ~seed =
+  let g = Lcg.create seed in
+  Array.init (n + 1) (fun i -> if i = 0 then n else Lcg.media_byte g)

@@ -1,0 +1,86 @@
+(** "dod" — the 015.doduc stand-in: a thermohydraulic-flavoured
+    fixed-point simulation with deeply nested data-dependent
+    conditionals in the inner loop.  Like doduc, it is floating-point
+    work dominated by branchy per-cell state updates, which is why the
+    paper sees branch alignment remove two thirds of its control
+    penalties. *)
+
+let source =
+  String.concat "\n"
+    [
+      "// Fixed-point (scale 1024) reactor-cell relaxation.";
+      "// input: steps, ncells, seed. output: checksums.";
+      "fn clamp(x, lo, hi) {";
+      "  if (x < lo) { return lo; }";
+      "  if (x > hi) { return hi; }";
+      "  return x;";
+      "}";
+      "fn lcg(s) { return (s * 25214903917 + 11) & 281474976710655; }";
+      "fn main() {";
+      "  var steps = read();";
+      "  var ncells = read();";
+      "  var seed = read();";
+      "  var temp = array(ncells);";
+      "  var press = array(ncells);";
+      "  var flow = array(ncells);";
+      "  var i = 0;";
+      "  while (i < ncells) {";
+      "    seed = lcg(seed);";
+      "    temp[i] = 1024 + ((seed >> 20) & 4095);";
+      "    seed = lcg(seed);";
+      "    press[i] = 512 + ((seed >> 20) & 2047);";
+      "    seed = lcg(seed);";
+      "    flow[i] = (seed >> 20) & 1023;";
+      "    i = i + 1;";
+      "  }";
+      "  var s = 0;";
+      "  while (s < steps) {";
+      "    var c = 0;";
+      "    while (c < ncells) {";
+      "      var t = temp[c];";
+      "      var p = press[c];";
+      "      var f = flow[c];";
+      "      var left = 0;";
+      "      if (c > 0) { left = flow[c - 1]; } else { left = flow[ncells - 1]; }";
+      "      // pressure response to overheating (hot path: mild regime)";
+      "      if (t > 3072) {";
+      "        p = p + ((t - 3072) * 3) / 4;";
+      "        if (p > 8192) { p = 8192; f = f / 2; }";
+      "      } else {";
+      "        if (t < 512) { p = p - (512 - t) / 8; }";
+      "        else { p = p + (t - 1024) / 64; }";
+      "      }";
+      "      if (p < 0) { p = 0; }";
+      "      // heat exchange with the flow";
+      "      if (f > t) {";
+      "        t = t + (f - t) / 4;";
+      "      } else {";
+      "        if (p > 2048) { t = t + p / 128; }";
+      "        else { t = t - t / 32; }";
+      "      }";
+      "      // flow relaxation towards the left neighbour";
+      "      if (left > f) { f = f + (left - f) / 2; }";
+      "      else { f = f - (f - left) / 2; }";
+      "      if (f < 0) { f = 0; }";
+      "      temp[c] = clamp(t, 0, 65536);";
+      "      press[c] = clamp(p, 0, 8192);";
+      "      flow[c] = clamp(f, 0, 65536);";
+      "      c = c + 1;";
+      "    }";
+      "    s = s + 1;";
+      "  }";
+      "  var sum_t = 0;";
+      "  var sum_p = 0;";
+      "  var k = 0;";
+      "  while (k < ncells) {";
+      "    sum_t = (sum_t + temp[k]) & 1048575;";
+      "    sum_p = (sum_p + press[k]) & 1048575;";
+      "    k = k + 1;";
+      "  }";
+      "  print(sum_t);";
+      "  print(sum_p);";
+      "}";
+    ]
+
+(** [dataset ~steps ~ncells ~seed] packs the input stream. *)
+let dataset ~steps ~ncells ~seed = [| steps; ncells; seed |]

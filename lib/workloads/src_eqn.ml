@@ -1,0 +1,97 @@
+(** "eqn" — the 023.eqntott stand-in: evaluate a sum-of-products boolean
+    function over all input assignments to build a truth table, then
+    quicksort the rows with a data-dependent comparison.  eqntott's
+    running time is famously dominated by exactly such a comparison-heavy
+    quicksort over truth-table rows. *)
+
+let source =
+  String.concat "\n"
+    [
+      "// Truth-table generation + quicksort.";
+      "// input: k (variables), nterms, then per term: pos_mask, neg_mask.";
+      "// output: ones count, sorted-table checksum.";
+      "fn cmp_rows(a, b) {";
+      "  // order by output bit first, then by gray-coded input";
+      "  var oa = a & 1;";
+      "  var ob = b & 1;";
+      "  if (oa != ob) { return oa - ob; }";
+      "  var ga = (a >> 1) ^ (a >> 2);";
+      "  var gb = (b >> 1) ^ (b >> 2);";
+      "  if (ga < gb) { return 0 - 1; }";
+      "  if (ga > gb) { return 1; }";
+      "  return 0;";
+      "}";
+      "fn qsort(rows, lo, hi) {";
+      "  if (lo >= hi) { return 0; }";
+      "  var pivot = rows[(lo + hi) / 2];";
+      "  var i = lo;";
+      "  var j = hi;";
+      "  while (i <= j) {";
+      "    while (cmp_rows(rows[i], pivot) < 0) { i = i + 1; }";
+      "    while (cmp_rows(rows[j], pivot) > 0) { j = j - 1; }";
+      "    if (i <= j) {";
+      "      var t = rows[i];";
+      "      rows[i] = rows[j];";
+      "      rows[j] = t;";
+      "      i = i + 1;";
+      "      j = j - 1;";
+      "    }";
+      "  }";
+      "  if (lo < j) { qsort(rows, lo, j); }";
+      "  if (i < hi) { qsort(rows, i, hi); }";
+      "  return 0;";
+      "}";
+      "fn main() {";
+      "  var k = read();";
+      "  var nterms = read();";
+      "  var pos = array(nterms);";
+      "  var neg = array(nterms);";
+      "  var t = 0;";
+      "  while (t < nterms) {";
+      "    pos[t] = read();";
+      "    neg[t] = read();";
+      "    t = t + 1;";
+      "  }";
+      "  var nrows = 1 << k;";
+      "  var rows = array(nrows);";
+      "  var a = 0;";
+      "  var ones = 0;";
+      "  while (a < nrows) {";
+      "    var out = 0;";
+      "    var ti = 0;";
+      "    while (ti < nterms && out == 0) {";
+      "      if ((a & pos[ti]) == pos[ti] && (a & neg[ti]) == 0) { out = 1; }";
+      "      ti = ti + 1;";
+      "    }";
+      "    rows[a] = a * 2 + out;";
+      "    ones = ones + out;";
+      "    a = a + 1;";
+      "  }";
+      "  qsort(rows, 0, nrows - 1);";
+      "  var checksum = 0;";
+      "  var r = 0;";
+      "  while (r < nrows) {";
+      "    checksum = (checksum * 131 + rows[r]) & 1048575;";
+      "    r = r + 1;";
+      "  }";
+      "  print(ones);";
+      "  print(checksum);";
+      "}";
+    ]
+
+(** [dataset ~k ~nterms ~seed] draws random product terms over [k]
+    variables (disjoint positive/negative masks). *)
+let dataset ~k ~nterms ~seed =
+  let g = Lcg.create seed in
+  let buf = ref [ nterms; k ] in
+  for _ = 1 to nterms do
+    let pos = ref 0 and neg = ref 0 in
+    for v = 0 to k - 1 do
+      match Lcg.int g 4 with
+      | 0 -> pos := !pos lor (1 lsl v)
+      | 1 -> neg := !neg lor (1 lsl v)
+      | _ -> ()
+    done;
+    buf := !neg :: !pos :: !buf
+  done;
+  Array.of_list (List.rev !buf)

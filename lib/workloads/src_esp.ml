@@ -1,0 +1,101 @@
+(** "esp" — the 008.espresso stand-in: a two-level boolean minimizer
+    doing Quine–McCluskey-style cube merging.  Like espresso it is
+    pointer-free set manipulation: repeated O(n²) passes over a cube
+    cover, merging cubes that differ in a single literal, with a popcount
+    inner loop — lots of short, data-dependent branches. *)
+
+let source =
+  String.concat "\n"
+    [
+      "// Cube-cover reduction by single-literal merging.";
+      "// input: nvars, ncubes, then per cube: care mask, value mask.";
+      "// output: passes, final cube count, checksum.";
+      "fn popcount(x) {";
+      "  var c = 0;";
+      "  while (x != 0) {";
+      "    x = x & (x - 1);";
+      "    c = c + 1;";
+      "  }";
+      "  return c;";
+      "}";
+      "fn main() {";
+      "  var nvars = read();";
+      "  var ncubes = read();";
+      "  var care = array(ncubes);";
+      "  var value = array(ncubes);";
+      "  var alive = array(ncubes);";
+      "  var i = 0;";
+      "  while (i < ncubes) {";
+      "    care[i] = read();";
+      "    value[i] = read() & care[i];";
+      "    alive[i] = 1;";
+      "    i = i + 1;";
+      "  }";
+      "  var passes = 0;";
+      "  var changed = 1;";
+      "  while (changed) {";
+      "    changed = 0;";
+      "    passes = passes + 1;";
+      "    var a = 0;";
+      "    while (a < ncubes) {";
+      "      if (alive[a]) {";
+      "        var b = a + 1;";
+      "        while (b < ncubes) {";
+      "          if (alive[b]) {";
+      "            if (care[a] == care[b]) {";
+      "              var diff = value[a] ^ value[b];";
+      "              if (popcount(diff) == 1) {";
+      "                // merge: drop the differing literal from cube a";
+      "                care[a] = care[a] & (0 - 1 - diff);  // &= ~diff";
+      "                value[a] = value[a] & care[a];";
+      "                alive[b] = 0;";
+      "                changed = 1;";
+      "              }";
+      "            } else {";
+      "              // containment check: does a cover b?";
+      "              if ((care[a] & care[b]) == care[a]) {";
+      "                if ((value[b] & care[a]) == value[a]) {";
+      "                  alive[b] = 0;";
+      "                  changed = 1;";
+      "                }";
+      "              }";
+      "            }";
+      "          }";
+      "          b = b + 1;";
+      "        }";
+      "      }";
+      "      a = a + 1;";
+      "    }";
+      "  }";
+      "  var live = 0;";
+      "  var checksum = 0;";
+      "  var k = 0;";
+      "  while (k < ncubes) {";
+      "    if (alive[k]) {";
+      "      live = live + 1;";
+      "      checksum = (checksum * 37 + care[k] * 3 + value[k]) & 1048575;";
+      "    }";
+      "    k = k + 1;";
+      "  }";
+      "  print(passes);";
+      "  print(live);";
+      "  print(checksum);";
+      "  print(nvars);";
+      "}";
+    ]
+
+(** [dataset ~nvars ~ncubes ~seed] draws a random cube cover. *)
+let dataset ~nvars ~ncubes ~seed =
+  let g = Lcg.create seed in
+  let buf = ref [ ncubes; nvars ] in
+  for _ = 1 to ncubes do
+    let care = ref 0 and value = ref 0 in
+    for v = 0 to nvars - 1 do
+      if Lcg.int g 3 < 2 then begin
+        care := !care lor (1 lsl v);
+        if Lcg.int g 2 = 0 then value := !value lor (1 lsl v)
+      end
+    done;
+    buf := !value :: !care :: !buf
+  done;
+  Array.of_list (List.rev !buf)

@@ -1,0 +1,218 @@
+(** "exc" — an application workload beyond the SPEC suites: an
+    expression {e compiler} written in minic.  A recursive-descent parser
+    (mutually recursive procedures, state threaded through arrays since
+    minic has no globals) compiles a token stream to stack-machine code,
+    which a small evaluator then runs.  Eight procedures with deep
+    recursion and a dispatch loop — the closest thing in the repository
+    to aligning a real compiler with many procedures, and the reason it
+    anchors the interprocedural tests.
+
+    Token stream: 0 end-of-expression, 1 ⟨number⟩, 2 '+', 3 '-', 4 '*',
+    5 '/', 6 '(', 7 ')', 8 ⟨variable index⟩, 9 end-of-input.
+    Compiled ops: 1 PUSH ⟨v⟩, 2 LOADV ⟨i⟩, 3 ADD, 4 SUB, 5 MUL,
+    6 DIV (0 on zero divisor), 7 NEG. *)
+
+let source =
+  String.concat "\n"
+    [
+      "// input: 26 variable values, ntoks, tokens.";
+      "// output: expressions parsed, result checksum, parse errors.";
+      "fn peek(toks, st) { return toks[st[0]]; }";
+      "fn advance(toks, st) {";
+      "  var t = toks[st[0]];";
+      "  st[0] = st[0] + 1;";
+      "  return t;";
+      "}";
+      "fn emit1(code, st, op) {";
+      "  code[st[1]] = op;";
+      "  st[1] = st[1] + 1;";
+      "  return 0;";
+      "}";
+      "fn emit2(code, st, op, arg) {";
+      "  code[st[1]] = op;";
+      "  code[st[1] + 1] = arg;";
+      "  st[1] = st[1] + 2;";
+      "  return 0;";
+      "}";
+      "fn parse_factor(toks, st, code) {";
+      "  var t = advance(toks, st);";
+      "  if (t == 1) { emit2(code, st, 1, advance(toks, st)); return 0; }";
+      "  if (t == 8) { emit2(code, st, 2, advance(toks, st)); return 0; }";
+      "  if (t == 6) {";
+      "    parse_expr(toks, st, code);";
+      "    if (advance(toks, st) != 7) { st[2] = st[2] + 1; }";
+      "    return 0;";
+      "  }";
+      "  if (t == 3) {";
+      "    parse_factor(toks, st, code);";
+      "    emit1(code, st, 7);";
+      "    return 0;";
+      "  }";
+      "  st[2] = st[2] + 1;";
+      "  return 0;";
+      "}";
+      "fn parse_term(toks, st, code) {";
+      "  parse_factor(toks, st, code);";
+      "  var looping = 1;";
+      "  while (looping) {";
+      "    var t = peek(toks, st);";
+      "    if (t == 4) {";
+      "      st[0] = st[0] + 1;";
+      "      parse_factor(toks, st, code);";
+      "      emit1(code, st, 5);";
+      "    } else {";
+      "      if (t == 5) {";
+      "        st[0] = st[0] + 1;";
+      "        parse_factor(toks, st, code);";
+      "        emit1(code, st, 6);";
+      "      } else { looping = 0; }";
+      "    }";
+      "  }";
+      "  return 0;";
+      "}";
+      "fn parse_expr(toks, st, code) {";
+      "  parse_term(toks, st, code);";
+      "  var looping = 1;";
+      "  while (looping) {";
+      "    var t = peek(toks, st);";
+      "    if (t == 2) {";
+      "      st[0] = st[0] + 1;";
+      "      parse_term(toks, st, code);";
+      "      emit1(code, st, 3);";
+      "    } else {";
+      "      if (t == 3) {";
+      "        st[0] = st[0] + 1;";
+      "        parse_term(toks, st, code);";
+      "        emit1(code, st, 4);";
+      "      } else { looping = 0; }";
+      "    }";
+      "  }";
+      "  return 0;";
+      "}";
+      "fn run_code(code, clen, vals) {";
+      "  var stack = array(256);";
+      "  var sp = 0;";
+      "  var pc = 0;";
+      "  while (pc < clen) {";
+      "    var op = code[pc];";
+      "    pc = pc + 1;";
+      "    switch (op) {";
+      "      case 1: { stack[sp] = code[pc]; pc = pc + 1; sp = sp + 1; }";
+      "      case 2: { stack[sp] = vals[code[pc]]; pc = pc + 1; sp = sp + 1; }";
+      "      case 3: { stack[sp - 2] = stack[sp - 2] + stack[sp - 1]; sp = sp - 1; }";
+      "      case 4: { stack[sp - 2] = stack[sp - 2] - stack[sp - 1]; sp = sp - 1; }";
+      "      case 5: { stack[sp - 2] = stack[sp - 2] * stack[sp - 1]; sp = sp - 1; }";
+      "      case 6: {";
+      "        if (stack[sp - 1] == 0) { stack[sp - 2] = 0; }";
+      "        else { stack[sp - 2] = stack[sp - 2] / stack[sp - 1]; }";
+      "        sp = sp - 1;";
+      "      }";
+      "      case 7: { stack[sp - 1] = 0 - stack[sp - 1]; }";
+      "      default: { pc = clen; }";
+      "    }";
+      "  }";
+      "  if (sp > 0) { return stack[sp - 1]; }";
+      "  return 0;";
+      "}";
+      "fn main() {";
+      "  var vals = array(26);";
+      "  for (var v = 0; v < 26; v = v + 1) { vals[v] = read(); }";
+      "  var ntoks = read();";
+      "  var toks = array(ntoks);";
+      "  for (var i = 0; i < ntoks; i = i + 1) { toks[i] = read(); }";
+      "  var st = array(4);       // cursor, emit pos, error count";
+      "  var code = array(2 * ntoks + 16);";
+      "  var nexpr = 0;";
+      "  var checksum = 0;";
+      "  var looping = 1;";
+      "  while (looping) {";
+      "    if (peek(toks, st) == 9) { looping = 0; }";
+      "    else {";
+      "      st[1] = 0;";
+      "      parse_expr(toks, st, code);";
+      "      if (advance(toks, st) != 0) { st[2] = st[2] + 1; }";
+      "      var result = run_code(code, st[1], vals);";
+      "      nexpr = nexpr + 1;";
+      "      checksum = (checksum * 31 + result) & 1048575;";
+      "    }";
+      "  }";
+      "  print(nexpr);";
+      "  print(checksum);";
+      "  print(st[2]);";
+      "}";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* OCaml-side reference: expression generator + evaluator, used both to
+   build the token streams and to predict the minic program's checksum
+   (a differential test of the whole front end + interpreter). *)
+
+type expr =
+  | Num of int
+  | Var of int
+  | Neg of expr
+  | Bin of char * expr * expr
+
+let rec gen_expr g ~depth =
+  if depth = 0 || Lcg.int g 100 < 30 then
+    if Lcg.int g 100 < 40 then Var (Lcg.int g 26) else Num (Lcg.int g 100)
+  else
+    match Lcg.int g 10 with
+    | 0 -> Neg (gen_expr g ~depth:(depth - 1))
+    | 1 | 2 ->
+        (* division only by a non-zero literal, keeping semantics exact *)
+        Bin ('/', gen_expr g ~depth:(depth - 1), Num (1 + Lcg.int g 9))
+    | 3 | 4 | 5 -> Bin ('*', gen_expr g ~depth:(depth - 1), gen_expr g ~depth:(depth - 1))
+    | 6 | 7 -> Bin ('-', gen_expr g ~depth:(depth - 1), gen_expr g ~depth:(depth - 1))
+    | _ -> Bin ('+', gen_expr g ~depth:(depth - 1), gen_expr g ~depth:(depth - 1))
+
+let rec eval vals = function
+  | Num n -> n
+  | Var i -> vals.(i)
+  | Neg e -> -eval vals e
+  | Bin ('+', a, b) -> eval vals a + eval vals b
+  | Bin ('-', a, b) -> eval vals a - eval vals b
+  | Bin ('*', a, b) -> eval vals a * eval vals b
+  | Bin ('/', a, b) ->
+      let d = eval vals b in
+      if d = 0 then 0 else eval vals a / d
+  | Bin _ -> invalid_arg "eval"
+
+(* serialize with explicit parentheses everywhere precedence requires;
+   fully parenthesizing sub-expressions is always safe *)
+let rec tokens_of = function
+  | Num n -> [ 1; n ]
+  | Var i -> [ 8; i ]
+  | Neg e -> (3 :: paren e) (* unary minus applies to a factor *)
+  | Bin (op, a, b) ->
+      let opc = match op with '+' -> 2 | '-' -> 3 | '*' -> 4 | _ -> 5 in
+      paren a @ (opc :: paren b)
+
+and paren e =
+  match e with
+  | Num _ | Var _ -> tokens_of e
+  | _ -> (6 :: tokens_of e) @ [ 7 ]
+
+(** [dataset ~n_exprs ~depth ~seed] builds the input stream and returns
+    it with the reference [(n_exprs, checksum, 0)] output. *)
+let dataset ~n_exprs ~depth ~seed : int array * int list =
+  let g = Lcg.create seed in
+  let vals = Array.init 26 (fun _ -> Lcg.int g 50 - 10) in
+  let checksum = ref 0 in
+  let toks = ref [] in
+  for _ = 1 to n_exprs do
+    let e = gen_expr g ~depth in
+    checksum := ((!checksum * 31) + eval vals e) land 1048575;
+    (* [toks] accumulates the stream in reverse: push the expression's
+       reversed tokens, then its terminating 0 *)
+    toks := 0 :: List.rev_append (tokens_of e) !toks
+  done;
+  let stream =
+    Array.concat
+      [
+        vals;
+        (let t = List.rev (9 :: !toks) in
+         Array.of_list (List.length t :: t));
+      ]
+  in
+  (stream, [ n_exprs; !checksum; 0 ])

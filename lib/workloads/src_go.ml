@@ -1,0 +1,129 @@
+(** "go" — the 099.go stand-in (SPEC95 extension suite): board-game
+    mechanics on a 9×9 go board.  Plays a scripted move stream: stones
+    placed alternately, each placement flood-fills the neighbouring
+    groups (explicit work-stack) to count liberties and removes captured
+    groups — irregular, deeply data-dependent control flow with almost
+    no exploitable loop regularity, which is what made 099.go a
+    notoriously branchy SPEC95 member. *)
+
+let source =
+  String.concat "\n"
+    [
+      "// input: size, nmoves, then board positions (skips illegal).";
+      "// output: stones placed, captures, skipped moves, checksum.";
+      "fn main() {";
+      "  var size = read();";
+      "  var n = size * size;";
+      "  var board = array(n);     // 0 empty, 1 black, 2 white";
+      "  var mark = array(n);      // visit stamps for flood fill";
+      "  var stack = array(n);";
+      "  var group = array(n);";
+      "  var stamp = 0;";
+      "  var placed = 0;";
+      "  var captures = 0;";
+      "  var skipped = 0;";
+      "  var checksum = 0;";
+      "  var color = 1;";
+      "  var nmoves = read();";
+      "  var mv = 0;";
+      "  while (mv < nmoves) {";
+      "    var pos = read() % n;";
+      "    if (pos < 0) { pos = 0 - pos; }";
+      "    if (board[pos] != 0) { skipped = skipped + 1; }";
+      "    else {";
+      "      board[pos] = color;";
+      "      placed = placed + 1;";
+      "      // examine the four neighbours' groups for capture";
+      "      var d = 0;";
+      "      while (d < 4) {";
+      "        var nb = 0 - 1;";
+      "        var x = pos % size;";
+      "        var y = pos / size;";
+      "        if (d == 0 && x > 0) { nb = pos - 1; }";
+      "        if (d == 1 && x < size - 1) { nb = pos + 1; }";
+      "        if (d == 2 && y > 0) { nb = pos - size; }";
+      "        if (d == 3 && y < size - 1) { nb = pos + size; }";
+      "        if (nb >= 0 && board[nb] != 0 && board[nb] != color) {";
+      "          // flood fill the group at nb, counting liberties";
+      "          stamp = stamp + 1;";
+      "          var sp = 0;";
+      "          var gn = 0;";
+      "          var libs = 0;";
+      "          stack[sp] = nb;";
+      "          sp = sp + 1;";
+      "          mark[nb] = stamp;";
+      "          var enemy = board[nb];";
+      "          while (sp > 0) {";
+      "            sp = sp - 1;";
+      "            var cur = stack[sp];";
+      "            group[gn] = cur;";
+      "            gn = gn + 1;";
+      "            var e = 0;";
+      "            while (e < 4) {";
+      "              var nn = 0 - 1;";
+      "              var cx = cur % size;";
+      "              var cy = cur / size;";
+      "              if (e == 0 && cx > 0) { nn = cur - 1; }";
+      "              if (e == 1 && cx < size - 1) { nn = cur + 1; }";
+      "              if (e == 2 && cy > 0) { nn = cur - size; }";
+      "              if (e == 3 && cy < size - 1) { nn = cur + size; }";
+      "              if (nn >= 0 && mark[nn] != stamp) {";
+      "                if (board[nn] == 0) { libs = libs + 1; mark[nn] = stamp; }";
+      "                else {";
+      "                  if (board[nn] == enemy) {";
+      "                    mark[nn] = stamp;";
+      "                    stack[sp] = nn;";
+      "                    sp = sp + 1;";
+      "                  }";
+      "                }";
+      "              }";
+      "              e = e + 1;";
+      "            }";
+      "          }";
+      "          if (libs == 0) {";
+      "            // capture: remove the whole group";
+      "            captures = captures + gn;";
+      "            var r = 0;";
+      "            while (r < gn) {";
+      "              board[group[r]] = 0;";
+      "              checksum = (checksum * 7 + group[r]) & 1048575;";
+      "              r = r + 1;";
+      "            }";
+      "          }";
+      "        }";
+      "        d = d + 1;";
+      "      }";
+      "      color = 3 - color;";
+      "    }";
+      "    mv = mv + 1;";
+      "  }";
+      "  print(placed);";
+      "  print(captures);";
+      "  print(skipped);";
+      "  print(checksum);";
+      "}";
+    ]
+
+(** [dataset ~size ~nmoves ~seed]: a scripted stream of board positions,
+    biased towards the centre and towards neighbourhoods of earlier
+    moves so groups and captures actually form. *)
+let dataset ~size ~nmoves ~seed =
+  let g = Lcg.create seed in
+  let n = size * size in
+  let last = ref (n / 2) in
+  let moves =
+    Array.init nmoves (fun _ ->
+        let near = Lcg.int g 100 < 55 in
+        let pos =
+          if near then begin
+            let dx = Lcg.int g 5 - 2 and dy = Lcg.int g 5 - 2 in
+            let x = (!last mod size) + dx and y = (!last / size) + dy in
+            let x = max 0 (min (size - 1) x) and y = max 0 (min (size - 1) y) in
+            (y * size) + x
+          end
+          else Lcg.int g n
+        in
+        last := pos;
+        pos)
+  in
+  Array.concat [ [| size; nmoves |]; moves ]

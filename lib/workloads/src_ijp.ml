@@ -1,0 +1,131 @@
+(** "ijp" — the 132.ijpeg stand-in (SPEC95 extension suite): an integer
+    JPEG-style encoder front half.  For each 8×8 block of a synthetic
+    image: 2-D integer DCT (naive O(8⁴) with a fixed-point cosine table
+    supplied in the input), quantization, zigzag scan and run-length
+    coding — dense loop nests ended by the data-dependent RLE
+    branches. *)
+
+let source =
+  String.concat "\n"
+    [
+      "// input: 64 cosine-table entries (scale 1024), 64 quant entries,";
+      "//        64 zigzag indices, nblocks, then nblocks x 64 samples.";
+      "// output: nonzero coefficients, total RLE runs, checksum.";
+      "fn main() {";
+      "  var cosv = array(64);";
+      "  var i = 0;";
+      "  while (i < 64) { cosv[i] = read(); i = i + 1; }";
+      "  var quant = array(64);";
+      "  var q = 0;";
+      "  while (q < 64) { quant[q] = read(); q = q + 1; }";
+      "  var zig = array(64);";
+      "  var z = 0;";
+      "  while (z < 64) { zig[z] = read(); z = z + 1; }";
+      "  var nblocks = read();";
+      "  var block = array(64);";
+      "  var coef = array(64);";
+      "  var nonzero = 0;";
+      "  var runs = 0;";
+      "  var checksum = 0;";
+      "  var b = 0;";
+      "  while (b < nblocks) {";
+      "    var s = 0;";
+      "    while (s < 64) { block[s] = read() - 128; s = s + 1; }";
+      "    // 2-D DCT: coef[u,v] = sum_xy block[x,y] cos[x,u] cos[y,v]";
+      "    var u = 0;";
+      "    while (u < 8) {";
+      "      var v = 0;";
+      "      while (v < 8) {";
+      "        var acc = 0;";
+      "        var x = 0;";
+      "        while (x < 8) {";
+      "          var rowsum = 0;";
+      "          var y = 0;";
+      "          while (y < 8) {";
+      "            rowsum = rowsum + block[x * 8 + y] * cosv[y * 8 + v];";
+      "            y = y + 1;";
+      "          }";
+      "          acc = acc + (rowsum / 32) * cosv[x * 8 + u];";
+      "          x = x + 1;";
+      "        }";
+      "        coef[u * 8 + v] = acc / 32768;";
+      "        v = v + 1;";
+      "      }";
+      "      u = u + 1;";
+      "    }";
+      "    // quantize + zigzag + RLE";
+      "    var run = 0;";
+      "    var k = 0;";
+      "    while (k < 64) {";
+      "      var c = coef[zig[k]];";
+      "      var qv = quant[zig[k]];";
+      "      var level = 0;";
+      "      if (c >= 0) { level = (c + qv / 2) / qv; }";
+      "      else { level = 0 - ((qv / 2 - c) / qv); }";
+      "      if (level == 0) {";
+      "        run = run + 1;";
+      "        if (run == 16) { runs = runs + 1; run = 0; }";
+      "      } else {";
+      "        nonzero = nonzero + 1;";
+      "        runs = runs + 1;";
+      "        checksum = (checksum * 31 + level + run * 7) & 1048575;";
+      "        run = 0;";
+      "      }";
+      "      k = k + 1;";
+      "    }";
+      "    if (run > 0) { runs = runs + 1; }  // end-of-block run";
+      "    b = b + 1;";
+      "  }";
+      "  print(nonzero);";
+      "  print(runs);";
+      "  print(checksum);";
+      "}";
+    ]
+
+let cos_table () =
+  (* c[x][u] = cos((2x+1) u pi / 16), scaled by 1024 *)
+  Array.init 64 (fun i ->
+      let x = i / 8 and u = i mod 8 in
+      let v =
+        cos (float_of_int ((2 * x) + 1) *. float_of_int u *. Float.pi /. 16.0)
+      in
+      int_of_float (Float.round (v *. 1024.0)))
+
+let quant_table () =
+  (* luminance-ish: coarser towards high frequencies *)
+  Array.init 64 (fun i ->
+      let u = i / 8 and v = i mod 8 in
+      4 + (2 * (u + v)))
+
+let zigzag () =
+  (* standard zigzag order of an 8x8 block *)
+  let order = Array.make 64 0 in
+  let k = ref 0 in
+  for s = 0 to 14 do
+    let coords =
+      List.init (s + 1) (fun i -> (i, s - i))
+      |> List.filter (fun (x, y) -> x < 8 && y < 8)
+    in
+    let coords = if s mod 2 = 0 then List.rev coords else coords in
+    List.iter
+      (fun (x, y) ->
+        order.(!k) <- (x * 8) + y;
+        incr k)
+      coords
+  done;
+  order
+
+(** [dataset ~nblocks ~noise ~seed] packs tables + synthetic image
+    blocks; [noise = 0] gives smooth gradients (sparse spectra, long
+    runs), larger values add texture (dense spectra). *)
+let dataset ~nblocks ~noise ~seed =
+  let g = Lcg.create seed in
+  let blocks =
+    Array.init (nblocks * 64) (fun i ->
+        let x = i / 8 mod 8 and y = i mod 8 and b = i / 64 in
+        let base = 128 + ((x - 4) * 6) + ((y - 4) * 4) + (b mod 17) in
+        let n = if noise = 0 then 0 else Lcg.int g (2 * noise) - noise in
+        max 0 (min 255 (base + n)))
+  in
+  Array.concat
+    [ cos_table (); quant_table (); zigzag (); [| nblocks |]; blocks ]

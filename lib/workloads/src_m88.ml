@@ -1,0 +1,86 @@
+(** "m88" — the 124.m88ksim stand-in (SPEC95 extension suite): a small
+    RISC CPU simulator.  The simulated machine has 16 registers, a flat
+    word memory and four-word instructions; the simulator's main loop is
+    a fetch–decode–execute switch, the classic simulator control
+    structure (and, like xli, a multiway-dispatch workload — but over a
+    register machine with guarded memory and arithmetic, so the handler
+    blocks are branchier). *)
+
+let source =
+  String.concat "\n"
+    [
+      "// RISC CPU simulator.  input: memsize, codelen, code words,";
+      "// then ninit and (addr, value) pairs for initial memory.";
+      "// output: the simulated program's OUTs, then retired count.";
+      "fn main() {";
+      "  var memsize = read();";
+      "  var codelen = read();";
+      "  var code = array(codelen);";
+      "  var i = 0;";
+      "  while (i < codelen) { code[i] = read(); i = i + 1; }";
+      "  var ninit = read();";
+      "  var mem = array(memsize);";
+      "  var j = 0;";
+      "  while (j < ninit) {";
+      "    var a = read();";
+      "    var v = read();";
+      "    if (a >= 0 && a < memsize) { mem[a] = v; }";
+      "    j = j + 1;";
+      "  }";
+      "  var reg = array(16);";
+      "  var pc = 0;";
+      "  var running = 1;";
+      "  var retired = 0;";
+      "  var faults = 0;";
+      "  while (running) {";
+      "    if (pc < 0 || pc + 3 >= codelen) { running = 0; }";
+      "    else {";
+      "      var op = code[pc];";
+      "      var f1 = code[pc + 1];";
+      "      var f2 = code[pc + 2];";
+      "      var f3 = code[pc + 3];";
+      "      pc = pc + 4;";
+      "      switch (op) {";
+      "        case 0: { running = 0; }                             // HALT";
+      "        case 1: { reg[f1] = f2; }                            // LOADI rd imm";
+      "        case 2: { reg[f1] = reg[f2] + reg[f3]; }             // ADD";
+      "        case 3: { reg[f1] = reg[f2] - reg[f3]; }             // SUB";
+      "        case 4: { reg[f1] = reg[f2] * reg[f3]; }             // MUL";
+      "        case 5: {                                            // DIV (guarded)";
+      "          if (reg[f3] == 0) { faults = faults + 1; reg[f1] = 0; }";
+      "          else { reg[f1] = reg[f2] / reg[f3]; }";
+      "        }";
+      "        case 6: {                                            // LD rd ra imm";
+      "          var addr = reg[f2] + f3;";
+      "          if (addr < 0 || addr >= memsize) { faults = faults + 1; reg[f1] = 0; }";
+      "          else { reg[f1] = mem[addr]; }";
+      "        }";
+      "        case 7: {                                            // ST ra imm rs";
+      "          var waddr = reg[f1] + f2;";
+      "          if (waddr < 0 || waddr >= memsize) { faults = faults + 1; }";
+      "          else { mem[waddr] = reg[f3]; }";
+      "        }";
+      "        case 8: { if (reg[f1] == reg[f2]) { pc = f3; } }     // BEQ";
+      "        case 9: { if (reg[f1] != reg[f2]) { pc = f3; } }     // BNE";
+      "        case 10: { if (reg[f1] < reg[f2]) { pc = f3; } }     // BLT";
+      "        case 11: { pc = f3; }                                // JMP";
+      "        case 12: { print(reg[f1]); }                         // OUT";
+      "        case 13: { reg[f1] = reg[f2] & reg[f3]; }            // AND";
+      "        case 14: { reg[f1] = reg[f2] | reg[f3]; }            // OR";
+      "        case 15: { reg[f1] = reg[f2] ^ reg[f3]; }            // XOR";
+      "        case 16: { reg[f1] = reg[f2] << (reg[f3] & 31); }    // SHL";
+      "        case 17: { reg[f1] = reg[f2] >> (reg[f3] & 31); }    // SHR";
+      "        case 18: {                                           // MOD (guarded)";
+      "          if (reg[f3] == 0) { faults = faults + 1; reg[f1] = 0; }";
+      "          else { reg[f1] = reg[f2] % reg[f3]; }";
+      "        }";
+      "        case 19: { reg[f1] = reg[f2]; }                      // MOV";
+      "        default: { faults = faults + 1; running = 0; }";
+      "      }";
+      "      retired = retired + 1;";
+      "    }";
+      "  }";
+      "  print(retired);";
+      "  print(faults);";
+      "}";
+    ]

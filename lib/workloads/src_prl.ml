@@ -1,0 +1,113 @@
+(** "prl" — the 134.perl stand-in (SPEC95 extension suite): text
+    processing.  Builds a KMP failure table for a pattern, scans a byte
+    stream counting matches, and simultaneously hashes words into a
+    small table to count distinct words — the mix of state-machine
+    branches and hash probing typical of scripting-language cores. *)
+
+let source =
+  String.concat "\n"
+    [
+      "// input: plen, pattern bytes, tlen, text bytes.";
+      "// output: KMP matches, distinct words, total words, checksum.";
+      "fn is_word_byte(c) {";
+      "  if (c >= 97 && c <= 122) { return 1; }";
+      "  if (c >= 65 && c <= 90) { return 1; }";
+      "  if (c >= 48 && c <= 57) { return 1; }";
+      "  return 0;";
+      "}";
+      "fn main() {";
+      "  var plen = read();";
+      "  var pat = array(plen);";
+      "  var i = 0;";
+      "  while (i < plen) { pat[i] = read(); i = i + 1; }";
+      "  // KMP failure table";
+      "  var fail = array(plen);";
+      "  fail[0] = 0;";
+      "  var k = 0;";
+      "  var p = 1;";
+      "  while (p < plen) {";
+      "    while (k > 0 && pat[p] != pat[k]) { k = fail[k - 1]; }";
+      "    if (pat[p] == pat[k]) { k = k + 1; }";
+      "    fail[p] = k;";
+      "    p = p + 1;";
+      "  }";
+      "  var tlen = read();";
+      "  var hsize = 32768;";
+      "  var hkey = array(hsize);";
+      "  var j = 0;";
+      "  while (j < hsize) { hkey[j] = 0 - 1; j = j + 1; }";
+      "  var matches = 0;";
+      "  var distinct = 0;";
+      "  var words = 0;";
+      "  var checksum = 0;";
+      "  var state = 0;       // KMP state";
+      "  var wordhash = 0;";
+      "  var in_word = 0;";
+      "  var t = 0;";
+      "  while (t < tlen) {";
+      "    var c = read();";
+      "    // KMP step";
+      "    while (state > 0 && c != pat[state]) { state = fail[state - 1]; }";
+      "    if (c == pat[state]) { state = state + 1; }";
+      "    if (state == plen) {";
+      "      matches = matches + 1;";
+      "      checksum = (checksum * 13 + t) & 1048575;";
+      "      state = fail[state - 1];";
+      "    }";
+      "    // word accounting";
+      "    if (is_word_byte(c)) {";
+      "      wordhash = (wordhash * 131 + c) & 1048575;";
+      "      in_word = 1;";
+      "    } else {";
+      "      if (in_word) {";
+      "        words = words + 1;";
+      "        if (distinct * 4 >= hsize * 3) { wordhash = 0; }  // table guard";
+      "        var h = wordhash & 32767;";
+      "        var probing = 1;";
+      "        while (probing) {";
+      "          if (hkey[h] == wordhash) { probing = 0; }";
+      "          else {";
+      "            if (hkey[h] < 0) {";
+      "              hkey[h] = wordhash;";
+      "              distinct = distinct + 1;";
+      "              probing = 0;";
+      "            } else { h = (h + 1) & 2047; }";
+      "          }";
+      "        }";
+      "      }";
+      "      in_word = 0;";
+      "      wordhash = 0;";
+      "    }";
+      "    t = t + 1;";
+      "  }";
+      "  print(matches);";
+      "  print(distinct);";
+      "  print(words);";
+      "  print(checksum);";
+      "}";
+    ]
+
+(** [dataset ~pattern ~n ~match_rate ~seed]: a text-like stream with the
+    pattern planted roughly every [match_rate] bytes (0 = never). *)
+let dataset ~(pattern : string) ~n ~match_rate ~seed =
+  let g = Lcg.create seed in
+  let plen = String.length pattern in
+  let buf = ref [] in
+  let planted = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    if match_rate > 0 && !i > 0 && Lcg.int g match_rate = 0 && !i + plen < n
+    then begin
+      String.iter (fun c -> buf := Char.code c :: !buf) pattern;
+      i := !i + plen;
+      incr planted
+    end
+    else begin
+      buf := Lcg.text_byte g :: !buf;
+      incr i
+    end
+  done;
+  let text = List.rev !buf in
+  Array.of_list
+    ((plen :: List.map Char.code (List.init plen (String.get pattern)))
+    @ (List.length text :: text))

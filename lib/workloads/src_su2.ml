@@ -1,0 +1,67 @@
+(** "su2" — the 089.su2cor stand-in: a statistical-mechanics lattice
+    sweep (Metropolis-flavoured Ising updates in fixed point).  Like
+    su2cor it is overwhelmingly loop-dominated arithmetic with very few
+    data-dependent branches per iteration, so branch alignment has almost
+    nothing to win — reproducing the paper's observation that aligning
+    su2cor has virtually no effect. *)
+
+let source =
+  String.concat "\n"
+    [
+      "// 2D Ising-like lattice with deterministic LCG acceptance.";
+      "// input: size, sweeps, seed. output: magnetization, energy checksum.";
+      "fn main() {";
+      "  var size = read();";
+      "  var sweeps = read();";
+      "  var seed = read();";
+      "  var n = size * size;";
+      "  var lat = array(n);";
+      "  var i = 0;";
+      "  while (i < n) {";
+      "    seed = (seed * 25214903917 + 11) & 281474976710655;";
+      "    lat[i] = ((seed >> 33) & 1) * 2 - 1;";
+      "    i = i + 1;";
+      "  }";
+      "  var s = 0;";
+      "  while (s < sweeps) {";
+      "    var c = 0;";
+      "    while (c < n) {";
+      "      var x = c % size;";
+      "      var y = c / size;";
+      "      var xr = x + 1;";
+      "      if (xr == size) { xr = 0; }";
+      "      var xl = x - 1;";
+      "      if (xl < 0) { xl = size - 1; }";
+      "      var yd = y + 1;";
+      "      if (yd == size) { yd = 0; }";
+      "      var yu = y - 1;";
+      "      if (yu < 0) { yu = size - 1; }";
+      "      var nb = lat[y * size + xr] + lat[y * size + xl]";
+      "             + lat[yd * size + x] + lat[yu * size + x];";
+      "      var de = 2 * lat[c] * nb;";
+      "      seed = (seed * 25214903917 + 11) & 281474976710655;";
+      "      var r = (seed >> 33) & 1023;";
+      "      // accept if energy drops, or with temperature-ish probability";
+      "      if (de <= 0 || r < 1024 / (1 + de * de)) { lat[c] = 0 - lat[c]; }";
+      "      c = c + 1;";
+      "    }";
+      "    s = s + 1;";
+      "  }";
+      "  var mag = 0;";
+      "  var energy = 0;";
+      "  var k = 0;";
+      "  while (k < n) {";
+      "    mag = mag + lat[k];";
+      "    var xk = k % size;";
+      "    var xkr = xk + 1;";
+      "    if (xkr == size) { xkr = 0; }";
+      "    energy = (energy + lat[k] * lat[(k / size) * size + xkr] + 65536) & 1048575;";
+      "    k = k + 1;";
+      "  }";
+      "  print(mag);";
+      "  print(energy);";
+      "}";
+    ]
+
+(** [dataset ~size ~sweeps ~seed] packs the input stream. *)
+let dataset ~size ~sweeps ~seed = [| size; sweeps; seed |]

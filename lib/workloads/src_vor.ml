@@ -1,0 +1,120 @@
+(** "vor" — the 147.vortex stand-in (SPEC95 extension suite): an
+    in-memory object store.  An open-addressing hash table with
+    tombstones processes a transaction stream of inserts, lookups and
+    deletes, growing (rehashing) when the load factor passes 70% — the
+    pointer-free skeleton of a database working set, dominated by probe
+    loops and occasional long rehash bursts. *)
+
+let source =
+  String.concat "\n"
+    [
+      "// input: nops, then ops: (0 ins, key, val) (1 get, key) (2 del, key).";
+      "// output: hits, misses, rehashes, live entries, checksum.";
+      "fn main() {";
+      "  var cap = 256;";
+      "  var hkey = array(cap);";
+      "  var hval = array(cap);";
+      "  var i = 0;";
+      "  while (i < cap) { hkey[i] = 0 - 1; i = i + 1; }  // -1 empty, -2 tomb";
+      "  var live = 0;";
+      "  var used = 0;";
+      "  var hits = 0;";
+      "  var misses = 0;";
+      "  var rehashes = 0;";
+      "  var checksum = 0;";
+      "  var nops = read();";
+      "  var op = 0;";
+      "  while (op < nops) {";
+      "    var kind = read();";
+      "    var key = read();";
+      "    if (kind == 0) {";
+      "      var value = read();";
+      "      // grow at 70% load (counting tombstones)";
+      "      if (used * 10 >= cap * 7) {";
+      "        rehashes = rehashes + 1;";
+      "        var ncap = cap * 2;";
+      "        var nkey = array(ncap);";
+      "        var nval = array(ncap);";
+      "        var r = 0;";
+      "        while (r < ncap) { nkey[r] = 0 - 1; r = r + 1; }";
+      "        var m = 0;";
+      "        while (m < cap) {";
+      "          if (hkey[m] >= 0) {";
+      "            var h2 = (hkey[m] * 2654435) & (ncap - 1);";
+      "            while (nkey[h2] >= 0) { h2 = (h2 + 1) & (ncap - 1); }";
+      "            nkey[h2] = hkey[m];";
+      "            nval[h2] = hval[m];";
+      "          }";
+      "          m = m + 1;";
+      "        }";
+      "        hkey = nkey;";
+      "        hval = nval;";
+      "        cap = ncap;";
+      "        used = live;";
+      "      }";
+      "      var h = (key * 2654435) & (cap - 1);";
+      "      var ins = 1;";
+      "      while (ins) {";
+      "        if (hkey[h] == key) { hval[h] = value; ins = 0; }";
+      "        else {";
+      "          if (hkey[h] < 0) {";
+      "            if (hkey[h] == 0 - 1) { used = used + 1; }";
+      "            hkey[h] = key;";
+      "            hval[h] = value;";
+      "            live = live + 1;";
+      "            ins = 0;";
+      "          } else { h = (h + 1) & (cap - 1); }";
+      "        }";
+      "      }";
+      "    } else {";
+      "      var g = (key * 2654435) & (cap - 1);";
+      "      var found = 0 - 1;";
+      "      var probing = 1;";
+      "      while (probing) {";
+      "        if (hkey[g] == key) { found = g; probing = 0; }";
+      "        else {";
+      "          if (hkey[g] == 0 - 1) { probing = 0; }";
+      "          else { g = (g + 1) & (cap - 1); }";
+      "        }";
+      "      }";
+      "      if (kind == 1) {";
+      "        if (found >= 0) {";
+      "          hits = hits + 1;";
+      "          checksum = (checksum * 17 + hval[found]) & 1048575;";
+      "        } else { misses = misses + 1; }";
+      "      } else {";
+      "        if (found >= 0) { hkey[found] = 0 - 2; live = live - 1; }";
+      "        else { misses = misses + 1; }";
+      "      }";
+      "    }";
+      "    op = op + 1;";
+      "  }";
+      "  print(hits);";
+      "  print(misses);";
+      "  print(rehashes);";
+      "  print(live);";
+      "  print(checksum);";
+      "}";
+    ]
+
+(** [dataset ~nops ~churn ~seed]: a transaction stream over a skewed key
+    space; [churn] in percent controls the delete/insert mix (lookups
+    fill the rest). *)
+let dataset ~nops ~churn ~seed =
+  let g = Lcg.create seed in
+  let acc = ref [] in
+  for _ = 1 to nops do
+    let key =
+      (* skewed keys: small keys dominate *)
+      let r = Lcg.int g 100 in
+      if r < 60 then Lcg.int g 64
+      else if r < 85 then Lcg.int g 1024
+      else Lcg.int g 65536
+    in
+    let r = Lcg.int g 100 in
+    if r < churn then acc := key :: 2 :: !acc (* delete *)
+    else if r < churn + 30 then
+      acc := Lcg.int g 100000 :: key :: 0 :: !acc (* insert *)
+    else acc := key :: 1 :: !acc (* lookup *)
+  done;
+  Array.of_list (nops :: List.rev !acc)

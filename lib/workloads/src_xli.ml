@@ -1,0 +1,69 @@
+(** "xli" — the 022.li (xlisp) stand-in: an interpreter benchmark.  The
+    minic program is a stack-machine VM whose dispatch is one big
+    [switch] — exactly the indirect-branch-dominated control structure
+    that makes interpreters interesting for branch alignment (the
+    multiway dispatch itself is layout-independent, but the per-opcode
+    handler blocks chain with conditionals).  The two data sets are
+    bytecode programs: Newton's method (the paper's very short "ne"
+    input, deliberately a poor training set) and the 7-queens problem
+    ("q7"). *)
+
+let source =
+  String.concat "\n"
+    [
+      "// Stack-machine bytecode interpreter.";
+      "// input: nglobals, codelen, then the code words.";
+      "// output: the program's prints, then executed step count.";
+      "fn main() {";
+      "  var ng = read();";
+      "  var nc = read();";
+      "  var code = array(nc);";
+      "  var i = 0;";
+      "  while (i < nc) { code[i] = read(); i = i + 1; }";
+      "  var g = array(ng);";
+      "  var stack = array(256);";
+      "  var sp = 0;";
+      "  var pc = 0;";
+      "  var running = 1;";
+      "  var steps = 0;";
+      "  while (running) {";
+      "    var op = code[pc];";
+      "    pc = pc + 1;";
+      "    switch (op) {";
+      "      case 0: { running = 0; }                                   // HALT";
+      "      case 1: { stack[sp] = code[pc]; pc = pc + 1; sp = sp + 1; } // PUSH";
+      "      case 2: { stack[sp] = g[code[pc]]; pc = pc + 1; sp = sp + 1; } // GLOAD";
+      "      case 3: { sp = sp - 1; g[code[pc]] = stack[sp]; pc = pc + 1; } // GSTORE";
+      "      case 4: { stack[sp - 1] = g[stack[sp - 1]]; }               // GLOADI";
+      "      case 5: { g[stack[sp - 1]] = stack[sp - 2]; sp = sp - 2; }  // GSTOREI";
+      "      case 6: { stack[sp - 2] = stack[sp - 2] + stack[sp - 1]; sp = sp - 1; }";
+      "      case 7: { stack[sp - 2] = stack[sp - 2] - stack[sp - 1]; sp = sp - 1; }";
+      "      case 8: { stack[sp - 2] = stack[sp - 2] * stack[sp - 1]; sp = sp - 1; }";
+      "      case 9: { stack[sp - 2] = stack[sp - 2] / stack[sp - 1]; sp = sp - 1; }";
+      "      case 10: { stack[sp - 2] = stack[sp - 2] % stack[sp - 1]; sp = sp - 1; }";
+      "      case 11: { if (stack[sp - 2] < stack[sp - 1]) { stack[sp - 2] = 1; }";
+      "                 else { stack[sp - 2] = 0; } sp = sp - 1; }       // LT";
+      "      case 12: { if (stack[sp - 2] <= stack[sp - 1]) { stack[sp - 2] = 1; }";
+      "                 else { stack[sp - 2] = 0; } sp = sp - 1; }       // LE";
+      "      case 13: { if (stack[sp - 2] == stack[sp - 1]) { stack[sp - 2] = 1; }";
+      "                 else { stack[sp - 2] = 0; } sp = sp - 1; }       // EQ";
+      "      case 14: { if (stack[sp - 2] != stack[sp - 1]) { stack[sp - 2] = 1; }";
+      "                 else { stack[sp - 2] = 0; } sp = sp - 1; }       // NE";
+      "      case 15: { pc = code[pc]; }                                 // JMP";
+      "      case 16: { sp = sp - 1; if (stack[sp] == 0) { pc = code[pc]; }";
+      "                 else { pc = pc + 1; } }                          // JZ";
+      "      case 17: { sp = sp - 1; if (stack[sp] != 0) { pc = code[pc]; }";
+      "                 else { pc = pc + 1; } }                          // JNZ";
+      "      case 18: { stack[sp] = stack[sp - 1]; sp = sp + 1; }        // DUP";
+      "      case 19: { sp = sp - 1; }                                   // POP";
+      "      case 20: { var t = stack[sp - 1]; stack[sp - 1] = stack[sp - 2];";
+      "                 stack[sp - 2] = t; }                             // SWAP";
+      "      case 21: { sp = sp - 1; print(stack[sp]); }                 // PRINT";
+      "      case 22: { stack[sp - 1] = 0 - stack[sp - 1]; }             // NEG";
+      "      default: { running = 0; }                                   // bad op";
+      "    }";
+      "    steps = steps + 1;";
+      "  }";
+      "  print(steps);";
+      "}";
+    ]

@@ -1,0 +1,159 @@
+(** Assembler for the xli stack-machine bytecode (see {!Src_xli}), plus
+    the two bytecode programs used as data sets. *)
+
+type instr =
+  | Halt
+  | Push of int
+  | Gload of int
+  | Gstore of int
+  | Gloadi  (** idx on stack *)
+  | Gstorei  (** value below index on stack *)
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Eq | Ne
+  | Jmp of string
+  | Jz of string
+  | Jnz of string
+  | Dup | Pop | Swap | Print | Neg
+  | Label of string
+
+exception Error of string
+
+let width = function
+  | Label _ -> 0
+  | Push _ | Gload _ | Gstore _ | Jmp _ | Jz _ | Jnz _ -> 2
+  | _ -> 1
+
+(** [assemble prog] resolves labels and encodes the opcode stream. *)
+let assemble (prog : instr list) : int array =
+  let labels = Hashtbl.create 16 in
+  let pc = ref 0 in
+  List.iter
+    (fun i ->
+      (match i with
+      | Label l ->
+          if Hashtbl.mem labels l then raise (Error ("duplicate label " ^ l));
+          Hashtbl.replace labels l !pc
+      | _ -> ());
+      pc := !pc + width i)
+    prog;
+  let target l =
+    match Hashtbl.find_opt labels l with
+    | Some a -> a
+    | None -> raise (Error ("undefined label " ^ l))
+  in
+  let out = ref [] in
+  let push v = out := v :: !out in
+  List.iter
+    (fun i ->
+      match i with
+      | Label _ -> ()
+      | Halt -> push 0
+      | Push n -> push 1; push n
+      | Gload n -> push 2; push n
+      | Gstore n -> push 3; push n
+      | Gloadi -> push 4
+      | Gstorei -> push 5
+      | Add -> push 6
+      | Sub -> push 7
+      | Mul -> push 8
+      | Div -> push 9
+      | Mod -> push 10
+      | Lt -> push 11
+      | Le -> push 12
+      | Eq -> push 13
+      | Ne -> push 14
+      | Jmp l -> push 15; push (target l)
+      | Jz l -> push 16; push (target l)
+      | Jnz l -> push 17; push (target l)
+      | Dup -> push 18
+      | Pop -> push 19
+      | Swap -> push 20
+      | Print -> push 21
+      | Neg -> push 22)
+    prog;
+  Array.of_list (List.rev !out)
+
+(** [dataset ~n_globals code] packs a bytecode program into the xli
+    interpreter's input stream. *)
+let dataset ~n_globals (code : int array) : int array =
+  Array.concat [ [| n_globals; Array.length code |]; code ]
+
+(* ------------------------------------------------------------------ *)
+
+(** Newton's method integer square roots for a few constants — a
+    deliberately very short-running program, mirroring the paper's xli.ne
+    training-set pathology.  Globals: 0 = v, 1 = x, 2 = counter. *)
+let newton_program ?(values = [ 1234567; 99980001; 42 ]) () : int array =
+  let body =
+    List.concat_map
+      (fun v ->
+        let l = Printf.sprintf "newton_%d" v in
+        [
+          Push v; Gstore 0;
+          Push v; Gstore 1;
+          Push 20; Gstore 2;
+          Label l;
+          (* x = (x + v / x) / 2 *)
+          Gload 1; Gload 0; Gload 1; Div; Add; Push 2; Div; Gstore 1;
+          Gload 2; Push 1; Sub; Dup; Gstore 2;
+          Jnz l;
+          Gload 1; Print;
+        ])
+      values
+  in
+  assemble (body @ [ Halt ])
+
+(** Iterative backtracking N-queens counter.  Globals: 0 = row,
+    1 = solution count, 2 = N, 3 = j; 10.. = column of the queen on each
+    row. *)
+let queens_program ~n : int array =
+  assemble
+    [
+      Push n; Gstore 2;
+      Push 0; Gstore 1;
+      Push 0; Gstore 0;
+      Push (-1); Gstore 10;  (* pos[0] = -1 *)
+      Label "loop";
+      (* while row >= 0 *)
+      Gload 0; Push 0; Lt; Jnz "done";
+      (* pos[row] += 1 *)
+      Push 10; Gload 0; Add; Gloadi;
+      Push 1; Add;
+      Push 10; Gload 0; Add; Gstorei;
+      (* if pos[row] >= N: row--, retry *)
+      Push 10; Gload 0; Add; Gloadi;
+      Gload 2; Lt; Jnz "check";
+      Gload 0; Push 1; Sub; Gstore 0;
+      Jmp "loop";
+      Label "check";
+      Push 0; Gstore 3;  (* j = 0 *)
+      Label "safe_loop";
+      Gload 3; Gload 0; Lt; Jz "safe_ok";
+      (* same column? *)
+      Push 10; Gload 3; Add; Gloadi;
+      Push 10; Gload 0; Add; Gloadi;
+      Eq; Jnz "loop";
+      (* same diagonal? |pos[j] - pos[row]| == row - j *)
+      Push 10; Gload 3; Add; Gloadi;
+      Push 10; Gload 0; Add; Gloadi;
+      Sub; Dup;
+      Push 0; Lt; Jz "absok";
+      Neg;
+      Label "absok";
+      Gload 0; Gload 3; Sub;
+      Eq; Jnz "loop";
+      Gload 3; Push 1; Add; Gstore 3;
+      Jmp "safe_loop";
+      Label "safe_ok";
+      (* full board? *)
+      Gload 0; Gload 2; Push 1; Sub; Eq; Jz "descend";
+      Gload 1; Push 1; Add; Gstore 1;
+      Jmp "loop";
+      Label "descend";
+      Gload 0; Push 1; Add; Gstore 0;
+      Push (-1); Push 10; Gload 0; Add; Gstorei;
+      Jmp "loop";
+      Label "done";
+      Gload 1; Print;
+      Halt;
+    ]

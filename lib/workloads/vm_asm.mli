@@ -1,0 +1,33 @@
+(** Assembler for the xli stack-machine bytecode, plus the two guest
+    programs used as the xli data sets. *)
+
+type instr =
+  | Halt
+  | Push of int
+  | Gload of int
+  | Gstore of int
+  | Gloadi  (** index on stack *)
+  | Gstorei  (** value below index on stack *)
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Eq | Ne
+  | Jmp of string
+  | Jz of string
+  | Jnz of string
+  | Dup | Pop | Swap | Print | Neg
+  | Label of string
+
+exception Error of string
+
+(** Resolve labels and encode.
+    @raise Error on duplicate or undefined labels. *)
+val assemble : instr list -> int array
+
+(** Pack a bytecode program into the xli interpreter's input stream. *)
+val dataset : n_globals:int -> int array -> int array
+
+(** Newton integer square roots — deliberately very short-running
+    (the paper's xli.ne pathology). *)
+val newton_program : ?values:int list -> unit -> int array
+
+(** Iterative backtracking N-queens counter. *)
+val queens_program : n:int -> int array

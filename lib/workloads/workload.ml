@@ -1,0 +1,163 @@
+(** The benchmark registry: six programs × two data sets, mirroring the
+    paper's Table 1.
+
+    | paper        | stand-in                               | data sets |
+    |--------------|----------------------------------------|-----------|
+    | 026.compress | LZW compressor                         | in (text), st (media) |
+    | 015.doduc    | fixed-point thermohydraulic relaxation  | re (ref), sm (small)  |
+    | 023.eqntott  | truth-table build + quicksort          | fx, ip    |
+    | 008.espresso | cube-cover minimizer                   | ti, tl    |
+    | 089.su2cor   | lattice sweep (loop-dominated)         | re, sh    |
+    | 022.li       | bytecode VM interpreter                | ne (newton, tiny), q7 (7-queens) |
+
+    Data-set sizes are scaled so the full experiment harness runs in
+    seconds rather than hours; the control-flow {e shapes} (hot loops,
+    probe chains, dispatch switches, input-dependent branches) are what
+    the alignment experiments depend on. *)
+
+type dataset = {
+  ds_name : string;  (** e.g. "in" *)
+  input : int array;  (** the stream [read()] consumes *)
+  ds_description : string;
+}
+
+type t = {
+  name : string;  (** e.g. "com" *)
+  paper_name : string;  (** e.g. "026.compress" *)
+  description : string;
+  source : string;  (** minic source text *)
+  datasets : dataset * dataset;
+}
+
+let com =
+  {
+    name = "com";
+    paper_name = "026.compress";
+    description = "Lempel-Ziv compressor (LZW, open-addressing string table)";
+    source = Src_com.source;
+    datasets =
+      ( {
+          ds_name = "in";
+          input = Src_com.dataset_text ~n:24_000 ~seed:11;
+          ds_description = "program text (skewed, compressible)";
+        },
+        {
+          ds_name = "st";
+          input = Src_com.dataset_media ~n:24_000 ~seed:12;
+          ds_description = "movie data (near-uniform bytes)";
+        } );
+  }
+
+let dod =
+  {
+    name = "dod";
+    paper_name = "015.doduc";
+    description = "nuclear reactor thermohydraulic simulation (fixed point)";
+    source = Src_dod.source;
+    datasets =
+      ( {
+          ds_name = "re";
+          input = Src_dod.dataset ~steps:160 ~ncells:220 ~seed:21;
+          ds_description = "ref input (long relaxation)";
+        },
+        {
+          ds_name = "sm";
+          input = Src_dod.dataset ~steps:40 ~ncells:150 ~seed:22;
+          ds_description = "small input";
+        } );
+  }
+
+let eqn =
+  {
+    name = "eqn";
+    paper_name = "023.eqntott";
+    description = "translates boolean equations to truth tables";
+    source = Src_eqn.source;
+    datasets =
+      ( {
+          ds_name = "fx";
+          input = Src_eqn.dataset ~k:12 ~nterms:24 ~seed:31;
+          ds_description = "fixed-to-floating-point encoder equations";
+        },
+        {
+          ds_name = "ip";
+          input = Src_eqn.dataset ~k:12 ~nterms:10 ~seed:32;
+          ds_description = "priority encoder equations (sparser terms)";
+        } );
+  }
+
+let esp =
+  {
+    name = "esp";
+    paper_name = "008.espresso";
+    description = "boolean function minimizer (cube-cover merging)";
+    source = Src_esp.source;
+    datasets =
+      ( {
+          ds_name = "ti";
+          input = Src_esp.dataset ~nvars:14 ~ncubes:380 ~seed:41;
+          ds_description = "ti PLA table";
+        },
+        {
+          ds_name = "tl";
+          input = Src_esp.dataset ~nvars:12 ~ncubes:300 ~seed:42;
+          ds_description = "tial PLA table";
+        } );
+  }
+
+let su2 =
+  {
+    name = "su2";
+    paper_name = "089.su2cor";
+    description = "statistical mechanics lattice calculation";
+    source = Src_su2.source;
+    datasets =
+      ( {
+          ds_name = "re";
+          input = Src_su2.dataset ~size:24 ~sweeps:90 ~seed:51;
+          ds_description = "ref lattice";
+        },
+        {
+          ds_name = "sh";
+          input = Src_su2.dataset ~size:16 ~sweeps:60 ~seed:52;
+          ds_description = "short run";
+        } );
+  }
+
+let xli =
+  {
+    name = "xli";
+    paper_name = "022.li";
+    description = "interpreter (stack-machine VM) running bytecode programs";
+    source = Src_xli.source;
+    datasets =
+      ( {
+          ds_name = "ne";
+          input = Vm_asm.dataset ~n_globals:8 (Vm_asm.newton_program ());
+          ds_description = "Newton's method (very short run)";
+        },
+        {
+          ds_name = "q7";
+          input = Vm_asm.dataset ~n_globals:20 (Vm_asm.queens_program ~n:7);
+          ds_description = "7-queens problem";
+        } );
+  }
+
+(** All six benchmarks, in the paper's Table 1 order. *)
+let all = [ com; dod; eqn; esp; su2; xli ]
+
+(** [find name] looks a benchmark up by short name. *)
+let find name = List.find_opt (fun w -> w.name = name) all
+
+(** [compile w] runs the minic front end on the benchmark source.
+    @raise Failure if the bundled source does not compile (a bug). *)
+let compile (w : t) = Ba_minic.Compile.compile_exn w.source
+
+(** Both data sets as a list, first the paper's "testing" set. *)
+let dataset_list (w : t) = [ fst w.datasets; snd w.datasets ]
+
+(** [sibling w ds] is the other data set of the benchmark — the paper's
+    cross-validation training set for [ds]. *)
+let sibling (w : t) (ds : dataset) =
+  let a, b = w.datasets in
+  if ds.ds_name = a.ds_name then b else a

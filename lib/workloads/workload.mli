@@ -1,0 +1,40 @@
+(** The benchmark registry: the six SPEC92 stand-ins of the paper's
+    Table 1, each with two data sets (see the module body and DESIGN.md
+    for the mapping to the original benchmarks). *)
+
+type dataset = {
+  ds_name : string;  (** e.g. "in" *)
+  input : int array;  (** the stream [read()] consumes *)
+  ds_description : string;
+}
+
+type t = {
+  name : string;  (** e.g. "com" *)
+  paper_name : string;  (** e.g. "026.compress" *)
+  description : string;
+  source : string;  (** minic source text *)
+  datasets : dataset * dataset;
+}
+
+val com : t
+val dod : t
+val eqn : t
+val esp : t
+val su2 : t
+val xli : t
+
+(** All six benchmarks, in Table 1 order. *)
+val all : t list
+
+(** Look a benchmark up by short name (this suite only). *)
+val find : string -> t option
+
+(** Compile the benchmark's bundled source.
+    @raise Failure if it does not compile (a bug). *)
+val compile : t -> Ba_minic.Compile.compiled
+
+(** Both data sets, the paper's "testing" set first. *)
+val dataset_list : t -> dataset list
+
+(** The other data set — the cross-validation training set. *)
+val sibling : t -> dataset -> dataset

@@ -1,0 +1,127 @@
+(** The SPEC95-style extension suite — the paper's stated next step
+    ("We would have preferred to run our algorithm on larger,
+    longer-running benchmarks, including those in SPEC95").
+
+    | paper (SPEC95) | stand-in                                    | data sets |
+    |----------------|---------------------------------------------|-----------|
+    | 124.m88ksim    | RISC CPU simulator                          | srt (bubble sort guest), clz (collatz guest) |
+    | 132.ijpeg      | integer DCT + quantization + RLE            | sm (smooth image), nz (noisy image) |
+    | 134.perl       | KMP text matcher + word hashing             | hi (match-rich), lo (match-poor) |
+    | 147.vortex     | transactional hash object store             | rd (lookup-heavy), wr (churn-heavy) |
+    | 099.go         | 9×9 board mechanics with flood-fill capture | a, b (game scripts) |
+
+    Same {!Workload.t} shape as the SPEC92 suite, so every harness
+    function works on either. *)
+
+open Workload
+
+let m88 =
+  {
+    name = "m88";
+    paper_name = "124.m88ksim";
+    description = "RISC CPU simulator (fetch-decode-execute over guest code)";
+    source = Src_m88.source;
+    datasets =
+      ( {
+          ds_name = "srt";
+          input =
+            Risc_asm.dataset ~memsize:256
+              (Risc_asm.bubble_sort_program ~n:64)
+              ~init:
+                (List.init 64 (fun i -> (i, (i * 37 mod 101) + ((i * i) mod 17))));
+          ds_description = "guest: bubble sort of 64 words";
+        },
+        {
+          ds_name = "clz";
+          input =
+            Risc_asm.dataset ~memsize:16
+              (Risc_asm.collatz_program ~count:300)
+              ~init:[];
+          ds_description = "guest: collatz lengths for 300 seeds";
+        } );
+  }
+
+let ijp =
+  {
+    name = "ijp";
+    paper_name = "132.ijpeg";
+    description = "integer DCT image coder (quantization + zigzag RLE)";
+    source = Src_ijp.source;
+    datasets =
+      ( {
+          ds_name = "sm";
+          input = Src_ijp.dataset ~nblocks:40 ~noise:0 ~seed:61;
+          ds_description = "smooth gradients (sparse spectra)";
+        },
+        {
+          ds_name = "nz";
+          input = Src_ijp.dataset ~nblocks:40 ~noise:60 ~seed:62;
+          ds_description = "noisy texture (dense spectra)";
+        } );
+  }
+
+let prl =
+  {
+    name = "prl";
+    paper_name = "134.perl";
+    description = "text processing: KMP matching + word hashing";
+    source = Src_prl.source;
+    datasets =
+      ( {
+          ds_name = "hi";
+          input =
+            Src_prl.dataset ~pattern:"begin" ~n:60_000 ~match_rate:400 ~seed:71;
+          ds_description = "match-rich text";
+        },
+        {
+          ds_name = "lo";
+          input = Src_prl.dataset ~pattern:"begin" ~n:60_000 ~match_rate:0 ~seed:72;
+          ds_description = "match-poor text";
+        } );
+  }
+
+let vor =
+  {
+    name = "vor";
+    paper_name = "147.vortex";
+    description = "in-memory object store (hash transactions + rehashing)";
+    source = Src_vor.source;
+    datasets =
+      ( {
+          ds_name = "rd";
+          input = Src_vor.dataset ~nops:30_000 ~churn:5 ~seed:81;
+          ds_description = "lookup-heavy transactions";
+        },
+        {
+          ds_name = "wr";
+          input = Src_vor.dataset ~nops:30_000 ~churn:30 ~seed:82;
+          ds_description = "churn-heavy transactions";
+        } );
+  }
+
+let go =
+  {
+    name = "go";
+    paper_name = "099.go";
+    description = "go-board mechanics (flood-fill groups, captures)";
+    source = Src_go.source;
+    datasets =
+      ( {
+          ds_name = "a";
+          input = Src_go.dataset ~size:9 ~nmoves:4_000 ~seed:91;
+          ds_description = "game script a";
+        },
+        {
+          ds_name = "b";
+          input = Src_go.dataset ~size:9 ~nmoves:4_000 ~seed:92;
+          ds_description = "game script b";
+        } );
+  }
+
+(** The five SPEC95 stand-ins. *)
+let all = [ m88; ijp; prl; vor; go ]
+
+(** Both suites together. *)
+let everything = Workload.all @ all
+
+let find name = List.find_opt (fun w -> w.name = name) all

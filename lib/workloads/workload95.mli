@@ -1,0 +1,21 @@
+(** The SPEC95-style extension suite — the paper's stated next step.
+    Same {!Workload.t} shape as the SPEC92 suite, so every harness
+    function works on either. *)
+
+val m88 : Workload.t  (** 124.m88ksim stand-in: RISC CPU simulator *)
+
+val ijp : Workload.t  (** 132.ijpeg stand-in: integer DCT coder *)
+
+val prl : Workload.t  (** 134.perl stand-in: KMP matcher + word hashing *)
+
+val vor : Workload.t  (** 147.vortex stand-in: transactional hash store *)
+
+val go : Workload.t  (** 099.go stand-in: board mechanics *)
+
+(** The five SPEC95 stand-ins. *)
+val all : Workload.t list
+
+(** SPEC92 + SPEC95 suites together. *)
+val everything : Workload.t list
+
+val find : string -> Workload.t option

@@ -1,0 +1,42 @@
+(** Application workloads beyond the SPEC stand-in suites — programs with
+    richer procedure structure, used by the interprocedural experiments
+    and as additional alignment subjects. *)
+
+open Workload
+
+let exc_expected =
+  (* reference outputs computed by the OCaml-side evaluator; the test
+     suite checks the minic program reproduces them exactly *)
+  let deep_input, deep_out = Src_exc.dataset ~n_exprs:400 ~depth:7 ~seed:101 in
+  let flat_input, flat_out = Src_exc.dataset ~n_exprs:1200 ~depth:3 ~seed:102 in
+  ((deep_input, deep_out), (flat_input, flat_out))
+
+let exc =
+  let (deep_input, _), (flat_input, _) = exc_expected in
+  {
+    name = "exc";
+    paper_name = "(application)";
+    description = "expression compiler + stack evaluator (8 procedures, recursive)";
+    source = Src_exc.source;
+    datasets =
+      ( {
+          ds_name = "dp";
+          input = deep_input;
+          ds_description = "deeply nested expressions (heavy recursion)";
+        },
+        {
+          ds_name = "fl";
+          input = flat_input;
+          ds_description = "long flat operator chains";
+        } );
+  }
+
+(** Reference outputs for the two exc data sets (deep, flat). *)
+let exc_reference_outputs =
+  let (_, deep_out), (_, flat_out) = exc_expected in
+  (deep_out, flat_out)
+
+let all = [ exc ]
+
+(** Every workload in the repository: SPEC92 + SPEC95 + applications. *)
+let everything = Workload.all @ Workload95.all @ all

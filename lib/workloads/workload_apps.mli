@@ -1,0 +1,16 @@
+(** Application workloads beyond the SPEC stand-in suites. *)
+
+(** Expression compiler + stack evaluator written in minic: nine
+    procedures with deep (mutual) recursion.  Data sets "dp" (deeply
+    nested expressions) and "fl" (long flat chains). *)
+val exc : Workload.t
+
+(** The reference outputs of the two exc data sets, computed by the
+    OCaml-side evaluator — the minic program must reproduce them exactly
+    (a differential test of the whole front end). *)
+val exc_reference_outputs : int list * int list
+
+val all : Workload.t list
+
+(** Every workload in the repository: SPEC92 + SPEC95 + applications. *)
+val everything : Workload.t list

@@ -1,0 +1,499 @@
+(* Tests for the core alignment library: the DTSP reduction, the greedy
+   and TSP aligners, evaluation, bounds, and the whole-program driver.
+
+   The central identities checked here:
+   - DTSP walk cost of a layout = analytic penalty (train = test);
+   - analytic penalty = trace-simulated penalty when evaluated on the
+     profiled execution itself;
+   - held-karp bound <= exact optimum <= any aligner's penalty. *)
+
+open Ba_cfg
+open Ba_align
+module Profile = Ba_profile.Profile
+
+let p = Ba_machine.Penalties.alpha_21164
+let rng = Random.State.make [| 7 |]
+
+let random_setup ?(n = 8) ?(invocations = 20) ?(seed = 1234) () =
+  let g = Ba_testutil.Gen.cfg rng ~n in
+  let prof = Ba_testutil.Gen.profile_of ~seed g ~invocations ~max_steps:60 in
+  (g, Profile.proc prof 0, prof)
+
+let random_order g st =
+  let n = Cfg.n_blocks g in
+  let o = Array.init n (fun i -> i) in
+  for i = n - 1 downto 2 do
+    let j = 1 + Random.State.int st i in
+    let t = o.(i) in
+    o.(i) <- o.(j);
+    o.(j) <- t
+  done;
+  o
+
+(* ---------------- reduction ---------------- *)
+
+let test_reduction_cost_matches_evaluate () =
+  (* THE identity of Section 2.2: walk cost = analytic penalty *)
+  for trial = 0 to 19 do
+    let g, prof, _ = random_setup ~n:(3 + (trial mod 8)) ~seed:(trial * 7) () in
+    let inst = Reduction.build p g ~profile:prof in
+    let st = Random.State.make [| trial |] in
+    for _ = 1 to 5 do
+      let order = random_order g st in
+      Alcotest.(check int)
+        (Printf.sprintf "walk cost = penalty (trial %d)" trial)
+        (Evaluate.proc_penalty p g ~order ~train:prof ~test:prof)
+        (Reduction.layout_cost inst order)
+    done
+  done
+
+let test_reduction_roundtrip () =
+  let g, prof, _ = random_setup () in
+  let inst = Reduction.build p g ~profile:prof in
+  let order = random_order g (Random.State.make [| 3 |]) in
+  let back = Reduction.order_of_tour inst (Reduction.tour_of_order inst order) in
+  Alcotest.(check (array int)) "order -> tour -> order" order back
+
+let test_reduction_dummy_edges () =
+  let g, prof, _ = random_setup () in
+  let inst = Reduction.build p g ~profile:prof in
+  let d = inst.Reduction.dtsp in
+  Alcotest.(check int) "dummy -> entry free" 0
+    d.Ba_tsp.Dtsp.cost.(inst.Reduction.dummy).(g.Cfg.entry);
+  Alcotest.(check bool) "dummy -> others forbidden" true
+    (Array.for_all
+       (fun j ->
+         j = g.Cfg.entry || j = inst.Reduction.dummy
+         || d.Ba_tsp.Dtsp.cost.(inst.Reduction.dummy).(j) = inst.Reduction.forbid)
+       (Array.init d.Ba_tsp.Dtsp.n (fun i -> i)))
+
+(* ---------------- greedy aligners ---------------- *)
+
+let test_greedy_layout_valid () =
+  for trial = 0 to 19 do
+    let g, prof, _ = random_setup ~n:(2 + (trial mod 12)) ~seed:trial () in
+    let o = Greedy.align g ~profile:prof in
+    Alcotest.(check bool)
+      (Printf.sprintf "greedy valid (trial %d)" trial)
+      true (Layout.is_valid g o)
+  done
+
+let test_calder_layout_valid () =
+  for trial = 0 to 19 do
+    let g, prof, _ = random_setup ~n:(2 + (trial mod 12)) ~seed:(trial + 100) () in
+    let o = Calder.align p g ~profile:prof in
+    Alcotest.(check bool)
+      (Printf.sprintf "calder valid (trial %d)" trial)
+      true (Layout.is_valid g o);
+    let oe = Calder.align_exhaustive ~top_edges:5 ~max_blocks:5 p g ~profile:prof in
+    Alcotest.(check bool)
+      (Printf.sprintf "calder-exhaustive valid (trial %d)" trial)
+      true (Layout.is_valid g oe)
+  done
+
+let test_greedy_chains_hot_path () =
+  (* entry 0 branches to 1 (hot) and 2 (cold); 1,2 -> 3 exit.
+     greedy must place 1 right after 0 *)
+  let g =
+    Cfg.make ~name:"hot" ~entry:0
+      [|
+        Block.make ~id:0 ~size:1 (Block.Branch { t = 1; f = 2 });
+        Block.make ~id:1 ~size:1 (Block.Goto 3);
+        Block.make ~id:2 ~size:1 (Block.Goto 3);
+        Block.make ~id:3 ~size:1 Block.Exit;
+      |]
+  in
+  let prof =
+    Profile.of_assoc ~n_blocks:4 [ (0, 1, 90); (0, 2, 10); (1, 3, 90); (2, 3, 10) ]
+  in
+  let o = Greedy.align g ~profile:prof in
+  Alcotest.(check int) "hot follower placed next" 1 o.(1);
+  Alcotest.(check int) "then its goto target" 3 o.(2)
+
+let test_calder_ignores_multiway_edges () =
+  (* a multiway's cost is layout independent: calder must not waste the
+     slot after block 0 on its hottest multiway target *)
+  let g =
+    Cfg.make ~name:"mw" ~entry:0
+      [|
+        Block.make ~id:0 ~size:1 (Block.Multiway [| 1; 2 |]);
+        Block.make ~id:1 ~size:1 (Block.Goto 3);
+        Block.make ~id:2 ~size:1 (Block.Goto 3);
+        Block.make ~id:3 ~size:1 Block.Exit;
+      |]
+  in
+  let prof =
+    Profile.of_assoc ~n_blocks:4 [ (0, 1, 99); (0, 2, 1); (1, 3, 99); (2, 3, 1) ]
+  in
+  Alcotest.(check int) "savings of multiway edge" 0
+    (Calder.savings p g ~profile:prof 0 1);
+  Alcotest.(check bool) "goto edge has positive savings" true
+    (Calder.savings p g ~profile:prof 1 3 > 0)
+
+(* ---------------- tsp aligner ---------------- *)
+
+let test_tsp_align_small_is_exact_optimum () =
+  for trial = 0 to 14 do
+    let g, prof, _ = random_setup ~n:(3 + (trial mod 9)) ~seed:(trial + 50) () in
+    let r = Tsp_align.align p g ~profile:prof in
+    Alcotest.(check bool) "layout valid" true (Layout.is_valid g r.Tsp_align.order);
+    Alcotest.(check bool) "solved exactly" true r.Tsp_align.exact;
+    (match Bounds.exact p g ~profile:prof with
+    | Some opt ->
+        Alcotest.(check int)
+          (Printf.sprintf "tsp = optimum (trial %d)" trial)
+          opt r.Tsp_align.cost
+    | None -> Alcotest.fail "instance should be small enough");
+    (* reported cost is the layout's actual penalty *)
+    Alcotest.(check int) "cost consistent"
+      (Evaluate.proc_penalty p g ~order:r.Tsp_align.order ~train:prof ~test:prof)
+      r.Tsp_align.cost
+  done
+
+let test_tsp_align_beats_or_ties_everyone () =
+  for trial = 0 to 9 do
+    let g, prof, _ = random_setup ~n:10 ~seed:(trial + 500) ~invocations:30 () in
+    let tsp = (Tsp_align.align p g ~profile:prof).Tsp_align.cost in
+    let penalty o = Evaluate.proc_penalty p g ~order:o ~train:prof ~test:prof in
+    let orig = penalty (Layout.identity g) in
+    let greedy = penalty (Greedy.align g ~profile:prof) in
+    let calder = penalty (Calder.align p g ~profile:prof) in
+    Alcotest.(check bool)
+      (Printf.sprintf "tsp %d <= greedy %d (trial %d)" tsp greedy trial)
+      true (tsp <= greedy);
+    Alcotest.(check bool) "tsp <= calder" true (tsp <= calder);
+    Alcotest.(check bool) "tsp <= original" true (tsp <= orig)
+  done
+
+let test_tsp_align_heuristic_path () =
+  (* force the heuristic solver (exact_below = 0) and check validity and
+     that it is no worse than greedy *)
+  let g, prof, _ = random_setup ~n:14 ~seed:999 ~invocations:40 () in
+  let config = { Tsp_align.default with exact_below = 0 } in
+  let r = Tsp_align.align ~config p g ~profile:prof in
+  Alcotest.(check bool) "valid" true (Layout.is_valid g r.Tsp_align.order);
+  Alcotest.(check bool) "heuristic" false r.Tsp_align.exact;
+  let greedy =
+    Evaluate.proc_penalty p g ~order:(Greedy.align g ~profile:prof) ~train:prof
+      ~test:prof
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "heuristic tsp %d <= greedy %d" r.Tsp_align.cost greedy)
+    true
+    (r.Tsp_align.cost <= greedy)
+
+(* ---------------- bounds ---------------- *)
+
+let test_bounds_bracket () =
+  for trial = 0 to 9 do
+    let g, prof, _ = random_setup ~n:(4 + trial) ~seed:(trial + 300) () in
+    let tsp = (Tsp_align.align p g ~profile:prof).Tsp_align.cost in
+    let hk = Bounds.held_karp p g ~profile:prof ~upper:tsp in
+    let ap = Bounds.ap p g ~profile:prof in
+    Alcotest.(check bool)
+      (Printf.sprintf "hk %d <= tsp %d (trial %d)" hk tsp trial)
+      true (hk <= tsp);
+    Alcotest.(check bool)
+      (Printf.sprintf "ap %d <= tsp %d" ap tsp)
+      true (ap <= tsp)
+  done
+
+(* ---------------- cross-validation mechanics ---------------- *)
+
+let test_cross_validation_differs () =
+  let g = Ba_testutil.Gen.cfg rng ~n:10 in
+  let prof_a = Ba_testutil.Gen.profile_of ~seed:1 g ~invocations:30 ~max_steps:60 in
+  let prof_b = Ba_testutil.Gen.profile_of ~seed:2 g ~invocations:30 ~max_steps:60 in
+  let a = Profile.proc prof_a 0 and b = Profile.proc prof_b 0 in
+  let order = Greedy.align g ~profile:a in
+  let self = Evaluate.proc_penalty p g ~order ~train:a ~test:a in
+  let cross = Evaluate.proc_penalty p g ~order ~train:a ~test:b in
+  (* both are well defined; self-trained is measured on its own counts *)
+  Alcotest.(check bool) "penalties non-negative" true (self >= 0 && cross >= 0);
+  (* training on b and testing on b should beat training on a, testing b
+     at least weakly for the TSP aligner (it optimizes exactly that) *)
+  let order_b = (Tsp_align.align p g ~profile:b).Tsp_align.order in
+  let tuned = Evaluate.proc_penalty p g ~order:order_b ~train:b ~test:b in
+  let crossed =
+    Evaluate.proc_penalty p g
+      ~order:(Tsp_align.align p g ~profile:a).Tsp_align.order
+      ~train:a ~test:b
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "self-tuned %d <= cross-trained %d" tuned crossed)
+    true (tuned <= crossed)
+
+(* ---------------- driver: analytic = simulated ---------------- *)
+
+let test_driver_analytic_equals_simulated () =
+  List.iter
+    (fun m ->
+      let g = Ba_testutil.Gen.cfg rng ~n:9 in
+      let run = Ba_testutil.Gen.trace_runner ~seed:77 g ~invocations:25 ~max_steps:50 in
+      let prof =
+        Ba_profile.Collect.profile_of_run ~n_blocks:[| Cfg.n_blocks g |] run
+      in
+      let a = Driver.align m p [| g |] ~train:prof in
+      (match Driver.check a with Ok () -> () | Error e -> Alcotest.fail e);
+      let analytic = Driver.analytic_penalty p a ~test:prof in
+      let sim = Driver.simulate p a ~run in
+      Alcotest.(check int)
+        (Printf.sprintf "analytic = simulated (%s)" (Driver.method_name m))
+        analytic sim.Ba_machine.Cycles.penalty_cycles)
+    [
+      Driver.Original;
+      Driver.Greedy;
+      Driver.Calder;
+      Driver.Calder_exhaustive;
+      Driver.Tsp Tsp_align.default;
+    ]
+
+let test_driver_multiproc () =
+  let g1 = Ba_testutil.Gen.cfg rng ~n:6 and g2 = Ba_testutil.Gen.cfg rng ~n:4 in
+  let run sink =
+    Ba_testutil.Gen.walk (Random.State.make [| 5 |]) g1 ~max_steps:30 sink;
+    (* second procedure: relabel events for fid 1 *)
+    let relabel = function
+      | Trace.Enter 0 -> sink (Trace.Enter 1)
+      | e -> sink e
+    in
+    Ba_testutil.Gen.walk (Random.State.make [| 6 |]) g2 ~max_steps:30 relabel
+  in
+  let prof =
+    Ba_profile.Collect.profile_of_run
+      ~n_blocks:[| Cfg.n_blocks g1; Cfg.n_blocks g2 |]
+      run
+  in
+  let a = Driver.align Driver.Greedy p [| g1; g2 |] ~train:prof in
+  let analytic = Driver.analytic_penalty p a ~test:prof in
+  let sim = Driver.simulate p a ~run in
+  Alcotest.(check int) "two procedures" analytic
+    sim.Ba_machine.Cycles.penalty_cycles;
+  Alcotest.(check int) "two calls" 2 sim.Ba_machine.Cycles.calls
+
+(* ---------------- BTFNT evaluation ---------------- *)
+
+let test_btfnt_loop_back_edge_predicted () =
+  (* layout [0; 1]: the self-loop branch at 0 is backward -> predicted
+     taken; staying in the loop costs only the misfetch *)
+  let g =
+    Cfg.make ~name:"loop" ~entry:0
+      [|
+        Block.make ~id:0 ~size:1 (Block.Branch { t = 0; f = 1 });
+        Block.make ~id:1 ~size:1 Block.Exit;
+      |]
+  in
+  let prof = Profile.of_assoc ~n_blocks:2 [ (0, 0, 100); (0, 1, 1) ] in
+  let r, _ = Evaluate.realize p g ~order:[| 0; 1 |] ~train:prof in
+  (* backward taken arm predicted: 100 taken × misfetch(1) + 1 exit
+     fall-through mispredicted (predicted taken) × 5 *)
+  Alcotest.(check int) "loop penalty" 105
+    (Btfnt.proc_penalty p g ~realized:r ~test:prof)
+
+let test_btfnt_forward_branch_predicted_not_taken () =
+  (* diamond, forward branch: fall arm predicted; taken transfers
+     mispredict *)
+  let g =
+    Cfg.make ~name:"fwd" ~entry:0
+      [|
+        Block.make ~id:0 ~size:1 (Block.Branch { t = 2; f = 1 });
+        Block.make ~id:1 ~size:1 (Block.Goto 3);
+        Block.make ~id:2 ~size:1 (Block.Goto 3);
+        Block.make ~id:3 ~size:1 Block.Exit;
+      |]
+  in
+  let prof =
+    Profile.of_assoc ~n_blocks:4 [ (0, 1, 10); (0, 2, 90); (1, 3, 10); (2, 3, 90) ]
+  in
+  let r, _ = Evaluate.realize p g ~order:[| 0; 1; 2; 3 |] ~train:prof in
+  (* realized: block 0 has layout succ 1 (= fall arm in CFG): predicted
+     successor from profile is 2, so realize keeps taken=2, fall=1.
+     BTFNT: 2 is forward -> predict fall (1).
+     transfers: 0->1: fall predicted: 0 ; 0->2: mispredict: 90·5
+     block 1: jump to 3 (succ is 2): 10·2 ; block 2: falls to 3: 0 *)
+  Alcotest.(check int) "forward penalty" 470
+    (Btfnt.proc_penalty p g ~realized:r ~test:prof)
+
+let test_btfnt_multiway_always_mispredicts () =
+  let g =
+    Cfg.make ~name:"mw" ~entry:0
+      [|
+        Block.make ~id:0 ~size:1 (Block.Multiway [| 1; 2 |]);
+        Block.make ~id:1 ~size:1 Block.Exit;
+        Block.make ~id:2 ~size:1 Block.Exit;
+      |]
+  in
+  let prof = Profile.of_assoc ~n_blocks:3 [ (0, 1, 7); (0, 2, 3) ] in
+  let r, _ = Evaluate.realize p g ~order:[| 0; 1; 2 |] ~train:prof in
+  Alcotest.(check int) "all multiway mispredict" 30
+    (Btfnt.proc_penalty p g ~realized:r ~test:prof)
+
+(* ---------------- procedure ordering ---------------- *)
+
+let test_proc_order_permutation () =
+  let calls = [ (0, 1, 100); (0, 2, 10); (1, 3, 50); (2, 4, 5) ] in
+  let o = Proc_order.order ~n_procs:6 ~entry:0 calls in
+  Alcotest.(check int) "length" 6 (Array.length o);
+  let seen = Array.make 6 false in
+  Array.iter (fun p -> seen.(p) <- true) o;
+  Alcotest.(check bool) "permutation" true (Array.for_all Fun.id seen);
+  (* the uncalled procedure 5 lands after the connected component *)
+  Alcotest.(check int) "orphan last" 5 o.(5)
+
+let test_proc_order_hot_pair_adjacent () =
+  (* 0 and 1 call each other overwhelmingly: they must be neighbours *)
+  let calls = [ (0, 1, 1000); (0, 2, 1); (2, 3, 1) ] in
+  let o = Proc_order.order ~n_procs:4 ~entry:0 calls in
+  let pos = Array.make 4 0 in
+  Array.iteri (fun i p -> pos.(p) <- i) o;
+  Alcotest.(check int) "hot pair adjacent" 1 (abs (pos.(0) - pos.(1)))
+
+let test_proc_order_by_weight () =
+  let calls = [ (0, 1, 5); (0, 2, 100); (0, 3, 20) ] in
+  let o = Proc_order.by_weight ~n_procs:4 ~entry:0 calls in
+  Alcotest.(check (array int)) "entry then hottest" [| 0; 2; 3; 1 |] o
+
+let test_proc_order_placement_reduces_conflicts () =
+  (* three procedures of exactly half the cache each; A and C alternate
+     in the trace.  Order A B C puts A and C on the same cache lines
+     (conflict on every visit); order A C B keeps them disjoint. *)
+  let half = 1024 (* instructions; cache holds 2048 *) in
+  let mk name =
+    Cfg.make ~name ~entry:0 [| Block.make ~id:0 ~size:(half - 1) Block.Exit |]
+  in
+  let cfgs = [| mk "A"; mk "B"; mk "C" |] in
+  let realize g =
+    let r, _ =
+      Evaluate.realize p g ~order:[| 0 |]
+        ~train:(Ba_profile.Profile.of_assoc ~n_blocks:1 [])
+    in
+    r
+  in
+  let realized = Array.map realize cfgs in
+  let misses proc_order =
+    let addr =
+      Ba_machine.Addr.build ?proc_order (Array.map2 (fun g r -> (g, r)) cfgs realized)
+    in
+    let cache = Ba_machine.Icache.create Ba_machine.Icache.alpha_l1 in
+    let m = ref 0 in
+    for _ = 1 to 20 do
+      m :=
+        !m
+        + Ba_machine.Icache.touch_range cache
+            ~addr:addr.Ba_machine.Addr.procs.(0).Ba_machine.Addr.block_addr.(0)
+            ~ninstr:half;
+      m :=
+        !m
+        + Ba_machine.Icache.touch_range cache
+            ~addr:addr.Ba_machine.Addr.procs.(2).Ba_machine.Addr.block_addr.(0)
+            ~ninstr:half
+    done;
+    !m
+  in
+  let abc = misses None in
+  let acb = misses (Some [| 0; 2; 1 |]) in
+  Alcotest.(check bool)
+    (Printf.sprintf "A-C-B (%d misses) beats A-B-C (%d misses)" acb abc)
+    true
+    (acb * 4 < abc)
+
+(* ---------------- qcheck properties ---------------- *)
+
+let gen_spec =
+  QCheck2.Gen.(
+    let* n = int_range 2 12 in
+    let* seed = int_bound 100_000 in
+    return (n, seed))
+
+let setup_of (n, seed) =
+  let st = Random.State.make [| seed |] in
+  let g = Ba_testutil.Gen.cfg st ~n in
+  let prof = Ba_testutil.Gen.profile_of ~seed g ~invocations:15 ~max_steps:40 in
+  (g, Profile.proc prof 0)
+
+let prop_walk_cost_identity =
+  QCheck2.Test.make ~count:40 ~name:"dtsp walk cost = analytic penalty" gen_spec
+    (fun spec ->
+      let g, prof = setup_of spec in
+      let inst = Reduction.build p g ~profile:prof in
+      let o = Greedy.align g ~profile:prof in
+      Reduction.layout_cost inst o
+      = Evaluate.proc_penalty p g ~order:o ~train:prof ~test:prof)
+
+let prop_aligners_never_invalid =
+  QCheck2.Test.make ~count:40 ~name:"all aligners produce valid layouts" gen_spec
+    (fun spec ->
+      let g, prof = setup_of spec in
+      Layout.is_valid g (Greedy.align g ~profile:prof)
+      && Layout.is_valid g (Calder.align p g ~profile:prof)
+      && Layout.is_valid g (Tsp_align.align p g ~profile:prof).Tsp_align.order)
+
+let prop_tsp_no_worse_than_original =
+  QCheck2.Test.make ~count:25 ~name:"tsp penalty <= original penalty" gen_spec
+    (fun spec ->
+      let g, prof = setup_of spec in
+      let tsp = (Tsp_align.align p g ~profile:prof).Tsp_align.cost in
+      tsp
+      <= Evaluate.proc_penalty p g ~order:(Layout.identity g) ~train:prof
+           ~test:prof)
+
+let () =
+  Alcotest.run "ba_align"
+    [
+      ( "reduction",
+        [
+          Alcotest.test_case "walk cost = analytic penalty" `Quick
+            test_reduction_cost_matches_evaluate;
+          Alcotest.test_case "order/tour roundtrip" `Quick test_reduction_roundtrip;
+          Alcotest.test_case "dummy edges" `Quick test_reduction_dummy_edges;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "layouts valid" `Quick test_greedy_layout_valid;
+          Alcotest.test_case "calder layouts valid" `Quick test_calder_layout_valid;
+          Alcotest.test_case "chains hot path" `Quick test_greedy_chains_hot_path;
+          Alcotest.test_case "calder ignores multiway edges" `Quick
+            test_calder_ignores_multiway_edges;
+        ] );
+      ( "tsp-align",
+        [
+          Alcotest.test_case "small instances solved optimally" `Quick
+            test_tsp_align_small_is_exact_optimum;
+          Alcotest.test_case "no worse than greedy/calder/original" `Quick
+            test_tsp_align_beats_or_ties_everyone;
+          Alcotest.test_case "heuristic path" `Quick test_tsp_align_heuristic_path;
+        ] );
+      ("bounds", [ Alcotest.test_case "bracket" `Quick test_bounds_bracket ]);
+      ( "cross-validation",
+        [ Alcotest.test_case "mechanics" `Quick test_cross_validation_differs ] );
+      ( "driver",
+        [
+          Alcotest.test_case "analytic = simulated penalty" `Quick
+            test_driver_analytic_equals_simulated;
+          Alcotest.test_case "multi-procedure programs" `Quick test_driver_multiproc;
+        ] );
+      ( "btfnt",
+        [
+          Alcotest.test_case "back edge predicted taken" `Quick
+            test_btfnt_loop_back_edge_predicted;
+          Alcotest.test_case "forward predicted not-taken" `Quick
+            test_btfnt_forward_branch_predicted_not_taken;
+          Alcotest.test_case "multiway mispredicts" `Quick
+            test_btfnt_multiway_always_mispredicts;
+        ] );
+      ( "proc-order",
+        [
+          Alcotest.test_case "permutation" `Quick test_proc_order_permutation;
+          Alcotest.test_case "hot pair adjacent" `Quick
+            test_proc_order_hot_pair_adjacent;
+          Alcotest.test_case "by weight" `Quick test_proc_order_by_weight;
+          Alcotest.test_case "placement reduces conflicts" `Quick
+            test_proc_order_placement_reduces_conflicts;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_walk_cost_identity;
+          QCheck_alcotest.to_alcotest prop_aligners_never_invalid;
+          QCheck_alcotest.to_alcotest prop_tsp_no_worse_than_original;
+        ] );
+    ]

@@ -1,0 +1,290 @@
+(* End-to-end integration tests over the real workloads: the analytic
+   penalty model, the trace-driven simulator and the DTSP reduction must
+   all agree on real programs, and every aligner must preserve program
+   semantics. *)
+
+module W = Ba_workloads.Workload
+open Ba_align
+
+let p = Ba_machine.Penalties.alpha_21164
+
+(* keep the suite fast: the two cheapest benchmarks plus the interpreter *)
+let subjects () = [ (W.su2, "sh"); (W.eqn, "ip"); (W.xli, "ne") ]
+
+let ds_of w name = List.find (fun d -> d.W.ds_name = name) (W.dataset_list w)
+
+let methods =
+  [
+    Driver.Original;
+    Driver.Greedy;
+    Driver.Calder;
+    Driver.Tsp Tsp_align.default;
+  ]
+
+let test_analytic_equals_simulated_on_real_programs () =
+  List.iter
+    (fun (w, ds_name) ->
+      let ds = ds_of w ds_name in
+      let c = W.compile w in
+      let run sink = ignore (Ba_minic.Compile.run c ~input:ds.W.input ~sink) in
+      let prof = Ba_minic.Compile.profile c ~input:ds.W.input in
+      List.iter
+        (fun m ->
+          let a = Driver.align m p c.Ba_minic.Compile.cfgs ~train:prof in
+          let analytic = Driver.analytic_penalty p a ~test:prof in
+          let sim = Driver.simulate p a ~run in
+          Alcotest.(check int)
+            (Printf.sprintf "%s.%s %s: analytic = simulated" w.W.name ds_name
+               (Driver.method_name m))
+            analytic sim.Ba_machine.Cycles.penalty_cycles)
+        methods)
+    (subjects ())
+
+let test_semantics_preserved_by_all_aligners () =
+  List.iter
+    (fun (w, ds_name) ->
+      let ds = ds_of w ds_name in
+      let c = W.compile w in
+      let prof = Ba_minic.Compile.profile c ~input:ds.W.input in
+      List.iter
+        (fun m ->
+          let a = Driver.align m p c.Ba_minic.Compile.cfgs ~train:prof in
+          match Driver.check a with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "%s %s: %s" w.W.name (Driver.method_name m) e)
+        methods)
+    (subjects ())
+
+let test_reduction_identity_on_real_procedures () =
+  (* DTSP walk cost = analytic penalty, on every real procedure *)
+  List.iter
+    (fun (w, ds_name) ->
+      let ds = ds_of w ds_name in
+      let c = W.compile w in
+      let prof = Ba_minic.Compile.profile c ~input:ds.W.input in
+      Array.iteri
+        (fun fid g ->
+          let pr = Ba_profile.Profile.proc prof fid in
+          let inst = Reduction.build p g ~profile:pr in
+          List.iter
+            (fun order ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s/%s identity" w.W.name
+                   c.Ba_minic.Compile.names.(fid))
+                (Evaluate.proc_penalty p g ~order ~train:pr ~test:pr)
+                (Reduction.layout_cost inst order))
+            [
+              Ba_cfg.Layout.identity g;
+              Greedy.align g ~profile:pr;
+              (Tsp_align.align p g ~profile:pr).Tsp_align.order;
+            ])
+        c.Ba_minic.Compile.cfgs)
+    (subjects ())
+
+let test_program_output_layout_independent () =
+  (* the interpreter's observable behaviour must not depend on the trace
+     sink or any alignment decision (alignment only affects the machine
+     model) *)
+  let w = W.eqn in
+  let ds = ds_of w "fx" in
+  let c = W.compile w in
+  let out_null =
+    (Ba_minic.Compile.run c ~input:ds.W.input ~sink:Ba_cfg.Trace.null)
+      .Ba_minic.Interp.output
+  in
+  let count, get = Ba_cfg.Trace.count_blocks () in
+  let out_counted =
+    (Ba_minic.Compile.run c ~input:ds.W.input ~sink:count).Ba_minic.Interp.output
+  in
+  Alcotest.(check (list int)) "same output under any sink" out_null out_counted;
+  Alcotest.(check bool) "trace observed" true (get () > 0)
+
+let test_tsp_never_worse_than_greedy_on_workloads () =
+  List.iter
+    (fun (w, ds_name) ->
+      let ds = ds_of w ds_name in
+      let c = W.compile w in
+      let prof = Ba_minic.Compile.profile c ~input:ds.W.input in
+      Array.iteri
+        (fun fid g ->
+          let pr = Ba_profile.Profile.proc prof fid in
+          let tsp = (Tsp_align.align p g ~profile:pr).Tsp_align.cost in
+          let greedy =
+            Evaluate.proc_penalty p g ~order:(Greedy.align g ~profile:pr)
+              ~train:pr ~test:pr
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s tsp %d <= greedy %d" w.W.name
+               c.Ba_minic.Compile.names.(fid) tsp greedy)
+            true (tsp <= greedy))
+        c.Ba_minic.Compile.cfgs)
+    (subjects ())
+
+let test_fixups_simulated_consistently () =
+  (* force layouts with fixup jumps (reverse layout) and check the
+     simulator agrees with the analytic model even then *)
+  let w = W.dod in
+  let ds = ds_of w "sm" in
+  let c = W.compile w in
+  let run sink = ignore (Ba_minic.Compile.run c ~input:ds.W.input ~sink) in
+  let prof = Ba_minic.Compile.profile c ~input:ds.W.input in
+  let cfgs = c.Ba_minic.Compile.cfgs in
+  (* entry first, everything else reversed: maximally misaligned *)
+  let orders =
+    Array.map
+      (fun g ->
+        let n = Ba_cfg.Cfg.n_blocks g in
+        Array.init n (fun i -> if i = 0 then 0 else n - i))
+      cfgs
+  in
+  let realized = Array.make (Array.length cfgs) None in
+  let predicted =
+    Array.mapi
+      (fun fid g ->
+        let r, pred =
+          Evaluate.realize p g ~order:orders.(fid)
+            ~train:(Ba_profile.Profile.proc prof fid)
+        in
+        realized.(fid) <- Some r;
+        pred)
+      cfgs
+  in
+  let realized = Array.map Option.get realized in
+  let has_fixup =
+    Array.exists
+      (fun (r : Ba_cfg.Layout.realized) ->
+        Array.exists
+          (function Ba_cfg.Layout.I_fixup _ -> true | _ -> false)
+          r.Ba_cfg.Layout.items)
+      realized
+  in
+  Alcotest.(check bool) "reversed layout creates fixups" true has_fixup;
+  let addr = Ba_machine.Addr.build (Array.map2 (fun g r -> (g, r)) cfgs realized) in
+  let aligned =
+    {
+      Driver.cfgs;
+      orders;
+      realized;
+      predicted;
+      addr;
+      method_ = Driver.Original;
+    }
+  in
+  let analytic = Driver.analytic_penalty p aligned ~test:prof in
+  let sim = Driver.simulate p aligned ~run in
+  Alcotest.(check int) "fixup-heavy layout: analytic = simulated" analytic
+    sim.Ba_machine.Cycles.penalty_cycles
+
+(* ---------------- code replication (tail duplication) ---------------- *)
+
+let test_tail_duplication_preserves_behaviour () =
+  (* the transformed program must print exactly the same values on every
+     workload data set *)
+  List.iter
+    (fun (w, ds_name) ->
+      let ds = ds_of w ds_name in
+      let c = W.compile w in
+      let prof = Ba_minic.Compile.profile c ~input:ds.W.input in
+      let prog', st =
+        Ba_minic.Transform.program c.Ba_minic.Compile.prog ~profile:prof
+      in
+      let c' = Ba_minic.Compile.of_ir prog' in
+      let run cc =
+        (Ba_minic.Compile.run cc ~input:ds.W.input ~sink:Ba_cfg.Trace.null)
+          .Ba_minic.Interp.output
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s.%s behaviour preserved" w.W.name ds_name)
+        (run c) (run c');
+      Alcotest.(check bool)
+        (Printf.sprintf "%s.%s some clones made" w.W.name ds_name)
+        true
+        (st.Ba_minic.Transform.clones > 0);
+      (* the transformed shapes are still valid CFGs *)
+      Array.iter
+        (fun g ->
+          match Ba_cfg.Cfg.validate g with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m)
+        c'.Ba_minic.Compile.cfgs)
+    (subjects ())
+
+let test_tail_duplication_reduces_join_pressure () =
+  (* on a hand-made diamond join, duplication plus alignment removes the
+     unavoidable taken branch of one arm *)
+  let src =
+    "fn main() { var i = 0; var acc = 0; while (i < 1000) { if (i % 4 == 0) \
+     { acc = acc + 3; } else { acc = acc - 1; } acc = acc & 65535; i = i + 1; \
+     } print(acc); }"
+  in
+  let c = Ba_minic.Compile.compile_exn src in
+  let prof = Ba_minic.Compile.profile c ~input:[||] in
+  let prog', st =
+    Ba_minic.Transform.program c.Ba_minic.Compile.prog ~profile:prof
+  in
+  Alcotest.(check bool) "join duplicated" true (st.Ba_minic.Transform.clones > 0);
+  let c' = Ba_minic.Compile.of_ir prog' in
+  let prof' = Ba_minic.Compile.profile c' ~input:[||] in
+  let tsp cc pr =
+    Array.to_list
+      (Array.mapi
+         (fun fid g ->
+           (Tsp_align.align p g ~profile:(Ba_profile.Profile.proc pr fid))
+             .Tsp_align.cost)
+         cc.Ba_minic.Compile.cfgs)
+    |> List.fold_left ( + ) 0
+  in
+  let before = tsp c prof and after = tsp c' prof' in
+  Alcotest.(check bool)
+    (Printf.sprintf "aligned penalty drops: %d -> %d" before after)
+    true (after < before)
+
+let test_tail_duplication_respects_config () =
+  let c = W.compile W.eqn in
+  let ds = ds_of W.eqn "ip" in
+  let prof = Ba_minic.Compile.profile c ~input:ds.W.input in
+  (* max_size 0 forbids all cloning *)
+  let _, st0 =
+    Ba_minic.Transform.program
+      ~config:{ Ba_minic.Transform.max_size = -1; min_count = 1 }
+      c.Ba_minic.Compile.prog ~profile:prof
+  in
+  Alcotest.(check int) "no clones at negative size cap" 0 st0.Ba_minic.Transform.clones;
+  (* an absurd min_count likewise *)
+  let _, st1 =
+    Ba_minic.Transform.program
+      ~config:{ Ba_minic.Transform.max_size = 100; min_count = max_int }
+      c.Ba_minic.Compile.prog ~profile:prof
+  in
+  Alcotest.(check int) "no clones when nothing is hot" 0
+    st1.Ba_minic.Transform.clones
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "analytic = simulated" `Slow
+            test_analytic_equals_simulated_on_real_programs;
+          Alcotest.test_case "semantics preserved" `Slow
+            test_semantics_preserved_by_all_aligners;
+          Alcotest.test_case "reduction identity" `Slow
+            test_reduction_identity_on_real_procedures;
+          Alcotest.test_case "output layout-independent" `Quick
+            test_program_output_layout_independent;
+          Alcotest.test_case "tsp <= greedy" `Slow
+            test_tsp_never_worse_than_greedy_on_workloads;
+          Alcotest.test_case "fixup-heavy layouts" `Quick
+            test_fixups_simulated_consistently;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "behaviour preserved" `Slow
+            test_tail_duplication_preserves_behaviour;
+          Alcotest.test_case "join pressure reduced" `Quick
+            test_tail_duplication_reduces_join_pressure;
+          Alcotest.test_case "config respected" `Quick
+            test_tail_duplication_respects_config;
+        ] );
+    ]

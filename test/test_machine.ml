@@ -1,0 +1,519 @@
+(* Tests for the machine model: the cost function (Table 3 semantics),
+   realization, the pipeline simulator, the I-cache and the cycle model. *)
+
+open Ba_cfg
+open Ba_machine
+
+let p = Penalties.alpha_21164
+
+(* ---------------- transfer penalties (Table 3) ---------------- *)
+
+let test_fall_is_free () =
+  let k, c = Cost.transfer p (Layout.R_fall 1) ~predicted:None ~dest:1 in
+  Alcotest.(check int) "no cycles" 0 c;
+  Alcotest.(check string) "kind" "fall" (Cost.kind_to_string k)
+
+let test_uncond_costs_two () =
+  let _, c = Cost.transfer p (Layout.R_jump 3) ~predicted:None ~dest:3 in
+  Alcotest.(check int) "uncond" 2 c
+
+let test_cond_cases () =
+  let rt = Layout.R_cond { taken = 2; fall = 1; via_fixup = false } in
+  (* predicted fall, goes fall: free *)
+  Alcotest.(check int) "fall correct" 0
+    (Cost.transfer_penalty p rt ~predicted:(Some 1) ~dest:1);
+  (* predicted fall, goes taken: mispredict *)
+  Alcotest.(check int) "taken mispredict" 5
+    (Cost.transfer_penalty p rt ~predicted:(Some 1) ~dest:2);
+  (* predicted taken, goes taken: misfetch only *)
+  Alcotest.(check int) "taken correct" 1
+    (Cost.transfer_penalty p rt ~predicted:(Some 2) ~dest:2);
+  (* predicted taken, falls through: mispredict *)
+  Alcotest.(check int) "fall mispredict" 5
+    (Cost.transfer_penalty p rt ~predicted:(Some 2) ~dest:1)
+
+let test_cond_fixup_adds_jump () =
+  let rt = Layout.R_cond { taken = 2; fall = 1; via_fixup = true } in
+  Alcotest.(check int) "fall correct + fixup jump" 2
+    (Cost.transfer_penalty p rt ~predicted:(Some 1) ~dest:1);
+  Alcotest.(check int) "fall mispredict + fixup jump" 7
+    (Cost.transfer_penalty p rt ~predicted:(Some 2) ~dest:1);
+  Alcotest.(check int) "taken arm unaffected by fixup" 1
+    (Cost.transfer_penalty p rt ~predicted:(Some 2) ~dest:2)
+
+let test_cond_default_prediction_is_fall () =
+  let rt = Layout.R_cond { taken = 2; fall = 1; via_fixup = false } in
+  Alcotest.(check int) "no training data: fall predicted" 0
+    (Cost.transfer_penalty p rt ~predicted:None ~dest:1);
+  Alcotest.(check int) "no training data: taken mispredicts" 5
+    (Cost.transfer_penalty p rt ~predicted:None ~dest:2)
+
+let test_multiway_cases () =
+  let rt = Layout.R_multi { targets = [| 4; 5; 6 |] } in
+  Alcotest.(check int) "predicted target" 1
+    (Cost.transfer_penalty p rt ~predicted:(Some 5) ~dest:5);
+  Alcotest.(check int) "other target" 3
+    (Cost.transfer_penalty p rt ~predicted:(Some 5) ~dest:6);
+  Alcotest.(check int) "default predicts first entry" 1
+    (Cost.transfer_penalty p rt ~predicted:None ~dest:4)
+
+let test_transfer_rejects_bad_dest () =
+  Alcotest.(check bool) "jump to wrong block" true
+    (try
+       ignore (Cost.transfer p (Layout.R_jump 3) ~predicted:None ~dest:4);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "exit transfer" true
+    (try
+       ignore (Cost.transfer p Layout.R_exit ~predicted:None ~dest:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- realization ---------------- *)
+
+let freqs l = Array.of_list l
+
+let test_realize_goto () =
+  (match Cost.realize_term p (Block.Goto 2) ~succ:(Some 2) ~predicted:None ~freqs:[||] with
+  | Layout.R_fall 2 -> ()
+  | _ -> Alcotest.fail "goto to layout successor must fall");
+  match Cost.realize_term p (Block.Goto 2) ~succ:(Some 7) ~predicted:None ~freqs:[||] with
+  | Layout.R_jump 2 -> ()
+  | _ -> Alcotest.fail "goto elsewhere must jump"
+
+let test_realize_branch_inversion () =
+  let term = Block.Branch { t = 1; f = 2 } in
+  (match Cost.realize_term p term ~succ:(Some 1) ~predicted:(Some 1) ~freqs:[||] with
+  | Layout.R_cond { taken = 2; fall = 1; via_fixup = false } -> ()
+  | _ -> Alcotest.fail "laying out the taken arm inverts the branch");
+  match Cost.realize_term p term ~succ:(Some 2) ~predicted:(Some 1) ~freqs:[||] with
+  | Layout.R_cond { taken = 1; fall = 2; via_fixup = false } -> ()
+  | _ -> Alcotest.fail "laying out the fall arm keeps polarity"
+
+let test_realize_fixup_picks_cheaper_arrangement () =
+  let term = Block.Branch { t = 1; f = 2 } in
+  (* arm 1 hot: route arm 1 through the taken slot (cost f1·1 + f2·7),
+     not through the fixup (cost f1·2 + f2·5) — hot arm taken wins when
+     f1 > 2·f2 *)
+  let fr = freqs [ (1, 100); (2, 10) ] in
+  (match Cost.realize_term p term ~succ:(Some 9) ~predicted:(Some 1) ~freqs:fr with
+  | Layout.R_cond { taken = 1; fall = 2; via_fixup = true } -> ()
+  | _ -> Alcotest.fail "hot arm should use the taken slot");
+  (* nearly balanced: f1·1 + f2·7 = 1·60+7·50=410 vs 2·60+5·50=370:
+     routing the hot arm through the fixup is cheaper *)
+  let fr = freqs [ (1, 60); (2, 50) ] in
+  match Cost.realize_term p term ~succ:(Some 9) ~predicted:(Some 1) ~freqs:fr with
+  | Layout.R_cond { taken = 2; fall = 1; via_fixup = true } -> ()
+  | _ -> Alcotest.fail "balanced arms should route hot arm via fixup"
+
+let test_edge_cost_formula () =
+  (* block with conditional, P=1 (freq 90), O=2 (freq 10), prediction P *)
+  let term = Block.Branch { t = 1; f = 2 } in
+  let fr = freqs [ (1, 90); (2, 10) ] in
+  let cost succ = Cost.edge_cost p term ~succ ~predicted:(Some 1) ~freqs:fr in
+  (* X = P: P falls (free), O taken mispredict: 10·5 *)
+  Alcotest.(check int) "succ = predicted arm" 50 (cost (Some 1));
+  (* X = O: P taken correct 90·1, O falls mispredicted 10·5 *)
+  Alcotest.(check int) "succ = other arm" 140 (cost (Some 2));
+  (* X elsewhere: min(90·1 + 10·(5+2), 90·(0+2) + 10·5) = min(160,230) *)
+  Alcotest.(check int) "succ elsewhere" 160 (cost (Some 7));
+  Alcotest.(check int) "end of layout" 160 (cost None)
+
+let test_edge_cost_goto () =
+  let term = Block.Goto 3 in
+  let fr = freqs [ (3, 1000) ] in
+  Alcotest.(check int) "fall free" 0
+    (Cost.edge_cost p term ~succ:(Some 3) ~predicted:(Some 3) ~freqs:fr);
+  Alcotest.(check int) "jump costs 2/transfer" 2000
+    (Cost.edge_cost p term ~succ:(Some 1) ~predicted:(Some 3) ~freqs:fr)
+
+let test_edge_cost_multiway_layout_independent () =
+  let term = Block.Multiway [| 1; 2; 3 |] in
+  let fr = freqs [ (1, 10); (2, 80); (3, 10) ] in
+  let c1 = Cost.edge_cost p term ~succ:(Some 1) ~predicted:(Some 2) ~freqs:fr in
+  let c2 = Cost.edge_cost p term ~succ:(Some 2) ~predicted:(Some 2) ~freqs:fr in
+  let c3 = Cost.edge_cost p term ~succ:None ~predicted:(Some 2) ~freqs:fr in
+  Alcotest.(check int) "same everywhere (1 vs 2)" c1 c2;
+  Alcotest.(check int) "same everywhere (2 vs none)" c2 c3;
+  Alcotest.(check int) "value: 80·1 + 20·3" 140 c1
+
+(* ---------------- realization of full layouts ---------------- *)
+
+let diamond () =
+  Cfg.make ~name:"diamond" ~entry:0
+    [|
+      Block.make ~id:0 ~size:4 (Block.Branch { t = 1; f = 2 });
+      Block.make ~id:1 ~size:2 (Block.Goto 3);
+      Block.make ~id:2 ~size:7 (Block.Goto 3);
+      Block.make ~id:3 ~size:1 (Block.Branch { t = 0; f = 4 });
+      Block.make ~id:4 ~size:3 Block.Exit;
+    |]
+
+let diamond_profile_freqs =
+  (* loop taken 9 times, then exits; branch 0 goes 1 eight times, 2 twice *)
+  [|
+    [| (1, 8); (2, 2) |];
+    [| (3, 8) |];
+    [| (3, 2) |];
+    [| (0, 9); (4, 1) |];
+    [||];
+  |]
+
+let realize_diamond order =
+  let g = diamond () in
+  let predicted =
+    Array.map
+      (fun row ->
+        Array.fold_left
+          (fun acc (d, n) ->
+            match acc with Some (_, bn) when bn >= n -> acc | _ -> Some (d, n))
+          None row
+        |> Option.map fst)
+      diamond_profile_freqs
+  in
+  ( g,
+    Cost.realize p g ~order ~predicted ~freqs:(fun l -> diamond_profile_freqs.(l)) )
+
+let test_realize_respects_semantics () =
+  let g, r = realize_diamond [| 0; 1; 3; 2; 4 |] in
+  (match Layout.check_semantics g r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let g2, r2 = realize_diamond [| 0; 4; 3; 2; 1 |] in
+  match Layout.check_semantics g2 r2 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_realize_identity_diamond () =
+  let _, r = realize_diamond [| 0; 1; 2; 3; 4 |] in
+  (* block 0: succ=1 which is arm t: invert so taken=2, fall=1 *)
+  (match r.Layout.terms.(0) with
+  | Layout.R_cond { taken = 2; fall = 1; via_fixup = false } -> ()
+  | _ -> Alcotest.fail "block 0 realization");
+  (* block 1: goto 3, succ=2: jump *)
+  (match r.Layout.terms.(1) with
+  | Layout.R_jump 3 -> ()
+  | _ -> Alcotest.fail "block 1 must jump");
+  (* block 2: goto 3, succ=3: fall *)
+  (match r.Layout.terms.(2) with
+  | Layout.R_fall 3 -> ()
+  | _ -> Alcotest.fail "block 2 must fall");
+  (* block 3: succ=4 = arm f: taken=0, fall=4, no fixup *)
+  match r.Layout.terms.(3) with
+  | Layout.R_cond { taken = 0; fall = 4; via_fixup = false } -> ()
+  | _ -> Alcotest.fail "block 3 realization"
+
+(* ---------------- pipeline simulator ---------------- *)
+
+let test_pipeline_counts_by_hand () =
+  let g, r = realize_diamond [| 0; 1; 2; 3; 4 |] in
+  let predicted =
+    [| Some 1; Some 3; Some 3; Some 0; None |]
+  in
+  let ctx = Pipeline.ctx_of_realized r ~predicted in
+  let counters, sink = Pipeline.make_sink p [| ctx |] in
+  (* one iteration: 0 -> 1 -> 3 -> 0 -> 2 -> 3 -> 4 *)
+  List.iter sink
+    [
+      Trace.Enter 0;
+      Trace.Block 0;
+      Trace.Block 1;
+      Trace.Block 3;
+      Trace.Block 0;
+      Trace.Block 2;
+      Trace.Block 3;
+      Trace.Block 4;
+      Trace.Leave;
+    ];
+  ignore g;
+  (* hand count:
+     0->1 : cond taken=2,fall=1, predicted 1, dest 1: fall correct    = 0
+     1->3 : jump                                                      = 2
+     3->0 : cond taken=0,fall=4, predicted 0, dest 0: taken correct   = 1
+     0->2 : predicted 1, dest 2 = taken arm, mispredict               = 5
+     2->3 : fall                                                      = 0
+     3->4 : predicted 0, dest 4 = fall arm, mispredict                = 5
+     total = 13 over 6 transfers *)
+  Alcotest.(check int) "transfers" 6 counters.Pipeline.transfers;
+  Alcotest.(check int) "penalty cycles" 13 counters.Pipeline.penalty_cycles;
+  Alcotest.(check int) "per-proc" 13 counters.Pipeline.per_proc_cycles.(0)
+
+(* ---------------- icache ---------------- *)
+
+let test_icache_basics () =
+  let c = Icache.create Icache.alpha_l1 in
+  (* 8 instructions starting at 0 span exactly one 32B line *)
+  Alcotest.(check int) "first touch misses" 1 (Icache.touch_range c ~addr:0 ~ninstr:8);
+  Alcotest.(check int) "second touch hits" 0 (Icache.touch_range c ~addr:0 ~ninstr:8);
+  (* crossing a line boundary touches two lines *)
+  Alcotest.(check int) "straddle" 1 (Icache.touch_range c ~addr:6 ~ninstr:4);
+  Alcotest.(check int) "empty range" 0 (Icache.touch_range c ~addr:0 ~ninstr:0)
+
+let test_icache_conflict () =
+  let c = Icache.create Icache.alpha_l1 in
+  (* 8KB direct-mapped: addresses 0 and 8192 bytes (2048 instrs) conflict *)
+  ignore (Icache.touch_range c ~addr:0 ~ninstr:1);
+  ignore (Icache.touch_range c ~addr:2048 ~ninstr:1);
+  Alcotest.(check int) "conflict evicts" 1 (Icache.touch_range c ~addr:0 ~ninstr:1);
+  Alcotest.(check int) "three misses total" 3 (Icache.misses c)
+
+let test_icache_reset () =
+  let c = Icache.create Icache.alpha_l1 in
+  ignore (Icache.touch_range c ~addr:0 ~ninstr:100);
+  Icache.reset c;
+  Alcotest.(check int) "counters cleared" 0 (Icache.misses c);
+  Alcotest.(check int) "cold again" 1 (Icache.touch_range c ~addr:0 ~ninstr:1)
+
+let test_icache_rejects_bad_geometry () =
+  Alcotest.(check bool) "bad geometry" true
+    (try
+       ignore (Icache.create { Icache.alpha_l1 with size_bytes = 100 });
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- addresses ---------------- *)
+
+let test_addr_layout () =
+  let g, r = realize_diamond [| 0; 1; 2; 3; 4 |] in
+  let addr = Addr.build [| (g, r) |] in
+  let pa = addr.Addr.procs.(0) in
+  (* block 0: size 4 + cond(1) = 5 instrs at 0 *)
+  Alcotest.(check int) "b0 at 0" 0 pa.Addr.block_addr.(0);
+  Alcotest.(check int) "b0 len" 5 pa.Addr.block_len.(0);
+  (* block 1: size 2 + jump(1) = 3 at 5 *)
+  Alcotest.(check int) "b1 at 5" 5 pa.Addr.block_addr.(1);
+  (* block 2: size 7 + fall(0) = 7 at 8 *)
+  Alcotest.(check int) "b2 len excludes fall" 7 pa.Addr.block_len.(2);
+  Alcotest.(check int) "total" addr.Addr.total_instrs pa.Addr.code_end
+
+let test_addr_fixup_gets_slot () =
+  (* layout [0;4;...]: block 3's arms 0 and 4 … pick a layout where block 0
+     needs a fixup: place 0 first, then 3, so block 0's succ is 3 (not an
+     arm) *)
+  let g, r = realize_diamond [| 0; 3; 1; 2; 4 |] in
+  let addr = Addr.build [| (g, r) |] in
+  let pa = addr.Addr.procs.(0) in
+  match pa.Addr.fixup_addr.(0) with
+  | Some a -> Alcotest.(check int) "fixup right after block 0" 5 a
+  | None -> Alcotest.fail "block 0 should have a fixup jump"
+
+(* ---------------- cycles ---------------- *)
+
+let test_cycles_end_to_end () =
+  let g, r = realize_diamond [| 0; 1; 2; 3; 4 |] in
+  let predicted = [| Some 1; Some 3; Some 3; Some 0; None |] in
+  let ctx = Pipeline.ctx_of_realized r ~predicted in
+  let addr = Addr.build [| (g, r) |] in
+  let sink, result =
+    Cycles.make_sink p ~cfgs:[| g |] ~ctxs:[| ctx |] ~addr
+  in
+  List.iter sink
+    [
+      Trace.Enter 0;
+      Trace.Block 0;
+      Trace.Block 1;
+      Trace.Block 3;
+      Trace.Block 0;
+      Trace.Block 2;
+      Trace.Block 3;
+      Trace.Block 4;
+      Trace.Leave;
+    ];
+  let res = result () in
+  (* instrs: b0(5)+b1(3)+b3(2)+b0(5)+b2(7)+b3(2)+b4(4) = 28, no fixups *)
+  Alcotest.(check int) "instrs" 28 res.Cycles.instrs;
+  Alcotest.(check int) "penalties as pipeline" 13 res.Cycles.penalty_cycles;
+  Alcotest.(check int) "one call" 1 res.Cycles.calls;
+  (* whole procedure fits in one or two lines: at most 4 misses *)
+  Alcotest.(check bool) "few misses" true (res.Cycles.icache_misses <= 4);
+  Alcotest.(check int) "cycles add up"
+    (28 + 13 + (res.Cycles.icache_misses * 10) + 3)
+    res.Cycles.cycles
+
+(* ---------------- dynamic prediction hardware ---------------- *)
+
+let test_bht_hysteresis () =
+  let t = Ba_machine.Predictor.create Ba_machine.Predictor.default in
+  let open Ba_machine.Predictor in
+  (* initial state: weakly not-taken *)
+  Alcotest.(check bool) "cold predicts not-taken" false (predict_taken t ~addr:100);
+  update_cond t ~addr:100 ~taken:true;
+  Alcotest.(check bool) "one taken flips weakly" true (predict_taken t ~addr:100);
+  update_cond t ~addr:100 ~taken:true;
+  update_cond t ~addr:100 ~taken:true;
+  (* now strongly taken: a single not-taken must not flip it *)
+  update_cond t ~addr:100 ~taken:false;
+  Alcotest.(check bool) "hysteresis" true (predict_taken t ~addr:100);
+  update_cond t ~addr:100 ~taken:false;
+  update_cond t ~addr:100 ~taken:false;
+  Alcotest.(check bool) "retrained" false (predict_taken t ~addr:100)
+
+let test_bht_aliasing () =
+  let t =
+    Ba_machine.Predictor.create
+      { Ba_machine.Predictor.default with Ba_machine.Predictor.bht_entries = 64 }
+  in
+  let open Ba_machine.Predictor in
+  (* addresses 3 and 67 share a counter in a 64-entry table *)
+  update_cond t ~addr:3 ~taken:true;
+  update_cond t ~addr:3 ~taken:true;
+  Alcotest.(check bool) "alias sees the trained counter" true
+    (predict_taken t ~addr:67)
+
+let test_gshare_history () =
+  let t = Ba_machine.Predictor.create Ba_machine.Predictor.gshare in
+  let open Ba_machine.Predictor in
+  (* alternate taken/not-taken at one address: bimodal would stay ~50%,
+     gshare can learn the alternation perfectly after warmup *)
+  for _ = 1 to 50 do
+    let p1 = predict_taken t ~addr:5 in
+    update_cond t ~addr:5 ~taken:true;
+    ignore p1;
+    let p2 = predict_taken t ~addr:5 in
+    update_cond t ~addr:5 ~taken:false;
+    ignore p2
+  done;
+  let correct = ref 0 in
+  for _ = 1 to 20 do
+    if predict_taken t ~addr:5 then incr correct;
+    update_cond t ~addr:5 ~taken:true;
+    if not (predict_taken t ~addr:5) then incr correct;
+    update_cond t ~addr:5 ~taken:false
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "gshare learns alternation (%d/40)" !correct)
+    true (!correct >= 36)
+
+let test_btb () =
+  let t = Ba_machine.Predictor.create Ba_machine.Predictor.default in
+  let open Ba_machine.Predictor in
+  Alcotest.(check (option int)) "cold miss" None (btb_lookup t ~addr:40);
+  btb_update t ~addr:40 ~target:777;
+  Alcotest.(check (option int)) "hit" (Some 777) (btb_lookup t ~addr:40);
+  (* conflicting address evicts (direct-mapped, 256 entries) *)
+  btb_update t ~addr:(40 + 256) ~target:888;
+  Alcotest.(check (option int)) "evicted" None (btb_lookup t ~addr:40)
+
+let test_dynamic_sim_hand_counted () =
+  let g, r = realize_diamond [| 0; 1; 2; 3; 4 |] in
+  let addr = Addr.build [| (g, r) |] in
+  let counters, sink =
+    Dynamic.make_sink p ~realized:[| r |] ~addr
+  in
+  (* 0 -> 1 -> 3 -> 0 -> 2 -> 3 -> 4, cold predictor:
+     block 0 realized cond taken=2 fall=1:
+       0->1 fall, cold BHT predicts not-taken: correct, 0
+       0->2 taken, counter still <2 after one not-taken: mispredict, 5
+     block 1: jump: 2.  block 2: fall: 0.
+     block 3 cond taken=0 fall=4:
+       3->0 taken, cold: predicts not-taken: mispredict, 5
+       3->4 fall: counter went 1->2 after taken... 2 = taken: mispredict, 5 *)
+  List.iter sink
+    [
+      Trace.Enter 0;
+      Trace.Block 0;
+      Trace.Block 1;
+      Trace.Block 3;
+      Trace.Block 0;
+      Trace.Block 2;
+      Trace.Block 3;
+      Trace.Block 4;
+      Trace.Leave;
+    ];
+  Alcotest.(check int) "transfers" 6 counters.Dynamic.transfers;
+  Alcotest.(check int) "penalties" 17 counters.Dynamic.penalty_cycles;
+  Alcotest.(check int) "mispredicts" 3 counters.Dynamic.cond_mispredicts
+
+let test_dynamic_biased_branch_settles () =
+  (* a hot loop: after warmup the dynamic penalty per iteration matches
+     the static well-predicted cost *)
+  let g =
+    Cfg.make ~name:"loop" ~entry:0
+      [|
+        Block.make ~id:0 ~size:1 (Block.Branch { t = 0; f = 1 });
+        Block.make ~id:1 ~size:1 Block.Exit;
+      |]
+  in
+  let order = [| 0; 1 |] in
+  let freqs = [| [| (0, 1000); (1, 1) |]; [||] |] in
+  let predicted = [| Some 0; None |] in
+  let r =
+    Cost.realize p g ~order ~predicted ~freqs:(fun l -> freqs.(l))
+  in
+  let addr = Addr.build [| (g, r) |] in
+  let counters, sink = Dynamic.make_sink p ~realized:[| r |] ~addr in
+  sink (Trace.Enter 0);
+  for _ = 1 to 1001 do
+    sink (Trace.Block 0)
+  done;
+  sink (Trace.Block 1);
+  sink Trace.Leave;
+  (* 1000 self-loop taken transfers + 1 exit fall-through; after the
+     2-bit counter saturates every taken transfer costs just the misfetch *)
+  Alcotest.(check bool)
+    (Printf.sprintf "penalties %d close to 1000 misfetches"
+       counters.Dynamic.penalty_cycles)
+    true
+    (counters.Dynamic.penalty_cycles < 1030);
+  Alcotest.(check bool) "few mispredicts" true
+    (counters.Dynamic.cond_mispredicts <= 3)
+
+let () =
+  Alcotest.run "ba_machine"
+    [
+      ( "transfer",
+        [
+          Alcotest.test_case "fall is free" `Quick test_fall_is_free;
+          Alcotest.test_case "uncond costs 2" `Quick test_uncond_costs_two;
+          Alcotest.test_case "conditional cases" `Quick test_cond_cases;
+          Alcotest.test_case "fixup adds jump cost" `Quick test_cond_fixup_adds_jump;
+          Alcotest.test_case "default prediction" `Quick
+            test_cond_default_prediction_is_fall;
+          Alcotest.test_case "multiway cases" `Quick test_multiway_cases;
+          Alcotest.test_case "rejects bad destinations" `Quick
+            test_transfer_rejects_bad_dest;
+        ] );
+      ( "realize",
+        [
+          Alcotest.test_case "goto" `Quick test_realize_goto;
+          Alcotest.test_case "branch inversion" `Quick test_realize_branch_inversion;
+          Alcotest.test_case "fixup arrangement choice" `Quick
+            test_realize_fixup_picks_cheaper_arrangement;
+          Alcotest.test_case "edge cost formula" `Quick test_edge_cost_formula;
+          Alcotest.test_case "edge cost goto" `Quick test_edge_cost_goto;
+          Alcotest.test_case "multiway layout independent" `Quick
+            test_edge_cost_multiway_layout_independent;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_realize_respects_semantics;
+          Alcotest.test_case "identity diamond" `Quick test_realize_identity_diamond;
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "hand-counted trace" `Quick test_pipeline_counts_by_hand ] );
+      ( "icache",
+        [
+          Alcotest.test_case "basics" `Quick test_icache_basics;
+          Alcotest.test_case "conflict misses" `Quick test_icache_conflict;
+          Alcotest.test_case "reset" `Quick test_icache_reset;
+          Alcotest.test_case "bad geometry" `Quick test_icache_rejects_bad_geometry;
+        ] );
+      ( "addr",
+        [
+          Alcotest.test_case "layout addresses" `Quick test_addr_layout;
+          Alcotest.test_case "fixup slots" `Quick test_addr_fixup_gets_slot;
+        ] );
+      ("cycles", [ Alcotest.test_case "end to end" `Quick test_cycles_end_to_end ]);
+      ( "predictor",
+        [
+          Alcotest.test_case "2-bit hysteresis" `Quick test_bht_hysteresis;
+          Alcotest.test_case "aliasing" `Quick test_bht_aliasing;
+          Alcotest.test_case "gshare history" `Quick test_gshare_history;
+          Alcotest.test_case "btb" `Quick test_btb;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "hand-counted trace" `Quick
+            test_dynamic_sim_hand_counted;
+          Alcotest.test_case "biased branch settles" `Quick
+            test_dynamic_biased_branch_settles;
+        ] );
+    ]

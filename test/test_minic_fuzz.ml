@@ -1,0 +1,209 @@
+(* Fuzz tests for the minic front end: generate random well-formed
+   programs, and check
+   - the pretty-printer round-trips through the parser structurally;
+   - compilation never fails on generated programs;
+   - execution is deterministic and either terminates cleanly or raises
+     a clean Runtime_error (never an unexpected exception);
+   - the trace stream is well-formed (balanced Enter/Leave). *)
+
+open Ba_minic
+
+(* ---------------- AST generator ---------------- *)
+
+(* a small pool of variable names per function; generated programs
+   declare all of them up front so any reference is valid *)
+let var_names = [| "a"; "b"; "c"; "d"; "e" |]
+let arr_names = [| "xs"; "ys" |]
+
+let gen_expr rng ~depth =
+  let rec go depth =
+    if depth = 0 then
+      match Random.State.int rng 3 with
+      | 0 -> Ast.Int (Random.State.int rng 100)
+      | 1 -> Ast.Var var_names.(Random.State.int rng (Array.length var_names))
+      | _ ->
+          Ast.Index
+            ( arr_names.(Random.State.int rng (Array.length arr_names)),
+              (* keep indices in range by masking *)
+              Ast.Binary
+                ( Ast.Band,
+                  Ast.Var var_names.(Random.State.int rng (Array.length var_names)),
+                  Ast.Int 7 ) )
+    else
+      match Random.State.int rng 8 with
+      | 0 -> Ast.Unary (Ast.Neg, go (depth - 1))
+      | 1 -> Ast.Unary (Ast.Not, go (depth - 1))
+      | 2 | 3 ->
+          let ops =
+            [| Ast.Add; Ast.Sub; Ast.Mul; Ast.Lt; Ast.Le; Ast.Eq; Ast.Ne;
+               Ast.Band; Ast.Bor; Ast.Bxor; Ast.And; Ast.Or |]
+          in
+          Ast.Binary
+            (ops.(Random.State.int rng (Array.length ops)), go (depth - 1), go (depth - 1))
+      | 4 ->
+          (* guarded division: divisor forced non-zero *)
+          Ast.Binary
+            ( (if Random.State.bool rng then Ast.Div else Ast.Mod),
+              go (depth - 1),
+              Ast.Binary (Ast.Bor, go (depth - 1), Ast.Int 1) )
+      | 5 -> Ast.Call ("read", [])
+      | _ -> go (depth - 1)
+  in
+  go depth
+
+let gen_stmts rng ~depth ~length =
+  let var () = var_names.(Random.State.int rng (Array.length var_names)) in
+  let arr () = arr_names.(Random.State.int rng (Array.length arr_names)) in
+  let rec stmts depth length =
+    List.init length (fun _ -> stmt depth)
+  and stmt depth =
+    match (if depth = 0 then Random.State.int rng 4 else Random.State.int rng 8) with
+    | 0 -> Ast.Assign (var (), gen_expr rng ~depth:2)
+    | 1 ->
+        Ast.Store
+          (arr (), Ast.Binary (Ast.Band, gen_expr rng ~depth:1, Ast.Int 7),
+           gen_expr rng ~depth:2)
+    | 2 -> Ast.Print (gen_expr rng ~depth:2)
+    | 3 -> Ast.Assign (var (), gen_expr rng ~depth:1)
+    | 4 ->
+        Ast.If
+          (gen_expr rng ~depth:2, stmts (depth - 1) (1 + Random.State.int rng 3),
+           if Random.State.bool rng then []
+           else stmts (depth - 1) (1 + Random.State.int rng 2))
+    | 5 ->
+        (* bounded loop: fresh counter pattern via an existing var *)
+        let v = var () in
+        Ast.If
+          ( Ast.Int 1,
+            [
+              Ast.Assign (v, Ast.Int 0);
+              Ast.While
+                ( Ast.Binary (Ast.Lt, Ast.Var v, Ast.Int (1 + Random.State.int rng 8)),
+                  stmts (depth - 1) (1 + Random.State.int rng 2)
+                  @ [ Ast.Assign (v, Ast.Binary (Ast.Add, Ast.Var v, Ast.Int 1)) ] );
+            ],
+            [] )
+    | 6 ->
+        Ast.Switch
+          ( gen_expr rng ~depth:1,
+            List.init (1 + Random.State.int rng 3) (fun i ->
+                (i, stmts (depth - 1) 1)),
+            stmts (depth - 1) 1 )
+    | _ ->
+        let v = var () in
+        Ast.For
+          ( Ast.Assign (v, Ast.Int 0),
+            Ast.Binary (Ast.Lt, Ast.Var v, Ast.Int (1 + Random.State.int rng 6)),
+            Ast.Assign (v, Ast.Binary (Ast.Add, Ast.Var v, Ast.Int 1)),
+            stmts (depth - 1) (1 + Random.State.int rng 2) )
+  in
+  stmts depth length
+
+let gen_program rng : Ast.program =
+  let decls =
+    List.map (fun v -> Ast.Decl (v, Ast.Int 0)) (Array.to_list var_names)
+    @ List.map
+        (fun a -> Ast.Decl (a, Ast.Call ("array", [ Ast.Int 8 ])))
+        (Array.to_list arr_names)
+  in
+  let body = decls @ gen_stmts rng ~depth:3 ~length:(2 + Random.State.int rng 5) in
+  [ { Ast.name = "main"; params = []; body } ]
+
+(* ---------------- properties ---------------- *)
+
+let gen_seed = QCheck2.Gen.int_bound 1_000_000
+
+let prop_pretty_roundtrip =
+  QCheck2.Test.make ~count:120 ~name:"parse (pretty p) = p" gen_seed (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let p = gen_program rng in
+      let src = Pretty.program p in
+      match Parser.parse src with
+      | p' -> p = p'
+      | exception _ -> false)
+
+let prop_generated_programs_compile =
+  QCheck2.Test.make ~count:120 ~name:"generated programs compile" gen_seed
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let src = Pretty.program (gen_program rng) in
+      match Compile.compile src with Ok _ -> true | Error _ -> false)
+
+let prop_execution_clean_and_deterministic =
+  QCheck2.Test.make ~count:80 ~name:"execution clean and deterministic" gen_seed
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let src = Pretty.program (gen_program rng) in
+      match Compile.compile src with
+      | Error _ -> false
+      | Ok c ->
+          let input = Array.init 16 (fun i -> (i * 7) - 20) in
+          let run () =
+            match Compile.run ~limit:200_000 c ~input ~sink:Ba_cfg.Trace.null with
+            | r -> Some r.Interp.output
+            | exception Interp.Runtime_error _ -> None
+          in
+          run () = run ())
+
+let prop_trace_well_formed =
+  QCheck2.Test.make ~count:60 ~name:"trace stream balanced" gen_seed (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let src = Pretty.program (gen_program rng) in
+      match Compile.compile src with
+      | Error _ -> false
+      | Ok c ->
+          let depth = ref 0 and ok = ref true and events = ref 0 in
+          let sink = function
+            | Ba_cfg.Trace.Enter _ -> incr depth; incr events
+            | Ba_cfg.Trace.Leave ->
+                decr depth;
+                if !depth < 0 then ok := false
+            | Ba_cfg.Trace.Block _ -> if !depth <= 0 then ok := false
+          in
+          (match Compile.run ~limit:200_000 c ~input:[| 1; 2; 3 |] ~sink with
+          | (_ : Interp.result) -> ()
+          | exception Interp.Runtime_error _ -> ());
+          !ok && !events > 0)
+
+(* the generated CFGs feed the aligners without error, and the central
+   identity holds on fuzzed programs too *)
+let prop_fuzzed_programs_align =
+  QCheck2.Test.make ~count:40 ~name:"fuzzed programs align + identity" gen_seed
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let src = Pretty.program (gen_program rng) in
+      match Compile.compile src with
+      | Error _ -> false
+      | Ok c -> (
+          let input = Array.init 8 (fun i -> i) in
+          match
+            Ba_profile.Collect.profile_of_run ~n_blocks:(Compile.n_blocks c)
+              (fun sink -> ignore (Compile.run ~limit:200_000 c ~input ~sink))
+          with
+          | exception Interp.Runtime_error _ -> true (* nothing to align *)
+          | prof ->
+              let p = Ba_machine.Penalties.alpha_21164 in
+              Array.for_all
+                (fun fid ->
+                  let g = c.Compile.cfgs.(fid) in
+                  let pr = Ba_profile.Profile.proc prof fid in
+                  let inst = Ba_align.Reduction.build p g ~profile:pr in
+                  let o = Ba_align.Greedy.align g ~profile:pr in
+                  Ba_cfg.Layout.is_valid g o
+                  && Ba_align.Reduction.layout_cost inst o
+                     = Ba_align.Evaluate.proc_penalty p g ~order:o ~train:pr
+                         ~test:pr)
+                (Array.init (Array.length c.Compile.cfgs) Fun.id)))
+
+let () =
+  Alcotest.run "minic-fuzz"
+    [
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_pretty_roundtrip;
+          QCheck_alcotest.to_alcotest prop_generated_programs_compile;
+          QCheck_alcotest.to_alcotest prop_execution_clean_and_deterministic;
+          QCheck_alcotest.to_alcotest prop_trace_well_formed;
+          QCheck_alcotest.to_alcotest prop_fuzzed_programs_align;
+        ] );
+    ]

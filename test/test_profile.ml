@@ -1,0 +1,175 @@
+(* Tests for profiles and the online profiler. *)
+
+open Ba_cfg
+open Ba_profile
+
+let diamond () =
+  Cfg.make ~name:"diamond" ~entry:0
+    [|
+      Block.make ~id:0 ~size:4 (Block.Branch { t = 1; f = 2 });
+      Block.make ~id:1 ~size:2 (Block.Goto 3);
+      Block.make ~id:2 ~size:7 (Block.Goto 3);
+      Block.make ~id:3 ~size:1 (Block.Branch { t = 0; f = 4 });
+      Block.make ~id:4 ~size:3 Block.Exit;
+    |]
+
+let run_diamond_trace sink =
+  (* two invocations; first loops twice via 1, second goes through 2 *)
+  List.iter sink
+    [
+      Trace.Enter 0;
+      Trace.Block 0;
+      Trace.Block 1;
+      Trace.Block 3;
+      Trace.Block 0;
+      Trace.Block 1;
+      Trace.Block 3;
+      Trace.Block 4;
+      Trace.Leave;
+      Trace.Enter 0;
+      Trace.Block 0;
+      Trace.Block 2;
+      Trace.Block 3;
+      Trace.Block 4;
+      Trace.Leave;
+    ]
+
+let collect_diamond () =
+  let c = Collect.create ~n_blocks:[| 5 |] in
+  run_diamond_trace (Collect.sink c);
+  Collect.freeze c
+
+let test_collect_counts () =
+  let prof = collect_diamond () in
+  let p = Profile.proc prof 0 in
+  Alcotest.(check int) "0->1" 2 (Profile.freq p ~src:0 ~dst:1);
+  Alcotest.(check int) "0->2" 1 (Profile.freq p ~src:0 ~dst:2);
+  Alcotest.(check int) "3->0" 1 (Profile.freq p ~src:3 ~dst:0);
+  Alcotest.(check int) "3->4" 2 (Profile.freq p ~src:3 ~dst:4);
+  Alcotest.(check int) "no cross-invocation 4->0" 0 (Profile.freq p ~src:4 ~dst:0);
+  Alcotest.(check int) "out of 0" 3 (Profile.out_count p 0);
+  Alcotest.(check int) "total" 9 (Profile.total_transfers p)
+
+let test_predictions () =
+  let prof = collect_diamond () in
+  let p = Profile.proc prof 0 in
+  Alcotest.(check (option int)) "block 0 predicts 1" (Some 1) (Profile.predicted p 0);
+  Alcotest.(check (option int)) "block 3 predicts 4" (Some 4) (Profile.predicted p 3);
+  Alcotest.(check (option int)) "block 4 no prediction" None (Profile.predicted p 4);
+  let preds = Profile.predictions p ~n_blocks:5 in
+  Alcotest.(check (option int)) "tabulated" (Some 3) preds.(1)
+
+let test_prediction_tie_break () =
+  let p = Profile.of_assoc ~n_blocks:2 [ (0, 1, 5); (0, 0, 5) ] in
+  (* equal counts: smaller label wins *)
+  Alcotest.(check (option int)) "tie towards smaller" (Some 0) (Profile.predicted p 0)
+
+let test_validate () =
+  let g = diamond () in
+  let prof = collect_diamond () in
+  (match Profile.validate g (Profile.proc prof 0) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let bad = Profile.of_assoc ~n_blocks:5 [ (0, 3, 1) ] in
+  match Profile.validate g bad with
+  | Ok () -> Alcotest.fail "0->3 is not a CFG edge"
+  | Error _ -> ()
+
+let test_of_assoc_merges_duplicates () =
+  let p = Profile.of_assoc ~n_blocks:3 [ (0, 1, 2); (0, 1, 3); (1, 2, 1) ] in
+  Alcotest.(check int) "summed" 5 (Profile.freq p ~src:0 ~dst:1)
+
+let test_scale_and_merge () =
+  let a = Profile.of_assoc ~n_blocks:2 [ (0, 1, 3) ] in
+  let b = Profile.of_assoc ~n_blocks:2 [ (0, 1, 4); (1, 0, 2) ] in
+  let m = Profile.merge (Profile.scale 2 a) b in
+  Alcotest.(check int) "2·3+4" 10 (Profile.freq m ~src:0 ~dst:1);
+  Alcotest.(check int) "merged other edge" 2 (Profile.freq m ~src:1 ~dst:0);
+  Alcotest.(check bool) "shape mismatch rejected" true
+    (try
+       ignore (Profile.merge a (Profile.of_assoc ~n_blocks:3 []));
+       false
+     with Invalid_argument _ -> true)
+
+let test_table1_statistics () =
+  let g = diamond () in
+  let prof = collect_diamond () in
+  let p = Profile.proc prof 0 in
+  (* CTI blocks executed: 0, 1, 2, 3 *)
+  Alcotest.(check int) "branch sites touched" 4 (Profile.branch_sites_touched g p);
+  (* all 9 transfers leave CTI blocks *)
+  Alcotest.(check int) "executed branches" 9 (Profile.executed_branches g p)
+
+let test_multi_proc_collect () =
+  let c = Collect.create ~n_blocks:[| 2; 2 |] in
+  let sink = Collect.sink c in
+  List.iter sink
+    [
+      Trace.Enter 0;
+      Trace.Block 0;
+      Trace.Enter 1;
+      Trace.Block 0;
+      Trace.Block 1;
+      Trace.Leave;
+      Trace.Block 1;
+      Trace.Leave;
+    ];
+  let prof = Collect.freeze c in
+  Alcotest.(check int) "proc 0 edge" 1
+    (Profile.freq (Profile.proc prof 0) ~src:0 ~dst:1);
+  Alcotest.(check int) "proc 1 edge" 1
+    (Profile.freq (Profile.proc prof 1) ~src:0 ~dst:1);
+  Alcotest.(check int) "program transfers" 2 (Profile.program_transfers prof)
+
+let test_call_graph_collection () =
+  let c = Collect.create ~n_blocks:[| 2; 2; 1 |] in
+  let sink = Collect.sink c in
+  (* main(0) calls f1 twice; f1 calls f2 once on the first call *)
+  List.iter sink
+    [
+      Trace.Enter 0;
+      Trace.Block 0;
+      Trace.Enter 1;
+      Trace.Block 0;
+      Trace.Enter 2;
+      Trace.Block 0;
+      Trace.Leave;
+      Trace.Leave;
+      Trace.Enter 1;
+      Trace.Block 0;
+      Trace.Leave;
+      Trace.Block 1;
+      Trace.Leave;
+    ];
+  let prof = Collect.freeze c in
+  Alcotest.(check int) "main->f1 twice" 2 (Profile.call_freq prof ~caller:0 ~callee:1);
+  Alcotest.(check int) "f1->f2 once" 1 (Profile.call_freq prof ~caller:1 ~callee:2);
+  Alcotest.(check int) "no f2->f1" 0 (Profile.call_freq prof ~caller:2 ~callee:1);
+  (* the initial main invocation has no caller and is not counted *)
+  Alcotest.(check int) "total intra-program calls" 3 (Profile.total_calls prof)
+
+let test_profile_of_run () =
+  let prof = Collect.profile_of_run ~n_blocks:[| 5 |] run_diamond_trace in
+  Alcotest.(check int) "same as manual collection" 9
+    (Profile.total_transfers (Profile.proc prof 0))
+
+let () =
+  Alcotest.run "ba_profile"
+    [
+      ( "collect",
+        [
+          Alcotest.test_case "edge counts" `Quick test_collect_counts;
+          Alcotest.test_case "multi-procedure" `Quick test_multi_proc_collect;
+          Alcotest.test_case "call graph" `Quick test_call_graph_collection;
+          Alcotest.test_case "profile_of_run" `Quick test_profile_of_run;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "predictions" `Quick test_predictions;
+          Alcotest.test_case "prediction tie-break" `Quick test_prediction_tie_break;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "of_assoc merges" `Quick test_of_assoc_merges_duplicates;
+          Alcotest.test_case "scale and merge" `Quick test_scale_and_merge;
+          Alcotest.test_case "table 1 statistics" `Quick test_table1_statistics;
+        ] );
+    ]

@@ -1,0 +1,68 @@
+(** Random CFG, trace and profile generators shared by the test suites. *)
+
+open Ba_cfg
+
+(** [cfg rng ~n] builds a random but valid CFG with [n] blocks: block 0 is
+    the entry, the last block always exits, interior blocks get a random
+    mix of gotos, conditionals and small jump tables biased towards
+    nearby blocks so traces terminate reasonably often. *)
+let cfg rng ~n =
+  if n < 1 then invalid_arg "Gen.cfg: need at least one block";
+  let pick_target i =
+    (* biased forward to keep walks finite, but allow back edges *)
+    if Random.State.int rng 4 = 0 then Random.State.int rng n
+    else min (n - 1) (i + 1 + Random.State.int rng (max 1 (n - i)))
+  in
+  let blocks =
+    Array.init n (fun i ->
+        let size = 1 + Random.State.int rng 12 in
+        let term =
+          if i = n - 1 then Block.Exit
+          else
+            match Random.State.int rng 10 with
+            | 0 -> Block.Exit
+            | 1 | 2 | 3 -> Block.Goto (pick_target i)
+            | 4 | 5 | 6 | 7 | 8 ->
+                Block.Branch { t = pick_target i; f = pick_target i }
+            | _ ->
+                Block.Multiway
+                  (Array.init
+                     (2 + Random.State.int rng 3)
+                     (fun _ -> pick_target i))
+        in
+        Block.make ~id:i ~size term)
+  in
+  Cfg.make ~name:(Printf.sprintf "rand%d" n) ~entry:0 blocks
+
+(** [walk rng g ~max_steps sink] emits one random invocation of [g] into
+    [sink]: Enter, a random path from the entry (uniform successor
+    choice), Leave.  The walk stops at an exit block or after
+    [max_steps]. *)
+let walk rng (g : Cfg.t) ~max_steps sink =
+  sink (Trace.Enter 0);
+  let cur = ref g.Cfg.entry and steps = ref 0 and stop = ref false in
+  while not !stop do
+    sink (Trace.Block !cur);
+    incr steps;
+    let succs = Cfg.successors g !cur in
+    if succs = [] || !steps >= max_steps then stop := true
+    else cur := List.nth succs (Random.State.int rng (List.length succs))
+  done;
+  sink Trace.Leave
+
+(** [trace_runner rng g ~invocations ~max_steps] is a reusable trace
+    producer: each call replays the same pseudo-random execution (the
+    given rng seeds a fresh generator), so a profile collected from it
+    matches a later simulation of it. *)
+let trace_runner ~seed (g : Cfg.t) ~invocations ~max_steps =
+ fun sink ->
+  let rng = Random.State.make [| seed |] in
+  for _ = 1 to invocations do
+    walk rng g ~max_steps sink
+  done
+
+(** [profile_of ~seed g ~invocations ~max_steps] profiles the canned
+    execution of {!trace_runner}. *)
+let profile_of ~seed (g : Cfg.t) ~invocations ~max_steps =
+  Ba_profile.Collect.profile_of_run ~n_blocks:[| Cfg.n_blocks g |]
+    (trace_runner ~seed g ~invocations ~max_steps)
