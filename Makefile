@@ -1,0 +1,48 @@
+# Convenience targets; dune is the real build system.
+
+DUNE ?= dune
+BALIGN = $(DUNE) exec --no-print-directory bin/balign.exe --
+
+.PHONY: all build test check smoke report clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+# Full verification: build, the whole test suite (including the
+# fault-injection and robustness suites), and a CLI smoke test of the
+# documented exit codes.
+check: build test smoke
+
+# The smoke test drives the built binary through the failure paths that
+# docs/ROBUSTNESS.md documents and checks the exit codes line up.
+smoke: build
+	@tmp=$$(mktemp -d); trap 'rm -rf '"$$tmp" EXIT; \
+	printf 'fn main() { print(1); }' > $$tmp/ok.mc; \
+	printf 'fn main( {' > $$tmp/bad.mc; \
+	set -- \
+	  "0:align $$tmp/ok.mc" \
+	  "0:align $$tmp/ok.mc --deadline-ms 0" \
+	  "3:compile $$tmp/bad.mc" \
+	  "4:align $$tmp/ok.mc --input 1,two,3" \
+	  "2:align $$tmp/ok.mc --input 1 --input-file $$tmp/ok.mc" \
+	  "7:align $$tmp/ok.mc --deadline-ms 0 --fallback none" \
+	  "2:bench nosuchbench"; \
+	for case in "$$@"; do \
+	  want=$${case%%:*}; cmd=$${case#*:}; \
+	  $(BALIGN) $$cmd >/dev/null 2>&1; got=$$?; \
+	  if [ "$$got" -ne "$$want" ]; then \
+	    echo "smoke FAIL: balign $$cmd -> exit $$got (want $$want)"; exit 1; \
+	  fi; \
+	  echo "smoke ok  : balign $$cmd -> exit $$got"; \
+	done
+
+report:
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

@@ -5,52 +5,84 @@
      dot       dump the CFGs in Graphviz format
      profile   run a program and print its edge-frequency profile
      align     lay out a program with a chosen method, report penalties
+     evaluate  cross-validate training vs testing inputs
      bounds    per-procedure lower bounds vs the TSP aligner
      bench     run the paper's experiment for one built-in benchmark
-     report    print the paper's tables/figures (same as bench/main.exe) *)
+     report    print the paper's tables/figures (same as bench/main.exe)
+
+   Every failure is a typed Ba_robust.Errors.t mapped to a documented
+   exit code (see docs/ROBUSTNESS.md); commands never exit from the
+   middle of their logic. *)
 
 open Cmdliner
+module Errors = Ba_robust.Errors
 
 let penalties = Ba_machine.Penalties.alpha_21164
+let ( let* ) r f = Result.bind r f
 
 (* ---------------- shared helpers ---------------- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+(** Evaluate one command body: print the typed error and turn it into
+    its documented exit code.  Escaped exceptions (interpreter runtime
+    errors, I/O, stack overflow) are converted, never re-raised. *)
+let run_term (f : unit -> (unit, Errors.t) result) : int =
+  let result =
+    try f () with
+    | Ba_minic.Interp.Runtime_error m ->
+        Error (Errors.Internal { where = "minic runtime"; reason = m })
+    | Sys_error m -> Error (Errors.Io_error { path = "?"; reason = m })
+    | Stack_overflow ->
+        Error (Errors.Internal { where = "balign"; reason = "stack overflow" })
+    | e -> Error (Errors.of_exn ~where:"balign" e)
+  in
+  match result with
+  | Ok () -> 0
+  | Error e ->
+      Fmt.epr "balign: error: %a@." Errors.pp e;
+      Errors.exit_code e
 
-let parse_input (s : string) : int array =
-  s
-  |> String.split_on_char ','
-  |> List.concat_map (String.split_on_char ' ')
-  |> List.filter_map (fun tok ->
-         let tok = String.trim tok in
-         if tok = "" then None
-         else
-           match int_of_string_opt tok with
-           | Some v -> Some v
-           | None ->
-               Fmt.epr "error: input token %S is not an integer@." tok;
-               exit 1)
-  |> Array.of_list
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> Ok s
+  | exception Sys_error m -> Error (Errors.Io_error { path; reason = m })
+
+(** Parse a read() input string, reporting {e every} bad token with its
+    byte offset rather than dying on the first one. *)
+let parse_input (s : string) : (int array, Errors.t) result =
+  let is_sep = function ' ' | ',' | '\t' | '\n' | '\r' -> true | _ -> false in
+  let n = String.length s in
+  let vals = ref [] and bad = ref [] and i = ref 0 in
+  while !i < n do
+    while !i < n && is_sep s.[!i] do incr i done;
+    if !i < n then begin
+      let start = !i in
+      while !i < n && not (is_sep s.[!i]) do incr i done;
+      let tok = String.sub s start (!i - start) in
+      match int_of_string_opt tok with
+      | Some v -> vals := v :: !vals
+      | None -> bad := (start, tok) :: !bad
+    end
+  done;
+  if !bad = [] then Ok (Array.of_list (List.rev !vals))
+  else Error (Errors.Invalid_input { tokens = List.rev !bad })
 
 let load_program path =
-  match Ba_minic.Compile.compile (read_file path) with
-  | Ok c -> c
-  | Error m ->
-      Fmt.epr "error: %s@." m;
-      exit 1
+  let* src = read_file path in
+  Ba_minic.Compile.compile src
 
 let load_input ~input ~input_file =
   match (input, input_file) with
   | Some s, None -> parse_input s
-  | None, Some f -> parse_input (read_file f)
-  | None, None -> [||]
-  | Some _, Some _ ->
-      Fmt.epr "error: give --input or --input-file, not both@.";
-      exit 1
+  | None, Some f ->
+      let* s = read_file f in
+      parse_input s
+  | None, None -> Ok [||]
+  | Some _, Some _ -> Error (Errors.Usage "give --input or --input-file, not both")
 
 (* ---------------- common options ---------------- *)
 
@@ -65,11 +97,42 @@ let input_file_opt =
   Arg.(value & opt (some file) None & info [ "input-file" ] ~docv:"FILE"
          ~doc:"file of integers fed to read()")
 
+let deadline_opt =
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"wall-clock solver budget in milliseconds; 0 degrades \
+               immediately to the greedy fallback")
+
+let fallback_opt =
+  Arg.(value
+       & opt (enum [ ("chain", true); ("none", false) ]) true
+       & info [ "fallback" ] ~docv:"MODE"
+           ~doc:"on a solver timeout or layout failure, degrade along the \
+                 deterministic chain ($(b,chain), default) or fail with a \
+                 typed error ($(b,none))")
+
+(** The documented exit codes (docs/ROBUSTNESS.md), one per error
+    class, attached to every subcommand's man page. *)
+let exits =
+  Cmd.Exit.defaults
+  @ [
+      Cmd.Exit.info 2 ~doc:"usage error (bad flag combination or argument)";
+      Cmd.Exit.info 3 ~doc:"source parse/check error";
+      Cmd.Exit.info 4 ~doc:"malformed input tokens";
+      Cmd.Exit.info 5 ~doc:"invalid control-flow graph";
+      Cmd.Exit.info 6 ~doc:"invalid or mismatched profile";
+      Cmd.Exit.info 7 ~doc:"solver budget exhausted (and --fallback none)";
+      Cmd.Exit.info 8 ~doc:"semantically unfaithful layout";
+      Cmd.Exit.info 9 ~doc:"I/O error";
+      Cmd.Exit.info 10 ~doc:"internal error";
+    ]
+
+let cmd name ~doc term = Cmd.v (Cmd.info name ~doc ~exits) term
+
 (* ---------------- compile ---------------- *)
 
 let compile_cmd =
   let run file =
-    let c = load_program file in
+    let* c = load_program file in
     Fmt.pr "%d function(s)@." (Array.length c.Ba_minic.Compile.cfgs);
     Array.iteri
       (fun fid g ->
@@ -77,35 +140,38 @@ let compile_cmd =
           fid c.Ba_minic.Compile.names.(fid) (Ba_cfg.Cfg.n_blocks g)
           (Ba_cfg.Cfg.n_edges g) (Ba_cfg.Cfg.n_branch_sites g)
           (Ba_cfg.Cfg.total_size g))
-      c.Ba_minic.Compile.cfgs
+      c.Ba_minic.Compile.cfgs;
+    Ok ()
   in
-  Cmd.v (Cmd.info "compile" ~doc:"compile a minic program and print CFG statistics")
-    Term.(const run $ file_arg)
+  cmd "compile" ~doc:"compile a minic program and print CFG statistics"
+    Term.(const (fun file -> run_term (fun () -> run file)) $ file_arg)
 
 (* ---------------- dot ---------------- *)
 
 let dot_cmd =
   let run file func =
-    let c = load_program file in
+    let* c = load_program file in
     Array.iteri
       (fun fid g ->
         if func = None || func = Some c.Ba_minic.Compile.names.(fid) then
           print_string (Ba_cfg.Dot.to_string g))
-      c.Ba_minic.Compile.cfgs
+      c.Ba_minic.Compile.cfgs;
+    Ok ()
   in
   let func =
     Arg.(value & opt (some string) None & info [ "function" ] ~docv:"NAME"
            ~doc:"only this function")
   in
-  Cmd.v (Cmd.info "dot" ~doc:"dump CFGs in Graphviz DOT format")
-    Term.(const run $ file_arg $ func)
+  cmd "dot" ~doc:"dump CFGs in Graphviz DOT format"
+    Term.(const (fun file func -> run_term (fun () -> run file func))
+          $ file_arg $ func)
 
 (* ---------------- profile ---------------- *)
 
 let profile_cmd =
   let run file input input_file =
-    let c = load_program file in
-    let inp = load_input ~input ~input_file in
+    let* c = load_program file in
+    let* inp = load_input ~input ~input_file in
     let prof = Ba_minic.Compile.profile c ~input:inp in
     Array.iteri
       (fun fid g ->
@@ -116,10 +182,12 @@ let profile_cmd =
           (Ba_profile.Profile.branch_sites_touched g p)
           (Ba_cfg.Cfg.n_branch_sites g);
         Fmt.pr "%a" Ba_profile.Profile.pp_proc p)
-      c.Ba_minic.Compile.cfgs
+      c.Ba_minic.Compile.cfgs;
+    Ok ()
   in
-  Cmd.v (Cmd.info "profile" ~doc:"run a program and print its edge profile")
-    Term.(const run $ file_arg $ input_opt $ input_file_opt)
+  cmd "profile" ~doc:"run a program and print its edge profile"
+    Term.(const (fun file i f -> run_term (fun () -> run file i f))
+          $ file_arg $ input_opt $ input_file_opt)
 
 (* ---------------- align ---------------- *)
 
@@ -140,15 +208,24 @@ let method_opt =
            ~doc:"original | greedy | calder | calder-exhaustive | tsp")
 
 let align_cmd =
-  let run file input input_file m =
-    let c = load_program file in
-    let inp = load_input ~input ~input_file in
+  let run file input input_file m deadline_ms fallback =
+    let* c = load_program file in
+    let* inp = load_input ~input ~input_file in
     let prof = Ba_minic.Compile.profile c ~input:inp in
     let cfgs = c.Ba_minic.Compile.cfgs in
-    let aligned = Ba_align.Driver.align m penalties cfgs ~train:prof in
-    let orig =
-      Ba_align.Driver.align Ba_align.Driver.Original penalties cfgs ~train:prof
+    let* report =
+      Ba_align.Driver.align_checked ?deadline_ms ~fallback m penalties cfgs
+        ~train:prof
     in
+    let aligned = report.Ba_align.Driver.aligned in
+    List.iter
+      (fun f -> Fmt.pr "fallback: %a@." Ba_align.Driver.pp_fallback f)
+      report.Ba_align.Driver.fallbacks;
+    let* orig =
+      Ba_align.Driver.align_checked Ba_align.Driver.Original penalties cfgs
+        ~train:prof
+    in
+    let orig = orig.Ba_align.Driver.aligned in
     let before = Ba_align.Driver.analytic_penalty penalties orig ~test:prof in
     let after = Ba_align.Driver.analytic_penalty penalties aligned ~test:prof in
     Array.iteri
@@ -164,20 +241,24 @@ let align_cmd =
     let sim_a = Ba_align.Driver.simulate penalties aligned ~run:run_prog in
     Fmt.pr "simulated cycles: %d -> %d (icache misses %d -> %d)@."
       sim_o.Ba_machine.Cycles.cycles sim_a.Ba_machine.Cycles.cycles
-      sim_o.Ba_machine.Cycles.icache_misses sim_a.Ba_machine.Cycles.icache_misses
+      sim_o.Ba_machine.Cycles.icache_misses sim_a.Ba_machine.Cycles.icache_misses;
+    Ok ()
   in
-  Cmd.v
-    (Cmd.info "align" ~doc:"align a program and report penalty and cycle changes")
-    Term.(const run $ file_arg $ input_opt $ input_file_opt $ method_opt)
+  cmd "align" ~doc:"align a program and report penalty and cycle changes"
+    Term.(const (fun file i f m d fb -> run_term (fun () -> run file i f m d fb))
+          $ file_arg $ input_opt $ input_file_opt $ method_opt $ deadline_opt
+          $ fallback_opt)
 
 (* ---------------- evaluate (cross-validation) ---------------- *)
 
 let evaluate_cmd =
   let run file train_input test_input =
-    let c = load_program file in
+    let* c = load_program file in
+    let* train_inp = parse_input train_input in
+    let* test_inp = parse_input test_input in
     let cfgs = c.Ba_minic.Compile.cfgs in
-    let train = Ba_minic.Compile.profile c ~input:(parse_input train_input) in
-    let test = Ba_minic.Compile.profile c ~input:(parse_input test_input) in
+    let train = Ba_minic.Compile.profile c ~input:train_inp in
+    let test = Ba_minic.Compile.profile c ~input:test_inp in
     Fmt.pr "%-18s %14s %14s@." "method" "train=test" "cross-trained";
     List.iter
       (fun m ->
@@ -192,7 +273,8 @@ let evaluate_cmd =
         Ba_align.Driver.Greedy;
         Ba_align.Driver.Calder;
         Ba_align.Driver.Tsp Ba_align.Tsp_align.default;
-      ]
+      ];
+    Ok ()
   in
   let train_arg =
     Arg.(required & opt (some string) None & info [ "train-input" ] ~docv:"INTS"
@@ -202,17 +284,17 @@ let evaluate_cmd =
     Arg.(required & opt (some string) None & info [ "test-input" ] ~docv:"INTS"
            ~doc:"testing input (integers fed to read())")
   in
-  Cmd.v
-    (Cmd.info "evaluate"
-       ~doc:"cross-validate: penalties when training and testing inputs differ")
-    Term.(const run $ file_arg $ train_arg $ test_arg)
+  cmd "evaluate"
+    ~doc:"cross-validate: penalties when training and testing inputs differ"
+    Term.(const (fun file tr te -> run_term (fun () -> run file tr te))
+          $ file_arg $ train_arg $ test_arg)
 
 (* ---------------- bounds ---------------- *)
 
 let bounds_cmd =
   let run file input input_file =
-    let c = load_program file in
-    let inp = load_input ~input ~input_file in
+    let* c = load_program file in
+    let* inp = load_input ~input ~input_file in
     let prof = Ba_minic.Compile.profile c ~input:inp in
     Fmt.pr "%-16s %8s %12s %12s %12s %12s@." "function" "blocks" "tsp" "hk-bound"
       "ap-bound" "exact";
@@ -232,16 +314,17 @@ let bounds_cmd =
         in
         Fmt.pr "%-16s %8d %12d %12d %12d %12s@." c.Ba_minic.Compile.names.(fid)
           (Ba_cfg.Cfg.n_blocks g) r.Ba_align.Tsp_align.cost hk ap ex)
-      c.Ba_minic.Compile.cfgs
+      c.Ba_minic.Compile.cfgs;
+    Ok ()
   in
-  Cmd.v
-    (Cmd.info "bounds" ~doc:"per-procedure lower bounds vs the TSP aligner")
-    Term.(const run $ file_arg $ input_opt $ input_file_opt)
+  cmd "bounds" ~doc:"per-procedure lower bounds vs the TSP aligner"
+    Term.(const (fun file i f -> run_term (fun () -> run file i f))
+          $ file_arg $ input_opt $ input_file_opt)
 
 (* ---------------- bench ---------------- *)
 
 let bench_cmd =
-  let run name =
+  let run name deadline_ms fallback =
     let find name =
       List.find_opt
         (fun w -> w.Ba_workloads.Workload.name = name)
@@ -249,36 +332,89 @@ let bench_cmd =
     in
     match find name with
     | None ->
-        Fmt.epr "unknown benchmark %s (have: %s)@." name
-          (String.concat ", "
-             (List.map (fun w -> w.Ba_workloads.Workload.name)
-                Ba_workloads.Workload_apps.everything));
-        exit 1
+        Error
+          (Errors.Usage
+             (Printf.sprintf "unknown benchmark %s (have: %s)" name
+                (String.concat ", "
+                   (List.map (fun w -> w.Ba_workloads.Workload.name)
+                      Ba_workloads.Workload_apps.everything))))
     | Some w ->
+        let base = Ba_harness.Runner.default in
+        let config =
+          {
+            base with
+            Ba_harness.Runner.tsp =
+              {
+                base.Ba_harness.Runner.tsp with
+                Ba_align.Tsp_align.solver =
+                  {
+                    base.Ba_harness.Runner.tsp.Ba_align.Tsp_align.solver with
+                    Ba_tsp.Iterated.deadline_ms;
+                  };
+              };
+          }
+        in
         let rows =
           List.map
-            (fun ds -> Ba_harness.Runner.run_benchmark w ~test:ds)
+            (fun ds -> Ba_harness.Runner.run_benchmark ~config w ~test:ds)
             (Ba_workloads.Workload.dataset_list w)
+        in
+        let timeouts =
+          List.fold_left
+            (fun acc r -> acc + r.Ba_harness.Runner.tsp_timeouts)
+            0 rows
+        in
+        let* () =
+          if timeouts = 0 then Ok ()
+          else if fallback then begin
+            Fmt.pr "note: %d TSP solve(s) hit the budget; degraded layouts used@."
+              timeouts;
+            Ok ()
+          end
+          else
+            Error
+              (Errors.Solver_timeout
+                 {
+                   proc = None;
+                   elapsed_ms =
+                     (match deadline_ms with Some d -> float_of_int d | None -> 0.);
+                   deadline_ms;
+                   moves = 0;
+                 })
         in
         Ba_harness.Tables.table1 Fmt.stdout rows;
         Ba_harness.Tables.table4 Fmt.stdout rows;
         Ba_harness.Tables.fig2_penalties Fmt.stdout rows;
         Ba_harness.Tables.fig2_times Fmt.stdout rows;
         Ba_harness.Tables.fig3_penalties Fmt.stdout rows;
-        Ba_harness.Tables.fig3_times Fmt.stdout rows
+        Ba_harness.Tables.fig3_times Fmt.stdout rows;
+        Ok ()
   in
   let bench_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"
            ~doc:"benchmark short name (spec92: com dod eqn esp su2 xli; spec95: m88 ijp prl vor go)")
   in
-  Cmd.v
-    (Cmd.info "bench" ~doc:"run the paper's experiment for one built-in benchmark")
-    Term.(const run $ bench_name)
+  cmd "bench" ~doc:"run the paper's experiment for one built-in benchmark"
+    Term.(const (fun n d fb -> run_term (fun () -> run n d fb))
+          $ bench_name $ deadline_opt $ fallback_opt)
 
 (* ---------------- report ---------------- *)
 
 let report_cmd =
+  let known =
+    [ "table1"; "table2"; "table3"; "table4"; "fig2"; "fig3"; "summary" ]
+  in
   let run sections =
+    let* () =
+      match List.filter (fun s -> not (List.mem s known)) sections with
+      | [] -> Ok ()
+      | bad ->
+          Error
+            (Errors.Usage
+               (Printf.sprintf "unknown section(s) %s (have: %s)"
+                  (String.concat ", " bad)
+                  (String.concat ", " known)))
+    in
     let rows = Ba_harness.Runner.run_all () in
     let want s = sections = [] || List.mem s sections in
     if want "table1" then Ba_harness.Tables.table1 Fmt.stdout rows;
@@ -293,21 +429,21 @@ let report_cmd =
       Ba_harness.Tables.fig3_penalties Fmt.stdout rows;
       Ba_harness.Tables.fig3_times Fmt.stdout rows
     end;
-    if want "summary" then Ba_harness.Tables.summary Fmt.stdout rows
+    if want "summary" then Ba_harness.Tables.summary Fmt.stdout rows;
+    Ok ()
   in
   let sections =
     Arg.(value & pos_all string [] & info [] ~docv:"SECTION"
            ~doc:"table1 table2 table3 table4 fig2 fig3 summary (default: all)")
   in
-  Cmd.v
-    (Cmd.info "report" ~doc:"print the paper's tables and figures")
-    Term.(const run $ sections)
+  cmd "report" ~doc:"print the paper's tables and figures"
+    Term.(const (fun s -> run_term (fun () -> run s)) $ sections)
 
 (* ---------------- main ---------------- *)
 
 let () =
   let doc = "near-optimal intraprocedural branch alignment (PLDI 1997)" in
-  let info = Cmd.info "balign" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "balign" ~version:"1.0.0" ~doc ~exits in
   let group =
     Cmd.group info
       [
@@ -315,14 +451,4 @@ let () =
         bench_cmd; report_cmd;
       ]
   in
-  exit
-    (try Cmd.eval ~catch:false group with
-    | Ba_minic.Interp.Runtime_error m ->
-        Fmt.epr "error: runtime: %s@." m;
-        1
-    | Sys_error m ->
-        Fmt.epr "error: %s@." m;
-        1
-    | Stack_overflow ->
-        Fmt.epr "error: stack overflow@.";
-        1)
+  exit (Cmd.eval' group)

@@ -119,3 +119,178 @@ let check (a : aligned) =
             err := Some (Printf.sprintf "procedure %d (%s): %s" fid cfg.Cfg.name m))
     a.cfgs;
   match !err with None -> Ok () | Some m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Checked alignment: validation, budgets and graceful degradation.    *)
+
+module Errors = Ba_robust.Errors
+module Budget = Ba_robust.Budget
+
+(** One procedure that could not be aligned with the requested method and
+    was degraded to a cheaper one. *)
+type fallback = {
+  proc : int;
+  proc_name : string;
+  requested : method_;
+  used : method_;
+  reason : Errors.t;  (** why the first method in the chain gave up *)
+}
+
+(** A checked alignment: the program plus a record of every degradation
+    that happened on the way. *)
+type report = { aligned : aligned; fallbacks : fallback list }
+
+let pp_fallback ppf f =
+  Fmt.pf ppf "procedure %d (%s): %s -> %s: %a" f.proc f.proc_name
+    (method_name f.requested) (method_name f.used) Errors.pp f.reason
+
+(** The deterministic degradation chain of a method, most capable first.
+    Greedy is the designated cheap safety net — it runs even on an
+    exhausted budget — and Original (the identity layout) can only fail
+    if the CFG itself is broken, which validation rules out. *)
+let chain = function
+  | Tsp config -> [ Tsp config; Calder; Greedy; Original ]
+  | Calder_exhaustive -> [ Calder_exhaustive; Calder; Greedy; Original ]
+  | Calder -> [ Calder; Greedy; Original ]
+  | Greedy -> [ Greedy; Original ]
+  | Original -> [ Original ]
+
+(** Attempt one method on one procedure under the shared budget.
+    Methods that do real search (TSP, the Calder variants) refuse to
+    start on an exhausted budget; Greedy and Original always run. *)
+let try_method (m : method_) (p : Penalties.t) (cfg : Cfg.t) ~fid
+    ~(profile : Profile.proc) ~(budget : Budget.t) :
+    (Layout.order, Errors.t) result =
+  let guard f =
+    match Budget.exhausted budget with
+    | true -> Error (Budget.timeout_error ~proc:fid budget)
+    | false -> Errors.catch ~where:(method_name m) f
+  in
+  match m with
+  | Original -> Ok (Layout.identity cfg)
+  | Greedy -> Errors.catch ~where:"greedy" (fun () -> Greedy.align cfg ~profile)
+  | Calder -> guard (fun () -> Calder.align p cfg ~profile)
+  | Calder_exhaustive ->
+      guard (fun () -> Calder.align_exhaustive p cfg ~profile)
+  | Tsp config -> (
+      match
+        Errors.catch ~where:"tsp" (fun () ->
+            Tsp_align.align ~config ~budget p cfg ~profile)
+      with
+      | Error e -> Error e
+      | Ok r -> (
+          match r.Tsp_align.degraded with
+          | Some (Errors.Solver_timeout t) ->
+              Error (Errors.Solver_timeout { t with proc = Some fid })
+          | Some e -> Error e
+          | None -> Ok r.Tsp_align.order))
+
+(** [align_checked ?deadline_ms ?fallback m p cfgs ~train] is the
+    production entry point: validate the CFGs and the profile, then lay
+    out every procedure under a shared wall-clock budget, degrading
+    deterministically along {!chain} when a method times out, fails or
+    produces a semantically unfaithful layout.  With [fallback] off
+    (default on), the first degradation is returned as an error instead.
+    Never raises. *)
+let align_checked ?deadline_ms ?(fallback = true) (m : method_)
+    (p : Penalties.t) (cfgs : Cfg.t array) ~(train : Ba_profile.Profile.t) :
+    (report, Errors.t) result =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    let bad = ref None in
+    Array.iteri
+      (fun fid cfg ->
+        match Cfg.validate cfg with
+        | Ok () -> ()
+        | Error reason ->
+            if !bad = None then
+              bad :=
+                Some
+                  (Errors.Invalid_cfg
+                     { proc = Some fid; name = Some cfg.Cfg.name; reason }))
+      cfgs;
+    match !bad with None -> Ok () | Some e -> Error e
+  in
+  let* () = Profile.validate cfgs train in
+  let budget = Budget.create ?deadline_ms () in
+  let fallbacks = ref [] in
+  let realize_proc fid cfg order profile =
+    let* r, pred =
+      Errors.catch ~where:"realize" (fun () ->
+          Evaluate.realize p cfg ~order ~train:profile)
+    in
+    match Layout.check_semantics cfg r with
+    | Ok () -> Ok (order, r, pred)
+    | Error reason ->
+        Error
+          (Errors.Invalid_layout
+             { proc = Some fid; name = Some cfg.Cfg.name; reason })
+  in
+  let align_one fid cfg =
+    let profile = Profile.proc train fid in
+    let rec attempt first_reason = function
+      | [] ->
+          (* unreachable: Original + a validated CFG always realizes *)
+          Error
+            (Option.value first_reason
+               ~default:
+                 (Errors.Internal
+                    { where = "align_checked"; reason = "empty method chain" }))
+      | m' :: rest -> (
+          let result =
+            let* order = try_method m' p cfg ~fid ~profile ~budget in
+            realize_proc fid cfg order profile
+          in
+          match result with
+          | Ok ok ->
+              (if m' <> m then
+                 let reason =
+                   Option.value first_reason
+                     ~default:
+                       (Errors.Internal
+                          { where = "align_checked"; reason = "unknown" })
+                 in
+                 fallbacks :=
+                   {
+                     proc = fid;
+                     proc_name = cfg.Cfg.name;
+                     requested = m;
+                     used = m';
+                     reason;
+                   }
+                   :: !fallbacks);
+              Ok ok
+          | Error e ->
+              let first_reason =
+                match first_reason with Some _ -> first_reason | None -> Some e
+              in
+              if fallback then attempt first_reason rest else Error e)
+    in
+    attempt None (chain m)
+  in
+  let n = Array.length cfgs in
+  let orders = Array.make n [||] in
+  let realized = Array.make n None in
+  let predicted = Array.make n [||] in
+  let* () =
+    let rec go fid =
+      if fid >= n then Ok ()
+      else
+        let* order, r, pred = align_one fid cfgs.(fid) in
+        orders.(fid) <- order;
+        realized.(fid) <- Some r;
+        predicted.(fid) <- pred;
+        go (fid + 1)
+    in
+    go 0
+  in
+  let realized = Array.map Option.get realized in
+  let* addr =
+    Errors.catch ~where:"addr" (fun () ->
+        Addr.build (Array.map2 (fun g r -> (g, r)) cfgs realized))
+  in
+  Ok
+    {
+      aligned = { cfgs; orders; realized; predicted; addr; method_ = m };
+      fallbacks = List.rev !fallbacks;
+    }

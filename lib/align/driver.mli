@@ -49,3 +49,39 @@ val simulate :
 
 (** Verify every realized layout is semantically faithful to its CFG. *)
 val check : aligned -> (unit, string) result
+
+(** {1 Checked alignment: validation, budgets, graceful degradation} *)
+
+(** One procedure that was degraded to a cheaper method. *)
+type fallback = {
+  proc : int;
+  proc_name : string;
+  requested : method_;
+  used : method_;
+  reason : Ba_robust.Errors.t;
+}
+
+(** A checked alignment plus the record of every degradation. *)
+type report = { aligned : aligned; fallbacks : fallback list }
+
+val pp_fallback : Format.formatter -> fallback -> unit
+
+(** The deterministic degradation chain of a method (most capable
+    first): TSP → Calder → Greedy → Original. *)
+val chain : method_ -> method_ list
+
+(** [align_checked ?deadline_ms ?fallback m p cfgs ~train] validates the
+    CFGs and the profile, then lays out every procedure under a shared
+    wall-clock budget, degrading deterministically along {!chain} when a
+    method times out, fails, or produces an unfaithful layout.  With
+    [fallback:false] the first degradation is returned as an error.
+    Never raises; every returned layout passes
+    {!Ba_cfg.Layout.check_semantics}. *)
+val align_checked :
+  ?deadline_ms:int ->
+  ?fallback:bool ->
+  method_ ->
+  Penalties.t ->
+  Cfg.t array ->
+  train:Ba_profile.Profile.t ->
+  (report, Ba_robust.Errors.t) result

@@ -21,9 +21,18 @@ type t = {
 }
 
 (** [build p cfg ~profile] constructs the DTSP instance of one
-    procedure. *)
+    procedure.
+    @raise Invalid_argument if the profile's block count disagrees with
+    the CFG (callers wanting a typed error validate first, see
+    {!Ba_profile.Profile.validate}). *)
 let build (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) : t =
   let n = Cfg.n_blocks cfg in
+  if Array.length profile.Profile.freqs <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Reduction.build(%s): profile has %d blocks, CFG has %d" cfg.Cfg.name
+         (Array.length profile.Profile.freqs)
+         n);
   let dummy = n in
   let predicted = Profile.predictions profile ~n_blocks:n in
   let block_cost i succ =

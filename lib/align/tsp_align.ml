@@ -3,14 +3,21 @@
     Build the DTSP instance of the procedure ({!Reduction}), solve it
     near-optimally — exactly (Held–Karp DP) when the instance is small,
     with iterated 3-Opt on the symmetrized instance otherwise — and read
-    the layout off the best tour. *)
+    the layout off the best tour.
+
+    The solver runs under a {!Ba_robust.Budget}: when the wall-clock
+    deadline or move allowance runs out the aligner still returns a valid
+    layout (the best one found, or the identity layout if the budget was
+    exhausted on arrival) and records the degradation reason in the
+    result, so callers can fall back to a cheaper aligner. *)
 
 open Ba_cfg
 open Ba_tsp
 module Profile = Ba_profile.Profile
+module Budget = Ba_robust.Budget
 
 type config = {
-  solver : Iterated.config;  (** iterated 3-Opt parameters *)
+  solver : Iterated.config;  (** iterated 3-Opt parameters (incl. budgets) *)
   exact_below : int;
       (** solve instances with at most this many cities (blocks + dummy)
           exactly by DP; 0 disables exact solving *)
@@ -23,27 +30,60 @@ type result = {
   cost : int;  (** DTSP walk cost = modelled penalty under the training profile *)
   exact : bool;  (** the instance was solved to proven optimality *)
   stats : Iterated.stats option;  (** heuristic solver statistics, if used *)
+  degraded : Ba_robust.Errors.t option;
+      (** why the result is weaker than requested (budget exhaustion);
+          [None] for a full-strength solve *)
 }
 
-(** [solve_instance ?config inst] solves a pre-built reduction instance
-    (lets callers time matrix construction and solving separately). *)
-let solve_instance ?(config = default) (inst : Reduction.t) : result =
-  let n_cities = inst.Reduction.dtsp.Dtsp.n in
-  if n_cities <= min config.exact_below Exact.max_n then begin
-    let tour, cost = Exact.solve inst.Reduction.dtsp in
-    let order = Reduction.order_of_tour inst tour in
-    { order; cost; exact = true; stats = None }
+let budget_of_config (config : config) =
+  Budget.create ?deadline_ms:config.solver.Iterated.deadline_ms
+    ?max_moves:config.solver.Iterated.max_moves ()
+
+(** [solve_instance ?config ?budget inst] solves a pre-built reduction
+    instance (lets callers time matrix construction and solving
+    separately).  Never raises on budget exhaustion: a valid, possibly
+    degraded layout always comes back. *)
+let solve_instance ?(config = default) ?budget (inst : Reduction.t) : result =
+  let budget =
+    match budget with Some b -> b | None -> budget_of_config config
+  in
+  if Budget.exhausted budget then begin
+    (* no budget at all: hand back the identity layout, flagged *)
+    let order = Layout.identity inst.Reduction.cfg in
+    {
+      order;
+      cost = Reduction.layout_cost inst order;
+      exact = false;
+      stats = None;
+      degraded = Some (Budget.timeout_error budget);
+    }
   end
   else begin
-    let tour, stats = Iterated.solve ~config:config.solver inst.Reduction.dtsp in
-    let order = Reduction.order_of_tour inst tour in
-    (* recompute from the layout in case the tour was degenerate *)
-    let cost = Reduction.layout_cost inst order in
-    { order; cost; exact = false; stats = Some stats }
+    let n_cities = inst.Reduction.dtsp.Dtsp.n in
+    if n_cities <= min config.exact_below Exact.max_n then begin
+      let tour, cost = Exact.solve inst.Reduction.dtsp in
+      let order = Reduction.order_of_tour inst tour in
+      { order; cost; exact = true; stats = None; degraded = None }
+    end
+    else begin
+      let tour, stats = Iterated.solve ~config:config.solver ~budget inst.Reduction.dtsp in
+      let order = Reduction.order_of_tour inst tour in
+      (* recompute from the layout in case the tour was degenerate *)
+      let cost = Reduction.layout_cost inst order in
+      {
+        order;
+        cost;
+        exact = false;
+        stats = Some stats;
+        degraded =
+          (if stats.Iterated.timed_out then Some (Budget.timeout_error budget)
+           else None);
+      }
+    end
   end
 
-(** [align ?config p cfg ~profile] aligns one procedure: build the
-    reduction instance, then solve it. *)
-let align ?config (p : Ba_machine.Penalties.t) (cfg : Cfg.t)
+(** [align ?config ?budget p cfg ~profile] aligns one procedure: build
+    the reduction instance, then solve it. *)
+let align ?config ?budget (p : Ba_machine.Penalties.t) (cfg : Cfg.t)
     ~(profile : Profile.proc) : result =
-  solve_instance ?config (Reduction.build p cfg ~profile)
+  solve_instance ?config ?budget (Reduction.build p cfg ~profile)

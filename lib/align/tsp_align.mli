@@ -1,12 +1,14 @@
 (** The paper's TSP-based branch aligner: build the DTSP instance, solve
     it (exactly on small instances, iterated 3-Opt otherwise), read the
-    layout off the best tour. *)
+    layout off the best tour.  Runs under a {!Ba_robust.Budget}: on
+    exhaustion a valid layout still comes back, with the degradation
+    reason recorded in the result. *)
 
 open Ba_cfg
 module Profile = Ba_profile.Profile
 
 type config = {
-  solver : Ba_tsp.Iterated.config;
+  solver : Ba_tsp.Iterated.config;  (** includes the solver budgets *)
   exact_below : int;
       (** solve instances with at most this many cities exactly;
           0 disables exact solving *)
@@ -19,15 +21,20 @@ type result = {
   cost : int;  (** modelled penalty under the training profile *)
   exact : bool;  (** solved to proven optimality *)
   stats : Ba_tsp.Iterated.stats option;  (** when the heuristic ran *)
+  degraded : Ba_robust.Errors.t option;
+      (** why the result is weaker than requested; [None] when full *)
 }
 
 (** Solve a pre-built reduction instance (lets callers time matrix
-    construction and solving separately). *)
-val solve_instance : ?config:config -> Reduction.t -> result
+    construction and solving separately).  Never raises on budget
+    exhaustion. *)
+val solve_instance :
+  ?config:config -> ?budget:Ba_robust.Budget.t -> Reduction.t -> result
 
 (** Align one procedure. *)
 val align :
   ?config:config ->
+  ?budget:Ba_robust.Budget.t ->
   Ba_machine.Penalties.t ->
   Cfg.t ->
   profile:Profile.proc ->

@@ -24,41 +24,69 @@ let block g l =
 (** CFG successors of block [l]. *)
 let successors g l = Block.successors (block g l)
 
+(** [check ~strict g] is the invariant checker shared by {!make} and
+    {!validate}: non-empty, entry in range, dense ids in order,
+    non-negative sizes, successors in range, and terminators consistent
+    with the successor sets {!Block.successors_of_term} derives (a
+    conditional must keep two distinct arms, an indirect branch at least
+    two targets — {!Block.make} normalizes the degenerate forms away, so
+    finding one means the block was forged).  With [strict] also requires
+    every block to be reachable from the entry. *)
+let check ~strict g =
+  let n = Array.length g.blocks in
+  let bad = ref None in
+  let fail m = if !bad = None then bad := Some m in
+  if n = 0 then fail "empty CFG";
+  if !bad = None && (g.entry < 0 || g.entry >= n) then
+    fail (Printf.sprintf "entry %d out of range" g.entry);
+  Array.iteri
+    (fun i b ->
+      if b.Block.id <> i then
+        fail (Printf.sprintf "block %d has id %d" i b.Block.id);
+      if b.Block.size < 0 then
+        fail (Printf.sprintf "block %d has negative size %d" i b.Block.size);
+      (match b.Block.term with
+      | Block.Branch { t; f } when t = f ->
+          fail (Printf.sprintf "block %d: conditional with equal arms" i)
+      | Block.Multiway ts when Array.length ts < 2 ->
+          fail (Printf.sprintf "block %d: indirect branch with <2 targets" i)
+      | _ -> ());
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then
+            fail (Printf.sprintf "block %d has successor %d out of range" i s))
+        (Block.successors b))
+    g.blocks;
+  (if strict && !bad = None then
+     let seen = Array.make n false in
+     let rec go l =
+       if not seen.(l) then begin
+         seen.(l) <- true;
+         List.iter go (Block.successors g.blocks.(l))
+       end
+     in
+     go g.entry;
+     Array.iteri
+       (fun l r ->
+         if not r then fail (Printf.sprintf "block %d unreachable from entry" l))
+       seen);
+  match !bad with Some m -> Error m | None -> Ok ()
+
 (** [make ~name ~entry blocks] builds and validates a CFG.
     @raise Invalid_argument if validation fails (see {!validate}). *)
 let make ~name ~entry blocks =
   let g = { name; entry; blocks } in
-  match
-    (let ( let* ) r f = Result.bind r f in
-     let* () =
-       if Array.length blocks = 0 then Error "empty CFG" else Ok ()
-     in
-     let* () =
-       if entry < 0 || entry >= Array.length blocks then
-         Error "entry out of range"
-       else Ok ()
-     in
-     let bad = ref None in
-     Array.iteri
-       (fun i b ->
-         if b.Block.id <> i then bad := Some (Printf.sprintf "block %d has id %d" i b.Block.id);
-         List.iter
-           (fun s ->
-             if s < 0 || s >= Array.length blocks then
-               bad := Some (Printf.sprintf "block %d has successor %d out of range" i s))
-           (Block.successors b))
-       blocks;
-     match !bad with Some m -> Error m | None -> Ok ())
-  with
+  match check ~strict:false g with
   | Ok () -> g
   | Error m -> invalid_arg (Printf.sprintf "Cfg.make(%s): %s" name m)
 
-(** [validate g] re-checks the structural invariants of [g]:
-    non-empty, entry in range, dense ids, successors in range. *)
-let validate g =
-  match make ~name:g.name ~entry:g.entry g.blocks with
-  | (_ : t) -> Ok ()
-  | exception Invalid_argument m -> Error m
+(** [validate ?strict g] re-checks the structural invariants of [g]:
+    non-empty, entry in range, dense ids, non-negative sizes, successors
+    in range, terminator/successor consistency.  [strict] additionally
+    requires every block to be reachable from the entry (unreachable
+    blocks are legal — front ends produce them — so the default is
+    lenient). *)
+let validate ?(strict = false) g = check ~strict g
 
 (** [reachable g] marks the blocks reachable from the entry. *)
 let reachable g =

@@ -22,8 +22,12 @@ val successors : t -> Block.label -> Block.label list
     @raise Invalid_argument if validation fails. *)
 val make : name:string -> entry:Block.label -> Block.t array -> t
 
-(** Re-check the structural invariants of an existing CFG. *)
-val validate : t -> (unit, string) result
+(** [validate ?strict g] re-checks the structural invariants of an
+    existing CFG: non-empty, entry in range, dense ids, non-negative
+    sizes, successors in range, terminator/successor consistency.  With
+    [strict] every block must also be reachable from the entry (the
+    default is lenient: front ends legally emit unreachable blocks). *)
+val validate : ?strict:bool -> t -> (unit, string) result
 
 (** [reachable g].(l) is true iff block [l] is reachable from the entry. *)
 val reachable : t -> bool array

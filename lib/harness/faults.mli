@@ -1,0 +1,56 @@
+(** Seeded, deterministic fault injection for the robustness suite: take
+    a valid alignment scenario and break it in one catalogued way.  The
+    fault suite asserts that every injected fault yields either a typed
+    error or a successful (possibly degraded) alignment — never an
+    uncaught exception. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+(** A complete alignment scenario. *)
+type scenario = { cfgs : Cfg.t array; profile : Profile.t }
+
+(** Faults on CFGs and profiles. *)
+type kind =
+  | Drop_profile_edge  (** forget one recorded transfer (still valid) *)
+  | Zero_count  (** a recorded count of 0 *)
+  | Negative_count  (** a recorded count below 0 *)
+  | Dangling_label  (** a destination label outside the CFG *)
+  | Non_edge  (** a destination that is no CFG successor of its source *)
+  | Permute_rows  (** rotate the per-block rows of one procedure *)
+  | Truncate_procs  (** profile for fewer procedures than the program *)
+  | Extra_proc  (** profile for more procedures than the program *)
+  | Truncate_blocks  (** one procedure's profile loses its tail blocks *)
+  | Corrupt_call_graph  (** a dynamic call naming a missing procedure *)
+  | Cfg_bad_successor  (** a block jumping outside the procedure *)
+  | Cfg_bad_entry  (** entry label out of range *)
+  | Cfg_degenerate_branch  (** a forged conditional with equal arms *)
+  | Cfg_scrambled_ids  (** block array no longer indexed by id *)
+
+(** Every scenario fault kind, in a fixed order. *)
+val all : kind list
+
+val name : kind -> string
+
+(** What the pipeline is required to do with a fault of this kind:
+    [`Must_error] faults break an invariant validation must catch,
+    [`Must_succeed] faults leave the scenario valid, [`Either] faults
+    may or may not land on an invariant depending on the seed. *)
+val expectation : kind -> [ `Must_error | `Must_succeed | `Either ]
+
+(** [inject ~seed k s] is [s] with one fault of kind [k] applied.  The
+    input scenario is not mutated.  Deterministic in [(seed, k)]. *)
+val inject : seed:int -> kind -> scenario -> scenario
+
+(** Faults on minic source text (front-end leg). *)
+type source_kind =
+  | Truncate_source  (** chop the text at a seeded offset *)
+  | Corrupt_chars  (** overwrite a few characters with junk *)
+
+val all_source : source_kind list
+val source_name : source_kind -> string
+
+(** [inject_source ~seed k src] corrupts the source text.  The result
+    may or may not still compile; the contract is only "typed error or
+    success, never an exception". *)
+val inject_source : seed:int -> source_kind -> string -> string

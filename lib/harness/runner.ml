@@ -39,6 +39,8 @@ type row = {
   tsp_cross : measurement;
   lower_bound : int;
   tsp_exact_procs : int;  (** procedures solved to proven optimality *)
+  tsp_timeouts : int;
+      (** self-trained procedures whose TSP solve hit the budget *)
   stages : Timing.stages;
 }
 
@@ -61,7 +63,7 @@ let default =
     and solving separately.  Returns the orders and how many procedures
     were solved exactly. *)
 let tsp_align_program (cfg : config) (st : Timing.stages) cfgs ~train =
-  let n_exact = ref 0 in
+  let n_exact = ref 0 and n_timeouts = ref 0 in
   let orders =
     Array.mapi
       (fun fid g ->
@@ -75,10 +77,11 @@ let tsp_align_program (cfg : config) (st : Timing.stages) cfgs ~train =
         in
         st.Timing.solve_s <- st.Timing.solve_s +. sv;
         if r.Tsp_align.exact then incr n_exact;
+        if r.Tsp_align.degraded <> None then incr n_timeouts;
         r.Tsp_align.order)
       cfgs
   in
-  (orders, !n_exact)
+  (orders, !n_exact, !n_timeouts)
 
 let realize_program (cfg : config) (st : Timing.stages) ~stage cfgs orders
     ~train =
@@ -177,7 +180,9 @@ let run_benchmark ?(config = default) (w : Workload.t)
     realize_program config st ~stage:`Greedy cfgs greedy_self_orders
       ~train:test_profile
   in
-  let tsp_self_orders, n_exact = tsp_align_program config st cfgs ~train:test_profile in
+  let tsp_self_orders, n_exact, n_timeouts =
+    tsp_align_program config st cfgs ~train:test_profile
+  in
   let tsp_self =
     realize_program config st ~stage:`Tsp cfgs tsp_self_orders ~train:test_profile
   in
@@ -185,7 +190,9 @@ let run_benchmark ?(config = default) (w : Workload.t)
     realize_program config st ~stage:`Other cfgs (greedy_orders_of cross_profile)
       ~train:cross_profile
   in
-  let tsp_cross_orders, _ = tsp_align_program config st cfgs ~train:cross_profile in
+  let tsp_cross_orders, _, _ =
+    tsp_align_program config st cfgs ~train:cross_profile
+  in
   let tsp_cross =
     realize_program config st ~stage:`Other cfgs tsp_cross_orders
       ~train:cross_profile
@@ -241,6 +248,7 @@ let run_benchmark ?(config = default) (w : Workload.t)
     tsp_cross = tsp_cross_m;
     lower_bound = bound;
     tsp_exact_procs = n_exact;
+    tsp_timeouts = n_timeouts;
     stages = st;
   }
 

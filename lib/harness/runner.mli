@@ -27,6 +27,8 @@ type row = {
   tsp_cross : measurement;
   lower_bound : int;
   tsp_exact_procs : int;  (** procedures solved to proven optimality *)
+  tsp_timeouts : int;
+      (** self-trained procedures whose TSP solve hit the budget *)
   stages : Timing.stages;
 }
 

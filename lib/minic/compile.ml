@@ -9,8 +9,12 @@ type compiled = {
 }
 
 (** [compile src] runs the whole front end.  Errors (lexing, parsing,
-    checking, lowering) are returned as human-readable strings. *)
-let compile (src : string) : (compiled, string) result =
+    checking, lowering) are returned as typed {!Ba_robust.Errors.t}
+    values naming the failing stage. *)
+let compile (src : string) : (compiled, Ba_robust.Errors.t) result =
+  let parse_error stage message =
+    Error (Ba_robust.Errors.Parse_error { stage; message })
+  in
   match
     let ast = Parser.parse src in
     Check.check ast;
@@ -20,15 +24,17 @@ let compile (src : string) : (compiled, string) result =
     { prog; cfgs; names }
   with
   | c -> Ok c
-  | exception Lexer.Error m -> Error ("lexer: " ^ m)
-  | exception Parser.Error m -> Error ("parser: " ^ m)
-  | exception Check.Error m -> Error ("check: " ^ m)
-  | exception Lower.Error m -> Error ("lower: " ^ m)
+  | exception Lexer.Error m -> parse_error "lexer" m
+  | exception Parser.Error m -> parse_error "parser" m
+  | exception Check.Error m -> parse_error "check" m
+  | exception Lower.Error m -> parse_error "lower" m
 
 (** [compile_exn src] is {!compile} but raising [Failure] on error —
     convenient for the built-in workloads, which must compile. *)
 let compile_exn src =
-  match compile src with Ok c -> c | Error m -> failwith m
+  match compile src with
+  | Ok c -> c
+  | Error e -> failwith (Ba_robust.Errors.to_string e)
 
 (** [n_blocks c] is the per-function block count array the profiler
     needs. *)

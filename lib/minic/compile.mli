@@ -7,8 +7,9 @@ type compiled = {
   names : string array;  (** function names, index = fid *)
 }
 
-(** Run the whole front end; errors become human-readable strings. *)
-val compile : string -> (compiled, string) result
+(** Run the whole front end; failures become typed
+    [Parse_error { stage; message }] values. *)
+val compile : string -> (compiled, Ba_robust.Errors.t) result
 
 (** {!compile}, raising [Failure] on error. *)
 val compile_exn : string -> compiled

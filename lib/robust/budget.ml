@@ -1,0 +1,63 @@
+(** Solver budgets: a wall-clock deadline and/or a move allowance.
+
+    A budget is created once per solve (or shared by a whole program's
+    worth of solves) and threaded down into the inner local-search loops,
+    which [spend] one unit per improving move and poll {!exhausted}
+    between moves.  An exhausted budget never aborts a solve abruptly —
+    the solver stops at the next poll and returns its best tour so far,
+    flagging the result as degraded.
+
+    [gettimeofday] is a vDSO call on every platform we target, so
+    {!exhausted} polls the clock directly rather than amortizing; move
+    spending is a plain increment. *)
+
+type t = {
+  started : float;  (** creation time, for elapsed-time reporting *)
+  deadline : float option;  (** absolute wall-clock limit *)
+  deadline_ms : int option;  (** the relative limit, for reporting *)
+  max_moves : int option;
+  mutable moves : int;
+}
+
+let create ?deadline_ms ?max_moves () =
+  let started = Unix.gettimeofday () in
+  {
+    started;
+    deadline =
+      Option.map (fun ms -> started +. (float_of_int ms /. 1000.)) deadline_ms;
+    deadline_ms;
+    max_moves;
+    moves = 0;
+  }
+
+(** A fresh budget with no limits ({!exhausted} is always false). *)
+let unlimited () = create ()
+
+(** [spend b] records one unit of solver work (an improving move). *)
+let spend b = b.moves <- b.moves + 1
+
+(** [exhausted b] is true once the deadline has passed or the move
+    allowance is used up.  A zero deadline is exhausted immediately. *)
+let exhausted b =
+  (match b.max_moves with Some m -> b.moves >= m | None -> false)
+  ||
+  match b.deadline with
+  | Some d -> Unix.gettimeofday () >= d
+  | None -> false
+
+(** Milliseconds since the budget was created. *)
+let elapsed_ms b = (Unix.gettimeofday () -. b.started) *. 1000.
+
+(** Moves spent so far. *)
+let moves b = b.moves
+
+(** [timeout_error ?proc b] is the {!Errors.Solver_timeout} value
+    describing an exhausted budget. *)
+let timeout_error ?proc b =
+  Errors.Solver_timeout
+    {
+      proc;
+      elapsed_ms = elapsed_ms b;
+      deadline_ms = b.deadline_ms;
+      moves = b.moves;
+    }

@@ -1,0 +1,29 @@
+(** Solver budgets: a wall-clock deadline and/or a move allowance,
+    threaded into the local-search loops.  Exhaustion never aborts a
+    solve — the solver stops at the next poll and returns its best tour
+    so far, flagged as degraded. *)
+
+type t
+
+(** [create ?deadline_ms ?max_moves ()] starts the clock now.  With no
+    limits the budget never exhausts; [deadline_ms = 0] is exhausted
+    immediately. *)
+val create : ?deadline_ms:int -> ?max_moves:int -> unit -> t
+
+(** A fresh budget with no limits. *)
+val unlimited : unit -> t
+
+(** Record one unit of solver work (an improving move). *)
+val spend : t -> unit
+
+(** True once the deadline has passed or the move allowance is spent. *)
+val exhausted : t -> bool
+
+(** Milliseconds since the budget was created. *)
+val elapsed_ms : t -> float
+
+(** Moves spent so far. *)
+val moves : t -> int
+
+(** The {!Errors.Solver_timeout} value describing this budget's state. *)
+val timeout_error : ?proc:int -> t -> Errors.t

@@ -16,6 +16,8 @@ type config = {
   nn_choices : int;  (** randomization width of nearest-neighbor starts *)
   greedy_skip : float;  (** skip probability of randomized greedy starts *)
   seed : int;
+  deadline_ms : int option;  (** wall-clock budget per solve; [None] = none *)
+  max_moves : int option;  (** improving-move budget per solve *)
 }
 
 let default =
@@ -27,6 +29,8 @@ let default =
     nn_choices = 3;
     greedy_skip = 0.1;
     seed = 0x5eed;
+    deadline_ms = None;
+    max_moves = None;
   }
 
 type stats = {
@@ -35,6 +39,7 @@ type stats = {
   kicks : int;  (** total kicks over all runs *)
   moves_2opt : int;
   moves_3opt : int;
+  timed_out : bool;  (** the budget ran out before the search finished *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -117,14 +122,28 @@ let brute_force (d : Dtsp.t) =
       if c1 <= c2 then (t1, c1) else (t2, c2)
   | _ -> invalid_arg "Iterated.brute_force: n > 3"
 
-(** [solve ?config d] returns the best directed tour found and solver
-    statistics.  Deterministic for a fixed [config.seed]. *)
-let solve ?(config = default) (d : Dtsp.t) : int array * stats =
+(** [solve ?config ?budget d] returns the best directed tour found and
+    solver statistics.  Deterministic for a fixed [config.seed] and
+    unlimited budget.  [budget] (defaulting to one built from the
+    config's [deadline_ms]/[max_moves]) is polled between improving
+    moves, kicks and restarts; on exhaustion the best tour found so far
+    is returned with [timed_out] set — the first (identity-start)
+    construction always completes, so a valid tour is returned even for
+    a zero budget. *)
+let solve ?(config = default) ?budget (d : Dtsp.t) : int array * stats =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+        Ba_robust.Budget.create ?deadline_ms:config.deadline_ms
+          ?max_moves:config.max_moves ()
+  in
   let n = d.Dtsp.n in
   if n <= 3 then begin
     let tour, c = brute_force d in
     ( tour,
-      { best_cost = c; runs_with_best = config.runs; kicks = 0; moves_2opt = 0; moves_3opt = 0 } )
+      { best_cost = c; runs_with_best = config.runs; kicks = 0; moves_2opt = 0;
+        moves_3opt = 0; timed_out = false } )
   end
   else begin
     let rng = Random.State.make [| config.seed; n; Dtsp.max_cost d |] in
@@ -134,10 +153,14 @@ let solve ?(config = default) (d : Dtsp.t) : int array * stats =
     let best_tour = ref None and best_cost = ref max_int in
     let runs_with_best = ref 0 in
     let total_kicks = ref 0 and m2 = ref 0 and m3 = ref 0 in
-    for run = 0 to config.runs - 1 do
+    let run = ref 0 in
+    (* run 0 (the identity start) always executes so that an exhausted
+       budget still yields a valid tour; later runs are skipped once the
+       budget runs out *)
+    while !run = 0 || (!run < config.runs && not (Ba_robust.Budget.exhausted budget)) do
       let start_directed =
-        if run = 0 then Construct.identity n
-        else if run land 1 = 1 then
+        if !run = 0 then Construct.identity n
+        else if !run land 1 = 1 then
           Construct.greedy_edge ~rng ~skip_prob:config.greedy_skip d
         else
           Construct.nearest_neighbor ~rng ~choices:config.nn_choices d
@@ -145,14 +168,16 @@ let solve ?(config = default) (d : Dtsp.t) : int array * stats =
       in
       let st = Three_opt.init s ~nbr ~tour:(Sym.expand s start_directed) in
       Three_opt.activate_all st;
-      Three_opt.run st;
+      Three_opt.run ~budget st;
       let run_best = ref (Three_opt.tour st) in
       let run_best_cost = ref (Three_opt.cost st) in
-      for _ = 1 to kicks_per_run do
+      let kick = ref 0 in
+      while !kick < kicks_per_run && not (Ba_robust.Budget.exhausted budget) do
+        incr kick;
         incr total_kicks;
         let touched = double_bridge st rng in
         List.iter (Three_opt.activate st) touched;
-        Three_opt.run st;
+        Three_opt.run ~budget st;
         let c = Three_opt.cost st in
         if c < !run_best_cost then begin
           run_best_cost := c;
@@ -168,7 +193,8 @@ let solve ?(config = default) (d : Dtsp.t) : int array * stats =
         best_tour := Some (Sym.extract s !run_best);
         runs_with_best := 1
       end
-      else if directed_cost = !best_cost then incr runs_with_best
+      else if directed_cost = !best_cost then incr runs_with_best;
+      incr run
     done;
     let tour = Option.get !best_tour in
     assert (Dtsp.tour_cost d tour = !best_cost);
@@ -179,5 +205,6 @@ let solve ?(config = default) (d : Dtsp.t) : int array * stats =
         kicks = !total_kicks;
         moves_2opt = !m2;
         moves_3opt = !m3;
+        timed_out = Ba_robust.Budget.exhausted budget;
       } )
   end

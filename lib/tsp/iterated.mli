@@ -11,6 +11,8 @@ type config = {
   nn_choices : int;  (** randomization width of NN starts *)
   greedy_skip : float;  (** skip probability of greedy starts *)
   seed : int;
+  deadline_ms : int option;  (** wall-clock budget per solve *)
+  max_moves : int option;  (** improving-move budget per solve *)
 }
 
 val default : config
@@ -21,6 +23,7 @@ type stats = {
   kicks : int;
   moves_2opt : int;
   moves_3opt : int;
+  timed_out : bool;  (** the budget ran out before the search finished *)
 }
 
 (** Overwrite a search state's tour (positions recomputed). *)
@@ -31,7 +34,12 @@ val set_tour : Three_opt.state -> int array -> unit
     degenerated and was skipped). *)
 val double_bridge : Three_opt.state -> Random.State.t -> int list
 
-(** [solve ?config d] returns the best directed tour found and solver
-    statistics.  Deterministic for a fixed seed.  Instances with n ≤ 3
-    are enumerated exactly. *)
-val solve : ?config:config -> Dtsp.t -> int array * stats
+(** [solve ?config ?budget d] returns the best directed tour found and
+    solver statistics.  Deterministic for a fixed seed and unlimited
+    budget.  Instances with n ≤ 3 are enumerated exactly.  The budget
+    (built from the config's [deadline_ms]/[max_moves] when not passed
+    explicitly) is polled between moves, kicks and restarts; on
+    exhaustion the best tour so far is returned with [timed_out] set —
+    a valid tour comes back even under a zero budget. *)
+val solve :
+  ?config:config -> ?budget:Ba_robust.Budget.t -> Dtsp.t -> int array * stats

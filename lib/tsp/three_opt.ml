@@ -236,15 +236,27 @@ let try_city st a =
 
 (** Run to local optimality: process the active queue, repeatedly
     improving around each active city until its neighborhood is
-    exhausted. *)
-let run st =
-  while not (Queue.is_empty st.queue) do
-    let a = Queue.pop st.queue in
-    st.in_queue.(a) <- false;
-    while try_city st a do
-      ()
-    done
-  done
+    exhausted.  When a [budget] is given, every improving move spends one
+    unit and the search stops at the first poll that reports exhaustion —
+    the tour is then merely locally unconverged, never invalid. *)
+let run ?budget st =
+  let exhausted () =
+    match budget with Some b -> Ba_robust.Budget.exhausted b | None -> false
+  in
+  let spend () =
+    match budget with Some b -> Ba_robust.Budget.spend b | None -> ()
+  in
+  (try
+     while not (Queue.is_empty st.queue) do
+       if exhausted () then raise_notrace Exit;
+       let a = Queue.pop st.queue in
+       st.in_queue.(a) <- false;
+       while try_city st a do
+         spend ();
+         if exhausted () then raise_notrace Exit
+       done
+     done
+   with Exit -> ())
 
 (** Current tour (copied). *)
 let tour st = Array.copy st.tour

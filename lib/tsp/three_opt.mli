@@ -27,8 +27,10 @@ val activate_all : state -> unit
     or [false] if its candidate neighborhood is exhausted. *)
 val try_city : state -> int -> bool
 
-(** Run to local optimality over the active queue. *)
-val run : state -> unit
+(** Run to local optimality over the active queue.  With a [budget],
+    each improving move spends one unit and the search stops early (tour
+    still valid) once the budget is exhausted. *)
+val run : ?budget:Ba_robust.Budget.t -> state -> unit
 
 (** Current tour (copied). *)
 val tour : state -> int array

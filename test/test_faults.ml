@@ -1,0 +1,150 @@
+(** Fault-injection suite: every catalogued fault, over many seeds, must
+    yield a typed error or a valid (possibly degraded) alignment — never
+    an uncaught exception. *)
+
+open Ba_align
+module Profile = Ba_profile.Profile
+module Faults = Ba_harness.Faults
+module Synthetic = Ba_harness.Synthetic
+module Errors = Ba_robust.Errors
+
+let penalties = Ba_machine.Penalties.alpha_21164
+
+(** A small random multi-procedure program with a matching profile. *)
+let scenario ~seed : Faults.scenario =
+  let rng = Random.State.make [| 0xFA17; seed |] in
+  let n_procs = 1 + Random.State.int rng 3 in
+  let cfgs =
+    Array.init n_procs (fun _ ->
+        Synthetic.cfg rng ~n:(2 + Random.State.int rng 10))
+  in
+  let procs =
+    Array.map
+      (fun g -> Synthetic.profile rng g ~invocations:20 ~max_steps:200)
+      cfgs
+  in
+  { Faults.cfgs; profile = { Profile.procs; calls = [] } }
+
+let tsp = Driver.Tsp Tsp_align.default
+
+let run_scenario (s : Faults.scenario) =
+  Driver.align_checked tsp penalties s.Faults.cfgs ~train:s.Faults.profile
+
+(* Every fault kind on every seed: the pipeline must match the kind's
+   declared expectation, and successful alignments must be semantically
+   faithful.  An escaping exception fails the test with the fault
+   identity in the message. *)
+let test_fault_catalogue () =
+  let seeds = List.init 8 (fun i -> i) in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun seed ->
+          let tag = Printf.sprintf "%s/seed=%d" (Faults.name kind) seed in
+          let s = Faults.inject ~seed kind (scenario ~seed) in
+          let outcome =
+            try Ok (run_scenario s)
+            with e ->
+              Error (Printf.sprintf "%s: escaped exception %s" tag
+                       (Printexc.to_string e))
+          in
+          match outcome with
+          | Error msg -> Alcotest.fail msg
+          | Ok result -> (
+              (match result with
+              | Ok report -> (
+                  match Driver.check report.Driver.aligned with
+                  | Ok () -> ()
+                  | Error m ->
+                      Alcotest.failf "%s: unfaithful layout: %s" tag m)
+              | Error _ -> ());
+              match (Faults.expectation kind, result) with
+              | `Must_error, Ok _ ->
+                  Alcotest.failf "%s: fault was not detected" tag
+              | `Must_succeed, Error e ->
+                  Alcotest.failf "%s: valid scenario rejected: %s" tag
+                    (Errors.to_string e)
+              | _ -> ()))
+        seeds)
+    Faults.all
+
+(* The unfaulted scenarios themselves must align cleanly, so a failure
+   above is attributable to the injected fault. *)
+let test_baseline_scenarios_align () =
+  for seed = 0 to 7 do
+    let s = scenario ~seed in
+    match run_scenario s with
+    | Ok _ -> ()
+    | Error e ->
+        Alcotest.failf "seed=%d: clean scenario rejected: %s" seed
+          (Errors.to_string e)
+  done
+
+(* Fault determinism: the same (seed, kind) must produce the same
+   corrupted scenario, so failures reproduce. *)
+let test_faults_deterministic () =
+  List.iter
+    (fun kind ->
+      let a = Faults.inject ~seed:3 kind (scenario ~seed:3) in
+      let b = Faults.inject ~seed:3 kind (scenario ~seed:3) in
+      Alcotest.(check bool)
+        (Faults.name kind ^ " deterministic")
+        true
+        (a.Faults.profile = b.Faults.profile
+        && a.Faults.cfgs = b.Faults.cfgs))
+    Faults.all
+
+(* Source-level faults: the minic front end must answer with Ok or a
+   typed Parse_error, never an exception. *)
+let test_source_faults () =
+  let base =
+    "fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); } \
+     fn main() { var i = 0; while (i < 8) { print(fib(i)); i = i + 1; } }"
+  in
+  List.iter
+    (fun kind ->
+      for seed = 0 to 19 do
+        let tag =
+          Printf.sprintf "%s/seed=%d" (Faults.source_name kind) seed
+        in
+        let src = Faults.inject_source ~seed kind base in
+        match Ba_minic.Compile.compile src with
+        | Ok _ -> ()
+        | Error (Errors.Parse_error _) -> ()
+        | Error e ->
+            Alcotest.failf "%s: unexpected error class: %s" tag
+              (Errors.to_string e)
+        | exception e ->
+            Alcotest.failf "%s: escaped exception %s" tag
+              (Printexc.to_string e)
+      done)
+    Faults.all_source
+
+(* The catalogue itself is part of the robustness contract. *)
+let test_catalogue_size () =
+  Alcotest.(check bool)
+    "at least 10 distinct fault kinds" true
+    (List.length Faults.all >= 10);
+  let names = List.map Faults.name Faults.all in
+  Alcotest.(check int)
+    "fault names unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "fault-injection",
+        [
+          Alcotest.test_case "catalogue has >= 10 unique kinds" `Quick
+            test_catalogue_size;
+          Alcotest.test_case "baseline scenarios align" `Quick
+            test_baseline_scenarios_align;
+          Alcotest.test_case "faults are deterministic" `Quick
+            test_faults_deterministic;
+          Alcotest.test_case "every fault: typed error or valid layout"
+            `Slow test_fault_catalogue;
+          Alcotest.test_case "source faults: Ok or Parse_error" `Quick
+            test_source_faults;
+        ] );
+    ]

@@ -66,7 +66,7 @@ let test_synthetic_instances_valid () =
       (match Ba_cfg.Cfg.validate g with
       | Ok () -> ()
       | Error m -> Alcotest.failf "%s: %s" name m);
-      match Ba_profile.Profile.validate g prof with
+      match Ba_profile.Profile.validate_proc g prof with
       | Ok () -> ()
       | Error m -> Alcotest.failf "%s profile: %s" name m)
     corpus
@@ -87,7 +87,7 @@ let test_workload_instances () =
   Alcotest.(check bool) "enough instances" true (List.length insts >= 6);
   List.iter
     (fun { Ba_harness.Synthetic.name; g; prof } ->
-      match Ba_profile.Profile.validate g prof with
+      match Ba_profile.Profile.validate_proc g prof with
       | Ok () -> ()
       | Error m -> Alcotest.failf "%s: %s" name m)
     insts

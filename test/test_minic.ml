@@ -6,12 +6,13 @@ open Ba_minic
 let compile_ok src =
   match Compile.compile src with
   | Ok c -> c
-  | Error m -> Alcotest.failf "compilation failed: %s" m
+  | Error e ->
+      Alcotest.failf "compilation failed: %s" (Ba_robust.Errors.to_string e)
 
 let compile_err src =
   match Compile.compile src with
   | Ok _ -> Alcotest.failf "compilation unexpectedly succeeded"
-  | Error m -> m
+  | Error e -> Ba_robust.Errors.to_string e
 
 let run_output ?(input = [||]) src =
   let c = compile_ok src in

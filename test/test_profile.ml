@@ -67,11 +67,11 @@ let test_prediction_tie_break () =
 let test_validate () =
   let g = diamond () in
   let prof = collect_diamond () in
-  (match Profile.validate g (Profile.proc prof 0) with
+  (match Profile.validate_proc g (Profile.proc prof 0) with
   | Ok () -> ()
   | Error m -> Alcotest.fail m);
   let bad = Profile.of_assoc ~n_blocks:5 [ (0, 3, 1) ] in
-  match Profile.validate g bad with
+  match Profile.validate_proc g bad with
   | Ok () -> Alcotest.fail "0->3 is not a CFG edge"
   | Error _ -> ()
 

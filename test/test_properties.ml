@@ -163,6 +163,79 @@ let prop_bounds_bracket_alignment =
       let hk = Ba_align.Bounds.held_karp p g ~profile:pr ~upper:tsp in
       hk <= tsp && tsp <= greedy && tsp <= calder)
 
+(* ---------------- solver robustness ---------------- *)
+
+let dtsp_of_seed ?(min_n = 5) ?(max_n = 12) seed =
+  let g = cfg_of_seed ~min_n ~max_n seed in
+  let prof =
+    Ba_profile.Profile.proc
+      (Ba_testutil.Gen.profile_of ~seed g ~invocations:12 ~max_steps:60)
+      0
+  in
+  (Ba_align.Reduction.build p g ~profile:prof).Ba_align.Reduction.dtsp
+
+(* A double-bridge kick reorders whole segments; it must never separate
+   an in-city from its locked out-city, or the tour stops encoding a
+   block order. *)
+let prop_double_bridge_preserves_locked_pairs =
+  QCheck2.Test.make ~count:60
+    ~name:"double_bridge never cuts a locked intra-pair edge" gen_seed
+    (fun seed ->
+      let d = dtsp_of_seed seed in
+      let s = Ba_tsp.Sym.of_dtsp d in
+      let nbr = Ba_tsp.Neighbors.of_sym s ~k:8 in
+      let n2 = s.Ba_tsp.Sym.nn in
+      let st =
+        Ba_tsp.Three_opt.init s ~nbr ~tour:(Array.init n2 Fun.id)
+      in
+      let rng = Random.State.make [| seed + 11 |] in
+      let ok = ref true in
+      for _ = 1 to 25 do
+        ignore (Ba_tsp.Iterated.double_bridge st rng);
+        let tour = Ba_tsp.Three_opt.tour st in
+        if not (Ba_tsp.Sym.check_alternating s tour) then ok := false;
+        (* explicit adjacency: city 2i and 2i+1 are cyclic neighbors *)
+        let pos = Array.make n2 0 in
+        Array.iteri (fun i c -> pos.(c) <- i) tour;
+        for i = 0 to (n2 / 2) - 1 do
+          let a = pos.(2 * i) and b = pos.((2 * i) + 1) in
+          let dist = (b - a + n2) mod n2 in
+          if dist <> 1 && dist <> n2 - 1 then ok := false
+        done
+      done;
+      !ok)
+
+(* Whatever the budget — zero deadline, a handful of moves, unlimited —
+   the solver must hand back a valid Hamiltonian walk whose cost is the
+   tour's true directed cost and at least the Held–Karp bound. *)
+let prop_budgeted_solve_valid =
+  QCheck2.Test.make ~count:40
+    ~name:"solve under any budget: valid tour, cost >= HK bound" gen_seed
+    (fun seed ->
+      let d = dtsp_of_seed seed in
+      let budgets =
+        [
+          Some (Ba_robust.Budget.create ~deadline_ms:0 ());
+          Some (Ba_robust.Budget.create ~max_moves:(seed mod 4) ());
+          None (* config default: unlimited *);
+        ]
+      in
+      let light =
+        { Ba_tsp.Held_karp.iterations = 400; lambda0 = 2.0; patience = 40 }
+      in
+      List.for_all
+        (fun budget ->
+          let tour, stats = Ba_tsp.Iterated.solve ?budget d in
+          Ba_tsp.Dtsp.is_tour d tour
+          && stats.Ba_tsp.Iterated.best_cost = Ba_tsp.Dtsp.tour_cost d tour
+          &&
+          let hk =
+            Ba_tsp.Held_karp.directed_bound ~config:light d
+              ~upper_bound:stats.Ba_tsp.Iterated.best_cost
+          in
+          hk <= stats.Ba_tsp.Iterated.best_cost)
+        budgets)
+
 (* ---------------- stress: large instance ---------------- *)
 
 let test_stress_large_procedure () =
@@ -218,6 +291,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_predictor_consistent;
         ] );
       ("bounds", [ QCheck_alcotest.to_alcotest prop_bounds_bracket_alignment ]);
+      ( "solver",
+        [
+          QCheck_alcotest.to_alcotest prop_double_bridge_preserves_locked_pairs;
+          QCheck_alcotest.to_alcotest prop_budgeted_solve_valid;
+        ] );
       ( "stress",
         [ Alcotest.test_case "150-block procedure" `Slow test_stress_large_procedure ] );
     ]

@@ -1,0 +1,225 @@
+(** Robustness pipeline tests: typed validation errors, solver budgets,
+    and the deterministic degradation chain. *)
+
+open Ba_align
+module Profile = Ba_profile.Profile
+module Synthetic = Ba_harness.Synthetic
+module Errors = Ba_robust.Errors
+module Budget = Ba_robust.Budget
+
+let penalties = Ba_machine.Penalties.alpha_21164
+let tsp = Driver.Tsp Tsp_align.default
+
+let program ~seed ~n_procs =
+  let rng = Random.State.make [| 0x0b0e; seed |] in
+  let cfgs =
+    Array.init n_procs (fun _ ->
+        Synthetic.cfg rng ~n:(4 + Random.State.int rng 12))
+  in
+  let procs =
+    Array.map
+      (fun g -> Synthetic.profile rng g ~invocations:25 ~max_steps:300)
+      cfgs
+  in
+  (cfgs, { Profile.procs; calls = [] })
+
+(* A profile collected from a different program must be rejected with a
+   typed error, not a crash or a silent garbage layout. *)
+let test_wrong_program_profile () =
+  let cfgs, _ = program ~seed:1 ~n_procs:3 in
+  let _, other = program ~seed:2 ~n_procs:4 in
+  (match Driver.align_checked tsp penalties cfgs ~train:other with
+  | Ok _ -> Alcotest.fail "foreign profile accepted"
+  | Error (Errors.Profile_mismatch _) -> ()
+  | Error e ->
+      Alcotest.failf "expected Profile_mismatch, got %s" (Errors.to_string e));
+  (* same procedure count but wrong shapes *)
+  let _, same_count = program ~seed:3 ~n_procs:3 in
+  match Driver.align_checked tsp penalties cfgs ~train:same_count with
+  | Ok _ -> Alcotest.fail "shape-mismatched profile accepted"
+  | Error (Errors.Profile_mismatch _) | Error (Errors.Invalid_profile _) -> ()
+  | Error e ->
+      Alcotest.failf "expected profile error, got %s" (Errors.to_string e)
+
+(* Corrupting a single count must surface as Invalid_profile naming the
+   edge, before any solver runs. *)
+let test_corrupted_profile () =
+  let cfgs, train = program ~seed:4 ~n_procs:2 in
+  let fid = ref None in
+  Array.iteri
+    (fun f p ->
+      Array.iteri
+        (fun src row ->
+          if !fid = None && Array.length row > 0 then (
+            let d, n = row.(0) in
+            row.(0) <- (d, -n);
+            fid := Some (f, src)))
+        p.Profile.freqs)
+    train.Profile.procs;
+  Alcotest.(check bool) "found an edge to corrupt" true (!fid <> None);
+  match Driver.align_checked tsp penalties cfgs ~train with
+  | Ok _ -> Alcotest.fail "negative count accepted"
+  | Error (Errors.Invalid_profile _) -> ()
+  | Error e ->
+      Alcotest.failf "expected Invalid_profile, got %s" (Errors.to_string e)
+
+(* The contract of the degradation chain: with a zero deadline the TSP
+   and Calder stages must refuse to start and every procedure must come
+   out bit-for-bit identical to the Greedy safety net, with the timeout
+   recorded as the fallback reason. *)
+let test_deadline_zero_is_greedy () =
+  let cfgs, train = program ~seed:5 ~n_procs:3 in
+  match Driver.align_checked ~deadline_ms:0 tsp penalties cfgs ~train with
+  | Error e -> Alcotest.failf "deadline 0 failed: %s" (Errors.to_string e)
+  | Ok report ->
+      Array.iteri
+        (fun fid cfg ->
+          let greedy =
+            Greedy.align cfg ~profile:(Profile.proc train fid)
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "proc %d order = greedy" fid)
+            greedy
+            report.Driver.aligned.Driver.orders.(fid))
+        cfgs;
+      Alcotest.(check int)
+        "every procedure degraded"
+        (Array.length cfgs)
+        (List.length report.Driver.fallbacks);
+      List.iter
+        (fun f ->
+          Alcotest.(check string)
+            "degraded to greedy" "greedy"
+            (Driver.method_name f.Driver.used);
+          match f.Driver.reason with
+          | Errors.Solver_timeout _ -> ()
+          | e ->
+              Alcotest.failf "expected Solver_timeout reason, got %s"
+                (Errors.to_string e))
+        report.Driver.fallbacks
+
+(* With fallback disabled, the same timeout is a hard typed error. *)
+let test_deadline_zero_no_fallback () =
+  let cfgs, train = program ~seed:5 ~n_procs:2 in
+  match
+    Driver.align_checked ~deadline_ms:0 ~fallback:false tsp penalties cfgs
+      ~train
+  with
+  | Ok _ -> Alcotest.fail "zero budget succeeded without fallback"
+  | Error (Errors.Solver_timeout _) -> ()
+  | Error e ->
+      Alcotest.failf "expected Solver_timeout, got %s" (Errors.to_string e)
+
+(* A generous deadline must not degrade anything, and the result must
+   agree with the unchecked driver. *)
+let test_generous_deadline_no_fallback () =
+  let cfgs, train = program ~seed:6 ~n_procs:2 in
+  match
+    Driver.align_checked ~deadline_ms:60_000 (Driver.Calder) penalties cfgs
+      ~train
+  with
+  | Error e -> Alcotest.failf "rejected: %s" (Errors.to_string e)
+  | Ok report ->
+      Alcotest.(check int) "no fallbacks" 0 (List.length report.Driver.fallbacks);
+      let plain = Driver.align Driver.Calder penalties cfgs ~train in
+      Array.iteri
+        (fun fid o ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "proc %d agrees with unchecked driver" fid)
+            plain.Driver.orders.(fid) o)
+        report.Driver.aligned.Driver.orders
+
+(* Budget unit semantics. *)
+let test_budget_semantics () =
+  let b = Budget.create ~deadline_ms:0 () in
+  Alcotest.(check bool) "deadline 0 exhausted at once" true (Budget.exhausted b);
+  let u = Budget.unlimited () in
+  Alcotest.(check bool) "unlimited not exhausted" false (Budget.exhausted u);
+  let m = Budget.create ~max_moves:2 () in
+  Budget.spend m;
+  Alcotest.(check bool) "one move left" false (Budget.exhausted m);
+  Budget.spend m;
+  Alcotest.(check bool) "moves exhausted" true (Budget.exhausted m);
+  match Budget.timeout_error ~proc:7 b with
+  | Errors.Solver_timeout { proc = Some 7; deadline_ms = Some 0; _ } -> ()
+  | e -> Alcotest.failf "bad timeout error: %s" (Errors.to_string e)
+
+(* Exit codes are distinct and stable: they are part of the CLI contract
+   documented in docs/ROBUSTNESS.md. *)
+let test_exit_codes_distinct () =
+  let samples =
+    [
+      Errors.Usage "x";
+      Errors.Parse_error { stage = "parser"; message = "x" };
+      Errors.Invalid_input { tokens = [ (0, "x") ] };
+      Errors.Invalid_cfg { proc = None; name = None; reason = "x" };
+      Errors.Invalid_profile { proc = None; src = None; dst = None; reason = "x" };
+      Errors.Profile_mismatch { proc = None; expected = 1; got = 2; what = "x" };
+      Errors.Solver_timeout
+        { proc = None; elapsed_ms = 0.; deadline_ms = Some 0; moves = 0 };
+      Errors.Invalid_layout { proc = None; name = None; reason = "x" };
+      Errors.Io_error { path = "x"; reason = "x" };
+      Errors.Internal { where = "x"; reason = "x" };
+    ]
+  in
+  let codes = List.map Errors.exit_code samples in
+  (* both profile error classes share code 6; all other codes are
+     pairwise distinct *)
+  Alcotest.(check int)
+    "distinct code classes"
+    (List.length codes - 1)
+    (List.length (List.sort_uniq compare codes));
+  Alcotest.(check int) "profile classes share a code"
+    (Errors.exit_code
+       (Errors.Invalid_profile
+          { proc = None; src = None; dst = None; reason = "x" }))
+    (Errors.exit_code
+       (Errors.Profile_mismatch { proc = None; expected = 1; got = 2; what = "x" }));
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "code in 2..10" true (c >= 2 && c <= 10))
+    codes
+
+(* The chain is deterministic and always ends in Original. *)
+let test_chain_shape () =
+  let check_chain m expect =
+    Alcotest.(check (list string))
+      (Driver.method_name m ^ " chain")
+      expect
+      (List.map Driver.method_name (Driver.chain m))
+  in
+  check_chain tsp [ "tsp"; "calder"; "greedy"; "original" ];
+  check_chain Driver.Calder_exhaustive
+    [ "calder-exhaustive"; "calder"; "greedy"; "original" ];
+  check_chain Driver.Calder [ "calder"; "greedy"; "original" ];
+  check_chain Driver.Greedy [ "greedy"; "original" ];
+  check_chain Driver.Original [ "original" ]
+
+let () =
+  Alcotest.run "robust"
+    [
+      ( "validation",
+        [
+          Alcotest.test_case "wrong-program profile rejected" `Quick
+            test_wrong_program_profile;
+          Alcotest.test_case "corrupted profile rejected" `Quick
+            test_corrupted_profile;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "deadline 0 degrades to greedy bit-for-bit"
+            `Quick test_deadline_zero_is_greedy;
+          Alcotest.test_case "deadline 0 without fallback errors" `Quick
+            test_deadline_zero_no_fallback;
+          Alcotest.test_case "generous deadline never degrades" `Quick
+            test_generous_deadline_no_fallback;
+          Alcotest.test_case "budget unit semantics" `Quick
+            test_budget_semantics;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "exit codes distinct and documented" `Quick
+            test_exit_codes_distinct;
+          Alcotest.test_case "degradation chains" `Quick test_chain_shape;
+        ] );
+    ]

@@ -313,7 +313,7 @@ let test_profiles_touch_sites () =
           Array.iteri
             (fun fid g ->
               let p = Ba_profile.Profile.proc prof fid in
-              (match Ba_profile.Profile.validate g p with
+              (match Ba_profile.Profile.validate_proc g p with
               | Ok () -> ()
               | Error m -> Alcotest.failf "%s: %s" w.W.name m);
               touched := !touched + Ba_profile.Profile.branch_sites_touched g p;
