@@ -2,8 +2,9 @@
 
 DUNE ?= dune
 BALIGN = $(DUNE) exec --no-print-directory bin/balign.exe --
+BENCH = $(DUNE) exec --no-print-directory bench/main.exe --
 
-.PHONY: all build test check smoke report clean
+.PHONY: all build test check check-par smoke report clean
 
 all: build
 
@@ -40,6 +41,35 @@ smoke: build
 	  fi; \
 	  echo "smoke ok  : balign $$cmd -> exit $$got"; \
 	done
+
+# Parallel determinism gate: the full test suite, then the bench
+# summary + CSV export at --jobs 1 vs a real domain pool (at least 4
+# domains, so the pool is exercised even on small CI boxes).  Stdout
+# and the deterministic CSVs (spec92/spec95/appendix — everything but
+# the timing files) must be byte-identical; the wall-clock ratio of the
+# two runs is reported as the parallel speedup.
+check-par: build test
+	@tmp=$$(mktemp -d); trap 'rm -rf '"$$tmp" EXIT; \
+	j=$$(nproc 2>/dev/null || echo 4); [ "$$j" -lt 4 ] && j=4; \
+	echo "check-par: bench summary+csv at --jobs 1..."; \
+	s1=$$(date +%s%N); \
+	$(BENCH) summary csv --jobs 1 > $$tmp/out.1 2> $$tmp/err.1; \
+	e1=$$(date +%s%N); \
+	mkdir -p $$tmp/csv.1 $$tmp/csv.max; \
+	cp results/spec92.csv results/spec95.csv results/appendix.csv $$tmp/csv.1/; \
+	echo "check-par: bench summary+csv at --jobs $$j..."; \
+	s2=$$(date +%s%N); \
+	$(BENCH) summary csv --jobs $$j > $$tmp/out.max 2> $$tmp/err.max; \
+	e2=$$(date +%s%N); \
+	cp results/spec92.csv results/spec95.csv results/appendix.csv $$tmp/csv.max/; \
+	diff -u $$tmp/out.1 $$tmp/out.max \
+	  || { echo "check-par FAIL: stdout differs across job counts"; exit 1; }; \
+	diff -ur $$tmp/csv.1 $$tmp/csv.max \
+	  || { echo "check-par FAIL: deterministic CSVs differ across job counts"; exit 1; }; \
+	sed -n 's/^/  /p' $$tmp/err.1 $$tmp/err.max | grep wall-clock || true; \
+	awk -v a=$$((e1-s1)) -v b=$$((e2-s2)) 'BEGIN { \
+	  printf "check-par ok: output identical; wall-clock %.1fs -> %.1fs (speedup x%.2f)\n", \
+	    a/1e9, b/1e9, a/b }'
 
 report:
 	$(DUNE) exec bench/main.exe

@@ -4,16 +4,49 @@
    stages — one per table/figure target.
 
    Usage:
-     dune exec bench/main.exe                  # everything
-     dune exec bench/main.exe -- table1 fig2   # selected sections
+     dune exec bench/main.exe                       # everything
+     dune exec bench/main.exe -- table1 fig2        # selected sections
+     dune exec bench/main.exe -- --jobs 4 summary   # 4-domain pool
+     dune exec bench/main.exe -- --jobs max csv     # recommended_domain_count
    Sections: table1 table2 table3 table4 fig2 fig3 appendix summary
-             spec95 dynamic procorder btfnt replication ablation micro csv *)
+             spec95 dynamic procorder btfnt replication ablation micro csv
 
-let wanted =
-  let args = Array.to_list Sys.argv |> List.tl in
-  fun name -> args = [] || List.mem name args
+   Tables and CSV measurements go to stdout / results/ and are
+   bit-identical at any --jobs value; progress and wall-clock chatter
+   (inherently run-dependent) go to stderr. *)
 
+module Executor = Ba_engine.Executor
+
+let jobs, sections =
+  let jobs_of s =
+    if s = "max" then Executor.default_jobs ()
+    else
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ ->
+          Fmt.epr "bench: bad --jobs value %S (want a positive int or max)@." s;
+          exit 2
+  in
+  let rec parse jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | "--jobs" :: v :: rest -> parse (jobs_of v) acc rest
+    | [ "--jobs" ] ->
+        Fmt.epr "bench: --jobs needs a value@.";
+        exit 2
+    | arg :: rest when String.starts_with ~prefix:"--jobs=" arg ->
+        parse
+          (jobs_of (String.sub arg 7 (String.length arg - 7)))
+          acc rest
+    | arg :: rest -> parse jobs (arg :: acc) rest
+  in
+  parse 1 [] (List.tl (Array.to_list Sys.argv))
+
+let executor = Executor.of_jobs jobs
+let wanted name = sections = [] || List.mem name sections
 let ppf = Fmt.stdout
+
+(* progress and timing chatter: run-dependent, so stderr only *)
+let eppf = Fmt.stderr
 
 (* ------------------------------------------------------------------ *)
 (* Experiment sections                                                  *)
@@ -25,9 +58,12 @@ let need_rows =
 
 let rows =
   if need_rows then begin
-    Fmt.pf ppf "running the full experiment suite (6 benchmarks x 2 data sets)...@.";
-    let rows, t = Ba_harness.Timing.time (fun () -> Ba_harness.Runner.run_all ()) in
-    Fmt.pf ppf "experiments done in %.1fs@." t;
+    Fmt.pf eppf "running the full experiment suite (6 benchmarks x 2 data sets, jobs=%d)...@." jobs;
+    let rows, t =
+      Ba_harness.Timing.time (fun () -> Ba_harness.Runner.run_all ~executor ())
+    in
+    (* the wall-clock line BENCH_*.json tracks for the parallel win *)
+    Fmt.pf eppf "suite wall-clock: %.2fs at jobs=%d@." t jobs;
     rows
   end
   else []
@@ -135,11 +171,17 @@ let () =
 
 let () =
   if wanted "spec95" then begin
-    Fmt.pf ppf
-      "@.running the SPEC95-style extension suite (5 benchmarks x 2 data sets)...@.";
-    let rows95 =
-      Ba_harness.Runner.run_all ~workloads:Ba_workloads.Workload95.all ()
+    Fmt.pf eppf
+      "running the SPEC95-style extension suite (5 benchmarks x 2 data sets, \
+       jobs=%d)...@."
+      jobs;
+    let rows95, t95 =
+      Ba_harness.Timing.time (fun () ->
+          Ba_harness.Runner.run_all ~executor
+            ~workloads:Ba_workloads.Workload95.all ())
     in
+    Fmt.pf eppf "spec95 wall-clock: %.2fs at jobs=%d@." t95 jobs;
+    Fmt.pf ppf "@.";
     Ba_harness.Tables.table1 ppf rows95;
     Ba_harness.Tables.table4 ppf rows95;
     Ba_harness.Tables.fig2_penalties ppf rows95;
@@ -163,10 +205,14 @@ let () =
 
 let () =
   if wanted "csv" then begin
-    Fmt.pf ppf "@.exporting CSV results...@.";
-    let rows = if rows <> [] then rows else Ba_harness.Runner.run_all () in
+    Fmt.pf eppf "exporting CSV results (jobs=%d)...@." jobs;
+    Fmt.pf ppf "@.";
+    let rows =
+      if rows <> [] then rows else Ba_harness.Runner.run_all ~executor ()
+    in
     let rows95 =
-      Ba_harness.Runner.run_all ~workloads:Ba_workloads.Workload95.all ()
+      Ba_harness.Runner.run_all ~executor
+        ~workloads:Ba_workloads.Workload95.all ()
     in
     let appendix =
       Ba_harness.Appendix.study
@@ -177,7 +223,11 @@ let () =
       Ba_harness.Csv.export ~dir:"results" ~rows ~rows95
         ~appendix:(Some appendix)
     in
-    List.iter (fun p -> Fmt.pf ppf "wrote %s@." p) paths
+    List.iter (fun p -> Fmt.pf ppf "wrote %s@." p) paths;
+    (* run-dependent timing CSVs: paths to stderr so stdout stays
+       byte-identical across job counts *)
+    let tpaths = Ba_harness.Csv.export_timings ~dir:"results" ~rows ~rows95 in
+    List.iter (fun p -> Fmt.pf eppf "wrote %s@." p) tpaths
   end
 
 (* ------------------------------------------------------------------ *)

@@ -16,6 +16,7 @@
 
 open Cmdliner
 module Errors = Ba_robust.Errors
+module Executor = Ba_engine.Executor
 
 let penalties = Ba_machine.Penalties.alpha_21164
 let ( let* ) r f = Result.bind r f
@@ -101,6 +102,23 @@ let deadline_opt =
   Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
          ~doc:"wall-clock solver budget in milliseconds; 0 degrades \
                immediately to the greedy fallback")
+
+let jobs_conv : int Arg.conv =
+  let parse = function
+    | "max" -> Ok (Executor.default_jobs ())
+    | s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | _ -> Error (`Msg "JOBS must be a positive integer or 'max'"))
+  in
+  Arg.conv (parse, Fmt.int)
+
+let jobs_opt =
+  Arg.(value & opt jobs_conv 1
+       & info [ "j"; "jobs" ] ~docv:"JOBS"
+           ~doc:"run per-procedure work on $(docv) domains (a positive \
+                 integer, or $(b,max) for the recommended domain count). \
+                 Output is bit-identical at any value.")
 
 let fallback_opt =
   Arg.(value
@@ -208,22 +226,23 @@ let method_opt =
            ~doc:"original | greedy | calder | calder-exhaustive | tsp")
 
 let align_cmd =
-  let run file input input_file m deadline_ms fallback =
+  let run file input input_file m deadline_ms fallback jobs =
+    let executor = Executor.of_jobs jobs in
     let* c = load_program file in
     let* inp = load_input ~input ~input_file in
     let prof = Ba_minic.Compile.profile c ~input:inp in
     let cfgs = c.Ba_minic.Compile.cfgs in
     let* report =
-      Ba_align.Driver.align_checked ?deadline_ms ~fallback m penalties cfgs
-        ~train:prof
+      Ba_align.Driver.align_checked ~executor ?deadline_ms ~fallback m
+        penalties cfgs ~train:prof
     in
     let aligned = report.Ba_align.Driver.aligned in
     List.iter
       (fun f -> Fmt.pr "fallback: %a@." Ba_align.Driver.pp_fallback f)
       report.Ba_align.Driver.fallbacks;
     let* orig =
-      Ba_align.Driver.align_checked Ba_align.Driver.Original penalties cfgs
-        ~train:prof
+      Ba_align.Driver.align_checked ~executor Ba_align.Driver.Original
+        penalties cfgs ~train:prof
     in
     let orig = orig.Ba_align.Driver.aligned in
     let before = Ba_align.Driver.analytic_penalty penalties orig ~test:prof in
@@ -245,9 +264,10 @@ let align_cmd =
     Ok ()
   in
   cmd "align" ~doc:"align a program and report penalty and cycle changes"
-    Term.(const (fun file i f m d fb -> run_term (fun () -> run file i f m d fb))
+    Term.(const (fun file i f m d fb j ->
+              run_term (fun () -> run file i f m d fb j))
           $ file_arg $ input_opt $ input_file_opt $ method_opt $ deadline_opt
-          $ fallback_opt)
+          $ fallback_opt $ jobs_opt)
 
 (* ---------------- evaluate (cross-validation) ---------------- *)
 
@@ -324,7 +344,7 @@ let bounds_cmd =
 (* ---------------- bench ---------------- *)
 
 let bench_cmd =
-  let run name deadline_ms fallback =
+  let run name deadline_ms fallback jobs =
     let find name =
       List.find_opt
         (fun w -> w.Ba_workloads.Workload.name = name)
@@ -355,9 +375,8 @@ let bench_cmd =
           }
         in
         let rows =
-          List.map
-            (fun ds -> Ba_harness.Runner.run_benchmark ~config w ~test:ds)
-            (Ba_workloads.Workload.dataset_list w)
+          Ba_harness.Runner.run_all ~config
+            ~executor:(Executor.of_jobs jobs) ~workloads:[ w ] ()
         in
         let timeouts =
           List.fold_left
@@ -395,8 +414,8 @@ let bench_cmd =
            ~doc:"benchmark short name (spec92: com dod eqn esp su2 xli; spec95: m88 ijp prl vor go)")
   in
   cmd "bench" ~doc:"run the paper's experiment for one built-in benchmark"
-    Term.(const (fun n d fb -> run_term (fun () -> run n d fb))
-          $ bench_name $ deadline_opt $ fallback_opt)
+    Term.(const (fun n d fb j -> run_term (fun () -> run n d fb j))
+          $ bench_name $ deadline_opt $ fallback_opt $ jobs_opt)
 
 (* ---------------- report ---------------- *)
 
@@ -404,7 +423,7 @@ let report_cmd =
   let known =
     [ "table1"; "table2"; "table3"; "table4"; "fig2"; "fig3"; "summary" ]
   in
-  let run sections =
+  let run sections jobs =
     let* () =
       match List.filter (fun s -> not (List.mem s known)) sections with
       | [] -> Ok ()
@@ -415,7 +434,9 @@ let report_cmd =
                   (String.concat ", " bad)
                   (String.concat ", " known)))
     in
-    let rows = Ba_harness.Runner.run_all () in
+    let rows =
+      Ba_harness.Runner.run_all ~executor:(Executor.of_jobs jobs) ()
+    in
     let want s = sections = [] || List.mem s sections in
     if want "table1" then Ba_harness.Tables.table1 Fmt.stdout rows;
     if want "table2" then Ba_harness.Tables.table2 Fmt.stdout rows;
@@ -437,7 +458,7 @@ let report_cmd =
            ~doc:"table1 table2 table3 table4 fig2 fig3 summary (default: all)")
   in
   cmd "report" ~doc:"print the paper's tables and figures"
-    Term.(const (fun s -> run_term (fun () -> run s)) $ sections)
+    Term.(const (fun s j -> run_term (fun () -> run s j)) $ sections $ jobs_opt)
 
 (* ---------------- main ---------------- *)
 

@@ -4,11 +4,21 @@
     layout per procedure with the chosen method, realize the layouts
     against the training profile, and expose analytic evaluation and
     full-machine simulation (penalties + I-cache + cycles) against any
-    testing workload. *)
+    testing workload.
+
+    Every procedure is an independent DTSP instance, so whole-program
+    alignment is a fan-out of {!Ba_engine.Task} values over a pluggable
+    {!Ba_engine.Executor} — sequential by default, or a fixed OCaml 5
+    domain pool.  Each task owns its RNG (derived from the solver seed
+    and the procedure index) and mutates nothing shared, so the aligned
+    program is bit-identical at any job count (see
+    docs/ARCHITECTURE.md for the exact invariants). *)
 
 open Ba_cfg
 open Ba_machine
 module Profile = Ba_profile.Profile
+module Executor = Ba_engine.Executor
+module Task = Ba_engine.Task
 
 (** Alignment method. *)
 type method_ =
@@ -25,6 +35,12 @@ let method_name = function
   | Calder_exhaustive -> "calder-exhaustive"
   | Tsp _ -> "tsp"
 
+(** The pipeline seed tasks derive their RNGs from: the solver seed for
+    TSP runs (the only randomized method), 0 otherwise. *)
+let method_seed = function
+  | Tsp config -> config.Tsp_align.solver.Ba_tsp.Iterated.seed
+  | Original | Greedy | Calder | Calder_exhaustive -> 0
+
 (** A fully aligned and realized program. *)
 type aligned = {
   cfgs : Cfg.t array;
@@ -35,40 +51,50 @@ type aligned = {
   method_ : method_;
 }
 
-(** [align_proc method_ p cfg ~profile] lays out one procedure. *)
-let align_proc (m : method_) (p : Penalties.t) (cfg : Cfg.t)
+(** [align_proc ?rng method_ p cfg ~profile] lays out one procedure.
+    [rng] is the enclosing task's stream; only the TSP solver draws
+    from it. *)
+let align_proc ?rng (m : method_) (p : Penalties.t) (cfg : Cfg.t)
     ~(profile : Profile.proc) : Layout.order =
   match m with
   | Original -> Layout.identity cfg
   | Greedy -> Greedy.align cfg ~profile
   | Calder -> Calder.align p cfg ~profile
   | Calder_exhaustive -> Calder.align_exhaustive p cfg ~profile
-  | Tsp config -> (Tsp_align.align ~config p cfg ~profile).Tsp_align.order
+  | Tsp config -> (Tsp_align.align ~config ?rng p cfg ~profile).Tsp_align.order
 
-(** [align m p cfgs ~train] aligns a whole program with method [m],
-    realizing every layout against the training profile. *)
-let align (m : method_) (p : Penalties.t) (cfgs : Cfg.t array)
-    ~(train : Ba_profile.Profile.t) : aligned =
-  let orders =
-    Array.mapi
-      (fun fid cfg -> align_proc m p cfg ~profile:(Profile.proc train fid))
-      cfgs
-  in
-  let realized = Array.make (Array.length cfgs) None in
-  let predicted =
-    Array.mapi
-      (fun fid cfg ->
-        let r, pred =
-          Evaluate.realize p cfg ~order:orders.(fid)
-            ~train:(Profile.proc train fid)
-        in
-        realized.(fid) <- Some r;
-        pred)
-      cfgs
-  in
-  let realized = Array.map Option.get realized in
+(** Merge per-procedure task values (already in procedure order) and
+    assemble the program: addresses are laid out sequentially because
+    each procedure's base depends on every predecessor's size. *)
+let assemble (m : method_) (cfgs : Cfg.t array) parts : aligned =
+  let orders = Array.map (fun (o, _, _) -> o) parts in
+  let realized = Array.map (fun (_, r, _) -> r) parts in
+  let predicted = Array.map (fun (_, _, p) -> p) parts in
   let addr = Addr.build (Array.map2 (fun g r -> (g, r)) cfgs realized) in
   { cfgs; orders; realized; predicted; addr; method_ = m }
+
+(** [align ?executor m p cfgs ~train] aligns a whole program with method
+    [m], realizing every layout against the training profile.  One task
+    per procedure; the result does not depend on the executor. *)
+let align ?(executor = Executor.Seq) (m : method_) (p : Penalties.t)
+    (cfgs : Cfg.t array) ~(train : Ba_profile.Profile.t) : aligned =
+  let task fid cfg =
+    Task.make ~id:fid ~label:cfg.Cfg.name (fun ctx ->
+        let profile = Profile.proc train fid in
+        let order =
+          Task.staged ctx Task.Solve (fun () ->
+              align_proc ~rng:(Task.rng ctx) m p cfg ~profile)
+        in
+        let r, pred =
+          Task.staged ctx Task.Realize (fun () ->
+              Evaluate.realize p cfg ~order ~train:profile)
+        in
+        (order, r, pred))
+  in
+  let outcomes =
+    Task.run_all ~seed:(method_seed m) executor (Array.mapi task cfgs)
+  in
+  assemble m cfgs (Array.map (fun o -> o.Task.value) outcomes)
 
 (** [analytic_penalty p a ~test] is the modelled control penalty of the
     aligned program when executed on the [test] workload's profile. *)
@@ -158,7 +184,7 @@ let chain = function
 (** Attempt one method on one procedure under the shared budget.
     Methods that do real search (TSP, the Calder variants) refuse to
     start on an exhausted budget; Greedy and Original always run. *)
-let try_method (m : method_) (p : Penalties.t) (cfg : Cfg.t) ~fid
+let try_method ?rng (m : method_) (p : Penalties.t) (cfg : Cfg.t) ~fid
     ~(profile : Profile.proc) ~(budget : Budget.t) :
     (Layout.order, Errors.t) result =
   let guard f =
@@ -175,7 +201,7 @@ let try_method (m : method_) (p : Penalties.t) (cfg : Cfg.t) ~fid
   | Tsp config -> (
       match
         Errors.catch ~where:"tsp" (fun () ->
-            Tsp_align.align ~config ~budget p cfg ~profile)
+            Tsp_align.align ~config ?rng ~budget p cfg ~profile)
       with
       | Error e -> Error e
       | Ok r -> (
@@ -185,16 +211,32 @@ let try_method (m : method_) (p : Penalties.t) (cfg : Cfg.t) ~fid
           | Some e -> Error e
           | None -> Ok r.Tsp_align.order))
 
-(** [align_checked ?deadline_ms ?fallback m p cfgs ~train] is the
-    production entry point: validate the CFGs and the profile, then lay
-    out every procedure under a shared wall-clock budget, degrading
+(** What one checked per-procedure task yields: the realized layout
+    plus the degradation that produced it, if any. *)
+type checked_proc = {
+  c_order : Layout.order;
+  c_realized : Layout.realized;
+  c_predicted : int option array;
+  c_fallback : fallback option;
+}
+
+(** [align_checked ?executor ?deadline_ms ?fallback m p cfgs ~train] is
+    the production entry point: validate the CFGs and the profile, then
+    lay out every procedure under a shared wall-clock budget, degrading
     deterministically along {!chain} when a method times out, fails or
-    produces a semantically unfaithful layout.  With [fallback] off
-    (default on), the first degradation is returned as an error instead.
-    Never raises. *)
-let align_checked ?deadline_ms ?(fallback = true) (m : method_)
-    (p : Penalties.t) (cfgs : Cfg.t array) ~(train : Ba_profile.Profile.t) :
-    (report, Errors.t) result =
+    produces a semantically unfaithful layout.  Degradation is
+    {e per-task}: one procedure falling back never aborts or degrades
+    its siblings.  With [fallback] off (default on), the first
+    degradation (lowest procedure index) is returned as an error
+    instead.  Never raises.
+
+    Under [executor = Pool _] all procedures are attempted even when an
+    early one fails; the reported error is still the lowest-index one,
+    so the returned value matches the sequential run whenever the
+    budget does not expire mid-run (see docs/ARCHITECTURE.md). *)
+let align_checked ?(executor = Executor.Seq) ?deadline_ms ?(fallback = true)
+    (m : method_) (p : Penalties.t) (cfgs : Cfg.t array)
+    ~(train : Ba_profile.Profile.t) : (report, Errors.t) result =
   let ( let* ) r f = Result.bind r f in
   let* () =
     let bad = ref None in
@@ -213,7 +255,6 @@ let align_checked ?deadline_ms ?(fallback = true) (m : method_)
   in
   let* () = Profile.validate cfgs train in
   let budget = Budget.create ?deadline_ms () in
-  let fallbacks = ref [] in
   let realize_proc fid cfg order profile =
     let* r, pred =
       Errors.catch ~where:"realize" (fun () ->
@@ -226,8 +267,11 @@ let align_checked ?deadline_ms ?(fallback = true) (m : method_)
           (Errors.Invalid_layout
              { proc = Some fid; name = Some cfg.Cfg.name; reason })
   in
-  let align_one fid cfg =
+  (* one task per procedure; the whole fallback chain runs inside the
+     task, so degradation is per-procedure and never global *)
+  let align_one ctx fid cfg : (checked_proc, Errors.t) result =
     let profile = Profile.proc train fid in
+    let rng = Task.rng ctx in
     let rec attempt first_reason = function
       | [] ->
           (* unreachable: Original + a validated CFG always realizes *)
@@ -238,28 +282,40 @@ let align_checked ?deadline_ms ?(fallback = true) (m : method_)
                     { where = "align_checked"; reason = "empty method chain" }))
       | m' :: rest -> (
           let result =
-            let* order = try_method m' p cfg ~fid ~profile ~budget in
-            realize_proc fid cfg order profile
+            let* order =
+              Task.staged ctx Task.Solve (fun () ->
+                  try_method ~rng m' p cfg ~fid ~profile ~budget)
+            in
+            Task.staged ctx Task.Verify (fun () ->
+                realize_proc fid cfg order profile)
           in
           match result with
-          | Ok ok ->
-              (if m' <> m then
-                 let reason =
-                   Option.value first_reason
-                     ~default:
-                       (Errors.Internal
-                          { where = "align_checked"; reason = "unknown" })
-                 in
-                 fallbacks :=
-                   {
-                     proc = fid;
-                     proc_name = cfg.Cfg.name;
-                     requested = m;
-                     used = m';
-                     reason;
-                   }
-                   :: !fallbacks);
-              Ok ok
+          | Ok (order, r, pred) ->
+              let fb =
+                if m' = m then None
+                else
+                  let reason =
+                    Option.value first_reason
+                      ~default:
+                        (Errors.Internal
+                           { where = "align_checked"; reason = "unknown" })
+                  in
+                  Some
+                    {
+                      proc = fid;
+                      proc_name = cfg.Cfg.name;
+                      requested = m;
+                      used = m';
+                      reason;
+                    }
+              in
+              Ok
+                {
+                  c_order = order;
+                  c_realized = r;
+                  c_predicted = pred;
+                  c_fallback = fb;
+                }
           | Error e ->
               let first_reason =
                 match first_reason with Some _ -> first_reason | None -> Some e
@@ -268,29 +324,42 @@ let align_checked ?deadline_ms ?(fallback = true) (m : method_)
     in
     attempt None (chain m)
   in
-  let n = Array.length cfgs in
-  let orders = Array.make n [||] in
-  let realized = Array.make n None in
-  let predicted = Array.make n [||] in
-  let* () =
-    let rec go fid =
-      if fid >= n then Ok ()
-      else
-        let* order, r, pred = align_one fid cfgs.(fid) in
-        orders.(fid) <- order;
-        realized.(fid) <- Some r;
-        predicted.(fid) <- pred;
-        go (fid + 1)
-    in
-    go 0
+  let tasks =
+    Array.mapi
+      (fun fid cfg ->
+        Task.make ~id:fid ~label:cfg.Cfg.name (fun ctx ->
+            align_one ctx fid cfg))
+      cfgs
   in
-  let realized = Array.map Option.get realized in
+  let outcomes = Task.run_all ~seed:(method_seed m) executor tasks in
+  (* deterministic merge: procedure order; the first error by index is
+     the one a sequential run would have stopped at *)
+  let* parts =
+    Array.fold_right
+      (fun o acc ->
+        let* part = o.Task.value in
+        let* acc = acc in
+        Ok (part :: acc))
+      outcomes (Ok [])
+  in
+  let parts = Array.of_list parts in
   let* addr =
     Errors.catch ~where:"addr" (fun () ->
-        Addr.build (Array.map2 (fun g r -> (g, r)) cfgs realized))
+        Addr.build
+          (Array.map2 (fun g part -> (g, part.c_realized)) cfgs parts))
   in
   Ok
     {
-      aligned = { cfgs; orders; realized; predicted; addr; method_ = m };
-      fallbacks = List.rev !fallbacks;
+      aligned =
+        {
+          cfgs;
+          orders = Array.map (fun part -> part.c_order) parts;
+          realized = Array.map (fun part -> part.c_realized) parts;
+          predicted = Array.map (fun part -> part.c_predicted) parts;
+          addr;
+          method_ = m;
+        };
+      fallbacks =
+        Array.to_list parts
+        |> List.filter_map (fun part -> part.c_fallback);
     }

@@ -1,6 +1,12 @@
 (** Whole-program alignment driver: pick a layout per procedure, realize
     against the training profile, evaluate analytically or simulate on
-    the full machine model. *)
+    the full machine model.
+
+    Per-procedure work is expressed as {!Ba_engine.Task} values run
+    under a pluggable {!Ba_engine.Executor} — [Seq] by default, or a
+    fixed OCaml 5 domain pool — with output bit-identical at any job
+    count (deterministic merge by procedure index, per-task RNGs; see
+    docs/ARCHITECTURE.md). *)
 
 open Ba_cfg
 open Ba_machine
@@ -16,6 +22,10 @@ type method_ =
 
 val method_name : method_ -> string
 
+(** The pipeline seed per-task RNGs are derived from (the solver seed
+    for TSP, 0 for the deterministic methods). *)
+val method_seed : method_ -> int
+
 (** A fully aligned and realized program. *)
 type aligned = {
   cfgs : Cfg.t array;
@@ -26,13 +36,26 @@ type aligned = {
   method_ : method_;
 }
 
-(** Lay out one procedure. *)
+(** Lay out one procedure.  [rng] is the enclosing task's stream; only
+    the TSP solver draws from it. *)
 val align_proc :
-  method_ -> Penalties.t -> Cfg.t -> profile:Profile.proc -> Layout.order
+  ?rng:Random.State.t ->
+  method_ ->
+  Penalties.t ->
+  Cfg.t ->
+  profile:Profile.proc ->
+  Layout.order
 
-(** Align a whole program. *)
+(** Align a whole program: one task per procedure, run under
+    [executor] (default [Seq]).  The result does not depend on the
+    executor. *)
 val align :
-  method_ -> Penalties.t -> Cfg.t array -> train:Ba_profile.Profile.t -> aligned
+  ?executor:Ba_engine.Executor.t ->
+  method_ ->
+  Penalties.t ->
+  Cfg.t array ->
+  train:Ba_profile.Profile.t ->
+  aligned
 
 (** Modelled control penalty on the [test] workload's profile. *)
 val analytic_penalty :
@@ -70,14 +93,20 @@ val pp_fallback : Format.formatter -> fallback -> unit
     first): TSP → Calder → Greedy → Original. *)
 val chain : method_ -> method_ list
 
-(** [align_checked ?deadline_ms ?fallback m p cfgs ~train] validates the
-    CFGs and the profile, then lays out every procedure under a shared
-    wall-clock budget, degrading deterministically along {!chain} when a
-    method times out, fails, or produces an unfaithful layout.  With
-    [fallback:false] the first degradation is returned as an error.
-    Never raises; every returned layout passes
-    {!Ba_cfg.Layout.check_semantics}. *)
+(** [align_checked ?executor ?deadline_ms ?fallback m p cfgs ~train]
+    validates the CFGs and the profile, then lays out every procedure
+    under a shared wall-clock budget, degrading deterministically along
+    {!chain} when a method times out, fails, or produces an unfaithful
+    layout.  Degradation is per-task: one procedure falling back never
+    degrades its siblings.  With [fallback:false] the first degradation
+    (lowest procedure index) is returned as an error.  Never raises;
+    every returned layout passes {!Ba_cfg.Layout.check_semantics}.
+
+    The returned value is independent of the executor whenever the
+    budget does not expire mid-run (unlimited or already-exhausted
+    budgets; see docs/ARCHITECTURE.md). *)
 val align_checked :
+  ?executor:Ba_engine.Executor.t ->
   ?deadline_ms:int ->
   ?fallback:bool ->
   method_ ->

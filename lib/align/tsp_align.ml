@@ -39,11 +39,15 @@ let budget_of_config (config : config) =
   Budget.create ?deadline_ms:config.solver.Iterated.deadline_ms
     ?max_moves:config.solver.Iterated.max_moves ()
 
-(** [solve_instance ?config ?budget inst] solves a pre-built reduction
-    instance (lets callers time matrix construction and solving
-    separately).  Never raises on budget exhaustion: a valid, possibly
-    degraded layout always comes back. *)
-let solve_instance ?(config = default) ?budget (inst : Reduction.t) : result =
+(** [solve_instance ?config ?rng ?budget inst] solves a pre-built
+    reduction instance (lets callers time matrix construction and
+    solving separately).  [rng], when given, is the task's own random
+    stream (see {!Ba_engine.Task}); by default the solver derives a
+    deterministic state from its config and the instance.  Never raises
+    on budget exhaustion: a valid, possibly degraded layout always
+    comes back. *)
+let solve_instance ?(config = default) ?rng ?budget (inst : Reduction.t) :
+    result =
   let budget =
     match budget with Some b -> b | None -> budget_of_config config
   in
@@ -66,7 +70,9 @@ let solve_instance ?(config = default) ?budget (inst : Reduction.t) : result =
       { order; cost; exact = true; stats = None; degraded = None }
     end
     else begin
-      let tour, stats = Iterated.solve ~config:config.solver ~budget inst.Reduction.dtsp in
+      let tour, stats =
+        Iterated.solve ~config:config.solver ?rng ~budget inst.Reduction.dtsp
+      in
       let order = Reduction.order_of_tour inst tour in
       (* recompute from the layout in case the tour was degenerate *)
       let cost = Reduction.layout_cost inst order in
@@ -82,8 +88,8 @@ let solve_instance ?(config = default) ?budget (inst : Reduction.t) : result =
     end
   end
 
-(** [align ?config ?budget p cfg ~profile] aligns one procedure: build
-    the reduction instance, then solve it. *)
-let align ?config ?budget (p : Ba_machine.Penalties.t) (cfg : Cfg.t)
+(** [align ?config ?rng ?budget p cfg ~profile] aligns one procedure:
+    build the reduction instance, then solve it. *)
+let align ?config ?rng ?budget (p : Ba_machine.Penalties.t) (cfg : Cfg.t)
     ~(profile : Profile.proc) : result =
-  solve_instance ?config ?budget (Reduction.build p cfg ~profile)
+  solve_instance ?config ?rng ?budget (Reduction.build p cfg ~profile)

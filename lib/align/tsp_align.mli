@@ -26,14 +26,21 @@ type result = {
 }
 
 (** Solve a pre-built reduction instance (lets callers time matrix
-    construction and solving separately).  Never raises on budget
+    construction and solving separately).  [rng], when given, is the
+    task's own random stream; the default derives a deterministic state
+    from the config and the instance.  Never raises on budget
     exhaustion. *)
 val solve_instance :
-  ?config:config -> ?budget:Ba_robust.Budget.t -> Reduction.t -> result
+  ?config:config ->
+  ?rng:Random.State.t ->
+  ?budget:Ba_robust.Budget.t ->
+  Reduction.t ->
+  result
 
 (** Align one procedure. *)
 val align :
   ?config:config ->
+  ?rng:Random.State.t ->
   ?budget:Ba_robust.Budget.t ->
   Ba_machine.Penalties.t ->
   Cfg.t ->

@@ -1,0 +1,90 @@
+(** Pluggable executors for independent per-procedure work.
+
+    An executor evaluates [n] independent index-addressed jobs and
+    returns their results merged {e by index}, so the output of a
+    mapping is bit-identical at any job count.  Two implementations:
+
+    - {!Seq} evaluates jobs [0 .. n-1] in order on the calling domain
+      (the historical sequential behaviour);
+    - [Pool j] evaluates them on a fixed pool of [j] OCaml 5 domains.
+      Jobs are claimed from a shared atomic counter (no work stealing,
+      no reordering of results); each job's result is written to its
+      own slot of the result array, so no two domains ever write the
+      same location.
+
+    Determinism contract: provided every job [f i] is a pure function
+    of [i] (no cross-job mutation, RNG derived from the job index —
+    see {!Task}), [init], [map] and [mapi] return identical arrays for
+    every executor.  Exceptions are deterministic too: if several jobs
+    raise, the exception of the {e lowest} job index is re-raised on
+    the caller's domain (with its backtrace), exactly what [Seq] would
+    have raised first. *)
+
+type t =
+  | Seq  (** evaluate jobs in index order on the calling domain *)
+  | Pool of int  (** fixed pool of this many domains (including the caller) *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let of_jobs n = if n <= 1 then Seq else Pool n
+
+let pool ?domains () =
+  match domains with Some j -> of_jobs j | None -> of_jobs (default_jobs ())
+
+let jobs = function Seq -> 1 | Pool j -> max 1 j
+
+let pp ppf = function
+  | Seq -> Fmt.string ppf "seq"
+  | Pool j -> Fmt.pf ppf "pool:%d" j
+
+(** One job's outcome, kept internal: a value or the exception it
+    raised, with the backtrace captured on the worker domain. *)
+type 'a slot =
+  | Empty
+  | Value of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+(** [init t n f] is [Array.init n f] evaluated under executor [t];
+    results (and the first-by-index exception) are independent of the
+    job count for pure [f]. *)
+let init t n f =
+  if n < 0 then invalid_arg "Executor.init: negative length";
+  match t with
+  | Seq -> Array.init n f
+  | Pool j when min j n <= 1 -> Array.init n f
+  | Pool j ->
+      let slots = Array.make n Empty in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (slots.(i) <-
+               (match f i with
+               | v -> Value v
+               | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let helpers = Array.init (min j n - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join helpers;
+      (* deterministic failure: re-raise what Seq would have hit first *)
+      Array.iter
+        (function
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Value _ -> ()
+          | Empty -> assert false)
+        slots;
+      Array.map (function Value v -> v | _ -> assert false) slots
+
+(** [mapi t f a] / [map t f a]: element-wise mapping under [t], results
+    merged by index. *)
+let mapi t f a = init t (Array.length a) (fun i -> f i a.(i))
+let map t f a = mapi t (fun _ x -> f x) a
+
+(** [map_list t f l] maps over a list, preserving order. *)
+let map_list t f l =
+  Array.to_list (map t f (Array.of_list l))

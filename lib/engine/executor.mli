@@ -1,0 +1,39 @@
+(** Pluggable executors for independent index-addressed jobs: [Seq]
+    (historical sequential behaviour) or [Pool j] (a fixed pool of [j]
+    OCaml 5 domains, jobs claimed from an atomic counter).  Results are
+    merged by index and exceptions re-raised lowest-index-first, so for
+    pure jobs the outcome is bit-identical at any job count.  See
+    docs/ARCHITECTURE.md for the determinism contract. *)
+
+type t =
+  | Seq  (** evaluate jobs in index order on the calling domain *)
+  | Pool of int  (** fixed pool of this many domains (including the caller) *)
+
+(** [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [of_jobs n] is [Seq] for [n <= 1], [Pool n] otherwise. *)
+val of_jobs : int -> t
+
+(** [pool ()] sizes the pool by {!default_jobs}; [pool ~domains ()]
+    fixes it explicitly. *)
+val pool : ?domains:int -> unit -> t
+
+(** The number of domains this executor will use (1 for [Seq]). *)
+val jobs : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** [init t n f] is [Array.init n f] under executor [t].  [f] must be a
+    pure function of its index (no cross-job mutation); then the result
+    — including which exception escapes, if any — does not depend on
+    the job count. *)
+val init : t -> int -> (int -> 'a) -> 'a array
+
+(** Element-wise mappings, results merged by input index. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val mapi : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [map_list t f l] maps over a list, preserving order. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list

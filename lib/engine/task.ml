@@ -1,0 +1,127 @@
+(** Per-procedure alignment tasks.
+
+    A task is one pure, re-entrant unit of pipeline work — for the
+    aligner, "build the reduction → solve → realize → verify" for a
+    single procedure — identified by the index it will be merged back
+    under.  Each task gets:
+
+    - its own {!Random.State}, derived from the pipeline seed and the
+      task id only (never from scheduling), so randomized stages make
+      the same draws no matter which domain runs them or in what order;
+    - a stage clock that accumulates wall-clock seconds into a
+      {e task-local} record, returned in the task's {!outcome} — tasks
+      never write shared timing state, the caller merges after the
+      join.
+
+    Tasks must not mutate anything reachable from another task; under
+    that contract {!run_all} produces identical outcomes (modulo the
+    measured seconds) on every {!Executor.t}. *)
+
+(** Pipeline stages a task may charge time to, mirroring the classic
+    per-procedure aligner pipeline. *)
+type stage = Build | Solve | Realize | Verify
+
+(** Seconds spent per stage, immutable; one value per task. *)
+type stages = {
+  build_s : float;  (** reduction / instance construction *)
+  solve_s : float;  (** the search itself *)
+  realize_s : float;  (** tour/order → realized layout *)
+  verify_s : float;  (** semantic checks on the result *)
+}
+
+let no_stages = { build_s = 0.; solve_s = 0.; realize_s = 0.; verify_s = 0. }
+
+(** Pure merge of two stage records (used index-order after the join). *)
+let add_stages a b =
+  {
+    build_s = a.build_s +. b.build_s;
+    solve_s = a.solve_s +. b.solve_s;
+    realize_s = a.realize_s +. b.realize_s;
+    verify_s = a.verify_s +. b.verify_s;
+  }
+
+let sum_stages l = List.fold_left add_stages no_stages l
+
+(* ------------------------------------------------------------------ *)
+
+(** The per-task execution context: the seeded RNG plus the task-local
+    stage clock. *)
+type ctx = {
+  rng : Random.State.t;
+  mutable acc : stages;  (** task-local; never shared across tasks *)
+}
+
+let rng ctx = ctx.rng
+
+(** [staged ctx stage f] runs [f ()] charging its wall-clock time to
+    [stage] in the task-local record. *)
+let staged ctx stage f =
+  let t0 = Unix.gettimeofday () in
+  let finally () =
+    let dt = Unix.gettimeofday () -. t0 in
+    ctx.acc <-
+      (match stage with
+      | Build -> { ctx.acc with build_s = ctx.acc.build_s +. dt }
+      | Solve -> { ctx.acc with solve_s = ctx.acc.solve_s +. dt }
+      | Realize -> { ctx.acc with realize_s = ctx.acc.realize_s +. dt }
+      | Verify -> { ctx.acc with verify_s = ctx.acc.verify_s +. dt })
+  in
+  Fun.protect ~finally f
+
+(* ------------------------------------------------------------------ *)
+
+type 'a t = {
+  id : int;  (** merge key: procedure / row index *)
+  label : string;
+  run : ctx -> 'a;
+}
+
+let make ~id ?(label = "") run = { id; label; run }
+
+(** The documented seeding scheme: splitmix64 over [seed] xor a
+    golden-ratio multiple of [id + 1].  Every task id gets a distinct,
+    well-mixed stream that depends only on [(seed, id)]. *)
+let derive_seed ~seed ~id =
+  let splitmix64 z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+              0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+              0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  let z =
+    Int64.add (Int64.of_int seed)
+      (Int64.mul (Int64.of_int (id + 1)) 0x9e3779b97f4a7c15L)
+  in
+  Int64.to_int (splitmix64 z) land max_int
+
+let seed_rng ~seed ~id = Random.State.make [| derive_seed ~seed ~id |]
+
+(** One task's merged-back result. *)
+type 'a outcome = {
+  id : int;
+  label : string;
+  value : 'a;
+  stages : stages;  (** per-task stage seconds (task-local, merged after join) *)
+  elapsed_s : float;  (** total wall-clock of the task *)
+}
+
+(** [run_one ~seed task] executes one task on the calling domain. *)
+let run_one ~seed (t : 'a t) : 'a outcome =
+  let ctx = { rng = seed_rng ~seed ~id:t.id; acc = no_stages } in
+  let t0 = Unix.gettimeofday () in
+  let value = t.run ctx in
+  {
+    id = t.id;
+    label = t.label;
+    value;
+    stages = ctx.acc;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+(** [run_all ?seed exec tasks] executes every task under [exec] and
+    returns the outcomes in input order (deterministic merge by
+    position, regardless of which domain finished first). *)
+let run_all ?(seed = 0) (exec : Executor.t) (tasks : 'a t array) :
+    'a outcome array =
+  Executor.init exec (Array.length tasks) (fun i -> run_one ~seed tasks.(i))

@@ -46,6 +46,26 @@ let rows_csv (rows : Runner.row list) : string list =
            (frac (c r.Runner.tsp_self) oc))
        rows
 
+(** [timing_csv rows] renders the wall-clock side of the measurement
+    set: per-stage seconds plus the distribution of per-procedure TSP
+    solve times (p50/p95/max — the pool's load-imbalance view).  Kept
+    in its own file because timings are inherently run-dependent: the
+    deterministic CSVs above must diff clean across job counts, this
+    one never will. *)
+let timing_csv (rows : Runner.row list) : string list =
+  "bench,ds,compile_s,profile_s,greedy_s,matrix_s,solve_s,tsp_program_s,\
+   bounds_s,n_solves,solve_total_s,solve_p50_s,solve_p95_s,solve_max_s"
+  :: List.map
+       (fun (r : Runner.row) ->
+         let s = r.Runner.stages and d = r.Runner.solve_dist in
+         Printf.sprintf
+           "%s,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.6f,%.6f,%.6f,%.6f"
+           r.Runner.bench r.Runner.ds s.Timing.compile_s s.Timing.profile_s
+           s.Timing.greedy_s s.Timing.matrix_s s.Timing.solve_s
+           s.Timing.tsp_program_s s.Timing.bounds_s d.Timing.n
+           d.Timing.total_s d.Timing.p50_s d.Timing.p95_s d.Timing.max_s)
+       rows
+
 (** [appendix_csv stats] renders the per-instance bound study. *)
 let appendix_csv (s : Appendix.stats) : string list =
   "instance,cities,tour,opt,ap,hk,patching,runs_with_best,runs"
@@ -74,4 +94,20 @@ let export ~dir ~(rows : Runner.row list) ~(rows95 : Runner.row list)
   (match appendix with
   | Some s -> emit "appendix.csv" (appendix_csv s)
   | None -> ());
+  List.rev !paths
+
+(** [export_timings ~dir ~rows ~rows95] writes the run-dependent timing
+    CSVs (separate from {!export} so determinism checks can diff the
+    measurement CSVs alone); returns the paths written. *)
+let export_timings ~dir ~(rows : Runner.row list)
+    ~(rows95 : Runner.row list) : string list =
+  (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+  let paths = ref [] in
+  let emit name lines =
+    let path = Filename.concat dir name in
+    write_file path lines;
+    paths := path :: !paths
+  in
+  if rows <> [] then emit "timing92.csv" (timing_csv rows);
+  if rows95 <> [] then emit "timing95.csv" (timing_csv rows95);
   List.rev !paths

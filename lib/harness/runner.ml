@@ -10,12 +10,20 @@
       lower bound;
     - full-machine simulated cycle counts (penalties + I-cache) for the
       original, greedy and TSP programs under both training regimes;
-    - per-stage wall-clock timings (Table 2). *)
+    - per-stage wall-clock timings (Table 2) and the distribution of
+      per-procedure TSP solve times (pool load-imbalance view).
+
+    Every benchmark × data-set row is an independent {!Ba_engine.Task}:
+    {!run_all} fans rows out over a pluggable executor and merges them
+    back in suite order, so the measured numbers are identical at any
+    job count (timings, of course, are whatever the wall clock says). *)
 
 open Ba_align
 module Workload = Ba_workloads.Workload
 module Profile = Ba_profile.Profile
 module Cycles = Ba_machine.Cycles
+module Executor = Ba_engine.Executor
+module Task = Ba_engine.Task
 
 type measurement = {
   penalty : int;  (** analytic control-penalty cycles on the testing set *)
@@ -42,6 +50,8 @@ type row = {
   tsp_timeouts : int;
       (** self-trained procedures whose TSP solve hit the budget *)
   stages : Timing.stages;
+  solve_dist : Timing.dist;
+      (** distribution of self-trained per-procedure TSP solve times *)
 }
 
 type config = {
@@ -60,10 +70,11 @@ let default =
   }
 
 (** Align every procedure with the TSP method, timing matrix construction
-    and solving separately.  Returns the orders and how many procedures
-    were solved exactly. *)
-let tsp_align_program (cfg : config) (st : Timing.stages) cfgs ~train =
+    and each solve separately.  Returns the orders, exact/timeout counts,
+    the two stage timings and the list of per-procedure solve times. *)
+let tsp_align_program (cfg : config) cfgs ~train =
   let n_exact = ref 0 and n_timeouts = ref 0 in
+  let matrix_s = ref 0. and solve_s = ref 0. and solve_times = ref [] in
   let orders =
     Array.mapi
       (fun fid g ->
@@ -71,54 +82,48 @@ let tsp_align_program (cfg : config) (st : Timing.stages) cfgs ~train =
           Timing.time (fun () ->
               Reduction.build cfg.penalties g ~profile:(Profile.proc train fid))
         in
-        st.Timing.matrix_s <- st.Timing.matrix_s +. mt;
+        matrix_s := !matrix_s +. mt;
         let r, sv =
           Timing.time (fun () -> Tsp_align.solve_instance ~config:cfg.tsp inst)
         in
-        st.Timing.solve_s <- st.Timing.solve_s +. sv;
+        solve_s := !solve_s +. sv;
+        solve_times := sv :: !solve_times;
         if r.Tsp_align.exact then incr n_exact;
         if r.Tsp_align.degraded <> None then incr n_timeouts;
         r.Tsp_align.order)
       cfgs
   in
-  (orders, !n_exact, !n_timeouts)
+  (orders, !n_exact, !n_timeouts, !matrix_s, !solve_s, List.rev !solve_times)
 
-let realize_program (cfg : config) (st : Timing.stages) ~stage cfgs orders
-    ~train =
-  let a, t =
-    Timing.time (fun () ->
-        let orders' = orders in
-        (* Driver.align re-runs the aligner; realize directly instead *)
-        let realized = Array.make (Array.length cfgs) None in
-        let predicted =
-          Array.mapi
-            (fun fid g ->
-              let r, pred =
-                Evaluate.realize cfg.penalties g ~order:orders'.(fid)
-                  ~train:(Profile.proc train fid)
-              in
-              realized.(fid) <- Some r;
-              pred)
-            cfgs
-        in
-        let realized = Array.map Option.get realized in
-        let addr =
-          Ba_machine.Addr.build (Array.map2 (fun g r -> (g, r)) cfgs realized)
-        in
-        {
-          Driver.cfgs;
-          orders = orders';
-          realized;
-          predicted;
-          addr;
-          method_ = Driver.Original;
-        })
-  in
-  (match stage with
-  | `Greedy -> st.Timing.greedy_s <- st.Timing.greedy_s +. t
-  | `Tsp -> st.Timing.tsp_program_s <- st.Timing.tsp_program_s +. t
-  | `Other -> ());
-  a
+(** Realize a program from pre-computed orders; returns the aligned
+    program and the elapsed seconds (charged by the caller). *)
+let realize_program (cfg : config) cfgs orders ~train =
+  Timing.time (fun () ->
+      (* Driver.align re-runs the aligner; realize directly instead *)
+      let realized = Array.make (Array.length cfgs) None in
+      let predicted =
+        Array.mapi
+          (fun fid g ->
+            let r, pred =
+              Evaluate.realize cfg.penalties g ~order:orders.(fid)
+                ~train:(Profile.proc train fid)
+            in
+            realized.(fid) <- Some r;
+            pred)
+          cfgs
+      in
+      let realized = Array.map Option.get realized in
+      let addr =
+        Ba_machine.Addr.build (Array.map2 (fun g r -> (g, r)) cfgs realized)
+      in
+      {
+        Driver.cfgs;
+        orders;
+        realized;
+        predicted;
+        addr;
+        method_ = Driver.Original;
+      })
 
 (** [measure cfg aligned ~test_profile ~run] evaluates one aligned
     program against the testing workload. *)
@@ -141,29 +146,27 @@ let measure (cfg : config) (aligned : Driver.aligned) ~test_profile ~run :
 
 (** [run_benchmark ?config w ~test] runs the full experiment for one
     benchmark on testing data set [test] (training on [test] for the
-    self rows and on the sibling set for the cross rows). *)
+    self rows and on the sibling set for the cross rows).  Pure up to
+    the wall clock: safe to run concurrently with other benchmarks. *)
 let run_benchmark ?(config = default) (w : Workload.t)
     ~(test : Workload.dataset) : row =
-  let st = Timing.zero () in
-  let compiled, ct = Timing.time (fun () -> Workload.compile w) in
-  st.Timing.compile_s <- ct;
+  let compiled, compile_s = Timing.time (fun () -> Workload.compile w) in
   let cfgs = compiled.Ba_minic.Compile.cfgs in
   let train_ds = Workload.sibling w test in
   let run_input input sink =
     ignore (Ba_minic.Compile.run compiled ~input ~sink)
   in
   let run_test = run_input test.Workload.input in
-  let test_profile, pt =
+  let test_profile, profile_s =
     Timing.time (fun () ->
         Ba_minic.Compile.profile compiled ~input:test.Workload.input)
   in
-  st.Timing.profile_s <- pt;
   let cross_profile =
     Ba_minic.Compile.profile compiled ~input:train_ds.Workload.input
   in
   (* ---- layouts ---- *)
-  let original =
-    realize_program config st ~stage:`Other cfgs
+  let original, _ =
+    realize_program config cfgs
       (Array.map Ba_cfg.Layout.identity cfgs)
       ~train:test_profile
   in
@@ -172,30 +175,27 @@ let run_benchmark ?(config = default) (w : Workload.t)
       (fun fid g -> Greedy.align g ~profile:(Profile.proc train fid))
       cfgs
   in
-  let greedy_self_orders, gt =
+  let greedy_self_orders, greedy_align_s =
     Timing.time (fun () -> greedy_orders_of test_profile)
   in
-  st.Timing.greedy_s <- st.Timing.greedy_s +. gt;
-  let greedy_self =
-    realize_program config st ~stage:`Greedy cfgs greedy_self_orders
-      ~train:test_profile
+  let greedy_self, greedy_realize_s =
+    realize_program config cfgs greedy_self_orders ~train:test_profile
   in
-  let tsp_self_orders, n_exact, n_timeouts =
-    tsp_align_program config st cfgs ~train:test_profile
+  let tsp_self_orders, n_exact, n_timeouts, matrix_s, solve_s, solve_times =
+    tsp_align_program config cfgs ~train:test_profile
   in
-  let tsp_self =
-    realize_program config st ~stage:`Tsp cfgs tsp_self_orders ~train:test_profile
+  let tsp_self, tsp_program_s =
+    realize_program config cfgs tsp_self_orders ~train:test_profile
   in
-  let greedy_cross =
-    realize_program config st ~stage:`Other cfgs (greedy_orders_of cross_profile)
+  let greedy_cross, _ =
+    realize_program config cfgs (greedy_orders_of cross_profile)
       ~train:cross_profile
   in
-  let tsp_cross_orders, _, _ =
-    tsp_align_program config st cfgs ~train:cross_profile
+  let tsp_cross_orders, _, _, _, _, _ =
+    tsp_align_program config cfgs ~train:cross_profile
   in
-  let tsp_cross =
-    realize_program config st ~stage:`Other cfgs tsp_cross_orders
-      ~train:cross_profile
+  let tsp_cross, _ =
+    realize_program config cfgs tsp_cross_orders ~train:cross_profile
   in
   (* ---- measurements (always on the testing input) ---- *)
   let m a = measure config a ~test_profile ~run:run_test in
@@ -205,7 +205,7 @@ let run_benchmark ?(config = default) (w : Workload.t)
   let greedy_cross_m = m greedy_cross in
   let tsp_cross_m = m tsp_cross in
   (* ---- lower bound ---- *)
-  let bound, bt =
+  let bound, bounds_s =
     Timing.time (fun () ->
         let total = ref 0 in
         Array.iteri
@@ -222,7 +222,18 @@ let run_benchmark ?(config = default) (w : Workload.t)
           cfgs;
         !total)
   in
-  st.Timing.bounds_s <- bt;
+  (* per-stage timings, merged from the immutable pieces *)
+  let stages =
+    {
+      Timing.compile_s;
+      profile_s;
+      greedy_s = greedy_align_s +. greedy_realize_s;
+      matrix_s;
+      solve_s;
+      tsp_program_s;
+      bounds_s;
+    }
+  in
   (* ---- table 1 statistics ---- *)
   let sites = Array.fold_left (fun acc g -> acc + Ba_cfg.Cfg.n_branch_sites g) 0 cfgs in
   let touched = ref 0 and executed = ref 0 in
@@ -249,16 +260,32 @@ let run_benchmark ?(config = default) (w : Workload.t)
     lower_bound = bound;
     tsp_exact_procs = n_exact;
     tsp_timeouts = n_timeouts;
-    stages = st;
+    stages;
+    solve_dist = Timing.dist_of solve_times;
   }
 
-(** [run_all ?config ?workloads ()] runs the experiment for every
-    benchmark × data set pair of the given suite (default: the SPEC92
-    stand-ins, in Table 1 order; pass
-    [Ba_workloads.Workload95.all] for the SPEC95 extension suite). *)
-let run_all ?(config = default) ?(workloads = Workload.all) () : row list =
-  List.concat_map
-    (fun w ->
-      List.map (fun ds -> run_benchmark ~config w ~test:ds)
-        (Workload.dataset_list w))
-    workloads
+(** [run_all ?config ?executor ?workloads ()] runs the experiment for
+    every benchmark × data set pair of the given suite (default: the
+    SPEC92 stand-ins, in Table 1 order; pass
+    [Ba_workloads.Workload95.all] for the SPEC95 extension suite).
+    Rows fan out over [executor] (default sequential) and come back in
+    suite order; the measured numbers are identical at any job count. *)
+let run_all ?(config = default) ?(executor = Executor.Seq)
+    ?(workloads = Workload.all) () : row list =
+  let pairs =
+    List.concat_map
+      (fun w -> List.map (fun ds -> (w, ds)) (Workload.dataset_list w))
+      workloads
+  in
+  let tasks =
+    Array.of_list
+      (List.mapi
+         (fun i (w, ds) ->
+           Task.make ~id:i
+             ~label:(w.Workload.name ^ "." ^ ds.Workload.ds_name)
+             (fun _ctx -> run_benchmark ~config w ~test:ds))
+         pairs)
+  in
+  Task.run_all executor tasks
+  |> Array.to_list
+  |> List.map (fun o -> o.Task.value)

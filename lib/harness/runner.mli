@@ -1,7 +1,9 @@
 (** The experiment engine: everything Figures 2–3 and Tables 1, 2 and 4
     need, for one benchmark × data set (self-trained and cross-validated
     layouts, analytic penalties, simulated cycles, lower bounds, stage
-    timings). *)
+    timings).  Rows are independent tasks: {!run_all} fans them out
+    over a pluggable executor and merges them back in suite order, so
+    the measured numbers are identical at any job count. *)
 
 module Workload = Ba_workloads.Workload
 
@@ -30,6 +32,8 @@ type row = {
   tsp_timeouts : int;
       (** self-trained procedures whose TSP solve hit the budget *)
   stages : Timing.stages;
+  solve_dist : Timing.dist;
+      (** distribution of self-trained per-procedure TSP solve times *)
 }
 
 type config = {
@@ -41,10 +45,17 @@ type config = {
 
 val default : config
 
-(** Run the full experiment for one benchmark on one testing data set. *)
+(** Run the full experiment for one benchmark on one testing data set.
+    Pure up to the wall clock: safe to run concurrently with other
+    benchmarks. *)
 val run_benchmark : ?config:config -> Workload.t -> test:Workload.dataset -> row
 
 (** Run the experiment over a whole suite (default: the SPEC92
     stand-ins; pass [Ba_workloads.Workload95.all] for the extension
-    suite). *)
-val run_all : ?config:config -> ?workloads:Workload.t list -> unit -> row list
+    suite), fanning rows out over [executor] (default sequential). *)
+val run_all :
+  ?config:config ->
+  ?executor:Ba_engine.Executor.t ->
+  ?workloads:Workload.t list ->
+  unit ->
+  row list

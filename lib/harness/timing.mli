@@ -1,17 +1,40 @@
-(** Wall-clock stage timing for the Table 2 reproduction. *)
+(** Wall-clock stage timing for the Table 2 reproduction.  [stages] is
+    immutable; tasks return their own values and the caller combines
+    them with the pure {!add}/{!merge} after the join — nothing for
+    concurrent pipeline stages to race on. *)
 
 (** Run a thunk, returning its result and elapsed seconds. *)
 val time : (unit -> 'a) -> 'a * float
 
 (** Stage timings of one benchmark pipeline (Table 2 columns). *)
 type stages = {
-  mutable compile_s : float;
-  mutable profile_s : float;
-  mutable greedy_s : float;
-  mutable matrix_s : float;
-  mutable solve_s : float;
-  mutable tsp_program_s : float;
-  mutable bounds_s : float;
+  compile_s : float;
+  profile_s : float;
+  greedy_s : float;
+  matrix_s : float;
+  solve_s : float;
+  tsp_program_s : float;
+  bounds_s : float;
 }
 
-val zero : unit -> stages
+val zero : stages
+
+(** Pure component-wise sum. *)
+val add : stages -> stages -> stages
+
+(** Sum a list of per-task timings, in order. *)
+val merge : stages list -> stages
+
+(** Summary of a sample of per-task durations (seconds): the pool's
+    load-imbalance view. *)
+type dist = {
+  n : int;
+  total_s : float;
+  p50_s : float;  (** median, nearest-rank *)
+  p95_s : float;
+  max_s : float;
+}
+
+val empty_dist : dist
+
+val dist_of : float list -> dist

@@ -9,14 +9,31 @@
 
     [gettimeofday] is a vDSO call on every platform we target, so
     {!exhausted} polls the clock directly rather than amortizing; move
-    spending is a plain increment. *)
+    spending is a single [Atomic.fetch_and_add], allocation-free.
+
+    {2 Shared-budget semantics under concurrent solves}
+
+    One budget may be polled by several domains solving different
+    procedures at once (the executor pool).  The semantics are:
+
+    - the deadline is an {e absolute} wall-clock instant, shared by all
+      domains: every concurrent solve observes exhaustion at the same
+      moment, regardless of which domain it runs on;
+    - the move counter is the {e global} total across all concurrent
+      solves: each domain's [spend] contributes to the same allowance,
+      so [max_moves] bounds the whole program's work, not one solve's.
+      Increments are atomic — no spent move is ever lost — but which
+      procedure's solve observes exhaustion first depends on
+      scheduling.  When bit-identical output across job counts matters,
+      use per-task budgets (or no mid-run limits); see
+      docs/ARCHITECTURE.md. *)
 
 type t = {
   started : float;  (** creation time, for elapsed-time reporting *)
   deadline : float option;  (** absolute wall-clock limit *)
   deadline_ms : int option;  (** the relative limit, for reporting *)
   max_moves : int option;
-  mutable moves : int;
+  moves : int Atomic.t;  (** global across every domain polling this budget *)
 }
 
 let create ?deadline_ms ?max_moves () =
@@ -27,19 +44,20 @@ let create ?deadline_ms ?max_moves () =
       Option.map (fun ms -> started +. (float_of_int ms /. 1000.)) deadline_ms;
     deadline_ms;
     max_moves;
-    moves = 0;
+    moves = Atomic.make 0;
   }
 
 (** A fresh budget with no limits ({!exhausted} is always false). *)
 let unlimited () = create ()
 
-(** [spend b] records one unit of solver work (an improving move). *)
-let spend b = b.moves <- b.moves + 1
+(** [spend b] records one unit of solver work (an improving move);
+    atomic and allocation-free. *)
+let spend b = ignore (Atomic.fetch_and_add b.moves 1)
 
 (** [exhausted b] is true once the deadline has passed or the move
     allowance is used up.  A zero deadline is exhausted immediately. *)
 let exhausted b =
-  (match b.max_moves with Some m -> b.moves >= m | None -> false)
+  (match b.max_moves with Some m -> Atomic.get b.moves >= m | None -> false)
   ||
   match b.deadline with
   | Some d -> Unix.gettimeofday () >= d
@@ -48,8 +66,8 @@ let exhausted b =
 (** Milliseconds since the budget was created. *)
 let elapsed_ms b = (Unix.gettimeofday () -. b.started) *. 1000.
 
-(** Moves spent so far. *)
-let moves b = b.moves
+(** Moves spent so far (all domains combined). *)
+let moves b = Atomic.get b.moves
 
 (** [timeout_error ?proc b] is the {!Errors.Solver_timeout} value
     describing an exhausted budget. *)
@@ -59,5 +77,5 @@ let timeout_error ?proc b =
       proc;
       elapsed_ms = elapsed_ms b;
       deadline_ms = b.deadline_ms;
-      moves = b.moves;
+      moves = Atomic.get b.moves;
     }

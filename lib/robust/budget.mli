@@ -1,7 +1,15 @@
 (** Solver budgets: a wall-clock deadline and/or a move allowance,
     threaded into the local-search loops.  Exhaustion never aborts a
     solve — the solver stops at the next poll and returns its best tour
-    so far, flagged as degraded. *)
+    so far, flagged as degraded.
+
+    Budgets are domain-safe and may be shared by concurrent solves: the
+    deadline is one absolute wall-clock instant observed by every
+    domain, and the move counter is the global total across all of them
+    (atomic increments; [max_moves] bounds the combined work).  Which
+    solve observes exhaustion first under concurrency depends on
+    scheduling — use per-task budgets when bit-identical output across
+    job counts matters (see docs/ARCHITECTURE.md). *)
 
 type t
 
@@ -13,7 +21,8 @@ val create : ?deadline_ms:int -> ?max_moves:int -> unit -> t
 (** A fresh budget with no limits. *)
 val unlimited : unit -> t
 
-(** Record one unit of solver work (an improving move). *)
+(** Record one unit of solver work (an improving move).  Atomic and
+    allocation-free; safe from any domain. *)
 val spend : t -> unit
 
 (** True once the deadline has passed or the move allowance is spent. *)
@@ -22,7 +31,7 @@ val exhausted : t -> bool
 (** Milliseconds since the budget was created. *)
 val elapsed_ms : t -> float
 
-(** Moves spent so far. *)
+(** Moves spent so far, across every domain sharing this budget. *)
 val moves : t -> int
 
 (** The {!Errors.Solver_timeout} value describing this budget's state. *)

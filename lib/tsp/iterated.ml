@@ -122,15 +122,18 @@ let brute_force (d : Dtsp.t) =
       if c1 <= c2 then (t1, c1) else (t2, c2)
   | _ -> invalid_arg "Iterated.brute_force: n > 3"
 
-(** [solve ?config ?budget d] returns the best directed tour found and
-    solver statistics.  Deterministic for a fixed [config.seed] and
-    unlimited budget.  [budget] (defaulting to one built from the
-    config's [deadline_ms]/[max_moves]) is polled between improving
-    moves, kicks and restarts; on exhaustion the best tour found so far
-    is returned with [timed_out] set — the first (identity-start)
-    construction always completes, so a valid tour is returned even for
-    a zero budget. *)
-let solve ?(config = default) ?budget (d : Dtsp.t) : int array * stats =
+(** [solve ?config ?rng ?budget d] returns the best directed tour found
+    and solver statistics.  Deterministic for a fixed [config.seed] and
+    unlimited budget; all randomness comes from [rng] (default: a state
+    derived from [config.seed] and the instance), so the solve is
+    re-entrant — no global or otherwise shared state is touched, and
+    concurrent solves of different instances cannot interfere.  [budget]
+    (defaulting to one built from the config's [deadline_ms]/[max_moves])
+    is polled between improving moves, kicks and restarts; on exhaustion
+    the best tour found so far is returned with [timed_out] set — the
+    first (identity-start) construction always completes, so a valid
+    tour is returned even for a zero budget. *)
+let solve ?(config = default) ?rng ?budget (d : Dtsp.t) : int array * stats =
   let budget =
     match budget with
     | Some b -> b
@@ -146,7 +149,11 @@ let solve ?(config = default) ?budget (d : Dtsp.t) : int array * stats =
         moves_3opt = 0; timed_out = false } )
   end
   else begin
-    let rng = Random.State.make [| config.seed; n; Dtsp.max_cost d |] in
+    let rng =
+      match rng with
+      | Some r -> r
+      | None -> Random.State.make [| config.seed; n; Dtsp.max_cost d |]
+    in
     let s = Sym.of_dtsp d in
     let nbr = Neighbors.of_sym s ~k:config.neighbors in
     let kicks_per_run = min config.max_kicks (config.kick_factor * n) in

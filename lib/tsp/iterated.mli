@@ -34,12 +34,19 @@ val set_tour : Three_opt.state -> int array -> unit
     degenerated and was skipped). *)
 val double_bridge : Three_opt.state -> Random.State.t -> int list
 
-(** [solve ?config ?budget d] returns the best directed tour found and
-    solver statistics.  Deterministic for a fixed seed and unlimited
-    budget.  Instances with n ≤ 3 are enumerated exactly.  The budget
-    (built from the config's [deadline_ms]/[max_moves] when not passed
-    explicitly) is polled between moves, kicks and restarts; on
-    exhaustion the best tour so far is returned with [timed_out] set —
-    a valid tour comes back even under a zero budget. *)
+(** [solve ?config ?rng ?budget d] returns the best directed tour found
+    and solver statistics.  Deterministic for a fixed seed and unlimited
+    budget; re-entrant — all randomness comes from [rng] (default: a
+    state derived from [config.seed] and the instance) and no shared
+    state is touched, so concurrent solves cannot interfere.  Instances
+    with n ≤ 3 are enumerated exactly.  The budget (built from the
+    config's [deadline_ms]/[max_moves] when not passed explicitly) is
+    polled between moves, kicks and restarts; on exhaustion the best
+    tour so far is returned with [timed_out] set — a valid tour comes
+    back even under a zero budget. *)
 val solve :
-  ?config:config -> ?budget:Ba_robust.Budget.t -> Dtsp.t -> int array * stats
+  ?config:config ->
+  ?rng:Random.State.t ->
+  ?budget:Ba_robust.Budget.t ->
+  Dtsp.t ->
+  int array * stats
