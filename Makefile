@@ -4,7 +4,7 @@ DUNE ?= dune
 BALIGN = $(DUNE) exec --no-print-directory bin/balign.exe --
 BENCH = $(DUNE) exec --no-print-directory bench/main.exe --
 
-.PHONY: all build test check check-par smoke report clean
+.PHONY: all build test check check-par smoke report bench-json clean
 
 all: build
 
@@ -66,10 +66,34 @@ check-par: build test
 	  || { echo "check-par FAIL: stdout differs across job counts"; exit 1; }; \
 	diff -ur $$tmp/csv.1 $$tmp/csv.max \
 	  || { echo "check-par FAIL: deterministic CSVs differ across job counts"; exit 1; }; \
+	echo "check-par: balign align stdout + bench --json at --jobs 1 vs $$j..."; \
+	$(BALIGN) align examples/programs/collatz.mc --input 40 \
+	  > $$tmp/align.1 2>/dev/null; \
+	$(BALIGN) align examples/programs/collatz.mc --input 40 --jobs $$j \
+	  > $$tmp/align.max 2>/dev/null; \
+	diff -u $$tmp/align.1 $$tmp/align.max \
+	  || { echo "check-par FAIL: balign align differs across job counts"; exit 1; }; \
+	BALIGN_COMMIT=checkpar $(BALIGN) bench com --json $$tmp/b1.json --jobs 1 \
+	  >/dev/null 2>&1; \
+	BALIGN_COMMIT=checkpar $(BALIGN) bench com --json $$tmp/bmax.json --jobs $$j \
+	  >/dev/null 2>&1; \
+	mask() { sed -E -e 's/"(wall_ms|p50_ms|p95_ms)":[0-9.]+/"\1":X/g' \
+	  -e 's/"date":"[^"]*"/"date":X/' -e 's/"jobs":[0-9]+/"jobs":X/g' "$$1"; }; \
+	mask $$tmp/b1.json > $$tmp/b1.masked; \
+	mask $$tmp/bmax.json > $$tmp/bmax.masked; \
+	diff -u $$tmp/b1.masked $$tmp/bmax.masked \
+	  || { echo "check-par FAIL: bench --json differs across job counts"; exit 1; }; \
 	sed -n 's/^/  /p' $$tmp/err.1 $$tmp/err.max | grep wall-clock || true; \
 	awk -v a=$$((e1-s1)) -v b=$$((e2-s2)) 'BEGIN { \
 	  printf "check-par ok: output identical; wall-clock %.1fs -> %.1fs (speedup x%.2f)\n", \
 	    a/1e9, b/1e9, a/b }'
+
+# Machine-readable bench trajectory for CI: one small workload, JSON
+# artifact validated structurally before it is uploaded.
+bench-json: build
+	$(BALIGN) bench com --json BENCH.json --jobs 2 > /dev/null
+	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- --bench BENCH.json
+	@echo "bench-json ok: BENCH.json written"
 
 report:
 	$(DUNE) exec bench/main.exe

@@ -120,6 +120,32 @@ let jobs_opt =
                  integer, or $(b,max) for the recommended domain count). \
                  Output is bit-identical at any value.")
 
+let trace_opt =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"write a Chrome trace_event JSON of per-task spans to $(docv) \
+                 (load it in chrome://tracing or Perfetto)")
+
+let metrics_opt =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"write a solver-metrics snapshot to $(docv): $(b,*.csv) as \
+                 CSV, $(b,-) or $(b,stderr) as a stderr summary, anything \
+                 else as JSON")
+
+(** Run a command body with the requested observability outputs.
+    Tracing is enabled before the body runs; the trace/metrics files
+    are written afterwards even when the body failed (a trace of a
+    failing run is the one worth keeping).  Write errors escape as
+    [Sys_error] and map to the documented I/O exit code. *)
+let with_obs ~trace ~metrics (f : unit -> (unit, Errors.t) result) :
+    (unit, Errors.t) result =
+  if trace <> None then Ba_obs.Trace.set_enabled true;
+  let result = f () in
+  Option.iter Ba_obs.Trace.write_chrome trace;
+  Option.iter (fun spec -> Ba_obs.Sink.emit (Ba_obs.Sink.of_spec spec)) metrics;
+  result
+
 let fallback_opt =
   Arg.(value
        & opt (enum [ ("chain", true); ("none", false) ]) true
@@ -264,10 +290,11 @@ let align_cmd =
     Ok ()
   in
   cmd "align" ~doc:"align a program and report penalty and cycle changes"
-    Term.(const (fun file i f m d fb j ->
-              run_term (fun () -> run file i f m d fb j))
+    Term.(const (fun file i f m d fb j trace metrics ->
+              run_term (fun () ->
+                  with_obs ~trace ~metrics (fun () -> run file i f m d fb j)))
           $ file_arg $ input_opt $ input_file_opt $ method_opt $ deadline_opt
-          $ fallback_opt $ jobs_opt)
+          $ fallback_opt $ jobs_opt $ trace_opt $ metrics_opt)
 
 (* ---------------- evaluate (cross-validation) ---------------- *)
 
@@ -344,7 +371,7 @@ let bounds_cmd =
 (* ---------------- bench ---------------- *)
 
 let bench_cmd =
-  let run name deadline_ms fallback jobs =
+  let run name deadline_ms fallback jobs json =
     let find name =
       List.find_opt
         (fun w -> w.Ba_workloads.Workload.name = name)
@@ -374,10 +401,16 @@ let bench_cmd =
               };
           }
         in
-        let rows =
-          Ba_harness.Runner.run_all ~config
+        let outcomes =
+          Ba_harness.Runner.run_all_outcomes ~config
             ~executor:(Executor.of_jobs jobs) ~workloads:[ w ] ()
         in
+        let rows =
+          List.map (fun o -> o.Ba_engine.Task.value) outcomes
+        in
+        Option.iter
+          (fun path -> Ba_harness.Bench_json.write path ~jobs outcomes)
+          json;
         let timeouts =
           List.fold_left
             (fun acc r -> acc + r.Ba_harness.Runner.tsp_timeouts)
@@ -413,9 +446,18 @@ let bench_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"
            ~doc:"benchmark short name (spec92: com dod eqn esp su2 xli; spec95: m88 ijp prl vor go)")
   in
+  let json_opt =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"write the machine-readable bench trajectory \
+                   ($(b,{commit, date, rows})) to $(docv)")
+  in
   cmd "bench" ~doc:"run the paper's experiment for one built-in benchmark"
-    Term.(const (fun n d fb j -> run_term (fun () -> run n d fb j))
-          $ bench_name $ deadline_opt $ fallback_opt $ jobs_opt)
+    Term.(const (fun n d fb j json trace metrics ->
+              run_term (fun () ->
+                  with_obs ~trace ~metrics (fun () -> run n d fb j json)))
+          $ bench_name $ deadline_opt $ fallback_opt $ jobs_opt $ json_opt
+          $ trace_opt $ metrics_opt)
 
 (* ---------------- report ---------------- *)
 
@@ -458,7 +500,9 @@ let report_cmd =
            ~doc:"table1 table2 table3 table4 fig2 fig3 summary (default: all)")
   in
   cmd "report" ~doc:"print the paper's tables and figures"
-    Term.(const (fun s j -> run_term (fun () -> run s j)) $ sections $ jobs_opt)
+    Term.(const (fun s j trace metrics ->
+              run_term (fun () -> with_obs ~trace ~metrics (fun () -> run s j)))
+          $ sections $ jobs_opt $ trace_opt $ metrics_opt)
 
 (* ---------------- main ---------------- *)
 

@@ -348,6 +348,12 @@ let align_checked ?(executor = Executor.Seq) ?deadline_ms ?(fallback = true)
         Addr.build
           (Array.map2 (fun g part -> (g, part.c_realized)) cfgs parts))
   in
+  let fallbacks =
+    Array.to_list parts |> List.filter_map (fun part -> part.c_fallback)
+  in
+  (* observability: one fallback-transition event per degraded
+     procedure, counted after the deterministic merge *)
+  Ba_obs.Metrics.incr ~n:(List.length fallbacks) Ba_obs.Metrics.Fallbacks;
   Ok
     {
       aligned =
@@ -359,7 +365,5 @@ let align_checked ?(executor = Executor.Seq) ?deadline_ms ?(fallback = true)
           addr;
           method_ = m;
         };
-      fallbacks =
-        Array.to_list parts
-        |> List.filter_map (fun part -> part.c_fallback);
+      fallbacks;
     }

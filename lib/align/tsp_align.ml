@@ -53,6 +53,7 @@ let solve_instance ?(config = default) ?rng ?budget (inst : Reduction.t) :
   in
   if Budget.exhausted budget then begin
     (* no budget at all: hand back the identity layout, flagged *)
+    Ba_obs.Metrics.incr Ba_obs.Metrics.Budget_exhaustions;
     let order = Layout.identity inst.Reduction.cfg in
     {
       order;
@@ -66,6 +67,7 @@ let solve_instance ?(config = default) ?rng ?budget (inst : Reduction.t) :
     let n_cities = inst.Reduction.dtsp.Dtsp.n in
     if n_cities <= min config.exact_below Exact.max_n then begin
       let tour, cost = Exact.solve inst.Reduction.dtsp in
+      Ba_obs.Metrics.incr Ba_obs.Metrics.Exact_solves;
       let order = Reduction.order_of_tour inst tour in
       { order; cost; exact = true; stats = None; degraded = None }
     end

@@ -44,29 +44,40 @@ let sum_stages l = List.fold_left add_stages no_stages l
 
 (* ------------------------------------------------------------------ *)
 
-(** The per-task execution context: the seeded RNG plus the task-local
-    stage clock. *)
+(** The per-task execution context: the seeded RNG, the task-local
+    stage clock, and the task's span buffer (single-writer; disabled —
+    a no-op — unless tracing is on, see {!Ba_obs.Trace}). *)
 type ctx = {
   rng : Random.State.t;
   mutable acc : stages;  (** task-local; never shared across tasks *)
+  span_buf : Ba_obs.Span.buf;  (** task-local, lock-free by ownership *)
 }
 
 let rng ctx = ctx.rng
+let spans ctx = ctx.span_buf
+
+let stage_name = function
+  | Build -> "build"
+  | Solve -> "solve"
+  | Realize -> "realize"
+  | Verify -> "verify"
 
 (** [staged ctx stage f] runs [f ()] charging its wall-clock time to
-    [stage] in the task-local record. *)
+    [stage] in the task-local record, and — when tracing is enabled —
+    recording one span named after the stage. *)
 let staged ctx stage f =
-  let t0 = Unix.gettimeofday () in
-  let finally () =
-    let dt = Unix.gettimeofday () -. t0 in
-    ctx.acc <-
-      (match stage with
-      | Build -> { ctx.acc with build_s = ctx.acc.build_s +. dt }
-      | Solve -> { ctx.acc with solve_s = ctx.acc.solve_s +. dt }
-      | Realize -> { ctx.acc with realize_s = ctx.acc.realize_s +. dt }
-      | Verify -> { ctx.acc with verify_s = ctx.acc.verify_s +. dt })
-  in
-  Fun.protect ~finally f
+  Ba_obs.Span.with_span ctx.span_buf (stage_name stage) (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let finally () =
+        let dt = Unix.gettimeofday () -. t0 in
+        ctx.acc <-
+          (match stage with
+          | Build -> { ctx.acc with build_s = ctx.acc.build_s +. dt }
+          | Solve -> { ctx.acc with solve_s = ctx.acc.solve_s +. dt }
+          | Realize -> { ctx.acc with realize_s = ctx.acc.realize_s +. dt }
+          | Verify -> { ctx.acc with verify_s = ctx.acc.verify_s +. dt })
+      in
+      Fun.protect ~finally f)
 
 (* ------------------------------------------------------------------ *)
 
@@ -104,24 +115,43 @@ type 'a outcome = {
   value : 'a;
   stages : stages;  (** per-task stage seconds (task-local, merged after join) *)
   elapsed_s : float;  (** total wall-clock of the task *)
+  spans : Ba_obs.Span.span array;
+      (** the task's completed spans (empty unless tracing is on) *)
 }
 
-(** [run_one ~seed task] executes one task on the calling domain. *)
+(** [run_one ~seed task] executes one task on the calling domain.  With
+    tracing on, the whole task body runs inside a root span named
+    ["task"], so stage spans nest under it in the trace viewer. *)
 let run_one ~seed (t : 'a t) : 'a outcome =
-  let ctx = { rng = seed_rng ~seed ~id:t.id; acc = no_stages } in
+  let span_buf =
+    Ba_obs.Span.create ~task:t.id ~enabled:(Ba_obs.Trace.enabled ())
+  in
+  let ctx = { rng = seed_rng ~seed ~id:t.id; acc = no_stages; span_buf } in
   let t0 = Unix.gettimeofday () in
-  let value = t.run ctx in
+  let value = Ba_obs.Span.with_span span_buf "task" (fun () -> t.run ctx) in
   {
     id = t.id;
     label = t.label;
     value;
     stages = ctx.acc;
     elapsed_s = Unix.gettimeofday () -. t0;
+    spans = Ba_obs.Span.spans span_buf;
   }
 
 (** [run_all ?seed exec tasks] executes every task under [exec] and
     returns the outcomes in input order (deterministic merge by
-    position, regardless of which domain finished first). *)
+    position, regardless of which domain finished first).  After the
+    join, each task's span buffer is handed to the global trace in
+    index order, so trace groups are scheduling-independent too. *)
 let run_all ?(seed = 0) (exec : Executor.t) (tasks : 'a t array) :
     'a outcome array =
-  Executor.init exec (Array.length tasks) (fun i -> run_one ~seed tasks.(i))
+  let outcomes =
+    Executor.init exec (Array.length tasks) (fun i -> run_one ~seed tasks.(i))
+  in
+  Ba_obs.Metrics.incr ~n:(Array.length tasks) Ba_obs.Metrics.Tasks_run;
+  Ba_obs.Metrics.set_gauge Ba_obs.Metrics.Jobs (Executor.jobs exec);
+  if Ba_obs.Trace.enabled () then
+    Array.iter
+      (fun o -> Ba_obs.Trace.add_task ~label:o.label ~task:o.id o.spans)
+      outcomes;
+  outcomes

@@ -27,8 +27,14 @@ type ctx
 (** The task's own random stream, a function of [(seed, id)] only. *)
 val rng : ctx -> Random.State.t
 
+(** The task's span buffer: single-writer while the task runs, a no-op
+    unless tracing is enabled.  Pipeline stages may record their own
+    finer-grained spans into it. *)
+val spans : ctx -> Ba_obs.Span.buf
+
 (** [staged ctx stage f] runs [f ()], charging its wall-clock time to
-    [stage] in the task-local record. *)
+    [stage] in the task-local record (and recording a stage span when
+    tracing is enabled). *)
 val staged : ctx -> stage -> (unit -> 'a) -> 'a
 
 type 'a t = {
@@ -52,11 +58,15 @@ type 'a outcome = {
   value : 'a;
   stages : stages;
   elapsed_s : float;
+  spans : Ba_obs.Span.span array;
+      (** completed spans (empty unless tracing is on) *)
 }
 
-(** Execute one task on the calling domain. *)
+(** Execute one task on the calling domain (inside a root ["task"]
+    span when tracing is on). *)
 val run_one : seed:int -> 'a t -> 'a outcome
 
 (** Execute every task under the executor; outcomes come back in input
-    order whatever the completion order was. *)
+    order whatever the completion order was.  Joined span buffers are
+    handed to {!Ba_obs.Trace} in index order. *)
 val run_all : ?seed:int -> Executor.t -> 'a t array -> 'a outcome array

@@ -1,0 +1,82 @@
+(** Machine-readable bench trajectory.
+
+    [balign bench --json FILE] emits one self-describing document per
+    run so CI can chart penalty/gap/latency over commits:
+
+    {v
+    { "commit": "<sha>", "date": "<ISO-8601 UTC>",
+      "rows": [ { "bench": ..., "dataset": ...,
+                  "penalty_cycles": ..., "hk_gap": ...,
+                  "wall_ms": ..., "p50_ms": ..., "p95_ms": ...,
+                  "jobs": ... }, ... ] }
+    v}
+
+    [penalty_cycles] and [hk_gap] are deterministic (self-trained TSP
+    layout vs the Held–Karp bound); the [*_ms] fields are wall-clock
+    and vary run to run.  Document construction is pure ({!make}) so
+    tests can golden-check the deterministic slice. *)
+
+module Json = Ba_obs.Json
+module Task = Ba_engine.Task
+
+(** Gap of the self-trained TSP penalty to the Held–Karp lower bound,
+    as a fraction of the bound (0 when the bound is degenerate). *)
+let hk_gap (r : Runner.row) =
+  if r.Runner.lower_bound <= 0 then 0.
+  else
+    Float.max 0.
+      (float_of_int (r.Runner.tsp_self.Runner.penalty - r.Runner.lower_bound)
+      /. float_of_int r.Runner.lower_bound)
+
+let row_json ~jobs (o : Runner.row Task.outcome) : Json.t =
+  let r = o.Task.value in
+  Json.Obj
+    [
+      ("bench", Json.String r.Runner.bench);
+      ("dataset", Json.String r.Runner.ds);
+      ("penalty_cycles", Json.Int r.Runner.tsp_self.Runner.penalty);
+      ("hk_gap", Json.Float (hk_gap r));
+      ("wall_ms", Json.Float (o.Task.elapsed_s *. 1000.));
+      ("p50_ms", Json.Float (r.Runner.solve_dist.Timing.p50_s *. 1000.));
+      ("p95_ms", Json.Float (r.Runner.solve_dist.Timing.p95_s *. 1000.));
+      ("jobs", Json.Int jobs);
+    ]
+
+(** [make ~commit ~date ~jobs outcomes] builds the document; pure. *)
+let make ~commit ~date ~jobs (outcomes : Runner.row Task.outcome list) : Json.t
+    =
+  Json.Obj
+    [
+      ("commit", Json.String commit);
+      ("date", Json.String date);
+      ("rows", Json.List (List.map (row_json ~jobs) outcomes));
+    ]
+
+(** Best-effort current commit id: [$BALIGN_COMMIT] if set (CI), else
+    [git rev-parse HEAD], else ["unknown"]. *)
+let current_commit () =
+  match Sys.getenv_opt "BALIGN_COMMIT" with
+  | Some c when String.trim c <> "" -> String.trim c
+  | _ -> (
+      try
+        let ic =
+          Unix.open_process_in "git rev-parse HEAD 2>/dev/null"
+        in
+        let line = try input_line ic with End_of_file -> "" in
+        let status = Unix.close_process_in ic in
+        match (status, String.trim line) with
+        | Unix.WEXITED 0, sha when sha <> "" -> sha
+        | _ -> "unknown"
+      with _ -> "unknown")
+
+(** Current time as ISO-8601 UTC, e.g. ["2026-08-06T12:34:56Z"]. *)
+let now_utc () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(** [write path ~jobs outcomes] stamps and writes the document. *)
+let write path ~jobs outcomes =
+  Json.write_file path
+    (make ~commit:(current_commit ()) ~date:(now_utc ()) ~jobs outcomes)

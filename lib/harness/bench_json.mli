@@ -1,0 +1,27 @@
+(** Machine-readable bench trajectory ([balign bench --json FILE]):
+    [{commit, date, rows: [{bench, dataset, penalty_cycles, hk_gap,
+    wall_ms, p50_ms, p95_ms, jobs}]}].  {!make} is pure so tests can
+    golden-check the deterministic slice. *)
+
+(** Gap of the self-trained TSP penalty to the Held–Karp lower bound,
+    as a fraction of the bound (0 when the bound is degenerate). *)
+val hk_gap : Runner.row -> float
+
+(** [make ~commit ~date ~jobs outcomes] builds the document; pure. *)
+val make :
+  commit:string ->
+  date:string ->
+  jobs:int ->
+  Runner.row Ba_engine.Task.outcome list ->
+  Ba_obs.Json.t
+
+(** Best-effort current commit id: [$BALIGN_COMMIT] if set (CI), else
+    [git rev-parse HEAD], else ["unknown"]. *)
+val current_commit : unit -> string
+
+(** Current time as ISO-8601 UTC, e.g. ["2026-08-06T12:34:56Z"]. *)
+val now_utc : unit -> string
+
+(** [write path ~jobs outcomes] stamps and writes the document. *)
+val write :
+  string -> jobs:int -> Runner.row Ba_engine.Task.outcome list -> unit

@@ -144,13 +144,18 @@ let measure (cfg : config) (aligned : Driver.aligned) ~test_profile ~run :
     icache_misses = sim.Cycles.icache_misses;
   }
 
-(** [run_benchmark ?config w ~test] runs the full experiment for one
-    benchmark on testing data set [test] (training on [test] for the
-    self rows and on the sibling set for the cross rows).  Pure up to
-    the wall clock: safe to run concurrently with other benchmarks. *)
-let run_benchmark ?(config = default) (w : Workload.t)
-    ~(test : Workload.dataset) : row =
-  let compiled, compile_s = Timing.time (fun () -> Workload.compile w) in
+(** [run_benchmark ?config ?spans w ~test] runs the full experiment for
+    one benchmark on testing data set [test] (training on [test] for
+    the self rows and on the sibling set for the cross rows).  Pure up
+    to the wall clock: safe to run concurrently with other benchmarks.
+    [spans] (default: disabled) receives one span per pipeline phase
+    when tracing is on. *)
+let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
+    (w : Workload.t) ~(test : Workload.dataset) : row =
+  let sp name f = Ba_obs.Span.with_span spans name f in
+  let compiled, compile_s =
+    sp "compile" (fun () -> Timing.time (fun () -> Workload.compile w))
+  in
   let cfgs = compiled.Ba_minic.Compile.cfgs in
   let train_ds = Workload.sibling w test in
   let run_input input sink =
@@ -158,11 +163,13 @@ let run_benchmark ?(config = default) (w : Workload.t)
   in
   let run_test = run_input test.Workload.input in
   let test_profile, profile_s =
-    Timing.time (fun () ->
-        Ba_minic.Compile.profile compiled ~input:test.Workload.input)
+    sp "profile" (fun () ->
+        Timing.time (fun () ->
+            Ba_minic.Compile.profile compiled ~input:test.Workload.input))
   in
   let cross_profile =
-    Ba_minic.Compile.profile compiled ~input:train_ds.Workload.input
+    sp "profile-cross" (fun () ->
+        Ba_minic.Compile.profile compiled ~input:train_ds.Workload.input)
   in
   (* ---- layouts ---- *)
   let original, _ =
@@ -176,52 +183,61 @@ let run_benchmark ?(config = default) (w : Workload.t)
       cfgs
   in
   let greedy_self_orders, greedy_align_s =
-    Timing.time (fun () -> greedy_orders_of test_profile)
+    sp "greedy" (fun () -> Timing.time (fun () -> greedy_orders_of test_profile))
   in
   let greedy_self, greedy_realize_s =
-    realize_program config cfgs greedy_self_orders ~train:test_profile
+    sp "realize-greedy" (fun () ->
+        realize_program config cfgs greedy_self_orders ~train:test_profile)
   in
   let tsp_self_orders, n_exact, n_timeouts, matrix_s, solve_s, solve_times =
-    tsp_align_program config cfgs ~train:test_profile
+    sp "tsp-self" (fun () -> tsp_align_program config cfgs ~train:test_profile)
   in
   let tsp_self, tsp_program_s =
-    realize_program config cfgs tsp_self_orders ~train:test_profile
+    sp "realize-tsp" (fun () ->
+        realize_program config cfgs tsp_self_orders ~train:test_profile)
   in
   let greedy_cross, _ =
-    realize_program config cfgs (greedy_orders_of cross_profile)
-      ~train:cross_profile
+    sp "greedy-cross" (fun () ->
+        realize_program config cfgs (greedy_orders_of cross_profile)
+          ~train:cross_profile)
   in
   let tsp_cross_orders, _, _, _, _, _ =
-    tsp_align_program config cfgs ~train:cross_profile
+    sp "tsp-cross" (fun () -> tsp_align_program config cfgs ~train:cross_profile)
   in
   let tsp_cross, _ =
-    realize_program config cfgs tsp_cross_orders ~train:cross_profile
+    sp "realize-tsp-cross" (fun () ->
+        realize_program config cfgs tsp_cross_orders ~train:cross_profile)
   in
   (* ---- measurements (always on the testing input) ---- *)
   let m a = measure config a ~test_profile ~run:run_test in
-  let original_m = m original in
-  let greedy_self_m = m greedy_self in
-  let tsp_self_m = m tsp_self in
-  let greedy_cross_m = m greedy_cross in
-  let tsp_cross_m = m tsp_cross in
+  let original_m, greedy_self_m, tsp_self_m, greedy_cross_m, tsp_cross_m =
+    sp "measure" (fun () ->
+        (m original, m greedy_self, m tsp_self, m greedy_cross, m tsp_cross))
+  in
   (* ---- lower bound ---- *)
   let bound, bounds_s =
-    Timing.time (fun () ->
-        let total = ref 0 in
-        Array.iteri
-          (fun fid g ->
-            let prof = Profile.proc test_profile fid in
-            let upper =
-              Evaluate.proc_penalty config.penalties g
-                ~order:tsp_self_orders.(fid) ~train:prof ~test:prof
-            in
-            total :=
-              !total
-              + Bounds.held_karp ~config:config.hk config.penalties g
-                  ~profile:prof ~upper)
-          cfgs;
-        !total)
+    sp "bounds" (fun () ->
+        Timing.time (fun () ->
+            let total = ref 0 in
+            Array.iteri
+              (fun fid g ->
+                let prof = Profile.proc test_profile fid in
+                let upper =
+                  Evaluate.proc_penalty config.penalties g
+                    ~order:tsp_self_orders.(fid) ~train:prof ~test:prof
+                in
+                total :=
+                  !total
+                  + Bounds.held_karp ~config:config.hk config.penalties g
+                      ~profile:prof ~upper)
+              cfgs;
+            !total))
   in
+  (* gap of the self-trained TSP layout to the Held–Karp lower bound *)
+  if bound > 0 then
+    Ba_obs.Metrics.observe_hk_gap
+      (Float.max 0.
+         (float_of_int (tsp_self_m.penalty - bound) /. float_of_int bound));
   (* per-stage timings, merged from the immutable pieces *)
   let stages =
     {
@@ -264,14 +280,15 @@ let run_benchmark ?(config = default) (w : Workload.t)
     solve_dist = Timing.dist_of solve_times;
   }
 
-(** [run_all ?config ?executor ?workloads ()] runs the experiment for
-    every benchmark × data set pair of the given suite (default: the
-    SPEC92 stand-ins, in Table 1 order; pass
+(** [run_all_outcomes ?config ?executor ?workloads ()] runs the
+    experiment for every benchmark × data set pair of the given suite
+    (default: the SPEC92 stand-ins, in Table 1 order; pass
     [Ba_workloads.Workload95.all] for the SPEC95 extension suite).
     Rows fan out over [executor] (default sequential) and come back in
-    suite order; the measured numbers are identical at any job count. *)
-let run_all ?(config = default) ?(executor = Executor.Seq)
-    ?(workloads = Workload.all) () : row list =
+    suite order as full task outcomes (row + wall-clock + spans); the
+    measured numbers are identical at any job count. *)
+let run_all_outcomes ?(config = default) ?(executor = Executor.Seq)
+    ?(workloads = Workload.all) () : row Task.outcome list =
   let pairs =
     List.concat_map
       (fun w -> List.map (fun ds -> (w, ds)) (Workload.dataset_list w))
@@ -283,9 +300,13 @@ let run_all ?(config = default) ?(executor = Executor.Seq)
          (fun i (w, ds) ->
            Task.make ~id:i
              ~label:(w.Workload.name ^ "." ^ ds.Workload.ds_name)
-             (fun _ctx -> run_benchmark ~config w ~test:ds))
+             (fun ctx ->
+               run_benchmark ~config ~spans:(Task.spans ctx) w ~test:ds))
          pairs)
   in
-  Task.run_all executor tasks
-  |> Array.to_list
+  Task.run_all executor tasks |> Array.to_list
+
+(** [run_all] is {!run_all_outcomes} stripped down to the rows. *)
+let run_all ?config ?executor ?workloads () : row list =
+  run_all_outcomes ?config ?executor ?workloads ()
   |> List.map (fun o -> o.Task.value)

@@ -47,12 +47,28 @@ val default : config
 
 (** Run the full experiment for one benchmark on one testing data set.
     Pure up to the wall clock: safe to run concurrently with other
-    benchmarks. *)
-val run_benchmark : ?config:config -> Workload.t -> test:Workload.dataset -> row
+    benchmarks.  [spans] (default: disabled) receives one span per
+    pipeline phase when tracing is on. *)
+val run_benchmark :
+  ?config:config ->
+  ?spans:Ba_obs.Span.buf ->
+  Workload.t ->
+  test:Workload.dataset ->
+  row
 
 (** Run the experiment over a whole suite (default: the SPEC92
     stand-ins; pass [Ba_workloads.Workload95.all] for the extension
-    suite), fanning rows out over [executor] (default sequential). *)
+    suite), fanning rows out over [executor] (default sequential).
+    Outcomes come back in suite order with per-task wall clock and
+    spans attached. *)
+val run_all_outcomes :
+  ?config:config ->
+  ?executor:Ba_engine.Executor.t ->
+  ?workloads:Workload.t list ->
+  unit ->
+  row Ba_engine.Task.outcome list
+
+(** {!run_all_outcomes} stripped down to the rows. *)
 val run_all :
   ?config:config ->
   ?executor:Ba_engine.Executor.t ->

@@ -1,0 +1,31 @@
+(** Minimal dependency-free JSON: canonical emission for the
+    observability artifacts plus a strict parser for validating them in
+    tests.  Floats emit as ["%.6f"]; non-finite floats emit [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact canonical rendering (insertion-ordered keys). *)
+val to_string : t -> string
+
+(** [write_file path v] writes [to_string v] plus a trailing newline. *)
+val write_file : string -> t -> unit
+
+(** Strict parse of a complete JSON document. *)
+val parse : string -> (t, string) result
+
+(** [member k v] is the value of field [k] when [v] is an object. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+
+(** Numeric payload of an [Int] or [Float]. *)
+val to_number : t -> float option
+
+val to_str : t -> string option

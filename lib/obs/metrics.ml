@@ -1,0 +1,133 @@
+(** The typed counter/gauge registry, aggregated lock-free across
+    domains.
+
+    Counters are process-global [Atomic.t] cells: increments from
+    concurrent solver tasks commute, so the final totals are
+    independent of the job count and of scheduling.  Collection is
+    always on — one [fetch_and_add] per {e solve} or {e local-search
+    run}, never per move — and nothing is ever printed unless a
+    {!Sink} is asked to emit, so the default build's output is
+    untouched.
+
+    The catalogue (see docs/OBSERVABILITY.md):
+    - solver work: 2-opt / 3-opt improving moves, double-bridge kicks,
+      restarts (construction starts), exact vs heuristic solves;
+    - degradation: budget exhaustions, fallback transitions;
+    - engine: tasks executed;
+    and two gauges (candidate-list width, job count) plus the
+    gap-to-Held–Karp distribution observed per procedure. *)
+
+type counter =
+  | Moves_2opt  (** improving 2-opt moves applied *)
+  | Moves_3opt  (** improving pure-3-opt moves applied *)
+  | Kicks  (** double-bridge perturbations *)
+  | Restarts  (** solver construction starts (runs) *)
+  | Exact_solves  (** instances solved to proven optimality *)
+  | Heuristic_solves  (** instances solved by iterated 3-opt *)
+  | Budget_exhaustions  (** solves that hit the wall-clock/move budget *)
+  | Fallbacks  (** procedures degraded along the method chain *)
+  | Tasks_run  (** engine tasks executed *)
+
+let all_counters =
+  [
+    (Moves_2opt, "solver.moves.2opt");
+    (Moves_3opt, "solver.moves.3opt");
+    (Kicks, "solver.kicks");
+    (Restarts, "solver.restarts");
+    (Exact_solves, "solver.exact_solves");
+    (Heuristic_solves, "solver.heuristic_solves");
+    (Budget_exhaustions, "solver.budget_exhaustions");
+    (Fallbacks, "align.fallbacks");
+    (Tasks_run, "engine.tasks_run");
+  ]
+
+let counter_name c = List.assoc c all_counters
+
+let counter_index = function
+  | Moves_2opt -> 0
+  | Moves_3opt -> 1
+  | Kicks -> 2
+  | Restarts -> 3
+  | Exact_solves -> 4
+  | Heuristic_solves -> 5
+  | Budget_exhaustions -> 6
+  | Fallbacks -> 7
+  | Tasks_run -> 8
+
+let n_counters = List.length all_counters
+let counters : int Atomic.t array = Array.init n_counters (fun _ -> Atomic.make 0)
+
+let incr ?(n = 1) c =
+  if n <> 0 then ignore (Atomic.fetch_and_add counters.(counter_index c) n)
+
+let get c = Atomic.get counters.(counter_index c)
+
+(* ---------------- gauges ---------------- *)
+
+type gauge =
+  | Neighbor_width  (** 3-opt candidate-list width (last solve's config) *)
+  | Jobs  (** executor domain count of the last fan-out *)
+
+let all_gauges = [ (Neighbor_width, "solver.neighbor_width"); (Jobs, "engine.jobs") ]
+let gauge_name g = List.assoc g all_gauges
+let gauge_index = function Neighbor_width -> 0 | Jobs -> 1
+let gauges : int Atomic.t array = Array.init 2 (fun _ -> Atomic.make 0)
+let set_gauge g v = Atomic.set gauges.(gauge_index g) v
+let get_gauge g = Atomic.get gauges.(gauge_index g)
+
+(* ---------------- gap-to-Held–Karp distribution ---------------- *)
+
+(* fixed-point micro-units so the aggregate stays lock-free on int
+   atomics; gaps are small ratios, so micro precision is plenty *)
+let gap_count = Atomic.make 0
+let gap_sum_micro = Atomic.make 0
+let gap_max_micro = Atomic.make 0
+
+(** [observe_hk_gap g] records one procedure's relative gap between the
+    solved penalty and its Held–Karp lower bound (clamped at 0). *)
+let observe_hk_gap g =
+  let micro = int_of_float (Float.max 0. g *. 1e6) in
+  ignore (Atomic.fetch_and_add gap_count 1);
+  ignore (Atomic.fetch_and_add gap_sum_micro micro);
+  let rec raise_max () =
+    let cur = Atomic.get gap_max_micro in
+    if micro > cur && not (Atomic.compare_and_set gap_max_micro cur micro) then
+      raise_max ()
+  in
+  raise_max ()
+
+type gap_summary = { count : int; mean : float; max : float }
+
+let hk_gap () =
+  let n = Atomic.get gap_count in
+  {
+    count = n;
+    mean =
+      (if n = 0 then 0.
+       else float_of_int (Atomic.get gap_sum_micro) /. 1e6 /. float_of_int n);
+    max = float_of_int (Atomic.get gap_max_micro) /. 1e6;
+  }
+
+(* ---------------- snapshot / reset ---------------- *)
+
+(** One immutable read-out of the whole registry, for sinks. *)
+type snapshot = {
+  counter_values : (string * int) list;  (** catalogue order *)
+  gauge_values : (string * int) list;
+  gap : gap_summary;
+}
+
+let snapshot () =
+  {
+    counter_values = List.map (fun (c, name) -> (name, get c)) all_counters;
+    gauge_values = List.map (fun (g, name) -> (name, get_gauge g)) all_gauges;
+    gap = hk_gap ();
+  }
+
+(** Zero every cell (tests only — production code never resets). *)
+let reset () =
+  Array.iter (fun a -> Atomic.set a 0) counters;
+  Array.iter (fun a -> Atomic.set a 0) gauges;
+  Atomic.set gap_count 0;
+  Atomic.set gap_sum_micro 0;
+  Atomic.set gap_max_micro 0

@@ -1,0 +1,50 @@
+(** Process-global typed counters and gauges, aggregated lock-free
+    across domains (increments commute, so totals are independent of
+    job count).  Collection is always on; emission only happens when a
+    {!Sink} is asked.  Catalogue: docs/OBSERVABILITY.md. *)
+
+type counter =
+  | Moves_2opt
+  | Moves_3opt
+  | Kicks
+  | Restarts
+  | Exact_solves
+  | Heuristic_solves
+  | Budget_exhaustions
+  | Fallbacks
+  | Tasks_run
+
+(** Every counter with its stable snapshot name, in catalogue order. *)
+val all_counters : (counter * string) list
+
+val counter_name : counter -> string
+
+(** [incr ?n c] atomically adds [n] (default 1); [n = 0] is free. *)
+val incr : ?n:int -> counter -> unit
+
+val get : counter -> int
+
+type gauge = Neighbor_width | Jobs
+
+val all_gauges : (gauge * string) list
+val gauge_name : gauge -> string
+val set_gauge : gauge -> int -> unit
+val get_gauge : gauge -> int
+
+(** Record one procedure's relative gap to its Held–Karp bound. *)
+val observe_hk_gap : float -> unit
+
+type gap_summary = { count : int; mean : float; max : float }
+
+val hk_gap : unit -> gap_summary
+
+type snapshot = {
+  counter_values : (string * int) list;
+  gauge_values : (string * int) list;
+  gap : gap_summary;
+}
+
+val snapshot : unit -> snapshot
+
+(** Zero the registry (tests only). *)
+val reset : unit -> unit

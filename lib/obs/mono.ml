@@ -1,0 +1,16 @@
+(** The observability clock: nanoseconds on a single monotonically
+    interpreted timeline.
+
+    The repository deliberately has no external clock dependency, so
+    this is [Unix.gettimeofday] rescaled to integer nanoseconds — on the
+    Linux targets we care about that is a vDSO read with microsecond
+    resolution, cheap enough to call twice per span.  All obs consumers
+    only ever subtract two readings taken inside one process run, so
+    wall-clock steps (NTP slew) are the only deviation from a true
+    monotonic source; nothing downstream depends on absolute values. *)
+
+let now_ns () : int64 = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(** Nanoseconds → microseconds (the Chrome [trace_event] unit), as a
+    float with sub-microsecond precision preserved. *)
+let ns_to_us (ns : int64) : float = Int64.to_float ns /. 1e3

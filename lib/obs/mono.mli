@@ -1,0 +1,5 @@
+(** Nanosecond observability clock (see the implementation note on the
+    gettimeofday stand-in). *)
+
+val now_ns : unit -> int64
+val ns_to_us : int64 -> float

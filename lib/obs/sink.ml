@@ -1,0 +1,71 @@
+(** Metric sinks: where a {!Metrics.snapshot} goes when the run ends.
+
+    - {!Null} — the default; nothing is rendered, nothing is written.
+      Combined with always-on (but print-free) collection this keeps
+      the default build's output byte-identical to a build without
+      observability.
+    - {!Stderr} — a human-readable summary on stderr, for interactive
+      runs (stderr so deterministic stdout diffs stay clean).
+    - [Json_file p] / [Csv_file p] — machine-readable snapshots. *)
+
+type t = Null | Stderr | Json_file of string | Csv_file of string
+
+(** [of_spec s] maps a [--metrics] argument to a sink: ["-"] or
+    ["stderr"] → {!Stderr}; [*.csv] → CSV; anything else → JSON. *)
+let of_spec = function
+  | "-" | "stderr" -> Stderr
+  | p when Filename.check_suffix p ".csv" -> Csv_file p
+  | p -> Json_file p
+
+let snapshot_json (s : Metrics.snapshot) : Json.t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.Metrics.counter_values) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.Metrics.gauge_values) );
+      ( "hk_gap",
+        Json.Obj
+          [
+            ("count", Json.Int s.Metrics.gap.Metrics.count);
+            ("mean", Json.Float s.Metrics.gap.Metrics.mean);
+            ("max", Json.Float s.Metrics.gap.Metrics.max);
+          ] );
+    ]
+
+let snapshot_csv (s : Metrics.snapshot) : string list =
+  "metric,value"
+  :: (List.map (fun (k, v) -> Printf.sprintf "%s,%d" k v) s.Metrics.counter_values
+     @ List.map (fun (k, v) -> Printf.sprintf "%s,%d" k v) s.Metrics.gauge_values
+     @ [
+         Printf.sprintf "hk_gap.count,%d" s.Metrics.gap.Metrics.count;
+         Printf.sprintf "hk_gap.mean,%.6f" s.Metrics.gap.Metrics.mean;
+         Printf.sprintf "hk_gap.max,%.6f" s.Metrics.gap.Metrics.max;
+       ])
+
+let emit_snapshot (sink : t) (s : Metrics.snapshot) =
+  match sink with
+  | Null -> ()
+  | Stderr ->
+      Fmt.epr "--- metrics ---@.";
+      List.iter
+        (fun (k, v) -> if v <> 0 then Fmt.epr "%-28s %12d@." k v)
+        (s.Metrics.counter_values @ s.Metrics.gauge_values);
+      if s.Metrics.gap.Metrics.count > 0 then
+        Fmt.epr "%-28s n=%d mean=%.4f max=%.4f@." "hk_gap"
+          s.Metrics.gap.Metrics.count s.Metrics.gap.Metrics.mean
+          s.Metrics.gap.Metrics.max
+  | Json_file p -> Json.write_file p (snapshot_json s)
+  | Csv_file p ->
+      let oc = open_out p in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun line ->
+              output_string oc line;
+              output_char oc '\n')
+            (snapshot_csv s))
+
+(** [emit sink] renders the current global registry through [sink]. *)
+let emit sink = emit_snapshot sink (Metrics.snapshot ())

@@ -1,0 +1,19 @@
+(** Metric sinks: Null (default, renders nothing), a stderr summary,
+    and JSON/CSV snapshot writers. *)
+
+type t = Null | Stderr | Json_file of string | Csv_file of string
+
+(** Map a [--metrics] argument: ["-"]/["stderr"] → Stderr, [*.csv] →
+    CSV, anything else → JSON. *)
+val of_spec : string -> t
+
+(** The snapshot as a JSON document ([counters]/[gauges]/[hk_gap]). *)
+val snapshot_json : Metrics.snapshot -> Json.t
+
+(** The snapshot as [metric,value] CSV lines (header first). *)
+val snapshot_csv : Metrics.snapshot -> string list
+
+val emit_snapshot : t -> Metrics.snapshot -> unit
+
+(** Render the current global registry through the sink. *)
+val emit : t -> unit

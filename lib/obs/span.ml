@@ -1,0 +1,65 @@
+(** Lightweight spans, collected per task into single-writer buffers.
+
+    A span is one named interval on the observability clock, tagged
+    with the id of the task that produced it and the id of its
+    enclosing span.  Each task owns exactly one {!buf}; a buffer is
+    only ever written by the domain running its task, so recording is
+    lock-free by construction.  After the task joins, the caller reads
+    the buffer out as an immutable array ({!spans}) and merges buffers
+    deterministically by task index (see {!Trace}).
+
+    A disabled buffer records nothing: {!with_span} costs one branch
+    and calls the thunk directly, which is what keeps the default
+    (null-sink) build bit-identical to a build without observability. *)
+
+type span = {
+  id : int;  (** per-task open order, 0-based *)
+  parent : int;  (** id of the enclosing span; -1 for a root *)
+  task : int;  (** owning task id *)
+  name : string;
+  start_ns : int64;
+  stop_ns : int64;
+}
+
+type buf = {
+  task : int;
+  enabled : bool;
+  mutable next_id : int;
+  mutable stack : int list;  (** ids of currently open spans *)
+  mutable closed : span list;  (** completed spans, most recent first *)
+}
+
+let create ~task ~enabled = { task; enabled; next_id = 0; stack = []; closed = [] }
+
+(** The shared disabled buffer, for callers with nothing to trace. *)
+let null = create ~task:(-1) ~enabled:false
+
+let enabled buf = buf.enabled
+
+(** [with_span buf name f] runs [f ()] inside a span named [name];
+    the span closes (and is recorded) even if [f] raises.  On a
+    disabled buffer this is exactly [f ()]. *)
+let with_span buf name f =
+  if not buf.enabled then f ()
+  else begin
+    let id = buf.next_id in
+    buf.next_id <- id + 1;
+    let parent = match buf.stack with [] -> -1 | p :: _ -> p in
+    buf.stack <- id :: buf.stack;
+    let start_ns = Mono.now_ns () in
+    let finally () =
+      let stop_ns = Mono.now_ns () in
+      buf.stack <- List.tl buf.stack;
+      buf.closed <-
+        { id; parent; task = buf.task; name; start_ns; stop_ns } :: buf.closed
+    in
+    Fun.protect ~finally f
+  end
+
+(** Completed spans in open order (the immutable read-out). *)
+let spans buf : span array =
+  let a = Array.of_list buf.closed in
+  Array.sort (fun a b -> compare a.id b.id) a;
+  a
+
+let duration_ns s = Int64.sub s.stop_ns s.start_ns

@@ -1,0 +1,31 @@
+(** Per-task span buffers: named intervals on the observability clock,
+    single-writer while the task runs, immutable after the join.  A
+    disabled buffer records nothing and costs one branch per span. *)
+
+type span = {
+  id : int;  (** per-task open order, 0-based *)
+  parent : int;  (** id of the enclosing span; -1 for a root *)
+  task : int;  (** owning task id *)
+  name : string;
+  start_ns : int64;
+  stop_ns : int64;
+}
+
+type buf
+
+(** [create ~task ~enabled] is a fresh empty buffer owned by [task]. *)
+val create : task:int -> enabled:bool -> buf
+
+(** The shared disabled buffer, for callers with nothing to trace. *)
+val null : buf
+
+val enabled : buf -> bool
+
+(** [with_span buf name f] runs [f ()] inside a span named [name]; the
+    span closes even if [f] raises.  Disabled buffer: exactly [f ()]. *)
+val with_span : buf -> string -> (unit -> 'a) -> 'a
+
+(** Completed spans in open order. *)
+val spans : buf -> span array
+
+val duration_ns : span -> int64

@@ -144,6 +144,7 @@ let solve ?(config = default) ?rng ?budget (d : Dtsp.t) : int array * stats =
   let n = d.Dtsp.n in
   if n <= 3 then begin
     let tour, c = brute_force d in
+    Ba_obs.Metrics.incr Ba_obs.Metrics.Exact_solves;
     ( tour,
       { best_cost = c; runs_with_best = config.runs; kicks = 0; moves_2opt = 0;
         moves_3opt = 0; timed_out = false } )
@@ -205,6 +206,15 @@ let solve ?(config = default) ?rng ?budget (d : Dtsp.t) : int array * stats =
     done;
     let tour = Option.get !best_tour in
     assert (Dtsp.tour_cost d tour = !best_cost);
+    let timed_out = Ba_robust.Budget.exhausted budget in
+    (* observability: per-solve totals (move counters are fed by
+       Three_opt.run itself) *)
+    Ba_obs.Metrics.(
+      incr Heuristic_solves;
+      incr ~n:!total_kicks Kicks;
+      incr ~n:!run Restarts;
+      set_gauge Neighbor_width config.neighbors;
+      if timed_out then incr Budget_exhaustions);
     ( tour,
       {
         best_cost = !best_cost;
@@ -212,6 +222,6 @@ let solve ?(config = default) ?rng ?budget (d : Dtsp.t) : int array * stats =
         kicks = !total_kicks;
         moves_2opt = !m2;
         moves_3opt = !m3;
-        timed_out = Ba_robust.Budget.exhausted budget;
+        timed_out;
       } )
   end

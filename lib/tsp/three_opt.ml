@@ -246,6 +246,7 @@ let run ?budget st =
   let spend () =
     match budget with Some b -> Ba_robust.Budget.spend b | None -> ()
   in
+  let m2_before = st.moves_2opt and m3_before = st.moves_3opt in
   (try
      while not (Queue.is_empty st.queue) do
        if exhausted () then raise_notrace Exit;
@@ -256,7 +257,10 @@ let run ?budget st =
          if exhausted () then raise_notrace Exit
        done
      done
-   with Exit -> ())
+   with Exit -> ());
+  (* observability: one atomic add per run call, never per move *)
+  Ba_obs.Metrics.incr ~n:(st.moves_2opt - m2_before) Ba_obs.Metrics.Moves_2opt;
+  Ba_obs.Metrics.incr ~n:(st.moves_3opt - m3_before) Ba_obs.Metrics.Moves_3opt
 
 (** Current tour (copied). *)
 let tour st = Array.copy st.tour

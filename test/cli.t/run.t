@@ -1,0 +1,75 @@
+CLI end-to-end tests: the documented exit codes, parallel
+bit-identity, and the observability artifacts (--trace / --metrics /
+bench --json), validated structurally with check_trace.
+
+  $ export BALIGN=../../bin/balign.exe CT=../tools/check_trace.exe
+  $ cat > p.mc <<'EOF'
+  > fn main() {
+  >   var n = read();
+  >   var s = 0;
+  >   while (n > 0) {
+  >     if (n % 2 == 0) { s = s + n; } else { s = s - 1; }
+  >     n = n - 1;
+  >   }
+  >   print(s);
+  > }
+  > EOF
+
+A successful alignment is deterministic, so its full output is golden:
+
+  $ $BALIGN align p.mc --input 9
+  main: 0 4 6 1 2 5 3
+  control penalty: 61 -> 37 cycles (tsp)
+  simulated cycles: 295 -> 259 (icache misses 4 -> 4)
+
+Documented failure exit codes (stderr suppressed; the typed messages
+are covered by test_robust):
+
+  $ $BALIGN align p.mc --input 1 --input-file p.mc 2>/dev/null
+  [2]
+  $ printf 'fn main( {' > bad.mc
+  $ $BALIGN compile bad.mc 2>/dev/null
+  [3]
+  $ $BALIGN align p.mc --input 1,two 2>/dev/null
+  [4]
+  $ $BALIGN align p.mc --deadline-ms 0 --fallback none 2>/dev/null
+  [7]
+  $ mkdir dir.d && $BALIGN align p.mc --input-file dir.d 2>/dev/null
+  [9]
+
+The codes are documented in every subcommand's man page:
+
+  $ $BALIGN align --help=plain 2>/dev/null | grep -c "budget exhausted"
+  1
+
+Output is bit-identical at any job count:
+
+  $ $BALIGN align p.mc --input 9 --jobs 1 > j1.out 2>/dev/null
+  $ $BALIGN align p.mc --input 9 --jobs max > jmax.out 2>/dev/null
+  $ cmp j1.out jmax.out
+
+--trace writes a loadable Chrome trace_event file.  align runs the
+requested and the original layouts, so two task groups appear:
+
+  $ $BALIGN align p.mc --input 9 --trace t.json > /dev/null
+  $ $CT t.json
+  trace ok: 2 task groups
+
+--metrics renders the same snapshot as JSON or CSV, picked by
+extension:
+
+  $ $BALIGN align p.mc --input 9 --metrics m.json > /dev/null
+  $ $CT --metrics m.json
+  metrics ok: 9 counters, 2 gauges
+  $ $BALIGN align p.mc --input 9 --metrics m.csv > /dev/null
+  $ head -1 m.csv
+  metric,value
+  $ grep -c '^engine.tasks_run,' m.csv
+  1
+
+bench --json emits the machine-readable trajectory (stdout tables
+carry wall-clock columns, so only the artifact's shape is checked):
+
+  $ $BALIGN bench com --json b.json --jobs 2 > /dev/null 2>&1
+  $ $CT --bench b.json
+  bench ok: 2 rows

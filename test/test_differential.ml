@@ -1,0 +1,128 @@
+(** Differential oracle: for every bundled example program and every
+    alignment method, the analytic control penalty
+    ({!Ba_align.Driver.analytic_penalty}) computed from the profile
+    must equal the penalty counted by the trace-driven machine
+    simulation ({!Ba_align.Driver.simulate}) when training and testing
+    input coincide — the two implementations share nothing but the
+    penalty model, so agreement pins both.  A seeded-fault negative
+    case proves the oracle actually detects discrepancies. *)
+
+module Driver = Ba_align.Driver
+module Compile = Ba_minic.Compile
+
+let penalties = Ba_machine.Penalties.alpha_21164
+
+(** Find the repo's [examples/programs] directory by walking up from
+    the test's working directory (works from the source tree and from
+    [_build/default/test]). *)
+let programs_dir () =
+  let rec up dir n =
+    if n = 0 then None
+    else
+      let cand = Filename.concat dir "examples/programs" in
+      if Sys.file_exists cand && Sys.is_directory cand then Some cand
+      else up (Filename.dirname dir) (n - 1)
+  in
+  match up (Sys.getcwd ()) 8 with
+  | Some d -> d
+  | None -> Alcotest.fail "examples/programs not found above cwd"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Each example with a meaningful [read()] input. *)
+let cases =
+  [
+    ("collatz.mc", [| 40 |]);
+    (* opcode stream: add 5, sub 2, abs/double, print, unknown, halt *)
+    ("dispatch.mc", [| 1; 5; 2; 2; 3; 4; 9; 0 |]);
+    ("scanner.mc", [| 7; 97; 98; 32; 49; 92; 10; 55 |]);
+  ]
+
+let methods =
+  [
+    Driver.Original;
+    Driver.Greedy;
+    Driver.Calder;
+    Driver.Tsp Ba_align.Tsp_align.default;
+  ]
+
+let check_program name input =
+  let src = read_file (Filename.concat (programs_dir ()) name) in
+  let c =
+    match Compile.compile src with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "%s does not compile: %a" name Ba_robust.Errors.pp e
+  in
+  let prof = Compile.profile c ~input in
+  let run sink = ignore (Compile.run c ~input ~sink) in
+  List.iter
+    (fun m ->
+      let aligned =
+        Driver.align m penalties c.Compile.cfgs ~train:prof
+      in
+      let analytic = Driver.analytic_penalty penalties aligned ~test:prof in
+      let sim = Driver.simulate penalties aligned ~run in
+      Alcotest.(check int)
+        (Printf.sprintf "%s/%s" name (Driver.method_name m))
+        analytic sim.Ba_machine.Cycles.penalty_cycles)
+    methods
+
+let test_examples () =
+  List.iter (fun (name, input) -> check_program name input) cases
+
+(** Negative control: simulate under a perturbed penalty model — every
+    mispredict one cycle dearer — and require the oracle to flag the
+    difference.  If this passes with equal counts the oracle is blind. *)
+let test_seeded_fault_detected () =
+  let src = read_file (Filename.concat (programs_dir ()) "collatz.mc") in
+  let c = Compile.compile_exn src in
+  let input = [| 40 |] in
+  let prof = Compile.profile c ~input in
+  let run sink = ignore (Compile.run c ~input ~sink) in
+  let aligned =
+    Driver.align (Driver.Tsp Ba_align.Tsp_align.default) penalties
+      c.Compile.cfgs ~train:prof
+  in
+  let analytic = Driver.analytic_penalty penalties aligned ~test:prof in
+  let faulty =
+    {
+      penalties with
+      Ba_machine.Penalties.cond_mispredict =
+        penalties.Ba_machine.Penalties.cond_mispredict + 1;
+    }
+  in
+  let sim = Driver.simulate faulty aligned ~run in
+  Alcotest.(check bool)
+    "perturbed model must disagree with the analytic penalty" true
+    (sim.Ba_machine.Cycles.penalty_cycles <> analytic)
+
+(** The harness-level oracle ({!Ba_harness.Runner.measure} inside
+    [run_benchmark]) runs the same identity on every built-in
+    benchmark row; exercise one cheap workload end-to-end so the wired
+    path stays covered too. *)
+let test_runner_oracle_holds () =
+  let w = List.hd Ba_workloads.Workload.all in
+  let ds = fst w.Ba_workloads.Workload.datasets in
+  (* run_benchmark raises Invalid_argument on any analytic/simulated
+     penalty mismatch; surviving it is the assertion *)
+  let row = Ba_harness.Runner.run_benchmark w ~test:ds in
+  Alcotest.(check bool) "produced a row" true
+    (row.Ba_harness.Runner.bench = w.Ba_workloads.Workload.name)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "examples: analytic = simulated" `Quick
+            test_examples;
+          Alcotest.test_case "seeded fault is detected" `Quick
+            test_seeded_fault_detected;
+          Alcotest.test_case "harness oracle holds" `Slow
+            test_runner_oracle_holds;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(** Property suite for the 3-Opt search state ({!Ba_tsp.Three_opt}):
+    after an arbitrary interleaving of [activate]/[try_city]/[run] the
+    state's internal invariants must hold — [pos] and [tour] stay
+    inverse permutations, locked in/out pair edges are never cut, and
+    the work queue holds no duplicates and agrees with [in_queue]. *)
+
+open Ba_tsp
+module Budget = Ba_robust.Budget
+
+let gen_seed = QCheck2.Gen.int_bound 1_000_000
+
+(** Random directed instance: n ∈ [min_n, max_n], costs in [0, 100). *)
+let dtsp_of_seed ?(min_n = 4) ?(max_n = 12) seed =
+  let rng = Random.State.make [| seed |] in
+  let n = min_n + Random.State.int rng (max_n - min_n + 1) in
+  Dtsp.make
+    (Array.init n (fun _ -> Array.init n (fun _ -> Random.State.int rng 100)))
+
+let random_directed_tour rng n =
+  let t = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = t.(i) in
+    t.(i) <- t.(j);
+    t.(j) <- tmp
+  done;
+  t
+
+(** Fresh search state over a random tour of a random instance. *)
+let state_of_seed seed =
+  let d = dtsp_of_seed seed in
+  let s = Sym.of_dtsp d in
+  let rng = Random.State.make [| seed + 1 |] in
+  let nbr = Neighbors.of_sym s ~k:8 in
+  let tour = Sym.expand s (random_directed_tour rng d.Dtsp.n) in
+  (d, s, Three_opt.init s ~nbr ~tour)
+
+(** Drive the state through a random operation sequence. *)
+let churn seed (st : Three_opt.state) =
+  let rng = Random.State.make [| seed + 2 |] in
+  let nn = st.Three_opt.s.Sym.nn in
+  for _ = 1 to 30 do
+    match Random.State.int rng 4 with
+    | 0 -> Three_opt.activate st (Random.State.int rng nn)
+    | 1 -> ignore (Three_opt.try_city st (Random.State.int rng nn))
+    | 2 ->
+        (* budgeted partial run: may stop mid-optimization *)
+        Three_opt.run ~budget:(Budget.create ~max_moves:3 ()) st
+    | _ -> Three_opt.activate_all st
+  done
+
+(* ---------------- invariants ---------------- *)
+
+let inverse_permutations (st : Three_opt.state) =
+  let nn = Array.length st.Three_opt.tour in
+  Array.length st.Three_opt.pos = nn
+  && Array.for_all
+       (fun c -> 0 <= c && c < nn && st.Three_opt.pos.(c) >= 0)
+       st.Three_opt.tour
+  && Array.for_all
+       (fun i -> st.Three_opt.pos.(st.Three_opt.tour.(i)) = i)
+       (Array.init nn Fun.id)
+
+let locked_pairs_intact (st : Three_opt.state) =
+  Sym.check_alternating st.Three_opt.s (Three_opt.tour st)
+
+let queue_consistent (st : Three_opt.state) =
+  let nn = Array.length st.Three_opt.tour in
+  let seen = Array.make nn 0 in
+  Queue.iter
+    (fun c -> if c >= 0 && c < nn then seen.(c) <- seen.(c) + 1)
+    st.Three_opt.queue;
+  let no_dups = Array.for_all (fun k -> k <= 1) seen in
+  let agrees =
+    Array.for_all
+      (fun c -> st.Three_opt.in_queue.(c) = (seen.(c) = 1))
+      (Array.init nn Fun.id)
+  in
+  no_dups && agrees
+
+let prop name check =
+  QCheck2.Test.make ~count:200 ~name gen_seed (fun seed ->
+      let _, _, st = state_of_seed seed in
+      churn seed st;
+      check st)
+
+let prop_inverse = prop "pos and tour stay inverse permutations"
+    inverse_permutations
+
+let prop_locked = prop "locked pair edges never cut" locked_pairs_intact
+let prop_queue = prop "queue has no duplicates and matches in_queue"
+    queue_consistent
+
+(** After a full (unbudgeted) run the tour must still extract to a
+    valid directed tour whose directed cost matches the symmetric cost
+    plus the transformation offset. *)
+let prop_full_run_extracts =
+  QCheck2.Test.make ~count:100 ~name:"full run leaves an extractable tour"
+    gen_seed (fun seed ->
+      let d, s, st = state_of_seed seed in
+      Three_opt.activate_all st;
+      Three_opt.run st;
+      let sym_tour = Three_opt.tour st in
+      let directed = Sym.extract s sym_tour in
+      Dtsp.is_tour d directed
+      && Dtsp.tour_cost d directed
+         = Sym.tour_cost s sym_tour + s.Sym.offset)
+
+(** The cached incremental cost never drifts from a from-scratch
+    recomputation, whatever the operation interleaving. *)
+let prop_cost_consistent =
+  QCheck2.Test.make ~count:200 ~name:"incremental cost matches recomputation"
+    gen_seed (fun seed ->
+      let _, s, st = state_of_seed seed in
+      churn seed st;
+      Three_opt.cost st = Sym.tour_cost s (Three_opt.tour st))
+
+let () =
+  Alcotest.run "three-opt-prop"
+    [
+      ( "invariants",
+        [
+          QCheck_alcotest.to_alcotest prop_inverse;
+          QCheck_alcotest.to_alcotest prop_locked;
+          QCheck_alcotest.to_alcotest prop_queue;
+          QCheck_alcotest.to_alcotest prop_cost_consistent;
+          QCheck_alcotest.to_alcotest prop_full_run_extracts;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+(* check_trace — structural validator for balign's observability
+   artifacts, used by the CLI cram tests.
+
+     check_trace TRACE.json            validate a Chrome trace_event file
+     check_trace --metrics M.json      validate a metrics snapshot
+     check_trace --bench B.json        validate a bench trajectory
+
+   Exit 0 with a one-line deterministic summary on stdout, exit 1 with
+   the reason on stderr otherwise.  Everything run-dependent (times,
+   commit ids) is checked for type/shape only, never echoed. *)
+
+module Json = Ba_obs.Json
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("check_trace: " ^ m); exit 1) fmt
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> s
+  | exception Sys_error m -> die "cannot read %s: %s" path m
+
+let parse path =
+  match Json.parse (read_file path) with
+  | Ok v -> v
+  | Error m -> die "%s: invalid JSON: %s" path m
+
+let member k v = match Json.member k v with
+  | Some x -> x
+  | None -> die "missing field %S" k
+
+let str v = match Json.to_str v with Some s -> s | None -> die "expected string"
+let num v = match Json.to_number v with Some f -> f | None -> die "expected number"
+let list v = match Json.to_list v with Some l -> l | None -> die "expected list"
+
+(* ---------------- chrome trace ---------------- *)
+
+let check_chrome path =
+  let doc = parse path in
+  if str (member "displayTimeUnit" doc) <> "ms" then die "bad displayTimeUnit";
+  let events = list (member "traceEvents" doc) in
+  if events = [] then die "empty traceEvents";
+  (* bucket X events by tid; remember which tids carry a thread name *)
+  let tbl = Hashtbl.create 16 in
+  let named = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let tid = int_of_float (num (member "tid" e)) in
+      match str (member "ph" e) with
+      | "M" ->
+          if str (member "name" e) <> "thread_name" then die "unknown metadata";
+          ignore (str (member "name" (member "args" e)));
+          Hashtbl.replace named tid ()
+      | "X" ->
+          let ts = num (member "ts" e) and dur = num (member "dur" e) in
+          if ts < 0. || dur < 0. then die "negative ts/dur";
+          let args = member "args" e in
+          let parent = int_of_float (num (member "parent" args)) in
+          let span = int_of_float (num (member "span" args)) in
+          let name = str (member "name" e) in
+          Hashtbl.replace tbl tid
+            ((span, parent, name, ts, dur)
+            :: (try Hashtbl.find tbl tid with Not_found -> []))
+      | ph -> die "unexpected phase %S" ph)
+    events;
+  let n_groups = Hashtbl.length tbl in
+  if n_groups = 0 then die "no span groups";
+  Hashtbl.iter
+    (fun tid spans ->
+      if not (Hashtbl.mem named tid) then die "tid %d has no thread_name" tid;
+      let roots =
+        List.filter (fun (_, parent, _, _, _) -> parent = -1) spans
+      in
+      (match roots with
+      | [ (_, _, name, _, _) ] ->
+          if name <> "task" then die "tid %d root span is %S" tid name
+      | l -> die "tid %d has %d root spans" tid (List.length l));
+      let (root_id, _, _, rts, rdur) = List.hd roots in
+      List.iter
+        (fun (span, parent, name, ts, dur) ->
+          if span <> root_id then begin
+            (* every stage span nests inside the root's interval and
+               points at a span that exists in the same group *)
+            if not (List.exists (fun (s, _, _, _, _) -> s = parent) spans)
+            then die "tid %d span %S has dangling parent" tid name;
+            if ts +. 1e-9 < rts || ts +. dur > rts +. rdur +. 1e-6 then
+              die "tid %d span %S escapes its task interval" tid name
+          end)
+        spans)
+    tbl;
+  Printf.printf "trace ok: %d task groups\n" n_groups
+
+(* ---------------- metrics snapshot ---------------- *)
+
+let check_metrics path =
+  let doc = parse path in
+  let counters = member "counters" doc in
+  List.iter
+    (fun (_, name) ->
+      match Json.member name counters with
+      | Some v -> ignore (num v)
+      | None -> die "missing counter %S" name)
+    Ba_obs.Metrics.all_counters;
+  let gauges = member "gauges" doc in
+  List.iter
+    (fun (_, name) ->
+      if Json.member name gauges = None then die "missing gauge %S" name)
+    Ba_obs.Metrics.all_gauges;
+  let gap = member "hk_gap" doc in
+  List.iter (fun k -> ignore (num (member k gap))) [ "count"; "mean"; "max" ];
+  Printf.printf "metrics ok: %d counters, %d gauges\n"
+    (List.length Ba_obs.Metrics.all_counters)
+    (List.length Ba_obs.Metrics.all_gauges)
+
+(* ---------------- bench trajectory ---------------- *)
+
+let check_bench path =
+  let doc = parse path in
+  if str (member "commit" doc) = "" then die "empty commit";
+  let date = str (member "date" doc) in
+  if String.length date <> 20 || date.[4] <> '-' || date.[10] <> 'T'
+     || date.[19] <> 'Z'
+  then die "date %S is not ISO-8601 UTC" date;
+  let rows = list (member "rows" doc) in
+  if rows = [] then die "no rows";
+  List.iter
+    (fun r ->
+      ignore (str (member "bench" r));
+      ignore (str (member "dataset" r));
+      List.iter
+        (fun k ->
+          let v = num (member k r) in
+          if v < 0. then die "negative %S" k)
+        [ "penalty_cycles"; "hk_gap"; "wall_ms"; "p50_ms"; "p95_ms"; "jobs" ])
+    rows;
+  Printf.printf "bench ok: %d rows\n" (List.length rows)
+
+let () =
+  match Sys.argv with
+  | [| _; "--metrics"; path |] -> check_metrics path
+  | [| _; "--bench"; path |] -> check_bench path
+  | [| _; path |] -> check_chrome path
+  | _ -> die "usage: check_trace [--metrics|--bench] FILE"
