@@ -4,7 +4,7 @@ DUNE ?= dune
 BALIGN = $(DUNE) exec --no-print-directory bin/balign.exe --
 BENCH = $(DUNE) exec --no-print-directory bench/main.exe --
 
-.PHONY: all build test check check-par smoke report bench-json clean
+.PHONY: all build test check check-par smoke lint report bench-json clean
 
 all: build
 
@@ -15,9 +15,10 @@ test:
 	$(DUNE) runtest
 
 # Full verification: build, the whole test suite (including the
-# fault-injection and robustness suites), and a CLI smoke test of the
-# documented exit codes.
-check: build test smoke
+# fault-injection and robustness suites), a CLI smoke test of the
+# documented exit codes, and the static-analysis gate on the
+# committed examples.
+check: build test smoke lint
 
 # The smoke test drives the built binary through the failure paths that
 # docs/ROBUSTNESS.md documents and checks the exit codes line up.
@@ -87,6 +88,32 @@ check-par: build test
 	awk -v a=$$((e1-s1)) -v b=$$((e2-s2)) 'BEGIN { \
 	  printf "check-par ok: output identical; wall-clock %.1fs -> %.1fs (speedup x%.2f)\n", \
 	    a/1e9, b/1e9, a/b }'
+
+# Static-analysis gate: every committed example must lint clean under
+# --strict — structurally and trained on its documented input — and a
+# certified alignment must pass independent re-verification
+# (docs/ANALYSIS.md).
+lint: build
+	@tmp=$$(mktemp -d); trap 'rm -rf '"$$tmp" EXIT; set -e; \
+	for p in collatz scanner dispatch; do \
+	  echo "lint --strict: examples/programs/$$p.mc"; \
+	  $(BALIGN) lint examples/programs/$$p.mc --strict > /dev/null; \
+	done; \
+	echo "lint --strict: collatz.mc trained on --input 200"; \
+	$(BALIGN) lint examples/programs/collatz.mc --input 200 --strict \
+	  > /dev/null; \
+	echo "lint --strict: scanner.mc trained on its documented stream"; \
+	$(BALIGN) lint examples/programs/scanner.mc \
+	  --input "6, 97, 98, 32, 49, 92, 10" --strict > /dev/null; \
+	echo "lint --strict: dispatch.mc trained on an opcode stream"; \
+	$(BALIGN) lint examples/programs/dispatch.mc \
+	  --input "1 2 3 4 5 0" --strict > /dev/null; \
+	echo "certify: collatz.mc alignment re-verified"; \
+	$(BALIGN) align examples/programs/collatz.mc --input 200 \
+	  --certify $$tmp/cert.json > /dev/null; \
+	$(DUNE) exec --no-print-directory test/tools/check_lint.exe -- \
+	  --cert $$tmp/cert.json; \
+	echo "lint ok: examples are clean and the certificate verifies"
 
 # Machine-readable bench trajectory for CI: one small workload, JSON
 # artifact validated structurally before it is uploaded.

@@ -2,9 +2,11 @@
 
    Subcommands:
      compile   parse + lower a minic program, print CFG statistics
-     dot       dump the CFGs in Graphviz format
+     dot       dump the CFGs in Graphviz format (--lint colors findings)
+     lint      static analysis of CFGs and profiles (ba_check rules)
      profile   run a program and print its edge-frequency profile
      align     lay out a program with a chosen method, report penalties
+               (--certify emits an independent alignment certificate)
      evaluate  cross-validate training vs testing inputs
      bounds    per-procedure lower bounds vs the TSP aligner
      bench     run the paper's experiment for one built-in benchmark
@@ -84,6 +86,16 @@ let load_input ~input ~input_file =
       parse_input s
   | None, None -> Ok [||]
   | Some _, Some _ -> Error (Errors.Usage "give --input or --input-file, not both")
+
+(** Collect a training profile only when an input was actually given:
+    lint without an input stays purely structural (running an
+    interactive program with no input could spin). *)
+let load_profile_opt c ~input ~input_file =
+  match (input, input_file) with
+  | None, None -> Ok None
+  | _ ->
+      let* inp = load_input ~input ~input_file in
+      Ok (Some (Ba_minic.Compile.profile c ~input:inp))
 
 (* ---------------- common options ---------------- *)
 
@@ -193,12 +205,25 @@ let compile_cmd =
 (* ---------------- dot ---------------- *)
 
 let dot_cmd =
-  let run file func =
+  let run file func lint input input_file =
     let* c = load_program file in
+    let* diags =
+      if not lint then Ok []
+      else
+        let* profile = load_profile_opt c ~input ~input_file in
+        let r = Ba_check.Lint.analyze ?profile c.Ba_minic.Compile.cfgs in
+        Ok r.Ba_check.Lint.diags
+    in
     Array.iteri
       (fun fid g ->
         if func = None || func = Some c.Ba_minic.Compile.names.(fid) then
-          print_string (Ba_cfg.Dot.to_string g))
+          if lint then begin
+            let block_attr, edge_attr =
+              Ba_check.Lint.dot_annotations ~proc:fid diags
+            in
+            print_string (Ba_cfg.Dot.to_string ~block_attr ~edge_attr g)
+          end
+          else print_string (Ba_cfg.Dot.to_string g))
       c.Ba_minic.Compile.cfgs;
     Ok ()
   in
@@ -206,9 +231,51 @@ let dot_cmd =
     Arg.(value & opt (some string) None & info [ "function" ] ~docv:"NAME"
            ~doc:"only this function")
   in
+  let lint_flag =
+    Arg.(value & flag
+         & info [ "lint" ]
+             ~doc:"run the ba_check rules and color offending blocks/edges \
+                   (rule ids in the tooltip); give --input to include the \
+                   profile rules")
+  in
   cmd "dot" ~doc:"dump CFGs in Graphviz DOT format"
-    Term.(const (fun file func -> run_term (fun () -> run file func))
-          $ file_arg $ func)
+    Term.(const (fun file func lint i inf ->
+              run_term (fun () -> run file func lint i inf))
+          $ file_arg $ func $ lint_flag $ input_opt $ input_file_opt)
+
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let run file input input_file format strict =
+    let* c = load_program file in
+    let* profile = load_profile_opt c ~input ~input_file in
+    let report = Ba_check.Lint.analyze ?profile c.Ba_minic.Compile.cfgs in
+    (match format with
+    | `Text -> Fmt.pr "%a" Ba_check.Lint.pp_report report
+    | `Json ->
+        print_endline (Ba_obs.Json.to_string (Ba_check.Lint.report_json report)));
+    match Ba_check.Lint.first_gating ~strict report with
+    | None -> Ok ()
+    | Some d -> Error (Ba_check.Lint.to_error d)
+  in
+  let format_opt =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"findings as one line each ($(b,text), default) or as a \
+                   $(b,balign-lint-1) JSON document ($(b,json))")
+  in
+  let strict_opt =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"warnings gate too (infos never do); the exit code is the \
+                   documented code of the first gating finding's error class")
+  in
+  cmd "lint"
+    ~doc:"static analysis: check CFGs (and, with --input, the profile) \
+          against the ba_check rule catalogue"
+    Term.(const (fun file i f fmt s -> run_term (fun () -> run file i f fmt s))
+          $ file_arg $ input_opt $ input_file_opt $ format_opt $ strict_opt)
 
 (* ---------------- profile ---------------- *)
 
@@ -252,7 +319,7 @@ let method_opt =
            ~doc:"original | greedy | calder | calder-exhaustive | tsp")
 
 let align_cmd =
-  let run file input input_file m deadline_ms fallback jobs =
+  let run file input input_file m deadline_ms fallback jobs certify =
     let executor = Executor.of_jobs jobs in
     let* c = load_program file in
     let* inp = load_input ~input ~input_file in
@@ -287,14 +354,50 @@ let align_cmd =
     Fmt.pr "simulated cycles: %d -> %d (icache misses %d -> %d)@."
       sim_o.Ba_machine.Cycles.cycles sim_a.Ba_machine.Cycles.cycles
       sim_o.Ba_machine.Cycles.icache_misses sim_a.Ba_machine.Cycles.icache_misses;
-    Ok ()
+    match certify with
+    | None -> Ok ()
+    | Some path -> (
+        (* re-verify the produced layouts from first principles and emit
+           the machine-readable certificate *)
+        match
+          Ba_check.Certify.program
+            ~hk:(fun _ -> Ba_check.Certify.Compute Ba_tsp.Held_karp.default)
+            penalties cfgs ~train:prof
+            ~orders:aligned.Ba_align.Driver.orders
+        with
+        | Error f ->
+            Error
+              (Errors.Invalid_layout
+                 {
+                   proc = Some f.Ba_check.Certify.fproc;
+                   name = Some f.Ba_check.Certify.fname;
+                   reason =
+                     Ba_check.Certify.error_to_string f.Ba_check.Certify.error;
+                 })
+        | Ok cert ->
+            let doc = Ba_check.Certify.to_json cert in
+            if path = "-" then print_endline (Ba_obs.Json.to_string doc)
+            else Ba_obs.Json.write_file path doc;
+            Fmt.pr "certificate: %d procedure(s), total cost %d cycles@."
+              (List.length cert.Ba_check.Certify.procs)
+              cert.Ba_check.Certify.total_cost;
+            Ok ())
+  in
+  let certify_opt =
+    Arg.(value & opt (some string) None
+         & info [ "certify" ] ~docv:"FILE"
+             ~doc:"independently re-verify every produced layout \
+                   (Hamiltonian walk, locked pairs, recomputed cost, \
+                   Held-Karp bound) and write the $(b,balign-cert-1) JSON \
+                   certificate to $(docv) ($(b,-) for stdout)")
   in
   cmd "align" ~doc:"align a program and report penalty and cycle changes"
-    Term.(const (fun file i f m d fb j trace metrics ->
+    Term.(const (fun file i f m d fb j cert trace metrics ->
               run_term (fun () ->
-                  with_obs ~trace ~metrics (fun () -> run file i f m d fb j)))
+                  with_obs ~trace ~metrics (fun () ->
+                      run file i f m d fb j cert)))
           $ file_arg $ input_opt $ input_file_opt $ method_opt $ deadline_opt
-          $ fallback_opt $ jobs_opt $ trace_opt $ metrics_opt)
+          $ fallback_opt $ jobs_opt $ certify_opt $ trace_opt $ metrics_opt)
 
 (* ---------------- evaluate (cross-validation) ---------------- *)
 
@@ -512,8 +615,8 @@ let () =
   let group =
     Cmd.group info
       [
-        compile_cmd; dot_cmd; profile_cmd; align_cmd; evaluate_cmd; bounds_cmd;
-        bench_cmd; report_cmd;
+        compile_cmd; dot_cmd; lint_cmd; profile_cmd; align_cmd; evaluate_cmd;
+        bounds_cmd; bench_cmd; report_cmd;
       ]
   in
   exit (Cmd.eval' group)

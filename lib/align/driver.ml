@@ -238,22 +238,11 @@ let align_checked ?(executor = Executor.Seq) ?deadline_ms ?(fallback = true)
     (m : method_) (p : Penalties.t) (cfgs : Cfg.t array)
     ~(train : Ba_profile.Profile.t) : (report, Errors.t) result =
   let ( let* ) r f = Result.bind r f in
-  let* () =
-    let bad = ref None in
-    Array.iteri
-      (fun fid cfg ->
-        match Cfg.validate cfg with
-        | Ok () -> ()
-        | Error reason ->
-            if !bad = None then
-              bad :=
-                Some
-                  (Errors.Invalid_cfg
-                     { proc = Some fid; name = Some cfg.Cfg.name; reason }))
-      cfgs;
-    match !bad with None -> Ok () | Some e -> Error e
-  in
-  let* () = Profile.validate cfgs train in
+  (* validation is the lint gate: the ba_check rule catalogue runs over
+     the CFGs and the profile, and the first Error finding (in
+     catalogue order, matching the legacy validation order) is routed
+     into the typed-error pipeline *)
+  let* () = Ba_check.Lint.gate ~profile:train cfgs in
   let budget = Budget.create ?deadline_ms () in
   let realize_proc fid cfg order profile =
     let* r, pred =

@@ -1,9 +1,20 @@
 (** Graphviz export of CFGs, optionally annotated with edge
-    frequencies, for debugging and documentation. *)
+    frequencies and caller-supplied attributes (the lint layer uses the
+    attribute hooks to color offending blocks/edges and attach rule ids
+    as tooltips), for debugging and documentation. *)
 
-(** [emit ?freq ppf g] writes [g] in DOT syntax.  When [freq] is given,
-    [freq src dst] labels the edge with its execution count. *)
-let emit ?freq ppf (g : Cfg.t) =
+(** [emit ?freq ?block_attr ?edge_attr ppf g] writes [g] in DOT syntax.
+    When [freq] is given, [freq src dst] labels the edge with its
+    execution count.  [block_attr l] (resp. [edge_attr src dst]) may
+    return extra DOT attributes appended verbatim inside the node's
+    (edge's) bracket list — e.g. ["style=filled fillcolor=mistyrose"]. *)
+let emit ?freq ?block_attr ?edge_attr ppf (g : Cfg.t) =
+  let extra f =
+    match f with
+    | None -> ""
+    | Some s when s = "" -> ""
+    | Some s -> " " ^ s
+  in
   Fmt.pf ppf "digraph %S {@." g.Cfg.name;
   Fmt.pf ppf "  node [shape=box fontname=monospace];@.";
   Cfg.iter
@@ -13,15 +24,17 @@ let emit ?freq ppf (g : Cfg.t) =
         if b.id = g.Cfg.entry then " style=bold"
         else match b.term with Exit -> " style=dashed" | _ -> ""
       in
-      Fmt.pf ppf "  n%d [label=\"b%d\\nsize %d\"%s];@." b.id b.id b.size
-        shape_attr;
+      Fmt.pf ppf "  n%d [label=\"b%d\\nsize %d\"%s%s];@." b.id b.id b.size
+        shape_attr
+        (extra (Option.bind block_attr (fun f -> f b.id)));
       let edge ?(style = "") dst =
         let lbl =
           match freq with
           | None -> ""
           | Some f -> Printf.sprintf " label=\"%d\"" (f b.id dst)
         in
-        Fmt.pf ppf "  n%d -> n%d [%s%s];@." b.id dst style lbl
+        Fmt.pf ppf "  n%d -> n%d [%s%s%s];@." b.id dst style lbl
+          (extra (Option.bind edge_attr (fun f -> f b.id dst)))
       in
       match b.term with
       | Exit -> ()
@@ -33,5 +46,7 @@ let emit ?freq ppf (g : Cfg.t) =
     g;
   Fmt.pf ppf "}@."
 
-(** [to_string ?freq g] renders {!emit} to a string. *)
-let to_string ?freq g = Fmt.str "%a" (emit ?freq) g
+(** [to_string ?freq ?block_attr ?edge_attr g] renders {!emit} to a
+    string. *)
+let to_string ?freq ?block_attr ?edge_attr g =
+  Fmt.str "%a" (emit ?freq ?block_attr ?edge_attr) g

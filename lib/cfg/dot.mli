@@ -1,10 +1,25 @@
 (** Graphviz export of CFGs, optionally annotated with edge
-    frequencies. *)
+    frequencies and caller-supplied node/edge attributes. *)
 
-(** [emit ?freq ppf g] writes [g] in DOT syntax; [freq src dst] labels
-    each edge with its execution count. *)
+(** [emit ?freq ?block_attr ?edge_attr ppf g] writes [g] in DOT syntax;
+    [freq src dst] labels each edge with its execution count.
+    [block_attr l] (resp. [edge_attr src dst]) may return extra DOT
+    attributes appended verbatim inside the node's (edge's) bracket
+    list — the lint layer uses this to color offending blocks/edges and
+    attach rule ids as tooltips. *)
 val emit :
-  ?freq:(Block.label -> Block.label -> int) -> Format.formatter -> Cfg.t -> unit
+  ?freq:(Block.label -> Block.label -> int) ->
+  ?block_attr:(Block.label -> string option) ->
+  ?edge_attr:(Block.label -> Block.label -> string option) ->
+  Format.formatter ->
+  Cfg.t ->
+  unit
 
-(** [to_string ?freq g] renders {!emit} to a string. *)
-val to_string : ?freq:(Block.label -> Block.label -> int) -> Cfg.t -> string
+(** [to_string ?freq ?block_attr ?edge_attr g] renders {!emit} to a
+    string. *)
+val to_string :
+  ?freq:(Block.label -> Block.label -> int) ->
+  ?block_attr:(Block.label -> string option) ->
+  ?edge_attr:(Block.label -> Block.label -> string option) ->
+  Cfg.t ->
+  string

@@ -1,0 +1,118 @@
+(** Typed lint findings.
+
+    Every rule of the static analyzer reports violations as values of
+    {!t}: a stable rule id and code, a severity, a location inside the
+    program (procedure / block / edge), a human-readable message, an
+    optional fix hint, and a small machine-readable payload for callers
+    that need the offending numbers without re-parsing the message (the
+    typed-error gate uses it to build {!Ba_robust.Errors.t} values).
+    The rendering is deterministic so CLI output can be golden-tested. *)
+
+(** Severity of a finding.  [Error] findings break an invariant the
+    pipeline depends on and gate {!Ba_align} via the typed-error
+    pipeline; [Warning] findings are suspicious but legal ([--strict]
+    promotes them); [Info] findings are observations only. *)
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(** [severity_geq a b] orders severities: [Error > Warning > Info]. *)
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+let severity_geq a b = severity_rank a >= severity_rank b
+
+(** Location of a finding.  All fields optional: a program-shape
+    finding has no procedure, a procedure-wide finding no block. *)
+type location = {
+  proc : int option;  (** procedure index *)
+  proc_name : string option;
+  block : Ba_cfg.Block.label option;
+  edge : (Ba_cfg.Block.label * Ba_cfg.Block.label) option;
+}
+
+let nowhere = { proc = None; proc_name = None; block = None; edge = None }
+
+let in_proc ?block ?edge fid name =
+  { proc = Some fid; proc_name = Some name; block; edge }
+
+type t = {
+  rule : string;  (** stable rule id, e.g. ["cfg-successor-range"] *)
+  code : string;  (** stable short code, e.g. ["BA105"] *)
+  severity : severity;
+  loc : location;
+  message : string;
+  hint : string option;  (** how to fix or silence the finding *)
+  data : (string * int) list;
+      (** machine-readable payload, e.g. [("expected", 4); ("got", 3)] *)
+}
+
+let make ~rule ~code ~severity ?(loc = nowhere) ?hint ?(data = []) message =
+  { rule; code; severity; loc; message; hint; data }
+
+let pp_location ppf (l : location) =
+  let parts =
+    List.filter_map Fun.id
+      [
+        Option.map
+          (fun p ->
+            match l.proc_name with
+            | Some n -> Printf.sprintf "proc %d (%s)" p n
+            | None -> Printf.sprintf "proc %d" p)
+          l.proc;
+        Option.map (Printf.sprintf "block %d") l.block;
+        Option.map (fun (s, d) -> Printf.sprintf "edge %d->%d" s d) l.edge;
+      ]
+  in
+  if parts <> [] then Fmt.pf ppf " [%s]" (String.concat ", " parts)
+
+(** One finding per line:
+    [CODE severity rule-id [proc 0 (main), block 3]: message (hint)]. *)
+let pp ppf (d : t) =
+  Fmt.pf ppf "%s %-7s %s%a: %s%a" d.code (severity_name d.severity) d.rule
+    pp_location d.loc d.message
+    Fmt.(option (fun ppf h -> Fmt.pf ppf " (hint: %s)" h))
+    d.hint
+
+let to_string d = Fmt.str "%a" pp d
+
+(** JSON rendering for [--format json] and the cram validators. *)
+let to_json (d : t) : Ba_obs.Json.t =
+  let open Ba_obs.Json in
+  let opt k f v tl = match v with None -> tl | Some x -> (k, f x) :: tl in
+  Obj
+    (("rule", String d.rule)
+    :: ("code", String d.code)
+    :: ("severity", String (severity_name d.severity))
+    :: opt "proc" (fun p -> Int p) d.loc.proc
+         (opt "proc_name"
+            (fun n -> String n)
+            d.loc.proc_name
+            (opt "block"
+               (fun b -> Int b)
+               d.loc.block
+               (opt "edge"
+                  (fun (s, dd) -> List [ Int s; Int dd ])
+                  d.loc.edge
+                  (("message", String d.message)
+                  :: opt "hint"
+                       (fun h -> String h)
+                       d.hint
+                       (if d.data = [] then []
+                        else
+                          [
+                            ( "data",
+                              Obj
+                                (List.map (fun (k, v) -> (k, Int v)) d.data) );
+                          ]))))))
+
+(** Severity tallies of a finding list, in one pass. *)
+let count (ds : t list) =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds

@@ -1,0 +1,62 @@
+(** Typed lint findings: rule id, severity, location, message, fix
+    hint, and a machine-readable payload.  Produced by {!Rules},
+    collected by {!Lint}, rendered as text or JSON. *)
+
+(** [Error] findings break an invariant the pipeline depends on and
+    gate alignment through the typed-error pipeline; [Warning] findings
+    are suspicious but legal ([--strict] promotes them); [Info]
+    findings are observations. *)
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+
+(** [severity_geq a b] is true iff [a] is at least as severe as [b]
+    ([Error > Warning > Info]). *)
+val severity_geq : severity -> severity -> bool
+
+(** Location of a finding; every field optional. *)
+type location = {
+  proc : int option;
+  proc_name : string option;
+  block : Ba_cfg.Block.label option;
+  edge : (Ba_cfg.Block.label * Ba_cfg.Block.label) option;
+}
+
+(** The empty location (program-shape findings). *)
+val nowhere : location
+
+(** [in_proc ?block ?edge fid name] locates a finding inside one
+    procedure. *)
+val in_proc :
+  ?block:Ba_cfg.Block.label ->
+  ?edge:Ba_cfg.Block.label * Ba_cfg.Block.label ->
+  int ->
+  string ->
+  location
+
+type t = {
+  rule : string;  (** stable rule id, e.g. ["cfg-successor-range"] *)
+  code : string;  (** stable short code, e.g. ["BA105"] *)
+  severity : severity;
+  loc : location;
+  message : string;
+  hint : string option;
+  data : (string * int) list;  (** machine-readable payload *)
+}
+
+val make :
+  rule:string ->
+  code:string ->
+  severity:severity ->
+  ?loc:location ->
+  ?hint:string ->
+  ?data:(string * int) list ->
+  string ->
+  t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_json : t -> Ba_obs.Json.t
+
+(** [(errors, warnings, infos)] tallies of a finding list. *)
+val count : t list -> int * int * int

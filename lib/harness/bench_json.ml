@@ -8,11 +8,13 @@
       "rows": [ { "bench": ..., "dataset": ...,
                   "penalty_cycles": ..., "hk_gap": ...,
                   "wall_ms": ..., "p50_ms": ..., "p95_ms": ...,
-                  "jobs": ... }, ... ] }
+                  "jobs": ..., "certs": ..., "cert_failures": ... }, ... ] }
     v}
 
     [penalty_cycles] and [hk_gap] are deterministic (self-trained TSP
-    layout vs the Held–Karp bound); the [*_ms] fields are wall-clock
+    layout vs the Held–Karp bound); [certs]/[cert_failures] count the
+    independent alignment certificates of the row
+    ({!Ba_check.Certify}); the [*_ms] fields are wall-clock
     and vary run to run.  Document construction is pure ({!make}) so
     tests can golden-check the deterministic slice. *)
 
@@ -40,6 +42,8 @@ let row_json ~jobs (o : Runner.row Task.outcome) : Json.t =
       ("p50_ms", Json.Float (r.Runner.solve_dist.Timing.p50_s *. 1000.));
       ("p95_ms", Json.Float (r.Runner.solve_dist.Timing.p95_s *. 1000.));
       ("jobs", Json.Int jobs);
+      ("certs", Json.Int r.Runner.certs);
+      ("cert_failures", Json.Int r.Runner.cert_failures);
     ]
 
 (** [make ~commit ~date ~jobs outcomes] builds the document; pure. *)

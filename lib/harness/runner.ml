@@ -49,6 +49,10 @@ type row = {
   tsp_exact_procs : int;  (** procedures solved to proven optimality *)
   tsp_timeouts : int;
       (** self-trained procedures whose TSP solve hit the budget *)
+  certs : int;
+      (** alignment certificates issued ({!Ba_check.Certify}, all five
+          programs of the row) *)
+  cert_failures : int;  (** certificates that failed re-verification *)
   stages : Timing.stages;
   solve_dist : Timing.dist;
       (** distribution of self-trained per-procedure TSP solve times *)
@@ -196,10 +200,10 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
     sp "realize-tsp" (fun () ->
         realize_program config cfgs tsp_self_orders ~train:test_profile)
   in
+  let greedy_cross_orders = greedy_orders_of cross_profile in
   let greedy_cross, _ =
     sp "greedy-cross" (fun () ->
-        realize_program config cfgs (greedy_orders_of cross_profile)
-          ~train:cross_profile)
+        realize_program config cfgs greedy_cross_orders ~train:cross_profile)
   in
   let tsp_cross_orders, _, _, _, _, _ =
     sp "tsp-cross" (fun () -> tsp_align_program config cfgs ~train:cross_profile)
@@ -214,11 +218,13 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
     sp "measure" (fun () ->
         (m original, m greedy_self, m tsp_self, m greedy_cross, m tsp_cross))
   in
-  (* ---- lower bound ---- *)
-  let bound, bounds_s =
+  (* ---- lower bound (kept per procedure for the certificates) ---- *)
+  let (bound, proc_bounds, proc_uppers), bounds_s =
     sp "bounds" (fun () ->
         Timing.time (fun () ->
             let total = ref 0 in
+            let bounds = Array.make (Array.length cfgs) 0 in
+            let uppers = Array.make (Array.length cfgs) 0 in
             Array.iteri
               (fun fid g ->
                 let prof = Profile.proc test_profile fid in
@@ -226,13 +232,48 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
                   Evaluate.proc_penalty config.penalties g
                     ~order:tsp_self_orders.(fid) ~train:prof ~test:prof
                 in
-                total :=
-                  !total
-                  + Bounds.held_karp ~config:config.hk config.penalties g
-                      ~profile:prof ~upper)
+                let b =
+                  Bounds.held_karp ~config:config.hk config.penalties g
+                    ~profile:prof ~upper
+                in
+                bounds.(fid) <- b;
+                uppers.(fid) <- upper;
+                total := !total + b)
               cfgs;
-            !total))
+            (!total, bounds, uppers)))
   in
+  (* ---- certificates: independently re-verify every produced layout
+     of this row ({!Ba_check.Certify}).  The self-trained TSP layout
+     gets the full treatment — claimed-cost cross-check against the
+     analytic evaluator, DTSP→STSP locked-pair round-trip, and the
+     per-procedure Held–Karp bound; the other four programs get the
+     walk/faithfulness/cost re-verification. *)
+  let certs = ref 0 and cert_failures = ref 0 in
+  sp "certify" (fun () ->
+      let certify ?(claimed = fun _ -> None)
+          ?(hk = fun _ -> Ba_check.Certify.Skip) ?(sym_check = false) ~train
+          orders =
+        Array.iteri
+          (fun fid g ->
+            incr certs;
+            match
+              Ba_check.Certify.proc_cert ?claimed:(claimed fid) ~hk:(hk fid)
+                ~sym_check ~proc:fid config.penalties g
+                ~profile:(Profile.proc train fid)
+                ~order:orders.(fid)
+            with
+            | Ok _ -> ()
+            | Error _ -> incr cert_failures)
+          cfgs
+      in
+      certify ~train:test_profile (Array.map Ba_cfg.Layout.identity cfgs);
+      certify ~train:test_profile greedy_self_orders;
+      certify ~train:test_profile
+        ~claimed:(fun fid -> Some proc_uppers.(fid))
+        ~hk:(fun fid -> Ba_check.Certify.Given proc_bounds.(fid))
+        ~sym_check:true tsp_self_orders;
+      certify ~train:cross_profile greedy_cross_orders;
+      certify ~train:cross_profile tsp_cross_orders);
   (* gap of the self-trained TSP layout to the Held–Karp lower bound *)
   if bound > 0 then
     Ba_obs.Metrics.observe_hk_gap
@@ -276,6 +317,8 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
     lower_bound = bound;
     tsp_exact_procs = n_exact;
     tsp_timeouts = n_timeouts;
+    certs = !certs;
+    cert_failures = !cert_failures;
     stages;
     solve_dist = Timing.dist_of solve_times;
   }

@@ -31,6 +31,10 @@ type row = {
   tsp_exact_procs : int;  (** procedures solved to proven optimality *)
   tsp_timeouts : int;
       (** self-trained procedures whose TSP solve hit the budget *)
+  certs : int;
+      (** alignment certificates issued ({!Ba_check.Certify}, all five
+          programs of the row) *)
+  cert_failures : int;  (** certificates that failed re-verification *)
   stages : Timing.stages;
   solve_dist : Timing.dist;
       (** distribution of self-trained per-procedure TSP solve times *)

@@ -14,6 +14,8 @@
       restarts (construction starts), exact vs heuristic solves;
     - degradation: budget exhaustions, fallback transitions;
     - engine: tasks executed;
+    - validation: lint diagnostics by severity, alignment certificates
+      checked and failed (the ba_check layer);
     and two gauges (candidate-list width, job count) plus the
     gap-to-Held–Karp distribution observed per procedure. *)
 
@@ -27,6 +29,11 @@ type counter =
   | Budget_exhaustions  (** solves that hit the wall-clock/move budget *)
   | Fallbacks  (** procedures degraded along the method chain *)
   | Tasks_run  (** engine tasks executed *)
+  | Lint_errors  (** Error-severity lint diagnostics emitted *)
+  | Lint_warnings  (** Warning-severity lint diagnostics emitted *)
+  | Lint_infos  (** Info-severity lint diagnostics emitted *)
+  | Certs_checked  (** alignment certificates validated *)
+  | Certs_failed  (** alignment certificates rejected *)
 
 let all_counters =
   [
@@ -39,6 +46,11 @@ let all_counters =
     (Budget_exhaustions, "solver.budget_exhaustions");
     (Fallbacks, "align.fallbacks");
     (Tasks_run, "engine.tasks_run");
+    (Lint_errors, "lint.errors");
+    (Lint_warnings, "lint.warnings");
+    (Lint_infos, "lint.infos");
+    (Certs_checked, "check.certs_checked");
+    (Certs_failed, "check.certs_failed");
   ]
 
 let counter_name c = List.assoc c all_counters
@@ -53,6 +65,11 @@ let counter_index = function
   | Budget_exhaustions -> 6
   | Fallbacks -> 7
   | Tasks_run -> 8
+  | Lint_errors -> 9
+  | Lint_warnings -> 10
+  | Lint_infos -> 11
+  | Certs_checked -> 12
+  | Certs_failed -> 13
 
 let n_counters = List.length all_counters
 let counters : int Atomic.t array = Array.init n_counters (fun _ -> Atomic.make 0)

@@ -13,6 +13,11 @@ type counter =
   | Budget_exhaustions
   | Fallbacks
   | Tasks_run
+  | Lint_errors
+  | Lint_warnings
+  | Lint_infos
+  | Certs_checked
+  | Certs_failed
 
 (** Every counter with its stable snapshot name, in catalogue order. *)
 val all_counters : (counter * string) list

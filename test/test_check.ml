@@ -1,0 +1,403 @@
+(** ba_check static-analyzer suite.
+
+    The centrepiece closes the fault-injection loop: every applicable
+    fault kind of {!Ba_harness.Faults} is mapped, table-driven, to the
+    lint rule id that must fire on the corrupted scenario.  Around it:
+    unit tests for the hygiene rules the faults can't reach
+    (unreachable code, goto cycles, flow conservation, overflow risk,
+    cold coverage), the typed-error gate, strict promotion, the JSON
+    rendering, and the DOT annotation hooks. *)
+
+open Ba_cfg
+open Ba_check
+module Profile = Ba_profile.Profile
+module Faults = Ba_harness.Faults
+module Synthetic = Ba_harness.Synthetic
+module Errors = Ba_robust.Errors
+module Json = Ba_obs.Json
+
+(** The fault suite's scenario generator (same recipe as test_faults). *)
+let scenario ~seed : Faults.scenario =
+  let rng = Random.State.make [| 0xFA17; seed |] in
+  let n_procs = 1 + Random.State.int rng 3 in
+  let cfgs =
+    Array.init n_procs (fun _ ->
+        Synthetic.cfg rng ~n:(2 + Random.State.int rng 10))
+  in
+  let procs =
+    Array.map
+      (fun g -> Synthetic.profile rng g ~invocations:20 ~max_steps:200)
+      cfgs
+  in
+  { Faults.cfgs; profile = { Profile.procs; calls = [] } }
+
+let lint (s : Faults.scenario) =
+  Lint.analyze ~profile:s.Faults.profile s.Faults.cfgs
+
+let rules_of ?severity (r : Lint.report) =
+  List.filter_map
+    (fun d ->
+      match severity with
+      | Some sev when d.Diagnostic.severity <> sev -> None
+      | _ -> Some d.Diagnostic.rule)
+    r.Lint.diags
+
+(* ------------------------------------------------------------------ *)
+(* fault kind -> expected lint rule                                    *)
+
+(** Which Error rule must fire for each [`Must_error] fault kind.
+    [Non_edge] lists two: its injector dangles instead when the CFG is
+    complete.  [Drop_profile_edge] and [Permute_rows] are absent — the
+    former must stay clean, the latter is seed-dependent by contract. *)
+let expected_rule : (Faults.kind * string list) list =
+  [
+    (Faults.Zero_count, [ "prof-count-positive" ]);
+    (Faults.Negative_count, [ "prof-count-positive" ]);
+    (Faults.Dangling_label, [ "prof-dangling-dst" ]);
+    (Faults.Non_edge, [ "prof-non-edge"; "prof-dangling-dst" ]);
+    (Faults.Truncate_procs, [ "prof-proc-count" ]);
+    (Faults.Extra_proc, [ "prof-proc-count" ]);
+    (Faults.Truncate_blocks, [ "prof-block-count" ]);
+    (Faults.Corrupt_call_graph, [ "prof-call-graph" ]);
+    (Faults.Cfg_bad_successor, [ "cfg-successor-range" ]);
+    (Faults.Cfg_bad_entry, [ "cfg-entry-range" ]);
+    (Faults.Cfg_degenerate_branch, [ "cfg-degenerate-branch" ]);
+    (Faults.Cfg_scrambled_ids, [ "cfg-block-id" ]);
+  ]
+
+let test_fault_rule_mapping () =
+  (* the table must cover exactly the `Must_error catalogue *)
+  List.iter
+    (fun kind ->
+      let mapped = List.mem_assoc kind expected_rule in
+      match Faults.expectation kind with
+      | `Must_error ->
+          if not mapped then
+            Alcotest.failf "no expected rule for fault %s" (Faults.name kind)
+      | `Must_succeed | `Either ->
+          if mapped then
+            Alcotest.failf "fault %s is not `Must_error but is in the table"
+              (Faults.name kind))
+    Faults.all;
+  List.iter
+    (fun (kind, rules) ->
+      for seed = 0 to 7 do
+        let s = Faults.inject ~seed kind (scenario ~seed) in
+        let fired = rules_of ~severity:Diagnostic.Error (lint s) in
+        if not (List.exists (fun r -> List.mem r fired) rules) then
+          Alcotest.failf "%s/seed=%d: expected one of [%s], got errors [%s]"
+            (Faults.name kind) seed (String.concat " " rules)
+            (String.concat " " (List.sort_uniq compare fired))
+      done)
+    expected_rule
+
+(* A `Must_succeed fault must not produce Error findings (warnings and
+   infos are fine), and the clean scenarios must lint error-free, so
+   the mapping test above is attributable to the injected fault. *)
+let test_clean_scenarios_have_no_errors () =
+  for seed = 0 to 7 do
+    let check tag s =
+      let r = lint s in
+      if r.Lint.errors > 0 then
+        Alcotest.failf "%s/seed=%d: unexpected errors: %s" tag seed
+          (String.concat "; "
+             (List.filter_map
+                (fun d ->
+                  if d.Diagnostic.severity = Diagnostic.Error then
+                    Some (Diagnostic.to_string d)
+                  else None)
+                r.Lint.diags))
+    in
+    check "clean" (scenario ~seed);
+    check "drop-profile-edge"
+      (Faults.inject ~seed Faults.Drop_profile_edge (scenario ~seed))
+  done
+
+(* The lint gate must agree with the driver: both reject exactly when
+   the other does, with the same typed-error class. *)
+let test_gate_matches_driver () =
+  let class_of = function
+    | Errors.Invalid_cfg _ -> "invalid-cfg"
+    | Errors.Invalid_profile _ -> "invalid-profile"
+    | Errors.Profile_mismatch _ -> "profile-mismatch"
+    | e -> Errors.to_string e
+  in
+  List.iter
+    (fun kind ->
+      for seed = 0 to 3 do
+        let s = Faults.inject ~seed kind (scenario ~seed) in
+        let gate = Lint.gate ~profile:s.Faults.profile s.Faults.cfgs in
+        let driver =
+          Ba_align.Driver.align_checked Ba_align.Driver.Greedy
+            Ba_machine.Penalties.alpha_21164 s.Faults.cfgs
+            ~train:s.Faults.profile
+        in
+        match (gate, driver) with
+        | Ok (), Ok _ -> ()
+        | Error a, Error b ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s/seed=%d same error class" (Faults.name kind)
+                 seed)
+              (class_of a) (class_of b)
+        | Ok (), Error e ->
+            Alcotest.failf "%s/seed=%d: gate passed but driver failed: %s"
+              (Faults.name kind) seed (Errors.to_string e)
+        | Error e, Ok _ ->
+            Alcotest.failf "%s/seed=%d: gate failed but driver passed: %s"
+              (Faults.name kind) seed (Errors.to_string e)
+      done)
+    Faults.all
+
+(* ------------------------------------------------------------------ *)
+(* hygiene rules the fault catalogue cannot reach                      *)
+
+let block id size term = Block.make ~id ~size term
+let goto t = Block.Goto t
+let branch t f = Block.Branch { t; f }
+
+(** 0 -> 1 -> 2(exit), block 3 unreachable. *)
+let cfg_with_unreachable () =
+  Cfg.make ~name:"u" ~entry:0
+    [|
+      block 0 2 (goto 1);
+      block 1 2 (goto 2);
+      block 2 1 Block.Exit;
+      block 3 4 (goto 2);
+    |]
+
+let test_unreachable_warns () =
+  let r = Lint.analyze [| cfg_with_unreachable () |] in
+  Alcotest.(check bool)
+    "cfg-unreachable fires" true
+    (List.mem "cfg-unreachable" (rules_of r));
+  Alcotest.(check int) "it is a warning, not an error" 0 r.Lint.errors
+
+let test_self_loop_warns () =
+  let g =
+    Cfg.make ~name:"s" ~entry:0
+      [| block 0 1 (branch 1 2); block 1 3 (goto 1); block 2 1 Block.Exit |]
+  in
+  let r = Lint.analyze [| g |] in
+  Alcotest.(check bool)
+    "cfg-self-loop fires" true
+    (List.mem "cfg-self-loop" (rules_of r))
+
+let test_goto_cycle_warns () =
+  let g =
+    Cfg.make ~name:"c" ~entry:0
+      [|
+        block 0 1 (branch 1 3);
+        block 1 2 (goto 2);
+        block 2 2 (goto 1);
+        block 3 1 Block.Exit;
+      |]
+  in
+  let r = Lint.analyze [| g |] in
+  Alcotest.(check bool)
+    "cfg-goto-cycle fires" true
+    (List.mem "cfg-goto-cycle" (rules_of r));
+  (* a loop with a conditional exit is not a goto cycle *)
+  let ok =
+    Cfg.make ~name:"ok" ~entry:0
+      [|
+        block 0 1 (goto 1);
+        block 1 2 (branch 1 2);
+        block 2 1 Block.Exit;
+      |]
+  in
+  Alcotest.(check bool)
+    "escapable loop does not fire" false
+    (List.mem "cfg-goto-cycle" (rules_of (Lint.analyze [| ok |])))
+
+let chain_cfg () =
+  Cfg.make ~name:"f" ~entry:0
+    [| block 0 2 (goto 1); block 1 2 (goto 2); block 2 1 Block.Exit |]
+
+let profile_of rows = { Profile.procs = [| { Profile.freqs = rows } |]; calls = [] }
+
+let test_flow_conservation_warns () =
+  (* block 1 receives 5 transfers but emits 3 *)
+  let leaky = profile_of [| [| (1, 5) |]; [| (2, 3) |]; [||] |] in
+  let r = Lint.analyze ~profile:leaky [| chain_cfg () |] in
+  Alcotest.(check bool)
+    "prof-flow-conservation fires" true
+    (List.mem "prof-flow-conservation" (rules_of r));
+  Alcotest.(check int) "as a warning" 0 r.Lint.errors;
+  (* balanced flow is clean *)
+  let tight = profile_of [| [| (1, 5) |]; [| (2, 5) |]; [||] |] in
+  Alcotest.(check bool)
+    "balanced flow does not fire" false
+    (List.mem "prof-flow-conservation"
+       (rules_of (Lint.analyze ~profile:tight [| chain_cfg () |])))
+
+let test_overflow_risk_warns () =
+  let huge = (max_int / 65536) + 1 in
+  let p = profile_of [| [| (1, huge) |]; [| (2, huge) |]; [||] |] in
+  let r = Lint.analyze ~profile:p [| chain_cfg () |] in
+  Alcotest.(check bool)
+    "prof-overflow-risk fires" true
+    (List.mem "prof-overflow-risk" (rules_of r))
+
+(** Entry branches; the taken arm (blocks 1, 3, 4, 6 — a majority of
+    the 7 reachable blocks) never executes. *)
+let cold_cfg () =
+  Cfg.make ~name:"cold" ~entry:0
+    [|
+      block 0 1 (branch 1 2);
+      block 1 2 (branch 3 4);
+      block 2 1 (goto 5);
+      block 3 1 (goto 6);
+      block 4 1 (goto 6);
+      block 5 1 Block.Exit;
+      block 6 1 (goto 5);
+    |]
+
+let cold_profile () =
+  profile_of [| [| (2, 9) |]; [||]; [| (5, 9) |]; [||]; [||]; [||]; [||] |]
+
+let test_cold_coverage_infos () =
+  let r = Lint.analyze ~profile:(cold_profile ()) [| cold_cfg () |] in
+  let rules = rules_of r in
+  Alcotest.(check bool)
+    "prof-cold-branch fires" true
+    (List.mem "prof-cold-branch" rules);
+  Alcotest.(check bool)
+    "prof-cold-ratio fires" true
+    (List.mem "prof-cold-ratio" rules);
+  Alcotest.(check int) "infos only" 0 (r.Lint.errors + r.Lint.warnings)
+
+(* ------------------------------------------------------------------ *)
+(* gate semantics, rendering, annotations                              *)
+
+let test_strict_promotes_warnings () =
+  let leaky = profile_of [| [| (1, 5) |]; [| (2, 3) |]; [||] |] in
+  let cfgs = [| chain_cfg () |] in
+  (match Lint.gate ~profile:leaky cfgs with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "default gate must pass on warnings: %s"
+        (Errors.to_string e));
+  match Lint.gate ~strict:true ~profile:leaky cfgs with
+  | Error (Errors.Invalid_profile _) -> ()
+  | Error e ->
+      Alcotest.failf "strict gate: wrong class %s" (Errors.to_string e)
+  | Ok () -> Alcotest.fail "strict gate must reject warnings"
+
+let test_infos_never_gate () =
+  match Lint.gate ~strict:true ~profile:(cold_profile ()) [| cold_cfg () |] with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "infos must not gate even under strict: %s"
+        (Errors.to_string e)
+
+let test_report_json_parses () =
+  let s = Faults.inject ~seed:1 Faults.Negative_count (scenario ~seed:1) in
+  let doc = Lint.report_json (lint s) in
+  match Json.parse (Json.to_string doc) with
+  | Error m -> Alcotest.failf "report JSON does not re-parse: %s" m
+  | Ok v ->
+      Alcotest.(check (option string))
+        "schema" (Some "balign-lint-1")
+        (Option.bind (Json.member "schema" v) Json.to_str);
+      let findings =
+        Option.bind (Json.member "findings" v) Json.to_list
+        |> Option.value ~default:[]
+      in
+      Alcotest.(check bool) "has findings" true (findings <> []);
+      List.iter
+        (fun f ->
+          if Option.bind (Json.member "rule" f) Json.to_str = None then
+            Alcotest.fail "finding without rule id")
+        findings
+
+let test_dot_annotations () =
+  let g = cfg_with_unreachable () in
+  let r = Lint.analyze [| g |] in
+  let block_attr, edge_attr = Lint.dot_annotations ~proc:0 r.Lint.diags in
+  (match block_attr 3 with
+  | Some attr ->
+      Alcotest.(check bool)
+        "offending block is filled" true
+        (String.length attr > 0
+        && String.length attr > String.length "style=filled"
+        && String.sub attr 0 12 = "style=filled")
+  | None -> Alcotest.fail "unreachable block 3 has no annotation");
+  Alcotest.(check (option string)) "clean block untouched" None (block_attr 0);
+  Alcotest.(check (option string)) "clean edge untouched" None (edge_attr 0 1);
+  let dot = Dot.to_string ~block_attr ~edge_attr g in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "annotations reach the DOT output" true
+    (contains dot "fillcolor")
+
+(* ------------------------------------------------------------------ *)
+(* catalogue integrity                                                 *)
+
+let test_catalogue_integrity () =
+  let ids = List.map (fun r -> r.Rules.id) Rules.all in
+  let codes = List.map (fun r -> r.Rules.code) Rules.all in
+  Alcotest.(check bool)
+    "at least 12 rules" true
+    (List.length Rules.all >= 12);
+  Alcotest.(check int) "rule ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.(check int) "rule codes unique" (List.length codes)
+    (List.length (List.sort_uniq compare codes));
+  List.iter
+    (fun r ->
+      let family = String.sub r.Rules.code 0 3 in
+      let prefix = String.sub r.Rules.id 0 4 in
+      let consistent =
+        (prefix = "cfg-" && family = "BA1")
+        || (prefix = "prof" && family = "BA2")
+      in
+      if not consistent then
+        Alcotest.failf "rule %s has inconsistent code %s" r.Rules.id
+          r.Rules.code;
+      if r.Rules.doc = "" then Alcotest.failf "rule %s undocumented" r.Rules.id)
+    Rules.all;
+  Alcotest.(check bool)
+    "by_id finds rules" true
+    (Rules.by_id "cfg-unreachable" <> None && Rules.by_id "nope" = None)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "fault-mapping",
+        [
+          Alcotest.test_case "every `Must_error fault fires its rule" `Quick
+            test_fault_rule_mapping;
+          Alcotest.test_case "clean scenarios lint error-free" `Quick
+            test_clean_scenarios_have_no_errors;
+          Alcotest.test_case "lint gate agrees with the driver" `Slow
+            test_gate_matches_driver;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "unreachable block warns" `Quick
+            test_unreachable_warns;
+          Alcotest.test_case "self-loop warns" `Quick test_self_loop_warns;
+          Alcotest.test_case "goto cycle warns" `Quick test_goto_cycle_warns;
+          Alcotest.test_case "flow conservation warns" `Quick
+            test_flow_conservation_warns;
+          Alcotest.test_case "overflow risk warns" `Quick
+            test_overflow_risk_warns;
+          Alcotest.test_case "cold coverage informs" `Quick
+            test_cold_coverage_infos;
+        ] );
+      ( "gate-and-render",
+        [
+          Alcotest.test_case "--strict promotes warnings" `Quick
+            test_strict_promotes_warnings;
+          Alcotest.test_case "infos never gate" `Quick test_infos_never_gate;
+          Alcotest.test_case "report JSON re-parses" `Quick
+            test_report_json_parses;
+          Alcotest.test_case "DOT annotations" `Quick test_dot_annotations;
+          Alcotest.test_case "catalogue integrity" `Quick
+            test_catalogue_integrity;
+        ] );
+    ]

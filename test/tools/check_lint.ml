@@ -1,0 +1,134 @@
+(* check_lint — structural validator for the ba_check artifacts, used
+   by the lint cram tests.
+
+     check_lint LINT.json          validate a `balign lint --format json` report
+     check_lint --cert CERT.json   validate a `balign align --certify` certificate
+
+   Exit 0 with a one-line deterministic summary on stdout, exit 1 with
+   the reason on stderr otherwise.  Beyond shape, the report's tallies
+   must equal a recount of its findings, every rule id must exist in
+   the live catalogue with the finding's code and severity, and a
+   certificate's total must equal the sum of its per-procedure costs. *)
+
+module Json = Ba_obs.Json
+module Rules = Ba_check.Rules
+module D = Ba_check.Diagnostic
+
+let die fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("check_lint: " ^ m); exit 1) fmt
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> s
+  | exception Sys_error m -> die "cannot read %s: %s" path m
+
+let parse path =
+  match Json.parse (read_file path) with
+  | Ok v -> v
+  | Error m -> die "%s: invalid JSON: %s" path m
+
+let member k v =
+  match Json.member k v with Some x -> x | None -> die "missing field %S" k
+
+let str v = match Json.to_str v with Some s -> s | None -> die "expected string"
+let int v =
+  match Json.to_number v with
+  | Some f when Float.is_integer f -> int_of_float f
+  | _ -> die "expected integer"
+let list v = match Json.to_list v with Some l -> l | None -> die "expected list"
+
+(* ---------------- lint report ---------------- *)
+
+let check_lint path =
+  let doc = parse path in
+  (match str (member "schema" doc) with
+  | "balign-lint-1" -> ()
+  | s -> die "unknown schema %S" s);
+  let findings = list (member "findings" doc) in
+  let tally = Hashtbl.create 4 in
+  List.iter
+    (fun f ->
+      let rule_id = str (member "rule" f) in
+      let rule =
+        match Rules.by_id rule_id with
+        | Some r -> r
+        | None -> die "finding names unknown rule %S" rule_id
+      in
+      if str (member "code" f) <> rule.Rules.code then
+        die "rule %S reported with code %S (catalogue says %S)" rule_id
+          (str (member "code" f))
+          rule.Rules.code;
+      let sev = str (member "severity" f) in
+      if sev <> D.severity_name rule.Rules.severity then
+        die "rule %S reported as %S (catalogue says %S)" rule_id sev
+          (D.severity_name rule.Rules.severity);
+      Hashtbl.replace tally sev
+        (1 + try Hashtbl.find tally sev with Not_found -> 0);
+      if str (member "message" f) = "" then die "empty message on %S" rule_id;
+      (match Json.member "proc" f with Some p -> ignore (int p) | None -> ());
+      match Json.member "edge" f with
+      | Some e -> (
+          match list e with
+          | [ s; d ] -> ignore (int s); ignore (int d)
+          | _ -> die "edge of %S is not a pair" rule_id)
+      | None -> ())
+    findings;
+  let count sev = try Hashtbl.find tally sev with Not_found -> 0 in
+  List.iter
+    (fun sev ->
+      let claimed = int (member (sev ^ "s") doc) in
+      if claimed <> count sev then
+        die "report claims %d %s(s), findings contain %d" claimed sev
+          (count sev))
+    [ "error"; "warning"; "info" ];
+  Printf.printf "lint ok: %d finding(s), %d error(s)\n" (List.length findings)
+    (count "error")
+
+(* ---------------- alignment certificate ---------------- *)
+
+let check_cert path =
+  let doc = parse path in
+  (match str (member "schema" doc) with
+  | "balign-cert-1" -> ()
+  | s -> die "unknown schema %S" s);
+  let procs = list (member "procs" doc) in
+  if procs = [] then die "certificate with no procedures";
+  let total = ref 0 in
+  List.iteri
+    (fun i p ->
+      if int (member "proc" p) <> i then die "procs out of order at %d" i;
+      ignore (str (member "name" p));
+      if int (member "n_blocks" p) <= 0 then die "proc %d: no blocks" i;
+      let cost = int (member "cost" p) in
+      if cost < 0 then die "proc %d: negative cost" i;
+      total := !total + cost;
+      (match Json.member "claimed" p with
+      | Some c ->
+          if int c <> cost then
+            die "proc %d: claimed %d but recomputed %d" i (int c) cost
+      | None -> ());
+      (match Json.member "hk_bound" p with
+      | Some b ->
+          if int b > cost then
+            die "proc %d: bound %d exceeds cost %d" i (int b) cost
+      | None -> ());
+      match Json.member "sym_checked" p with
+      | Some (Json.Bool _) | None -> ()
+      | Some _ -> die "proc %d: sym_checked is not a bool" i)
+    procs;
+  let claimed_total = int (member "total_cost" doc) in
+  if claimed_total <> !total then
+    die "total_cost %d but procedures sum to %d" claimed_total !total;
+  Printf.printf "cert ok: %d procedure(s), total cost %d cycles\n"
+    (List.length procs) !total
+
+let () =
+  match Sys.argv with
+  | [| _; "--cert"; path |] -> check_cert path
+  | [| _; path |] -> check_lint path
+  | _ -> die "usage: check_lint [--cert] FILE"

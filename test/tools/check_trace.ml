@@ -134,7 +134,11 @@ let check_bench path =
         (fun k ->
           let v = num (member k r) in
           if v < 0. then die "negative %S" k)
-        [ "penalty_cycles"; "hk_gap"; "wall_ms"; "p50_ms"; "p95_ms"; "jobs" ])
+        [ "penalty_cycles"; "hk_gap"; "wall_ms"; "p50_ms"; "p95_ms"; "jobs";
+          "certs"; "cert_failures" ];
+      if num (member "certs" r) <= 0. then die "no certificates in row";
+      if num (member "cert_failures" r) <> 0. then
+        die "row has %g failed certificate(s)" (num (member "cert_failures" r)))
     rows;
   Printf.printf "bench ok: %d rows\n" (List.length rows)
 
