@@ -4,7 +4,8 @@ DUNE ?= dune
 BALIGN = $(DUNE) exec --no-print-directory bin/balign.exe --
 BENCH = $(DUNE) exec --no-print-directory bench/main.exe --
 
-.PHONY: all build test check check-par smoke lint report bench-json clean
+.PHONY: all build test check check-par smoke lint report bench-json \
+  bench-solver clean
 
 all: build
 
@@ -121,6 +122,18 @@ bench-json: build
 	$(BALIGN) bench com --json BENCH.json --jobs 2 > /dev/null
 	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- --bench BENCH.json
 	@echo "bench-json ok: BENCH.json written"
+
+# Solver-core throughput microbenchmark (docs/PERFORMANCE.md): instance
+# build, symmetrization, neighbor lists and 3-Opt moves/sec across
+# sizes, written as a machine-readable JSON document and validated
+# structurally.  The committed trajectory (dense baseline vs the sparse
+# core) lives in results/solver_bench.json.
+bench-solver: build
+	$(DUNE) exec --no-print-directory bench/solver_bench.exe -- \
+	  --json SOLVER_BENCH.json
+	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- \
+	  --solver-bench SOLVER_BENCH.json
+	@echo "bench-solver ok: SOLVER_BENCH.json written"
 
 report:
 	$(DUNE) exec bench/main.exe

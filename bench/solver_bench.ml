@@ -1,0 +1,172 @@
+(* solver_bench — microbenchmark of the DTSP cost core.
+
+   Measures, over synthetic procedures of realistic CFG sparsity
+   (Ba_harness.Synthetic), the costs that dominate large-procedure
+   alignment: building the solver instance from the cost model
+   (Reduction.build), symmetrizing it (Sym.of_dtsp), constructing the
+   candidate lists (Neighbors.of_sym), and sustained 3-Opt throughput
+   (moves/sec over a deterministic kick-and-reoptimize loop).
+
+     dune exec bench/solver_bench.exe -- \
+       [--sizes 64,256,1024,4096] [--kicks 256] [--seed 7] \
+       [--variant NAME] [--json FILE]
+
+   Output is a single JSON document (stdout, or FILE with --json); the
+   committed trajectory lives in results/solver_bench.json with one
+   entry list per variant ("dense-baseline" = the pre-sparse core,
+   "sparse" = the current one).  Everything except wall times and
+   allocation figures is deterministic for a fixed seed, so best_cost /
+   tour_hash double as a cross-representation identity check. *)
+
+module Dtsp = Ba_tsp.Dtsp
+module Sym = Ba_tsp.Sym
+module Neighbors = Ba_tsp.Neighbors
+module Three_opt = Ba_tsp.Three_opt
+module Iterated = Ba_tsp.Iterated
+module Reduction = Ba_align.Reduction
+module Synthetic = Ba_harness.Synthetic
+module Json = Ba_obs.Json
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* words allocated (minor + major, i.e. everything the phase consed)
+   and wall time of one phase *)
+let measured f =
+  let a0 = Gc.allocated_bytes () in
+  let r, s = time f in
+  let words =
+    (Gc.allocated_bytes () -. a0) /. float_of_int (Sys.word_size / 8)
+  in
+  (r, s, words)
+
+type entry = {
+  n_blocks : int;
+  n_cities : int;
+  build_s : float;
+  build_words : float;  (** words allocated by Reduction.build *)
+  sym_s : float;
+  nbr_s : float;
+  instance_words : int;  (** live words reachable from (dtsp, sym) *)
+  opt_s : float;  (** initial 3-Opt descent + kick loop *)
+  moves : int;
+  moves_per_s : float;
+  best_cost : int;  (** symmetric tour cost after the kick loop *)
+  tour_hash : int;
+}
+
+let run_size ~seed ~kicks ~k n =
+  let rng = Random.State.make [| seed; n |] in
+  let g = Synthetic.cfg rng ~n in
+  let prof = Synthetic.profile rng g ~invocations:100 ~max_steps:(8 * n) in
+  let p = Ba_machine.Penalties.alpha_21164 in
+  let inst, build_s, build_words =
+    measured (fun () -> Reduction.build p g ~profile:prof)
+  in
+  let d = inst.Reduction.dtsp in
+  let s, sym_s, _ = measured (fun () -> Sym.of_dtsp d) in
+  let nbr, nbr_s, _ = measured (fun () -> Neighbors.of_sym s ~k) in
+  let instance_words = Obj.reachable_words (Obj.repr (d, s)) in
+  (* throughput: identity start, descent to local optimality, then a
+     fixed number of double-bridge kicks each re-optimized; kicks are
+     taken from a deterministic rng and never undone, so the trajectory
+     is a pure function of the instance *)
+  let nn = s.Sym.nn in
+  let st = Three_opt.init s ~nbr ~tour:(Array.init nn Fun.id) in
+  let krng = Random.State.make [| seed; n; kicks |] in
+  let (), opt_s =
+    time (fun () ->
+        Three_opt.activate_all st;
+        Three_opt.run st;
+        for _ = 1 to kicks do
+          let touched = Iterated.double_bridge st krng in
+          List.iter (Three_opt.activate st) touched;
+          Three_opt.run st
+        done)
+  in
+  let moves = st.Three_opt.moves_2opt + st.Three_opt.moves_3opt in
+  {
+    n_blocks = n;
+    n_cities = Dtsp.(d.n);
+    build_s;
+    build_words;
+    sym_s;
+    nbr_s;
+    instance_words;
+    opt_s;
+    moves;
+    moves_per_s = (if opt_s > 0. then float_of_int moves /. opt_s else 0.);
+    best_cost = Three_opt.cost st;
+    tour_hash = Hashtbl.hash (Three_opt.tour st);
+  }
+
+let entry_json e =
+  Json.Obj
+    [
+      ("n_blocks", Json.Int e.n_blocks);
+      ("n_cities", Json.Int e.n_cities);
+      ("build_s", Json.Float e.build_s);
+      ("build_words", Json.Float e.build_words);
+      ("sym_s", Json.Float e.sym_s);
+      ("nbr_s", Json.Float e.nbr_s);
+      ("instance_words", Json.Int e.instance_words);
+      ("opt_s", Json.Float e.opt_s);
+      ("moves", Json.Int e.moves);
+      ("moves_per_s", Json.Float e.moves_per_s);
+      ("best_cost", Json.Int e.best_cost);
+      ("tour_hash", Json.Int e.tour_hash);
+    ]
+
+let doc ~variant ~seed ~kicks ~k entries =
+  Json.Obj
+    [
+      ("schema", Json.String "solver-bench/1");
+      ("commit", Json.String (Ba_harness.Bench_json.current_commit ()));
+      ("date", Json.String (Ba_harness.Bench_json.now_utc ()));
+      ("variant", Json.String variant);
+      ("seed", Json.Int seed);
+      ("kicks", Json.Int kicks);
+      ("neighbors", Json.Int k);
+      ("entries", Json.List (List.map entry_json entries));
+    ]
+
+let () =
+  let sizes = ref [ 64; 256; 1024; 4096 ]
+  and kicks = ref 256
+  and seed = ref 7
+  and k = ref 12
+  and variant = ref "sparse"
+  and out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--sizes" :: v :: rest ->
+        sizes := List.map int_of_string (String.split_on_char ',' v);
+        parse rest
+    | "--kicks" :: v :: rest -> kicks := int_of_string v; parse rest
+    | "--seed" :: v :: rest -> seed := int_of_string v; parse rest
+    | "--neighbors" :: v :: rest -> k := int_of_string v; parse rest
+    | "--variant" :: v :: rest -> variant := v; parse rest
+    | "--json" :: v :: rest -> out := Some v; parse rest
+    | a :: _ ->
+        prerr_endline ("solver_bench: unknown argument " ^ a);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let entries =
+    List.map
+      (fun n ->
+        let e = run_size ~seed:!seed ~kicks:!kicks ~k:!k n in
+        Printf.eprintf
+          "n=%-5d build %.4fs  sym %.4fs  nbr %.4fs  opt %.3fs  %9.0f moves/s  \
+           %9d live words  cost %d\n%!"
+          n e.build_s e.sym_s e.nbr_s e.opt_s e.moves_per_s e.instance_words
+          e.best_cost;
+        e)
+      !sizes
+  in
+  let j = doc ~variant:!variant ~seed:!seed ~kicks:!kicks ~k:!k entries in
+  match !out with
+  | Some path -> Json.write_file path j
+  | None -> print_endline (Json.to_string j)

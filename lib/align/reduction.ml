@@ -39,26 +39,44 @@ let build (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) : t =
     Cost.edge_cost p (Cfg.block cfg i).Block.term ~succ ~predicted:predicted.(i)
       ~freqs:(Profile.block_freqs profile i)
   in
+  (* The instance is emitted sparsely, without materializing the dense
+     matrix: a block's penalty when followed by a non-successor is
+     independent of which city follows (Cost.edge_cost realizes the same
+     fixup arrangement for every non-successor, and Multiway/Goto/Exit
+     don't look at the successor at all), so each row is its
+     [block_cost i None] default plus explicit deviations at the CFG
+     successors — O(out-degree) cost-model calls per block instead of
+     O(n).  The diagonal is pinned to 0 (as the dense matrix had it) and
+     the dummy column always carries the row default. *)
+  let default = Array.make (n + 1) 0 in
+  let rows = Array.make (n + 1) [] in
   (* the forbidden cost must exceed the cost of any real layout: one more
-     than the sum over blocks of their worst edge *)
+     than the sum over blocks of their worst edge; only successors can
+     cost more than the row default *)
   let worst = ref 1 in
   for i = 0 to n - 1 do
-    let w = ref (block_cost i None) in
-    for j = 0 to n - 1 do
-      if j <> i then w := max !w (block_cost i (Some j))
-    done;
+    let def = block_cost i None in
+    let w = ref def in
+    let entries =
+      List.filter_map
+        (fun j ->
+          if j = i || j < 0 || j >= n then None
+          else begin
+            let c = block_cost i (Some j) in
+            if c > !w then w := c;
+            if c = def then None else Some (j, c)
+          end)
+        (Block.distinct_successors (Cfg.block cfg i))
+    in
+    default.(i) <- def;
+    rows.(i) <- (if def = 0 then entries else (i, 0) :: entries);
     worst := !worst + !w
   done;
   let forbid = !worst in
-  let cost =
-    Array.init (n + 1) (fun i ->
-        Array.init (n + 1) (fun j ->
-            if i = j then 0
-            else if i = dummy then if j = cfg.Cfg.entry then 0 else forbid
-            else if j = dummy then block_cost i None
-            else block_cost i (Some j)))
-  in
-  { cfg; dtsp = Ba_tsp.Dtsp.make cost; dummy; forbid }
+  default.(dummy) <- forbid;
+  rows.(dummy) <- [ (cfg.Cfg.entry, 0); (dummy, 0) ];
+  let dtsp = Ba_tsp.Dtsp.of_rows ~n:(n + 1) ~default rows in
+  { cfg; dtsp; dummy; forbid }
 
 (** [tour_of_order t order] is the directed tour (starting at the dummy)
     corresponding to a layout. *)

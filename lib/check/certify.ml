@@ -3,8 +3,12 @@
     [certify] re-verifies a produced layout from first principles,
     deliberately sharing no code with the solver path in {!Ba_align}:
     it rebuilds the DTSP edge weights directly from
-    {!Ba_machine.Cost.edge_cost} and re-derives every property the
-    paper's reduction promises.  A certificate attests that:
+    {!Ba_machine.Cost.edge_cost} — materializing its own dense matrix
+    through the {!Ba_tsp.Dtsp.make} fallback rather than reusing
+    {!Ba_align.Reduction}'s sparse emission, so every certificate also
+    cross-checks the sparse cost core against an independently built
+    instance — and re-derives every property the paper's reduction
+    promises.  A certificate attests that:
 
     - the layout is a permutation of the procedure's blocks with the
       entry first (a Hamiltonian walk of the reduction's cities);

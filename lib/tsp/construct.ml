@@ -26,7 +26,7 @@ let nearest_neighbor ?rng ?(choices = 1) (d : Dtsp.t) ~start =
     let n_cand = ref 0 in
     for j = 0 to n - 1 do
       if not visited.(j) then begin
-        let c = d.Dtsp.cost.(!cur).(j) in
+        let c = Dtsp.cost d !cur j in
         (* insert (c, j) into the best-[choices] candidate buffer *)
         if !n_cand < choices then begin
           cand.(!n_cand) <- (c, j);
@@ -94,10 +94,12 @@ let greedy_edge ?rng ?(skip_prob = 0.1) (d : Dtsp.t) =
     in
     let edges = Array.make (n * (n - 1)) (0, 0, 0) in
     let k = ref 0 in
+    let row = Array.make n 0 in
     for i = 0 to n - 1 do
+      Dtsp.blit_row d i row;
       for j = 0 to n - 1 do
         if i <> j then begin
-          edges.(!k) <- (d.Dtsp.cost.(i).(j), i, j);
+          edges.(!k) <- (row.(j), i, j);
           incr k
         end
       done
@@ -120,7 +122,7 @@ let greedy_edge ?rng ?(skip_prob = 0.1) (d : Dtsp.t) =
         if next.(i) < 0 then
           for j = 0 to n - 1 do
             if prev.(j) < 0 && i <> j && find i <> find j then begin
-              let c = d.Dtsp.cost.(i).(j) in
+              let c = Dtsp.cost d i j in
               let bc, _, _ = !best in
               if c < bc then best := (c, i, j)
             end

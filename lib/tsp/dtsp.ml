@@ -1,19 +1,96 @@
-(** Directed (asymmetric) TSP instances.
+(** Directed (asymmetric) TSP instances, stored sparsely.
 
-    An instance is a complete directed graph on [n] cities given by a full
-    cost matrix; [cost.(i).(j)] is the cost of travelling i → j.  Costs
-    are arbitrary non-negative integers (the branch-alignment reduction
-    also uses a large-but-finite cost to forbid edges, see
-    [Ba_align.Reduction]).  We look for a minimum-cost directed
-    Hamiltonian {e cycle}; the alignment reduction closes its layout walk
-    into a cycle with a dummy city. *)
+    An instance is a complete directed graph on [n] cities.  The
+    branch-alignment reduction produces inherently sparse instances: a
+    row has one interesting cost per CFG successor of the block and a
+    single shared default everywhere else (the terminator's penalty when
+    the layout successor is not a CFG successor is independent of which
+    city follows — see [Ba_align.Reduction]).  We therefore keep a
+    CSR-style representation: per row, a sorted array of explicit
+    (column, cost) deviations plus the row's default cost.  The logical
+    matrix is total — [cost t i j] is defined for every pair, including
+    the diagonal (which solvers ignore but oracles may read).
+
+    [make] is the dense fallback constructor (tests, exact solvers,
+    independent validators): it compresses a full matrix by choosing the
+    most frequent off-diagonal value of each row as that row's default.
+    [of_rows] builds an instance directly from per-row deviations
+    without ever materializing the dense matrix.
+
+    [max_cost] — the largest off-diagonal cost, which seeds the
+    symmetrization weights and the solver's RNG — is computed once at
+    construction time and cached. *)
 
 type t = {
   n : int;  (** number of cities, [>= 2] *)
-  cost : int array array;  (** [n × n]; the diagonal is ignored *)
+  row_cols : int array array;  (** per row, strictly increasing columns *)
+  row_costs : int array array;  (** costs of the explicit columns *)
+  row_default : int array;  (** cost of every column not listed *)
+  max_cost : int;  (** cached largest off-diagonal cost *)
 }
 
-(** [make cost] wraps a square matrix.
+(* largest off-diagonal cost of a CSR triple (0 for an all-zero
+   instance): explicit off-diagonal entries, plus each row's default
+   whenever the row has at least one implicit off-diagonal column *)
+let compute_max ~n ~row_cols ~row_costs ~row_default =
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    let cols = row_cols.(i) and costs = row_costs.(i) in
+    let explicit_offdiag = ref 0 in
+    Array.iteri
+      (fun k c ->
+        if c <> i then begin
+          incr explicit_offdiag;
+          if costs.(k) > !m then m := costs.(k)
+        end)
+      cols;
+    if !explicit_offdiag < n - 1 && row_default.(i) > !m then
+      m := row_default.(i)
+  done;
+  !m
+
+let build ~n ~row_cols ~row_costs ~row_default =
+  {
+    n;
+    row_cols;
+    row_costs;
+    row_default;
+    max_cost = compute_max ~n ~row_cols ~row_costs ~row_default;
+  }
+
+(** [of_rows ~n ~default rows] builds an instance from per-row explicit
+    deviations; [rows.(i)] lists (column, cost) pairs whose cost differs
+    from [default.(i)] (entries equal to the row default are dropped,
+    the rest sorted by column).
+    @raise Invalid_argument on out-of-range or duplicate columns. *)
+let of_rows ~n ~default rows =
+  if n < 2 then invalid_arg "Dtsp.of_rows: need at least 2 cities";
+  if Array.length default <> n || Array.length rows <> n then
+    invalid_arg "Dtsp.of_rows: wrong row count";
+  let row_cols = Array.make n [||] and row_costs = Array.make n [||] in
+  for i = 0 to n - 1 do
+    let entries =
+      List.filter (fun (_, v) -> v <> default.(i)) rows.(i)
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let len = List.length entries in
+    let cols = Array.make len 0 and costs = Array.make len 0 in
+    List.iteri
+      (fun k (c, v) ->
+        if c < 0 || c >= n then invalid_arg "Dtsp.of_rows: column out of range";
+        if k > 0 && cols.(k - 1) >= c then
+          invalid_arg "Dtsp.of_rows: duplicate column";
+        cols.(k) <- c;
+        costs.(k) <- v)
+      entries;
+    row_cols.(i) <- cols;
+    row_costs.(i) <- costs
+  done;
+  build ~n ~row_cols ~row_costs ~row_default:(Array.copy default)
+
+(** [make cost] compresses a square matrix (dense fallback: tests, the
+    independent certificate validator, exact solvers).  The logical
+    matrix is reproduced exactly, diagonal included.
     @raise Invalid_argument if the matrix is smaller than 2×2 or ragged. *)
 let make cost =
   let n = Array.length cost in
@@ -22,17 +99,101 @@ let make cost =
     (fun row ->
       if Array.length row <> n then invalid_arg "Dtsp.make: ragged matrix")
     cost;
-  { n; cost }
+  let row_cols = Array.make n [||]
+  and row_costs = Array.make n [||]
+  and row_default = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let row = cost.(i) in
+    (* default = most frequent off-diagonal value (ties: smallest) *)
+    let counts = Hashtbl.create 16 in
+    for j = 0 to n - 1 do
+      if j <> i then
+        Hashtbl.replace counts row.(j)
+          (1 + try Hashtbl.find counts row.(j) with Not_found -> 0)
+    done;
+    let default =
+      Hashtbl.fold
+        (fun v c best ->
+          match best with
+          | Some (bv, bc) when bc > c || (bc = c && bv < v) -> best
+          | _ -> Some (v, c))
+        counts None
+      |> function Some (v, _) -> v | None -> row.(i)
+    in
+    let nex = ref 0 in
+    for j = 0 to n - 1 do
+      if row.(j) <> default then incr nex
+    done;
+    let cols = Array.make !nex 0 and costs = Array.make !nex 0 in
+    let k = ref 0 in
+    for j = 0 to n - 1 do
+      if row.(j) <> default then begin
+        cols.(!k) <- j;
+        costs.(!k) <- row.(j);
+        incr k
+      end
+    done;
+    row_default.(i) <- default;
+    row_cols.(i) <- cols;
+    row_costs.(i) <- costs
+  done;
+  build ~n ~row_cols ~row_costs ~row_default
 
-(** Largest off-diagonal cost in the instance (0 for an all-zero one). *)
-let max_cost t =
-  let m = ref 0 in
-  for i = 0 to t.n - 1 do
-    for j = 0 to t.n - 1 do
-      if i <> j && t.cost.(i).(j) > !m then m := t.cost.(i).(j)
+(** [cost t i j] is the cost of travelling i → j (explicit entry or row
+    default).  Rows from the reduction have out-degree-many entries, so
+    short rows take a linear scan; long rows (dense fallback instances)
+    a binary search. *)
+let cost t i j =
+  let cols = t.row_cols.(i) in
+  let len = Array.length cols in
+  if len <= 8 then begin
+    let k = ref 0 in
+    while !k < len && Array.unsafe_get cols !k < j do
+      incr k
+    done;
+    if !k < len && Array.unsafe_get cols !k = j then
+      Array.unsafe_get (Array.unsafe_get t.row_costs i) !k
+    else Array.unsafe_get t.row_default i
+  end
+  else begin
+    let lo = ref 0 and hi = ref len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if Array.unsafe_get cols mid < j then lo := mid + 1 else hi := mid
+    done;
+    if !lo < len && Array.unsafe_get cols !lo = j then
+      Array.unsafe_get (Array.unsafe_get t.row_costs i) !lo
+    else Array.unsafe_get t.row_default i
+  end
+
+(** Largest off-diagonal cost in the instance (cached at build time). *)
+let max_cost t = t.max_cost
+
+(** Number of explicit (column, cost) deviations stored. *)
+let nnz t = Array.fold_left (fun acc r -> acc + Array.length r) 0 t.row_cols
+
+(** [blit_row t i dst] fills [dst.(0..n-1)] with the logical row [i]. *)
+let blit_row t i dst =
+  if Array.length dst < t.n then invalid_arg "Dtsp.blit_row: dst too short";
+  Array.fill dst 0 t.n t.row_default.(i);
+  let cols = t.row_cols.(i) and costs = t.row_costs.(i) in
+  for k = 0 to Array.length cols - 1 do
+    dst.(cols.(k)) <- costs.(k)
+  done
+
+(** Dense row-major copy ([i*n + j]) for the genuinely dense kernels
+    (Hungarian, Held–Karp, exact DP, patching). *)
+let to_flat t =
+  let n = t.n in
+  let flat = Array.make (n * n) 0 in
+  for i = 0 to n - 1 do
+    Array.fill flat (i * n) n t.row_default.(i);
+    let cols = t.row_cols.(i) and costs = t.row_costs.(i) in
+    for k = 0 to Array.length cols - 1 do
+      flat.((i * n) + cols.(k)) <- costs.(k)
     done
   done;
-  !m
+  flat
 
 (** [is_tour t tour] checks that [tour] is a permutation of [0..n-1]. *)
 let is_tour t tour =
@@ -56,20 +217,29 @@ let tour_cost t tour =
   let n = t.n in
   let total = ref 0 in
   for i = 0 to n - 1 do
-    total := !total + t.cost.(tour.(i)).(tour.((i + 1) mod n))
+    total := !total + cost t tour.(i) tour.((i + 1) mod n)
   done;
   !total
 
 (** [rotate_to tour city] is the same cyclic tour rotated so that [city]
-    comes first.  @raise Not_found if [city] is absent. *)
+    comes first (tours are permutations, so the first match is the only
+    one).  @raise Not_found if [city] is absent. *)
 let rotate_to tour city =
   let n = Array.length tour in
-  let i = ref (-1) in
-  Array.iteri (fun k c -> if c = city then i := k) tour;
-  if !i < 0 then raise Not_found;
-  Array.init n (fun k -> tour.((k + !i) mod n))
+  let rec find k =
+    if k >= n then raise Not_found
+    else if tour.(k) = city then k
+    else find (k + 1)
+  in
+  let i = find 0 in
+  Array.init n (fun k -> tour.((k + i) mod n))
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>dtsp n=%d@,%a@]" t.n
-    Fmt.(array ~sep:cut (array ~sep:sp int))
-    t.cost
+  Fmt.pf ppf "@[<v>dtsp n=%d nnz=%d" t.n (nnz t);
+  for i = 0 to t.n - 1 do
+    Fmt.pf ppf "@,%d: default %d" i t.row_default.(i);
+    Array.iteri
+      (fun k c -> Fmt.pf ppf " %d:%d" c t.row_costs.(i).(k))
+      t.row_cols.(i)
+  done;
+  Fmt.pf ppf "@]"

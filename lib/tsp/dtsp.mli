@@ -1,18 +1,43 @@
-(** Directed (asymmetric) TSP instances: a complete directed graph given
-    by a full cost matrix; we seek a minimum-cost directed Hamiltonian
-    cycle. *)
+(** Directed (asymmetric) TSP instances, stored sparsely: per row, a
+    sorted array of explicit (column, cost) deviations plus a default
+    cost for every other column.  The logical cost matrix is total
+    (diagonal included); we seek a minimum-cost directed Hamiltonian
+    cycle.  See docs/PERFORMANCE.md for the representation design. *)
 
 type t = {
   n : int;  (** number of cities, ≥ 2 *)
-  cost : int array array;  (** [n × n]; diagonal ignored *)
+  row_cols : int array array;  (** per row, strictly increasing columns *)
+  row_costs : int array array;  (** costs of the explicit columns *)
+  row_default : int array;  (** cost of every column not listed *)
+  max_cost : int;  (** cached largest off-diagonal cost *)
 }
 
-(** Wrap a square matrix.
+(** Compress a square matrix (dense fallback constructor; reproduces the
+    logical matrix exactly, diagonal included).
     @raise Invalid_argument if smaller than 2×2 or ragged. *)
 val make : int array array -> t
 
-(** Largest off-diagonal cost. *)
+(** [of_rows ~n ~default rows] builds an instance from per-row explicit
+    (column, cost) deviations from [default.(i)] without materializing a
+    dense matrix.  Entries equal to the row default are dropped.
+    @raise Invalid_argument on out-of-range or duplicate columns. *)
+val of_rows : n:int -> default:int array -> (int * int) list array -> t
+
+(** Cost of travelling i → j (explicit entry or row default). *)
+val cost : t -> int -> int -> int
+
+(** Largest off-diagonal cost (cached at construction). *)
 val max_cost : t -> int
+
+(** Number of explicit deviations stored (the instance is O(n + nnz)). *)
+val nnz : t -> int
+
+(** [blit_row t i dst] fills [dst.(0..n-1)] with the logical row [i].
+    @raise Invalid_argument if [dst] is shorter than [n]. *)
+val blit_row : t -> int -> int array -> unit
+
+(** Dense row-major copy ([i*n + j]) for the genuinely dense kernels. *)
+val to_flat : t -> int array
 
 (** Is the array a permutation of the cities? *)
 val is_tour : t -> int array -> bool
@@ -21,8 +46,8 @@ val is_tour : t -> int array -> bool
     edge included).  @raise Invalid_argument if not a tour. *)
 val tour_cost : t -> int array -> int
 
-(** Rotate a cyclic tour so the given city comes first.
-    @raise Not_found if absent. *)
+(** Rotate a cyclic tour so the given city comes first (stops at the
+    first match).  @raise Not_found if absent. *)
 val rotate_to : int array -> int -> int array
 
 val pp : Format.formatter -> t -> unit

@@ -18,7 +18,8 @@ let solve (d : Dtsp.t) : int array * int =
     (t, Dtsp.tour_cost d t)
   end
   else begin
-    let c = d.Dtsp.cost in
+    (* flat row-major copy: n ≤ 18, the DP is dense anyway *)
+    let c = Dtsp.to_flat d in
     (* dp over subsets of cities 1..n-1; bit (j-1) set means j visited.
        dp.(mask).(j-1) = min cost of a path 0 → j visiting exactly the
        cities of mask. *)
@@ -27,7 +28,7 @@ let solve (d : Dtsp.t) : int array * int =
     let dp = Array.make_matrix nsets (n - 1) inf in
     let par = Array.make_matrix nsets (n - 1) (-1) in
     for j = 1 to n - 1 do
-      dp.(1 lsl (j - 1)).(j - 1) <- c.(0).(j)
+      dp.(1 lsl (j - 1)).(j - 1) <- c.(j)
     done;
     for mask = 1 to nsets - 1 do
       for j = 1 to n - 1 do
@@ -38,7 +39,7 @@ let solve (d : Dtsp.t) : int array * int =
             let bk = 1 lsl (k - 1) in
             if mask land bk = 0 then begin
               let m' = mask lor bk in
-              let v = base + c.(j).(k) in
+              let v = base + c.((j * n) + k) in
               if v < dp.(m').(k - 1) then begin
                 dp.(m').(k - 1) <- v;
                 par.(m').(k - 1) <- j
@@ -51,7 +52,7 @@ let solve (d : Dtsp.t) : int array * int =
     let full = nsets - 1 in
     let best = ref inf and last = ref (-1) in
     for j = 1 to n - 1 do
-      let v = dp.(full).(j - 1) + c.(j).(0) in
+      let v = dp.(full).(j - 1) + c.(j * n) in
       if v < !best then begin
         best := v;
         last := j

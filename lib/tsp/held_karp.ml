@@ -19,13 +19,13 @@ type config = {
 
 let default = { iterations = 20_000; lambda0 = 2.0; patience = 100 }
 
-(** [one_tree cost pi] computes a minimum 1-tree under π-modified weights:
-    a minimum spanning tree over cities 1..n−1 (Prim, O(n²)) plus the two
-    cheapest edges incident to city 0.  Returns the modified weight and
-    the degree of every node. *)
-let one_tree (cost : int array array) (pi : float array) =
-  let n = Array.length cost in
-  let w u v = float_of_int cost.(u).(v) +. pi.(u) +. pi.(v) in
+(** [one_tree ~n cost pi] computes a minimum 1-tree under π-modified
+    weights: a minimum spanning tree over cities 1..n−1 (Prim, O(n²))
+    plus the two cheapest edges incident to city 0.  [cost] is a flat
+    row-major n×n matrix.  Returns the modified weight and the degree of
+    every node. *)
+let one_tree ~n (cost : int array) (pi : float array) =
+  let w u v = float_of_int cost.((u * n) + v) +. pi.(u) +. pi.(v) in
   let deg = Array.make n 0 in
   let in_tree = Array.make n false in
   let best = Array.make n infinity and parent = Array.make n (-1) in
@@ -73,12 +73,12 @@ let one_tree (cost : int array array) (pi : float array) =
     any known tour (used only to scale subgradient steps; a loose value
     merely slows convergence).  For [n < 3] the bound is the exact forced
     tour cost. *)
-let bound ?(config = default) (cost : int array array) ~upper_bound : float =
-  let n = Array.length cost in
+let bound ?(config = default) ~n (cost : int array) ~upper_bound : float =
   if n < 2 then invalid_arg "Held_karp.bound: need at least 2 cities";
-  if n = 2 then float_of_int (2 * cost.(0).(1))
+  if Array.length cost <> n * n then invalid_arg "Held_karp.bound: not n×n";
+  if n = 2 then float_of_int (2 * cost.(1))
   else if n = 3 then
-    float_of_int (cost.(0).(1) + cost.(1).(2) + cost.(2).(0))
+    float_of_int (cost.(1) + cost.(n + 2) + cost.(2 * n))
   else begin
     let pi = Array.make n 0.0 in
     let prev_grad = Array.make n 0.0 in
@@ -89,7 +89,7 @@ let bound ?(config = default) (cost : int array array) ~upper_bound : float =
     let continue = ref true in
     while !continue && !iter < config.iterations do
       incr iter;
-      let weight, deg = one_tree cost pi in
+      let weight, deg = one_tree ~n cost pi in
       let sum_pi = Array.fold_left ( +. ) 0.0 pi in
       let l = weight -. (2.0 *. sum_pi) in
       if l > !best then begin
@@ -138,7 +138,8 @@ let bound ?(config = default) (cost : int array array) ~upper_bound : float =
 let directed_bound ?config (d : Dtsp.t) ~upper_bound : int =
   let s = Sym.of_dtsp d in
   let b =
-    bound ?config s.Sym.cost ~upper_bound:(upper_bound - s.Sym.offset)
+    bound ?config ~n:s.Sym.nn (Sym.to_flat s)
+      ~upper_bound:(upper_bound - s.Sym.offset)
   in
   let shifted = b +. float_of_int s.Sym.offset in
   int_of_float (Float.ceil (shifted -. 1e-6))

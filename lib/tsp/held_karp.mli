@@ -11,15 +11,15 @@ type config = {
 val default : config
 
 (** Minimum 1-tree under π-modified weights: MST over cities 1..n−1 plus
-    the two cheapest edges at city 0; returns (modified weight,
-    degrees). *)
-val one_tree : int array array -> float array -> float * int array
+    the two cheapest edges at city 0; the cost matrix is flat row-major
+    n×n.  Returns (modified weight, degrees). *)
+val one_tree : n:int -> int array -> float array -> float * int array
 
-(** Held–Karp bound for a symmetric instance, as a float.
-    [upper_bound] is any known tour cost (scales the steps; reaching it
-    certifies optimality and stops early).
-    @raise Invalid_argument if [n < 2]. *)
-val bound : ?config:config -> int array array -> upper_bound:int -> float
+(** Held–Karp bound for a symmetric instance given as a flat row-major
+    n×n matrix, as a float.  [upper_bound] is any known tour cost
+    (scales the steps; reaching it certifies optimality and stops
+    early).  @raise Invalid_argument if [n < 2] or the size is wrong. *)
+val bound : ?config:config -> n:int -> int array -> upper_bound:int -> float
 
 (** Integer Held–Karp lower bound on the optimal directed tour: bound of
     the symmetrized instance, shifted back and rounded up. *)

@@ -9,16 +9,14 @@
     exact), which is why the Held–Karp bound is used instead.  We
     implement it to reproduce that appendix experiment. *)
 
-(** [solve cost] returns [(assignment, total)] where [assignment.(i)] is
-    the column matched to row [i] and [total] the minimum total cost of a
-    perfect matching.  The matrix must be square, [n ≥ 1].  Forbid an
-    entry by making it much larger than any desired solution. *)
-let solve (cost : int array array) : int array * int =
-  let n = Array.length cost in
+(** [solve ~n cost] returns [(assignment, total)] where [assignment.(i)]
+    is the column matched to row [i] and [total] the minimum total cost
+    of a perfect matching.  [cost] is a flat row-major n×n matrix
+    ([cost.(i*n + j)]), [n ≥ 1].  Forbid an entry by making it much
+    larger than any desired solution. *)
+let solve ~n (cost : int array) : int array * int =
   if n = 0 then invalid_arg "Hungarian.solve: empty matrix";
-  Array.iter
-    (fun r -> if Array.length r <> n then invalid_arg "Hungarian.solve: ragged")
-    cost;
+  if Array.length cost <> n * n then invalid_arg "Hungarian.solve: not n×n";
   let inf = max_int / 4 in
   (* potentials and matching over 1-based internal arrays *)
   let u = Array.make (n + 1) 0 and v = Array.make (n + 1) 0 in
@@ -33,10 +31,11 @@ let solve (cost : int array array) : int array * int =
     while !continue do
       used.(!j0) <- true;
       let i0 = p.(!j0) in
+      let row = (i0 - 1) * n in
       let delta = ref inf and j1 = ref (-1) in
       for j = 1 to n do
         if not used.(j) then begin
-          let cur = cost.(i0 - 1).(j - 1) - u.(i0) - v.(j) in
+          let cur = cost.(row + j - 1) - u.(i0) - v.(j) in
           if cur < minv.(j) then begin
             minv.(j) <- cur;
             way.(j) <- !j0
@@ -70,7 +69,7 @@ let solve (cost : int array array) : int array * int =
     if p.(j) > 0 then assignment.(p.(j) - 1) <- j - 1
   done;
   let total = ref 0 in
-  Array.iteri (fun i j -> total := !total + cost.(i).(j)) assignment;
+  Array.iteri (fun i j -> total := !total + cost.((i * n) + j)) assignment;
   (assignment, !total)
 
 (** [ap_bound d] is the assignment-problem lower bound on the optimal
@@ -80,8 +79,8 @@ let solve (cost : int array array) : int array * int =
 let ap_bound (d : Dtsp.t) : int =
   let n = d.Dtsp.n in
   let forbid = 1 + (n * (Dtsp.max_cost d + 1)) in
-  let c =
-    Array.init n (fun i ->
-        Array.init n (fun j -> if i = j then forbid else d.Dtsp.cost.(i).(j)))
-  in
-  snd (solve c)
+  let c = Dtsp.to_flat d in
+  for i = 0 to n - 1 do
+    c.((i * n) + i) <- forbid
+  done;
+  snd (solve ~n c)

@@ -3,11 +3,12 @@
     the paper's appendix shows is too weak on branch-alignment
     instances. *)
 
-(** [solve cost] is [(assignment, total)]: [assignment.(i)] is the
-    column matched to row [i], minimizing the total.  Square matrices
-    only; forbid entries by making them very large.
-    @raise Invalid_argument on empty or ragged input. *)
-val solve : int array array -> int array * int
+(** [solve ~n cost] is [(assignment, total)]: [assignment.(i)] is the
+    column matched to row [i], minimizing the total.  [cost] is a flat
+    row-major n×n matrix ([cost.(i*n + j)]); forbid entries by making
+    them very large.
+    @raise Invalid_argument on empty or wrongly-sized input. *)
+val solve : n:int -> int array -> int array * int
 
 (** AP lower bound on the optimal directed tour (self-assignment
     forbidden); exact when the optimal cycle cover is a single cycle. *)

@@ -3,18 +3,86 @@
     Only finite, non-locked edges are useful candidates: locked pair edges
     are always in the tour already and forbidden pairs can never improve a
     tour.  Lists are sorted by increasing cost so searches can stop
-    early. *)
+    early.
+
+    The candidate set is known from the symmetrization structure alone —
+    an out-city's partners are exactly the other cities' in-cities and
+    vice versa — so the lists are built from the sparse directed
+    instance with one O(n) scratch row per city instead of scanning a
+    materialized 2n×2n matrix.  Bit-identity caveat: most candidates of
+    a row share the row's default cost, so the k cheapest are only
+    defined up to tie order; we therefore enumerate partners in exactly
+    the order the dense scan produced (descending city index) and use
+    the same [Array.sort] comparator, which makes the resulting lists —
+    and hence the whole search trajectory — identical to the dense
+    implementation's (docs/PERFORMANCE.md). *)
 
 (** [of_sym s ~k] builds, for every symmetric city, its up-to-[k]
     cheapest candidate partners (finite cost, not the locked partner). *)
 let of_sym (s : Sym.t) ~k =
+  let d = s.Sym.dir in
+  let n = s.Sym.n_cities in
   let nn = s.Sym.nn in
-  Array.init nn (fun a ->
-      let cand = ref [] in
-      for b = 0 to nn - 1 do
-        if b <> a && (not (Sym.is_locked s a b)) && s.Sym.cost.(a).(b) < s.Sym.inf
-        then cand := b :: !cand
-      done;
-      let arr = Array.of_list !cand in
-      Array.sort (fun x y -> compare s.Sym.cost.(a).(x) s.Sym.cost.(a).(y)) arr;
-      if Array.length arr <= k then arr else Array.sub arr 0 k)
+  (* transpose of the explicit entries, for O(deg) column fills *)
+  let tcols = Array.make n [] in
+  for i = n - 1 downto 0 do
+    Array.iteri
+      (fun kk c -> tcols.(c) <- (i, d.Dtsp.row_costs.(i).(kk)) :: tcols.(c))
+      d.Dtsp.row_cols.(i)
+  done;
+  let row = Array.make n 0 in
+  (* [Array.sort]'s heapsort consults nothing but comparator results, so
+     on a row whose candidates all share one cost (every comparison
+     returns 0) it applies a permutation that depends only on the array
+     length.  Compute that permutation once and read uniform rows'
+     lists off it in O(k) instead of sorting each. *)
+  let tmpl = Array.init (n - 1) Fun.id in
+  Array.sort (fun _ _ -> 0) tmpl;
+  (* an in-city's candidate costs are the OTHER rows' defaults, so an
+     explicit-free column is only uniform when all defaults agree *)
+  let shared_default =
+    Array.for_all (fun v -> v = d.Dtsp.row_default.(0)) d.Dtsp.row_default
+  in
+  let result = Array.make nn [||] in
+  for a = 0 to nn - 1 do
+    let i = a asr 1 in
+    let uniform =
+      if a land 1 = 1 then
+        (* out-city: partners are in-cities, costs = directed row i *)
+        match d.Dtsp.row_cols.(i) with
+        | [||] -> true
+        | [| c |] when c = i -> true
+        | _ ->
+            Dtsp.blit_row d i row;
+            false
+      else begin
+        (* in-city: partners are out-cities, costs = directed column i *)
+        match tcols.(i) with
+        | [] when shared_default -> true
+        | [ (r, _) ] when shared_default && r = i -> true
+        | deviations ->
+            Array.blit d.Dtsp.row_default 0 row 0 n;
+            List.iter (fun (r, v) -> row.(r) <- v) deviations;
+            false
+      end
+    in
+    (* partners in descending city order — the order the dense 0..nn-1
+       prepend scan produced — so sort tie-breaking is unchanged *)
+    let arr = Array.make (n - 1) 0 in
+    let idx = ref 0 in
+    let tag = 1 - (a land 1) in
+    for c = n - 1 downto 0 do
+      if c <> i then begin
+        arr.(!idx) <- (2 * c) + tag;
+        incr idx
+      end
+    done;
+    result.(a) <-
+      (if uniform then
+         Array.init (min k (n - 1)) (fun p -> arr.(tmpl.(p)))
+       else begin
+         Array.sort (fun x y -> compare row.(x asr 1) row.(y asr 1)) arr;
+         if Array.length arr <= k then arr else Array.sub arr 0 k
+       end)
+  done;
+  result

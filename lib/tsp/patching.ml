@@ -18,11 +18,14 @@ let solve (d : Dtsp.t) : int array * int =
   end
   else begin
     let forbid = 1 + (n * (Dtsp.max_cost d + 1)) in
-    let cost =
-      Array.init n (fun i ->
-          Array.init n (fun j -> if i = j then forbid else d.Dtsp.cost.(i).(j)))
-    in
-    let succ, _ = Hungarian.solve cost in
+    (* flat row-major copy with the diagonal forbidden; the patching
+       deltas below only ever read off-diagonal entries, which equal the
+       directed costs *)
+    let cost = Dtsp.to_flat d in
+    for i = 0 to n - 1 do
+      cost.((i * n) + i) <- forbid
+    done;
+    let succ, _ = Hungarian.solve ~n cost in
     (* identify cycles *)
     let cycle_of = Array.make n (-1) in
     let cycle_sizes = ref [] in
@@ -63,9 +66,9 @@ let solve (d : Dtsp.t) : int array * int =
           for j = 0 to n - 1 do
             if cycle_of.(j) = c2 then begin
               let delta =
-                d.Dtsp.cost.(i).(succ.(j)) + d.Dtsp.cost.(j).(succ.(i))
-                - d.Dtsp.cost.(i).(succ.(i))
-                - d.Dtsp.cost.(j).(succ.(j))
+                cost.((i * n) + succ.(j)) + cost.((j * n) + succ.(i))
+                - cost.((i * n) + succ.(i))
+                - cost.((j * n) + succ.(j))
               in
               let bc, _, _ = !best in
               if delta < bc then best := (delta, i, j)

@@ -9,12 +9,19 @@
     positive weight [inf] so that improving local-search moves can neither
     drop a locked edge nor introduce a non-edge (the paper's iterated
     3-Opt code supports locked edges natively; the −m encoding achieves
-    the same invariant, which the solver asserts after the fact). *)
+    the same invariant, which the solver asserts after the fact).
+
+    The symmetric matrix is never materialized: its structure is fully
+    determined by city parity, so [cost] computes any entry in O(1) from
+    the sparse directed instance — a locked pair iff [a lxor b = 1],
+    forbidden iff [a] and [b] have the same parity, a directed lookup
+    otherwise.  This keeps the instance O(n + E) in memory where the old
+    dense form was O(n²) (see docs/PERFORMANCE.md). *)
 
 type t = {
   n_cities : int;  (** number of directed cities *)
   nn : int;  (** number of symmetric cities = 2 × n_cities *)
-  cost : int array array;  (** symmetric [nn × nn] matrix *)
+  dir : Dtsp.t;  (** the sparse directed instance; never copied *)
   m : int;  (** magnitude of the locked-edge weight *)
   inf : int;  (** weight of forbidden pairs *)
   real_max : int;  (** largest directed cost; bounds improving-move gains *)
@@ -24,31 +31,66 @@ type t = {
 let in_city i = 2 * i
 let out_city i = (2 * i) + 1
 
-(** [of_dtsp d] builds the symmetric instance.  The locked weight is
-    [m = 2·max_cost + 2] (strictly more than any single improving swap can
-    recover, see DESIGN.md §6) and the forbidden weight is
-    [8·(max_cost + m + 1)]. *)
+(** [of_dtsp d] wraps the directed instance — O(1), no matrix.  The
+    locked weight is [m = 2·max_cost + 2] (strictly more than any single
+    improving swap can recover, see DESIGN.md §6) and the forbidden
+    weight is [8·(max_cost + m + 1)]. *)
 let of_dtsp (d : Dtsp.t) : t =
   let n = d.Dtsp.n in
   let cmax = Dtsp.max_cost d in
   let m = (2 * cmax) + 2 in
   let inf = 8 * (cmax + m + 1) in
-  let nn = 2 * n in
-  let cost = Array.make_matrix nn nn inf in
-  for i = 0 to n - 1 do
-    cost.(in_city i).(out_city i) <- -m;
-    cost.(out_city i).(in_city i) <- -m;
-    for j = 0 to n - 1 do
-      if i <> j then begin
-        cost.(out_city i).(in_city j) <- d.Dtsp.cost.(i).(j);
-        cost.(in_city j).(out_city i) <- d.Dtsp.cost.(i).(j)
-      end
-    done
-  done;
-  { n_cities = n; nn; cost; m; inf; real_max = cmax; offset = n * m }
+  { n_cities = n; nn = 2 * n; dir = d; m; inf; real_max = cmax; offset = n * m }
+
+(** [cost s a b] is the symmetric weight of the pair (a, b): [−m] on the
+    locked in/out pair of one city, [inf] on same-parity pairs (and the
+    diagonal), the directed cost otherwise.  This sits in the 3-Opt
+    inner loop, so the directed lookup is done inline rather than
+    through [Dtsp.cost]. *)
+let cost (s : t) a b =
+  let x = a lxor b in
+  if x = 1 then -s.m
+  else if x land 1 = 0 then s.inf
+  else begin
+    let i, j = if a land 1 = 1 then (a asr 1, b asr 1) else (b asr 1, a asr 1) in
+    let d = s.dir in
+    let cols = d.Dtsp.row_cols.(i) in
+    let len = Array.length cols in
+    if len <= 8 then begin
+      let k = ref 0 in
+      while !k < len && Array.unsafe_get cols !k < j do
+        incr k
+      done;
+      if !k < len && Array.unsafe_get cols !k = j then
+        Array.unsafe_get (Array.unsafe_get d.Dtsp.row_costs i) !k
+      else Array.unsafe_get d.Dtsp.row_default i
+    end
+    else Dtsp.cost d i j
+  end
 
 (** [is_locked s a b] is true iff (a,b) is an in/out pair edge. *)
 let is_locked _s a b = a lxor b = 1
+
+(** Dense row-major copy ([a*nn + b]) of the symmetric matrix for the
+    genuinely dense kernels (Held–Karp bounding). *)
+let to_flat (s : t) =
+  let nn = s.nn and n = s.n_cities in
+  let flat = Array.make (nn * nn) s.inf in
+  let row = Array.make n 0 in
+  for i = 0 to n - 1 do
+    (* row of out-city 2i+1: directed row i at the in-cities *)
+    Dtsp.blit_row s.dir i row;
+    let base = ((2 * i) + 1) * nn in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        flat.(base + (2 * j)) <- row.(j);
+        flat.(((2 * j) * nn) + (2 * i) + 1) <- row.(j)
+      end
+    done;
+    flat.(((2 * i) * nn) + (2 * i) + 1) <- -s.m;
+    flat.(base + (2 * i)) <- -s.m
+  done;
+  flat
 
 (** [expand s dtour] turns a directed tour into the corresponding
     symmetric tour [in t0; out t0; in t1; out t1; …]. *)
@@ -63,7 +105,7 @@ let tour_cost (s : t) (tour : int array) =
   let nn = s.nn in
   let total = ref 0 in
   for i = 0 to nn - 1 do
-    total := !total + s.cost.(tour.(i)).(tour.((i + 1) mod nn))
+    total := !total + cost s tour.(i) tour.((i + 1) mod nn)
   done;
   !total
 

@@ -2,12 +2,16 @@
     [i] becomes in-city [2i] and out-city [2i+1] joined by a locked edge
     of weight [−m]; directed edge i → j becomes (out i, in j); all other
     pairs are forbidden ([inf]).  Improving local-search moves can
-    neither drop a locked edge nor add a forbidden one. *)
+    neither drop a locked edge nor add a forbidden one.
+
+    The symmetric matrix is implicit: [cost] computes any entry in O(1)
+    from city parity plus the sparse directed lookup, so the instance
+    stays O(n + E) in memory. *)
 
 type t = {
   n_cities : int;  (** directed cities *)
   nn : int;  (** symmetric cities = 2 × n_cities *)
-  cost : int array array;  (** symmetric [nn × nn] *)
+  dir : Dtsp.t;  (** the sparse directed instance (shared, not copied) *)
   m : int;  (** locked-edge weight magnitude *)
   inf : int;  (** forbidden-pair weight *)
   real_max : int;  (** largest directed cost; bounds improving gains *)
@@ -17,11 +21,18 @@ type t = {
 val in_city : int -> int
 val out_city : int -> int
 
-(** Build the symmetric instance. *)
+(** Build the symmetric instance — O(1), no matrix is materialized. *)
 val of_dtsp : Dtsp.t -> t
+
+(** Symmetric weight of a pair: [−m] if locked, [inf] if same parity
+    (incl. the diagonal), the directed cost otherwise. *)
+val cost : t -> int -> int -> int
 
 (** Is (a, b) an in/out pair edge? *)
 val is_locked : t -> int -> int -> bool
+
+(** Dense row-major copy ([a*nn + b]) for dense kernels (Held–Karp). *)
+val to_flat : t -> int array
 
 (** Directed tour → symmetric tour [in t0; out t0; in t1; …]. *)
 val expand : t -> int array -> int array

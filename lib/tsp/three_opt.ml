@@ -25,7 +25,7 @@ type state = {
 }
 
 let nn st = st.s.Sym.nn
-let d st a b = st.s.Sym.cost.(a).(b)
+let d st a b = Sym.cost st.s a b
 let city_at st p = st.tour.(p)
 let succ st c = st.tour.((st.pos.(c) + 1) mod nn st)
 let pred st c = st.tour.((st.pos.(c) - 1 + nn st) mod nn st)

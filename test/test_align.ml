@@ -59,12 +59,12 @@ let test_reduction_dummy_edges () =
   let inst = Reduction.build p g ~profile:prof in
   let d = inst.Reduction.dtsp in
   Alcotest.(check int) "dummy -> entry free" 0
-    d.Ba_tsp.Dtsp.cost.(inst.Reduction.dummy).(g.Cfg.entry);
+    (Ba_tsp.Dtsp.cost d inst.Reduction.dummy g.Cfg.entry);
   Alcotest.(check bool) "dummy -> others forbidden" true
     (Array.for_all
        (fun j ->
          j = g.Cfg.entry || j = inst.Reduction.dummy
-         || d.Ba_tsp.Dtsp.cost.(inst.Reduction.dummy).(j) = inst.Reduction.forbid)
+         || Ba_tsp.Dtsp.cost d inst.Reduction.dummy j = inst.Reduction.forbid)
        (Array.init d.Ba_tsp.Dtsp.n (fun i -> i)))
 
 (* ---------------- greedy aligners ---------------- *)

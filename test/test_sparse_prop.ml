@@ -1,0 +1,278 @@
+(* Differential suite for the sparse cost core: the CSR representation
+   ({!Ba_tsp.Dtsp}), the implicit symmetrization ({!Ba_tsp.Sym}) and the
+   sparse candidate-list construction ({!Ba_tsp.Neighbors}) must be
+   observationally identical to the dense implementations they replaced
+   — same cost oracle on every pair, same neighbor lists (including tie
+   order), same solver trajectory — on random matrices, random
+   CFG-derived instances and the real workload instances. *)
+
+open Ba_tsp
+open Ba_cfg
+module Profile = Ba_profile.Profile
+module Cost = Ba_machine.Cost
+module Reduction = Ba_align.Reduction
+
+let penalties = Ba_machine.Penalties.alpha_21164
+let gen_seed = QCheck2.Gen.int_bound 1_000_000
+
+(* ---------------- dense references ---------------- *)
+
+(* the legacy dense reduction: O(n²) edge_cost calls into an (n+1)²
+   matrix, exactly as lib/align/reduction.ml used to build it *)
+let dense_reduction p (cfg : Cfg.t) ~(profile : Profile.proc) =
+  let n = Cfg.n_blocks cfg in
+  let dummy = n in
+  let predicted = Profile.predictions profile ~n_blocks:n in
+  let block_cost i succ =
+    Cost.edge_cost p (Cfg.block cfg i).Block.term ~succ
+      ~predicted:predicted.(i)
+      ~freqs:(Profile.block_freqs profile i)
+  in
+  let worst = ref 1 in
+  for i = 0 to n - 1 do
+    let w = ref (block_cost i None) in
+    for j = 0 to n - 1 do
+      if j <> i then w := max !w (block_cost i (Some j))
+    done;
+    worst := !worst + !w
+  done;
+  let forbid = !worst in
+  let cost =
+    Array.init (n + 1) (fun i ->
+        Array.init (n + 1) (fun j ->
+            if i = j then 0
+            else if i = dummy then if j = cfg.Cfg.entry then 0 else forbid
+            else if j = dummy then block_cost i None
+            else block_cost i (Some j)))
+  in
+  (cost, forbid)
+
+(* the legacy dense symmetrization matrix *)
+let dense_sym (d : Dtsp.t) =
+  let n = d.Dtsp.n in
+  let cmax = Dtsp.max_cost d in
+  let m = (2 * cmax) + 2 in
+  let inf = 8 * (cmax + m + 1) in
+  let nn = 2 * n in
+  let cost = Array.make_matrix nn nn inf in
+  for i = 0 to n - 1 do
+    cost.(2 * i).((2 * i) + 1) <- -m;
+    cost.((2 * i) + 1).(2 * i) <- -m;
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        cost.((2 * i) + 1).(2 * j) <- Dtsp.cost d i j;
+        cost.(2 * j).((2 * i) + 1) <- Dtsp.cost d i j
+      end
+    done
+  done;
+  cost
+
+(* the legacy dense neighbor-list construction, byte for byte: ascending
+   prepend scan, Array.sort on matrix lookups, truncate to k *)
+let dense_neighbors (s : Sym.t) sym_matrix ~k =
+  let nn = s.Sym.nn in
+  Array.init nn (fun a ->
+      let cand = ref [] in
+      for b = 0 to nn - 1 do
+        if
+          b <> a
+          && (not (Sym.is_locked s a b))
+          && sym_matrix.(a).(b) < s.Sym.inf
+        then cand := b :: !cand
+      done;
+      let arr = Array.of_list !cand in
+      Array.sort
+        (fun x y -> compare sym_matrix.(a).(x) sym_matrix.(a).(y))
+        arr;
+      if Array.length arr <= k then arr else Array.sub arr 0 k)
+
+let max_offdiag m =
+  let n = Array.length m in
+  let mx = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && m.(i).(j) > !mx then mx := m.(i).(j)
+    done
+  done;
+  !mx
+
+(* ---------------- generators ---------------- *)
+
+let random_cfg_profile seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 2 + Random.State.int rng 24 in
+  let g = Ba_testutil.Gen.cfg rng ~n in
+  let prof =
+    Ba_testutil.Gen.profile_of ~seed:(seed + 1) g
+      ~invocations:(1 + Random.State.int rng 40)
+      ~max_steps:100
+  in
+  (g, Profile.proc prof 0)
+
+(* random dense matrix with clustered values so per-row defaults and
+   ties actually occur, plus an arbitrary (nonzero) diagonal *)
+let random_matrix seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 2 + Random.State.int rng 14 in
+  let palette = [| 0; 3; 3; 7; 50; Random.State.int rng 1000 |] in
+  Array.init n (fun _ ->
+      Array.init n (fun _ ->
+          palette.(Random.State.int rng (Array.length palette))))
+
+(* ---------------- properties ---------------- *)
+
+let check_oracle ~what d dense =
+  let n = Array.length dense in
+  if d.Dtsp.n <> n then
+    QCheck2.Test.fail_reportf "%s: n %d <> %d" what d.Dtsp.n n;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let got = Dtsp.cost d i j in
+      if got <> dense.(i).(j) then
+        QCheck2.Test.fail_reportf "%s: cost(%d,%d) = %d, want %d" what i j
+          got
+          dense.(i).(j)
+    done
+  done;
+  if Dtsp.max_cost d <> max_offdiag dense then
+    QCheck2.Test.fail_reportf "%s: max_cost %d, want %d" what
+      (Dtsp.max_cost d) (max_offdiag dense);
+  true
+
+let prop_make_oracle =
+  QCheck2.Test.make ~count:300 ~name:"make reproduces the dense matrix"
+    gen_seed (fun seed ->
+      let m = random_matrix seed in
+      check_oracle ~what:"make" (Dtsp.make m) m)
+
+let prop_reduction_oracle =
+  QCheck2.Test.make ~count:200
+    ~name:"sparse reduction = dense reduction on every (i,j)" gen_seed
+    (fun seed ->
+      let g, prof = random_cfg_profile seed in
+      let inst = Reduction.build penalties g ~profile:prof in
+      let dense, forbid = dense_reduction penalties g ~profile:prof in
+      if inst.Reduction.forbid <> forbid then
+        QCheck2.Test.fail_reportf "forbid %d, want %d" inst.Reduction.forbid
+          forbid;
+      check_oracle ~what:"reduction" inst.Reduction.dtsp dense)
+
+let prop_sym_oracle =
+  QCheck2.Test.make ~count:200
+    ~name:"implicit Sym.cost = dense symmetric matrix" gen_seed (fun seed ->
+      let d = Dtsp.make (random_matrix seed) in
+      let s = Sym.of_dtsp d in
+      let dense = dense_sym d in
+      let nn = s.Sym.nn in
+      for a = 0 to nn - 1 do
+        for b = 0 to nn - 1 do
+          if Sym.cost s a b <> dense.(a).(b) then
+            QCheck2.Test.fail_reportf "sym cost(%d,%d) = %d, want %d" a b
+              (Sym.cost s a b)
+              dense.(a).(b)
+        done
+      done;
+      true)
+
+let check_neighbors ~what (d : Dtsp.t) =
+  let s = Sym.of_dtsp d in
+  let dense = dense_sym d in
+  List.for_all
+    (fun k ->
+      let got = Neighbors.of_sym s ~k in
+      let want = dense_neighbors s dense ~k in
+      Array.iteri
+        (fun a w ->
+          if got.(a) <> w then
+            QCheck2.Test.fail_reportf
+              "%s: neighbor list of city %d differs at k=%d (got %s, want \
+               %s)"
+              what a k
+              (String.concat ","
+                 (Array.to_list (Array.map string_of_int got.(a))))
+              (String.concat ","
+                 (Array.to_list (Array.map string_of_int w))))
+        want;
+      true)
+    [ 3; 8; 12 ]
+
+let prop_neighbors_random =
+  QCheck2.Test.make ~count:150
+    ~name:"neighbor lists identical to dense scan (random)" gen_seed
+    (fun seed -> check_neighbors ~what:"random" (Dtsp.make (random_matrix seed)))
+
+let prop_neighbors_reduction =
+  QCheck2.Test.make ~count:150
+    ~name:"neighbor lists identical to dense scan (reduction)" gen_seed
+    (fun seed ->
+      let g, prof = random_cfg_profile seed in
+      let inst = Reduction.build penalties g ~profile:prof in
+      check_neighbors ~what:"reduction" inst.Reduction.dtsp)
+
+let prop_solve_identical =
+  QCheck2.Test.make ~count:60
+    ~name:"Iterated.solve tours bit-identical across constructions"
+    gen_seed (fun seed ->
+      let g, prof = random_cfg_profile seed in
+      let inst = Reduction.build penalties g ~profile:prof in
+      let dense, _ = dense_reduction penalties g ~profile:prof in
+      let t1, s1 = Iterated.solve inst.Reduction.dtsp in
+      let t2, s2 = Iterated.solve (Dtsp.make dense) in
+      if t1 <> t2 then QCheck2.Test.fail_reportf "tours differ";
+      if s1 <> s2 then QCheck2.Test.fail_reportf "solver stats differ";
+      true)
+
+(* ---------------- workload instances ---------------- *)
+
+(* the real SPEC92 procedures: oracle + neighbors + trajectory on a
+   size-capped sample (the dense reference is O(n²)) *)
+let test_workload_instances () =
+  let insts =
+    Ba_harness.Synthetic.workload_instances ()
+    |> List.filter (fun i ->
+           Cfg.n_blocks i.Ba_harness.Synthetic.g <= 120)
+  in
+  Alcotest.(check bool) "have workload instances" true (insts <> []);
+  List.iteri
+    (fun idx { Ba_harness.Synthetic.name; g; prof } ->
+      let inst = Reduction.build penalties g ~profile:prof in
+      let dense, forbid = dense_reduction penalties g ~profile:prof in
+      Alcotest.(check int) (name ^ ": forbid") forbid inst.Reduction.forbid;
+      Alcotest.(check bool)
+        (name ^ ": oracle")
+        true
+        (check_oracle ~what:name inst.Reduction.dtsp dense);
+      (* neighbors + full solve identity on a further sample: both are
+         quadratic-or-worse in the dense reference *)
+      if idx mod 7 = 0 then begin
+        Alcotest.(check bool)
+          (name ^ ": neighbors")
+          true
+          (check_neighbors ~what:name inst.Reduction.dtsp);
+        let t1, _ = Iterated.solve inst.Reduction.dtsp in
+        let t2, _ = Iterated.solve (Dtsp.make dense) in
+        Alcotest.(check (array int)) (name ^ ": tour") t2 t1
+      end)
+    insts
+
+let () =
+  Alcotest.run "sparse-prop"
+    [
+      ( "oracle",
+        [
+          QCheck_alcotest.to_alcotest prop_make_oracle;
+          QCheck_alcotest.to_alcotest prop_reduction_oracle;
+          QCheck_alcotest.to_alcotest prop_sym_oracle;
+        ] );
+      ( "neighbors",
+        [
+          QCheck_alcotest.to_alcotest prop_neighbors_random;
+          QCheck_alcotest.to_alcotest prop_neighbors_reduction;
+        ] );
+      ( "trajectory",
+        [
+          QCheck_alcotest.to_alcotest prop_solve_identical;
+          Alcotest.test_case "workload instances" `Slow
+            test_workload_instances;
+        ] );
+    ]

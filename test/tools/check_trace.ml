@@ -1,9 +1,10 @@
 (* check_trace — structural validator for balign's observability
    artifacts, used by the CLI cram tests.
 
-     check_trace TRACE.json            validate a Chrome trace_event file
-     check_trace --metrics M.json      validate a metrics snapshot
-     check_trace --bench B.json        validate a bench trajectory
+     check_trace TRACE.json                validate a Chrome trace_event file
+     check_trace --metrics M.json          validate a metrics snapshot
+     check_trace --bench B.json            validate a bench trajectory
+     check_trace --solver-bench S.json     validate a solver microbenchmark
 
    Exit 0 with a one-line deterministic summary on stdout, exit 1 with
    the reason on stderr otherwise.  Everything run-dependent (times,
@@ -142,9 +143,47 @@ let check_bench path =
     rows;
   Printf.printf "bench ok: %d rows\n" (List.length rows)
 
+(* ---------------- solver microbenchmark ---------------- *)
+
+let check_solver_bench path =
+  let doc = parse path in
+  if str (member "schema" doc) <> "solver-bench/1" then die "bad schema";
+  if str (member "commit" doc) = "" then die "empty commit";
+  let date = str (member "date" doc) in
+  if String.length date <> 20 || date.[4] <> '-' || date.[10] <> 'T'
+     || date.[19] <> 'Z'
+  then die "date %S is not ISO-8601 UTC" date;
+  let variant = str (member "variant" doc) in
+  if variant = "" then die "empty variant";
+  List.iter (fun k -> ignore (num (member k doc))) [ "seed"; "kicks"; "neighbors" ];
+  let entries = list (member "entries" doc) in
+  if entries = [] then die "no entries";
+  let last_n = ref 0 in
+  List.iter
+    (fun e ->
+      let n = int_of_float (num (member "n_blocks" e)) in
+      if n <= !last_n then die "entries not in increasing n_blocks order";
+      last_n := n;
+      if int_of_float (num (member "n_cities" e)) <> n + 1 then
+        die "n_cities is not n_blocks + 1 at n=%d" n;
+      List.iter
+        (fun k ->
+          let v = num (member k e) in
+          if v < 0. then die "negative %S at n=%d" k n)
+        [ "build_s"; "build_words"; "sym_s"; "nbr_s"; "instance_words";
+          "opt_s"; "moves"; "moves_per_s" ];
+      (* best_cost/tour_hash are deterministic identity anchors; any
+         shape will do but they must be present *)
+      ignore (num (member "best_cost" e));
+      ignore (num (member "tour_hash" e)))
+    entries;
+  Printf.printf "solver-bench ok: variant %s, %d entries\n" variant
+    (List.length entries)
+
 let () =
   match Sys.argv with
   | [| _; "--metrics"; path |] -> check_metrics path
   | [| _; "--bench"; path |] -> check_bench path
+  | [| _; "--solver-bench"; path |] -> check_solver_bench path
   | [| _; path |] -> check_chrome path
-  | _ -> die "usage: check_trace [--metrics|--bench] FILE"
+  | _ -> die "usage: check_trace [--metrics|--bench|--solver-bench] FILE"
