@@ -5,7 +5,7 @@ BALIGN = $(DUNE) exec --no-print-directory bin/balign.exe --
 BENCH = $(DUNE) exec --no-print-directory bench/main.exe --
 
 .PHONY: all build test check check-par smoke lint report bench-json \
-  bench-solver clean
+  bench-solver serve-soak clean
 
 all: build
 
@@ -134,6 +134,18 @@ bench-solver: build
 	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- \
 	  --solver-bench SOLVER_BENCH.json
 	@echo "bench-solver ok: SOLVER_BENCH.json written"
+
+# Daemon robustness gate (docs/SERVING.md): replay 1000 mixed
+# good/faulty requests at an in-process `balign serve` loop, re-certify
+# every ok layout client-side, and demand zero uncertified responses
+# and zero crashes.  The serve-soak/1 JSON artifact is validated
+# structurally before CI uploads it.
+serve-soak: build
+	$(DUNE) exec --no-print-directory test/tools/serve_soak.exe -- \
+	  --requests 1000 --out SERVE_SOAK.json
+	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- \
+	  --serve-soak SERVE_SOAK.json
+	@echo "serve-soak ok: SERVE_SOAK.json written"
 
 report:
 	$(DUNE) exec bench/main.exe

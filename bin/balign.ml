@@ -7,6 +7,8 @@
      profile   run a program and print its edge-frequency profile
      align     lay out a program with a chosen method, report penalties
                (--certify emits an independent alignment certificate)
+     serve     crash-only alignment daemon: framed JSON requests in,
+               certified layouts or typed errors out (docs/SERVING.md)
      evaluate  cross-validate training vs testing inputs
      bounds    per-procedure lower bounds vs the TSP aligner
      bench     run the paper's experiment for one built-in benchmark
@@ -562,6 +564,84 @@ let bench_cmd =
           $ bench_name $ deadline_opt $ fallback_opt $ jobs_opt $ json_opt
           $ trace_opt $ metrics_opt)
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let run socket jobs cache_size cache_file max_frame_bytes max_blocks
+      default_deadline_ms max_deadline_ms =
+    let config =
+      {
+        Ba_serve.Server.default with
+        Ba_serve.Server.executor = Executor.of_jobs jobs;
+        cache_capacity = cache_size;
+        cache_file;
+        max_frame_bytes;
+        max_blocks;
+        default_deadline_ms;
+        max_deadline_ms;
+      }
+    in
+    let code =
+      match socket with
+      | None -> Ba_serve.Server.serve_stdin config
+      | Some path -> Ba_serve.Server.serve_socket config ~path
+    in
+    if code = 0 then Ok ()
+    else
+      (* serve_socket already printed the typed error; just carry the
+         documented code out *)
+      exit code
+  in
+  let socket_opt =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"listen on a Unix-domain socket instead of stdin/stdout \
+                   (connections served sequentially)")
+  in
+  let cache_size_opt =
+    Arg.(value & opt int 256
+         & info [ "cache-size" ] ~docv:"N"
+             ~doc:"layout-cache capacity in entries (LRU eviction)")
+  in
+  let cache_file_opt =
+    Arg.(value & opt (some string) None
+         & info [ "cache-file" ] ~docv:"FILE"
+             ~doc:"persist the layout cache to $(docv) on exit and load it \
+                   at start (warm restart); entries are re-certified on \
+                   every hit, so a stale or tampered file degrades to cold \
+                   misses, never to wrong answers")
+  in
+  let max_frame_opt =
+    Arg.(value & opt int (4 * 1024 * 1024)
+         & info [ "max-frame-bytes" ] ~docv:"BYTES"
+             ~doc:"reject (and skip) request frames larger than $(docv)")
+  in
+  let max_blocks_opt =
+    Arg.(value & opt int 10_000
+         & info [ "max-blocks" ] ~docv:"N"
+             ~doc:"reject CFGs with more than $(docv) blocks")
+  in
+  let default_deadline_opt =
+    Arg.(value & opt (some int) None
+         & info [ "default-deadline-ms" ] ~docv:"MS"
+             ~doc:"solver budget applied to requests that specify none")
+  in
+  let max_deadline_opt =
+    Arg.(value & opt (some int) None
+         & info [ "max-deadline-ms" ] ~docv:"MS"
+             ~doc:"clamp client-requested deadlines to at most $(docv)")
+  in
+  cmd "serve"
+    ~doc:"long-running alignment daemon: length-prefixed JSON align \
+          requests on stdin (or --socket), certified layouts or typed \
+          errors out; crash-only — requests can never take the server down \
+          (see docs/SERVING.md)"
+    Term.(const (fun s j cs cf mf mb dd md ->
+              run_term (fun () -> run s j cs cf mf mb dd md))
+          $ socket_opt $ jobs_opt $ cache_size_opt $ cache_file_opt
+          $ max_frame_opt $ max_blocks_opt $ default_deadline_opt
+          $ max_deadline_opt)
+
 (* ---------------- report ---------------- *)
 
 let report_cmd =
@@ -616,7 +696,7 @@ let () =
     Cmd.group info
       [
         compile_cmd; dot_cmd; lint_cmd; profile_cmd; align_cmd; evaluate_cmd;
-        bounds_cmd; bench_cmd; report_cmd;
+        bounds_cmd; bench_cmd; serve_cmd; report_cmd;
       ]
   in
   exit (Cmd.eval' group)

@@ -184,8 +184,8 @@ let chain = function
 (** Attempt one method on one procedure under the shared budget.
     Methods that do real search (TSP, the Calder variants) refuse to
     start on an exhausted budget; Greedy and Original always run. *)
-let try_method ?rng (m : method_) (p : Penalties.t) (cfg : Cfg.t) ~fid
-    ~(profile : Profile.proc) ~(budget : Budget.t) :
+let try_method ?rng ?initial (m : method_) (p : Penalties.t) (cfg : Cfg.t)
+    ~fid ~(profile : Profile.proc) ~(budget : Budget.t) :
     (Layout.order, Errors.t) result =
   let guard f =
     match Budget.exhausted budget with
@@ -201,7 +201,7 @@ let try_method ?rng (m : method_) (p : Penalties.t) (cfg : Cfg.t) ~fid
   | Tsp config -> (
       match
         Errors.catch ~where:"tsp" (fun () ->
-            Tsp_align.align ~config ?rng ~budget p cfg ~profile)
+            Tsp_align.align ~config ?rng ~budget ?initial p cfg ~profile)
       with
       | Error e -> Error e
       | Ok r -> (
@@ -235,8 +235,9 @@ type checked_proc = {
     so the returned value matches the sequential run whenever the
     budget does not expire mid-run (see docs/ARCHITECTURE.md). *)
 let align_checked ?(executor = Executor.Seq) ?deadline_ms ?(fallback = true)
-    (m : method_) (p : Penalties.t) (cfgs : Cfg.t array)
-    ~(train : Ba_profile.Profile.t) : (report, Errors.t) result =
+    ?(warm_start = fun _ -> None) (m : method_) (p : Penalties.t)
+    (cfgs : Cfg.t array) ~(train : Ba_profile.Profile.t) :
+    (report, Errors.t) result =
   let ( let* ) r f = Result.bind r f in
   (* validation is the lint gate: the ba_check rule catalogue runs over
      the CFGs and the profile, and the first Error finding (in
@@ -271,9 +272,14 @@ let align_checked ?(executor = Executor.Seq) ?deadline_ms ?(fallback = true)
                     { where = "align_checked"; reason = "empty method chain" }))
       | m' :: rest -> (
           let result =
+            (* warm starts only make sense for the search method; the
+               deterministic fallbacks ignore them *)
+            let initial =
+              match m' with Tsp _ -> warm_start fid | _ -> None
+            in
             let* order =
               Task.staged ctx Task.Solve (fun () ->
-                  try_method ~rng m' p cfg ~fid ~profile ~budget)
+                  try_method ~rng ?initial m' p cfg ~fid ~profile ~budget)
             in
             Task.staged ctx Task.Verify (fun () ->
                 realize_proc fid cfg order profile)

@@ -104,11 +104,18 @@ val chain : method_ -> method_ list
 
     The returned value is independent of the executor whenever the
     budget does not expire mid-run (unlimited or already-exhausted
-    budgets; see docs/ARCHITECTURE.md). *)
+    budgets; see docs/ARCHITECTURE.md).
+
+    [warm_start], when given, supplies a previous layout per procedure
+    index to seed the TSP solver's run 0 (the serve cache's
+    incremental re-alignment hook); deterministic methods and fallback
+    attempts ignore it, and invalid orders are discarded rather than
+    trusted. *)
 val align_checked :
   ?executor:Ba_engine.Executor.t ->
   ?deadline_ms:int ->
   ?fallback:bool ->
+  ?warm_start:(int -> Ba_cfg.Layout.order option) ->
   method_ ->
   Penalties.t ->
   Cfg.t array ->

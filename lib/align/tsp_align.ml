@@ -46,8 +46,8 @@ let budget_of_config (config : config) =
     deterministic state from its config and the instance.  Never raises
     on budget exhaustion: a valid, possibly degraded layout always
     comes back. *)
-let solve_instance ?(config = default) ?rng ?budget (inst : Reduction.t) :
-    result =
+let solve_instance ?(config = default) ?rng ?budget ?initial
+    (inst : Reduction.t) : result =
   let budget =
     match budget with Some b -> b | None -> budget_of_config config
   in
@@ -72,8 +72,18 @@ let solve_instance ?(config = default) ?rng ?budget (inst : Reduction.t) :
       { order; cost; exact = true; stats = None; degraded = None }
     end
     else begin
+      (* warm start: a previous layout of the same CFG (the serve
+         cache's tour) seeds run 0; orders that fail validity (stale
+         or poisoned) are ignored rather than trusted *)
+      let initial =
+        match initial with
+        | Some order when Layout.is_valid inst.Reduction.cfg order ->
+            Some (Reduction.tour_of_order inst order)
+        | _ -> None
+      in
       let tour, stats =
-        Iterated.solve ~config:config.solver ?rng ~budget inst.Reduction.dtsp
+        Iterated.solve ~config:config.solver ?rng ~budget ?initial
+          inst.Reduction.dtsp
       in
       let order = Reduction.order_of_tour inst tour in
       (* recompute from the layout in case the tour was degenerate *)
@@ -92,6 +102,6 @@ let solve_instance ?(config = default) ?rng ?budget (inst : Reduction.t) :
 
 (** [align ?config ?rng ?budget p cfg ~profile] aligns one procedure:
     build the reduction instance, then solve it. *)
-let align ?config ?rng ?budget (p : Ba_machine.Penalties.t) (cfg : Cfg.t)
-    ~(profile : Profile.proc) : result =
-  solve_instance ?config ?rng ?budget (Reduction.build p cfg ~profile)
+let align ?config ?rng ?budget ?initial (p : Ba_machine.Penalties.t)
+    (cfg : Cfg.t) ~(profile : Profile.proc) : result =
+  solve_instance ?config ?rng ?budget ?initial (Reduction.build p cfg ~profile)

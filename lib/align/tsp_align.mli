@@ -29,11 +29,15 @@ type result = {
     construction and solving separately).  [rng], when given, is the
     task's own random stream; the default derives a deterministic state
     from the config and the instance.  Never raises on budget
-    exhaustion. *)
+    exhaustion.  [initial], when given and valid for the instance's
+    CFG, seeds run 0 of the iterated solver with that layout's tour
+    instead of the identity — the warm-start hook for incremental
+    re-alignment (invalid orders are silently ignored). *)
 val solve_instance :
   ?config:config ->
   ?rng:Random.State.t ->
   ?budget:Ba_robust.Budget.t ->
+  ?initial:Layout.order ->
   Reduction.t ->
   result
 
@@ -42,6 +46,7 @@ val align :
   ?config:config ->
   ?rng:Random.State.t ->
   ?budget:Ba_robust.Budget.t ->
+  ?initial:Layout.order ->
   Ba_machine.Penalties.t ->
   Cfg.t ->
   profile:Profile.proc ->

@@ -117,6 +117,61 @@ let edges g =
   |> List.concat_map (fun b ->
          List.map (fun s -> (b.Block.id, s)) (Block.distinct_successors b))
 
+(* ------------------------------------------------------------------ *)
+(* Canonical structural hashing.                                       *)
+
+(* FNV-1a, 64-bit.  OCaml's native [int] is 63-bit, so the hash lives
+   in an [int64] to keep all 64 bits portable across word sizes. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv1a_int h v =
+  (* feed the int as 8 little-endian bytes so every label/size bit
+     lands in the digest *)
+  let rec go h i acc =
+    if i = 8 then h
+    else go (fnv1a_byte h (Int64.to_int (Int64.logand acc 0xffL))) (i + 1)
+           (Int64.shift_right_logical acc 8)
+  in
+  go h 0 (Int64.of_int v)
+
+(** [structural_hash g] digests the structure of [g] — entry label,
+    and per block (in label order) its size, terminator class and
+    successor labels — into a canonical 64-bit value.
+
+    Canonical means {e order-independent over successor lists}: an
+    indirect branch hashes its distinct targets in sorted order, so two
+    CFGs that differ only in the serialization order (or duplication)
+    of multiway targets hash identically.  Conditional arms keep their
+    taken/fall roles (swapping them is a different program).  The
+    procedure name is {e not} hashed: the hash identifies structure,
+    so it is a stable cache / CI-diff key across renames.  Collisions
+    are possible (it is a 64-bit digest, not a certificate) — users
+    that need certainty must re-verify, as the serve-layer cache does
+    by re-certifying every cached layout. *)
+let structural_hash g =
+  let h = ref (fnv1a_int (fnv1a_int fnv_offset (n_blocks g)) g.entry) in
+  Array.iter
+    (fun b ->
+      h := fnv1a_int !h b.Block.size;
+      match b.Block.term with
+      | Block.Exit -> h := fnv1a_int !h 0
+      | Block.Goto l ->
+          h := fnv1a_int (fnv1a_int !h 1) l
+      | Block.Branch { t; f } ->
+          h := fnv1a_int (fnv1a_int (fnv1a_int !h 2) t) f
+      | Block.Multiway _ ->
+          h := fnv1a_int !h 3;
+          (* sorted distinct targets: canonical over list order *)
+          List.iter
+            (fun l -> h := fnv1a_int !h l)
+            (Block.distinct_successors b))
+    g.blocks;
+  !h
+
 (** Static count of blocks ending in a control-transfer instruction. *)
 let n_branch_sites g =
   Array.fold_left (fun acc b -> if Block.is_cti b then acc + 1 else acc) 0 g.blocks

@@ -41,6 +41,16 @@ val n_edges : t -> int
 (** All distinct CFG edges as [(src, dst)] pairs. *)
 val edges : t -> (Block.label * Block.label) list
 
+(** Canonical 64-bit structural digest: entry label plus, per block in
+    label order, size, terminator class and successor labels — with
+    multiway successor lists hashed as sorted distinct targets, so the
+    hash is order-independent over successor lists.  Conditional arms
+    keep their taken/fall roles; the procedure name is not hashed.
+    Used as the serve-layer layout-cache key and as a cheap CI identity
+    anchor; a 64-bit digest can collide, so anything that needs
+    certainty must re-verify the layout itself. *)
+val structural_hash : t -> int64
+
 (** Static count of blocks ending in a control-transfer instruction. *)
 val n_branch_sites : t -> int
 

@@ -289,3 +289,118 @@ let inject_source ~seed (k : source_kind) (src : string) : string =
             junk.(Random.State.int rng (Array.length junk))
         done;
         Bytes.to_string b
+
+(* ------------------------------------------------------------------ *)
+
+(** Protocol faults: corrupt the framed bytes of one valid request.
+    See the interface for the per-kind daemon contract. *)
+
+module Wire = Ba_serve.Wire
+module Json = Ba_obs.Json
+
+type protocol_kind =
+  | Truncated_frame
+  | Garbage_json
+  | Bad_length_header
+  | Oversized_frame
+  | Missing_field
+  | Wrong_type
+  | Unknown_verb
+  | Negative_deadline
+  | Huge_cfg
+
+let all_protocol =
+  [
+    Truncated_frame; Garbage_json; Bad_length_header; Oversized_frame;
+    Missing_field; Wrong_type; Unknown_verb; Negative_deadline; Huge_cfg;
+  ]
+
+let protocol_name = function
+  | Truncated_frame -> "truncated-frame"
+  | Garbage_json -> "garbage-json"
+  | Bad_length_header -> "bad-length-header"
+  | Oversized_frame -> "oversized-frame"
+  | Missing_field -> "missing-field"
+  | Wrong_type -> "wrong-type"
+  | Unknown_verb -> "unknown-verb"
+  | Negative_deadline -> "negative-deadline"
+  | Huge_cfg -> "huge-cfg"
+
+let protocol_expectation = function
+  | Truncated_frame | Bad_length_header -> `Ends_stream
+  | Garbage_json | Oversized_frame | Missing_field | Wrong_type | Unknown_verb
+  | Huge_cfg ->
+      `Error_response
+  | Negative_deadline -> `Ok_response
+
+(** Rewrite one top-level field of a request payload (parse, replace,
+    re-emit canonically); falls back to the original payload if it was
+    not an object — the fault then degenerates to a different typed
+    error, which still satisfies the contract. *)
+let rewrite payload f =
+  match Json.parse payload with
+  | Ok (Json.Obj fields) -> Json.to_string (Json.Obj (f fields))
+  | Ok _ | Error _ -> payload
+
+let inject_protocol ?(max_frame_bytes = 4 * 1024 * 1024) ?(max_blocks = 256)
+    ~seed (k : protocol_kind) (payload : string) : string =
+  let rng = Random.State.make [| seed; Hashtbl.hash (protocol_name k) |] in
+  match k with
+  | Truncated_frame ->
+      let frame = Wire.encode_frame payload in
+      (* keep the full header so the server commits to reading a body,
+         then cut somewhere inside the payload *)
+      let header = String.index frame '\n' + 1 in
+      let keep = header + Random.State.int rng (String.length payload) in
+      String.sub frame 0 keep
+  | Garbage_json ->
+      (* correct framing around bytes that cannot parse as JSON *)
+      Wire.encode_frame ("@" ^ payload)
+  | Bad_length_header -> "not-a-length\n" ^ payload ^ "\n"
+  | Oversized_frame ->
+      (* declare one byte over the limit and actually send that many
+         padding bytes, so the skip leaves the stream synchronized *)
+      let len = max_frame_bytes + 1 in
+      Printf.sprintf "%d\n%s\n" len (String.make len 'x')
+  | Missing_field ->
+      Wire.encode_frame
+        (rewrite payload (List.filter (fun (k, _) -> k <> "cfg")))
+  | Wrong_type ->
+      Wire.encode_frame
+        (rewrite payload (fun fields ->
+             List.map
+               (fun (k, v) ->
+                 if k = "cfg" then (k, Json.String "not a cfg") else (k, v))
+               fields))
+  | Unknown_verb ->
+      Wire.encode_frame
+        (rewrite payload (fun fields ->
+             List.map
+               (fun (k, v) ->
+                 if k = "verb" then (k, Json.String "frobnicate") else (k, v))
+               fields))
+  | Negative_deadline ->
+      Wire.encode_frame
+        (rewrite payload (fun fields ->
+             ("options", Json.Obj [ ("deadline_ms", Json.Int (-100)) ])
+             :: List.filter (fun (k, _) -> k <> "options") fields))
+  | Huge_cfg ->
+      let blocks =
+        List.init (max_blocks + 1) (fun _ ->
+            Json.Obj
+              [
+                ("size", Json.Int 1);
+                ("term", Json.Obj [ ("kind", Json.String "exit") ]);
+              ])
+      in
+      let cfg =
+        Json.Obj
+          [
+            ("name", Json.String "huge");
+            ("entry", Json.Int 0);
+            ("blocks", Json.List blocks);
+          ]
+      in
+      Wire.encode_frame
+        (rewrite payload (fun fields ->
+             List.map (fun (k, v) -> if k = "cfg" then (k, cfg) else (k, v)) fields))

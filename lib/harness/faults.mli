@@ -54,3 +54,46 @@ val source_name : source_kind -> string
     may or may not still compile; the contract is only "typed error or
     success, never an exception". *)
 val inject_source : seed:int -> source_kind -> string -> string
+
+(** {1 Protocol faults (the serve daemon's wire format)}
+
+    Faults on framed request bytes, replayed at [balign serve] by the
+    soak driver.  Each takes the JSON payload of one {e valid} request
+    and returns the (possibly corrupt) bytes to write.  The daemon's
+    contract: every fault yields a typed error response or a degraded
+    but certified layout — never a crash, never an uncertified
+    layout. *)
+
+type protocol_kind =
+  | Truncated_frame  (** frame cut mid-payload (= mid-request disconnect) *)
+  | Garbage_json  (** valid framing, unparsable payload *)
+  | Bad_length_header  (** the length line is not a decimal number *)
+  | Oversized_frame  (** declared length over the server's frame limit *)
+  | Missing_field  (** align request with its [cfg] removed *)
+  | Wrong_type  (** [cfg] replaced by a string *)
+  | Unknown_verb  (** verb nobody implements *)
+  | Negative_deadline  (** clamped to 0: degraded but certified *)
+  | Huge_cfg  (** more blocks than the server accepts *)
+
+val all_protocol : protocol_kind list
+val protocol_name : protocol_kind -> string
+
+(** What the daemon must do with the fault: reply with a typed error
+    and keep serving ([`Error_response]), reply [ok] with a certified
+    (possibly degraded) layout ([`Ok_response]), or reply with a final
+    error and end the conversation cleanly ([`Ends_stream]). *)
+val protocol_expectation :
+  protocol_kind -> [ `Error_response | `Ok_response | `Ends_stream ]
+
+(** [inject_protocol ~seed k payload] is the byte string to write for a
+    fault of kind [k].  [max_frame_bytes] / [max_blocks] must match the
+    serving config so [Oversized_frame] stays stream-synchronized and
+    [Huge_cfg] lands just over the CFG limit.  Deterministic in
+    [(seed, k)]. *)
+val inject_protocol :
+  ?max_frame_bytes:int ->
+  ?max_blocks:int ->
+  seed:int ->
+  protocol_kind ->
+  string ->
+  string

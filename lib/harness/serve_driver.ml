@@ -1,0 +1,80 @@
+(** Pipe-pair client driver: the server loop runs on a separate domain,
+    the test code plays the client. *)
+
+module Server = Ba_serve.Server
+module Wire = Ba_serve.Wire
+
+type t = {
+  to_server : Unix.file_descr;
+  from_server : Unix.file_descr;
+  reader : Wire.reader;
+  drain_flag : bool Atomic.t;
+  domain : (Server.stop_reason, exn) result Domain.t;
+  mutable input_open : bool;
+  mutable stopped : (Server.stop_reason, exn) result option;
+}
+
+let start ?(config = Server.default) () =
+  let req_r, req_w = Unix.pipe ~cloexec:true () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+  let drain_flag = Atomic.make false in
+  let domain =
+    Domain.spawn (fun () ->
+        let result =
+          (* the suite's no-crash assertion: any exception escaping the
+             loop is captured and failed on, not swallowed *)
+          match Server.serve config ~drain:drain_flag ~in_fd:req_r ~out_fd:resp_w with
+          | reason -> Ok reason
+          | exception e -> Error e
+        in
+        (try Unix.close req_r with Unix.Unix_error (_, _, _) -> ());
+        (try Unix.close resp_w with Unix.Unix_error (_, _, _) -> ());
+        result)
+  in
+  {
+    to_server = req_w;
+    from_server = resp_r;
+    reader = Wire.reader resp_r;
+    drain_flag;
+    domain;
+    input_open = true;
+    stopped = None;
+  }
+
+let send_raw t s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write_substring t.to_server s !off (n - !off) with
+    | w -> off := !off + w
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let send t req = send_raw t (Wire.encode_frame (Wire.request_to_string req))
+let recv t = Wire.read_frame t.reader
+
+let recv_response t =
+  match recv t with
+  | Wire.Frame payload -> Some (Wire.response_of_string payload)
+  | Wire.Eof | Wire.Truncated | Wire.Drained -> None
+  | Wire.Bad_header m -> Some (Error ("bad response framing: " ^ m))
+  | Wire.Oversized n ->
+      Some (Error (Printf.sprintf "oversized response frame (%d bytes)" n))
+
+let drain t = Atomic.set t.drain_flag true
+
+let close_input t =
+  if t.input_open then begin
+    t.input_open <- false;
+    try Unix.close t.to_server with Unix.Unix_error (_, _, _) -> ()
+  end
+
+let stop t =
+  match t.stopped with
+  | Some r -> r
+  | None ->
+      close_input t;
+      let r = Domain.join t.domain in
+      (try Unix.close t.from_server with Unix.Unix_error (_, _, _) -> ());
+      t.stopped <- Some r;
+      r

@@ -34,6 +34,14 @@ type counter =
   | Lint_infos  (** Info-severity lint diagnostics emitted *)
   | Certs_checked  (** alignment certificates validated *)
   | Certs_failed  (** alignment certificates rejected *)
+  | Serve_requests  (** align requests accepted by the daemon *)
+  | Serve_ok  (** certified layouts returned *)
+  | Serve_errors  (** typed-error responses returned *)
+  | Serve_protocol_errors  (** malformed frames / undecodable requests *)
+  | Serve_cache_hits  (** exact layout-cache hits (re-certified) *)
+  | Serve_cache_misses  (** cache misses (fresh solves) *)
+  | Serve_cache_poisoned  (** cached layouts rejected by certification *)
+  | Serve_warm_starts  (** drift hits: 3-Opt seeded from the cached tour *)
 
 let all_counters =
   [
@@ -51,6 +59,14 @@ let all_counters =
     (Lint_infos, "lint.infos");
     (Certs_checked, "check.certs_checked");
     (Certs_failed, "check.certs_failed");
+    (Serve_requests, "serve.requests");
+    (Serve_ok, "serve.responses_ok");
+    (Serve_errors, "serve.responses_error");
+    (Serve_protocol_errors, "serve.protocol_errors");
+    (Serve_cache_hits, "serve.cache_hits");
+    (Serve_cache_misses, "serve.cache_misses");
+    (Serve_cache_poisoned, "serve.cache_poisoned");
+    (Serve_warm_starts, "serve.warm_starts");
   ]
 
 let counter_name c = List.assoc c all_counters
@@ -70,6 +86,14 @@ let counter_index = function
   | Lint_infos -> 11
   | Certs_checked -> 12
   | Certs_failed -> 13
+  | Serve_requests -> 14
+  | Serve_ok -> 15
+  | Serve_errors -> 16
+  | Serve_protocol_errors -> 17
+  | Serve_cache_hits -> 18
+  | Serve_cache_misses -> 19
+  | Serve_cache_poisoned -> 20
+  | Serve_warm_starts -> 21
 
 let n_counters = List.length all_counters
 let counters : int Atomic.t array = Array.init n_counters (fun _ -> Atomic.make 0)
@@ -84,11 +108,29 @@ let get c = Atomic.get counters.(counter_index c)
 type gauge =
   | Neighbor_width  (** 3-opt candidate-list width (last solve's config) *)
   | Jobs  (** executor domain count of the last fan-out *)
+  | Serve_queue_depth  (** complete frames buffered but not yet handled *)
+  | Serve_in_flight  (** requests currently being handled *)
+  | Serve_cache_entries  (** live layout-cache entries *)
 
-let all_gauges = [ (Neighbor_width, "solver.neighbor_width"); (Jobs, "engine.jobs") ]
+let all_gauges =
+  [
+    (Neighbor_width, "solver.neighbor_width");
+    (Jobs, "engine.jobs");
+    (Serve_queue_depth, "serve.queue_depth");
+    (Serve_in_flight, "serve.in_flight");
+    (Serve_cache_entries, "serve.cache_entries");
+  ]
+
 let gauge_name g = List.assoc g all_gauges
-let gauge_index = function Neighbor_width -> 0 | Jobs -> 1
-let gauges : int Atomic.t array = Array.init 2 (fun _ -> Atomic.make 0)
+
+let gauge_index = function
+  | Neighbor_width -> 0
+  | Jobs -> 1
+  | Serve_queue_depth -> 2
+  | Serve_in_flight -> 3
+  | Serve_cache_entries -> 4
+
+let gauges : int Atomic.t array = Array.init 5 (fun _ -> Atomic.make 0)
 let set_gauge g v = Atomic.set gauges.(gauge_index g) v
 let get_gauge g = Atomic.get gauges.(gauge_index g)
 
@@ -125,6 +167,77 @@ let hk_gap () =
     max = float_of_int (Atomic.get gap_max_micro) /. 1e6;
   }
 
+(* ---------------- request-latency distribution ---------------- *)
+
+(* A fixed log-spaced histogram over microseconds, 4 buckets per
+   octave: bucket i covers [2^(i/4), 2^((i+1)/4)) µs, so 96 buckets
+   span ~1 µs to ~14 s with ≤19% relative resolution.  All cells are
+   int atomics — observation is lock-free and allocation-free, which
+   keeps the serve hot path honest about its own overhead. *)
+let lat_buckets = 96
+let lat_hist : int Atomic.t array = Array.init lat_buckets (fun _ -> Atomic.make 0)
+let lat_count = Atomic.make 0
+let lat_sum_micro = Atomic.make 0
+let lat_max_micro = Atomic.make 0
+
+let lat_bucket_of_us us =
+  if us <= 1. then 0
+  else min (lat_buckets - 1) (int_of_float (4. *. (log us /. log 2.)))
+
+(* geometric midpoint of bucket [i], in milliseconds *)
+let lat_bucket_mid_ms i = Float.pow 2. ((float_of_int i +. 0.5) /. 4.) /. 1000.
+
+(** [observe_latency_ms ms] records one request's wall-clock latency. *)
+let observe_latency_ms ms =
+  let us = Float.max 0. ms *. 1000. in
+  let micro = int_of_float us in
+  ignore (Atomic.fetch_and_add lat_hist.(lat_bucket_of_us us) 1);
+  ignore (Atomic.fetch_and_add lat_count 1);
+  ignore (Atomic.fetch_and_add lat_sum_micro micro);
+  let rec raise_max () =
+    let cur = Atomic.get lat_max_micro in
+    if micro > cur && not (Atomic.compare_and_set lat_max_micro cur micro) then
+      raise_max ()
+  in
+  raise_max ()
+
+type latency_summary = {
+  l_count : int;
+  mean_ms : float;
+  p50_ms : float;  (** bucket-resolution estimate (≤19% relative error) *)
+  p95_ms : float;
+  max_ms : float;  (** exact *)
+}
+
+(** [percentile_ms q] walks the histogram for the [q]-quantile bucket
+    (0 when nothing was observed). *)
+let percentile_ms q =
+  let n = Atomic.get lat_count in
+  if n = 0 then 0.
+  else begin
+    let target = Float.max 1. (Float.of_int n *. q) in
+    let acc = ref 0 and found = ref (lat_buckets - 1) and i = ref 0 in
+    (* Stdlib.incr: this module shadows [incr] with the counter API *)
+    while !i < lat_buckets && float_of_int !acc < target do
+      acc := !acc + Atomic.get lat_hist.(!i);
+      if float_of_int !acc >= target then found := !i;
+      i := !i + 1
+    done;
+    lat_bucket_mid_ms !found
+  end
+
+let latency () =
+  let n = Atomic.get lat_count in
+  {
+    l_count = n;
+    mean_ms =
+      (if n = 0 then 0.
+       else float_of_int (Atomic.get lat_sum_micro) /. 1000. /. float_of_int n);
+    p50_ms = percentile_ms 0.5;
+    p95_ms = percentile_ms 0.95;
+    max_ms = float_of_int (Atomic.get lat_max_micro) /. 1000.;
+  }
+
 (* ---------------- snapshot / reset ---------------- *)
 
 (** One immutable read-out of the whole registry, for sinks. *)
@@ -132,6 +245,7 @@ type snapshot = {
   counter_values : (string * int) list;  (** catalogue order *)
   gauge_values : (string * int) list;
   gap : gap_summary;
+  lat : latency_summary;
 }
 
 let snapshot () =
@@ -139,6 +253,7 @@ let snapshot () =
     counter_values = List.map (fun (c, name) -> (name, get c)) all_counters;
     gauge_values = List.map (fun (g, name) -> (name, get_gauge g)) all_gauges;
     gap = hk_gap ();
+    lat = latency ();
   }
 
 (** Zero every cell (tests only — production code never resets). *)
@@ -147,4 +262,8 @@ let reset () =
   Array.iter (fun a -> Atomic.set a 0) gauges;
   Atomic.set gap_count 0;
   Atomic.set gap_sum_micro 0;
-  Atomic.set gap_max_micro 0
+  Atomic.set gap_max_micro 0;
+  Array.iter (fun a -> Atomic.set a 0) lat_hist;
+  Atomic.set lat_count 0;
+  Atomic.set lat_sum_micro 0;
+  Atomic.set lat_max_micro 0

@@ -18,6 +18,14 @@ type counter =
   | Lint_infos
   | Certs_checked
   | Certs_failed
+  | Serve_requests
+  | Serve_ok
+  | Serve_errors
+  | Serve_protocol_errors
+  | Serve_cache_hits
+  | Serve_cache_misses
+  | Serve_cache_poisoned
+  | Serve_warm_starts
 
 (** Every counter with its stable snapshot name, in catalogue order. *)
 val all_counters : (counter * string) list
@@ -29,7 +37,12 @@ val incr : ?n:int -> counter -> unit
 
 val get : counter -> int
 
-type gauge = Neighbor_width | Jobs
+type gauge =
+  | Neighbor_width
+  | Jobs
+  | Serve_queue_depth
+  | Serve_in_flight
+  | Serve_cache_entries
 
 val all_gauges : (gauge * string) list
 val gauge_name : gauge -> string
@@ -43,10 +56,25 @@ type gap_summary = { count : int; mean : float; max : float }
 
 val hk_gap : unit -> gap_summary
 
+(** Record one serve request's wall-clock latency into the lock-free
+    log-bucket histogram (4 buckets per octave, ~1 µs – 14 s). *)
+val observe_latency_ms : float -> unit
+
+type latency_summary = {
+  l_count : int;
+  mean_ms : float;
+  p50_ms : float;  (** histogram estimate, ≤19% relative error *)
+  p95_ms : float;
+  max_ms : float;  (** exact *)
+}
+
+val latency : unit -> latency_summary
+
 type snapshot = {
   counter_values : (string * int) list;
   gauge_values : (string * int) list;
   gap : gap_summary;
+  lat : latency_summary;
 }
 
 val snapshot : unit -> snapshot

@@ -31,6 +31,15 @@ let snapshot_json (s : Metrics.snapshot) : Json.t =
             ("mean", Json.Float s.Metrics.gap.Metrics.mean);
             ("max", Json.Float s.Metrics.gap.Metrics.max);
           ] );
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("count", Json.Int s.Metrics.lat.Metrics.l_count);
+            ("mean", Json.Float s.Metrics.lat.Metrics.mean_ms);
+            ("p50", Json.Float s.Metrics.lat.Metrics.p50_ms);
+            ("p95", Json.Float s.Metrics.lat.Metrics.p95_ms);
+            ("max", Json.Float s.Metrics.lat.Metrics.max_ms);
+          ] );
     ]
 
 let snapshot_csv (s : Metrics.snapshot) : string list =
@@ -41,6 +50,11 @@ let snapshot_csv (s : Metrics.snapshot) : string list =
          Printf.sprintf "hk_gap.count,%d" s.Metrics.gap.Metrics.count;
          Printf.sprintf "hk_gap.mean,%.6f" s.Metrics.gap.Metrics.mean;
          Printf.sprintf "hk_gap.max,%.6f" s.Metrics.gap.Metrics.max;
+         Printf.sprintf "latency_ms.count,%d" s.Metrics.lat.Metrics.l_count;
+         Printf.sprintf "latency_ms.mean,%.6f" s.Metrics.lat.Metrics.mean_ms;
+         Printf.sprintf "latency_ms.p50,%.6f" s.Metrics.lat.Metrics.p50_ms;
+         Printf.sprintf "latency_ms.p95,%.6f" s.Metrics.lat.Metrics.p95_ms;
+         Printf.sprintf "latency_ms.max,%.6f" s.Metrics.lat.Metrics.max_ms;
        ])
 
 let emit_snapshot (sink : t) (s : Metrics.snapshot) =
@@ -54,7 +68,11 @@ let emit_snapshot (sink : t) (s : Metrics.snapshot) =
       if s.Metrics.gap.Metrics.count > 0 then
         Fmt.epr "%-28s n=%d mean=%.4f max=%.4f@." "hk_gap"
           s.Metrics.gap.Metrics.count s.Metrics.gap.Metrics.mean
-          s.Metrics.gap.Metrics.max
+          s.Metrics.gap.Metrics.max;
+      if s.Metrics.lat.Metrics.l_count > 0 then
+        Fmt.epr "%-28s n=%d p50=%.3fms p95=%.3fms max=%.3fms@." "latency"
+          s.Metrics.lat.Metrics.l_count s.Metrics.lat.Metrics.p50_ms
+          s.Metrics.lat.Metrics.p95_ms s.Metrics.lat.Metrics.max_ms
   | Json_file p -> Json.write_file p (snapshot_json s)
   | Csv_file p ->
       let oc = open_out p in

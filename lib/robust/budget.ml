@@ -26,7 +26,20 @@
       procedure's solve observes exhaustion first depends on
       scheduling.  When bit-identical output across job counts matters,
       use per-task budgets (or no mid-run limits); see
-      docs/ARCHITECTURE.md. *)
+      docs/ARCHITECTURE.md.
+
+    {2 Per-request budgets (daemon mode)}
+
+    A budget is a plain value with its own atomic counter — nothing
+    here is process-global.  A long-running server therefore creates
+    {e one budget per request} ([balign serve] does this through
+    [align_checked ?deadline_ms]): two simultaneous requests with
+    different deadlines own disjoint counters and disjoint absolute
+    deadlines, so one request exhausting its allowance can never starve
+    or time out another.  Sharing a single budget across requests would
+    re-introduce exactly the cross-request interference this rules out;
+    the two-deadline independence is pinned by the robustness suite
+    (test_robust: "per-request budgets"). *)
 
 type t = {
   started : float;  (** creation time, for elapsed-time reporting *)
@@ -65,6 +78,25 @@ let exhausted b =
 
 (** Milliseconds since the budget was created. *)
 let elapsed_ms b = (Unix.gettimeofday () -. b.started) *. 1000.
+
+(** [remaining_ms b] is the wall-clock milliseconds left before the
+    deadline (clamped at 0), or [None] for a deadline-free budget. *)
+let remaining_ms b =
+  Option.map
+    (fun d -> Float.max 0. ((d -. Unix.gettimeofday ()) *. 1000.))
+    b.deadline
+
+(** [clamp_deadline ?cap requested] maps a client-requested deadline to
+    the one a server should actually grant: [requested] bounded above
+    by the server-side [cap] (either may be absent).  Negative requests
+    are treated as 0 — an immediately-exhausted budget that degrades to
+    the fallback chain rather than an error. *)
+let clamp_deadline ?cap requested =
+  let requested = Option.map (fun ms -> max 0 ms) requested in
+  match (requested, cap) with
+  | None, c -> c
+  | (Some _ as r), None -> r
+  | Some r, Some c -> Some (min r c)
 
 (** Moves spent so far (all domains combined). *)
 let moves b = Atomic.get b.moves

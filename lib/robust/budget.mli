@@ -9,7 +9,13 @@
     (atomic increments; [max_moves] bounds the combined work).  Which
     solve observes exhaustion first under concurrency depends on
     scheduling — use per-task budgets when bit-identical output across
-    job counts matters (see docs/ARCHITECTURE.md). *)
+    job counts matters (see docs/ARCHITECTURE.md).
+
+    Nothing here is process-global: each [create] owns its counter and
+    deadline, so a server creates one budget {e per request} and two
+    simultaneous requests with different deadlines cannot interfere
+    (see the "Per-request budgets" section in the implementation and
+    docs/SERVING.md). *)
 
 type t
 
@@ -30,6 +36,16 @@ val exhausted : t -> bool
 
 (** Milliseconds since the budget was created. *)
 val elapsed_ms : t -> float
+
+(** Wall-clock milliseconds left before the deadline (clamped at 0), or
+    [None] for a deadline-free budget. *)
+val remaining_ms : t -> float option
+
+(** [clamp_deadline ?cap requested] is the deadline a server grants a
+    request: [requested] bounded above by the server-side [cap] (either
+    may be absent; negative requests become 0, i.e. degrade
+    immediately). *)
+val clamp_deadline : ?cap:int -> int option -> int option
 
 (** Moves spent so far, across every domain sharing this budget. *)
 val moves : t -> int

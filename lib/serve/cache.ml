@@ -1,0 +1,217 @@
+(** LRU layout cache with a drift index and JSON persistence.
+
+    Single-threaded by design: the serve loop handles requests
+    sequentially (the parallelism lives {e inside} a request, in the
+    engine's domain pool), so no locking is needed here. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+module Errors = Ba_robust.Errors
+module Json = Ba_obs.Json
+
+(* FNV-1a, same construction as Cfg.structural_hash (which is private
+   to ba_cfg); hashes the profile rows in order — the sketch is
+   order-sensitive on purpose, two profiles differing only in counts
+   must not collide structurally *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv1a_int h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := fnv1a_byte !h (v lsr (shift * 8))
+  done;
+  !h
+
+let profile_sketch (p : Profile.proc) =
+  let h = ref (fnv1a_int fnv_offset (Array.length p.Profile.freqs)) in
+  Array.iter
+    (fun row ->
+      h := fnv1a_int !h (Array.length row);
+      Array.iter
+        (fun (dst, count) -> h := fnv1a_int (fnv1a_int !h dst) count)
+        row)
+    p.Profile.freqs;
+  !h
+
+type key = { cfg_hash : int64; profile_hash : int64 }
+
+let key_of cfg profile =
+  { cfg_hash = Cfg.structural_hash cfg; profile_hash = profile_sketch profile }
+
+type entry = {
+  e_key : key;
+  order : Layout.order;
+  cost : int;
+  mutable last_use : int;
+}
+
+type t = {
+  capacity : int;
+  tbl : (key, entry) Hashtbl.t;
+  drift : (int64, entry) Hashtbl.t;  (** cfg hash → most recently added *)
+  mutable tick : int;
+}
+
+let create ~capacity =
+  {
+    capacity = max 1 capacity;
+    tbl = Hashtbl.create 64;
+    drift = Hashtbl.create 64;
+    tick = 0;
+  }
+
+let length t = Hashtbl.length t.tbl
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some e ->
+      touch t e;
+      Some (Array.copy e.order, e.cost)
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.tbl key;
+      (* the drift index may point at the removed entry; repoint it at
+         the most recent surviving entry for that CFG, if any *)
+      (match Hashtbl.find_opt t.drift key.cfg_hash with
+      | Some d when d == e ->
+          Hashtbl.remove t.drift key.cfg_hash;
+          Hashtbl.iter
+            (fun k e' ->
+              if k.cfg_hash = key.cfg_hash then
+                match Hashtbl.find_opt t.drift key.cfg_hash with
+                | Some cur when cur.last_use >= e'.last_use -> ()
+                | _ -> Hashtbl.replace t.drift key.cfg_hash e')
+            t.tbl
+      | _ -> ())
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | Some best when best.last_use <= e.last_use -> acc
+        | _ -> Some e)
+      t.tbl None
+  in
+  match victim with None -> () | Some e -> remove t e.e_key
+
+let add t key order cost =
+  remove t key;
+  while Hashtbl.length t.tbl >= t.capacity do
+    evict_lru t
+  done;
+  let e = { e_key = key; order = Array.copy order; cost; last_use = 0 } in
+  touch t e;
+  Hashtbl.replace t.tbl key e;
+  Hashtbl.replace t.drift key.cfg_hash e
+
+let drift_hint t cfg_hash =
+  Option.map (fun e -> Array.copy e.order) (Hashtbl.find_opt t.drift cfg_hash)
+
+(* ---------------- persistence ---------------- *)
+
+let hex h = Printf.sprintf "%016Lx" h
+
+let of_hex s =
+  if String.length s = 16
+     && String.for_all
+          (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+          s
+  then Int64.of_string_opt ("0x" ^ s)
+  else None
+
+let save t path =
+  let entries =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+    (* oldest first, so a load replays insertions in LRU order *)
+    |> List.sort (fun a b -> compare a.last_use b.last_use)
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "balign-cache-1");
+        ( "entries",
+          Json.List
+            (List.map
+               (fun e ->
+                 Json.Obj
+                   [
+                     ("cfg", Json.String (hex e.e_key.cfg_hash));
+                     ("profile", Json.String (hex e.e_key.profile_hash));
+                     ( "layout",
+                       Json.List
+                         (Array.to_list
+                            (Array.map (fun l -> Json.Int l) e.order)) );
+                     ("cost", Json.Int e.cost);
+                   ])
+               entries) );
+      ]
+  in
+  match Json.write_file path doc with
+  | () -> Ok ()
+  | exception Sys_error reason -> Error (Errors.Io_error { path; reason })
+
+let load ~capacity path =
+  let fail reason = Error (Errors.Io_error { path; reason }) in
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error reason -> fail reason
+  | s -> (
+      match Json.parse s with
+      | Error m -> fail ("invalid cache JSON: " ^ m)
+      | Ok doc -> (
+          match Option.bind (Json.member "schema" doc) Json.to_str with
+          | Some "balign-cache-1" -> (
+              match Option.bind (Json.member "entries" doc) Json.to_list with
+              | None -> fail "cache has no entries list"
+              | Some entries ->
+                  let t = create ~capacity in
+                  let to_int v =
+                    match Json.to_number v with
+                    | Some f when Float.is_integer f -> Some (int_of_float f)
+                    | _ -> None
+                  in
+                  let entry_ok e =
+                    match
+                      ( Option.bind (Json.member "cfg" e) Json.to_str
+                        |> Fun.flip Option.bind of_hex,
+                        Option.bind (Json.member "profile" e) Json.to_str
+                        |> Fun.flip Option.bind of_hex,
+                        Option.bind (Json.member "layout" e) Json.to_list,
+                        Option.bind (Json.member "cost" e) to_int )
+                    with
+                    | Some cfg_hash, Some profile_hash, Some layout, Some cost ->
+                        let order = List.filter_map to_int layout in
+                        if List.length order = List.length layout then
+                          Some
+                            ( { cfg_hash; profile_hash },
+                              Array.of_list order,
+                              cost )
+                        else None
+                    | _ -> None
+                  in
+                  let bad = ref false in
+                  List.iter
+                    (fun e ->
+                      match entry_ok e with
+                      | Some (key, order, cost) -> add t key order cost
+                      | None -> bad := true)
+                    entries;
+                  if !bad then fail "cache entry is malformed" else Ok t)
+          | _ -> fail "not a balign-cache-1 snapshot"))

@@ -1,0 +1,58 @@
+(** Certified layout cache for the daemon, keyed by (CFG structural
+    hash, profile sketch) with LRU eviction and optional JSON
+    persistence for warm restarts.
+
+    The cache stores {e claims}, not truths: a 64-bit key can collide
+    and a persisted file can be tampered with, so the server re-runs
+    {!Ba_check.Certify} on every hit before trusting a cached layout —
+    a poisoned entry is evicted and re-solved, never served (see
+    docs/SERVING.md).  Next to the exact map the cache keeps a
+    per-CFG {e drift index}: the most recent layout of each CFG hash,
+    used to warm-start the solver when the same procedure arrives with
+    a changed profile. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+
+type key = { cfg_hash : int64; profile_hash : int64 }
+
+(** Order-sensitive 64-bit digest of a per-procedure profile. *)
+val profile_sketch : Profile.proc -> int64
+
+val key_of : Cfg.t -> Profile.proc -> key
+
+type t
+
+(** [create ~capacity] is an empty cache holding at most [capacity]
+    entries (at least 1). *)
+val create : capacity:int -> t
+
+val length : t -> int
+
+(** Exact lookup; bumps the entry's recency.  Returns a {e copy} of the
+    stored layout together with its cached cost. *)
+val find : t -> key -> (Layout.order * int) option
+
+(** [add t key order cost] inserts (copying [order]), evicting the
+    least-recently-used entry when full, and updates the drift index. *)
+val add : t -> key -> Layout.order -> int -> unit
+
+(** Drop one entry (hit-time certification failed: the entry is
+    poisoned or a key collision). *)
+val remove : t -> key -> unit
+
+(** Most recent layout cached for this CFG hash under {e any} profile —
+    the warm-start seed for profile drift.  Copied. *)
+val drift_hint : t -> int64 -> Layout.order option
+
+(** {1 Persistence (schema ["balign-cache-1"])} *)
+
+(** [save t path] writes every entry as canonical JSON. *)
+val save : t -> string -> (unit, Ba_robust.Errors.t) result
+
+(** [load ~capacity path] rebuilds a cache from a snapshot.  Malformed
+    files yield a typed error, never an exception; entries beyond
+    [capacity] are dropped oldest-first.  The snapshot is untrusted
+    input — loaded layouts are only ever served after hit-time
+    certification. *)
+val load : capacity:int -> string -> (t, Ba_robust.Errors.t) result

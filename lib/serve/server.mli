@@ -1,0 +1,60 @@
+(** The crash-only alignment daemon behind [balign serve].
+
+    One request loop over a {!Wire.reader}: align requests are
+    scheduled as {!Ba_engine} tasks on the configured executor and
+    answered with a layout that passed {!Ba_check.Certify} — or with a
+    typed {!Ba_robust.Errors.t}.  There is no third outcome: a request
+    can never crash the server (per-request exception barrier,
+    size-limited decoding, deadline clamping onto the anytime budget
+    with the deterministic fallback chain), and an uncertified layout
+    is never written to the wire.
+
+    Exit discipline (crash-only): the daemon exits 0 on clean EOF, on
+    the [shutdown] verb, and on a SIGTERM drain (buffered complete
+    frames are answered, then the cache is persisted and the process
+    leaves).  Stream corruption (truncated frame, garbage length
+    header) terminates the conversation with one final error response
+    and a clean exit — restart is the recovery path, and the persisted
+    cache makes restarts warm.  See docs/SERVING.md. *)
+
+type config = {
+  executor : Ba_engine.Executor.t;  (** pool the align tasks run on *)
+  penalties : Ba_machine.Penalties.t;
+  cache_capacity : int;  (** LRU entries (≥ 1) *)
+  cache_file : string option;
+      (** load at start (missing file = cold start), save on exit *)
+  max_frame_bytes : int;  (** frames above this are skipped, typed error *)
+  max_blocks : int;  (** CFGs above this are rejected, typed error *)
+  default_deadline_ms : int option;  (** per-request budget when unspecified *)
+  max_deadline_ms : int option;  (** clamp on client-requested budgets *)
+}
+
+val default : config
+
+(** Why the request loop stopped (all of them exit 0). *)
+type stop_reason =
+  | Clean_eof  (** input closed at a frame boundary *)
+  | Shutdown_verb  (** a client asked for [shutdown] *)
+  | Drained  (** SIGTERM: buffered requests answered, then quit *)
+  | Stream_corrupt  (** unrecoverable framing; error response sent *)
+
+(** [serve config ~drain ~in_fd ~out_fd] runs the loop until a stop
+    condition; never raises.  [drain], when flipped to [true] (e.g. by
+    a signal handler), stops the loop after the already-buffered
+    frames are answered. *)
+val serve :
+  config ->
+  drain:bool Atomic.t ->
+  in_fd:Unix.file_descr ->
+  out_fd:Unix.file_descr ->
+  stop_reason
+
+(** [serve_stdin config] installs a SIGTERM drain handler and serves
+    stdin → stdout; returns the process exit code (0). *)
+val serve_stdin : config -> int
+
+(** [serve_socket config ~path] binds a Unix-domain socket and serves
+    accepted connections sequentially until a [shutdown] verb or
+    SIGTERM; returns the exit code (0, or 9 when the socket cannot be
+    bound). *)
+val serve_socket : config -> path:string -> int

@@ -1,0 +1,116 @@
+(** The daemon's wire protocol: length-prefixed JSON frames plus the
+    request/response codecs (see docs/SERVING.md for the full spec).
+
+    A frame is [<decimal length>\n<payload>\n] where [length] is the
+    byte length of [payload] (the trailing newline is a frame
+    separator, not part of the payload).  The framing layer is where
+    the protocol-robustness contract lives: a reader never raises on
+    malformed input — every way a byte stream can be broken maps to a
+    typed {!event}. *)
+
+open Ba_cfg
+module Profile = Ba_profile.Profile
+module Errors = Ba_robust.Errors
+
+(** {1 Framing} *)
+
+(** [encode_frame payload] is the full byte string of one frame. *)
+val encode_frame : string -> string
+
+(** [write_frame fd payload] writes one frame, handling short writes. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** Buffered frame reader over a file descriptor. *)
+type reader
+
+(** [reader ?max_frame_bytes fd] wraps [fd].  Frames whose declared
+    length exceeds [max_frame_bytes] (default 4 MiB) are skipped
+    without buffering their payload. *)
+val reader : ?max_frame_bytes:int -> Unix.file_descr -> reader
+
+(** Everything a read can yield.  [Oversized] and [Frame] leave the
+    stream synchronized (the next read starts at the next frame);
+    the remaining non-[Frame] events are terminal for the stream. *)
+type event =
+  | Frame of string  (** one complete payload *)
+  | Eof  (** clean end of stream at a frame boundary *)
+  | Truncated  (** end of stream in the middle of a frame *)
+  | Bad_header of string  (** the length line is not a decimal number *)
+  | Oversized of int  (** declared length over the limit; payload skipped *)
+  | Drained  (** [stop] said quit and no complete frame was buffered *)
+
+(** [read_frame ?stop r] returns the next event.  [stop] (polled before
+    every blocking read, and after [EINTR]) requests a drain: frames
+    already buffered are still returned, but the reader never blocks
+    for more bytes once [stop ()] is true. *)
+val read_frame : ?stop:(unit -> bool) -> reader -> event
+
+(** Number of complete frames sitting in the buffer (the queue-depth
+    gauge); parses the buffer, reads nothing. *)
+val buffered_frames : reader -> int
+
+(** {1 Requests} *)
+
+type align_options = {
+  deadline_ms : int option;  (** per-request solver budget *)
+  method_ : Ba_align.Driver.method_;  (** default: the paper's TSP aligner *)
+}
+
+val default_options : align_options
+
+type request =
+  | Align of {
+      id : int;
+      cfg : Cfg.t;
+      profile : Profile.proc;
+      options : align_options;
+    }
+  | Stats of { id : int }
+  | Shutdown of { id : int }
+
+val request_id : request -> int
+
+(** Strict decoder: every malformed payload is a typed error, never an
+    exception.  [max_blocks] (default 100_000) bounds the accepted CFG
+    size before any array is allocated from attacker-controlled
+    numbers. *)
+val request_of_string : ?max_blocks:int -> string -> (request, Errors.t) result
+
+(** Canonical encoder (the client side; also the QCheck round-trip
+    anchor). *)
+val request_to_string : request -> string
+
+(** {1 Responses} *)
+
+(** Kebab-case wire name of an error class, e.g. ["invalid-cfg"]. *)
+val error_class : Errors.t -> string
+
+type ok_payload = {
+  layout : Layout.order;  (** certified block order *)
+  cost : int;  (** independently recomputed penalty, cycles *)
+  cached : bool;  (** served from the layout cache *)
+  warm : bool;  (** solver seeded from a cached tour (profile drift) *)
+  fallbacks : int;  (** degradations along the method chain *)
+}
+
+type response =
+  | Ok_layout of { id : int; payload : ok_payload }
+  | Error_response of { id : int option; error : Errors.t }
+  | Stats_response of { id : int; stats : Ba_obs.Json.t }
+  | Shutdown_ack of { id : int }
+
+val response_to_string : response -> string
+
+(** The client-side structural view of a response: typed errors travel
+    as their wire triple (class, exit code, message) — the client does
+    not reconstruct the server's {!Errors.t}. *)
+type client_error = { eclass : string; eexit : int; emessage : string }
+
+type client_response =
+  | C_ok of { id : int; payload : ok_payload }
+  | C_error of { id : int option; error : client_error }
+  | C_stats of { id : int; stats : Ba_obs.Json.t }
+  | C_shutdown of { id : int }
+
+(** Decoder for the client side (tests, the soak driver). *)
+val response_of_string : string -> (client_response, string) result

@@ -133,7 +133,8 @@ let brute_force (d : Dtsp.t) =
     the best tour found so far is returned with [timed_out] set — the
     first (identity-start) construction always completes, so a valid
     tour is returned even for a zero budget. *)
-let solve ?(config = default) ?rng ?budget (d : Dtsp.t) : int array * stats =
+let solve ?(config = default) ?rng ?budget ?initial (d : Dtsp.t) :
+    int array * stats =
   let budget =
     match budget with
     | Some b -> b
@@ -167,7 +168,14 @@ let solve ?(config = default) ?rng ?budget (d : Dtsp.t) : int array * stats =
        budget runs out *)
     while !run = 0 || (!run < config.runs && not (Ba_robust.Budget.exhausted budget)) do
       let start_directed =
-        if !run = 0 then Construct.identity n
+        if !run = 0 then
+          (* run 0 always completes even on an exhausted budget; with a
+             warm start (incremental re-alignment: the serve cache's
+             previous tour) it re-optimizes that tour instead of the
+             identity, so small profile drifts converge in a few moves *)
+          match initial with
+          | Some t when Array.length t = n -> Array.copy t
+          | _ -> Construct.identity n
         else if !run land 1 = 1 then
           Construct.greedy_edge ~rng ~skip_prob:config.greedy_skip d
         else

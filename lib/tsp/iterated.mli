@@ -43,10 +43,19 @@ val double_bridge : Three_opt.state -> Random.State.t -> int list
     config's [deadline_ms]/[max_moves] when not passed explicitly) is
     polled between moves, kicks and restarts; on exhaustion the best
     tour so far is returned with [timed_out] set — a valid tour comes
-    back even under a zero budget. *)
+    back even under a zero budget.
+
+    [initial], when given and of the right length, replaces the
+    identity start of run 0 with a caller-supplied directed tour (must
+    be a permutation of the cities) — the warm-start hook used by
+    incremental re-alignment: re-optimizing a previous solution after a
+    small profile drift converges in a few moves instead of a full
+    search.  The warm tour is re-optimized by the same budgeted 3-Opt,
+    so a warm solve is never weaker than its seed tour. *)
 val solve :
   ?config:config ->
   ?rng:Random.State.t ->
   ?budget:Ba_robust.Budget.t ->
+  ?initial:int array ->
   Dtsp.t ->
   int array * stats

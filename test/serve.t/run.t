@@ -1,0 +1,73 @@
+Serve daemon end-to-end over the real CLI: length-prefixed frames on
+stdin, certified responses or typed errors on stdout, crash-only exits
+(always 0 once serving), warm restart from the persisted cache, and
+SIGTERM drain.
+
+  $ export BALIGN=../../bin/balign.exe
+  $ frame() { printf '%s\n' "${#1}"; printf '%s\n' "$1"; }
+  $ req='{"id":1,"verb":"align","cfg":{"name":"f","entry":0,"blocks":[{"size":4,"term":{"kind":"branch","t":1,"f":2}},{"size":2,"term":{"kind":"goto","to":3}},{"size":7,"term":{"kind":"goto","to":3}},{"size":1,"term":{"kind":"exit"}}]},"profile":[[[1,10],[2,90]],[[3,10]],[[3,90]],[]]}'
+  $ shut='{"id":9,"verb":"shutdown"}'
+
+Happy path: a certified layout, then the identical request again — a
+cache hit, bit-identical, same certified cost.  Mixed in: an invalid
+CFG, an unknown verb, and garbage JSON, each answered with its
+documented error class and exit code while the daemon keeps serving.
+The stream ends with the shutdown verb and exit 0:
+
+  $ bad='{"id":2,"verb":"align","cfg":{"name":"f","entry":9,"blocks":[{"size":1,"term":{"kind":"exit"}}]},"profile":[[]]}'
+  $ verb='{"id":3,"verb":"frobnicate"}'
+  $ { frame "$req"; frame "$req"; frame "$bad"; frame "$verb"; frame '@garbage'; frame "$shut"; } | $BALIGN serve
+  93
+  {"id":1,"status":"ok","layout":[0,2,3,1],"cost":70,"cached":false,"warm":false,"fallbacks":0}
+  92
+  {"id":1,"status":"ok","layout":[0,2,3,1],"cost":70,"cached":true,"warm":false,"fallbacks":0}
+  134
+  {"id":2,"status":"error","error":{"class":"invalid-cfg","exit_code":5,"message":"invalid CFG (f): Cfg.make(f): entry 9 out of range"}}
+  112
+  {"id":3,"status":"error","error":{"class":"usage","exit_code":2,"message":"usage: unknown verb \"frobnicate\""}}
+  132
+  {"id":null,"status":"error","error":{"class":"parse-error","exit_code":3,"message":"frame-json: at byte 0: unexpected character @"}}
+  28
+  {"id":9,"status":"shutdown"}
+
+An oversized frame is skipped without buffering it and the stream stays
+synchronized — the shutdown frame right behind it is still served:
+
+  $ { frame "$req"; frame "$shut"; } | $BALIGN serve --max-frame-bytes 64
+  136
+  {"id":null,"status":"error","error":{"class":"parse-error","exit_code":3,"message":"frame: frame of 276 bytes exceeds the limit of 64"}}
+  28
+  {"id":9,"status":"shutdown"}
+
+Stream corruption (truncated frame, garbage length header) produces one
+final typed error and a clean exit 0 — the crash-only contract leaves
+restarts to the supervisor:
+
+  $ printf '500\npartial' | $BALIGN serve
+  116
+  {"id":null,"status":"error","error":{"class":"parse-error","exit_code":3,"message":"frame: stream ended mid-frame"}}
+  $ printf 'not-a-length\n' | $BALIGN serve
+  128
+  {"id":null,"status":"error","error":{"class":"parse-error","exit_code":3,"message":"frame: bad length header \"not-a-length\""}}
+
+Warm restart: a second daemon pointed at the same --cache-file answers
+the very first request from the persisted, re-certified cache:
+
+  $ { frame "$req"; frame "$shut"; } | $BALIGN serve --cache-file cache.json > /dev/null
+  $ { frame "$req"; frame "$shut"; } | $BALIGN serve --cache-file cache.json | grep -o '"cached":[a-z]*'
+  "cached":true
+
+SIGTERM drains: the daemon finishes answering, persists, and exits 0
+instead of dying mid-request:
+
+  $ mkfifo in.fifo
+  $ $BALIGN serve < in.fifo > drain.out & spid=$!
+  $ exec 9> in.fifo
+  $ frame "$req" >&9
+  $ sleep 1
+  $ kill -TERM $spid
+  $ wait $spid; echo "exit=$?"
+  exit=0
+  $ exec 9>&-
+  $ grep -c '"status":"ok"' drain.out
+  1

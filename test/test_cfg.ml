@@ -87,6 +87,51 @@ let test_cfg_unreachable () =
   in
   Alcotest.(check int) "one reachable" 1 (Cfg.n_reachable g)
 
+(* structural_hash is the serve cache key: it must be canonical (names
+   and Multiway successor order do not matter) yet sensitive to every
+   structural detail (sizes, entry, terminator shapes, branch arms). *)
+let test_structural_hash () =
+  let blocks () =
+    [|
+      Block.make ~id:0 ~size:4 (Block.Branch { t = 1; f = 2 });
+      Block.make ~id:1 ~size:2 (Block.Goto 3);
+      Block.make ~id:2 ~size:7 (Block.Goto 3);
+      Block.make ~id:3 ~size:1 (Block.Multiway [| 4; 0; 4 |]);
+      Block.make ~id:4 ~size:3 Block.Exit;
+    |]
+  in
+  let h g = Cfg.structural_hash g in
+  let base = h (Cfg.make ~name:"a" ~entry:0 (blocks ())) in
+  Alcotest.(check bool) "name-independent" true
+    (base = h (Cfg.make ~name:"completely-different" ~entry:0 (blocks ())));
+  let reordered = blocks () in
+  reordered.(3) <- Block.make ~id:3 ~size:1 (Block.Multiway [| 0; 4 |]);
+  Alcotest.(check bool) "multiway order and duplicates canonicalized" true
+    (base = h (Cfg.make ~name:"a" ~entry:0 reordered));
+  let resized = blocks () in
+  resized.(2) <- Block.make ~id:2 ~size:8 (Block.Goto 3);
+  Alcotest.(check bool) "size-sensitive" false
+    (base = h (Cfg.make ~name:"a" ~entry:0 resized));
+  let retargeted = blocks () in
+  retargeted.(1) <- Block.make ~id:1 ~size:2 (Block.Goto 4);
+  Alcotest.(check bool) "edge-sensitive" false
+    (base = h (Cfg.make ~name:"a" ~entry:0 retargeted));
+  let swapped = blocks () in
+  swapped.(0) <- Block.make ~id:0 ~size:4 (Block.Branch { t = 2; f = 1 });
+  Alcotest.(check bool) "branch arms are roles, not a set" false
+    (base = h (Cfg.make ~name:"a" ~entry:0 swapped));
+  (* entry sensitivity needs a CFG where another entry is legal *)
+  let ring e =
+    Cfg.make ~name:"ring" ~entry:e
+      [|
+        Block.make ~id:0 ~size:1 (Block.Branch { t = 1; f = 2 });
+        Block.make ~id:1 ~size:1 (Block.Branch { t = 2; f = 0 });
+        Block.make ~id:2 ~size:1 Block.Exit;
+      |]
+  in
+  Alcotest.(check bool) "entry-sensitive" false
+    (h (ring 0) = h (ring 1))
+
 (* ---------------- layout ---------------- *)
 
 let test_layout_identity_valid () =
@@ -234,6 +279,8 @@ let () =
           Alcotest.test_case "stats" `Quick test_cfg_stats;
           Alcotest.test_case "rejects malformed" `Quick test_cfg_rejects_bad;
           Alcotest.test_case "unreachable blocks" `Quick test_cfg_unreachable;
+          Alcotest.test_case "structural hash canonical and sensitive" `Quick
+            test_structural_hash;
         ] );
       ( "layout",
         [

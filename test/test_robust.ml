@@ -144,6 +144,60 @@ let test_budget_semantics () =
   | Errors.Solver_timeout { proc = Some 7; deadline_ms = Some 0; _ } -> ()
   | e -> Alcotest.failf "bad timeout error: %s" (Errors.to_string e)
 
+(* Per-request budget isolation: the serve daemon creates one budget per
+   request, so budgets must never share state — one request's exhausted
+   deadline must not bleed into another in flight. *)
+let test_budget_per_request () =
+  let tight = Budget.create ~deadline_ms:0 () in
+  let roomy = Budget.create ~deadline_ms:60_000 () in
+  Alcotest.(check bool) "tight exhausted" true (Budget.exhausted tight);
+  Alcotest.(check bool) "roomy unaffected" false (Budget.exhausted roomy);
+  Budget.spend tight;
+  Budget.spend tight;
+  Alcotest.(check int) "move counters independent" 0 (Budget.moves roomy);
+  (match Budget.remaining_ms (Budget.unlimited ()) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unlimited budget reported a remaining time");
+  (match Budget.remaining_ms tight with
+  | Some r -> Alcotest.(check bool) "tight has none left" true (r <= 0.)
+  | None -> Alcotest.fail "deadline budget lost its deadline");
+  match Budget.remaining_ms roomy with
+  | Some r ->
+      Alcotest.(check bool) "roomy has most of its time" true
+        (0. < r && r <= 60_000.)
+  | None -> Alcotest.fail "deadline budget lost its deadline"
+
+(* The daemon-side deadline policy helper. *)
+let test_clamp_deadline () =
+  let check what got want = Alcotest.(check bool) what true (got = want) in
+  check "no request, no cap" (Budget.clamp_deadline None) None;
+  check "request passes uncapped" (Budget.clamp_deadline (Some 50)) (Some 50);
+  check "cap fills in a default" (Budget.clamp_deadline ~cap:100 None) (Some 100);
+  check "under the cap untouched"
+    (Budget.clamp_deadline ~cap:100 (Some 50))
+    (Some 50);
+  check "over the cap clamped"
+    (Budget.clamp_deadline ~cap:100 (Some 500))
+    (Some 100);
+  check "negative request is an instant deadline"
+    (Budget.clamp_deadline (Some (-5)))
+    (Some 0)
+
+(* The move counter is atomic: two domains spending into the same budget
+   lose no increments, and budgets spent concurrently stay separate. *)
+let test_budget_atomic_moves () =
+  let shared = Budget.create ~max_moves:max_int () in
+  let mine = Budget.create ~max_moves:max_int () in
+  let spend_n b n = fun () -> for _ = 1 to n do Budget.spend b done in
+  let d1 = Domain.spawn (spend_n shared 50_000) in
+  let d2 = Domain.spawn (spend_n shared 50_000) in
+  (spend_n mine 7_000) ();
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no lost increments" 100_000 (Budget.moves shared);
+  Alcotest.(check int) "concurrent budgets independent" 7_000
+    (Budget.moves mine)
+
 (* Exit codes are distinct and stable: they are part of the CLI contract
    documented in docs/ROBUSTNESS.md. *)
 let test_exit_codes_distinct () =
@@ -215,6 +269,11 @@ let () =
             test_generous_deadline_no_fallback;
           Alcotest.test_case "budget unit semantics" `Quick
             test_budget_semantics;
+          Alcotest.test_case "per-request budgets isolated" `Quick
+            test_budget_per_request;
+          Alcotest.test_case "deadline clamping" `Quick test_clamp_deadline;
+          Alcotest.test_case "move counter atomic across domains" `Quick
+            test_budget_atomic_moves;
         ] );
       ( "contract",
         [

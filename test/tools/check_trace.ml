@@ -112,6 +112,12 @@ let check_metrics path =
     Ba_obs.Metrics.all_gauges;
   let gap = member "hk_gap" doc in
   List.iter (fun k -> ignore (num (member k gap))) [ "count"; "mean"; "max" ];
+  let lat = member "latency_ms" doc in
+  List.iter
+    (fun k ->
+      let v = num (member k lat) in
+      if v < 0. then die "negative latency %S" k)
+    [ "count"; "mean"; "p50"; "p95"; "max" ];
   Printf.printf "metrics ok: %d counters, %d gauges\n"
     (List.length Ba_obs.Metrics.all_counters)
     (List.length Ba_obs.Metrics.all_gauges)
@@ -180,10 +186,44 @@ let check_solver_bench path =
   Printf.printf "solver-bench ok: variant %s, %d entries\n" variant
     (List.length entries)
 
+(* ---------------- serve soak ---------------- *)
+
+let check_serve_soak path =
+  let doc = parse path in
+  if str (member "schema" doc) <> "serve-soak/1" then die "bad schema";
+  let get k =
+    let v = num (member k doc) in
+    if v < 0. || not (Float.is_integer v) then die "%S is not a count" k;
+    int_of_float v
+  in
+  let requests = get "requests" in
+  let ok = get "ok" and errors = get "errors" in
+  let faults = get "faults_injected" and segments = get "segments" in
+  let hits = get "cache_hits" and warm = get "warm_starts" in
+  let repeats = get "repeats_identical" in
+  let uncertified = get "uncertified" and crashes = get "crashes" in
+  if requests = 0 then die "empty soak";
+  (* the hard acceptance gates: only typed errors or certified
+     layouts, and the daemon outlived every segment *)
+  if uncertified <> 0 then die "%d uncertified response(s)" uncertified;
+  if crashes <> 0 then die "%d crash(es)" crashes;
+  if ok + errors > requests then die "more responses than requests";
+  if ok = 0 then die "no successful responses";
+  if errors = 0 || faults = 0 then die "the fault mix did not run";
+  if hits = 0 then die "no cache hits";
+  if warm = 0 then die "no warm starts";
+  if repeats = 0 then die "no bit-identical repeat was verified";
+  if segments = 0 then die "no completed segments";
+  Printf.printf
+    "serve-soak ok: %d requests over %d segments, 0 uncertified, 0 crashes\n"
+    requests segments
+
 let () =
   match Sys.argv with
   | [| _; "--metrics"; path |] -> check_metrics path
   | [| _; "--bench"; path |] -> check_bench path
   | [| _; "--solver-bench"; path |] -> check_solver_bench path
+  | [| _; "--serve-soak"; path |] -> check_serve_soak path
   | [| _; path |] -> check_chrome path
-  | _ -> die "usage: check_trace [--metrics|--bench|--solver-bench] FILE"
+  | _ ->
+      die "usage: check_trace [--metrics|--bench|--solver-bench|--serve-soak] FILE"
