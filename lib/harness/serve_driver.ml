@@ -11,10 +11,21 @@ type t = {
   drain_flag : bool Atomic.t;
   domain : (Server.stop_reason, exn) result Domain.t;
   mutable input_open : bool;
+  mutable output_open : bool;
   mutable stopped : (Server.stop_reason, exn) result option;
 }
 
+(* the real entry points (serve_stdin/serve_socket) ignore SIGPIPE; the
+   driver calls Server.serve directly, so it reproduces that
+   environment itself — otherwise a close_output test would kill the
+   whole test process on the server's next write *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
 let start ?(config = Server.default) () =
+  Lazy.force ignore_sigpipe;
   let req_r, req_w = Unix.pipe ~cloexec:true () in
   let resp_r, resp_w = Unix.pipe ~cloexec:true () in
   let drain_flag = Atomic.make false in
@@ -38,6 +49,7 @@ let start ?(config = Server.default) () =
     drain_flag;
     domain;
     input_open = true;
+    output_open = true;
     stopped = None;
   }
 
@@ -69,12 +81,18 @@ let close_input t =
     try Unix.close t.to_server with Unix.Unix_error (_, _, _) -> ()
   end
 
+let close_output t =
+  if t.output_open then begin
+    t.output_open <- false;
+    try Unix.close t.from_server with Unix.Unix_error (_, _, _) -> ()
+  end
+
 let stop t =
   match t.stopped with
   | Some r -> r
   | None ->
       close_input t;
       let r = Domain.join t.domain in
-      (try Unix.close t.from_server with Unix.Unix_error (_, _, _) -> ());
+      close_output t;
       t.stopped <- Some r;
       r

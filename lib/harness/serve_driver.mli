@@ -32,6 +32,12 @@ val drain : t -> unit
 (** Close the client→server direction (EOF / mid-request disconnect). *)
 val close_input : t -> unit
 
+(** Close the server→client direction: the client stops reading, so
+    the server's next response write fails with EPIPE (SIGPIPE is
+    ignored process-wide by {!start}, matching the real entry points)
+    and the loop must stop with [Client_gone] — not crash. *)
+val close_output : t -> unit
+
 (** Join the server domain (closing the input first if still open) and
     return its stop reason.  [Error] carries an exception that escaped
     the loop — the soak suite asserts this never happens. *)

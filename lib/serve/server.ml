@@ -39,7 +39,12 @@ let default =
     max_deadline_ms = None;
   }
 
-type stop_reason = Clean_eof | Shutdown_verb | Drained | Stream_corrupt
+type stop_reason =
+  | Clean_eof
+  | Shutdown_verb
+  | Drained
+  | Stream_corrupt
+  | Client_gone
 
 (* ---------------- stats ---------------- *)
 
@@ -161,6 +166,10 @@ let handle_align config cache cfg profile options :
 
 (* ---------------- the loop ---------------- *)
 
+(* [Error _] means the client went away before reading (EPIPE — the
+   entry points ignore SIGPIPE — or a closed fd): that ends this
+   conversation, never the server, and no further write is attempted
+   on the dead descriptor. *)
 let respond out_fd response =
   Wire.write_frame out_fd (Wire.response_to_string response)
 
@@ -198,48 +207,54 @@ let serve config ~drain ~in_fd ~out_fd : stop_reason =
         match Json.member "id" doc with Some (Json.Int i) -> Some i | _ -> None)
     | Error _ -> None
   in
-  let handle_frame payload : [ `Continue | `Shutdown ] =
+  (* answer, or end the conversation if the client is gone *)
+  let send response next =
+    match respond out_fd response with Ok () -> next | Error _ -> `Client_gone
+  in
+  let handle_frame payload : [ `Continue | `Shutdown | `Client_gone ] =
     Metrics.set_gauge Metrics.Serve_in_flight 1;
     Metrics.incr Metrics.Serve_requests;
     let t0 = Unix.gettimeofday () in
-    let result =
-      (* the per-request exception barrier: whatever a request does —
-         decode, solve, certify — it answers with a frame, never with
-         a crash *)
-      match Wire.request_of_string ~max_blocks:config.max_blocks payload with
-      | Error e ->
-          Metrics.incr Metrics.Serve_protocol_errors;
-          Metrics.incr Metrics.Serve_errors;
-          respond out_fd
-            (Wire.Error_response { id = salvage_id payload; error = e });
-          `Continue
-      | Ok (Wire.Stats { id }) ->
-          respond out_fd (Wire.Stats_response { id; stats = stats_json cache });
-          `Continue
-      | Ok (Wire.Shutdown { id }) ->
-          respond out_fd (Wire.Shutdown_ack { id });
-          `Shutdown
-      | Ok (Wire.Align { id; cfg; profile; options }) -> (
-          match
-            match
-              Errors.catch ~where:"serve" (fun () ->
-                  handle_align config cache cfg profile options)
-            with
-            | Ok r -> r
-            | Error e -> Error e
-          with
-          | Ok payload ->
-              Metrics.incr Metrics.Serve_ok;
-              respond out_fd (Wire.Ok_layout { id; payload });
+    Fun.protect
+      ~finally:(fun () ->
+        (* observed on every path, including the ones that end the
+           conversation — the gauge must never stick at 1 *)
+        Metrics.observe_latency_ms ((Unix.gettimeofday () -. t0) *. 1000.);
+        Metrics.set_gauge Metrics.Serve_in_flight 0)
+      (fun () ->
+        (* the per-request exception barrier: whatever a request does —
+           decode, solve, certify — it answers with a frame, never with
+           a crash *)
+        match Wire.request_of_string ~max_blocks:config.max_blocks payload with
+        | Error e ->
+            Metrics.incr Metrics.Serve_protocol_errors;
+            Metrics.incr Metrics.Serve_errors;
+            send
+              (Wire.Error_response { id = salvage_id payload; error = e })
               `Continue
-          | Error e ->
-              Metrics.incr Metrics.Serve_errors;
-              respond out_fd (Wire.Error_response { id = Some id; error = e });
-              `Continue)
-    in
-    Metrics.observe_latency_ms ((Unix.gettimeofday () -. t0) *. 1000.);
-    Metrics.set_gauge Metrics.Serve_in_flight 0;
-    result
+        | Ok (Wire.Stats { id }) ->
+            send (Wire.Stats_response { id; stats = stats_json cache }) `Continue
+        | Ok (Wire.Shutdown { id }) ->
+            (* shut down whether or not the client stayed for the ack *)
+            let (_ : (unit, string) result) =
+              respond out_fd (Wire.Shutdown_ack { id })
+            in
+            `Shutdown
+        | Ok (Wire.Align { id; cfg; profile; options }) -> (
+            match
+              match
+                Errors.catch ~where:"serve" (fun () ->
+                    handle_align config cache cfg profile options)
+              with
+              | Ok r -> r
+              | Error e -> Error e
+            with
+            | Ok payload ->
+                Metrics.incr Metrics.Serve_ok;
+                send (Wire.Ok_layout { id; payload }) `Continue
+            | Error e ->
+                Metrics.incr Metrics.Serve_errors;
+                send (Wire.Error_response { id = Some id; error = e }) `Continue))
   in
   let rec loop () =
     Metrics.set_gauge Metrics.Serve_queue_depth (Wire.buffered_frames reader);
@@ -247,34 +262,46 @@ let serve config ~drain ~in_fd ~out_fd : stop_reason =
     | Wire.Frame payload -> (
         match handle_frame payload with
         | `Continue -> loop ()
-        | `Shutdown -> Shutdown_verb)
+        | `Shutdown -> Shutdown_verb
+        | `Client_gone -> Client_gone)
     | Wire.Eof -> Clean_eof
     | Wire.Drained -> Drained
-    | Wire.Oversized len ->
-        protocol_error
-          (Errors.Parse_error
-             {
-               stage = "frame";
-               message =
-                 Printf.sprintf "frame of %d bytes exceeds the limit of %d" len
-                   config.max_frame_bytes;
-             });
-        loop ()
+    | Wire.Oversized len -> (
+        match
+          protocol_error
+            (Errors.Parse_error
+               {
+                 stage = "frame";
+                 message =
+                   Printf.sprintf "frame of %d bytes exceeds the limit of %d"
+                     len config.max_frame_bytes;
+               })
+        with
+        | Ok () -> loop ()
+        | Error _ -> Client_gone)
     | Wire.Truncated ->
-        protocol_error
-          (Errors.Parse_error
-             { stage = "frame"; message = "stream ended mid-frame" });
+        let (_ : (unit, string) result) =
+          protocol_error
+            (Errors.Parse_error
+               { stage = "frame"; message = "stream ended mid-frame" })
+        in
         Stream_corrupt
     | Wire.Bad_header m ->
-        protocol_error (Errors.Parse_error { stage = "frame"; message = m });
+        let (_ : (unit, string) result) =
+          protocol_error (Errors.Parse_error { stage = "frame"; message = m })
+        in
         Stream_corrupt
   in
   let reason =
     match loop () with
     | r -> r
     | exception e ->
-        (* last-ditch barrier; nothing below is expected to raise *)
-        protocol_error (Errors.of_exn ~where:"serve-loop" e);
+        (* last-ditch barrier; nothing below is expected to raise, and
+           the final write cannot raise again — a dead out_fd is an
+           ignored [Error], not a second exception *)
+        let (_ : (unit, string) result) =
+          protocol_error (Errors.of_exn ~where:"serve-loop" e)
+        in
         Stream_corrupt
   in
   Metrics.set_gauge Metrics.Serve_queue_depth 0;
@@ -282,6 +309,18 @@ let serve config ~drain ~in_fd ~out_fd : stop_reason =
   reason
 
 (* ---------------- entry points ---------------- *)
+
+(* With SIGPIPE at its default disposition, a client that disconnects
+   before reading its response would kill the whole daemon at the next
+   write — the opposite of crash-only.  Ignoring it turns that write
+   into an EPIPE that Wire.write_frame reports as [Error], which ends
+   one conversation (Client_gone) and nothing else. *)
+let with_sigpipe_ignored f =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | old -> Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe old) f
+  | exception Invalid_argument _ | exception Sys_error _ ->
+      (* no SIGPIPE on this platform: nothing to ignore *)
+      f ()
 
 let with_sigterm drain f =
   match
@@ -294,9 +333,10 @@ let with_sigterm drain f =
 
 let serve_stdin config =
   let drain = Atomic.make false in
-  with_sigterm drain (fun () ->
-      ignore (serve config ~drain ~in_fd:Unix.stdin ~out_fd:Unix.stdout);
-      0)
+  with_sigpipe_ignored (fun () ->
+      with_sigterm drain (fun () ->
+          ignore (serve config ~drain ~in_fd:Unix.stdin ~out_fd:Unix.stdout);
+          0))
 
 let serve_socket config ~path =
   let drain = Atomic.make false in
@@ -314,6 +354,7 @@ let serve_socket config ~path =
       Fmt.epr "balign serve: %a@." Errors.pp e;
       Errors.exit_code e
   | listen_fd ->
+      with_sigpipe_ignored @@ fun () ->
       with_sigterm drain (fun () ->
           let rec accept_loop () =
             if Atomic.get drain then ()
@@ -331,7 +372,9 @@ let serve_socket config ~path =
                   in
                   match reason with
                   | Shutdown_verb | Drained -> ()
-                  | Clean_eof | Stream_corrupt -> accept_loop ())
+                  (* one client hanging up (Client_gone) does not end
+                     the daemon: serve the next connection *)
+                  | Clean_eof | Stream_corrupt | Client_gone -> accept_loop ())
           in
           accept_loop ();
           (try Unix.close listen_fd with Unix.Unix_error (_, _, _) -> ());

@@ -37,6 +37,10 @@ type stop_reason =
   | Shutdown_verb  (** a client asked for [shutdown] *)
   | Drained  (** SIGTERM: buffered requests answered, then quit *)
   | Stream_corrupt  (** unrecoverable framing; error response sent *)
+  | Client_gone
+      (** a response write failed (EPIPE / closed fd): the client hung
+          up before reading.  Ends this conversation only — in socket
+          mode the daemon accepts the next connection *)
 
 (** [serve config ~drain ~in_fd ~out_fd] runs the loop until a stop
     condition; never raises.  [drain], when flipped to [true] (e.g. by
@@ -49,12 +53,15 @@ val serve :
   out_fd:Unix.file_descr ->
   stop_reason
 
-(** [serve_stdin config] installs a SIGTERM drain handler and serves
-    stdin → stdout; returns the process exit code (0). *)
+(** [serve_stdin config] installs a SIGTERM drain handler, ignores
+    SIGPIPE (a reader that hangs up must not kill the daemon), and
+    serves stdin → stdout; returns the process exit code (0). *)
 val serve_stdin : config -> int
 
 (** [serve_socket config ~path] binds a Unix-domain socket and serves
     accepted connections sequentially until a [shutdown] verb or
     SIGTERM; returns the exit code (0, or 9 when the socket cannot be
-    bound). *)
+    bound).  SIGPIPE is ignored for the daemon's lifetime: a client
+    that disconnects mid-conversation costs its own connection
+    ({!Client_gone}), never the accept loop. *)
 val serve_socket : config -> path:string -> int

@@ -18,26 +18,34 @@ module Json = Ba_obs.Json
 let encode_frame payload =
   Printf.sprintf "%d\n%s\n" (String.length payload) payload
 
+(* A failed write means the peer is gone — EPIPE (the server entry
+   points ignore SIGPIPE so a hung-up client surfaces here instead of
+   killing the process) or a closed descriptor.  Report it; never
+   raise: the caller ends the conversation, nothing else. *)
 let write_frame fd payload =
   let s = encode_frame payload in
   let n = String.length s in
-  let off = ref 0 in
-  while !off < n do
-    match Unix.write_substring fd s !off (n - !off) with
-    | written -> off := !off + written
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done
+  let rec go off =
+    if off >= n then Ok ()
+    else
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  in
+  go 0
 
 type reader = {
   fd : Unix.file_descr;
   max_frame_bytes : int;
-  mutable buf : string;  (** unconsumed bytes *)
+  mutable buf : Bytes.t;  (** grows on demand; valid data is [pos, len) *)
+  mutable pos : int;  (** start of the unconsumed bytes *)
+  mutable len : int;  (** end of the valid bytes (exclusive) *)
   mutable to_skip : int;  (** oversized-payload bytes still to discard *)
-  chunk : Bytes.t;
 }
 
 let reader ?(max_frame_bytes = 4 * 1024 * 1024) fd =
-  { fd; max_frame_bytes; buf = ""; to_skip = 0; chunk = Bytes.create 65536 }
+  { fd; max_frame_bytes; buf = Bytes.create 65536; pos = 0; len = 0; to_skip = 0 }
 
 (* the length header is a short decimal line; anything longer than this
    without a newline cannot be a valid header *)
@@ -51,54 +59,88 @@ type event =
   | Oversized of int
   | Drained
 
-(** What the buffer alone yields, without touching the fd. *)
+(** What the buffer alone yields, without touching the fd.  Byte counts
+    are relative to the start of the unconsumed region. *)
 type parsed =
   | P_frame of string * int  (** payload, total bytes consumed *)
   | P_need_more
   | P_bad of string
   | P_oversized of int * int  (** declared length, header bytes consumed *)
 
-let parse_buffer ~max_frame_bytes buf =
-  match String.index_opt buf '\n' with
+(* first '\n' in [buf.[pos, len)]; the header is at most
+   [max_header_len] bytes so the scan is O(1) per attempt *)
+let index_nl buf pos len =
+  let rec go i =
+    if i >= len then None
+    else if Bytes.get buf i = '\n' then Some i
+    else go (i + 1)
+  in
+  go pos
+
+let parse_buffer ~max_frame_bytes buf pos len =
+  let avail = len - pos in
+  match index_nl buf pos len with
   | None ->
-      if String.length buf > max_header_len then
+      if avail > max_header_len then
         P_bad "length header is not a short decimal line"
       else P_need_more
   | Some nl -> (
-      let header = String.sub buf 0 nl in
+      let header = Bytes.sub_string buf pos (nl - pos) in
       let ok_digits =
         header <> "" && String.for_all (fun c -> c >= '0' && c <= '9') header
         && String.length header <= 18
       in
       match if ok_digits then int_of_string_opt header else None with
       | None -> P_bad (Printf.sprintf "bad length header %S" header)
-      | Some len ->
-          if len > max_frame_bytes then P_oversized (len, nl + 1)
+      | Some flen ->
+          if flen > max_frame_bytes then P_oversized (flen, nl - pos + 1)
           else begin
             (* header + '\n' + payload + '\n' *)
-            let total = nl + 1 + len + 1 in
-            if String.length buf < total then P_need_more
-            else if buf.[total - 1] <> '\n' then
+            let total = nl - pos + 1 + flen + 1 in
+            if avail < total then P_need_more
+            else if Bytes.get buf (pos + total - 1) <> '\n' then
               P_bad "missing frame separator after payload"
-            else P_frame (String.sub buf (nl + 1) len, total)
+            else P_frame (Bytes.sub_string buf (nl + 1) flen, total)
           end)
 
-let consume r n = r.buf <- String.sub r.buf n (String.length r.buf - n)
+let consume r n =
+  r.pos <- r.pos + n;
+  if r.pos = r.len then begin
+    r.pos <- 0;
+    r.len <- 0
+  end
 
 (** One blocking read into the buffer: [`Got], [`Eof], or [`Stopped]
     when [stop] turned true (checked before the read and after every
-    [EINTR]). *)
+    [EINTR]).  Reads land directly in [buf]; when it is full the
+    consumed prefix is compacted away, else it doubles — amortized O(1)
+    per byte, so a max-size frame arriving in small reads costs O(n),
+    not O(n²).  Memory stays bounded: headers are capped at
+    [max_header_len] and over-limit payloads are skipped unbuffered, so
+    the buffer never exceeds ~2× (max_frame_bytes + framing). *)
 let refill ~stop r =
   let rec go () =
     if stop () then `Stopped
-    else
-      match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    else begin
+      if r.len = Bytes.length r.buf then
+        if r.pos > 0 then begin
+          Bytes.blit r.buf r.pos r.buf 0 (r.len - r.pos);
+          r.len <- r.len - r.pos;
+          r.pos <- 0
+        end
+        else begin
+          let bigger = Bytes.create (2 * Bytes.length r.buf) in
+          Bytes.blit r.buf 0 bigger 0 r.len;
+          r.buf <- bigger
+        end;
+      match Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) with
       | 0 -> `Eof
       | n ->
-          r.buf <- r.buf ^ Bytes.sub_string r.chunk 0 n;
+          r.len <- r.len + n;
           `Got
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
       | exception Unix.Unix_error (_, _, _) -> `Eof
+    end
   in
   go ()
 
@@ -106,7 +148,7 @@ let read_frame ?(stop = fun () -> false) r =
   let rec drop_skipped () =
     (* discard the tail of an oversized frame, separator included *)
     if r.to_skip > 0 then begin
-      let have = String.length r.buf in
+      let have = r.len - r.pos in
       if have > 0 then begin
         let n = min have r.to_skip in
         consume r n;
@@ -121,8 +163,9 @@ let read_frame ?(stop = fun () -> false) r =
     end
     else `Done
   in
+  let empty r = r.len = r.pos in
   let rec next () =
-    match parse_buffer ~max_frame_bytes:r.max_frame_bytes r.buf with
+    match parse_buffer ~max_frame_bytes:r.max_frame_bytes r.buf r.pos r.len with
     | P_frame (payload, total) ->
         consume r total;
         Frame payload
@@ -142,25 +185,21 @@ let read_frame ?(stop = fun () -> false) r =
         match refill ~stop r with
         | `Got -> next ()
         | `Stopped -> Drained
-        | `Eof -> if r.buf = "" then Eof else Truncated)
+        | `Eof -> if empty r then Eof else Truncated)
   in
   match drop_skipped () with
   | `Done -> next ()
   | `Stopped -> Drained
-  | `Eof -> if r.buf = "" then Eof else Truncated
+  | `Eof -> if empty r then Eof else Truncated
 
 let buffered_frames r =
-  let rec count buf acc =
-    match parse_buffer ~max_frame_bytes:r.max_frame_bytes buf with
-    | P_frame (_, total) ->
-        count (String.sub buf total (String.length buf - total)) (acc + 1)
+  let rec count pos acc =
+    match parse_buffer ~max_frame_bytes:r.max_frame_bytes r.buf pos r.len with
+    | P_frame (_, total) -> count (pos + total) (acc + 1)
     | _ -> acc
   in
-  let buf =
-    if r.to_skip >= String.length r.buf then ""
-    else String.sub r.buf r.to_skip (String.length r.buf - r.to_skip)
-  in
-  count buf 0
+  let start = r.pos + r.to_skip in
+  if start >= r.len then 0 else count start 0
 
 (* ---------------- requests ---------------- *)
 

@@ -17,8 +17,12 @@ module Errors = Ba_robust.Errors
 (** [encode_frame payload] is the full byte string of one frame. *)
 val encode_frame : string -> string
 
-(** [write_frame fd payload] writes one frame, handling short writes. *)
-val write_frame : Unix.file_descr -> string -> unit
+(** [write_frame fd payload] writes one frame, handling short writes.
+    Never raises: a failed write — [EPIPE] from a client that hung up
+    before reading (the server entry points ignore SIGPIPE), or a
+    closed descriptor — is reported as [Error reason] so the caller can
+    end the conversation instead of the process. *)
+val write_frame : Unix.file_descr -> string -> (unit, string) result
 
 (** Buffered frame reader over a file descriptor. *)
 type reader

@@ -50,6 +50,17 @@ restarts to the supervisor:
   128
   {"id":null,"status":"error","error":{"class":"parse-error","exit_code":3,"message":"frame: bad length header \"not-a-length\""}}
 
+A client that hangs up before reading its response must not kill the
+daemon: SIGPIPE is ignored, the failed write ends that conversation,
+and the exit stays 0.  (The fifo's read end is opened and closed
+immediately, so the daemon's response write hits a reader-less pipe.)
+
+  $ mkfifo gone.fifo
+  $ { frame "$req"; frame "$req"; } | $BALIGN serve > gone.fifo & gpid=$!
+  $ : < gone.fifo
+  $ wait $gpid; echo "exit=$?"
+  exit=0
+
 Warm restart: a second daemon pointed at the same --cache-file answers
 the very first request from the persisted, re-certified cache:
 

@@ -58,6 +58,43 @@ let test_frame_faults () =
   | [ Wire.Oversized 5000; Wire.Frame "ok"; Wire.Eof ] -> ()
   | _ -> Alcotest.fail "oversized frame not skipped cleanly"
 
+(* a pipe caps pre-written bytes at its capacity, so the big-frame test
+   feeds the reader from a file: reads arrive in fd-sized chunks and the
+   internal buffer must grow and compact across many refills *)
+let events_of_file ?max_frame_bytes bytes =
+  let path = Filename.temp_file "balign-wire" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+        (fun () ->
+          let reader = Wire.reader ?max_frame_bytes fd in
+          let rec collect acc =
+            match Wire.read_frame reader with
+            | (Wire.Frame _ | Wire.Oversized _) as e -> collect (e :: acc)
+            | (Wire.Eof | Wire.Truncated | Wire.Bad_header _ | Wire.Drained) as e
+              ->
+                List.rev (e :: acc)
+          in
+          collect []))
+
+let test_frame_large () =
+  (* 1 MiB of bytes, newlines included, split across two frames *)
+  let big = String.init 1_000_000 (fun i -> Char.chr (i mod 251)) in
+  let bytes =
+    Wire.encode_frame big ^ Wire.encode_frame "tail" ^ Wire.encode_frame big
+  in
+  match events_of_file bytes with
+  | [ Wire.Frame a; Wire.Frame "tail"; Wire.Frame b; Wire.Eof ] ->
+      Alcotest.(check bool) "first big frame intact" true (a = big);
+      Alcotest.(check bool) "second big frame intact" true (b = big)
+  | _ -> Alcotest.fail "large frames did not round-trip"
+
 let test_frame_qcheck =
   (* arbitrary bytes, newlines and all: framing must never depend on
      payload content *)
@@ -337,6 +374,16 @@ let test_server_drain () =
   | Some (Error m) -> Alcotest.failf "undecodable response: %s" m);
   stop_clean t "drain" [ Server.Drained ]
 
+let test_server_client_gone () =
+  (* the client hangs up before reading its response: the write fails
+     with EPIPE (SIGPIPE ignored) and must end only this conversation —
+     the loop returns Client_gone instead of the process dying *)
+  let cfg, profile = subject 6 in
+  let t = Driver.start () in
+  Driver.close_output t;
+  Driver.send t (align_req ~id:1 cfg profile);
+  stop_clean t "client gone" [ Server.Client_gone ]
+
 let test_server_poisoned_cache_rejected () =
   let cfg, profile = subject 5 in
   let path = Filename.temp_file "balign-poison" ".json" in
@@ -370,6 +417,8 @@ let () =
         [
           Alcotest.test_case "frame round trip" `Quick test_frame_round_trip;
           Alcotest.test_case "frame faults" `Quick test_frame_faults;
+          Alcotest.test_case "large frames across many reads" `Quick
+            test_frame_large;
           QCheck_alcotest.to_alcotest test_frame_qcheck;
           QCheck_alcotest.to_alcotest test_request_qcheck;
           Alcotest.test_case "decode errors are typed" `Quick
@@ -397,6 +446,8 @@ let () =
           Alcotest.test_case "shutdown verb" `Quick test_server_shutdown_verb;
           Alcotest.test_case "drain stops cleanly, never mid-request" `Quick
             test_server_drain;
+          Alcotest.test_case "client hangs up before reading" `Quick
+            test_server_client_gone;
           Alcotest.test_case "poisoned cache entry rejected" `Quick
             test_server_poisoned_cache_rejected;
         ] );

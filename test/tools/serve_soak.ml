@@ -156,6 +156,7 @@ let finish_segment t ~expected =
         | Server.Shutdown_verb -> "shutdown"
         | Server.Drained -> "drained"
         | Server.Stream_corrupt -> "corrupt"
+        | Server.Client_gone -> "client-gone"
       in
       if not (List.mem reason expected) then
         die "segment stopped with %s" (names reason)
