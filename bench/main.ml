@@ -125,7 +125,7 @@ let () =
     Fmt.pf ppf "%s@." (String.make 78 '-');
     Fmt.pf ppf "%-9s %12s %8s %8s   (penalties normalized to BTFNT-original)@."
       "bench.ds" "orig-btfnt" "greedy" "tsp";
-    let p = Ba_machine.Penalties.alpha_21164 in
+    let p = Ba_machine.Model.alpha21164 in
     let gs = ref [] and ts = ref [] in
     List.iter
       (fun w ->
@@ -139,7 +139,7 @@ let () =
             in
             let eval m =
               let a = Ba_align.Driver.align m p cfgs ~train:prof in
-              Ba_align.Btfnt.program_penalty p cfgs
+              Ba_align.Btfnt.program_penalty p.Ba_machine.Model.penalties cfgs
                 ~realized:a.Ba_align.Driver.realized ~test:prof
             in
             let o = eval Ba_align.Driver.Original in
@@ -243,7 +243,7 @@ let () =
     let corpus =
       Ba_harness.Synthetic.corpus ~sizes:[ 16; 32; 48 ] ~per_size:4 ()
     in
-    let p = Ba_machine.Penalties.alpha_21164 in
+    let p = Ba_machine.Model.alpha21164 in
     let instances =
       List.map
         (fun { Ba_harness.Synthetic.g; prof; name } ->
@@ -314,7 +314,7 @@ let () =
     Fmt.pf ppf "Bechamel micro-benchmarks (ns/run of each pipeline stage)@.";
     Fmt.pf ppf "%s@." (String.make 78 '-');
     let open Bechamel in
-    let p = Ba_machine.Penalties.alpha_21164 in
+    let p = Ba_machine.Model.alpha21164 in
     (* a mid-sized fixed instance for stage benchmarks *)
     let inst =
       List.nth (Ba_harness.Synthetic.corpus ~sizes:[ 32 ] ~per_size:1 ()) 0

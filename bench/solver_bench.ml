@@ -61,7 +61,7 @@ let run_size ~seed ~kicks ~k n =
   let rng = Random.State.make [| seed; n |] in
   let g = Synthetic.cfg rng ~n in
   let prof = Synthetic.profile rng g ~invocations:100 ~max_steps:(8 * n) in
-  let p = Ba_machine.Penalties.alpha_21164 in
+  let p = Ba_machine.Model.alpha21164 in
   let inst, build_s, build_words =
     measured (fun () -> Reduction.build p g ~profile:prof)
   in

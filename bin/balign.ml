@@ -22,7 +22,6 @@ open Cmdliner
 module Errors = Ba_robust.Errors
 module Executor = Ba_engine.Executor
 
-let penalties = Ba_machine.Penalties.alpha_21164
 let ( let* ) r f = Result.bind r f
 
 (* ---------------- shared helpers ---------------- *)
@@ -160,6 +159,29 @@ let with_obs ~trace ~metrics (f : unit -> (unit, Errors.t) result) :
   Option.iter (fun spec -> Ba_obs.Sink.emit (Ba_obs.Sink.of_spec spec)) metrics;
   result
 
+let model_conv : Ba_machine.Model.t Arg.conv =
+  let parse s =
+    match Ba_machine.Model.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown model %s (known: %s)" s
+               (String.concat ", " Ba_machine.Model.known)))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Ba_machine.Model.to_string m))
+
+let model_opt =
+  Arg.(value & opt model_conv Ba_machine.Model.default
+       & info [ "model" ] ~docv:"MODEL"
+           ~doc:"cost model the whole pipeline runs under: \
+                 $(b,alpha21164) (the paper's Alpha 21164 penalties, \
+                 default), $(b,deep-pipeline) (10-cycle mispredicts), \
+                 $(b,free-fetch) (fetch-bandwidth-free front end), or \
+                 $(b,ext-tsp)[:$(i,WINDOW)] (the Ext-TSP code-locality \
+                 objective with a forward jump window of $(i,WINDOW) \
+                 bytes, default 1024)")
+
 let fallback_opt =
   Arg.(value
        & opt (enum [ ("chain", true); ("none", false) ]) true
@@ -184,7 +206,7 @@ let exits =
       Cmd.Exit.info 10 ~doc:"internal error";
     ]
 
-let cmd name ~doc term = Cmd.v (Cmd.info name ~doc ~exits) term
+let cmd name ?man ~doc term = Cmd.v (Cmd.info name ?man ~doc ~exits) term
 
 (* ---------------- compile ---------------- *)
 
@@ -310,6 +332,7 @@ let method_conv : Ba_align.Driver.method_ Arg.conv =
     | "greedy" -> Ok Ba_align.Driver.Greedy
     | "calder" -> Ok Ba_align.Driver.Calder
     | "calder-exhaustive" -> Ok Ba_align.Driver.Calder_exhaustive
+    | "btfnt" -> Ok Ba_align.Driver.Btfnt
     | "tsp" -> Ok (Ba_align.Driver.Tsp Ba_align.Tsp_align.default)
     | s -> Error (`Msg (Printf.sprintf "unknown method %s" s))
   in
@@ -318,10 +341,10 @@ let method_conv : Ba_align.Driver.method_ Arg.conv =
 let method_opt =
   Arg.(value & opt method_conv (Ba_align.Driver.Tsp Ba_align.Tsp_align.default)
        & info [ "method" ] ~docv:"METHOD"
-           ~doc:"original | greedy | calder | calder-exhaustive | tsp")
+           ~doc:"original | greedy | calder | calder-exhaustive | btfnt | tsp")
 
 let align_cmd =
-  let run file input input_file m deadline_ms fallback jobs certify =
+  let run file input input_file m model deadline_ms fallback jobs certify =
     let executor = Executor.of_jobs jobs in
     let* c = load_program file in
     let* inp = load_input ~input ~input_file in
@@ -329,7 +352,7 @@ let align_cmd =
     let cfgs = c.Ba_minic.Compile.cfgs in
     let* report =
       Ba_align.Driver.align_checked ~executor ?deadline_ms ~fallback m
-        penalties cfgs ~train:prof
+        model cfgs ~train:prof
     in
     let aligned = report.Ba_align.Driver.aligned in
     List.iter
@@ -337,11 +360,11 @@ let align_cmd =
       report.Ba_align.Driver.fallbacks;
     let* orig =
       Ba_align.Driver.align_checked ~executor Ba_align.Driver.Original
-        penalties cfgs ~train:prof
+        model cfgs ~train:prof
     in
     let orig = orig.Ba_align.Driver.aligned in
-    let before = Ba_align.Driver.analytic_penalty penalties orig ~test:prof in
-    let after = Ba_align.Driver.analytic_penalty penalties aligned ~test:prof in
+    let before = Ba_align.Driver.analytic_penalty model orig ~test:prof in
+    let after = Ba_align.Driver.analytic_penalty model aligned ~test:prof in
     Array.iteri
       (fun fid order ->
         Fmt.pr "%s: %a@." c.Ba_minic.Compile.names.(fid)
@@ -351,8 +374,8 @@ let align_cmd =
     Fmt.pr "control penalty: %d -> %d cycles (%s)@." before after
       (Ba_align.Driver.method_name m);
     let run_prog sink = ignore (Ba_minic.Compile.run c ~input:inp ~sink) in
-    let sim_o = Ba_align.Driver.simulate penalties orig ~run:run_prog in
-    let sim_a = Ba_align.Driver.simulate penalties aligned ~run:run_prog in
+    let sim_o = Ba_align.Driver.simulate model orig ~run:run_prog in
+    let sim_a = Ba_align.Driver.simulate model aligned ~run:run_prog in
     Fmt.pr "simulated cycles: %d -> %d (icache misses %d -> %d)@."
       sim_o.Ba_machine.Cycles.cycles sim_a.Ba_machine.Cycles.cycles
       sim_o.Ba_machine.Cycles.icache_misses sim_a.Ba_machine.Cycles.icache_misses;
@@ -364,7 +387,7 @@ let align_cmd =
         match
           Ba_check.Certify.program
             ~hk:(fun _ -> Ba_check.Certify.Compute Ba_tsp.Held_karp.default)
-            penalties cfgs ~train:prof
+            model cfgs ~train:prof
             ~orders:aligned.Ba_align.Driver.orders
         with
         | Error f ->
@@ -393,18 +416,31 @@ let align_cmd =
                    Held-Karp bound) and write the $(b,balign-cert-1) JSON \
                    certificate to $(docv) ($(b,-) for stdout)")
   in
-  cmd "align" ~doc:"align a program and report penalty and cycle changes"
-    Term.(const (fun file i f m d fb j cert trace metrics ->
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "Align under the default Alpha 21164 penalties:";
+      `Pre "  balign align prog.mc --input 40";
+      `P "The same layout problem under a 10-cycle-mispredict pipeline:";
+      `Pre "  balign align prog.mc --input 40 --model deep-pipeline";
+      `P "Optimize code locality instead of branch penalties (Ext-TSP \
+          with a 512-byte forward window):";
+      `Pre "  balign align prog.mc --input 40 --model ext-tsp:512";
+    ]
+  in
+  cmd "align" ~man ~doc:"align a program and report penalty and cycle changes"
+    Term.(const (fun file i f m mo d fb j cert trace metrics ->
               run_term (fun () ->
                   with_obs ~trace ~metrics (fun () ->
-                      run file i f m d fb j cert)))
-          $ file_arg $ input_opt $ input_file_opt $ method_opt $ deadline_opt
-          $ fallback_opt $ jobs_opt $ certify_opt $ trace_opt $ metrics_opt)
+                      run file i f m mo d fb j cert)))
+          $ file_arg $ input_opt $ input_file_opt $ method_opt $ model_opt
+          $ deadline_opt $ fallback_opt $ jobs_opt $ certify_opt $ trace_opt
+          $ metrics_opt)
 
 (* ---------------- evaluate (cross-validation) ---------------- *)
 
 let evaluate_cmd =
-  let run file train_input test_input =
+  let run file train_input test_input model =
     let* c = load_program file in
     let* train_inp = parse_input train_input in
     let* test_inp = parse_input test_input in
@@ -414,16 +450,17 @@ let evaluate_cmd =
     Fmt.pr "%-18s %14s %14s@." "method" "train=test" "cross-trained";
     List.iter
       (fun m ->
-        let self_ = Ba_align.Driver.align m penalties cfgs ~train:test in
-        let cross = Ba_align.Driver.align m penalties cfgs ~train in
+        let self_ = Ba_align.Driver.align m model cfgs ~train:test in
+        let cross = Ba_align.Driver.align m model cfgs ~train in
         Fmt.pr "%-18s %14d %14d@."
           (Ba_align.Driver.method_name m)
-          (Ba_align.Driver.analytic_penalty penalties self_ ~test)
-          (Ba_align.Driver.analytic_penalty penalties cross ~test))
+          (Ba_align.Driver.analytic_penalty model self_ ~test)
+          (Ba_align.Driver.analytic_penalty model cross ~test))
       [
         Ba_align.Driver.Original;
         Ba_align.Driver.Greedy;
         Ba_align.Driver.Calder;
+        Ba_align.Driver.Btfnt;
         Ba_align.Driver.Tsp Ba_align.Tsp_align.default;
       ];
     Ok ()
@@ -438,13 +475,13 @@ let evaluate_cmd =
   in
   cmd "evaluate"
     ~doc:"cross-validate: penalties when training and testing inputs differ"
-    Term.(const (fun file tr te -> run_term (fun () -> run file tr te))
-          $ file_arg $ train_arg $ test_arg)
+    Term.(const (fun file tr te mo -> run_term (fun () -> run file tr te mo))
+          $ file_arg $ train_arg $ test_arg $ model_opt)
 
 (* ---------------- bounds ---------------- *)
 
 let bounds_cmd =
-  let run file input input_file =
+  let run file input input_file model =
     let* c = load_program file in
     let* inp = load_input ~input ~input_file in
     let prof = Ba_minic.Compile.profile c ~input:inp in
@@ -453,14 +490,14 @@ let bounds_cmd =
     Array.iteri
       (fun fid g ->
         let p = Ba_profile.Profile.proc prof fid in
-        let r = Ba_align.Tsp_align.align penalties g ~profile:p in
+        let r = Ba_align.Tsp_align.align model g ~profile:p in
         let hk =
-          Ba_align.Bounds.held_karp penalties g ~profile:p
+          Ba_align.Bounds.held_karp model g ~profile:p
             ~upper:r.Ba_align.Tsp_align.cost
         in
-        let ap = Ba_align.Bounds.ap penalties g ~profile:p in
+        let ap = Ba_align.Bounds.ap model g ~profile:p in
         let ex =
-          match Ba_align.Bounds.exact penalties g ~profile:p with
+          match Ba_align.Bounds.exact model g ~profile:p with
           | Some v -> string_of_int v
           | None -> "-"
         in
@@ -470,13 +507,13 @@ let bounds_cmd =
     Ok ()
   in
   cmd "bounds" ~doc:"per-procedure lower bounds vs the TSP aligner"
-    Term.(const (fun file i f -> run_term (fun () -> run file i f))
-          $ file_arg $ input_opt $ input_file_opt)
+    Term.(const (fun file i f mo -> run_term (fun () -> run file i f mo))
+          $ file_arg $ input_opt $ input_file_opt $ model_opt)
 
 (* ---------------- bench ---------------- *)
 
 let bench_cmd =
-  let run name deadline_ms fallback jobs json =
+  let run name model deadline_ms fallback jobs json =
     let find name =
       List.find_opt
         (fun w -> w.Ba_workloads.Workload.name = name)
@@ -495,7 +532,8 @@ let bench_cmd =
         let config =
           {
             base with
-            Ba_harness.Runner.tsp =
+            Ba_harness.Runner.model;
+            tsp =
               {
                 base.Ba_harness.Runner.tsp with
                 Ba_align.Tsp_align.solver =
@@ -514,7 +552,7 @@ let bench_cmd =
           List.map (fun o -> o.Ba_engine.Task.value) outcomes
         in
         Option.iter
-          (fun path -> Ba_harness.Bench_json.write path ~jobs outcomes)
+          (fun path -> Ba_harness.Bench_json.write ~model path ~jobs outcomes)
           json;
         let timeouts =
           List.fold_left
@@ -557,22 +595,32 @@ let bench_cmd =
              ~doc:"write the machine-readable bench trajectory \
                    ($(b,{commit, date, rows})) to $(docv)")
   in
-  cmd "bench" ~doc:"run the paper's experiment for one built-in benchmark"
-    Term.(const (fun n d fb j json trace metrics ->
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "The paper's experiment, with the machine-readable trajectory:";
+      `Pre "  balign bench com --json out.json";
+      `P "The same rows measured under the Ext-TSP locality objective:";
+      `Pre "  balign bench com --model ext-tsp --json out.json";
+    ]
+  in
+  cmd "bench" ~man
+    ~doc:"run the paper's experiment for one built-in benchmark"
+    Term.(const (fun n mo d fb j json trace metrics ->
               run_term (fun () ->
-                  with_obs ~trace ~metrics (fun () -> run n d fb j json)))
-          $ bench_name $ deadline_opt $ fallback_opt $ jobs_opt $ json_opt
-          $ trace_opt $ metrics_opt)
+                  with_obs ~trace ~metrics (fun () -> run n mo d fb j json)))
+          $ bench_name $ model_opt $ deadline_opt $ fallback_opt $ jobs_opt
+          $ json_opt $ trace_opt $ metrics_opt)
 
 (* ---------------- serve ---------------- *)
 
 let serve_cmd =
-  let run socket jobs cache_size cache_file max_frame_bytes max_blocks
+  let run socket model jobs cache_size cache_file max_frame_bytes max_blocks
       default_deadline_ms max_deadline_ms =
     let config =
       {
-        Ba_serve.Server.default with
         Ba_serve.Server.executor = Executor.of_jobs jobs;
+        model;
         cache_capacity = cache_size;
         cache_file;
         max_frame_bytes;
@@ -636,9 +684,9 @@ let serve_cmd =
           requests on stdin (or --socket), certified layouts or typed \
           errors out; crash-only — requests can never take the server down \
           (see docs/SERVING.md)"
-    Term.(const (fun s j cs cf mf mb dd md ->
-              run_term (fun () -> run s j cs cf mf mb dd md))
-          $ socket_opt $ jobs_opt $ cache_size_opt $ cache_file_opt
+    Term.(const (fun s mo j cs cf mf mb dd md ->
+              run_term (fun () -> run s mo j cs cf mf mb dd md))
+          $ socket_opt $ model_opt $ jobs_opt $ cache_size_opt $ cache_file_opt
           $ max_frame_opt $ max_blocks_opt $ default_deadline_opt
           $ max_deadline_opt)
 
@@ -648,7 +696,7 @@ let report_cmd =
   let known =
     [ "table1"; "table2"; "table3"; "table4"; "fig2"; "fig3"; "summary" ]
   in
-  let run sections jobs =
+  let run sections jobs model =
     let* () =
       match List.filter (fun s -> not (List.mem s known)) sections with
       | [] -> Ok ()
@@ -660,12 +708,15 @@ let report_cmd =
                   (String.concat ", " known)))
     in
     let rows =
-      Ba_harness.Runner.run_all ~executor:(Executor.of_jobs jobs) ()
+      Ba_harness.Runner.run_all
+        ~config:{ Ba_harness.Runner.default with Ba_harness.Runner.model }
+        ~executor:(Executor.of_jobs jobs) ()
     in
     let want s = sections = [] || List.mem s sections in
     if want "table1" then Ba_harness.Tables.table1 Fmt.stdout rows;
     if want "table2" then Ba_harness.Tables.table2 Fmt.stdout rows;
-    if want "table3" then Ba_harness.Tables.table3 Fmt.stdout penalties;
+    if want "table3" then
+      Ba_harness.Tables.table3 Fmt.stdout model.Ba_machine.Model.penalties;
     if want "table4" then Ba_harness.Tables.table4 Fmt.stdout rows;
     if want "fig2" then begin
       Ba_harness.Tables.fig2_penalties Fmt.stdout rows;
@@ -683,9 +734,10 @@ let report_cmd =
            ~doc:"table1 table2 table3 table4 fig2 fig3 summary (default: all)")
   in
   cmd "report" ~doc:"print the paper's tables and figures"
-    Term.(const (fun s j trace metrics ->
-              run_term (fun () -> with_obs ~trace ~metrics (fun () -> run s j)))
-          $ sections $ jobs_opt $ trace_opt $ metrics_opt)
+    Term.(const (fun s j mo trace metrics ->
+              run_term (fun () ->
+                  with_obs ~trace ~metrics (fun () -> run s j mo)))
+          $ sections $ jobs_opt $ model_opt $ trace_opt $ metrics_opt)
 
 (* ---------------- main ---------------- *)
 

@@ -49,7 +49,7 @@ let make_input ~n ~seed =
       if i = 0 then n else Ba_workloads.Lcg.text_byte g)
 
 let () =
-  let p = Ba_machine.Penalties.alpha_21164 in
+  let p = Ba_machine.Model.alpha21164 in
   (* 1. compile *)
   let compiled = Ba_minic.Compile.compile_exn source in
   Fmt.pr "compiled %d functions:@." (Array.length compiled.Ba_minic.Compile.cfgs);

@@ -12,7 +12,7 @@
 module W = Ba_workloads.Workload
 
 let () =
-  let p = Ba_machine.Penalties.alpha_21164 in
+  let p = Ba_machine.Model.alpha21164 in
   let w = W.xli in
   let compiled = W.compile w in
   let ne, q7 = w.W.datasets in

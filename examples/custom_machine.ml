@@ -20,9 +20,9 @@ let () =
   let prof = Ba_profile.Profile.proc profile 1 in
   let machines =
     [
-      ("alpha 21164 (paper)", Penalties.alpha_21164);
-      ("deep pipeline (2x mispredict)", Penalties.deep_pipeline);
-      ("free fetch (jumps only)", Penalties.free_fetch);
+      ("alpha 21164 (paper)", Ba_machine.Model.alpha21164);
+      ("deep pipeline (2x mispredict)", Ba_machine.Model.deep_pipeline);
+      ("free fetch (jumps only)", Ba_machine.Model.free_fetch);
     ]
   in
   Fmt.pr "aligning %s/main (%d blocks) for three machine models:@.@."
@@ -51,7 +51,7 @@ let () =
   (* cross-machine cost: how much does an alpha-optimal layout lose on
      the deep pipeline? *)
   let alpha_order = List.assoc "alpha 21164 (paper)" tsp_orders in
-  let deep = Penalties.deep_pipeline in
+  let deep = Ba_machine.Model.deep_pipeline in
   let deep_cost order =
     Evaluate.proc_penalty deep g ~order ~train:prof ~test:prof
   in

@@ -16,7 +16,7 @@ module W = Ba_workloads.Workload
 module Driver = Ba_align.Driver
 
 let () =
-  let p = Ba_machine.Penalties.alpha_21164 in
+  let p = Ba_machine.Model.alpha21164 in
   let w = W.eqn in
   let ds = fst w.W.datasets in
   let compiled = W.compile w in
@@ -51,7 +51,8 @@ let () =
       List.iter
         (fun (_, config) ->
           let counters, sink =
-            Ba_machine.Dynamic.make_sink ~config p ~realized:a.Driver.realized
+            Ba_machine.Dynamic.make_sink ~config p.Ba_machine.Model.penalties
+              ~realized:a.Driver.realized
               ~addr:a.Driver.addr
           in
           run sink;

@@ -42,7 +42,7 @@ let () =
         (4, 1, 990);
       ]
   in
-  let p = Ba_machine.Penalties.alpha_21164 in
+  let p = Ba_machine.Model.alpha21164 in
   let penalty order =
     Evaluate.proc_penalty p g ~order ~train:profile ~test:profile
   in

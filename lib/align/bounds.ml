@@ -11,13 +11,13 @@ open Ba_cfg
 open Ba_tsp
 module Profile = Ba_profile.Profile
 
-(** [held_karp ?config p cfg ~profile ~upper] is a valid lower bound on
+(** [held_karp ?config m cfg ~profile ~upper] is a valid lower bound on
     the control penalty of {e any} layout of [cfg] under [profile].
     [upper] is the penalty of any known layout (step scaling only).
     Clamped at 0 since penalties are non-negative. *)
-let held_karp ?config (p : Ba_machine.Penalties.t) (cfg : Cfg.t)
+let held_karp ?config (m : Ba_machine.Model.t) (cfg : Cfg.t)
     ~(profile : Profile.proc) ~(upper : int) : int =
-  let inst = Reduction.build p cfg ~profile in
+  let inst = Reduction.build m cfg ~profile in
   if inst.Reduction.dtsp.Dtsp.n <= Exact.max_n then
     (* small instances: the exact optimum is the perfect bound *)
     snd (Exact.solve inst.Reduction.dtsp)
@@ -26,16 +26,16 @@ let held_karp ?config (p : Ba_machine.Penalties.t) (cfg : Cfg.t)
 
 (** [ap p cfg ~profile] is the assignment-problem lower bound of the
     procedure's DTSP instance (appendix experiment). *)
-let ap (p : Ba_machine.Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) : int
+let ap (m : Ba_machine.Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) : int
     =
-  let inst = Reduction.build p cfg ~profile in
+  let inst = Reduction.build m cfg ~profile in
   max 0 (Hungarian.ap_bound inst.Reduction.dtsp)
 
 (** [exact p cfg ~profile] is the proven minimum control penalty, when
     the instance is small enough for the DP ([None] otherwise). *)
-let exact (p : Ba_machine.Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) :
+let exact (m : Ba_machine.Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) :
     int option =
-  let inst = Reduction.build p cfg ~profile in
+  let inst = Reduction.build m cfg ~profile in
   if inst.Reduction.dtsp.Dtsp.n <= Exact.max_n then
     Some (snd (Exact.solve inst.Reduction.dtsp))
   else None
@@ -43,14 +43,14 @@ let exact (p : Ba_machine.Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) :
 (** [program_held_karp p cfgs ~profile ~uppers] sums per-procedure
     Held–Karp bounds; [uppers.(fid)] is a known layout penalty of
     procedure [fid]. *)
-let program_held_karp ?config (p : Ba_machine.Penalties.t) (cfgs : Cfg.t array)
+let program_held_karp ?config (m : Ba_machine.Model.t) (cfgs : Cfg.t array)
     ~(profile : Ba_profile.Profile.t) ~(uppers : int array) : int =
   let total = ref 0 in
   Array.iteri
     (fun fid cfg ->
       total :=
         !total
-        + held_karp ?config p cfg ~profile:(Profile.proc profile fid)
+        + held_karp ?config m cfg ~profile:(Profile.proc profile fid)
             ~upper:uppers.(fid))
     cfgs;
   !total

@@ -9,24 +9,24 @@ module Profile = Ba_profile.Profile
     at 0).  [upper] is the penalty of any known layout. *)
 val held_karp :
   ?config:Ba_tsp.Held_karp.config ->
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t ->
   profile:Profile.proc ->
   upper:int ->
   int
 
 (** Assignment-problem lower bound (appendix experiment). *)
-val ap : Ba_machine.Penalties.t -> Cfg.t -> profile:Profile.proc -> int
+val ap : Ba_machine.Model.t -> Cfg.t -> profile:Profile.proc -> int
 
 (** Proven minimum penalty, when the instance is small enough. *)
 val exact :
-  Ba_machine.Penalties.t -> Cfg.t -> profile:Profile.proc -> int option
+  Ba_machine.Model.t -> Cfg.t -> profile:Profile.proc -> int option
 
 (** Per-procedure Held–Karp bounds summed over a program;
     [uppers.(fid)] is a known layout penalty of procedure [fid]. *)
 val program_held_karp :
   ?config:Ba_tsp.Held_karp.config ->
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t array ->
   profile:Ba_profile.Profile.t ->
   uppers:int array ->

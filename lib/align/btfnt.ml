@@ -32,6 +32,43 @@ let prediction ~(positions : int array) ~(src : int) (rt : Layout.rterm) :
       if positions.(taken) <= positions.(src) then Some taken else Some fall
   | _ -> None
 
+(** [align m cfg ~profile] is a chain-greedy aligner for BTFNT-class
+    machines.  The DTSP reduction cannot target them (the prediction
+    depends on the layout), but a greedy chainer can: edges are linked
+    by the savings of making [dst] the fall-through successor of [src]
+    under the static not-taken default ([predicted:None] resolves
+    conditionals to their fall arm) — exactly the prediction an
+    adjacent, forward target enjoys under BTFNT.  Deterministic. *)
+let align (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) : Layout.order =
+  let p = m.Model.penalties in
+  let savings src dst =
+    let term = (Cfg.block cfg src).Block.term in
+    let freqs = Profile.block_freqs profile src in
+    Cost.edge_cost p term ~succ:None ~predicted:None ~freqs
+    - Cost.edge_cost p term ~succ:(Some dst) ~predicted:None ~freqs
+  in
+  let edges = ref [] in
+  Array.iteri
+    (fun src row ->
+      Array.iter
+        (fun (dst, n) ->
+          if src <> dst then edges := (savings src dst, n, src, dst) :: !edges)
+        row)
+    profile.Profile.freqs;
+  let edges =
+    List.sort
+      (fun (s1, n1, a1, b1) (s2, n2, a2, b2) ->
+        if s1 <> s2 then compare s2 s1
+        else if n1 <> n2 then compare n2 n1
+        else compare (a1, b1) (a2, b2))
+      !edges
+  in
+  let t = Chain.create cfg in
+  List.iter
+    (fun (s, _, src, dst) -> if s > 0 then ignore (Chain.try_link t src dst))
+    edges;
+  Chain.concat_chains t ~weight:(Chain.profile_weight profile)
+
 (** [proc_penalty p cfg ~realized ~test] is the total control penalty of
     the realized layout on the [test] profile under BTFNT hardware. *)
 let proc_penalty (p : Penalties.t) (cfg : Cfg.t)

@@ -12,6 +12,11 @@ module Profile = Ba_profile.Profile
     terminators the hardware cannot predict). *)
 val prediction : positions:int array -> src:int -> Layout.rterm -> int option
 
+(** Chain-greedy aligner for BTFNT-class machines: links edges by the
+    savings of the fall-through adjacency under the static not-taken
+    default, on the model's physical penalties.  Deterministic. *)
+val align : Model.t -> Cfg.t -> profile:Profile.proc -> Layout.order
+
 (** Total control penalty of a realized layout on the [test] profile
     under BTFNT hardware (indirect branches always mispredict). *)
 val proc_penalty :

@@ -16,26 +16,26 @@ open Ba_cfg
 open Ba_machine
 module Profile = Ba_profile.Profile
 
-(** [savings p cfg ~profile src dst] is the modelled benefit of placing
+(** [savings m cfg ~profile src dst] is the modelled benefit of placing
     [dst] right after [src]: penalty at [src] with an unrelated layout
     successor minus penalty with [dst] as successor. *)
-let savings (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) src dst =
+let savings (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) src dst =
   let term = (Cfg.block cfg src).Block.term in
   let predicted = Profile.predicted profile src in
   let freqs = Profile.block_freqs profile src in
-  Cost.edge_cost p term ~succ:None ~predicted ~freqs
-  - Cost.edge_cost p term ~succ:(Some dst) ~predicted ~freqs
+  Model.edge_cost m term ~succ:None ~predicted ~freqs
+  - Model.edge_cost m term ~succ:(Some dst) ~predicted ~freqs
 
 (** Profiled edges sorted by decreasing modelled savings (ties by
     frequency, then (src, dst)). *)
-let edges_by_savings (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) =
+let edges_by_savings (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) =
   let edges = ref [] in
   Array.iteri
     (fun src row ->
       Array.iter
         (fun (dst, n) ->
           if src <> dst then
-            edges := (savings p cfg ~profile src dst, n, src, dst) :: !edges)
+            edges := (savings m cfg ~profile src dst, n, src, dst) :: !edges)
         row)
     profile.Profile.freqs;
   List.sort
@@ -45,13 +45,13 @@ let edges_by_savings (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) =
       else compare (a1, b1) (a2, b2))
     !edges
 
-(** [align p cfg ~profile] is the cost-model greedy layout. *)
-let align (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) :
+(** [align m cfg ~profile] is the cost-model greedy layout. *)
+let align (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) :
     Layout.order =
   let t = Chain.create cfg in
   List.iter
     (fun (s, _, src, dst) -> if s > 0 then ignore (Chain.try_link t src dst))
-    (edges_by_savings p cfg ~profile);
+    (edges_by_savings m cfg ~profile);
   Chain.concat_chains t ~weight:(Chain.profile_weight profile)
 
 (* ------------------------------------------------------------------ *)
@@ -64,15 +64,15 @@ let rec permutations = function
           List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
         l
 
-(** [align_exhaustive ?top_edges ?max_blocks p cfg ~profile] augments
+(** [align_exhaustive ?top_edges ?max_blocks m cfg ~profile] augments
     {!align} with the bounded exhaustive search: take the blocks touched
     by the [top_edges] highest-savings edges (skipping the search if more
     than [max_blocks] are touched), try every permutation of them as a
     forced initial chain, complete each greedily, and keep the layout
     with the smallest modelled penalty. *)
-let align_exhaustive ?(top_edges = 15) ?(max_blocks = 6) (p : Penalties.t)
+let align_exhaustive ?(top_edges = 15) ?(max_blocks = 6) (m : Model.t)
     (cfg : Cfg.t) ~(profile : Profile.proc) : Layout.order =
-  let edges = edges_by_savings p cfg ~profile in
+  let edges = edges_by_savings m cfg ~profile in
   let rec take n = function
     | [] -> []
     | _ when n = 0 -> []
@@ -82,7 +82,7 @@ let align_exhaustive ?(top_edges = 15) ?(max_blocks = 6) (p : Penalties.t)
   let touched =
     List.concat_map (fun (_, _, a, b) -> [ a; b ]) hot |> List.sort_uniq compare
   in
-  if List.length touched > max_blocks || touched = [] then align p cfg ~profile
+  if List.length touched > max_blocks || touched = [] then align m cfg ~profile
   else begin
     let evaluate order =
       let predicted =
@@ -95,7 +95,7 @@ let align_exhaustive ?(top_edges = 15) ?(max_blocks = 6) (p : Penalties.t)
           let l = b.Block.id in
           total :=
             !total
-            + Cost.edge_cost p b.Block.term ~succ:lsucc.(l)
+            + Model.edge_cost m b.Block.term ~succ:lsucc.(l)
                 ~predicted:predicted.(l)
                 ~freqs:(Profile.block_freqs profile l))
         cfg;
@@ -123,5 +123,5 @@ let align_exhaustive ?(top_edges = 15) ?(max_blocks = 6) (p : Penalties.t)
         | Some (bc, _) when bc <= cost -> ()
         | _ -> best := Some (cost, order))
       (permutations touched);
-    match !best with Some (_, o) -> o | None -> align p cfg ~profile
+    match !best with Some (_, o) -> o | None -> align m cfg ~profile
   end

@@ -9,19 +9,19 @@ module Profile = Ba_profile.Profile
 (** Modelled benefit of placing [dst] right after [src]: cost with an
     unrelated successor minus cost with [dst] as successor. *)
 val savings :
-  Ba_machine.Penalties.t -> Cfg.t -> profile:Profile.proc -> int -> int -> int
+  Ba_machine.Model.t -> Cfg.t -> profile:Profile.proc -> int -> int -> int
 
 (** Profiled edges as [(savings, freq, src, dst)], by decreasing
     savings. *)
 val edges_by_savings :
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t ->
   profile:Profile.proc ->
   (int * int * int * int) list
 
 (** The cost-model greedy layout. *)
 val align :
-  Ba_machine.Penalties.t -> Cfg.t -> profile:Profile.proc -> Layout.order
+  Ba_machine.Model.t -> Cfg.t -> profile:Profile.proc -> Layout.order
 
 (** {!align} plus the bounded exhaustive prefix search: every permutation
     of the blocks touched by the [top_edges] highest-savings edges
@@ -30,7 +30,7 @@ val align :
 val align_exhaustive :
   ?top_edges:int ->
   ?max_blocks:int ->
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t ->
   profile:Profile.proc ->
   Layout.order

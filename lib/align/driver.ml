@@ -26,6 +26,7 @@ type method_ =
   | Greedy  (** Pettis–Hansen frequency-greedy *)
   | Calder  (** Calder–Grunwald cost-model greedy *)
   | Calder_exhaustive  (** … with the bounded exhaustive prefix search *)
+  | Btfnt  (** chain-greedy for BTFNT-class machines (footnote 3) *)
   | Tsp of Tsp_align.config  (** the paper's DTSP-based aligner *)
 
 let method_name = function
@@ -33,13 +34,14 @@ let method_name = function
   | Greedy -> "greedy"
   | Calder -> "calder"
   | Calder_exhaustive -> "calder-exhaustive"
+  | Btfnt -> "btfnt"
   | Tsp _ -> "tsp"
 
 (** The pipeline seed tasks derive their RNGs from: the solver seed for
     TSP runs (the only randomized method), 0 otherwise. *)
 let method_seed = function
   | Tsp config -> config.Tsp_align.solver.Ba_tsp.Iterated.seed
-  | Original | Greedy | Calder | Calder_exhaustive -> 0
+  | Original | Greedy | Calder | Calder_exhaustive | Btfnt -> 0
 
 (** A fully aligned and realized program. *)
 type aligned = {
@@ -51,17 +53,19 @@ type aligned = {
   method_ : method_;
 }
 
-(** [align_proc ?rng method_ p cfg ~profile] lays out one procedure.
+(** [align_proc ?rng method_ model cfg ~profile] lays out one procedure.
     [rng] is the enclosing task's stream; only the TSP solver draws
     from it. *)
-let align_proc ?rng (m : method_) (p : Penalties.t) (cfg : Cfg.t)
+let align_proc ?rng (m : method_) (model : Model.t) (cfg : Cfg.t)
     ~(profile : Profile.proc) : Layout.order =
   match m with
   | Original -> Layout.identity cfg
   | Greedy -> Greedy.align cfg ~profile
-  | Calder -> Calder.align p cfg ~profile
-  | Calder_exhaustive -> Calder.align_exhaustive p cfg ~profile
-  | Tsp config -> (Tsp_align.align ~config ?rng p cfg ~profile).Tsp_align.order
+  | Calder -> Calder.align model cfg ~profile
+  | Calder_exhaustive -> Calder.align_exhaustive model cfg ~profile
+  | Btfnt -> Btfnt.align model cfg ~profile
+  | Tsp config ->
+      (Tsp_align.align ~config ?rng model cfg ~profile).Tsp_align.order
 
 (** Merge per-procedure task values (already in procedure order) and
     assemble the program: addresses are laid out sequentially because
@@ -73,21 +77,22 @@ let assemble (m : method_) (cfgs : Cfg.t array) parts : aligned =
   let addr = Addr.build (Array.map2 (fun g r -> (g, r)) cfgs realized) in
   { cfgs; orders; realized; predicted; addr; method_ = m }
 
-(** [align ?executor m p cfgs ~train] aligns a whole program with method
-    [m], realizing every layout against the training profile.  One task
-    per procedure; the result does not depend on the executor. *)
-let align ?(executor = Executor.Seq) (m : method_) (p : Penalties.t)
+(** [align ?executor m model cfgs ~train] aligns a whole program with
+    method [m] under [model], realizing every layout against the
+    training profile.  One task per procedure; the result does not
+    depend on the executor. *)
+let align ?(executor = Executor.Seq) (m : method_) (model : Model.t)
     (cfgs : Cfg.t array) ~(train : Ba_profile.Profile.t) : aligned =
   let task fid cfg =
     Task.make ~id:fid ~label:cfg.Cfg.name (fun ctx ->
         let profile = Profile.proc train fid in
         let order =
           Task.staged ctx Task.Solve (fun () ->
-              align_proc ~rng:(Task.rng ctx) m p cfg ~profile)
+              align_proc ~rng:(Task.rng ctx) m model cfg ~profile)
         in
         let r, pred =
           Task.staged ctx Task.Realize (fun () ->
-              Evaluate.realize p cfg ~order ~train:profile)
+              Evaluate.realize model cfg ~order ~train:profile)
         in
         (order, r, pred))
   in
@@ -96,10 +101,12 @@ let align ?(executor = Executor.Seq) (m : method_) (p : Penalties.t)
   in
   assemble m cfgs (Array.map (fun o -> o.Task.value) outcomes)
 
-(** [analytic_penalty p a ~test] is the modelled control penalty of the
-    aligned program when executed on the [test] workload's profile. *)
-let analytic_penalty (p : Penalties.t) (a : aligned)
+(** [analytic_penalty model a ~test] is the modelled control penalty of
+    the aligned program when executed on the [test] workload's profile,
+    on the model's physical penalties. *)
+let analytic_penalty (model : Model.t) (a : aligned)
     ~(test : Ba_profile.Profile.t) : int =
+  let p = model.Model.penalties in
   let total = ref 0 in
   Array.iteri
     (fun fid cfg ->
@@ -116,10 +123,30 @@ let analytic_penalty (p : Penalties.t) (a : aligned)
     a.cfgs;
   !total
 
-(** [simulate ?cycles_config p a ~run] replays an execution (the [run]
-    callback feeds trace events into the provided sink) through the full
-    machine model and returns the cycle breakdown. *)
-let simulate ?cycles_config (p : Penalties.t) (a : aligned)
+(** [ext_tsp_score ?params a ~test] is the scaled Ext-TSP score of the
+    aligned program on the [test] workload's profile — higher is better.
+    Computed from the byte-accurate addresses of the realized layout
+    ({!Ba_machine.Model.score_proc}); defined for layouts produced under
+    {e any} model, which is how the bench reports both objectives side
+    by side. *)
+let ext_tsp_score ?(params = Model.default_ext_tsp) (a : aligned)
+    ~(test : Ba_profile.Profile.t) : int =
+  let total = ref 0 in
+  Array.iteri
+    (fun fid _cfg ->
+      let t = Profile.proc test fid in
+      total :=
+        !total
+        + Model.score_proc params ~proc:a.addr.Addr.procs.(fid)
+            ~realized:a.realized.(fid)
+            ~freqs:(fun l -> Profile.block_freqs t l))
+    a.cfgs;
+  !total
+
+(** [simulate ?cycles_config model a ~run] replays an execution (the
+    [run] callback feeds trace events into the provided sink) through
+    the full machine model and returns the cycle breakdown. *)
+let simulate ?cycles_config (model : Model.t) (a : aligned)
     ~(run : Trace.sink -> unit) : Cycles.result =
   let ctxs =
     Array.mapi
@@ -127,7 +154,8 @@ let simulate ?cycles_config (p : Penalties.t) (a : aligned)
       a.realized
   in
   let sink, result =
-    Cycles.make_sink ?config:cycles_config p ~cfgs:a.cfgs ~ctxs ~addr:a.addr
+    Cycles.make_sink ?config:cycles_config model ~cfgs:a.cfgs ~ctxs
+      ~addr:a.addr
   in
   run sink;
   result ()
@@ -178,13 +206,14 @@ let chain = function
   | Tsp config -> [ Tsp config; Calder; Greedy; Original ]
   | Calder_exhaustive -> [ Calder_exhaustive; Calder; Greedy; Original ]
   | Calder -> [ Calder; Greedy; Original ]
+  | Btfnt -> [ Btfnt; Greedy; Original ]
   | Greedy -> [ Greedy; Original ]
   | Original -> [ Original ]
 
 (** Attempt one method on one procedure under the shared budget.
     Methods that do real search (TSP, the Calder variants) refuse to
     start on an exhausted budget; Greedy and Original always run. *)
-let try_method ?rng ?initial (m : method_) (p : Penalties.t) (cfg : Cfg.t)
+let try_method ?rng ?initial (m : method_) (model : Model.t) (cfg : Cfg.t)
     ~fid ~(profile : Profile.proc) ~(budget : Budget.t) :
     (Layout.order, Errors.t) result =
   let guard f =
@@ -195,13 +224,14 @@ let try_method ?rng ?initial (m : method_) (p : Penalties.t) (cfg : Cfg.t)
   match m with
   | Original -> Ok (Layout.identity cfg)
   | Greedy -> Errors.catch ~where:"greedy" (fun () -> Greedy.align cfg ~profile)
-  | Calder -> guard (fun () -> Calder.align p cfg ~profile)
+  | Calder -> guard (fun () -> Calder.align model cfg ~profile)
   | Calder_exhaustive ->
-      guard (fun () -> Calder.align_exhaustive p cfg ~profile)
+      guard (fun () -> Calder.align_exhaustive model cfg ~profile)
+  | Btfnt -> guard (fun () -> Btfnt.align model cfg ~profile)
   | Tsp config -> (
       match
         Errors.catch ~where:"tsp" (fun () ->
-            Tsp_align.align ~config ?rng ~budget ?initial p cfg ~profile)
+            Tsp_align.align ~config ?rng ~budget ?initial model cfg ~profile)
       with
       | Error e -> Error e
       | Ok r -> (
@@ -235,7 +265,7 @@ type checked_proc = {
     so the returned value matches the sequential run whenever the
     budget does not expire mid-run (see docs/ARCHITECTURE.md). *)
 let align_checked ?(executor = Executor.Seq) ?deadline_ms ?(fallback = true)
-    ?(warm_start = fun _ -> None) (m : method_) (p : Penalties.t)
+    ?(warm_start = fun _ -> None) (m : method_) (model : Model.t)
     (cfgs : Cfg.t array) ~(train : Ba_profile.Profile.t) :
     (report, Errors.t) result =
   let ( let* ) r f = Result.bind r f in
@@ -248,7 +278,7 @@ let align_checked ?(executor = Executor.Seq) ?deadline_ms ?(fallback = true)
   let realize_proc fid cfg order profile =
     let* r, pred =
       Errors.catch ~where:"realize" (fun () ->
-          Evaluate.realize p cfg ~order ~train:profile)
+          Evaluate.realize model cfg ~order ~train:profile)
     in
     match Layout.check_semantics cfg r with
     | Ok () -> Ok (order, r, pred)
@@ -279,7 +309,7 @@ let align_checked ?(executor = Executor.Seq) ?deadline_ms ?(fallback = true)
             in
             let* order =
               Task.staged ctx Task.Solve (fun () ->
-                  try_method ~rng ?initial m' p cfg ~fid ~profile ~budget)
+                  try_method ~rng ?initial m' model cfg ~fid ~profile ~budget)
             in
             Task.staged ctx Task.Verify (fun () ->
                 realize_proc fid cfg order profile)

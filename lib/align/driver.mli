@@ -18,6 +18,7 @@ type method_ =
   | Greedy  (** Pettis–Hansen frequency-greedy *)
   | Calder  (** Calder–Grunwald cost-model greedy *)
   | Calder_exhaustive  (** … with the bounded exhaustive prefix search *)
+  | Btfnt  (** chain-greedy for BTFNT-class machines (footnote 3) *)
   | Tsp of Tsp_align.config  (** the paper's DTSP-based aligner *)
 
 val method_name : method_ -> string
@@ -41,7 +42,7 @@ type aligned = {
 val align_proc :
   ?rng:Random.State.t ->
   method_ ->
-  Penalties.t ->
+  Model.t ->
   Cfg.t ->
   profile:Profile.proc ->
   Layout.order
@@ -52,20 +53,29 @@ val align_proc :
 val align :
   ?executor:Ba_engine.Executor.t ->
   method_ ->
-  Penalties.t ->
+  Model.t ->
   Cfg.t array ->
   train:Ba_profile.Profile.t ->
   aligned
 
-(** Modelled control penalty on the [test] workload's profile. *)
-val analytic_penalty :
-  Penalties.t -> aligned -> test:Ba_profile.Profile.t -> int
+(** Modelled control penalty on the [test] workload's profile, on the
+    model's physical penalties. *)
+val analytic_penalty : Model.t -> aligned -> test:Ba_profile.Profile.t -> int
+
+(** Scaled Ext-TSP score of the aligned program on the [test] profile
+    (higher is better), from the byte-accurate addresses of the realized
+    layout.  Defined for layouts produced under any model — the bench
+    reports it next to the Alpha penalty for every aligner.  [params]
+    defaults to {!Ba_machine.Model.default_ext_tsp}; pass
+    [Model.ext_tsp_params model] to score under a model's own window. *)
+val ext_tsp_score :
+  ?params:Model.ext_tsp -> aligned -> test:Ba_profile.Profile.t -> int
 
 (** Replay an execution through the full machine model ([run] feeds
     trace events into the provided sink). *)
 val simulate :
   ?cycles_config:Cycles.config ->
-  Penalties.t ->
+  Model.t ->
   aligned ->
   run:(Trace.sink -> unit) ->
   Cycles.result
@@ -93,7 +103,7 @@ val pp_fallback : Format.formatter -> fallback -> unit
     first): TSP → Calder → Greedy → Original. *)
 val chain : method_ -> method_ list
 
-(** [align_checked ?executor ?deadline_ms ?fallback m p cfgs ~train]
+(** [align_checked ?executor ?deadline_ms ?fallback m model cfgs ~train]
     validates the CFGs and the profile, then lays out every procedure
     under a shared wall-clock budget, degrading deterministically along
     {!chain} when a method times out, fails, or produces an unfaithful
@@ -117,7 +127,7 @@ val align_checked :
   ?fallback:bool ->
   ?warm_start:(int -> Ba_cfg.Layout.order option) ->
   method_ ->
-  Penalties.t ->
+  Model.t ->
   Cfg.t array ->
   train:Ba_profile.Profile.t ->
   (report, Ba_robust.Errors.t) result

@@ -11,41 +11,41 @@ open Ba_cfg
 open Ba_machine
 module Profile = Ba_profile.Profile
 
-(** [realize p cfg ~order ~train] realizes a layout using the training
+(** [realize m cfg ~order ~train] realizes a layout using the training
     profile (predictions, fixup-arrangement choices) and returns the
     realized layout together with the per-block predictions — everything
     the pipeline simulator needs. *)
-let realize (p : Penalties.t) (cfg : Cfg.t) ~(order : Layout.order)
+let realize (m : Model.t) (cfg : Cfg.t) ~(order : Layout.order)
     ~(train : Profile.proc) : Layout.realized * int option array =
   if not (Layout.is_valid cfg order) then
     invalid_arg "Evaluate.realize: invalid layout";
   let predicted = Profile.predictions train ~n_blocks:(Cfg.n_blocks cfg) in
   let r =
-    Cost.realize p cfg ~order ~predicted ~freqs:(fun l ->
+    Cost.realize m.Model.penalties cfg ~order ~predicted ~freqs:(fun l ->
         Profile.block_freqs train l)
   in
   (r, predicted)
 
-(** [proc_penalty p cfg ~order ~train ~test] is the total control-penalty
+(** [proc_penalty m cfg ~order ~train ~test] is the total control-penalty
     cycles of the procedure laid out as [order]: realization and
     predictions from [train], transfer counts from [test]. *)
-let proc_penalty (p : Penalties.t) (cfg : Cfg.t) ~(order : Layout.order)
+let proc_penalty (m : Model.t) (cfg : Cfg.t) ~(order : Layout.order)
     ~(train : Profile.proc) ~(test : Profile.proc) : int =
-  let r, predicted = realize p cfg ~order ~train in
+  let r, predicted = realize m cfg ~order ~train in
   let total = ref 0 in
   Cfg.iter
     (fun b ->
       let l = b.Block.id in
       total :=
         !total
-        + Cost.rterm_cost p r.Layout.terms.(l) ~predicted:predicted.(l)
+        + Cost.rterm_cost m.Model.penalties r.Layout.terms.(l) ~predicted:predicted.(l)
             ~freqs:(Profile.block_freqs test l))
     cfg;
   !total
 
-(** [program_penalty p cfgs ~orders ~train ~test] sums {!proc_penalty}
+(** [program_penalty m cfgs ~orders ~train ~test] sums {!proc_penalty}
     over all procedures. *)
-let program_penalty (p : Penalties.t) (cfgs : Cfg.t array)
+let program_penalty (m : Model.t) (cfgs : Cfg.t array)
     ~(orders : Layout.order array) ~(train : Ba_profile.Profile.t)
     ~(test : Ba_profile.Profile.t) : int =
   if Array.length orders <> Array.length cfgs then
@@ -55,7 +55,7 @@ let program_penalty (p : Penalties.t) (cfgs : Cfg.t array)
     (fun fid cfg ->
       total :=
         !total
-        + proc_penalty p cfg ~order:orders.(fid)
+        + proc_penalty m cfg ~order:orders.(fid)
             ~train:(Profile.proc train fid) ~test:(Profile.proc test fid))
     cfgs;
   !total

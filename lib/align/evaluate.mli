@@ -9,17 +9,18 @@ module Profile = Ba_profile.Profile
     layout and the per-block static predictions.
     @raise Invalid_argument on invalid layouts. *)
 val realize :
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t ->
   order:Layout.order ->
   train:Profile.proc ->
   Layout.realized * int option array
 
 (** Total control-penalty cycles of a procedure under the given
-    training/testing split.  With [train = test] this equals the DTSP
-    walk cost of the layout. *)
+    training/testing split, on the model's physical penalties.  With
+    [train = test] and the control-penalty objective this equals the
+    DTSP walk cost of the layout. *)
 val proc_penalty :
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t ->
   order:Layout.order ->
   train:Profile.proc ->
@@ -29,7 +30,7 @@ val proc_penalty :
 (** Sum of {!proc_penalty} over all procedures.
     @raise Invalid_argument on shape mismatch. *)
 val program_penalty :
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t array ->
   orders:Layout.order array ->
   train:Ba_profile.Profile.t ->

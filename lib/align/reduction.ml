@@ -3,8 +3,9 @@
     Cities are the procedure's basic blocks plus one dummy city marking
     the end of the layout.  The cost of edge (B, X) is the total penalty
     incurred at B's terminator when X is laid out immediately after B,
-    under the training profile — computed by {!Ba_machine.Cost.edge_cost},
-    fixup jumps included.  Edges out of the dummy carry a prohibitive
+    under the training profile — computed by {!Ba_machine.Model.edge_cost}
+    (for the default control-penalty objective this is exactly
+    {!Ba_machine.Cost.edge_cost}, fixup jumps included).  Edges out of the dummy carry a prohibitive
     cost except dummy → entry, which is free: a minimum directed tour
     therefore reads dummy, entry, …, last block, and its cost equals the
     minimum achievable control penalty of any layout. *)
@@ -20,12 +21,12 @@ type t = {
   forbid : int;  (** cost of dummy → non-entry edges *)
 }
 
-(** [build p cfg ~profile] constructs the DTSP instance of one
-    procedure.
+(** [build m cfg ~profile] constructs the DTSP instance of one
+    procedure under model [m]'s objective.
     @raise Invalid_argument if the profile's block count disagrees with
     the CFG (callers wanting a typed error validate first, see
     {!Ba_profile.Profile.validate}). *)
-let build (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) : t =
+let build (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) : t =
   let n = Cfg.n_blocks cfg in
   if Array.length profile.Profile.freqs <> n then
     invalid_arg
@@ -36,14 +37,16 @@ let build (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) : t =
   let dummy = n in
   let predicted = Profile.predictions profile ~n_blocks:n in
   let block_cost i succ =
-    Cost.edge_cost p (Cfg.block cfg i).Block.term ~succ ~predicted:predicted.(i)
+    Model.edge_cost m (Cfg.block cfg i).Block.term ~succ
+      ~predicted:predicted.(i)
       ~freqs:(Profile.block_freqs profile i)
   in
   (* The instance is emitted sparsely, without materializing the dense
      matrix: a block's penalty when followed by a non-successor is
-     independent of which city follows (Cost.edge_cost realizes the same
+     independent of which city follows (Model.edge_cost realizes the same
      fixup arrangement for every non-successor, and Multiway/Goto/Exit
-     don't look at the successor at all), so each row is its
+     don't look at the successor at all — an invariant every registered
+     objective preserves), so each row is its
      [block_cost i None] default plus explicit deviations at the CFG
      successors — O(out-degree) cost-model calls per block instead of
      O(n).  The diagonal is pinned to 0 (as the dense matrix had it) and

@@ -14,8 +14,9 @@ type t = {
   forbid : int;  (** cost on dummy → non-entry edges *)
 }
 
-(** Build the DTSP instance of one procedure. *)
-val build : Ba_machine.Penalties.t -> Cfg.t -> profile:Profile.proc -> t
+(** Build the DTSP instance of one procedure under a model's
+    objective. *)
+val build : Ba_machine.Model.t -> Cfg.t -> profile:Profile.proc -> t
 
 (** Layout → the corresponding directed tour (dummy first). *)
 val tour_of_order : t -> Layout.order -> int array

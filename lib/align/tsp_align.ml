@@ -100,8 +100,9 @@ let solve_instance ?(config = default) ?rng ?budget ?initial
     end
   end
 
-(** [align ?config ?rng ?budget p cfg ~profile] aligns one procedure:
-    build the reduction instance, then solve it. *)
-let align ?config ?rng ?budget ?initial (p : Ba_machine.Penalties.t)
+(** [align ?config ?rng ?budget m cfg ~profile] aligns one procedure:
+    build the reduction instance under the model's objective, then solve
+    it. *)
+let align ?config ?rng ?budget ?initial (m : Ba_machine.Model.t)
     (cfg : Cfg.t) ~(profile : Profile.proc) : result =
-  solve_instance ?config ?rng ?budget ?initial (Reduction.build p cfg ~profile)
+  solve_instance ?config ?rng ?budget ?initial (Reduction.build m cfg ~profile)

@@ -41,13 +41,13 @@ val solve_instance :
   Reduction.t ->
   result
 
-(** Align one procedure. *)
+(** Align one procedure under the model's objective. *)
 val align :
   ?config:config ->
   ?rng:Random.State.t ->
   ?budget:Ba_robust.Budget.t ->
   ?initial:Layout.order ->
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t ->
   profile:Profile.proc ->
   result

@@ -3,7 +3,7 @@
     [certify] re-verifies a produced layout from first principles,
     deliberately sharing no code with the solver path in {!Ba_align}:
     it rebuilds the DTSP edge weights directly from
-    {!Ba_machine.Cost.edge_cost} — materializing its own dense matrix
+    {!Ba_machine.Model.edge_cost} — materializing its own dense matrix
     through the {!Ba_tsp.Dtsp.make} fallback rather than reusing
     {!Ba_align.Reduction}'s sparse emission, so every certificate also
     cross-checks the sparse cost core against an independently built
@@ -118,9 +118,9 @@ let check_walk (cfg : Cfg.t) (order : Layout.order) : (unit, error) result =
   end
 
 (** Control penalty of the layout recomputed from scratch: the sum of
-    {!Ba_machine.Cost.edge_cost} over consecutive layout positions (the
+    {!Ba_machine.Model.edge_cost} over consecutive layout positions (the
     walk's edges), last block falling off the end. *)
-let recompute_cost (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc)
+let recompute_cost (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc)
     ~(order : Layout.order) : int =
   let n = Cfg.n_blocks cfg in
   let predicted = Profile.predictions profile ~n_blocks:n in
@@ -130,7 +130,7 @@ let recompute_cost (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc)
       let succ = if i + 1 < n then Some order.(i + 1) else None in
       total :=
         !total
-        + Cost.edge_cost p (Cfg.block cfg l).Block.term ~succ
+        + Model.edge_cost m (Cfg.block cfg l).Block.term ~succ
             ~predicted:predicted.(l)
             ~freqs:(Profile.block_freqs profile l))
     order;
@@ -140,13 +140,13 @@ let recompute_cost (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc)
     (cities 0..n−1 = blocks, city n = dummy; dummy → entry free, other
     dummy edges prohibitive).  Mirrors the paper's construction without
     calling into [Ba_align]. *)
-let dtsp_of (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc) :
+let dtsp_of (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) :
     Dtsp.t * int =
   let n = Cfg.n_blocks cfg in
   let dummy = n in
   let predicted = Profile.predictions profile ~n_blocks:n in
   let block_cost i succ =
-    Cost.edge_cost p (Cfg.block cfg i).Block.term ~succ
+    Model.edge_cost m (Cfg.block cfg i).Block.term ~succ
       ~predicted:predicted.(i)
       ~freqs:(Profile.block_freqs profile i)
   in
@@ -207,7 +207,7 @@ let check_sym (sym : Sym.t) (stour : int array) : (int array, error) result =
     [sym_check] (default on) exercises the DTSP → STSP round-trip,
     which costs an O(n²) matrix build. *)
 let proc_cert ?claimed ?(hk = Skip) ?(sym_check = true) ~proc
-    (p : Penalties.t) (cfg : Cfg.t) ~(profile : Profile.proc)
+    (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc)
     ~(order : Layout.order) : (proc_cert, error) result =
   Metrics.incr Metrics.Certs_checked;
   let fail e =
@@ -225,11 +225,11 @@ let proc_cert ?claimed ?(hk = Skip) ?(sym_check = true) ~proc
     match check_walk cfg order with
     | Error e -> fail e
     | Ok () -> (
-        let cost = recompute_cost p cfg ~profile ~order in
+        let cost = recompute_cost m cfg ~profile ~order in
         (* semantic faithfulness, re-realized here *)
         let predicted = Profile.predictions profile ~n_blocks:n in
         let realized =
-          Cost.realize p cfg ~order ~predicted
+          Cost.realize m.Model.penalties cfg ~order ~predicted
             ~freqs:(Profile.block_freqs profile)
         in
         match Layout.check_semantics cfg realized with
@@ -240,7 +240,7 @@ let proc_cert ?claimed ?(hk = Skip) ?(sym_check = true) ~proc
                 fail (Cost_mismatch { claimed = c; recomputed = cost })
             | _ -> (
                 let dtsp =
-                  lazy (dtsp_of p cfg ~profile)
+                  lazy (dtsp_of m cfg ~profile)
                 in
                 let sym_result =
                   if not sym_check then Ok false
@@ -307,7 +307,7 @@ let proc_cert ?claimed ?(hk = Skip) ?(sym_check = true) ~proc
     order; the first failing procedure is reported.  [claimed i] and
     [hk i] supply the per-procedure claimed cost and bound source. *)
 let program ?(claimed = fun _ -> None) ?(hk = fun _ -> Skip)
-    ?sym_check (p : Penalties.t) (cfgs : Cfg.t array)
+    ?sym_check (m : Model.t) (cfgs : Cfg.t array)
     ~(train : Profile.t) ~(orders : Layout.order array) : (t, failure) result
     =
   let n = Array.length cfgs in
@@ -328,7 +328,7 @@ let program ?(claimed = fun _ -> None) ?(hk = fun _ -> Skip)
       if i = n then Ok { procs = List.rev acc; total_cost = total }
       else
         match
-          proc_cert ?claimed:(claimed i) ~hk:(hk i) ?sym_check ~proc:i p
+          proc_cert ?claimed:(claimed i) ~hk:(hk i) ?sym_check ~proc:i m
             cfgs.(i)
             ~profile:train.Profile.procs.(i)
             ~order:orders.(i)

@@ -46,7 +46,7 @@ val check_walk : Cfg.t -> Layout.order -> (unit, error) result
 (** Penalty of the layout recomputed from scratch against the machine
     cost model. *)
 val recompute_cost :
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t ->
   profile:Ba_profile.Profile.proc ->
   order:Layout.order ->
@@ -55,7 +55,7 @@ val recompute_cost :
 (** Rebuild the reduction's DTSP instance (with its dummy city index)
     directly from {!Ba_machine.Cost.edge_cost}. *)
 val dtsp_of :
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t ->
   profile:Ba_profile.Profile.proc ->
   Ba_tsp.Dtsp.t * int
@@ -74,7 +74,7 @@ val proc_cert :
   ?hk:hk_mode ->
   ?sym_check:bool ->
   proc:int ->
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t ->
   profile:Ba_profile.Profile.proc ->
   order:Layout.order ->
@@ -86,7 +86,7 @@ val program :
   ?claimed:(int -> int option) ->
   ?hk:(int -> hk_mode) ->
   ?sym_check:bool ->
-  Ba_machine.Penalties.t ->
+  Ba_machine.Model.t ->
   Cfg.t array ->
   train:Ba_profile.Profile.t ->
   orders:Layout.order array ->

@@ -43,15 +43,15 @@ let percentile sorted p =
   | 0 -> 0.0
   | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
 
-(** [study ?config ?penalties corpus] runs the bound study over the given
+(** [study ?config ?model corpus] runs the bound study over the given
     instances. *)
 let study ?(config = Iterated.default)
-    ?(penalties = Ba_machine.Penalties.alpha_21164)
+    ?(model = Ba_machine.Model.alpha21164)
     (corpus : Synthetic.instance list) : stats =
   let per =
     List.map
       (fun { Synthetic.name; g; prof } ->
-        let inst = Reduction.build penalties g ~profile:prof in
+        let inst = Reduction.build model g ~profile:prof in
         let d = inst.Reduction.dtsp in
         let tour, st = Iterated.solve ~config d in
         ignore tour;

@@ -30,6 +30,6 @@ type stats = {
 (** Run the bound study over the given instances. *)
 val study :
   ?config:Ba_tsp.Iterated.config ->
-  ?penalties:Ba_machine.Penalties.t ->
+  ?model:Ba_machine.Model.t ->
   Synthetic.instance list ->
   stats

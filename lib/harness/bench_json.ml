@@ -4,19 +4,24 @@
     run so CI can chart penalty/gap/latency over commits:
 
     {v
-    { "commit": "<sha>", "date": "<ISO-8601 UTC>",
+    { "commit": "<sha>", "date": "<ISO-8601 UTC>", "model": "<name>",
       "rows": [ { "bench": ..., "dataset": ...,
                   "penalty_cycles": ..., "hk_gap": ...,
+                  "objectives": { "tsp":    { "penalty": ..., "ext_tsp": ... },
+                                  "calder": { ... }, "greedy": { ... },
+                                  "btfnt":  { ... } },
                   "wall_ms": ..., "p50_ms": ..., "p95_ms": ...,
                   "jobs": ..., "certs": ..., "cert_failures": ... }, ... ] }
     v}
 
     [penalty_cycles] and [hk_gap] are deterministic (self-trained TSP
-    layout vs the Held–Karp bound); [certs]/[cert_failures] count the
-    independent alignment certificates of the row
-    ({!Ba_check.Certify}); the [*_ms] fields are wall-clock
-    and vary run to run.  Document construction is pure ({!make}) so
-    tests can golden-check the deterministic slice. *)
+    layout vs the Held–Karp bound); [objectives] reports both cost
+    objectives — control-penalty cycles (lower is better) and the
+    Ext-TSP locality score (higher is better) — for every self-trained
+    aligner; [certs]/[cert_failures] count the independent alignment
+    certificates of the row ({!Ba_check.Certify}); the [*_ms] fields
+    are wall-clock and vary run to run.  Document construction is pure
+    ({!make}) so tests can golden-check the deterministic slice. *)
 
 module Json = Ba_obs.Json
 module Task = Ba_engine.Task
@@ -30,6 +35,23 @@ let hk_gap (r : Runner.row) =
       (float_of_int (r.Runner.tsp_self.Runner.penalty - r.Runner.lower_bound)
       /. float_of_int r.Runner.lower_bound)
 
+(** Both objectives of one self-trained layout. *)
+let objective_json (m : Runner.measurement) : Json.t =
+  Json.Obj
+    [
+      ("penalty", Json.Int m.Runner.penalty);
+      ("ext_tsp", Json.Int m.Runner.ext_tsp);
+    ]
+
+let objectives_json (r : Runner.row) : Json.t =
+  Json.Obj
+    [
+      ("tsp", objective_json r.Runner.tsp_self);
+      ("calder", objective_json r.Runner.calder_self);
+      ("greedy", objective_json r.Runner.greedy_self);
+      ("btfnt", objective_json r.Runner.btfnt_self);
+    ]
+
 let row_json ~jobs (o : Runner.row Task.outcome) : Json.t =
   let r = o.Task.value in
   Json.Obj
@@ -38,6 +60,7 @@ let row_json ~jobs (o : Runner.row Task.outcome) : Json.t =
       ("dataset", Json.String r.Runner.ds);
       ("penalty_cycles", Json.Int r.Runner.tsp_self.Runner.penalty);
       ("hk_gap", Json.Float (hk_gap r));
+      ("objectives", objectives_json r);
       ("wall_ms", Json.Float (o.Task.elapsed_s *. 1000.));
       ("p50_ms", Json.Float (r.Runner.solve_dist.Timing.p50_s *. 1000.));
       ("p95_ms", Json.Float (r.Runner.solve_dist.Timing.p95_s *. 1000.));
@@ -46,13 +69,16 @@ let row_json ~jobs (o : Runner.row Task.outcome) : Json.t =
       ("cert_failures", Json.Int r.Runner.cert_failures);
     ]
 
-(** [make ~commit ~date ~jobs outcomes] builds the document; pure. *)
-let make ~commit ~date ~jobs (outcomes : Runner.row Task.outcome list) : Json.t
-    =
+(** [make ?model ~commit ~date ~jobs outcomes] builds the document;
+    pure.  [model] names the cost model the rows were measured under
+    (default: the registry default). *)
+let make ?(model = Ba_machine.Model.default) ~commit ~date ~jobs
+    (outcomes : Runner.row Task.outcome list) : Json.t =
   Json.Obj
     [
       ("commit", Json.String commit);
       ("date", Json.String date);
+      ("model", Json.String (Ba_machine.Model.to_string model));
       ("rows", Json.List (List.map (row_json ~jobs) outcomes));
     ]
 
@@ -80,7 +106,8 @@ let now_utc () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-(** [write path ~jobs outcomes] stamps and writes the document. *)
-let write path ~jobs outcomes =
+(** [write ?model path ~jobs outcomes] stamps and writes the
+    document. *)
+let write ?model path ~jobs outcomes =
   Json.write_file path
-    (make ~commit:(current_commit ()) ~date:(now_utc ()) ~jobs outcomes)
+    (make ?model ~commit:(current_commit ()) ~date:(now_utc ()) ~jobs outcomes)

@@ -1,14 +1,19 @@
 (** Machine-readable bench trajectory ([balign bench --json FILE]):
-    [{commit, date, rows: [{bench, dataset, penalty_cycles, hk_gap,
-    wall_ms, p50_ms, p95_ms, jobs}]}].  {!make} is pure so tests can
+    [{commit, date, model, rows: [{bench, dataset, penalty_cycles,
+    hk_gap, objectives, wall_ms, p50_ms, p95_ms, jobs}]}] where
+    [objectives] carries both cost objectives (control-penalty cycles
+    and the Ext-TSP locality score) for every self-trained aligner
+    (tsp, calder, greedy, btfnt).  {!make} is pure so tests can
     golden-check the deterministic slice. *)
 
 (** Gap of the self-trained TSP penalty to the Held–Karp lower bound,
     as a fraction of the bound (0 when the bound is degenerate). *)
 val hk_gap : Runner.row -> float
 
-(** [make ~commit ~date ~jobs outcomes] builds the document; pure. *)
+(** [make ?model ~commit ~date ~jobs outcomes] builds the document;
+    pure.  [model] names the cost model the rows were measured under. *)
 val make :
+  ?model:Ba_machine.Model.t ->
   commit:string ->
   date:string ->
   jobs:int ->
@@ -22,6 +27,11 @@ val current_commit : unit -> string
 (** Current time as ISO-8601 UTC, e.g. ["2026-08-06T12:34:56Z"]. *)
 val now_utc : unit -> string
 
-(** [write path ~jobs outcomes] stamps and writes the document. *)
+(** [write ?model path ~jobs outcomes] stamps and writes the
+    document. *)
 val write :
-  string -> jobs:int -> Runner.row Ba_engine.Task.outcome list -> unit
+  ?model:Ba_machine.Model.t ->
+  string ->
+  jobs:int ->
+  Runner.row Ba_engine.Task.outcome list ->
+  unit

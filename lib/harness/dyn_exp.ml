@@ -20,7 +20,7 @@ type row = {
   dynamic_mispredicts : int * int * int;
 }
 
-let penalties = Ba_machine.Penalties.alpha_21164
+let model = Ba_machine.Model.alpha21164
 
 let run_one ?(config = Ba_machine.Predictor.default) (w : W.t)
     ~(test : W.dataset) : row =
@@ -29,10 +29,10 @@ let run_one ?(config = Ba_machine.Predictor.default) (w : W.t)
   let prof = Ba_minic.Compile.profile compiled ~input:test.W.input in
   let run sink = ignore (Ba_minic.Compile.run compiled ~input:test.W.input ~sink) in
   let eval m =
-    let a = Driver.align m penalties cfgs ~train:prof in
-    let static_ = Driver.analytic_penalty penalties a ~test:prof in
+    let a = Driver.align m model cfgs ~train:prof in
+    let static_ = Driver.analytic_penalty model a ~test:prof in
     let counters, sink =
-      Ba_machine.Dynamic.make_sink ~config penalties
+      Ba_machine.Dynamic.make_sink ~config model.Ba_machine.Model.penalties
         ~realized:a.Driver.realized ~addr:a.Driver.addr
     in
     run sink;

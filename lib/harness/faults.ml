@@ -306,13 +306,15 @@ type protocol_kind =
   | Missing_field
   | Wrong_type
   | Unknown_verb
+  | Unknown_model
   | Negative_deadline
   | Huge_cfg
 
 let all_protocol =
   [
     Truncated_frame; Garbage_json; Bad_length_header; Oversized_frame;
-    Missing_field; Wrong_type; Unknown_verb; Negative_deadline; Huge_cfg;
+    Missing_field; Wrong_type; Unknown_verb; Unknown_model; Negative_deadline;
+    Huge_cfg;
   ]
 
 let protocol_name = function
@@ -323,13 +325,14 @@ let protocol_name = function
   | Missing_field -> "missing-field"
   | Wrong_type -> "wrong-type"
   | Unknown_verb -> "unknown-verb"
+  | Unknown_model -> "unknown-model"
   | Negative_deadline -> "negative-deadline"
   | Huge_cfg -> "huge-cfg"
 
 let protocol_expectation = function
   | Truncated_frame | Bad_length_header -> `Ends_stream
   | Garbage_json | Oversized_frame | Missing_field | Wrong_type | Unknown_verb
-  | Huge_cfg ->
+  | Unknown_model | Huge_cfg ->
       `Error_response
   | Negative_deadline -> `Ok_response
 
@@ -379,6 +382,11 @@ let inject_protocol ?(max_frame_bytes = 4 * 1024 * 1024) ?(max_blocks = 256)
                (fun (k, v) ->
                  if k = "verb" then (k, Json.String "frobnicate") else (k, v))
                fields))
+  | Unknown_model ->
+      Wire.encode_frame
+        (rewrite payload (fun fields ->
+             ("options", Json.Obj [ ("model", Json.String "vliw-9000") ])
+             :: List.filter (fun (k, _) -> k <> "options") fields))
   | Negative_deadline ->
       Wire.encode_frame
         (rewrite payload (fun fields ->

@@ -72,6 +72,7 @@ type protocol_kind =
   | Missing_field  (** align request with its [cfg] removed *)
   | Wrong_type  (** [cfg] replaced by a string *)
   | Unknown_verb  (** verb nobody implements *)
+  | Unknown_model  (** options naming a model not in the registry *)
   | Negative_deadline  (** clamped to 0: degraded but certified *)
   | Huge_cfg  (** more blocks than the server accepts *)
 

@@ -83,7 +83,7 @@ type result = {
 }
 
 let run ?(n_funcs = 24) ?(iterations = 6_000) () : result =
-  let p = Ba_machine.Penalties.alpha_21164 in
+  let p = Ba_machine.Model.alpha21164 in
   let src = gen_source ~n_funcs in
   let compiled = Ba_minic.Compile.compile_exn src in
   let cfgs = compiled.Ba_minic.Compile.cfgs in

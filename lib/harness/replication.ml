@@ -24,17 +24,17 @@ type row = {
   cycles_after : int;
 }
 
-let penalties = Ba_machine.Penalties.alpha_21164
+let model = Ba_machine.Model.alpha21164
 
 let measure compiled ~input =
   let prof = Ba_minic.Compile.profile compiled ~input in
   let a =
-    Driver.align (Driver.Tsp Ba_align.Tsp_align.default) penalties
+    Driver.align (Driver.Tsp Ba_align.Tsp_align.default) model
       compiled.Ba_minic.Compile.cfgs ~train:prof
   in
-  let penalty = Driver.analytic_penalty penalties a ~test:prof in
+  let penalty = Driver.analytic_penalty model a ~test:prof in
   let sim =
-    Driver.simulate penalties a ~run:(fun sink ->
+    Driver.simulate model a ~run:(fun sink ->
         ignore (Ba_minic.Compile.run compiled ~input ~sink))
   in
   (prof, penalty, sim.Ba_machine.Cycles.cycles, a.Driver.addr.Ba_machine.Addr.total_instrs)

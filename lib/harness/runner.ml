@@ -29,6 +29,11 @@ type measurement = {
   penalty : int;  (** analytic control-penalty cycles on the testing set *)
   cycles : int;  (** simulated execution cycles on the testing set *)
   icache_misses : int;
+  ext_tsp : int;
+      (** Ext-TSP locality score of the same layout on the testing set
+          (higher is better); scored with the model's Ext-TSP
+          parameters, or {!Ba_machine.Model.default_ext_tsp} for
+          control-penalty models *)
 }
 
 type row = {
@@ -42,6 +47,8 @@ type row = {
   executed_branches : int;
   original : measurement;
   greedy_self : measurement;
+  calder_self : measurement;  (** cost-model greedy ({!Ba_align.Calder}) *)
+  btfnt_self : measurement;  (** static BTFNT chaining ({!Ba_align.Btfnt}) *)
   tsp_self : measurement;
   greedy_cross : measurement;
   tsp_cross : measurement;
@@ -59,7 +66,7 @@ type row = {
 }
 
 type config = {
-  penalties : Ba_machine.Penalties.t;
+  model : Ba_machine.Model.t;
   tsp : Tsp_align.config;
   cycles : Cycles.config;
   hk : Ba_tsp.Held_karp.config;
@@ -67,7 +74,7 @@ type config = {
 
 let default =
   {
-    penalties = Ba_machine.Penalties.alpha_21164;
+    model = Ba_machine.Model.default;
     tsp = Tsp_align.default;
     cycles = Cycles.default;
     hk = Ba_tsp.Held_karp.default;
@@ -84,7 +91,7 @@ let tsp_align_program (cfg : config) cfgs ~train =
       (fun fid g ->
         let inst, mt =
           Timing.time (fun () ->
-              Reduction.build cfg.penalties g ~profile:(Profile.proc train fid))
+              Reduction.build cfg.model g ~profile:(Profile.proc train fid))
         in
         matrix_s := !matrix_s +. mt;
         let r, sv =
@@ -109,7 +116,7 @@ let realize_program (cfg : config) cfgs orders ~train =
         Array.mapi
           (fun fid g ->
             let r, pred =
-              Evaluate.realize cfg.penalties g ~order:orders.(fid)
+              Evaluate.realize cfg.model g ~order:orders.(fid)
                 ~train:(Profile.proc train fid)
             in
             realized.(fid) <- Some r;
@@ -133,8 +140,8 @@ let realize_program (cfg : config) cfgs orders ~train =
     program against the testing workload. *)
 let measure (cfg : config) (aligned : Driver.aligned) ~test_profile ~run :
     measurement =
-  let penalty = Driver.analytic_penalty cfg.penalties aligned ~test:test_profile in
-  let sim = Driver.simulate ~cycles_config:cfg.cycles cfg.penalties aligned ~run in
+  let penalty = Driver.analytic_penalty cfg.model aligned ~test:test_profile in
+  let sim = Driver.simulate ~cycles_config:cfg.cycles cfg.model aligned ~run in
   (* internal consistency: the trace-driven penalty count must equal the
      analytic one computed from the very profile that trace produces *)
   if sim.Cycles.penalty_cycles <> penalty then
@@ -146,6 +153,10 @@ let measure (cfg : config) (aligned : Driver.aligned) ~test_profile ~run :
     penalty;
     cycles = sim.Cycles.cycles;
     icache_misses = sim.Cycles.icache_misses;
+    ext_tsp =
+      Driver.ext_tsp_score
+        ~params:(Ba_machine.Model.ext_tsp_params cfg.model)
+        aligned ~test:test_profile;
   }
 
 (** [run_benchmark ?config ?spans w ~test] runs the full experiment for
@@ -200,6 +211,29 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
     sp "realize-tsp" (fun () ->
         realize_program config cfgs tsp_self_orders ~train:test_profile)
   in
+  (* cost-model aligners measured alongside the paper's pair: Calder
+     savings-greedy and the static BTFNT chainer, self-trained only.
+     Both are deterministic, so they need no RNG perturbation; neither
+     is part of the certificate count (the row's [certs] field keeps
+     its original five-program meaning). *)
+  let calder_self_orders =
+    Array.mapi
+      (fun fid g ->
+        Calder.align config.model g ~profile:(Profile.proc test_profile fid))
+      cfgs
+  in
+  let calder_self, _ =
+    realize_program config cfgs calder_self_orders ~train:test_profile
+  in
+  let btfnt_self_orders =
+    Array.mapi
+      (fun fid g ->
+        Btfnt.align config.model g ~profile:(Profile.proc test_profile fid))
+      cfgs
+  in
+  let btfnt_self, _ =
+    realize_program config cfgs btfnt_self_orders ~train:test_profile
+  in
   let greedy_cross_orders = greedy_orders_of cross_profile in
   let greedy_cross, _ =
     sp "greedy-cross" (fun () ->
@@ -218,7 +252,31 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
     sp "measure" (fun () ->
         (m original, m greedy_self, m tsp_self, m greedy_cross, m tsp_cross))
   in
+  let calder_self_m, btfnt_self_m = (m calder_self, m btfnt_self) in
   (* ---- lower bound (kept per procedure for the certificates) ---- *)
+  (* The Held–Karp upper bound and the certificate's claimed cost are
+     denominated in the model's OBJECTIVE units — the DTSP walk cost of
+     the layout — not in penalty cycles.  For Control_penalty models
+     the two coincide (the paper's walk-cost identity); for Ext-TSP
+     they do not, so the walk cost is computed explicitly here. *)
+  let objective_cost fid order =
+    let g = cfgs.(fid) in
+    let prof = Profile.proc test_profile fid in
+    let n = Ba_cfg.Cfg.n_blocks g in
+    let predicted = Profile.predictions prof ~n_blocks:n in
+    let c = ref 0 in
+    Array.iteri
+      (fun pos l ->
+        let succ = if pos + 1 < n then Some order.(pos + 1) else None in
+        c :=
+          !c
+          + Ba_machine.Model.edge_cost config.model
+              (Ba_cfg.Cfg.block g l).Ba_cfg.Block.term ~succ
+              ~predicted:predicted.(l)
+              ~freqs:(Profile.block_freqs prof l))
+      order;
+    !c
+  in
   let (bound, proc_bounds, proc_uppers), bounds_s =
     sp "bounds" (fun () ->
         Timing.time (fun () ->
@@ -228,12 +286,9 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
             Array.iteri
               (fun fid g ->
                 let prof = Profile.proc test_profile fid in
-                let upper =
-                  Evaluate.proc_penalty config.penalties g
-                    ~order:tsp_self_orders.(fid) ~train:prof ~test:prof
-                in
+                let upper = objective_cost fid tsp_self_orders.(fid) in
                 let b =
-                  Bounds.held_karp ~config:config.hk config.penalties g
+                  Bounds.held_karp ~config:config.hk config.model g
                     ~profile:prof ~upper
                 in
                 bounds.(fid) <- b;
@@ -258,7 +313,7 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
             incr certs;
             match
               Ba_check.Certify.proc_cert ?claimed:(claimed fid) ~hk:(hk fid)
-                ~sym_check ~proc:fid config.penalties g
+                ~sym_check ~proc:fid config.model g
                 ~profile:(Profile.proc train fid)
                 ~order:orders.(fid)
             with
@@ -311,6 +366,8 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
     executed_branches = !executed;
     original = original_m;
     greedy_self = greedy_self_m;
+    calder_self = calder_self_m;
+    btfnt_self = btfnt_self_m;
     tsp_self = tsp_self_m;
     greedy_cross = greedy_cross_m;
     tsp_cross = tsp_cross_m;

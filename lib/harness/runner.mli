@@ -11,6 +11,9 @@ type measurement = {
   penalty : int;  (** analytic control-penalty cycles on the testing set *)
   cycles : int;  (** simulated execution cycles on the testing set *)
   icache_misses : int;
+  ext_tsp : int;
+      (** Ext-TSP locality score of the same layout on the testing set
+          (higher is better) *)
 }
 
 type row = {
@@ -24,6 +27,8 @@ type row = {
   executed_branches : int;
   original : measurement;
   greedy_self : measurement;
+  calder_self : measurement;  (** cost-model greedy ({!Ba_align.Calder}) *)
+  btfnt_self : measurement;  (** static BTFNT chaining ({!Ba_align.Btfnt}) *)
   tsp_self : measurement;
   greedy_cross : measurement;
   tsp_cross : measurement;
@@ -41,7 +46,7 @@ type row = {
 }
 
 type config = {
-  penalties : Ba_machine.Penalties.t;
+  model : Ba_machine.Model.t;  (** cost model every stage runs under *)
   tsp : Ba_align.Tsp_align.config;
   cycles : Ba_machine.Cycles.config;
   hk : Ba_tsp.Held_karp.config;

@@ -32,14 +32,16 @@ type result = {
   counters : Pipeline.counters;  (** full penalty breakdown *)
 }
 
-(** [make_sink ?config p ~cfgs ~ctxs ~addr] builds a trace sink that
+(** [make_sink ?config m ~cfgs ~ctxs ~addr] builds a trace sink that
     simulates the whole machine: penalties, I-cache and issue slots.
     [cfgs.(fid)], [ctxs.(fid)] and [addr.procs.(fid)] describe procedure
     [fid].  Returns the sink and a [result] accessor to call after the
-    trace has been fed. *)
-let make_sink ?(config = default) (p : Penalties.t) ~(cfgs : Cfg.t array)
+    trace has been fed.  Simulation always runs on the model's physical
+    penalty record, whatever its layout objective. *)
+let make_sink ?(config = default) (m : Model.t) ~(cfgs : Cfg.t array)
     ~(ctxs : Pipeline.proc_ctx array) ~(addr : Addr.t) :
     Trace.sink * (unit -> result) =
+  let p = m.Model.penalties in
   let n_procs = Array.length cfgs in
   if Array.length ctxs <> n_procs || Array.length addr.Addr.procs <> n_procs
   then invalid_arg "Cycles.make_sink: inconsistent program description";

@@ -21,12 +21,13 @@ type result = {
   counters : Pipeline.counters;  (** full penalty breakdown *)
 }
 
-(** [make_sink ?config p ~cfgs ~ctxs ~addr] simulates the whole machine;
-    feed the trace into the sink, then call the accessor.
+(** [make_sink ?config m ~cfgs ~ctxs ~addr] simulates the whole machine
+    on the model's physical penalties; feed the trace into the sink,
+    then call the accessor.
     @raise Invalid_argument on inconsistent program descriptions. *)
 val make_sink :
   ?config:config ->
-  Penalties.t ->
+  Model.t ->
   cfgs:Cfg.t array ->
   ctxs:Pipeline.proc_ctx array ->
   addr:Addr.t ->

@@ -1,0 +1,161 @@
+open Ba_cfg
+
+type ext_tsp = {
+  forward_window : int;
+  backward_window : int;
+  fallthrough_weight : int;
+  forward_weight : int;
+  backward_weight : int;
+  scale : int;
+  instr_bytes : int;
+}
+
+(* Windows and relative weights follow Newell–Pupyrev (forward 1024 B,
+   backward 640 B, jump weight 0.1× a fall-through); weights are stored
+   ×[scale] so every score stays an exact integer. *)
+let default_ext_tsp =
+  {
+    forward_window = 1024;
+    backward_window = 640;
+    fallthrough_weight = 1000;
+    forward_weight = 100;
+    backward_weight = 100;
+    scale = 1000;
+    instr_bytes = Icache.alpha_l1.Icache.instr_bytes;
+  }
+
+type objective = Control_penalty | Ext_tsp of ext_tsp
+
+type t = { name : string; penalties : Penalties.t; objective : objective }
+
+let alpha21164 =
+  {
+    name = "alpha21164";
+    penalties = Penalties.alpha_21164;
+    objective = Control_penalty;
+  }
+
+let deep_pipeline =
+  {
+    name = "deep-pipeline";
+    penalties = Penalties.deep_pipeline;
+    objective = Control_penalty;
+  }
+
+let free_fetch =
+  {
+    name = "free-fetch";
+    penalties = Penalties.free_fetch;
+    objective = Control_penalty;
+  }
+
+(* Ext-TSP only changes the layout objective; realization and the
+   simulated machine stay the Alpha so its layouts remain comparable
+   cycle-for-cycle with the paper's. *)
+let ext_tsp ?(window = default_ext_tsp.forward_window) () =
+  {
+    name = Printf.sprintf "ext-tsp:%d" window;
+    penalties = Penalties.alpha_21164;
+    objective = Ext_tsp { default_ext_tsp with forward_window = window };
+  }
+
+let default = alpha21164
+let to_string m = m.name
+
+let known =
+  [ "alpha21164"; "deep-pipeline"; "free-fetch"; "ext-tsp"; "ext-tsp:WINDOW" ]
+
+let find s =
+  match s with
+  | "alpha21164" -> Some alpha21164
+  | "deep-pipeline" -> Some deep_pipeline
+  | "free-fetch" -> Some free_fetch
+  | "ext-tsp" -> Some (ext_tsp ())
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "ext-tsp" -> (
+          let arg = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt arg with
+          | Some w when w > 0 -> Some (ext_tsp ~window:w ())
+          | _ -> None)
+      | _ -> None)
+
+let ext_tsp_params m =
+  match m.objective with Ext_tsp e -> e | Control_penalty -> default_ext_tsp
+
+(* --- objective cost ------------------------------------------------- *)
+
+let total_freq freqs = Array.fold_left (fun acc (_, n) -> acc + n) 0 freqs
+
+let freq_of freqs l =
+  Array.fold_left (fun acc (d, n) -> if d = l then acc + n else acc) 0 freqs
+
+(* Transfers out of [term] that a layout successor [succ] realizes as a
+   fall-through.  Indirect branches never fall through. *)
+let fallthrough_freq term ~succ ~freqs =
+  match (term, succ) with
+  | Block.Goto l, Some s when s = l -> freq_of freqs l
+  | Block.Branch { t; f }, Some s when s = t || s = f -> freq_of freqs s
+  | _ -> 0
+
+let edge_cost m term ~succ ~predicted ~freqs =
+  match m.objective with
+  | Control_penalty -> Cost.edge_cost m.penalties term ~succ ~predicted ~freqs
+  | Ext_tsp e ->
+      (* Minimization form of the Ext-TSP fall-through gain: pay the
+         fall-through weight for every dynamic transfer the adjacency
+         does NOT realize as a fall-through.  The jump-window terms are
+         address-dependent and thus not pairwise; they are scored
+         post-hoc by {!score_proc}.  A non-successor [succ] scores
+         exactly like [None], preserving the sparse row-default
+         invariant of the reduction. *)
+      e.fallthrough_weight * (total_freq freqs - fallthrough_freq term ~succ ~freqs)
+
+(* --- post-hoc Ext-TSP score over realized addresses ------------------ *)
+
+let jump_weight e ~src ~dst =
+  let src_b = src * e.instr_bytes and dst_b = dst * e.instr_bytes in
+  if dst_b > src_b then
+    let d = dst_b - src_b in
+    if d <= e.forward_window then
+      e.forward_weight * (e.forward_window - d) / e.forward_window
+    else 0
+  else
+    let d = src_b - dst_b in
+    if d <= e.backward_window then
+      e.backward_weight * (e.backward_window - d) / e.backward_window
+    else 0
+
+let score_proc e ~(proc : Addr.proc) ~(realized : Layout.realized) ~freqs =
+  let n = Array.length realized.Layout.terms in
+  (* address of the branch instruction ending block [l] (its last
+     instruction — R_fall blocks have no CTI and never reach here) *)
+  let branch_addr l = proc.Addr.block_addr.(l) + proc.Addr.block_len.(l) - 1 in
+  let score = ref 0 in
+  for l = 0 to n - 1 do
+    let rt = realized.Layout.terms.(l) in
+    Array.iter
+      (fun (dst, count) ->
+        if count > 0 then
+          let w =
+            match rt with
+            | Layout.R_exit | Layout.R_multi _ -> 0
+            | Layout.R_fall _ -> e.fallthrough_weight
+            | Layout.R_jump _ ->
+                jump_weight e ~src:(branch_addr l)
+                  ~dst:proc.Addr.block_addr.(dst)
+            | Layout.R_cond { taken; fall = _; via_fixup } ->
+                if dst = taken then
+                  jump_weight e ~src:(branch_addr l)
+                    ~dst:proc.Addr.block_addr.(dst)
+                else if via_fixup then
+                  match proc.Addr.fixup_addr.(l) with
+                  | Some a ->
+                      jump_weight e ~src:a ~dst:proc.Addr.block_addr.(dst)
+                  | None -> 0
+                else e.fallthrough_weight
+          in
+          score := !score + (count * w))
+      (freqs l)
+  done;
+  !score

@@ -1,0 +1,103 @@
+(** Pluggable machine model: a named objective the whole stack is
+    parametric over.
+
+    A model bundles the physical penalty record used for realization and
+    simulation ({!Penalties.t}) with the {e layout objective} the DTSP
+    reduction minimizes.  The default [alpha21164] model reproduces the
+    paper bit-for-bit; [ext-tsp] swaps the objective for the
+    Mestre–Pupyrev–Umboh Ext-TSP score while keeping the Alpha machine
+    for realization, so layouts from both eras are comparable on
+    identical profiles.  See docs/MODELS.md. *)
+
+open Ba_cfg
+
+(** Ext-TSP parameters.  Distances are in bytes; weights are fixed-point
+    integers ×[scale] so scores are exact and deterministic. *)
+type ext_tsp = {
+  forward_window : int;  (** max rewarded forward-jump distance, bytes *)
+  backward_window : int;  (** max rewarded backward-jump distance, bytes *)
+  fallthrough_weight : int;  (** weight of a fall-through transfer *)
+  forward_weight : int;  (** peak weight of a zero-length forward jump *)
+  backward_weight : int;  (** peak weight of a zero-length backward jump *)
+  scale : int;  (** fixed-point denominator of the weights *)
+  instr_bytes : int;  (** bytes per instruction for address→byte *)
+}
+
+(** Newell–Pupyrev defaults: 1024 B / 640 B windows, jumps worth 0.1× a
+    fall-through, 4-byte instructions, scale 1000. *)
+val default_ext_tsp : ext_tsp
+
+type objective =
+  | Control_penalty
+      (** the paper's objective: penalty cycles at each terminator *)
+  | Ext_tsp of ext_tsp
+      (** maximize weighted fall-throughs + short jumps (encoded as a
+          minimization; see {!edge_cost}) *)
+
+type t = {
+  name : string;  (** canonical CLI/wire spelling, e.g. ["ext-tsp:1024"] *)
+  penalties : Penalties.t;  (** physical machine for realize/simulate *)
+  objective : objective;
+}
+
+(** The Alpha 21164 control-penalty model — the default everywhere; all
+    output under it is bit-identical to the pre-model code. *)
+val alpha21164 : t
+
+(** {!Penalties.deep_pipeline} as a registered model (ablation). *)
+val deep_pipeline : t
+
+(** {!Penalties.free_fetch} as a registered model (ablation). *)
+val free_fetch : t
+
+(** [ext_tsp ?window ()] is the Ext-TSP objective with the given forward
+    window in bytes (default 1024).  Realization still uses the Alpha
+    penalties. *)
+val ext_tsp : ?window:int -> unit -> t
+
+(** [alpha21164]. *)
+val default : t
+
+(** Canonical name, accepted back by {!find}. *)
+val to_string : t -> string
+
+(** The spellings {!find} accepts, for error messages. *)
+val known : string list
+
+(** Parse a model name: ["alpha21164"], ["deep-pipeline"],
+    ["free-fetch"], ["ext-tsp"] or ["ext-tsp:<window>"] with a positive
+    byte window. *)
+val find : string -> t option
+
+(** The model's Ext-TSP parameters if its objective is [Ext_tsp],
+    otherwise {!default_ext_tsp} (used to report the Ext-TSP score of
+    layouts produced under any model). *)
+val ext_tsp_params : t -> ext_tsp
+
+(** The DTSP edge weight under this model: for [Control_penalty] exactly
+    {!Cost.edge_cost} of the model's penalties; for [Ext_tsp] the
+    fall-through weight of every dynamic transfer the adjacency does not
+    realize as a fall-through (the pairwise part of the Ext-TSP gain —
+    window terms are address-dependent and scored by {!score_proc}).
+    Both preserve the reduction's invariant that a non-successor [succ]
+    costs the same as [succ:None]. *)
+val edge_cost :
+  t ->
+  Block.terminator ->
+  succ:int option ->
+  predicted:int option ->
+  freqs:(int * int) array ->
+  int
+
+(** [score_proc e ~proc ~realized ~freqs] is the scaled Ext-TSP score of
+    one realized procedure: over every dynamic transfer, a fall-through
+    earns [fallthrough_weight], a direct jump within the window earns
+    the linearly decayed jump weight (measured from the branch — or
+    inserted fixup — instruction to the target's first byte), and exits
+    and indirect branches earn 0.  Higher is better. *)
+val score_proc :
+  ext_tsp ->
+  proc:Addr.proc ->
+  realized:Layout.realized ->
+  freqs:(int -> (int * int) array) ->
+  int

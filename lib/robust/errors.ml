@@ -37,6 +37,9 @@ type t =
   | Invalid_layout of { proc : int option; name : string option; reason : string }
       (** a realized layout failed the semantic faithfulness check *)
   | Io_error of { path : string; reason : string }
+  | Unknown_model of { requested : string; known : string list }
+      (** a model name (CLI flag or serve request field) is not in the
+          {!Ba_machine.Model} registry *)
   | Usage of string  (** mutually exclusive flags and similar CLI misuse *)
   | Internal of { where : string; reason : string }
       (** an unexpected exception, converted rather than propagated *)
@@ -86,6 +89,11 @@ let pp ppf = function
         Fmt.(option (fun ppf n -> Fmt.pf ppf " (%s)" n))
         name reason
   | Io_error { path; reason } -> Fmt.pf ppf "%s: %s" path reason
+  | Unknown_model { requested; known } ->
+      (* non-breaking separator: this message travels in single-line
+         wire payloads *)
+      Fmt.pf ppf "unknown model %S (known: %s)" requested
+        (String.concat ", " known)
   | Usage m -> Fmt.pf ppf "usage: %s" m
   | Internal { where; reason } -> Fmt.pf ppf "internal error in %s: %s" where reason
 
@@ -95,7 +103,7 @@ let to_string e = Fmt.str "%a" pp e
     success; 1 is reserved for untyped failures; 2 for CLI misuse;
     124/125 belong to Cmdliner. *)
 let exit_code = function
-  | Usage _ -> 2
+  | Usage _ | Unknown_model _ -> 2
   | Parse_error _ -> 3
   | Invalid_input _ -> 4
   | Invalid_cfg _ -> 5

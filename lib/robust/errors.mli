@@ -29,6 +29,9 @@ type t =
     }
   | Invalid_layout of { proc : int option; name : string option; reason : string }
   | Io_error of { path : string; reason : string }
+  | Unknown_model of { requested : string; known : string list }
+      (** a model name not in the {!Ba_machine.Model} registry; shares
+          the CLI-misuse exit code *)
   | Usage of string
   | Internal of { where : string; reason : string }
 

@@ -26,6 +26,11 @@ let fnv1a_int h v =
   done;
   !h
 
+let string_sketch s0 =
+  let h = ref fnv_offset in
+  String.iter (fun c -> h := fnv1a_byte !h (Char.code c)) s0;
+  !h
+
 let profile_sketch (p : Profile.proc) =
   let h = ref (fnv1a_int fnv_offset (Array.length p.Profile.freqs)) in
   Array.iter
@@ -37,10 +42,19 @@ let profile_sketch (p : Profile.proc) =
     p.Profile.freqs;
   !h
 
-type key = { cfg_hash : int64; profile_hash : int64 }
+type key = { cfg_hash : int64; profile_hash : int64; model_hash : int64 }
 
-let key_of cfg profile =
-  { cfg_hash = Cfg.structural_hash cfg; profile_hash = profile_sketch profile }
+(* the model participates in the key through its canonical name, so one
+   daemon caches layouts for several models side by side and a hit is
+   always certified under the very model that produced it *)
+let model_sketch m = string_sketch (Ba_machine.Model.to_string m)
+
+let key_of cfg profile ~model =
+  {
+    cfg_hash = Cfg.structural_hash cfg;
+    profile_hash = profile_sketch profile;
+    model_hash = model_sketch model;
+  }
 
 type entry = {
   e_key : key;
@@ -52,7 +66,8 @@ type entry = {
 type t = {
   capacity : int;
   tbl : (key, entry) Hashtbl.t;
-  drift : (int64, entry) Hashtbl.t;  (** cfg hash → most recently added *)
+  drift : (int64 * int64, entry) Hashtbl.t;
+      (** (cfg hash, model hash) → most recently added *)
   mutable tick : int;
 }
 
@@ -77,22 +92,24 @@ let find t key =
       touch t e;
       Some (Array.copy e.order, e.cost)
 
+let drift_key key = (key.cfg_hash, key.model_hash)
+
 let remove t key =
   match Hashtbl.find_opt t.tbl key with
   | None -> ()
   | Some e ->
       Hashtbl.remove t.tbl key;
       (* the drift index may point at the removed entry; repoint it at
-         the most recent surviving entry for that CFG, if any *)
-      (match Hashtbl.find_opt t.drift key.cfg_hash with
+         the most recent surviving entry for that (CFG, model), if any *)
+      (match Hashtbl.find_opt t.drift (drift_key key) with
       | Some d when d == e ->
-          Hashtbl.remove t.drift key.cfg_hash;
+          Hashtbl.remove t.drift (drift_key key);
           Hashtbl.iter
             (fun k e' ->
-              if k.cfg_hash = key.cfg_hash then
-                match Hashtbl.find_opt t.drift key.cfg_hash with
+              if drift_key k = drift_key key then
+                match Hashtbl.find_opt t.drift (drift_key key) with
                 | Some cur when cur.last_use >= e'.last_use -> ()
-                | _ -> Hashtbl.replace t.drift key.cfg_hash e')
+                | _ -> Hashtbl.replace t.drift (drift_key key) e')
             t.tbl
       | _ -> ())
 
@@ -115,10 +132,12 @@ let add t key order cost =
   let e = { e_key = key; order = Array.copy order; cost; last_use = 0 } in
   touch t e;
   Hashtbl.replace t.tbl key e;
-  Hashtbl.replace t.drift key.cfg_hash e
+  Hashtbl.replace t.drift (drift_key key) e
 
-let drift_hint t cfg_hash =
-  Option.map (fun e -> Array.copy e.order) (Hashtbl.find_opt t.drift cfg_hash)
+let drift_hint t key =
+  Option.map
+    (fun e -> Array.copy e.order)
+    (Hashtbl.find_opt t.drift (drift_key key))
 
 (* ---------------- persistence ---------------- *)
 
@@ -141,7 +160,7 @@ let save t path =
   let doc =
     Json.Obj
       [
-        ("schema", Json.String "balign-cache-1");
+        ("schema", Json.String "balign-cache-2");
         ( "entries",
           Json.List
             (List.map
@@ -150,6 +169,7 @@ let save t path =
                    [
                      ("cfg", Json.String (hex e.e_key.cfg_hash));
                      ("profile", Json.String (hex e.e_key.profile_hash));
+                     ("model", Json.String (hex e.e_key.model_hash));
                      ( "layout",
                        Json.List
                          (Array.to_list
@@ -177,7 +197,7 @@ let load ~capacity path =
       | Error m -> fail ("invalid cache JSON: " ^ m)
       | Ok doc -> (
           match Option.bind (Json.member "schema" doc) Json.to_str with
-          | Some "balign-cache-1" -> (
+          | Some "balign-cache-2" -> (
               match Option.bind (Json.member "entries" doc) Json.to_list with
               | None -> fail "cache has no entries list"
               | Some entries ->
@@ -193,14 +213,20 @@ let load ~capacity path =
                         |> Fun.flip Option.bind of_hex,
                         Option.bind (Json.member "profile" e) Json.to_str
                         |> Fun.flip Option.bind of_hex,
+                        Option.bind (Json.member "model" e) Json.to_str
+                        |> Fun.flip Option.bind of_hex,
                         Option.bind (Json.member "layout" e) Json.to_list,
                         Option.bind (Json.member "cost" e) to_int )
                     with
-                    | Some cfg_hash, Some profile_hash, Some layout, Some cost ->
+                    | ( Some cfg_hash,
+                        Some profile_hash,
+                        Some model_hash,
+                        Some layout,
+                        Some cost ) ->
                         let order = List.filter_map to_int layout in
                         if List.length order = List.length layout then
                           Some
-                            ( { cfg_hash; profile_hash },
+                            ( { cfg_hash; profile_hash; model_hash },
                               Array.of_list order,
                               cost )
                         else None
@@ -214,4 +240,4 @@ let load ~capacity path =
                       | None -> bad := true)
                     entries;
                   if !bad then fail "cache entry is malformed" else Ok t)
-          | _ -> fail "not a balign-cache-1 snapshot"))
+          | _ -> fail "not a balign-cache-2 snapshot"))

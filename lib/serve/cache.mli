@@ -1,25 +1,30 @@
 (** Certified layout cache for the daemon, keyed by (CFG structural
-    hash, profile sketch) with LRU eviction and optional JSON
-    persistence for warm restarts.
+    hash, profile sketch, model name hash) with LRU eviction and
+    optional JSON persistence for warm restarts.  One daemon serves
+    several models from the same cache without cross-talk: the model's
+    canonical name is part of the key.
 
     The cache stores {e claims}, not truths: a 64-bit key can collide
     and a persisted file can be tampered with, so the server re-runs
     {!Ba_check.Certify} on every hit before trusting a cached layout —
     a poisoned entry is evicted and re-solved, never served (see
     docs/SERVING.md).  Next to the exact map the cache keeps a
-    per-CFG {e drift index}: the most recent layout of each CFG hash,
-    used to warm-start the solver when the same procedure arrives with
-    a changed profile. *)
+    per-(CFG, model) {e drift index}: the most recent layout of each
+    (CFG hash, model hash) pair, used to warm-start the solver when the
+    same procedure arrives with a changed profile. *)
 
 open Ba_cfg
 module Profile = Ba_profile.Profile
 
-type key = { cfg_hash : int64; profile_hash : int64 }
+type key = { cfg_hash : int64; profile_hash : int64; model_hash : int64 }
 
 (** Order-sensitive 64-bit digest of a per-procedure profile. *)
 val profile_sketch : Profile.proc -> int64
 
-val key_of : Cfg.t -> Profile.proc -> key
+(** FNV-1a digest of the model's canonical name. *)
+val model_sketch : Ba_machine.Model.t -> int64
+
+val key_of : Cfg.t -> Profile.proc -> model:Ba_machine.Model.t -> key
 
 type t
 
@@ -41,11 +46,12 @@ val add : t -> key -> Layout.order -> int -> unit
     poisoned or a key collision). *)
 val remove : t -> key -> unit
 
-(** Most recent layout cached for this CFG hash under {e any} profile —
-    the warm-start seed for profile drift.  Copied. *)
-val drift_hint : t -> int64 -> Layout.order option
+(** Most recent layout cached for the key's (CFG hash, model hash)
+    under {e any} profile — the warm-start seed for profile drift.
+    Copied. *)
+val drift_hint : t -> key -> Layout.order option
 
-(** {1 Persistence (schema ["balign-cache-1"])} *)
+(** {1 Persistence (schema ["balign-cache-2"])} *)
 
 (** [save t path] writes every entry as canonical JSON. *)
 val save : t -> string -> (unit, Ba_robust.Errors.t) result

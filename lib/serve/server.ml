@@ -18,7 +18,8 @@ module Json = Ba_obs.Json
 
 type config = {
   executor : Executor.t;
-  penalties : Ba_machine.Penalties.t;
+  model : Ba_machine.Model.t;
+      (** default cost model for requests without a [model] field *)
   cache_capacity : int;
   cache_file : string option;
   max_frame_bytes : int;
@@ -30,7 +31,7 @@ type config = {
 let default =
   {
     executor = Executor.Seq;
-    penalties = Ba_machine.Penalties.alpha_21164;
+    model = Ba_machine.Model.default;
     cache_capacity = 256;
     cache_file = None;
     max_frame_bytes = 4 * 1024 * 1024;
@@ -85,12 +86,18 @@ let stats_json cache =
     entries and 64-bit key collisions: a layout for a different CFG
     cannot survive the walk/faithfulness checks, and a corrupted cost
     fails the from-scratch recomputation. *)
-let certify config cfg profile order =
+let certify ~model cfg profile order =
   Ba_check.Certify.proc_cert ~hk:Ba_check.Certify.Skip ~sym_check:false ~proc:0
-    config.penalties cfg ~profile ~order
+    model cfg ~profile ~order
+
+(** The model one request runs under: its own, or the server's
+    default. *)
+let request_model config (options : Wire.align_options) =
+  Option.value options.Wire.model ~default:config.model
 
 let solve config cache ~key ~warm cfg profile (options : Wire.align_options) :
     (Wire.ok_payload, Errors.t) result =
+  let model = request_model config options in
   let requested =
     match options.Wire.deadline_ms with
     | Some _ as d -> d
@@ -102,14 +109,14 @@ let solve config cache ~key ~warm cfg profile (options : Wire.align_options) :
     Ba_align.Driver.align_checked ~executor:config.executor ?deadline_ms
       ~fallback:true
       ~warm_start:(fun _ -> warm)
-      options.Wire.method_ config.penalties [| cfg |] ~train
+      options.Wire.method_ model [| cfg |] ~train
   with
   | Error e -> Error e
   | Ok report -> (
       let order = report.Ba_align.Driver.aligned.Ba_align.Driver.orders.(0) in
       (* never respond with an uncertified layout — not even one the
          checked driver just produced *)
-      match certify config cfg profile order with
+      match certify ~model cfg profile order with
       | Error e ->
           Error
             (Errors.Invalid_layout
@@ -132,12 +139,13 @@ let solve config cache ~key ~warm cfg profile (options : Wire.align_options) :
 
 let handle_align config cache cfg profile options :
     (Wire.ok_payload, Errors.t) result =
-  let key = Cache.key_of cfg profile in
+  let model = request_model config options in
+  let key = Cache.key_of cfg profile ~model in
   match Cache.find cache key with
   | Some (order, cost) -> (
       (* hit-time re-certification: the cache (and any persisted
          snapshot it was loaded from) is untrusted *)
-      match certify config cfg profile order with
+      match certify ~model cfg profile order with
       | Ok cert ->
           Metrics.incr Metrics.Serve_cache_hits;
           ignore cost;
@@ -160,7 +168,7 @@ let handle_align config cache cfg profile options :
       Metrics.incr Metrics.Serve_cache_misses;
       (* same CFG seen under another profile? seed the solver with its
          layout: incremental re-alignment after profile drift *)
-      let warm = Cache.drift_hint cache key.Cache.cfg_hash in
+      let warm = Cache.drift_hint cache key in
       if warm <> None then Metrics.incr Metrics.Serve_warm_starts;
       solve config cache ~key ~warm cfg profile options
 

@@ -19,7 +19,8 @@
 
 type config = {
   executor : Ba_engine.Executor.t;  (** pool the align tasks run on *)
-  penalties : Ba_machine.Penalties.t;
+  model : Ba_machine.Model.t;
+      (** default cost model for requests that carry no [model] field *)
   cache_capacity : int;  (** LRU entries (≥ 1) *)
   cache_file : string option;
       (** load at start (missing file = cold start), save on exit *)

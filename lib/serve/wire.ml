@@ -206,10 +206,16 @@ let buffered_frames r =
 type align_options = {
   deadline_ms : int option;
   method_ : Ba_align.Driver.method_;
+  model : Ba_machine.Model.t option;
+      (** [None] = the server's configured default model *)
 }
 
 let default_options =
-  { deadline_ms = None; method_ = Ba_align.Driver.Tsp Ba_align.Tsp_align.default }
+  {
+    deadline_ms = None;
+    method_ = Ba_align.Driver.Tsp Ba_align.Tsp_align.default;
+    model = None;
+  }
 
 type request =
   | Align of {
@@ -426,11 +432,26 @@ let options_of_json = function
             | Some "greedy" -> Ok Ba_align.Driver.Greedy
             | Some "calder" -> Ok Ba_align.Driver.Calder
             | Some "calder-exhaustive" -> Ok Ba_align.Driver.Calder_exhaustive
+            | Some "btfnt" -> Ok Ba_align.Driver.Btfnt
             | Some "tsp" -> Ok (Ba_align.Driver.Tsp Ba_align.Tsp_align.default)
             | Some s -> Error (Errors.Usage (Printf.sprintf "unknown method %S" s))
             | None -> perr "method is not a string")
       in
-      Ok { deadline_ms; method_ }
+      let* model =
+        match Json.member "model" v with
+        | None -> Ok None
+        | Some m -> (
+            match Json.to_str m with
+            | None -> perr "model is not a string"
+            | Some s -> (
+                match Ba_machine.Model.find s with
+                | Some model -> Ok (Some model)
+                | None ->
+                    Error
+                      (Errors.Unknown_model
+                         { requested = s; known = Ba_machine.Model.known })))
+      in
+      Ok { deadline_ms; method_; model }
 
 let method_string = Ba_align.Driver.method_name
 
@@ -440,6 +461,9 @@ let options_to_json (o : align_options) : Json.t =
        [
          Option.map (fun ms -> ("deadline_ms", Json.Int ms)) o.deadline_ms;
          Some ("method", Json.String (method_string o.method_));
+         Option.map
+           (fun m -> ("model", Json.String (Ba_machine.Model.to_string m)))
+           o.model;
        ])
 
 let request_of_string ?(max_blocks = 100_000) s =
@@ -489,6 +513,7 @@ let error_class : Errors.t -> string = function
   | Errors.Solver_timeout _ -> "solver-timeout"
   | Errors.Invalid_layout _ -> "invalid-layout"
   | Errors.Io_error _ -> "io-error"
+  | Errors.Unknown_model _ -> "unknown-model"
   | Errors.Usage _ -> "usage"
   | Errors.Internal _ -> "internal"
 

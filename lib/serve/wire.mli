@@ -58,6 +58,10 @@ val buffered_frames : reader -> int
 type align_options = {
   deadline_ms : int option;  (** per-request solver budget *)
   method_ : Ba_align.Driver.method_;  (** default: the paper's TSP aligner *)
+  model : Ba_machine.Model.t option;
+      (** requested cost model; [None] = the server's configured
+          default.  An unrecognized name decodes to a typed
+          [Unknown_model] error (wire class ["unknown-model"]). *)
 }
 
 val default_options : align_options

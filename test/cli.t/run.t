@@ -48,6 +48,26 @@ Output is bit-identical at any job count:
   $ $BALIGN align p.mc --input 9 --jobs max > jmax.out 2>/dev/null
   $ cmp j1.out jmax.out
 
+--model selects the cost model.  The default is the paper's Alpha
+21164, so naming it changes nothing; deep-pipeline re-prices the same
+machine; ext-tsp:512 swaps the layout objective entirely (the penalty
+is still reported in Alpha cycles for comparability).  Names outside
+the registry are rejected at the command line:
+
+  $ $BALIGN align p.mc --input 9 --model alpha21164 > flag.out
+  $ $BALIGN align p.mc --input 9 > noflag.out
+  $ cmp flag.out noflag.out
+  $ $BALIGN align p.mc --input 9 --model deep-pipeline
+  main: 0 4 6 1 2 5 3
+  control penalty: 86 -> 62 cycles (tsp)
+  simulated cycles: 320 -> 284 (icache misses 4 -> 4)
+  $ $BALIGN align p.mc --input 9 --model ext-tsp:512
+  main: 0 5 6 1 2 4 3
+  control penalty: 61 -> 40 cycles (tsp)
+  simulated cycles: 295 -> 261 (icache misses 4 -> 4)
+  $ $BALIGN align p.mc --input 9 --model vliw-9000 2>/dev/null
+  [124]
+
 --trace writes a loadable Chrome trace_event file.  align runs the
 requested and the original layouts, so two task groups appear:
 

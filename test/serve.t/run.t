@@ -30,6 +30,35 @@ The stream ends with the shutdown verb and exit 0:
   28
   {"id":9,"status":"shutdown"}
 
+One daemon, several cost models: requests may carry an options.model
+field (default: the server's --model).  Each model keys its own cache
+slice — the second round of identical requests hits for every model,
+and the costs differ because the objectives do (70 Alpha penalty
+cycles, 120 under deep-pipeline, a scaled Ext-TSP objective for
+ext-tsp:512).  A model name outside the registry is a typed
+unknown-model error and the daemon keeps serving:
+
+  $ deep='{"id":2,"verb":"align","options":{"model":"deep-pipeline"},"cfg":{"name":"f","entry":0,"blocks":[{"size":4,"term":{"kind":"branch","t":1,"f":2}},{"size":2,"term":{"kind":"goto","to":3}},{"size":7,"term":{"kind":"goto","to":3}},{"size":1,"term":{"kind":"exit"}}]},"profile":[[[1,10],[2,90]],[[3,10]],[[3,90]],[]]}'
+  $ ext='{"id":3,"verb":"align","options":{"model":"ext-tsp:512"},"cfg":{"name":"f","entry":0,"blocks":[{"size":4,"term":{"kind":"branch","t":1,"f":2}},{"size":2,"term":{"kind":"goto","to":3}},{"size":7,"term":{"kind":"goto","to":3}},{"size":1,"term":{"kind":"exit"}}]},"profile":[[[1,10],[2,90]],[[3,10]],[[3,90]],[]]}'
+  $ unk='{"id":4,"verb":"align","options":{"model":"vliw-9000"},"cfg":{"name":"f","entry":0,"blocks":[{"size":1,"term":{"kind":"exit"}}]},"profile":[[]]}'
+  $ { frame "$req"; frame "$deep"; frame "$ext"; frame "$req"; frame "$deep"; frame "$ext"; frame "$unk"; frame "$shut"; } | $BALIGN serve
+  93
+  {"id":1,"status":"ok","layout":[0,2,3,1],"cost":70,"cached":false,"warm":false,"fallbacks":0}
+  94
+  {"id":2,"status":"ok","layout":[0,2,3,1],"cost":120,"cached":false,"warm":false,"fallbacks":0}
+  96
+  {"id":3,"status":"ok","layout":[0,2,3,1],"cost":20000,"cached":false,"warm":false,"fallbacks":0}
+  92
+  {"id":1,"status":"ok","layout":[0,2,3,1],"cost":70,"cached":true,"warm":false,"fallbacks":0}
+  93
+  {"id":2,"status":"ok","layout":[0,2,3,1],"cost":120,"cached":true,"warm":false,"fallbacks":0}
+  95
+  {"id":3,"status":"ok","layout":[0,2,3,1],"cost":20000,"cached":true,"warm":false,"fallbacks":0}
+  185
+  {"id":4,"status":"error","error":{"class":"unknown-model","exit_code":2,"message":"unknown model \"vliw-9000\" (known: alpha21164, deep-pipeline, free-fetch, ext-tsp, ext-tsp:WINDOW)"}}
+  28
+  {"id":9,"status":"shutdown"}
+
 An oversized frame is skipped without buffering it and the stream stays
 synchronized — the shutdown frame right behind it is still served:
 

@@ -11,7 +11,7 @@ open Ba_cfg
 open Ba_align
 module Profile = Ba_profile.Profile
 
-let p = Ba_machine.Penalties.alpha_21164
+let p = Ba_machine.Model.alpha21164
 let rng = Random.State.make [| 7 |]
 
 let random_setup ?(n = 8) ?(invocations = 20) ?(seed = 1234) () =
@@ -288,7 +288,7 @@ let test_btfnt_loop_back_edge_predicted () =
   (* backward taken arm predicted: 100 taken × misfetch(1) + 1 exit
      fall-through mispredicted (predicted taken) × 5 *)
   Alcotest.(check int) "loop penalty" 105
-    (Btfnt.proc_penalty p g ~realized:r ~test:prof)
+    (Btfnt.proc_penalty p.Ba_machine.Model.penalties g ~realized:r ~test:prof)
 
 let test_btfnt_forward_branch_predicted_not_taken () =
   (* diamond, forward branch: fall arm predicted; taken transfers
@@ -312,7 +312,7 @@ let test_btfnt_forward_branch_predicted_not_taken () =
      transfers: 0->1: fall predicted: 0 ; 0->2: mispredict: 90·5
      block 1: jump to 3 (succ is 2): 10·2 ; block 2: falls to 3: 0 *)
   Alcotest.(check int) "forward penalty" 470
-    (Btfnt.proc_penalty p g ~realized:r ~test:prof)
+    (Btfnt.proc_penalty p.Ba_machine.Model.penalties g ~realized:r ~test:prof)
 
 let test_btfnt_multiway_always_mispredicts () =
   let g =
@@ -326,7 +326,7 @@ let test_btfnt_multiway_always_mispredicts () =
   let prof = Profile.of_assoc ~n_blocks:3 [ (0, 1, 7); (0, 2, 3) ] in
   let r, _ = Evaluate.realize p g ~order:[| 0; 1; 2 |] ~train:prof in
   Alcotest.(check int) "all multiway mispredict" 30
-    (Btfnt.proc_penalty p g ~realized:r ~test:prof)
+    (Btfnt.proc_penalty p.Ba_machine.Model.penalties g ~realized:r ~test:prof)
 
 (* ---------------- procedure ordering ---------------- *)
 

@@ -129,7 +129,7 @@ let test_gate_matches_driver () =
         let gate = Lint.gate ~profile:s.Faults.profile s.Faults.cfgs in
         let driver =
           Ba_align.Driver.align_checked Ba_align.Driver.Greedy
-            Ba_machine.Penalties.alpha_21164 s.Faults.cfgs
+            Ba_machine.Model.alpha21164 s.Faults.cfgs
             ~train:s.Faults.profile
         in
         match (gate, driver) with

@@ -15,7 +15,7 @@ module Driver = Ba_align.Driver
 module Penalties = Ba_machine.Penalties
 module Sym = Ba_tsp.Sym
 
-let penalties = Penalties.alpha_21164
+let penalties = Ba_machine.Model.alpha21164
 
 let scenario ~seed =
   let rng = Random.State.make [| 0xCE57; seed |] in

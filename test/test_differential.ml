@@ -10,7 +10,7 @@
 module Driver = Ba_align.Driver
 module Compile = Ba_minic.Compile
 
-let penalties = Ba_machine.Penalties.alpha_21164
+let penalties = Ba_machine.Model.alpha21164
 
 (** Find the repo's [examples/programs] directory by walking up from
     the test's working directory (works from the source tree and from
@@ -91,8 +91,13 @@ let test_seeded_fault_detected () =
   let faulty =
     {
       penalties with
-      Ba_machine.Penalties.cond_mispredict =
-        penalties.Ba_machine.Penalties.cond_mispredict + 1;
+      Ba_machine.Model.penalties =
+        {
+          penalties.Ba_machine.Model.penalties with
+          Ba_machine.Penalties.cond_mispredict =
+            penalties.Ba_machine.Model.penalties
+              .Ba_machine.Penalties.cond_mispredict + 1;
+        };
     }
   in
   let sim = Driver.simulate faulty aligned ~run in

@@ -10,7 +10,7 @@ module Profile = Ba_profile.Profile
 module Synthetic = Ba_harness.Synthetic
 module Errors = Ba_robust.Errors
 
-let penalties = Ba_machine.Penalties.alpha_21164
+let penalties = Ba_machine.Model.alpha21164
 
 (** The executors every check runs under. *)
 let executors () =

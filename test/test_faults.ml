@@ -8,7 +8,7 @@ module Faults = Ba_harness.Faults
 module Synthetic = Ba_harness.Synthetic
 module Errors = Ba_robust.Errors
 
-let penalties = Ba_machine.Penalties.alpha_21164
+let penalties = Ba_machine.Model.alpha21164
 
 (** A small random multi-procedure program with a matching profile. *)
 let scenario ~seed : Faults.scenario =

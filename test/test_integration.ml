@@ -6,7 +6,7 @@
 module W = Ba_workloads.Workload
 open Ba_align
 
-let p = Ba_machine.Penalties.alpha_21164
+let p = Ba_machine.Model.alpha21164
 
 (* keep the suite fast: the two cheapest benchmarks plus the interpreter *)
 let subjects () = [ (W.su2, "sh"); (W.eqn, "ip"); (W.xli, "ne") ]

@@ -305,7 +305,7 @@ let test_cycles_end_to_end () =
   let ctx = Pipeline.ctx_of_realized r ~predicted in
   let addr = Addr.build [| (g, r) |] in
   let sink, result =
-    Cycles.make_sink p ~cfgs:[| g |] ~ctxs:[| ctx |] ~addr
+    Cycles.make_sink Model.alpha21164 ~cfgs:[| g |] ~ctxs:[| ctx |] ~addr
   in
   List.iter sink
     [

@@ -182,7 +182,7 @@ let prop_fuzzed_programs_align =
           with
           | exception Interp.Runtime_error _ -> true (* nothing to align *)
           | prof ->
-              let p = Ba_machine.Penalties.alpha_21164 in
+              let p = Ba_machine.Model.alpha21164 in
               Array.for_all
                 (fun fid ->
                   let g = c.Compile.cfgs.(fid) in

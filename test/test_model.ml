@@ -1,0 +1,391 @@
+(* Tests for the pluggable machine-model layer ({!Ba_machine.Model}):
+   the registry must round-trip every accepted spelling and reject the
+   rest; the default model's DTSP edge cost must be bit-identical to the
+   raw {!Ba_machine.Cost} it subsumes; and the Ext-TSP objective must
+   agree with an independent brute-force reference — addresses
+   recomputed from the item list, transfers classified from scratch —
+   on small random CFGs and layouts. *)
+
+open Ba_cfg
+module Model = Ba_machine.Model
+module Cost = Ba_machine.Cost
+module Penalties = Ba_machine.Penalties
+module Addr = Ba_machine.Addr
+module Profile = Ba_profile.Profile
+module Evaluate = Ba_align.Evaluate
+module Driver = Ba_align.Driver
+
+let gen_seed = QCheck2.Gen.int_bound 1_000_000
+
+(* ---------------- registry ---------------- *)
+
+let test_registry_roundtrip () =
+  List.iter
+    (fun m ->
+      match Model.find (Model.to_string m) with
+      | Some m' ->
+          Alcotest.(check string)
+            (Model.to_string m ^ ": round-trips")
+            (Model.to_string m) (Model.to_string m')
+      | None ->
+          Alcotest.failf "find rejects its own spelling %S" (Model.to_string m))
+    [
+      Model.alpha21164;
+      Model.deep_pipeline;
+      Model.free_fetch;
+      Model.ext_tsp ();
+      Model.ext_tsp ~window:512 ();
+    ]
+
+let test_registry_spellings () =
+  let name s =
+    match Model.find s with
+    | Some m -> Model.to_string m
+    | None -> Alcotest.failf "find rejects %S" s
+  in
+  Alcotest.(check string) "alpha21164" "alpha21164" (name "alpha21164");
+  Alcotest.(check string) "deep-pipeline" "deep-pipeline" (name "deep-pipeline");
+  Alcotest.(check string) "free-fetch" "free-fetch" (name "free-fetch");
+  (* the bare spelling is canonicalized to its default window *)
+  Alcotest.(check string) "ext-tsp" "ext-tsp:1024" (name "ext-tsp");
+  Alcotest.(check string) "ext-tsp:512" "ext-tsp:512" (name "ext-tsp:512");
+  (match Model.find "ext-tsp:512" with
+  | Some { Model.objective = Model.Ext_tsp e; _ } ->
+      Alcotest.(check int) "window parsed" 512 e.Model.forward_window
+  | _ -> Alcotest.fail "ext-tsp:512 is not an Ext_tsp objective");
+  Alcotest.(check string)
+    "default is the paper's machine" "alpha21164"
+    (Model.to_string Model.default)
+
+let test_registry_rejects () =
+  List.iter
+    (fun s ->
+      match Model.find s with
+      | None -> ()
+      | Some m ->
+          Alcotest.failf "find %S unexpectedly gave %S" s (Model.to_string m))
+    [
+      ""; "vliw-9000"; "alpha"; "ALPHA21164"; " alpha21164"; "ext-tsp:";
+      "ext-tsp:0"; "ext-tsp:-64"; "ext-tsp:abc"; "ext-tsp:1024:1024";
+      "deep_pipeline";
+    ]
+
+let test_model_penalties () =
+  Alcotest.(check bool)
+    "deep-pipeline carries its penalty record" true
+    (Model.deep_pipeline.Model.penalties = Penalties.deep_pipeline);
+  Alcotest.(check bool)
+    "free-fetch carries its penalty record" true
+    (Model.free_fetch.Model.penalties = Penalties.free_fetch);
+  (* Ext-TSP only swaps the objective: realization stays on the Alpha *)
+  Alcotest.(check bool)
+    "ext-tsp realizes on the Alpha" true
+    ((Model.ext_tsp ()).Model.penalties = Penalties.alpha_21164)
+
+(* ---------------- generators ---------------- *)
+
+let random_cfg_profile seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 2 + Random.State.int rng 12 in
+  let g = Ba_testutil.Gen.cfg rng ~n in
+  let prof =
+    Ba_testutil.Gen.profile_of ~seed:(seed + 1) g
+      ~invocations:(1 + Random.State.int rng 40)
+      ~max_steps:80
+  in
+  (rng, g, prof)
+
+(* a uniformly random valid layout: entry first, rest shuffled *)
+let random_order rng (g : Cfg.t) =
+  let n = Cfg.n_blocks g in
+  let rest = Array.init (n - 1) (fun i -> i + 1) in
+  for i = Array.length rest - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = rest.(i) in
+    rest.(i) <- rest.(j);
+    rest.(j) <- t
+  done;
+  Array.append [| g.Cfg.entry |] rest
+
+(* ---------------- default-model bit-identity ---------------- *)
+
+(* Under every Control_penalty model the DTSP edge weight must be the
+   raw Cost.edge_cost of that model's penalties, on every (block, succ)
+   pair including the no-successor row default. *)
+let prop_control_penalty_identity =
+  QCheck2.Test.make ~count:200
+    ~name:"Control_penalty edge_cost = Cost.edge_cost (all models)" gen_seed
+    (fun seed ->
+      let _, g, prof = random_cfg_profile seed in
+      let p = Profile.proc prof 0 in
+      let n = Cfg.n_blocks g in
+      let predicted = Profile.predictions p ~n_blocks:n in
+      List.iter
+        (fun m ->
+          for i = 0 to n - 1 do
+            let check succ =
+              let term = (Cfg.block g i).Block.term in
+              let freqs = Profile.block_freqs p i in
+              let got =
+                Model.edge_cost m term ~succ ~predicted:predicted.(i) ~freqs
+              in
+              let want =
+                Cost.edge_cost m.Model.penalties term ~succ
+                  ~predicted:predicted.(i) ~freqs
+              in
+              if got <> want then
+                QCheck2.Test.fail_reportf
+                  "%s: edge_cost(%d, %s) = %d, want %d" (Model.to_string m) i
+                  (match succ with None -> "-" | Some j -> string_of_int j)
+                  got want
+            in
+            check None;
+            for j = 0 to n - 1 do
+              if j <> i then check (Some j)
+            done
+          done)
+        [ Model.alpha21164; Model.deep_pipeline; Model.free_fetch ];
+      true)
+
+(* ---------------- Ext-TSP brute force ---------------- *)
+
+(* Independent reference, written from the spec in model.mli.  Addresses
+   are recomputed from the realized item list (never read from
+   Addr.build), and every dynamic transfer is classified and weighted
+   from scratch. *)
+
+let ref_addrs (g : Cfg.t) (r : Layout.realized) =
+  let n = Cfg.n_blocks g in
+  let block_addr = Array.make n (-1) and fixup_addr = Array.make n None in
+  let pc = ref 0 in
+  Array.iter
+    (function
+      | Layout.I_block l ->
+          block_addr.(l) <- !pc;
+          pc :=
+            !pc
+            + (Cfg.block g l).Block.size
+            + Layout.rterm_instrs r.Layout.terms.(l)
+      | Layout.I_fixup { src; target = _ } ->
+          fixup_addr.(src) <- Some !pc;
+          incr pc)
+    r.Layout.items;
+  (block_addr, fixup_addr)
+
+let ref_weight (e : Model.ext_tsp) ~src ~dst =
+  let src_b = src * e.Model.instr_bytes and dst_b = dst * e.Model.instr_bytes in
+  if dst_b > src_b then
+    let d = dst_b - src_b in
+    if d <= e.Model.forward_window then
+      e.Model.forward_weight * (e.Model.forward_window - d)
+      / e.Model.forward_window
+    else 0
+  else
+    let d = src_b - dst_b in
+    if d <= e.Model.backward_window then
+      e.Model.backward_weight * (e.Model.backward_window - d)
+      / e.Model.backward_window
+    else 0
+
+let ref_score (e : Model.ext_tsp) (g : Cfg.t) (r : Layout.realized) ~freqs =
+  let block_addr, fixup_addr = ref_addrs g r in
+  let n = Cfg.n_blocks g in
+  let score = ref 0 in
+  for l = 0 to n - 1 do
+    (* the transferring instruction is the block's last one *)
+    let last =
+      block_addr.(l)
+      + (Cfg.block g l).Block.size
+      + Layout.rterm_instrs r.Layout.terms.(l)
+      - 1
+    in
+    Array.iter
+      (fun (dst, count) ->
+        if count > 0 then
+          let w =
+            match r.Layout.terms.(l) with
+            | Layout.R_exit | Layout.R_multi _ -> 0
+            | Layout.R_fall _ -> e.Model.fallthrough_weight
+            | Layout.R_jump _ -> ref_weight e ~src:last ~dst:block_addr.(dst)
+            | Layout.R_cond { taken; fall = _; via_fixup } ->
+                if dst = taken then
+                  ref_weight e ~src:last ~dst:block_addr.(dst)
+                else if via_fixup then
+                  match fixup_addr.(l) with
+                  | Some a -> ref_weight e ~src:a ~dst:block_addr.(dst)
+                  | None -> 0
+                else e.Model.fallthrough_weight
+          in
+          score := !score + (count * w))
+      (freqs l)
+  done;
+  !score
+
+let ext_params = Model.ext_tsp_params (Model.ext_tsp ())
+
+let prop_score_matches_reference =
+  QCheck2.Test.make ~count:300
+    ~name:"score_proc = brute-force reference on random layouts" gen_seed
+    (fun seed ->
+      let rng, g, prof = random_cfg_profile seed in
+      let p = Profile.proc prof 0 in
+      let order = random_order rng g in
+      (* realize under the Ext-TSP model itself: same penalties, so the
+         realization is the Alpha's, but this exercises the full path *)
+      let realized, _ = Evaluate.realize (Model.ext_tsp ()) g ~order ~train:p in
+      let proc = (Addr.build [| (g, realized) |]).Addr.procs.(0) in
+      let freqs l = Profile.block_freqs p l in
+      let got = Model.score_proc ext_params ~proc ~realized ~freqs in
+      let want = ref_score ext_params g realized ~freqs in
+      if got <> want then
+        QCheck2.Test.fail_reportf "score_proc %d, reference %d" got want;
+      true)
+
+(* Narrow windows force the distance terms to actually vary: with an
+   8-byte window most jumps score 0 and near jumps decay steeply. *)
+let prop_score_matches_reference_narrow =
+  QCheck2.Test.make ~count:200
+    ~name:"score_proc = reference under narrow windows" gen_seed (fun seed ->
+      let rng, g, prof = random_cfg_profile seed in
+      let p = Profile.proc prof 0 in
+      let order = random_order rng g in
+      let e =
+        {
+          Model.default_ext_tsp with
+          Model.forward_window = 8;
+          Model.backward_window = 8;
+        }
+      in
+      let realized, _ = Evaluate.realize Model.alpha21164 g ~order ~train:p in
+      let proc = (Addr.build [| (g, realized) |]).Addr.procs.(0) in
+      let freqs l = Profile.block_freqs p l in
+      let got = Model.score_proc e ~proc ~realized ~freqs in
+      let want = ref_score e g realized ~freqs in
+      if got <> want then
+        QCheck2.Test.fail_reportf "score_proc %d, reference %d" got want;
+      true)
+
+(* The reduction's pairwise Ext-TSP cost, brute-forced over EVERY valid
+   layout of a tiny CFG: the walk cost of each layout must equal
+   fallthrough_weight × (total transfers − adjacency fall-throughs),
+   both sides computed independently. *)
+let prop_reduction_cost_exhaustive =
+  QCheck2.Test.make ~count:120
+    ~name:"Ext_tsp edge_cost sums to w×(T − fallthroughs), all layouts"
+    gen_seed (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rng 4 in
+      let g = Ba_testutil.Gen.cfg rng ~n in
+      let prof =
+        Ba_testutil.Gen.profile_of ~seed:(seed + 1) g ~invocations:20
+          ~max_steps:60
+      in
+      let p = Profile.proc prof 0 in
+      let m = Model.ext_tsp () in
+      let e = Model.ext_tsp_params m in
+      let predicted = Profile.predictions p ~n_blocks:n in
+      let total =
+        let t = ref 0 in
+        for i = 0 to n - 1 do
+          Array.iter
+            (fun (_, c) -> t := !t + c)
+            (Profile.block_freqs p i)
+        done;
+        !t
+      in
+      (* naive per-adjacency fall-through count, straight off the CFG *)
+      let fallthroughs order =
+        let f = ref 0 in
+        Array.iteri
+          (fun pos l ->
+            if pos + 1 < n then
+              let next = order.(pos + 1) in
+              let freq_to d =
+                Array.fold_left
+                  (fun acc (d', c) -> if d' = d then acc + c else acc)
+                  0
+                  (Profile.block_freqs p l)
+              in
+              match (Cfg.block g l).Block.term with
+              | Block.Goto d when d = next -> f := !f + freq_to d
+              | Block.Branch { t; f = fl } when next = t || next = fl ->
+                  f := !f + freq_to next
+              | _ -> ())
+          order;
+        !f
+      in
+      let walk_cost order =
+        let c = ref 0 in
+        Array.iteri
+          (fun pos l ->
+            let succ = if pos + 1 < n then Some order.(pos + 1) else None in
+            c :=
+              !c
+              + Model.edge_cost m (Cfg.block g l).Block.term ~succ
+                  ~predicted:predicted.(l)
+                  ~freqs:(Profile.block_freqs p l))
+          order;
+        !c
+      in
+      (* enumerate every permutation of the non-entry blocks *)
+      let rec perms = function
+        | [] -> [ [] ]
+        | l ->
+            List.concat_map
+              (fun x ->
+                List.map
+                  (fun r -> x :: r)
+                  (perms (List.filter (( <> ) x) l)))
+              l
+      in
+      let rest = List.init (n - 1) (fun i -> i + 1) in
+      List.iter
+        (fun tail ->
+          let order = Array.of_list (g.Cfg.entry :: tail) in
+          let got = walk_cost order in
+          let want = e.Model.fallthrough_weight * (total - fallthroughs order) in
+          if got <> want then
+            QCheck2.Test.fail_reportf "layout [%s]: walk cost %d, want %d"
+              (String.concat ";"
+                 (List.map string_of_int (Array.to_list order)))
+              got want)
+        (perms rest);
+      true)
+
+(* the Driver-level sum must agree with per-procedure scoring *)
+let prop_driver_score =
+  QCheck2.Test.make ~count:80
+    ~name:"Driver.ext_tsp_score = per-proc score_proc" gen_seed (fun seed ->
+      let _, g, prof = random_cfg_profile seed in
+      let aligned = Driver.align Driver.Original Model.alpha21164 [| g |] ~train:prof in
+      let p = Profile.proc prof 0 in
+      let got = Driver.ext_tsp_score ~params:ext_params aligned ~test:prof in
+      let want =
+        Model.score_proc ext_params ~proc:aligned.Driver.addr.Addr.procs.(0)
+          ~realized:aligned.Driver.realized.(0)
+          ~freqs:(fun l -> Profile.block_freqs p l)
+      in
+      if got <> want then
+        QCheck2.Test.fail_reportf "driver %d, per-proc %d" got want;
+      true)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "round-trip" `Quick test_registry_roundtrip;
+          Alcotest.test_case "spellings" `Quick test_registry_spellings;
+          Alcotest.test_case "rejects" `Quick test_registry_rejects;
+          Alcotest.test_case "penalties" `Quick test_model_penalties;
+        ] );
+      ( "bit-identity",
+        [ QCheck_alcotest.to_alcotest prop_control_penalty_identity ] );
+      ( "ext-tsp",
+        [
+          QCheck_alcotest.to_alcotest prop_score_matches_reference;
+          QCheck_alcotest.to_alcotest prop_score_matches_reference_narrow;
+          QCheck_alcotest.to_alcotest prop_reduction_cost_exhaustive;
+          QCheck_alcotest.to_alcotest prop_driver_score;
+        ] );
+    ]

@@ -2,7 +2,7 @@
 
 open Ba_cfg
 
-let p = Ba_machine.Penalties.alpha_21164
+let p = Ba_machine.Model.alpha21164
 
 (* ---------------- generators ---------------- *)
 
@@ -72,7 +72,8 @@ let prop_transfer_penalties_bounded =
       let pr = Ba_profile.Profile.proc prof 0 in
       let order = random_order rng g in
       let r, pred = Ba_align.Evaluate.realize p g ~order ~train:pr in
-      let upper = p.Ba_machine.Penalties.cond_mispredict + p.Ba_machine.Penalties.uncond_taken in
+      let pen = p.Ba_machine.Model.penalties in
+      let upper = pen.Ba_machine.Penalties.cond_mispredict + pen.Ba_machine.Penalties.uncond_taken in
       let ok = ref true in
       Cfg.iter
         (fun b ->
@@ -83,7 +84,8 @@ let prop_transfer_penalties_bounded =
               | Layout.R_exit -> ()
               | rt ->
                   let c =
-                    Ba_machine.Cost.transfer_penalty p rt ~predicted:pred.(l)
+                    Ba_machine.Cost.transfer_penalty p.Ba_machine.Model.penalties rt
+                      ~predicted:pred.(l)
                       ~dest
                   in
                   if c < 0 || c > upper then ok := false)

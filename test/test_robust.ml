@@ -7,7 +7,7 @@ module Synthetic = Ba_harness.Synthetic
 module Errors = Ba_robust.Errors
 module Budget = Ba_robust.Budget
 
-let penalties = Ba_machine.Penalties.alpha_21164
+let penalties = Ba_machine.Model.alpha21164
 let tsp = Driver.Tsp Tsp_align.default
 
 let program ~seed ~n_procs =

@@ -126,9 +126,16 @@ let request_gen =
       | 2 -> Ba_align.Driver.Calder
       | _ -> Ba_align.Driver.Tsp Ba_align.Tsp_align.default
     in
+    let model =
+      match Random.State.int rng 4 with
+      | 0 -> None
+      | 1 -> Some Ba_machine.Model.alpha21164
+      | 2 -> Some Ba_machine.Model.deep_pipeline
+      | _ -> Some (Ba_machine.Model.ext_tsp ~window:512 ())
+    in
     let id = Random.State.int rng 1_000_000 in
     return
-      (Wire.Align { id; cfg; profile; options = { deadline_ms; method_ } }))
+      (Wire.Align { id; cfg; profile; options = { deadline_ms; method_; model } }))
 
 let test_request_qcheck =
   QCheck2.Test.make ~count:200 ~name:"request encode/decode round-trips"
@@ -197,7 +204,12 @@ let test_response_round_trip () =
 
 (* ---------------- cache ---------------- *)
 
-let key i = { Cache.cfg_hash = Int64.of_int i; profile_hash = Int64.of_int (i * 7) }
+let key i =
+  {
+    Cache.cfg_hash = Int64.of_int i;
+    profile_hash = Int64.of_int (i * 7);
+    model_hash = Cache.model_sketch Ba_machine.Model.default;
+  }
 
 let test_cache_lru () =
   let c = Cache.create ~capacity:2 in
@@ -225,19 +237,25 @@ let test_cache_copies () =
 
 let test_cache_drift_hint () =
   let c = Cache.create ~capacity:4 in
-  let k1 = { Cache.cfg_hash = 5L; profile_hash = 1L } in
-  let k2 = { Cache.cfg_hash = 5L; profile_hash = 2L } in
+  let mh = Cache.model_sketch Ba_machine.Model.default in
+  let k1 = { Cache.cfg_hash = 5L; profile_hash = 1L; model_hash = mh } in
+  let k2 = { Cache.cfg_hash = 5L; profile_hash = 2L; model_hash = mh } in
   Cache.add c k1 [| 0; 1 |] 1;
   Cache.add c k2 [| 1; 0 |] 2;
-  (match Cache.drift_hint c 5L with
+  (match Cache.drift_hint c k2 with
   | Some o -> Alcotest.(check bool) "most recent layout" true (o = [| 1; 0 |])
   | None -> Alcotest.fail "no drift hint");
   Cache.remove c k2;
-  (match Cache.drift_hint c 5L with
+  (match Cache.drift_hint c k2 with
   | Some o -> Alcotest.(check bool) "repointed to survivor" true (o = [| 0; 1 |])
   | None -> Alcotest.fail "drift hint lost with a survivor present");
+  (* a different model never sees this CFG's layouts *)
+  let k_other =
+    { k1 with Cache.model_hash = Cache.model_sketch Ba_machine.Model.deep_pipeline }
+  in
+  Alcotest.(check bool) "per-model index" true (Cache.drift_hint c k_other = None);
   Cache.remove c k1;
-  Alcotest.(check bool) "empty: no hint" true (Cache.drift_hint c 5L = None)
+  Alcotest.(check bool) "empty: no hint" true (Cache.drift_hint c k1 = None)
 
 let test_cache_persistence () =
   let path = Filename.temp_file "balign-cache" ".json" in
@@ -393,7 +411,7 @@ let test_server_poisoned_cache_rejected () =
       (* persist a poisoned entry under the exact key of the request:
          a "layout" that is not even a permutation *)
       let c = Cache.create ~capacity:8 in
-      let k = Cache.key_of cfg profile in
+      let k = Cache.key_of cfg profile ~model:Ba_machine.Model.default in
       Cache.add c k (Array.make (Cfg.n_blocks cfg) 0) 1;
       (match Cache.save c path with
       | Ok () -> ()

@@ -12,7 +12,7 @@ module Profile = Ba_profile.Profile
 module Cost = Ba_machine.Cost
 module Reduction = Ba_align.Reduction
 
-let penalties = Ba_machine.Penalties.alpha_21164
+let penalties = Ba_machine.Model.alpha21164
 let gen_seed = QCheck2.Gen.int_bound 1_000_000
 
 (* ---------------- dense references ---------------- *)
@@ -24,7 +24,7 @@ let dense_reduction p (cfg : Cfg.t) ~(profile : Profile.proc) =
   let dummy = n in
   let predicted = Profile.predictions profile ~n_blocks:n in
   let block_cost i succ =
-    Cost.edge_cost p (Cfg.block cfg i).Block.term ~succ
+    Ba_machine.Model.edge_cost p (Cfg.block cfg i).Block.term ~succ
       ~predicted:predicted.(i)
       ~freqs:(Profile.block_freqs profile i)
   in

@@ -131,6 +131,7 @@ let check_bench path =
   if String.length date <> 20 || date.[4] <> '-' || date.[10] <> 'T'
      || date.[19] <> 'Z'
   then die "date %S is not ISO-8601 UTC" date;
+  if str (member "model" doc) = "" then die "empty model";
   let rows = list (member "rows" doc) in
   if rows = [] then die "no rows";
   List.iter
@@ -143,6 +144,25 @@ let check_bench path =
           if v < 0. then die "negative %S" k)
         [ "penalty_cycles"; "hk_gap"; "wall_ms"; "p50_ms"; "p95_ms"; "jobs";
           "certs"; "cert_failures" ];
+      (* both objectives, for every aligner of the row *)
+      let objectives = member "objectives" r in
+      List.iter
+        (fun aligner ->
+          let o =
+            match Json.member aligner objectives with
+            | Some o -> o
+            | None -> die "missing aligner %S in objectives" aligner
+          in
+          List.iter
+            (fun k ->
+              let v = num (member k o) in
+              if v < 0. then die "negative %S for aligner %S" k aligner)
+            [ "penalty"; "ext_tsp" ])
+        [ "tsp"; "calder"; "greedy"; "btfnt" ];
+      (* the TSP penalty is reported twice; the copies must agree *)
+      if num (member "penalty" (member "tsp" objectives))
+         <> num (member "penalty_cycles" r)
+      then die "objectives.tsp.penalty disagrees with penalty_cycles";
       if num (member "certs" r) <= 0. then die "no certificates in row";
       if num (member "cert_failures" r) <> 0. then
         die "row has %g failed certificate(s)" (num (member "cert_failures" r)))

@@ -51,7 +51,7 @@ let config =
     max_deadline_ms = Some 1000;
   }
 
-let penalties = Ba_machine.Penalties.alpha_21164
+let penalties = Ba_machine.Model.alpha21164
 
 (* the valid-request pool: a few synthetic procedures, each with a
    couple of profile variants (variant 0 repeats often = cache hits;
