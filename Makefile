@@ -85,6 +85,20 @@ check-par: build test
 	mask $$tmp/bmax.json > $$tmp/bmax.masked; \
 	diff -u $$tmp/b1.masked $$tmp/bmax.masked \
 	  || { echo "check-par FAIL: bench --json differs across job counts"; exit 1; }; \
+	echo "check-par: solver_bench neighbor lists at --jobs 1 vs $$j..."; \
+	$(DUNE) exec --no-print-directory bench/solver_bench.exe -- \
+	  --sizes 64,700 --kicks 32 --certify --jobs 1 \
+	  --json $$tmp/sb1.json 2>/dev/null; \
+	$(DUNE) exec --no-print-directory bench/solver_bench.exe -- \
+	  --sizes 64,700 --kicks 32 --certify --jobs $$j \
+	  --json $$tmp/sbmax.json 2>/dev/null; \
+	smask() { sed -E \
+	  -e 's/"(build_s|build_words|sym_s|nbr_s|opt_s|cert_s|moves_per_s)":[0-9.eE+-]+/"\1":X/g' \
+	  -e 's/"date":"[^"]*"/"date":X/' -e 's/"jobs":[0-9]+/"jobs":X/' "$$1"; }; \
+	smask $$tmp/sb1.json > $$tmp/sb1.masked; \
+	smask $$tmp/sbmax.json > $$tmp/sbmax.masked; \
+	diff -u $$tmp/sb1.masked $$tmp/sbmax.masked \
+	  || { echo "check-par FAIL: pooled neighbor lists differ from sequential"; exit 1; }; \
 	sed -n 's/^/  /p' $$tmp/err.1 $$tmp/err.max | grep wall-clock || true; \
 	awk -v a=$$((e1-s1)) -v b=$$((e2-s2)) 'BEGIN { \
 	  printf "check-par ok: output identical; wall-clock %.1fs -> %.1fs (speedup x%.2f)\n", \
@@ -126,14 +140,22 @@ bench-json: build
 # Solver-core throughput microbenchmark (docs/PERFORMANCE.md): instance
 # build, symmetrization, neighbor lists and 3-Opt moves/sec across
 # sizes, written as a machine-readable JSON document and validated
-# structurally.  The committed trajectory (dense baseline vs the sparse
-# core) lives in results/solver_bench.json.
+# structurally.  Every layout is re-verified by the independent
+# certifier (--certify), and a second document covers one 10⁵-block
+# synthetic jump-table workload end to end.  The committed trajectory
+# (dense baseline → sparse core → heap-select, plus the scale-* rows)
+# lives in results/solver_bench.json.
 bench-solver: build
 	$(DUNE) exec --no-print-directory bench/solver_bench.exe -- \
-	  --json SOLVER_BENCH.json
+	  --certify --json SOLVER_BENCH.json
 	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- \
 	  --solver-bench SOLVER_BENCH.json
-	@echo "bench-solver ok: SOLVER_BENCH.json written"
+	$(DUNE) exec --no-print-directory bench/solver_bench.exe -- \
+	  --family switch --sizes 100000 --kicks 8 --certify \
+	  --variant scale-switch --json SOLVER_BENCH_SCALE.json
+	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- \
+	  --solver-bench SOLVER_BENCH_SCALE.json
+	@echo "bench-solver ok: SOLVER_BENCH.json + SOLVER_BENCH_SCALE.json written"
 
 # Daemon robustness gate (docs/SERVING.md): replay 1000 mixed
 # good/faulty requests at an in-process `balign serve` loop, re-certify

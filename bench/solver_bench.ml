@@ -1,22 +1,29 @@
 (* solver_bench — microbenchmark of the DTSP cost core.
 
    Measures, over synthetic procedures of realistic CFG sparsity
-   (Ba_harness.Synthetic), the costs that dominate large-procedure
-   alignment: building the solver instance from the cost model
-   (Reduction.build), symmetrizing it (Sym.of_dtsp), constructing the
-   candidate lists (Neighbors.of_sym), and sustained 3-Opt throughput
-   (moves/sec over a deterministic kick-and-reoptimize loop).
+   (Ba_harness.Synthetic) or the deterministic whole-program-scale
+   families (Ba_workloads.Scale), the costs that dominate
+   large-procedure alignment: building the solver instance from the
+   cost model (Reduction.build), symmetrizing it (Sym.of_dtsp),
+   constructing the candidate lists (Neighbors.of_sym), and sustained
+   3-Opt throughput (moves/sec over a deterministic kick-and-reoptimize
+   loop).  With --certify every final layout is re-verified by the
+   independent certifier and the verdict lands in the JSON row.
 
      dune exec bench/solver_bench.exe -- \
        [--sizes 64,256,1024,4096] [--kicks 256] [--seed 7] \
+       [--family syn|loop-nest|switch|interp] [--jobs N] \
+       [--mode auto|exact|select] [--certify] \
        [--variant NAME] [--json FILE]
 
    Output is a single JSON document (stdout, or FILE with --json); the
    committed trajectory lives in results/solver_bench.json with one
    entry list per variant ("dense-baseline" = the pre-sparse core,
-   "sparse" = the current one).  Everything except wall times and
-   allocation figures is deterministic for a fixed seed, so best_cost /
-   tour_hash double as a cross-representation identity check. *)
+   "sparse" = the dense-scan neighbor era, "heap-select" = the current
+   one, "scale-*" = the 10⁵-block family rows).  Everything except wall
+   times and allocation figures is deterministic for a fixed seed, so
+   best_cost / tour_hash double as a cross-representation identity
+   check. *)
 
 module Dtsp = Ba_tsp.Dtsp
 module Sym = Ba_tsp.Sym
@@ -24,7 +31,10 @@ module Neighbors = Ba_tsp.Neighbors
 module Three_opt = Ba_tsp.Three_opt
 module Iterated = Ba_tsp.Iterated
 module Reduction = Ba_align.Reduction
+module Certify = Ba_check.Certify
 module Synthetic = Ba_harness.Synthetic
+module Scale = Ba_workloads.Scale
+module Executor = Ba_engine.Executor
 module Json = Ba_obs.Json
 
 let time f =
@@ -53,21 +63,28 @@ type entry = {
   opt_s : float;  (** initial 3-Opt descent + kick loop *)
   moves : int;
   moves_per_s : float;
+  scans_skipped : int;  (** don't-look-bit elisions during opt *)
   best_cost : int;  (** symmetric tour cost after the kick loop *)
   tour_hash : int;
+  cert : (bool * float) option;  (** --certify verdict and wall time *)
 }
 
-let run_size ~seed ~kicks ~k n =
-  let rng = Random.State.make [| seed; n |] in
-  let g = Synthetic.cfg rng ~n in
-  let prof = Synthetic.profile rng g ~invocations:100 ~max_steps:(8 * n) in
+let run_size ~family ~seed ~kicks ~k ~mode ~exec ~certify n =
+  let g, prof =
+    match family with
+    | None ->
+        let rng = Random.State.make [| seed; n |] in
+        let g = Synthetic.cfg rng ~n in
+        (g, Synthetic.profile rng g ~invocations:100 ~max_steps:(8 * n))
+    | Some fam -> Scale.instance fam ~n ~invocations:1024
+  in
   let p = Ba_machine.Model.alpha21164 in
   let inst, build_s, build_words =
     measured (fun () -> Reduction.build p g ~profile:prof)
   in
   let d = inst.Reduction.dtsp in
   let s, sym_s, _ = measured (fun () -> Sym.of_dtsp d) in
-  let nbr, nbr_s, _ = measured (fun () -> Neighbors.of_sym s ~k) in
+  let nbr, nbr_s, _ = measured (fun () -> Neighbors.of_sym ~mode ~exec s ~k) in
   let instance_words = Obj.reachable_words (Obj.repr (d, s)) in
   (* throughput: identity start, descent to local optimality, then a
      fixed number of double-bridge kicks each re-optimized; kicks are
@@ -87,6 +104,26 @@ let run_size ~seed ~kicks ~k n =
         done)
   in
   let moves = st.Three_opt.moves_2opt + st.Three_opt.moves_3opt in
+  let cert =
+    if not certify then None
+    else begin
+      let directed = Sym.extract s (Three_opt.tour st) in
+      let order = Reduction.order_of_tour inst directed in
+      let claimed = Reduction.layout_cost inst order in
+      let verdict, cert_s =
+        time (fun () ->
+            Certify.proc_cert ~claimed ~hk:Certify.Skip
+              ~sym_check:(n <= Certify.dense_instance_threshold)
+              ~proc:0 p g ~profile:prof ~order)
+      in
+      (match verdict with
+      | Ok _ -> ()
+      | Error e ->
+          Printf.eprintf "solver_bench: certification FAILED at n=%d: %s\n%!"
+            n (Certify.error_to_string e));
+      Some ((match verdict with Ok _ -> true | Error _ -> false), cert_s)
+    end
+  in
   {
     n_blocks = n;
     n_cities = Dtsp.(d.n);
@@ -98,37 +135,48 @@ let run_size ~seed ~kicks ~k n =
     opt_s;
     moves;
     moves_per_s = (if opt_s > 0. then float_of_int moves /. opt_s else 0.);
+    scans_skipped = st.Three_opt.scans_skipped;
     best_cost = Three_opt.cost st;
     tour_hash = Hashtbl.hash (Three_opt.tour st);
+    cert;
   }
 
 let entry_json e =
   Json.Obj
-    [
-      ("n_blocks", Json.Int e.n_blocks);
-      ("n_cities", Json.Int e.n_cities);
-      ("build_s", Json.Float e.build_s);
-      ("build_words", Json.Float e.build_words);
-      ("sym_s", Json.Float e.sym_s);
-      ("nbr_s", Json.Float e.nbr_s);
-      ("instance_words", Json.Int e.instance_words);
-      ("opt_s", Json.Float e.opt_s);
-      ("moves", Json.Int e.moves);
-      ("moves_per_s", Json.Float e.moves_per_s);
-      ("best_cost", Json.Int e.best_cost);
-      ("tour_hash", Json.Int e.tour_hash);
-    ]
+    ([
+       ("n_blocks", Json.Int e.n_blocks);
+       ("n_cities", Json.Int e.n_cities);
+       ("build_s", Json.Float e.build_s);
+       ("build_words", Json.Float e.build_words);
+       ("sym_s", Json.Float e.sym_s);
+       ("nbr_s", Json.Float e.nbr_s);
+       ("instance_words", Json.Int e.instance_words);
+       ("opt_s", Json.Float e.opt_s);
+       ("moves", Json.Int e.moves);
+       ("moves_per_s", Json.Float e.moves_per_s);
+       ("scans_skipped", Json.Int e.scans_skipped);
+       ("best_cost", Json.Int e.best_cost);
+       ("tour_hash", Json.Int e.tour_hash);
+     ]
+    @
+    match e.cert with
+    | None -> []
+    | Some (ok, cert_s) ->
+        [ ("certified", Json.Bool ok); ("cert_s", Json.Float cert_s) ])
 
-let doc ~variant ~seed ~kicks ~k entries =
+let doc ~variant ~family ~seed ~kicks ~k ~jobs ~mode entries =
   Json.Obj
     [
-      ("schema", Json.String "solver-bench/1");
+      ("schema", Json.String "solver-bench/2");
       ("commit", Json.String (Ba_harness.Bench_json.current_commit ()));
       ("date", Json.String (Ba_harness.Bench_json.now_utc ()));
       ("variant", Json.String variant);
+      ("family", Json.String family);
       ("seed", Json.Int seed);
       ("kicks", Json.Int kicks);
       ("neighbors", Json.Int k);
+      ("jobs", Json.Int jobs);
+      ("mode", Json.String mode);
       ("entries", Json.List (List.map entry_json entries));
     ]
 
@@ -137,7 +185,11 @@ let () =
   and kicks = ref 256
   and seed = ref 7
   and k = ref 12
-  and variant = ref "sparse"
+  and family = ref None
+  and jobs = ref 1
+  and mode = ref Neighbors.Auto
+  and certify = ref false
+  and variant = ref "heap-select"
   and out = ref None in
   let rec parse = function
     | [] -> ()
@@ -147,6 +199,25 @@ let () =
     | "--kicks" :: v :: rest -> kicks := int_of_string v; parse rest
     | "--seed" :: v :: rest -> seed := int_of_string v; parse rest
     | "--neighbors" :: v :: rest -> k := int_of_string v; parse rest
+    | "--family" :: "syn" :: rest -> family := None; parse rest
+    | "--family" :: v :: rest -> (
+        match Scale.find v with
+        | Some f -> family := Some f; parse rest
+        | None ->
+            prerr_endline ("solver_bench: unknown family " ^ v);
+            exit 2)
+    | "--jobs" :: v :: rest -> jobs := int_of_string v; parse rest
+    | "--mode" :: v :: rest ->
+        (mode :=
+           match v with
+           | "auto" -> Neighbors.Auto
+           | "exact" -> Neighbors.Exact
+           | "select" -> Neighbors.Select
+           | _ ->
+               prerr_endline ("solver_bench: unknown mode " ^ v);
+               exit 2);
+        parse rest
+    | "--certify" :: rest -> certify := true; parse rest
     | "--variant" :: v :: rest -> variant := v; parse rest
     | "--json" :: v :: rest -> out := Some v; parse rest
     | a :: _ ->
@@ -154,19 +225,44 @@ let () =
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let exec = if !jobs <= 1 then Executor.Seq else Executor.Pool !jobs in
   let entries =
     List.map
       (fun n ->
-        let e = run_size ~seed:!seed ~kicks:!kicks ~k:!k n in
+        let e =
+          run_size ~family:!family ~seed:!seed ~kicks:!kicks ~k:!k
+            ~mode:!mode ~exec ~certify:!certify n
+        in
         Printf.eprintf
-          "n=%-5d build %.4fs  sym %.4fs  nbr %.4fs  opt %.3fs  %9.0f moves/s  \
-           %9d live words  cost %d\n%!"
+          "n=%-6d build %.4fs  sym %.4fs  nbr %.4fs  opt %.3fs  %9.0f \
+           moves/s  %9d live words  cost %d%s\n%!"
           n e.build_s e.sym_s e.nbr_s e.opt_s e.moves_per_s e.instance_words
-          e.best_cost;
+          e.best_cost
+          (match e.cert with
+          | None -> ""
+          | Some (true, cs) -> Printf.sprintf "  certified (%.3fs)" cs
+          | Some (false, _) -> "  CERT FAILED");
         e)
       !sizes
   in
-  let j = doc ~variant:!variant ~seed:!seed ~kicks:!kicks ~k:!k entries in
-  match !out with
+  let family_name =
+    match !family with None -> "syn" | Some f -> Scale.name f
+  in
+  let mode_name =
+    match !mode with
+    | Neighbors.Auto -> "auto"
+    | Neighbors.Exact -> "exact"
+    | Neighbors.Select -> "select"
+  in
+  let j =
+    doc ~variant:!variant ~family:family_name ~seed:!seed ~kicks:!kicks
+      ~k:!k ~jobs:!jobs ~mode:mode_name entries
+  in
+  let failed =
+    List.exists (fun e -> match e.cert with Some (false, _) -> true | _ -> false)
+      entries
+  in
+  (match !out with
   | Some path -> Json.write_file path j
-  | None -> print_endline (Json.to_string j)
+  | None -> print_endline (Json.to_string j));
+  if failed then exit 1

@@ -61,15 +61,23 @@ let build (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) : t =
     let def = block_cost i None in
     let w = ref def in
     let entries =
-      List.filter_map
-        (fun j ->
-          if j = i || j < 0 || j >= n then None
-          else begin
-            let c = block_cost i (Some j) in
-            if c > !w then w := c;
-            if c = def then None else Some (j, c)
-          end)
-        (Block.distinct_successors (Cfg.block cfg i))
+      match (Cfg.block cfg i).Block.term with
+      | Block.Exit | Block.Multiway _ ->
+          (* the invariant above is total here: these terminators ignore
+             the layout successor entirely, so every column carries the
+             row default — skipping the per-successor evaluation keeps a
+             wide jump table O(arms) instead of O(arms²) *)
+          []
+      | Block.Goto _ | Block.Branch _ ->
+          List.filter_map
+            (fun j ->
+              if j = i || j < 0 || j >= n then None
+              else begin
+                let c = block_cost i (Some j) in
+                if c > !w then w := c;
+                if c = def then None else Some (j, c)
+              end)
+            (Block.distinct_successors (Cfg.block cfg i))
     in
     default.(i) <- def;
     rows.(i) <- (if def = 0 then entries else (i, 0) :: entries);

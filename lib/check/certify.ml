@@ -169,6 +169,63 @@ let dtsp_of (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) :
   in
   (Dtsp.make cost, dummy)
 
+(** Largest procedure still certified against the dense independently
+    built matrix; above it {!dtsp_of_sparse} takes over. *)
+let dense_instance_threshold = 512
+
+(** The same logical instance as {!dtsp_of}, built sparsely in O(n + E)
+    instead of O(n²).  Sound because {!Ba_machine.Model.edge_cost}
+    scores a layout successor that is not a CFG successor exactly like
+    falling off the end ([succ = None]) under both objectives, so a
+    block's row deviates from [block_cost i None] only at its own
+    distinct CFG successors (and the free diagonal). *)
+let dtsp_of_sparse (m : Model.t) (cfg : Cfg.t) ~(profile : Profile.proc) :
+    Dtsp.t * int =
+  let n = Cfg.n_blocks cfg in
+  let dummy = n in
+  let predicted = Profile.predictions profile ~n_blocks:n in
+  let block_cost i succ =
+    Model.edge_cost m (Cfg.block cfg i).Block.term ~succ
+      ~predicted:predicted.(i)
+      ~freqs:(Profile.block_freqs profile i)
+  in
+  let defaults = Array.init n (fun i -> block_cost i None) in
+  let succs =
+    Array.init n (fun i ->
+        match (Cfg.block cfg i).Block.term with
+        | Block.Exit | Block.Multiway _ ->
+            (* successor-independent terminators: every column equals
+               the row default, so there are no deviations to emit — and
+               a wide jump table stays O(arms), not O(arms²) *)
+            []
+        | Block.Goto _ | Block.Branch _ ->
+            List.filter (fun j -> j <> i)
+              (Block.distinct_successors (Cfg.block cfg i)))
+  in
+  (* the dense scan's worst-row sum: non-successor columns all equal the
+     row default, so the maximum needs only the explicit successors *)
+  let worst = ref 1 in
+  for i = 0 to n - 1 do
+    let w = ref defaults.(i) in
+    List.iter (fun j -> w := max !w (block_cost i (Some j))) succs.(i);
+    worst := !worst + !w
+  done;
+  let forbid = !worst in
+  let default =
+    Array.init (n + 1) (fun i -> if i = dummy then forbid else defaults.(i))
+  in
+  let rows =
+    Array.init (n + 1) (fun i ->
+        if i = dummy then [ (cfg.Cfg.entry, 0); (dummy, 0) ]
+        else
+          (* diagonal is 0 in the dense build; the dummy column equals
+             the row default and is dropped by [of_rows] *)
+          List.sort compare
+            ((i, 0)
+            :: List.map (fun j -> (j, block_cost i (Some j))) succs.(i)))
+  in
+  (Dtsp.of_rows ~n:(n + 1) ~default rows, dummy)
+
 (** Locked-pair integrity of an arbitrary symmetric tour: every in/out
     city pair must be adjacent; on success the directed tour is
     recovered and returned. *)
@@ -239,8 +296,16 @@ let proc_cert ?claimed ?(hk = Skip) ?(sym_check = true) ~proc
             | Some c when c <> cost ->
                 fail (Cost_mismatch { claimed = c; recomputed = cost })
             | _ -> (
+                (* small procedures keep the dense independent build
+                   (its own cross-check of the sparse core); at
+                   whole-program scale the O(n²) matrix is unpayable
+                   and the sparse construction of the same logical
+                   instance takes over *)
                 let dtsp =
-                  lazy (dtsp_of m cfg ~profile)
+                  lazy
+                    (if n <= dense_instance_threshold then
+                       dtsp_of m cfg ~profile
+                     else dtsp_of_sparse m cfg ~profile)
                 in
                 let sym_result =
                   if not sym_check then Ok false

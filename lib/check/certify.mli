@@ -60,6 +60,21 @@ val dtsp_of :
   profile:Ba_profile.Profile.proc ->
   Ba_tsp.Dtsp.t * int
 
+(** Largest procedure certified against the dense independently built
+    matrix; above it the certifier switches to {!dtsp_of_sparse}. *)
+val dense_instance_threshold : int
+
+(** The same logical instance as {!dtsp_of}, built sparsely in O(n + E):
+    a non-successor layout successor costs exactly like [None] under
+    every objective, so rows deviate from that default only at the CFG
+    successors.  Certifies 10⁵-block procedures without an O(n²)
+    matrix; equivalence with {!dtsp_of} is asserted in the tests. *)
+val dtsp_of_sparse :
+  Ba_machine.Model.t ->
+  Cfg.t ->
+  profile:Ba_profile.Profile.proc ->
+  Ba_tsp.Dtsp.t * int
+
 (** Locked-pair integrity of an arbitrary symmetric tour; on success
     returns the recovered directed tour. *)
 val check_sym : Ba_tsp.Sym.t -> int array -> (int array, error) result

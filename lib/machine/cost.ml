@@ -103,6 +103,25 @@ let rterm_cost p (rt : Layout.rterm) ~(predicted : int option)
     ~(freqs : (int * int) array) : int =
   match rt with
   | Layout.R_exit -> 0
+  | Layout.R_multi { targets } when Array.length targets > 8 ->
+      (* wide jump tables: same result and the same non-successor
+         validation as the generic path below, but O(targets + freqs)
+         instead of an O(targets) membership scan per entry — a
+         25 000-arm dispatch block would otherwise cost O(targets²) *)
+      let pred = effective_prediction rt ~predicted in
+      let member = Hashtbl.create (Array.length targets) in
+      Array.iter (fun t -> Hashtbl.replace member t ()) targets;
+      Array.fold_left
+        (fun acc (dest, n) ->
+          if n = 0 then acc
+          else if not (Hashtbl.mem member dest) then
+            invalid_arg "Cost.transfer: multiway to non-successor"
+          else
+            acc
+            + n
+              * (if dest = pred then p.Penalties.multi_correct
+                 else p.Penalties.multi_mispredict))
+        0 freqs
   | _ ->
       Array.fold_left
         (fun acc (dest, n) ->

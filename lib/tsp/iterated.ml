@@ -44,10 +44,8 @@ type stats = {
 
 (* ------------------------------------------------------------------ *)
 
-(** Overwrite the search state's tour. *)
-let set_tour (st : Three_opt.state) (tour : int array) =
-  Array.blit tour 0 st.Three_opt.tour 0 (Array.length tour);
-  Array.iteri (fun i c -> st.Three_opt.pos.(c) <- i) tour
+(** Overwrite the search state's tour (bumps the don't-look version). *)
+let set_tour = Three_opt.set_tour
 
 (** Random double-bridge kick that never cuts a locked pair edge.
     Returns the boundary cities whose don't-look bits must be cleared. *)
@@ -133,8 +131,8 @@ let brute_force (d : Dtsp.t) =
     the best tour found so far is returned with [timed_out] set — the
     first (identity-start) construction always completes, so a valid
     tour is returned even for a zero budget. *)
-let solve ?(config = default) ?rng ?budget ?initial (d : Dtsp.t) :
-    int array * stats =
+let solve ?(config = default) ?rng ?budget ?initial
+    ?(nbr_exec = Ba_engine.Executor.Seq) (d : Dtsp.t) : int array * stats =
   let budget =
     match budget with
     | Some b -> b
@@ -157,7 +155,7 @@ let solve ?(config = default) ?rng ?budget ?initial (d : Dtsp.t) :
       | None -> Random.State.make [| config.seed; n; Dtsp.max_cost d |]
     in
     let s = Sym.of_dtsp d in
-    let nbr = Neighbors.of_sym s ~k:config.neighbors in
+    let nbr = Neighbors.of_sym ~exec:nbr_exec s ~k:config.neighbors in
     let kicks_per_run = min config.max_kicks (config.kick_factor * n) in
     let best_tour = ref None and best_cost = ref max_int in
     let runs_with_best = ref 0 in

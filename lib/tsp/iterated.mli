@@ -26,7 +26,8 @@ type stats = {
   timed_out : bool;  (** the budget ran out before the search finished *)
 }
 
-(** Overwrite a search state's tour (positions recomputed). *)
+(** Overwrite a search state's tour (positions recomputed, don't-look
+    version bumped; alias of {!Three_opt.set_tour}). *)
 val set_tour : Three_opt.state -> int array -> unit
 
 (** Random double-bridge kick that never cuts a locked pair edge;
@@ -51,11 +52,16 @@ val double_bridge : Three_opt.state -> Random.State.t -> int list
     incremental re-alignment: re-optimizing a previous solution after a
     small profile drift converges in a few moves instead of a full
     search.  The warm tour is re-optimized by the same budgeted 3-Opt,
-    so a warm solve is never weaker than its seed tour. *)
+    so a warm solve is never weaker than its seed tour.
+
+    [nbr_exec] (default sequential) parallelizes neighbor-list
+    construction on the engine's domain pool; the lists — and hence the
+    whole trajectory — are bit-identical at any job count. *)
 val solve :
   ?config:config ->
   ?rng:Random.State.t ->
   ?budget:Ba_robust.Budget.t ->
   ?initial:int array ->
+  ?nbr_exec:Ba_engine.Executor.t ->
   Dtsp.t ->
   int array * stats

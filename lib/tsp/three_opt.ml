@@ -11,7 +11,17 @@
     preserved by construction (and re-checked by the caller).
 
     Tour representation: [tour] maps position → city, [pos] city →
-    position; segment reversals keep both in sync. *)
+    position; segment reversals keep both in sync.
+
+    Don't-look bits are version stamps rather than booleans: [version]
+    counts tour mutations (every applied move, every [set_tour]) and
+    [last_fail.(c)] records the version at which city [c]'s full
+    candidate scan last came up empty.  [run] skips a popped city's
+    scan exactly when [last_fail.(c) = version] — the tour has not
+    changed since the scan failed, and [try_city] is side-effect-free
+    on failure, so the skip is provably unobservable.  Bits-on and
+    bits-off runs therefore produce identical tours, costs, and move
+    counts; only [scans_skipped] differs. *)
 
 type state = {
   s : Sym.t;
@@ -22,6 +32,10 @@ type state = {
   queue : int Queue.t;
   mutable moves_2opt : int;
   mutable moves_3opt : int;
+  mutable version : int;  (** tour mutation counter *)
+  last_fail : int array;  (** per city: version at last failed scan, −1 never *)
+  mutable scans_skipped : int;  (** scans elided by the don't-look stamps *)
+  dont_look : bool;
 }
 
 let nn st = st.s.Sym.nn
@@ -30,8 +44,10 @@ let city_at st p = st.tour.(p)
 let succ st c = st.tour.((st.pos.(c) + 1) mod nn st)
 let pred st c = st.tour.((st.pos.(c) - 1 + nn st) mod nn st)
 
-(** [init s ~nbr ~tour] starts a search state from a tour (copied). *)
-let init (s : Sym.t) ~nbr ~tour =
+(** [init s ~nbr ~tour] starts a search state from a tour (copied).
+    [dont_look] (default on) enables the version-stamp scan skips —
+    trajectory-neutral either way. *)
+let init ?(dont_look = true) (s : Sym.t) ~nbr ~tour =
   let n = s.Sym.nn in
   if Array.length tour <> n then invalid_arg "Three_opt.init: wrong tour size";
   let pos = Array.make n (-1) in
@@ -46,7 +62,22 @@ let init (s : Sym.t) ~nbr ~tour =
     queue = Queue.create ();
     moves_2opt = 0;
     moves_3opt = 0;
+    version = 0;
+    last_fail = Array.make n (-1);
+    scans_skipped = 0;
+    dont_look;
   }
+
+(** Replace the tour wholesale (same cities, new order), e.g. for a
+    perturbation restart.  Bumps [version] so stale failed-scan stamps
+    can never suppress a needed rescan. *)
+let set_tour st tour =
+  let n = nn st in
+  if Array.length tour <> n then
+    invalid_arg "Three_opt.set_tour: wrong tour size";
+  Array.blit tour 0 st.tour 0 n;
+  Array.iteri (fun i c -> st.pos.(c) <- i) st.tour;
+  st.version <- st.version + 1
 
 (** Mark a city to be re-examined. *)
 let activate st c =
@@ -83,7 +114,8 @@ let apply_2opt st ~pa ~px =
   (* reversing positions pa+1..px, or equivalently px+1..pa *)
   if len_fwd <= n - len_fwd then reverse_seg st ((pa + 1) mod n) px
   else reverse_seg st ((px + 1) mod n) pa;
-  st.moves_2opt <- st.moves_2opt + 1
+  st.moves_2opt <- st.moves_2opt + 1;
+  st.version <- st.version + 1
 
 type reconnection = T3 | T4 | T5 | T6
 
@@ -107,7 +139,8 @@ let apply_3opt st ~pi ~jj ~kk ty =
   | T6 ->
       reverse_seg st p1 pj;
       reverse_seg st p1 pk);
-  st.moves_3opt <- st.moves_3opt + 1
+  st.moves_3opt <- st.moves_3opt + 1;
+  st.version <- st.version + 1
 
 (** Search one improving move around city [a]; apply it and return [true],
     or return [false] if none exists in the candidate neighborhood. *)
@@ -252,10 +285,19 @@ let run ?budget st =
        if exhausted () then raise_notrace Exit;
        let a = Queue.pop st.queue in
        st.in_queue.(a) <- false;
-       while try_city st a do
-         spend ();
-         if exhausted () then raise_notrace Exit
-       done
+       if st.dont_look && st.last_fail.(a) = st.version then
+         (* a's scan already failed against this exact tour; rescanning
+            could not find a move or mutate anything — skip it *)
+         st.scans_skipped <- st.scans_skipped + 1
+       else begin
+         while try_city st a do
+           spend ();
+           if exhausted () then raise_notrace Exit
+         done;
+         (* reached only when the scan returned false (a budget stop
+            raises out of the loop), so the stamp is sound *)
+         st.last_fail.(a) <- st.version
+       end
      done
    with Exit -> ());
   (* observability: one atomic add per run call, never per move *)

@@ -1,7 +1,13 @@
 (** 3-Opt local search with neighbor lists and don't-look bits
     (Johnson–McGeoch), on instances produced by {!Sym.of_dtsp}.  The
     locked/forbidden weight structure guarantees improving moves preserve
-    the alternating in/out tour shape. *)
+    the alternating in/out tour shape.
+
+    Don't-look bits are trajectory-exact version stamps: a popped
+    city's scan is skipped only when the tour is bit-identical to the
+    one its last scan failed against ([last_fail.(c) = version]), so
+    bits-on and bits-off runs produce identical tours, costs, and move
+    counts — only [scans_skipped] differs. *)
 
 type state = {
   s : Sym.t;
@@ -12,11 +18,23 @@ type state = {
   queue : int Queue.t;
   mutable moves_2opt : int;
   mutable moves_3opt : int;
+  mutable version : int;  (** tour mutation counter (moves + set_tour) *)
+  last_fail : int array;  (** per city: version at last failed scan, −1 never *)
+  mutable scans_skipped : int;  (** scans elided by the don't-look stamps *)
+  dont_look : bool;
 }
 
-(** Start a search state from a tour (copied).
+(** Start a search state from a tour (copied).  [dont_look] (default
+    [true]) enables the version-stamp scan skips — trajectory-neutral
+    either way.
     @raise Invalid_argument on malformed tours. *)
-val init : Sym.t -> nbr:int array array -> tour:int array -> state
+val init :
+  ?dont_look:bool -> Sym.t -> nbr:int array array -> tour:int array -> state
+
+(** Replace the tour wholesale (same cities, new order), bumping
+    [version] so stale stamps never suppress a needed rescan.
+    @raise Invalid_argument on a wrong-length tour. *)
+val set_tour : state -> int array -> unit
 
 (** Mark a city for (re-)examination. *)
 val activate : state -> int -> unit

@@ -1,0 +1,42 @@
+(** Deterministic synthetic CFGs at whole-program scale (10⁵–10⁶
+    blocks): deep loop nests, jump-table cascades, interpreter dispatch
+    loops.  Every instance has exactly [n] blocks, entry 0, a single
+    [Exit], is fully reachable, and carries an analytic edge profile —
+    no RNG anywhere, so instances are reproducible bit-for-bit. *)
+
+type family =
+  | Loop_nest  (** counted-loop nest (depth ≤ 16) around a hot body *)
+  | Switch  (** cascade of 64-arm [Multiway] jump tables *)
+  | Interp  (** one ≈(n/4)-arm dispatch loop with handler chains *)
+
+val all : family list
+
+(** Stable CLI name: ["loop-nest"], ["switch"], ["interp"]. *)
+val name : family -> string
+
+val find : string -> family option
+
+(** Smallest supported [n]. *)
+val min_blocks : int
+
+(** Arms per jump table in the {!Switch} cascade. *)
+val switch_width : int
+
+(** Handler chain length in {!Interp}. *)
+val handler_len : int
+
+(** Loop-nest depth for a given [n] (capped at 16). *)
+val loop_depth : n:int -> int
+
+(** Distinct static CFG edges of [cfg fam ~n], in closed form. *)
+val expected_edges : family -> n:int -> int
+
+(** [instance fam ~n ~invocations] builds the [n]-block CFG and its
+    deterministic flow-consistent profile ([invocations] scales the
+    counts).
+    @raise Invalid_argument when [n < min_blocks] or [invocations < 1]. *)
+val instance :
+  family -> n:int -> invocations:int -> Ba_cfg.Cfg.t * Ba_profile.Profile.proc
+
+(** The CFG alone. *)
+val cfg : family -> n:int -> Ba_cfg.Cfg.t

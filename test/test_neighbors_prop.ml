@@ -1,0 +1,315 @@
+(* Differential wall for the k-NN candidate-list construction
+   ({!Ba_tsp.Neighbors}).  Two independent oracles pin both algorithms:
+
+   - [Exact] must equal the legacy dense full-sort scan byte for byte,
+     including its heapsort tie order — the anchor that keeps every
+     committed small-instance trajectory bit-identical.
+   - [Select] (the heap-select merge over sparse CSR rows) must equal
+     the canonical oracle: all partners sorted by (cost, partner id),
+     truncated to k.  That order is a strict total order, so the
+     expected list is unique and any correct implementation matches it.
+
+   Both must agree on the selected cost multiset, exclude the locked
+   partner, clamp k into [0, n−1], and be bit-identical at any executor
+   job count. *)
+
+open Ba_tsp
+module Executor = Ba_engine.Executor
+
+let gen_seed = QCheck2.Gen.int_bound 1_000_000
+
+(* ---------------- oracles ---------------- *)
+
+(* the legacy dense symmetrization matrix *)
+let dense_sym (d : Dtsp.t) =
+  let n = d.Dtsp.n in
+  let cmax = Dtsp.max_cost d in
+  let m = (2 * cmax) + 2 in
+  let inf = 8 * (cmax + m + 1) in
+  let nn = 2 * n in
+  let cost = Array.make_matrix nn nn inf in
+  for i = 0 to n - 1 do
+    cost.(2 * i).((2 * i) + 1) <- -m;
+    cost.((2 * i) + 1).(2 * i) <- -m;
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        cost.((2 * i) + 1).(2 * j) <- Dtsp.cost d i j;
+        cost.(2 * j).((2 * i) + 1) <- Dtsp.cost d i j
+      end
+    done
+  done;
+  cost
+
+(* the legacy dense neighbor-list construction, byte for byte: ascending
+   prepend scan, Array.sort on matrix lookups, truncate to k *)
+let legacy_oracle (s : Sym.t) sym_matrix ~k =
+  let nn = s.Sym.nn in
+  Array.init nn (fun a ->
+      let cand = ref [] in
+      for b = 0 to nn - 1 do
+        if
+          b <> a
+          && (not (Sym.is_locked s a b))
+          && sym_matrix.(a).(b) < s.Sym.inf
+        then cand := b :: !cand
+      done;
+      let arr = Array.of_list !cand in
+      Array.sort
+        (fun x y -> compare sym_matrix.(a).(x) sym_matrix.(a).(y))
+        arr;
+      if Array.length arr <= k then arr else Array.sub arr 0 k)
+
+(* the canonical oracle: every finite non-locked partner keyed by
+   (cost, partner id), full sort, truncate — the unique answer under
+   the strict total order [Select] promises *)
+let canonical_oracle (s : Sym.t) ~k =
+  let nn = s.Sym.nn in
+  let k = max 0 k in
+  Array.init nn (fun a ->
+      let cand = ref [] in
+      for b = nn - 1 downto 0 do
+        if b <> a && not (Sym.is_locked s a b) then begin
+          let c = Sym.cost s a b in
+          if c < s.Sym.inf then cand := (c, b) :: !cand
+        end
+      done;
+      let arr = Array.of_list !cand in
+      Array.sort compare arr;
+      Array.map snd (if Array.length arr <= k then arr else Array.sub arr 0 k))
+
+(* ---------------- generators ---------------- *)
+
+(* dense matrix with clustered values so per-row defaults and ties
+   actually occur *)
+let random_matrix rng n =
+  let palette = [| 0; 3; 3; 7; 50; Random.State.int rng 1000 |] in
+  Array.init n (fun _ ->
+      Array.init n (fun _ ->
+          palette.(Random.State.int rng (Array.length palette))))
+
+(* all off-diagonal costs equal: exercises the uniform-row shortcuts *)
+let uniform_matrix rng n =
+  let v = Random.State.int rng 100 in
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 0 else v))
+
+(* direct sparse construction: per-row defaults + few explicit
+   deviations, never materializing a matrix *)
+let random_sparse rng n =
+  let palette = [| 1; 4; 4; 9; 77 |] in
+  let default =
+    Array.init n (fun _ ->
+        palette.(Random.State.int rng (Array.length palette)))
+  in
+  let rows =
+    Array.init n (fun _ ->
+        let deg = Random.State.int rng (min n 6) in
+        let cols = Array.init n Fun.id in
+        (* partial Fisher-Yates: first [deg] entries are distinct *)
+        for i = 0 to deg - 1 do
+          let j = i + Random.State.int rng (n - i) in
+          let t = cols.(i) in
+          cols.(i) <- cols.(j);
+          cols.(j) <- t
+        done;
+        List.init deg (fun i -> (cols.(i), Random.State.int rng 200))
+        |> List.sort compare)
+  in
+  Dtsp.of_rows ~n ~default rows
+
+(* mixed: uniform rows interleaved with clustered ones *)
+let mixed_matrix rng n =
+  let v = 5 in
+  Array.init n (fun i ->
+      if i land 1 = 0 then Array.init n (fun j -> if i = j then 0 else v)
+      else Array.init n (fun _ -> Random.State.int rng 30))
+
+let instance_of_seed seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 2 + Random.State.int rng 30 in
+  match Random.State.int rng 4 with
+  | 0 -> Dtsp.make (random_matrix rng n)
+  | 1 -> Dtsp.make (uniform_matrix rng n)
+  | 2 -> Dtsp.make (mixed_matrix rng n)
+  | _ -> random_sparse rng n
+
+let ks_for n = [ -2; 0; 1; 3; 8; n - 1; n + 5 ]
+
+let pp_list arr =
+  String.concat "," (Array.to_list (Array.map string_of_int arr))
+
+let check_lists ~what ~k got want =
+  Array.iteri
+    (fun a w ->
+      if got.(a) <> w then
+        QCheck2.Test.fail_reportf
+          "%s: city %d differs at k=%d (got %s, want %s)" what a k
+          (pp_list got.(a)) (pp_list w))
+    want;
+  true
+
+(* ---------------- properties ---------------- *)
+
+let prop_select_canonical =
+  QCheck2.Test.make ~count:300
+    ~name:"Select = canonical (cost, partner) oracle" gen_seed (fun seed ->
+      let d = instance_of_seed seed in
+      let s = Sym.of_dtsp d in
+      List.for_all
+        (fun k ->
+          check_lists ~what:"select" ~k
+            (Neighbors.of_sym ~mode:Neighbors.Select s ~k)
+            (canonical_oracle s ~k))
+        (ks_for d.Dtsp.n))
+
+let prop_exact_legacy =
+  QCheck2.Test.make ~count:300
+    ~name:"Exact = legacy dense full-sort scan (tie order included)"
+    gen_seed (fun seed ->
+      let d = instance_of_seed seed in
+      let s = Sym.of_dtsp d in
+      let dense = dense_sym d in
+      List.for_all
+        (fun k ->
+          if k < 0 then true (* the legacy scan predates negative k *)
+          else
+            check_lists ~what:"exact" ~k
+              (Neighbors.of_sym ~mode:Neighbors.Exact s ~k)
+              (legacy_oracle s dense ~k))
+        (ks_for d.Dtsp.n))
+
+let prop_modes_agree_on_costs =
+  QCheck2.Test.make ~count:300
+    ~name:"Exact and Select pick identical cost sequences" gen_seed
+    (fun seed ->
+      let d = instance_of_seed seed in
+      let s = Sym.of_dtsp d in
+      List.for_all
+        (fun k ->
+          let costs lists =
+            Array.mapi (fun a l -> Array.map (Sym.cost s a) l) lists
+          in
+          let e = costs (Neighbors.of_sym ~mode:Neighbors.Exact s ~k) in
+          let c = costs (Neighbors.of_sym ~mode:Neighbors.Select s ~k) in
+          if e <> c then
+            QCheck2.Test.fail_reportf "cost sequences differ at k=%d" k;
+          true)
+        (ks_for d.Dtsp.n))
+
+let prop_locked_excluded =
+  QCheck2.Test.make ~count:300
+    ~name:"no list contains self, the locked partner, or same parity"
+    gen_seed (fun seed ->
+      let d = instance_of_seed seed in
+      let s = Sym.of_dtsp d in
+      List.iter
+        (fun mode ->
+          let nbr = Neighbors.of_sym ~mode s ~k:8 in
+          Array.iteri
+            (fun a l ->
+              Array.iter
+                (fun b ->
+                  if b = a then
+                    QCheck2.Test.fail_reportf "city %d lists itself" a;
+                  if Sym.is_locked s a b then
+                    QCheck2.Test.fail_reportf
+                      "city %d lists locked partner %d" a b;
+                  if a land 1 = b land 1 then
+                    QCheck2.Test.fail_reportf
+                      "city %d lists same-parity %d" a b)
+                l)
+            nbr)
+        [ Neighbors.Exact; Neighbors.Select ];
+      true)
+
+let prop_executor_identity =
+  QCheck2.Test.make ~count:60
+    ~name:"pooled construction bit-identical to sequential" gen_seed
+    (fun seed ->
+      let d = instance_of_seed seed in
+      let s = Sym.of_dtsp d in
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun jobs ->
+              let seq = Neighbors.of_sym ~mode s ~k:8 in
+              let par =
+                Neighbors.of_sym ~mode ~exec:(Executor.Pool jobs) s ~k:8
+              in
+              if seq <> par then
+                QCheck2.Test.fail_reportf "jobs=%d differs from Seq" jobs)
+            [ 2; 3 ])
+        [ Neighbors.Exact; Neighbors.Select ];
+      true)
+
+(* ---------------- unit regressions ---------------- *)
+
+(* the latent edge case: k beyond the partner count (and below zero)
+   must clamp identically on every path — the dense scan truncated
+   naturally, the uniform shortcut used to trust k blindly *)
+let test_k_clamping () =
+  let rng = Random.State.make [| 42 |] in
+  List.iter
+    (fun d ->
+      let s = Sym.of_dtsp d in
+      let n = d.Dtsp.n in
+      List.iter
+        (fun mode ->
+          let full = Neighbors.of_sym ~mode s ~k:(n - 1) in
+          List.iter
+            (fun k ->
+              let got = Neighbors.of_sym ~mode s ~k in
+              Array.iteri
+                (fun a l ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "city %d length at k=%d" a k)
+                    (max 0 (min k (n - 1)))
+                    (Array.length l);
+                  (* oversized and negative k degrade to the full /
+                     empty list, never crash, never pad *)
+                  if k >= n - 1 then
+                    Alcotest.(check (array int))
+                      (Printf.sprintf "city %d full list at k=%d" a k)
+                      full.(a) l)
+                got)
+            [ -3; 0; 1; n - 1; n; n + 17 ])
+        [ Neighbors.Exact; Neighbors.Select ])
+    [
+      Dtsp.make [| [| 0; 5 |]; [| 2; 0 |] |];
+      (* n = 2: a single partner *)
+      Dtsp.make (uniform_matrix rng 7);
+      random_sparse rng 9;
+    ]
+
+let test_auto_gating () =
+  (* below the threshold Auto is Exact; above it Auto is Select *)
+  let rng = Random.State.make [| 7 |] in
+  let small = Sym.of_dtsp (Dtsp.make (random_matrix rng 20)) in
+  Alcotest.(check bool) "auto = exact below threshold" true
+    (Neighbors.of_sym small ~k:8
+    = Neighbors.of_sym ~mode:Neighbors.Exact small ~k:8);
+  let n = Neighbors.exact_threshold + 40 in
+  let big = Sym.of_dtsp (random_sparse rng n) in
+  Alcotest.(check bool) "auto = select above threshold" true
+    (Neighbors.of_sym big ~k:8
+    = Neighbors.of_sym ~mode:Neighbors.Select big ~k:8);
+  (* and the big Select list must still match the canonical oracle *)
+  Alcotest.(check bool) "big select = canonical oracle" true
+    (Neighbors.of_sym big ~k:8 = canonical_oracle big ~k:8)
+
+let () =
+  Alcotest.run "neighbors-prop"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_select_canonical;
+          QCheck_alcotest.to_alcotest prop_exact_legacy;
+          QCheck_alcotest.to_alcotest prop_modes_agree_on_costs;
+          QCheck_alcotest.to_alcotest prop_locked_excluded;
+        ] );
+      ("executor", [ QCheck_alcotest.to_alcotest prop_executor_identity ]);
+      ( "regression",
+        [
+          Alcotest.test_case "k clamping" `Quick test_k_clamping;
+          Alcotest.test_case "auto gating" `Slow test_auto_gating;
+        ] );
+    ]

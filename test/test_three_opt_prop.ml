@@ -115,6 +115,107 @@ let prop_cost_consistent =
       churn seed st;
       Three_opt.cost st = Sym.tour_cost s (Three_opt.tour st))
 
+(* ---------------- don't-look version stamps ---------------- *)
+
+(** A failed-scan stamp may never run ahead of the tour version —
+    otherwise a stale stamp could suppress a needed rescan. *)
+let stamps_sound (st : Three_opt.state) =
+  Array.for_all
+    (fun v -> v <= st.Three_opt.version)
+    st.Three_opt.last_fail
+
+let prop_stamps_sound =
+  prop "failed-scan stamps never exceed the tour version" stamps_sound
+
+(** The tentpole claim: don't-look bits are trajectory-exact.  The same
+    operation sequence against bits-on and bits-off states ends in
+    identical tours, costs, and move counts — the bits may only elide
+    provably futile rescans. *)
+let prop_bits_trajectory_exact =
+  QCheck2.Test.make ~count:200
+    ~name:"bits-on run identical to bits-off (tour, cost, moves)" gen_seed
+    (fun seed ->
+      let d = dtsp_of_seed seed in
+      let s = Sym.of_dtsp d in
+      let rng = Random.State.make [| seed + 1 |] in
+      let nbr = Neighbors.of_sym s ~k:8 in
+      let tour = Sym.expand s (random_directed_tour rng d.Dtsp.n) in
+      let on = Three_opt.init ~dont_look:true s ~nbr ~tour in
+      let off = Three_opt.init ~dont_look:false s ~nbr ~tour in
+      (* same deterministic op sequence on both states *)
+      churn seed on;
+      churn seed off;
+      Three_opt.activate_all on;
+      Three_opt.activate_all off;
+      Three_opt.run on;
+      Three_opt.run off;
+      if Three_opt.tour on <> Three_opt.tour off then
+        QCheck2.Test.fail_reportf "tours differ";
+      if Three_opt.cost on <> Three_opt.cost off then
+        QCheck2.Test.fail_reportf "costs differ";
+      if
+        on.Three_opt.moves_2opt <> off.Three_opt.moves_2opt
+        || on.Three_opt.moves_3opt <> off.Three_opt.moves_3opt
+      then QCheck2.Test.fail_reportf "move counts differ";
+      if off.Three_opt.scans_skipped <> 0 then
+        QCheck2.Test.fail_reportf "bits-off state skipped a scan";
+      true)
+
+(* run repeated full passes until one applies no move: every city's
+   failed scan is then stamped with the final version *)
+let rec settle (st : Three_opt.state) =
+  let m = st.Three_opt.moves_2opt + st.Three_opt.moves_3opt in
+  Three_opt.activate_all st;
+  Three_opt.run st;
+  if st.Three_opt.moves_2opt + st.Three_opt.moves_3opt > m then settle st
+
+(** Once converged, a full reactivation performs zero scans: every pop
+    hits the don't-look stamp. *)
+let prop_converged_pass_all_skipped =
+  QCheck2.Test.make ~count:150
+    ~name:"post-convergence pass skips every scan" gen_seed (fun seed ->
+      let _, _, st = state_of_seed seed in
+      settle st;
+      let nn = Array.length st.Three_opt.tour in
+      let skipped = st.Three_opt.scans_skipped in
+      let moves = st.Three_opt.moves_2opt + st.Three_opt.moves_3opt in
+      Three_opt.activate_all st;
+      Three_opt.run st;
+      if st.Three_opt.moves_2opt + st.Three_opt.moves_3opt <> moves then
+        QCheck2.Test.fail_reportf "converged state still moved";
+      if st.Three_opt.scans_skipped <> skipped + nn then
+        QCheck2.Test.fail_reportf "expected %d skips, got %d" nn
+          (st.Three_opt.scans_skipped - skipped);
+      true)
+
+(** [set_tour] (the kick path) must invalidate every stamp, so no city
+    can be skipped against the new tour it was never scanned on. *)
+let prop_set_tour_invalidates =
+  QCheck2.Test.make ~count:150
+    ~name:"set_tour bumps version past every stamp" gen_seed (fun seed ->
+      let _, s, st = state_of_seed seed in
+      settle st;
+      (* rotating the cyclic tour keeps the cycle (and the locked
+         pairs) but changes the array: exactly what a kick does *)
+      let t = Three_opt.tour st in
+      let nn = Array.length t in
+      let rot = Array.init nn (fun i -> t.((i + 2) mod nn)) in
+      let v = st.Three_opt.version in
+      Iterated.set_tour st rot;
+      if st.Three_opt.version <= v then
+        QCheck2.Test.fail_reportf "set_tour did not bump the version";
+      if
+        not
+          (Array.for_all
+             (fun f -> f < st.Three_opt.version)
+             st.Three_opt.last_fail)
+      then QCheck2.Test.fail_reportf "a stamp survived set_tour";
+      (* and the state still converges cleanly from the new tour *)
+      settle st;
+      inverse_permutations st
+      && locked_pairs_intact st
+      && Three_opt.cost st = Sym.tour_cost s (Three_opt.tour st))
+
 let () =
   Alcotest.run "three-opt-prop"
     [
@@ -125,5 +226,12 @@ let () =
           QCheck_alcotest.to_alcotest prop_queue;
           QCheck_alcotest.to_alcotest prop_cost_consistent;
           QCheck_alcotest.to_alcotest prop_full_run_extracts;
+        ] );
+      ( "dont-look",
+        [
+          QCheck_alcotest.to_alcotest prop_stamps_sound;
+          QCheck_alcotest.to_alcotest prop_bits_trajectory_exact;
+          QCheck_alcotest.to_alcotest prop_converged_pass_all_skipped;
+          QCheck_alcotest.to_alcotest prop_set_tour_invalidates;
         ] );
     ]

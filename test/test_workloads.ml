@@ -300,6 +300,182 @@ let test_exc_has_many_procedures () =
   Alcotest.(check bool) "thousands of calls" true
     (Ba_profile.Profile.total_calls prof > 1000)
 
+(* ---------------- whole-program-scale synthetic CFGs ---------------- *)
+
+module Scale = Ba_workloads.Scale
+module Cfg = Ba_cfg.Cfg
+
+let scale_sizes = [ 8; 9; 40; 68; 200; 1000 ]
+
+let scale_cases f =
+  List.iter
+    (fun fam -> List.iter (fun n -> f fam n) scale_sizes)
+    Scale.all
+
+let test_scale_counts_and_validity () =
+  scale_cases (fun fam n ->
+      let what = Printf.sprintf "%s n=%d" (Scale.name fam) n in
+      let g, p = Scale.instance fam ~n ~invocations:512 in
+      Alcotest.(check int) (what ^ ": blocks") n (Cfg.n_blocks g);
+      Alcotest.(check int)
+        (what ^ ": edges")
+        (Scale.expected_edges fam ~n)
+        (Cfg.n_edges g);
+      (* strict: every block reachable from the entry *)
+      (match Cfg.validate ~strict:true g with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" what m);
+      (match Ba_profile.Profile.validate_proc g p with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s profile: %s" what m);
+      match
+        Ba_check.Lint.gate
+          ~profile:{ Ba_profile.Profile.procs = [| p |]; calls = [] }
+          [| g |]
+      with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "%s lint: %s" what (Ba_robust.Errors.to_string e))
+
+let test_scale_edge_formulas () =
+  (* closed forms re-derived by hand, independent of expected_edges:
+     loop-nest = n + depth − 1; interp = n + arms − 1; switch counts
+     head fan-out + arm fall-throughs *)
+  let independent =
+    [
+      (Scale.Loop_nest, 8, 8 + 2 - 1);
+      (Scale.Loop_nest, 40, 40 + 16 - 1);
+      (Scale.Interp, 40, 40 + ((40 - 3) / 4) - 1);
+      (Scale.Interp, 1000, 1000 + ((1000 - 3) / 4) - 1);
+      (* n=40: one 64-arm table holds all 37 middle arms *)
+      (Scale.Switch, 40, 1 + (2 * 37));
+      (* n=68: a full 64-arm section plus an armless head → exit *)
+      (Scale.Switch, 68, 1 + (2 * 64) + 1);
+    ]
+  in
+  List.iter
+    (fun (fam, n, want) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s n=%d edges" (Scale.name fam) n)
+        want
+        (Cfg.n_edges (Scale.cfg fam ~n)))
+    independent
+
+let test_scale_deterministic () =
+  scale_cases (fun fam n ->
+      let what = Printf.sprintf "%s n=%d" (Scale.name fam) n in
+      let g1, p1 = Scale.instance fam ~n ~invocations:512 in
+      let g2, p2 = Scale.instance fam ~n ~invocations:512 in
+      Alcotest.(check int64)
+        (what ^ ": structural hash stable")
+        (Cfg.structural_hash g1) (Cfg.structural_hash g2);
+      Alcotest.(check bool) (what ^ ": profile stable") true (p1 = p2));
+  (* the three families at one size are structurally distinct *)
+  let hashes =
+    List.map (fun fam -> Cfg.structural_hash (Scale.cfg fam ~n:200)) Scale.all
+  in
+  Alcotest.(check int) "family hashes distinct" 3
+    (List.length (List.sort_uniq compare hashes))
+
+let test_scale_shapes () =
+  (* the families deliver what their names promise *)
+  let count pred g = Cfg.fold (fun acc b -> if pred b then acc + 1 else acc) 0 g in
+  let g = Scale.cfg Loop_nest ~n:200 in
+  Alcotest.(check int) "loop-nest: 16 conditionals" 16
+    (count Ba_cfg.Block.is_conditional g);
+  let g = Scale.cfg Interp ~n:200 in
+  Alcotest.(check int) "interp: one dispatch" 1
+    (count Ba_cfg.Block.is_multiway g);
+  (match (Cfg.block g 1).Ba_cfg.Block.term with
+  | Ba_cfg.Block.Multiway arms ->
+      Alcotest.(check int) "interp: dispatch width" (((200 - 3) / 4) + 1)
+        (Array.length arms)
+  | _ -> Alcotest.fail "interp block 1 is not a dispatch");
+  (* heads sit every switch_width+1 blocks: ⌈(200−2)/65⌉ = 4 tables *)
+  let g = Scale.cfg Switch ~n:200 in
+  Alcotest.(check int) "switch: four tables" 4
+    (count Ba_cfg.Block.is_multiway g)
+
+let test_scale_rejects_bad_parameters () =
+  Alcotest.check_raises "tiny n"
+    (Invalid_argument "Scale.interp: n = 4 below minimum 8") (fun () ->
+      ignore (Scale.cfg Scale.Interp ~n:4));
+  Alcotest.check_raises "zero invocations"
+    (Invalid_argument "Scale.instance: invocations < 1") (fun () ->
+      ignore (Scale.instance Scale.Switch ~n:40 ~invocations:0))
+
+let test_scale_certify_smoke () =
+  (* end-to-end at a size where the full pipeline is instant: reduce,
+     solve, extract the layout, certify independently *)
+  let model = Ba_machine.Model.alpha21164 in
+  List.iter
+    (fun fam ->
+      let what = Scale.name fam in
+      let g, p = Scale.instance fam ~n:60 ~invocations:256 in
+      let inst = Ba_align.Reduction.build model g ~profile:p in
+      let config = { Ba_tsp.Iterated.default with runs = 2; max_kicks = 40 } in
+      let tour, stats = Ba_tsp.Iterated.solve ~config inst.Ba_align.Reduction.dtsp in
+      let order = Ba_align.Reduction.order_of_tour inst tour in
+      match
+        Ba_check.Certify.proc_cert ~proc:0 model g ~profile:p ~order
+          ~claimed:(Ba_align.Reduction.layout_cost inst order)
+      with
+      | Ok cert ->
+          Alcotest.(check int) (what ^ ": certified blocks") 60
+            cert.Ba_check.Certify.n_blocks;
+          Alcotest.(check bool) (what ^ ": sym round-trip ran") true
+            cert.Ba_check.Certify.sym_checked;
+          Alcotest.(check bool) (what ^ ": solver found a tour") true
+            (stats.Ba_tsp.Iterated.best_cost = cert.Ba_check.Certify.cost)
+      | Error e ->
+          Alcotest.failf "%s: %s" what (Ba_check.Certify.error_to_string e))
+    Scale.all
+
+let test_certify_sparse_instance_equivalence () =
+  (* the sparse certifier instance must be the same logical matrix as
+     the dense independent build, on scale instances and random CFGs *)
+  let model = Ba_machine.Model.alpha21164 in
+  let check what g p =
+    let dd, dummy_d = Ba_check.Certify.dtsp_of model g ~profile:p in
+    let ds, dummy_s = Ba_check.Certify.dtsp_of_sparse model g ~profile:p in
+    Alcotest.(check int) (what ^ ": dummy") dummy_d dummy_s;
+    let n = dd.Ba_tsp.Dtsp.n in
+    Alcotest.(check int) (what ^ ": n") n ds.Ba_tsp.Dtsp.n;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if Ba_tsp.Dtsp.cost dd i j <> Ba_tsp.Dtsp.cost ds i j then
+          Alcotest.failf "%s: cost(%d,%d) dense %d sparse %d" what i j
+            (Ba_tsp.Dtsp.cost dd i j) (Ba_tsp.Dtsp.cost ds i j)
+      done
+    done;
+    Alcotest.(check int) (what ^ ": max_cost") (Ba_tsp.Dtsp.max_cost dd)
+      (Ba_tsp.Dtsp.max_cost ds)
+  in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun fam ->
+          let g, p = Scale.instance fam ~n:40 ~invocations:256 in
+          check
+            (Ba_machine.Model.to_string model ^ " " ^ Scale.name fam)
+            g p)
+        Scale.all)
+    [ model; Ba_machine.Model.ext_tsp () ];
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let n = 2 + Random.State.int rng 24 in
+      let g = Ba_testutil.Gen.cfg rng ~n in
+      let prof =
+        Ba_testutil.Gen.profile_of ~seed:(seed + 1) g ~invocations:20
+          ~max_steps:100
+      in
+      check
+        (Printf.sprintf "random cfg seed=%d" seed)
+        g
+        (Ba_profile.Profile.proc prof 0))
+    [ 3; 17; 99; 1234 ]
+
 (* ---------------- table 1 statistics ---------------- *)
 
 let test_profiles_touch_sites () =
@@ -373,6 +549,20 @@ let () =
             test_exc_fresh_seeds_differential;
           Alcotest.test_case "exc procedure structure" `Quick
             test_exc_has_many_procedures;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "counts and validity" `Quick
+            test_scale_counts_and_validity;
+          Alcotest.test_case "independent edge formulas" `Quick
+            test_scale_edge_formulas;
+          Alcotest.test_case "deterministic" `Quick test_scale_deterministic;
+          Alcotest.test_case "family shapes" `Quick test_scale_shapes;
+          Alcotest.test_case "parameter validation" `Quick
+            test_scale_rejects_bad_parameters;
+          Alcotest.test_case "certify smoke" `Quick test_scale_certify_smoke;
+          Alcotest.test_case "sparse certifier instance = dense" `Quick
+            test_certify_sparse_instance_equivalence;
         ] );
       ( "profiles",
         [ Alcotest.test_case "touch sites" `Quick test_profiles_touch_sites ] );

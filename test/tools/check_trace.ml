@@ -173,7 +173,12 @@ let check_bench path =
 
 let check_solver_bench path =
   let doc = parse path in
-  if str (member "schema" doc) <> "solver-bench/1" then die "bad schema";
+  let v2 =
+    match str (member "schema" doc) with
+    | "solver-bench/1" -> false
+    | "solver-bench/2" -> true
+    | _ -> die "bad schema"
+  in
   if str (member "commit" doc) = "" then die "empty commit";
   let date = str (member "date" doc) in
   if String.length date <> 20 || date.[4] <> '-' || date.[10] <> 'T'
@@ -182,6 +187,12 @@ let check_solver_bench path =
   let variant = str (member "variant" doc) in
   if variant = "" then die "empty variant";
   List.iter (fun k -> ignore (num (member k doc))) [ "seed"; "kicks"; "neighbors" ];
+  if v2 then begin
+    (* the v2 header records the instance family and construction knobs *)
+    if str (member "family" doc) = "" then die "empty family";
+    if str (member "mode" doc) = "" then die "empty mode";
+    if num (member "jobs" doc) < 1. then die "jobs < 1"
+  end;
   let entries = list (member "entries" doc) in
   if entries = [] then die "no entries";
   let last_n = ref 0 in
@@ -196,12 +207,19 @@ let check_solver_bench path =
         (fun k ->
           let v = num (member k e) in
           if v < 0. then die "negative %S at n=%d" k n)
-        [ "build_s"; "build_words"; "sym_s"; "nbr_s"; "instance_words";
-          "opt_s"; "moves"; "moves_per_s" ];
+        ([ "build_s"; "build_words"; "sym_s"; "nbr_s"; "instance_words";
+           "opt_s"; "moves"; "moves_per_s" ]
+        @ if v2 then [ "scans_skipped" ] else []);
       (* best_cost/tour_hash are deterministic identity anchors; any
          shape will do but they must be present *)
       ignore (num (member "best_cost" e));
-      ignore (num (member "tour_hash" e)))
+      ignore (num (member "tour_hash" e));
+      (* a row that carried certification must have passed it *)
+      match Json.member "certified" e with
+      | None -> ()
+      | Some c ->
+          if c <> Json.Bool true then die "uncertified layout at n=%d" n;
+          if num (member "cert_s" e) < 0. then die "negative cert_s at n=%d" n)
     entries;
   Printf.printf "solver-bench ok: variant %s, %d entries\n" variant
     (List.length entries)
