@@ -4,8 +4,8 @@ DUNE ?= dune
 BALIGN = $(DUNE) exec --no-print-directory bin/balign.exe --
 BENCH = $(DUNE) exec --no-print-directory bench/main.exe --
 
-.PHONY: all build test check check-par smoke lint report bench-json \
-  bench-solver serve-soak clean
+.PHONY: all build test check check-par smoke lint analyze report \
+  bench-json bench-solver serve-soak clean
 
 all: build
 
@@ -129,6 +129,29 @@ lint: build
 	$(DUNE) exec --no-print-directory test/tools/check_lint.exe -- \
 	  --cert $$tmp/cert.json; \
 	echo "lint ok: examples are clean and the certificate verifies"
+
+# Structural-analysis gate (docs/ANALYSIS.md): `balign analyze` JSON
+# on every committed example and on a 10^5-block synthetic family,
+# each validated structurally, plus a --profile static alignment
+# smoke (layouts trained on the Wu-Larus estimate, no training run).
+analyze: build
+	@tmp=$$(mktemp -d); trap 'rm -rf '"$$tmp" EXIT; set -e; \
+	for p in collatz scanner dispatch; do \
+	  echo "analyze: examples/programs/$$p.mc"; \
+	  $(BALIGN) analyze examples/programs/$$p.mc --format json \
+	    > $$tmp/$$p.json; \
+	  $(DUNE) exec --no-print-directory test/tools/check_trace.exe -- \
+	    --analyze $$tmp/$$p.json; \
+	done; \
+	echo "analyze: --scale switch:100000 (10^5 blocks)"; \
+	$(BALIGN) analyze --scale switch:100000 --format json \
+	  > $$tmp/scale.json; \
+	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- \
+	  --analyze $$tmp/scale.json; \
+	echo "analyze: --profile static alignment smoke"; \
+	$(BALIGN) align examples/programs/collatz.mc --input 40 \
+	  --profile static > /dev/null; \
+	echo "analyze ok: reports validate and static training aligns"
 
 # Machine-readable bench trajectory for CI: one small workload, JSON
 # artifact validated structurally before it is uploaded.

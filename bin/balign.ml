@@ -4,6 +4,7 @@
      compile   parse + lower a minic program, print CFG statistics
      dot       dump the CFGs in Graphviz format (--lint colors findings)
      lint      static analysis of CFGs and profiles (ba_check rules)
+     analyze   structural analysis: dominators, loops, static estimate
      profile   run a program and print its edge-frequency profile
      align     lay out a program with a chosen method, report penalties
                (--certify emits an independent alignment certificate)
@@ -25,6 +26,19 @@ module Executor = Ba_engine.Executor
 let ( let* ) r f = Result.bind r f
 
 (* ---------------- shared helpers ---------------- *)
+
+(** Training-profile source shared by align/evaluate/bench/serve:
+    [`Collected] runs the program, [`Static] estimates frequencies from
+    CFG structure alone ({!Ba_analysis.Estimate}). *)
+let profile_mode_opt =
+  Arg.(value
+       & opt (enum [ ("collected", `Collected); ("static", `Static) ]) `Collected
+       & info [ "profile" ] ~docv:"MODE"
+           ~doc:"train layouts on the collected edge profile \
+                 ($(b,collected), default) or on the structural estimate \
+                 ($(b,static): Wu-Larus branch heuristics propagated \
+                 through the loop forest — no training run at all). \
+                 Measurements always use the collected testing profile.")
 
 (** Evaluate one command body: print the typed error and turn it into
     its documented exit code.  Escaped exceptions (interpreter runtime
@@ -270,24 +284,52 @@ let dot_cmd =
 (* ---------------- lint ---------------- *)
 
 let lint_cmd =
-  let run file input input_file format strict =
-    let* c = load_program file in
-    let* profile = load_profile_opt c ~input ~input_file in
-    let report = Ba_check.Lint.analyze ?profile c.Ba_minic.Compile.cfgs in
-    (match format with
-    | `Text -> Fmt.pr "%a" Ba_check.Lint.pp_report report
-    | `Json ->
-        print_endline (Ba_obs.Json.to_string (Ba_check.Lint.report_json report)));
-    match Ba_check.Lint.first_gating ~strict report with
-    | None -> Ok ()
-    | Some d -> Error (Ba_check.Lint.to_error d)
+  let list_rules () =
+    List.iter
+      (fun (r : Ba_check.Rules.rule) ->
+        Fmt.pr "%-6s %-26s %-8s %s@." r.Ba_check.Rules.code
+          r.Ba_check.Rules.id
+          (Ba_check.Diagnostic.severity_name r.Ba_check.Rules.severity)
+          r.Ba_check.Rules.doc)
+      Ba_check.Rules.all;
+    Ok ()
+  in
+  let run file input input_file format strict list =
+    if list then list_rules ()
+    else
+      let* file =
+        match file with
+        | Some f -> Ok f
+        | None -> Error (Errors.Usage "give a FILE to lint (or --list)")
+      in
+      let* c = load_program file in
+      let* profile = load_profile_opt c ~input ~input_file in
+      let report = Ba_check.Lint.analyze ?profile c.Ba_minic.Compile.cfgs in
+      (match format with
+      | `Text -> Fmt.pr "%a" Ba_check.Lint.pp_report report
+      | `Json ->
+          print_endline
+            (Ba_obs.Json.to_string (Ba_check.Lint.report_json report))
+      | `Sarif ->
+          print_endline
+            (Ba_obs.Json.to_string (Ba_check.Lint.sarif_json report)));
+      match Ba_check.Lint.first_gating ~strict report with
+      | None -> Ok ()
+      | Some d -> Error (Ba_check.Lint.to_error d)
+  in
+  let opt_file_arg =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"minic source file (omit with --list)")
   in
   let format_opt =
     Arg.(value
-         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+             `Text
          & info [ "format" ] ~docv:"FMT"
-             ~doc:"findings as one line each ($(b,text), default) or as a \
-                   $(b,balign-lint-1) JSON document ($(b,json))")
+             ~doc:"findings as one line each ($(b,text), default), as a \
+                   $(b,balign-lint-1) JSON document ($(b,json)), or as a \
+                   SARIF 2.1.0 log with the rule catalogue as tool \
+                   metadata ($(b,sarif))")
   in
   let strict_opt =
     Arg.(value & flag
@@ -295,11 +337,119 @@ let lint_cmd =
              ~doc:"warnings gate too (infos never do); the exit code is the \
                    documented code of the first gating finding's error class")
   in
+  let list_opt =
+    Arg.(value & flag
+         & info [ "list" ]
+             ~doc:"print the rule catalogue (code, id, severity, rationale) \
+                   and exit; no FILE needed")
+  in
   cmd "lint"
     ~doc:"static analysis: check CFGs (and, with --input, the profile) \
           against the ba_check rule catalogue"
-    Term.(const (fun file i f fmt s -> run_term (fun () -> run file i f fmt s))
-          $ file_arg $ input_opt $ input_file_opt $ format_opt $ strict_opt)
+    Term.(const (fun file i f fmt s l ->
+              run_term (fun () -> run file i f fmt s l))
+          $ opt_file_arg $ input_opt $ input_file_opt $ format_opt $ strict_opt
+          $ list_opt)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let parse_scale spec =
+    match String.index_opt spec ':' with
+    | None ->
+        Error
+          (Errors.Usage
+             (Printf.sprintf "bad --scale %S (expected FAMILY:N)" spec))
+    | Some i -> (
+        let fam = String.sub spec 0 i in
+        let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match (Ba_workloads.Scale.find fam, int_of_string_opt n) with
+        | None, _ ->
+            Error
+              (Errors.Usage
+                 (Printf.sprintf "unknown scale family %S (have: %s)" fam
+                    (String.concat ", "
+                       (List.map Ba_workloads.Scale.name Ba_workloads.Scale.all))))
+        | _, None ->
+            Error (Errors.Usage (Printf.sprintf "bad block count %S" n))
+        | Some fam, Some n ->
+            if n < Ba_workloads.Scale.min_blocks then
+              Error
+                (Errors.Usage
+                   (Printf.sprintf "N must be at least %d"
+                      Ba_workloads.Scale.min_blocks))
+            else Ok (fam, n))
+  in
+  let run file scale format top invocations =
+    let* reports =
+      match (file, scale) with
+      | Some _, Some _ ->
+          Error (Errors.Usage "give FILE or --scale FAMILY:N, not both")
+      | None, None -> Error (Errors.Usage "give a FILE or --scale FAMILY:N")
+      | Some f, None ->
+          let* c = load_program f in
+          Ok
+            (Array.to_list
+               (Array.mapi
+                  (fun fid g ->
+                    Ba_analysis.Report.analyze ~top ?invocations ~fid g)
+                  c.Ba_minic.Compile.cfgs))
+      | None, Some spec ->
+          let* fam, n = parse_scale spec in
+          let g = Ba_workloads.Scale.cfg fam ~n in
+          Ok [ Ba_analysis.Report.analyze ~top ?invocations ~fid:0 g ]
+    in
+    (match format with
+    | `Text -> List.iter (Fmt.pr "%a" Ba_analysis.Report.pp) reports
+    | `Json ->
+        print_endline
+          (Ba_obs.Json.to_string (Ba_analysis.Report.program_json reports)));
+    Ok ()
+  in
+  let opt_file_arg =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"minic source file (or use --scale)")
+  in
+  let scale_opt =
+    Arg.(value & opt (some string) None
+         & info [ "scale" ] ~docv:"FAMILY:N"
+             ~doc:"analyze a synthetic whole-program-scale CFG instead of a \
+                   source file: $(b,loop-nest), $(b,switch) or $(b,interp) \
+                   with $(i,N) blocks (e.g. $(b,switch:100000))")
+  in
+  let format_opt =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"human-readable summaries ($(b,text), default) or a \
+                   $(b,balign-analyze-1) JSON document ($(b,json))")
+  in
+  let top_opt =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~docv:"N"
+             ~doc:"number of hottest blocks to report per procedure")
+  in
+  let invocations_opt =
+    Arg.(value & opt (some int) None
+         & info [ "invocations" ] ~docv:"N"
+             ~doc:"requested invocation scale of the estimated counts \
+                   (default 10000; clamped so no count can overflow)")
+  in
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "Structure and estimated hotness of a source program:";
+      `Pre "  balign analyze prog.mc";
+      `P "A 100k-block synthetic jump-table cascade, as JSON:";
+      `Pre "  balign analyze --scale switch:100000 --format json";
+    ]
+  in
+  cmd "analyze" ~man
+    ~doc:"structural analysis: dominators, loop forest, irreducibility and \
+          the static profile estimate, without running the program"
+    Term.(const (fun file sc fmt top inv ->
+              run_term (fun () -> run file sc fmt top inv))
+          $ opt_file_arg $ scale_opt $ format_opt $ top_opt $ invocations_opt)
 
 (* ---------------- profile ---------------- *)
 
@@ -344,15 +494,25 @@ let method_opt =
            ~doc:"original | greedy | calder | calder-exhaustive | btfnt | tsp")
 
 let align_cmd =
-  let run file input input_file m model deadline_ms fallback jobs certify =
+  let run file input input_file m model deadline_ms fallback jobs certify
+      profile_mode =
     let executor = Executor.of_jobs jobs in
     let* c = load_program file in
     let* inp = load_input ~input ~input_file in
     let prof = Ba_minic.Compile.profile c ~input:inp in
     let cfgs = c.Ba_minic.Compile.cfgs in
+    (* the training profile drives the layout; penalties and cycles are
+       always measured against the collected profile of this input *)
+    let train =
+      match profile_mode with
+      | `Collected -> prof
+      | `Static ->
+          Fmt.pr "training profile: static estimate (no training run)@.";
+          Ba_analysis.Estimate.program cfgs
+    in
     let* report =
       Ba_align.Driver.align_checked ~executor ?deadline_ms ~fallback m
-        model cfgs ~train:prof
+        model cfgs ~train
     in
     let aligned = report.Ba_align.Driver.aligned in
     List.iter
@@ -387,7 +547,7 @@ let align_cmd =
         match
           Ba_check.Certify.program
             ~hk:(fun _ -> Ba_check.Certify.Compute Ba_tsp.Held_karp.default)
-            model cfgs ~train:prof
+            model cfgs ~train
             ~orders:aligned.Ba_align.Driver.orders
         with
         | Error f ->
@@ -429,33 +589,52 @@ let align_cmd =
     ]
   in
   cmd "align" ~man ~doc:"align a program and report penalty and cycle changes"
-    Term.(const (fun file i f m mo d fb j cert trace metrics ->
+    Term.(const (fun file i f m mo d fb j cert pm trace metrics ->
               run_term (fun () ->
                   with_obs ~trace ~metrics (fun () ->
-                      run file i f m mo d fb j cert)))
+                      run file i f m mo d fb j cert pm)))
           $ file_arg $ input_opt $ input_file_opt $ method_opt $ model_opt
-          $ deadline_opt $ fallback_opt $ jobs_opt $ certify_opt $ trace_opt
-          $ metrics_opt)
+          $ deadline_opt $ fallback_opt $ jobs_opt $ certify_opt
+          $ profile_mode_opt $ trace_opt $ metrics_opt)
 
 (* ---------------- evaluate (cross-validation) ---------------- *)
 
 let evaluate_cmd =
-  let run file train_input test_input model =
+  let run file train_input test_input model profile_mode =
     let* c = load_program file in
     let* train_inp = parse_input train_input in
     let* test_inp = parse_input test_input in
     let cfgs = c.Ba_minic.Compile.cfgs in
     let train = Ba_minic.Compile.profile c ~input:train_inp in
     let test = Ba_minic.Compile.profile c ~input:test_inp in
-    Fmt.pr "%-18s %14s %14s@." "method" "train=test" "cross-trained";
+    (* --profile static adds a third regime: layouts trained on the
+       structural estimate, measured (like the others) on the testing
+       profile *)
+    let static =
+      match profile_mode with
+      | `Collected -> None
+      | `Static -> Some (Ba_analysis.Estimate.program cfgs)
+    in
+    (match static with
+    | None -> Fmt.pr "%-18s %14s %14s@." "method" "train=test" "cross-trained"
+    | Some _ ->
+        Fmt.pr "%-18s %14s %14s %14s@." "method" "train=test" "cross-trained"
+          "static-trained");
     List.iter
       (fun m ->
         let self_ = Ba_align.Driver.align m model cfgs ~train:test in
         let cross = Ba_align.Driver.align m model cfgs ~train in
-        Fmt.pr "%-18s %14d %14d@."
-          (Ba_align.Driver.method_name m)
-          (Ba_align.Driver.analytic_penalty model self_ ~test)
-          (Ba_align.Driver.analytic_penalty model cross ~test))
+        let p aligned = Ba_align.Driver.analytic_penalty model aligned ~test in
+        match static with
+        | None ->
+            Fmt.pr "%-18s %14d %14d@."
+              (Ba_align.Driver.method_name m)
+              (p self_) (p cross)
+        | Some est ->
+            let static_ = Ba_align.Driver.align m model cfgs ~train:est in
+            Fmt.pr "%-18s %14d %14d %14d@."
+              (Ba_align.Driver.method_name m)
+              (p self_) (p cross) (p static_))
       [
         Ba_align.Driver.Original;
         Ba_align.Driver.Greedy;
@@ -475,8 +654,9 @@ let evaluate_cmd =
   in
   cmd "evaluate"
     ~doc:"cross-validate: penalties when training and testing inputs differ"
-    Term.(const (fun file tr te mo -> run_term (fun () -> run file tr te mo))
-          $ file_arg $ train_arg $ test_arg $ model_opt)
+    Term.(const (fun file tr te mo pm ->
+              run_term (fun () -> run file tr te mo pm))
+          $ file_arg $ train_arg $ test_arg $ model_opt $ profile_mode_opt)
 
 (* ---------------- bounds ---------------- *)
 
@@ -513,7 +693,7 @@ let bounds_cmd =
 (* ---------------- bench ---------------- *)
 
 let bench_cmd =
-  let run name model deadline_ms fallback jobs json =
+  let run name model deadline_ms fallback jobs json profile_mode =
     let find name =
       List.find_opt
         (fun w -> w.Ba_workloads.Workload.name = name)
@@ -583,6 +763,11 @@ let bench_cmd =
         Ba_harness.Tables.fig2_times Fmt.stdout rows;
         Ba_harness.Tables.fig3_penalties Fmt.stdout rows;
         Ba_harness.Tables.fig3_times Fmt.stdout rows;
+        (* the static rows are always measured (and always in --json);
+           the table is opt-in so the default stdout stays byte-stable *)
+        (match profile_mode with
+        | `Collected -> ()
+        | `Static -> Ba_harness.Tables.static_recovery Fmt.stdout rows);
         Ok ()
   in
   let bench_name =
@@ -606,17 +791,17 @@ let bench_cmd =
   in
   cmd "bench" ~man
     ~doc:"run the paper's experiment for one built-in benchmark"
-    Term.(const (fun n mo d fb j json trace metrics ->
+    Term.(const (fun n mo d fb j json pm trace metrics ->
               run_term (fun () ->
-                  with_obs ~trace ~metrics (fun () -> run n mo d fb j json)))
+                  with_obs ~trace ~metrics (fun () -> run n mo d fb j json pm)))
           $ bench_name $ model_opt $ deadline_opt $ fallback_opt $ jobs_opt
-          $ json_opt $ trace_opt $ metrics_opt)
+          $ json_opt $ profile_mode_opt $ trace_opt $ metrics_opt)
 
 (* ---------------- serve ---------------- *)
 
 let serve_cmd =
   let run socket model jobs cache_size cache_file max_frame_bytes max_blocks
-      default_deadline_ms max_deadline_ms =
+      default_deadline_ms max_deadline_ms profile_mode =
     let config =
       {
         Ba_serve.Server.executor = Executor.of_jobs jobs;
@@ -627,6 +812,7 @@ let serve_cmd =
         max_blocks;
         default_deadline_ms;
         max_deadline_ms;
+        static_profile = (profile_mode = `Static);
       }
     in
     let code =
@@ -684,11 +870,11 @@ let serve_cmd =
           requests on stdin (or --socket), certified layouts or typed \
           errors out; crash-only — requests can never take the server down \
           (see docs/SERVING.md)"
-    Term.(const (fun s mo j cs cf mf mb dd md ->
-              run_term (fun () -> run s mo j cs cf mf mb dd md))
+    Term.(const (fun s mo j cs cf mf mb dd md pm ->
+              run_term (fun () -> run s mo j cs cf mf mb dd md pm))
           $ socket_opt $ model_opt $ jobs_opt $ cache_size_opt $ cache_file_opt
           $ max_frame_opt $ max_blocks_opt $ default_deadline_opt
-          $ max_deadline_opt)
+          $ max_deadline_opt $ profile_mode_opt)
 
 (* ---------------- report ---------------- *)
 
@@ -747,8 +933,8 @@ let () =
   let group =
     Cmd.group info
       [
-        compile_cmd; dot_cmd; lint_cmd; profile_cmd; align_cmd; evaluate_cmd;
-        bounds_cmd; bench_cmd; serve_cmd; report_cmd;
+        compile_cmd; dot_cmd; lint_cmd; analyze_cmd; profile_cmd; align_cmd;
+        evaluate_cmd; bounds_cmd; bench_cmd; serve_cmd; report_cmd;
       ]
   in
   exit (Cmd.eval' group)

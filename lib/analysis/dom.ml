@@ -1,0 +1,187 @@
+(** Dominators (Cooper–Harvey–Kennedy).  See dom.mli for the contract.
+
+    Layout of the analysis record: [order]/[rpo] are the two directions
+    of the reverse-postorder numbering over reachable blocks; the
+    predecessor lists are a CSR pair ([pred_off] indexed by rpo number,
+    [pred_lab] holding distinct reachable predecessor labels); [pre] /
+    [post] are dominator-tree DFS intervals, which make [dominates] a
+    pair of integer comparisons. *)
+
+open Ba_cfg
+
+type t = {
+  g : Cfg.t;
+  order : int array;  (* rpo number -> label *)
+  rpo : int array;  (* label -> rpo number, -1 if unreachable *)
+  idom_ : int array;  (* label -> idom label, -1 for entry/unreachable *)
+  depth_ : int array;  (* label -> dominator-tree depth, -1 if unreachable *)
+  pre : int array;  (* label -> dominator-tree DFS entry time *)
+  post : int array;  (* label -> dominator-tree DFS exit time *)
+  pred_off : int array;  (* rpo number -> offset into pred_lab *)
+  pred_lab : int array;  (* distinct reachable predecessors, as labels *)
+}
+
+let cfg t = t.g
+let n_reachable t = Array.length t.order
+let is_reachable t l = t.rpo.(l) >= 0
+let order t = t.order
+let rpo_number t l = t.rpo.(l)
+let idom t l = if t.idom_.(l) < 0 then None else Some t.idom_.(l)
+let depth t l = t.depth_.(l)
+
+let dominates t a b =
+  t.rpo.(a) >= 0 && t.rpo.(b) >= 0
+  && t.pre.(a) <= t.pre.(b)
+  && t.post.(b) <= t.post.(a)
+
+let iter_preds t l f =
+  let r = t.rpo.(l) in
+  if r >= 0 then
+    for i = t.pred_off.(r) to t.pred_off.(r + 1) - 1 do
+      f t.pred_lab.(i)
+    done
+
+let compute (g : Cfg.t) : t =
+  let n = Cfg.n_blocks g in
+  let succs =
+    Array.init n (fun l -> Array.of_list (Block.successors (Cfg.block g l)))
+  in
+  (* --- depth-first search from the entry: reverse postorder --- *)
+  let rpo = Array.make n (-1) in
+  let visited = Array.make n false in
+  let stack_l = Array.make n 0 and stack_i = Array.make n 0 in
+  let sp = ref 0 in
+  let push l =
+    visited.(l) <- true;
+    stack_l.(!sp) <- l;
+    stack_i.(!sp) <- 0;
+    incr sp
+  in
+  let post_seq = Array.make n 0 in
+  let n_post = ref 0 in
+  push g.Cfg.entry;
+  while !sp > 0 do
+    let u = stack_l.(!sp - 1) in
+    let i = stack_i.(!sp - 1) in
+    let su = succs.(u) in
+    if i < Array.length su then begin
+      stack_i.(!sp - 1) <- i + 1;
+      let v = su.(i) in
+      if not visited.(v) then push v
+    end
+    else begin
+      decr sp;
+      post_seq.(!n_post) <- u;
+      incr n_post
+    end
+  done;
+  let n_reach = !n_post in
+  let order = Array.make n_reach 0 in
+  for k = 0 to n_reach - 1 do
+    let l = post_seq.(n_reach - 1 - k) in
+    order.(k) <- l;
+    rpo.(l) <- k
+  done;
+  (* --- distinct reachable predecessors, CSR over rpo numbers --- *)
+  let pred_off = Array.make (n_reach + 1) 0 in
+  let stamp = Array.make n (-1) in
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun v ->
+          if stamp.(v) <> 2 * u then begin
+            stamp.(v) <- (2 * u);
+            pred_off.(rpo.(v) + 1) <- pred_off.(rpo.(v) + 1) + 1
+          end)
+        succs.(u))
+    order;
+  for k = 1 to n_reach do
+    pred_off.(k) <- pred_off.(k) + pred_off.(k - 1)
+  done;
+  let pred_lab = Array.make (max 1 pred_off.(n_reach)) 0 in
+  let fill = Array.make n_reach 0 in
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun v ->
+          if stamp.(v) <> (2 * u) + 1 then begin
+            stamp.(v) <- (2 * u) + 1;
+            let r = rpo.(v) in
+            pred_lab.(pred_off.(r) + fill.(r)) <- u;
+            fill.(r) <- fill.(r) + 1
+          end)
+        succs.(u))
+    order;
+  (* --- Cooper–Harvey–Kennedy iteration over rpo numbers --- *)
+  let idom_rpo = Array.make n_reach (-1) in
+  idom_rpo.(0) <- 0;
+  let rec intersect f1 f2 =
+    if f1 = f2 then f1
+    else if f1 > f2 then intersect idom_rpo.(f1) f2
+    else intersect f1 idom_rpo.(f2)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 1 to n_reach - 1 do
+      let new_idom = ref (-1) in
+      for i = pred_off.(b) to pred_off.(b + 1) - 1 do
+        let p = rpo.(pred_lab.(i)) in
+        if idom_rpo.(p) >= 0 then
+          new_idom := if !new_idom < 0 then p else intersect p !new_idom
+      done;
+      if !new_idom >= 0 && idom_rpo.(b) <> !new_idom then begin
+        idom_rpo.(b) <- !new_idom;
+        changed := true
+      end
+    done
+  done;
+  (* --- dominator-tree DFS: depths and O(1) dominance intervals --- *)
+  let kids_off = Array.make (n_reach + 1) 0 in
+  for b = 1 to n_reach - 1 do
+    kids_off.(idom_rpo.(b) + 1) <- kids_off.(idom_rpo.(b) + 1) + 1
+  done;
+  for k = 1 to n_reach do
+    kids_off.(k) <- kids_off.(k) + kids_off.(k - 1)
+  done;
+  let kids = Array.make (max 1 kids_off.(n_reach)) 0 in
+  let kfill = Array.make n_reach 0 in
+  for b = 1 to n_reach - 1 do
+    let p = idom_rpo.(b) in
+    kids.(kids_off.(p) + kfill.(p)) <- b;
+    kfill.(p) <- kfill.(p) + 1
+  done;
+  let idom_ = Array.make n (-1) in
+  for b = 1 to n_reach - 1 do
+    idom_.(order.(b)) <- order.(idom_rpo.(b))
+  done;
+  let depth_ = Array.make n (-1) in
+  let pre = Array.make n 0 and post = Array.make n 0 in
+  let time = ref 0 in
+  let sp = ref 0 in
+  stack_l.(0) <- 0;
+  stack_i.(0) <- 0;
+  sp := 1;
+  depth_.(g.Cfg.entry) <- 0;
+  pre.(g.Cfg.entry) <- !time;
+  incr time;
+  while !sp > 0 do
+    let b = stack_l.(!sp - 1) in
+    let i = stack_i.(!sp - 1) in
+    if kids_off.(b) + i < kids_off.(b + 1) then begin
+      stack_i.(!sp - 1) <- i + 1;
+      let c = kids.(kids_off.(b) + i) in
+      depth_.(order.(c)) <- depth_.(order.(b)) + 1;
+      pre.(order.(c)) <- !time;
+      incr time;
+      stack_l.(!sp) <- c;
+      stack_i.(!sp) <- 0;
+      incr sp
+    end
+    else begin
+      decr sp;
+      post.(order.(b)) <- !time;
+      incr time
+    end
+  done;
+  { g; order; rpo; idom_; depth_; pre; post; pred_off; pred_lab }

@@ -1,0 +1,45 @@
+(** Dominator analysis over {!Ba_cfg.Cfg.t}: reverse postorder, CSR
+    predecessor lists, and the Cooper–Harvey–Kennedy iterative dominator
+    tree, with O(1) dominance queries through dominator-tree DFS
+    intervals.
+
+    Everything runs on flat int arrays with explicit work stacks — no
+    recursion, no per-node allocation — so the 10⁵–10⁶-block `scale`
+    families analyze in near-linear time without overflowing the OCaml
+    stack.  Unreachable blocks carry no dominator information
+    ({!rpo_number} [-1], {!idom} [None], {!dominates} false). *)
+
+open Ba_cfg
+
+type t
+
+(** Analyze one procedure.  Total: accepts any structurally sound CFG,
+    including ones with unreachable blocks or irreducible flow. *)
+val compute : Cfg.t -> t
+
+val cfg : t -> Cfg.t
+
+(** Number of blocks reachable from the entry. *)
+val n_reachable : t -> int
+
+val is_reachable : t -> Block.label -> bool
+
+(** Reachable blocks in reverse postorder; element 0 is the entry. *)
+val order : t -> Block.label array
+
+(** Position of a block in {!order}; [-1] if unreachable. *)
+val rpo_number : t -> Block.label -> int
+
+(** Immediate dominator; [None] for the entry and unreachable blocks. *)
+val idom : t -> Block.label -> Block.label option
+
+(** [dominates t a b] — does [a] dominate [b]?  O(1); reflexive on
+    reachable blocks, false whenever either block is unreachable. *)
+val dominates : t -> Block.label -> Block.label -> bool
+
+(** Depth of a block in the dominator tree (entry is 0); [-1] if
+    unreachable. *)
+val depth : t -> Block.label -> int
+
+(** Iterate the distinct CFG predecessors of [l], reachable ones only. *)
+val iter_preds : t -> Block.label -> (Block.label -> unit) -> unit

@@ -1,0 +1,145 @@
+(** Natural-loop forest (see loops.mli).
+
+    Discovery is the classic attribute-innermost-first walk: headers
+    are processed in decreasing reverse-postorder (an outer header
+    dominates every inner header, so it has a strictly smaller rpo
+    number and is processed later), and each loop claims, via a
+    backward walk from its back-edge tails, every block not yet owned
+    by an inner loop — when the walk hits an inner loop it re-parents
+    that loop and continues from its header's predecessors.  Total
+    work is O(E · max nesting) with no recursion. *)
+
+open Ba_cfg
+
+type loop = {
+  header : Block.label;
+  parent : int;
+  depth : int;
+  n_blocks : int;
+  back_edges : (Block.label * Block.label) list;
+}
+
+type t = {
+  loops : loop array;
+  loop_of : int array;  (* label -> innermost loop index, -1 *)
+  header_idx : int array;  (* label -> loop index if header, -1 *)
+  max_depth : int;
+  irreducible : (Block.label * Block.label) list;
+}
+
+let loops t = t.loops
+let innermost t l = t.loop_of.(l)
+
+let depth_of t l =
+  if t.loop_of.(l) < 0 then 0 else t.loops.(t.loop_of.(l)).depth
+
+let max_depth t = t.max_depth
+let header_of t l = if t.header_idx.(l) < 0 then None else Some t.header_idx.(l)
+let irreducible t = t.irreducible
+
+let mem t i l =
+  let rec walk j = j >= 0 && (j = i || walk t.loops.(j).parent) in
+  walk t.loop_of.(l)
+
+let compute (dom : Dom.t) : t =
+  let g = Dom.cfg dom in
+  let n = Cfg.n_blocks g in
+  let order = Dom.order dom in
+  (* classify retreating edges: back edges per header vs irreducible *)
+  let tails = Array.make n [] in
+  let irreducible = ref [] in
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          if Dom.rpo_number dom v <= Dom.rpo_number dom u then
+            if Dom.dominates dom v u then tails.(v) <- u :: tails.(v)
+            else irreducible := (u, v) :: !irreducible)
+        (Block.distinct_successors (Cfg.block g u)))
+    order;
+  let irreducible = List.rev !irreducible in
+  (* growable int worklist *)
+  let buf = ref (Array.make 64 0) in
+  let len = ref 0 in
+  let push x =
+    if !len = Array.length !buf then begin
+      let b = Array.make (2 * Array.length !buf) 0 in
+      Array.blit !buf 0 b 0 !len;
+      buf := b
+    end;
+    !buf.(!len) <- x;
+    incr len
+  in
+  let loop_of = Array.make n (-1) in
+  let header_idx = Array.make n (-1) in
+  let back_edges = ref [] in
+  let n_loops = ref 0 in
+  let parent_arr = ref (Array.make 16 (-1)) in
+  let header_arr = ref (Array.make 16 0) in
+  let rec root j =
+    if !parent_arr.(j) < 0 then j else root !parent_arr.(j)
+  in
+  for k = Array.length order - 1 downto 0 do
+    let h = order.(k) in
+    match tails.(h) with
+    | [] -> ()
+    | ts ->
+        let li = !n_loops in
+        incr n_loops;
+        if li = Array.length !parent_arr then begin
+          let grow a fill =
+            let b = Array.make (2 * Array.length a) fill in
+            Array.blit a 0 b 0 (Array.length a);
+            b
+          in
+          parent_arr := grow !parent_arr (-1);
+          header_arr := grow !header_arr 0
+        end;
+        !parent_arr.(li) <- -1;
+        !header_arr.(li) <- h;
+        header_idx.(h) <- li;
+        loop_of.(h) <- li;
+        len := 0;
+        List.iter push ts;
+        while !len > 0 do
+          decr len;
+          let b = !buf.(!len) in
+          if loop_of.(b) < 0 then begin
+            loop_of.(b) <- li;
+            Dom.iter_preds dom b push
+          end
+          else begin
+            let r = root loop_of.(b) in
+            if r <> li then begin
+              !parent_arr.(r) <- li;
+              Dom.iter_preds dom !header_arr.(r) push
+            end
+          end
+        done;
+        back_edges := List.rev_map (fun t -> (t, h)) ts :: !back_edges
+  done;
+  (* assemble in discovery order; parents point at later (outer) indices,
+     so depths resolve by iterating outermost-first *)
+  let nl = !n_loops in
+  let headers = Array.sub !header_arr 0 nl in
+  let backs = Array.of_list (List.rev !back_edges) in
+  let counts = Array.make nl 0 in
+  Array.iter (fun li -> if li >= 0 then counts.(li) <- counts.(li) + 1) loop_of;
+  let depth = Array.make nl 0 in
+  let max_depth = ref 0 in
+  for li = nl - 1 downto 0 do
+    let p = !parent_arr.(li) in
+    depth.(li) <- (if p < 0 then 1 else depth.(p) + 1);
+    if depth.(li) > !max_depth then max_depth := depth.(li)
+  done;
+  let loops =
+    Array.init nl (fun li ->
+        {
+          header = headers.(li);
+          parent = !parent_arr.(li);
+          depth = depth.(li);
+          n_blocks = counts.(li);
+          back_edges = backs.(li);
+        })
+  in
+  { loops; loop_of; header_idx; max_depth = !max_depth; irreducible }

@@ -1,0 +1,48 @@
+(** Natural-loop forest with nesting depths, plus irreducible-region
+    detection, built on {!Dom}.
+
+    A retreating edge [t → h] (one whose target does not come later in
+    reverse postorder) is a {e back edge} when [h] dominates [t]; the
+    natural loop of a header is everything that can reach its back-edge
+    tails without passing through the header.  Retreating edges whose
+    target does {e not} dominate the tail witness irreducible control
+    flow: no natural loop is formed for them, and they are reported
+    separately (rule BA301). *)
+
+open Ba_cfg
+
+type loop = {
+  header : Block.label;
+  parent : int;  (** index of the enclosing loop, [-1] for top level *)
+  depth : int;  (** nesting depth, 1 for outermost loops *)
+  n_blocks : int;  (** blocks whose {e innermost} loop this is *)
+  back_edges : (Block.label * Block.label) list;  (** [(tail, header)] *)
+}
+
+type t
+
+val compute : Dom.t -> t
+
+val loops : t -> loop array
+
+(** Index of the innermost loop containing a block, [-1] if none. *)
+val innermost : t -> Block.label -> int
+
+(** Nesting depth of a block: depth of its innermost loop, 0 outside
+    any loop. *)
+val depth_of : t -> Block.label -> int
+
+(** Deepest nesting in the procedure, 0 when loop-free. *)
+val max_depth : t -> int
+
+(** [mem t i l] — is block [l] inside loop [i] (including nested
+    loops)?  O(nesting depth). *)
+val mem : t -> int -> Block.label -> bool
+
+(** [header_of t l] is [Some i] when [l] is the header of loop [i]. *)
+val header_of : t -> Block.label -> int option
+
+(** Retreating edges whose target does not dominate the tail —
+    witnesses of irreducible control flow, as [(src, dst)] pairs in
+    deterministic (reverse-postorder source) order. *)
+val irreducible : t -> (Block.label * Block.label) list

@@ -1,0 +1,136 @@
+(** [balign analyze] summaries (see report.mli). *)
+
+open Ba_cfg
+module Json = Ba_obs.Json
+module Profile = Ba_profile.Profile
+
+type proc_report = {
+  fid : int;
+  name : string;
+  n_blocks : int;
+  n_reachable : int;
+  n_edges : int;
+  dom_height : int;
+  n_loops : int;
+  max_loop_depth : int;
+  n_back_edges : int;
+  loops : (Block.label * int * int) list;
+  irreducible : (Block.label * Block.label) list;
+  est_scale : int;
+  est_transfers : int;
+  hottest : (Block.label * int) list;
+}
+
+let analyze ?(top = 5) ?invocations ~fid (g : Cfg.t) : proc_report =
+  let dom = Dom.compute g in
+  let loops = Loops.compute dom in
+  let est = Estimate.estimate ?invocations dom loops in
+  let n = Cfg.n_blocks g in
+  let dom_height = ref 0 in
+  for l = 0 to n - 1 do
+    if Dom.depth dom l > !dom_height then dom_height := Dom.depth dom l
+  done;
+  let larr = Loops.loops loops in
+  let n_back_edges =
+    Array.fold_left
+      (fun acc (l : Loops.loop) -> acc + List.length l.Loops.back_edges)
+      0 larr
+  in
+  let hot = ref [] in
+  for l = 0 to n - 1 do
+    let c = Profile.out_count est.Estimate.profile l in
+    if c > 0 then hot := (l, c) :: !hot
+  done;
+  let hot =
+    List.sort
+      (fun (l1, c1) (l2, c2) ->
+        if c1 <> c2 then compare c2 c1 else compare l1 l2)
+      !hot
+  in
+  let rec take k = function
+    | x :: tl when k > 0 -> x :: take (k - 1) tl
+    | _ -> []
+  in
+  {
+    fid;
+    name = g.Cfg.name;
+    n_blocks = n;
+    n_reachable = Dom.n_reachable dom;
+    n_edges = Cfg.n_edges g;
+    dom_height = !dom_height;
+    n_loops = Array.length larr;
+    max_loop_depth = Loops.max_depth loops;
+    n_back_edges;
+    loops =
+      Array.to_list
+        (Array.map
+           (fun (l : Loops.loop) -> (l.Loops.header, l.Loops.depth, l.Loops.n_blocks))
+           larr);
+    irreducible = Loops.irreducible loops;
+    est_scale = int_of_float est.Estimate.scale;
+    est_transfers = Profile.total_transfers est.Estimate.profile;
+    hottest = take top hot;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "proc %d (%s): %d block(s) (%d reachable), %d edge(s), dom height %d@."
+    r.fid r.name r.n_blocks r.n_reachable r.n_edges r.dom_height;
+  Fmt.pf ppf "  loops: %d (max depth %d), back edge(s) %d, irreducible edge(s) %d@."
+    r.n_loops r.max_loop_depth r.n_back_edges (List.length r.irreducible);
+  List.iter
+    (fun (h, d, nb) ->
+      Fmt.pf ppf "    loop at block %d: depth %d, %d block(s)@." h d nb)
+    r.loops;
+  List.iter
+    (fun (u, v) -> Fmt.pf ppf "    irreducible: %d -> %d@." u v)
+    r.irreducible;
+  Fmt.pf ppf "  estimated hotness (%d invocations, %d transfers):%a@."
+    r.est_scale r.est_transfers
+    Fmt.(list ~sep:nop (fun ppf (l, c) -> Fmt.pf ppf " %d:%d" l c))
+    r.hottest
+
+let proc_json r =
+  Json.Obj
+    [
+      ("proc", Json.Int r.fid);
+      ("name", Json.String r.name);
+      ("n_blocks", Json.Int r.n_blocks);
+      ("n_reachable", Json.Int r.n_reachable);
+      ("n_edges", Json.Int r.n_edges);
+      ("dom_height", Json.Int r.dom_height);
+      ("n_loops", Json.Int r.n_loops);
+      ("max_loop_depth", Json.Int r.max_loop_depth);
+      ("n_back_edges", Json.Int r.n_back_edges);
+      ( "loops",
+        Json.List
+          (List.map
+             (fun (h, d, nb) ->
+               Json.Obj
+                 [
+                   ("header", Json.Int h);
+                   ("depth", Json.Int d);
+                   ("n_blocks", Json.Int nb);
+                 ])
+             r.loops) );
+      ( "irreducible",
+        Json.List
+          (List.map
+             (fun (u, v) ->
+               Json.Obj [ ("src", Json.Int u); ("dst", Json.Int v) ])
+             r.irreducible) );
+      ("est_scale", Json.Int r.est_scale);
+      ("est_transfers", Json.Int r.est_transfers);
+      ( "hottest",
+        Json.List
+          (List.map
+             (fun (l, c) ->
+               Json.Obj [ ("block", Json.Int l); ("count", Json.Int c) ])
+             r.hottest) );
+    ]
+
+let program_json rs =
+  Json.Obj
+    [
+      ("schema", Json.String "balign-analyze-1");
+      ("procs", Json.List (List.map proc_json rs));
+    ]

@@ -1,0 +1,34 @@
+(** Per-procedure structural summaries for [balign analyze]: dominator
+    and loop shape, irreducibility witnesses, and estimated hotness,
+    renderable as deterministic text or JSON (schema
+    ["balign-analyze-1"]). *)
+
+open Ba_cfg
+
+type proc_report = {
+  fid : int;
+  name : string;
+  n_blocks : int;
+  n_reachable : int;
+  n_edges : int;
+  dom_height : int;  (** deepest dominator-tree depth (entry is 0) *)
+  n_loops : int;
+  max_loop_depth : int;
+  n_back_edges : int;
+  loops : (Block.label * int * int) list;
+      (** [(header, depth, n_blocks)], innermost-discovery order *)
+  irreducible : (Block.label * Block.label) list;
+  est_scale : int;  (** invocation scale of the hotness estimates *)
+  est_transfers : int;  (** total estimated transfer count *)
+  hottest : (Block.label * int) list;
+      (** top blocks by estimated out-count, hottest first *)
+}
+
+(** [analyze ~fid g] runs {!Dom}, {!Loops} and {!Estimate} on one sound
+    procedure.  [top] bounds the {!field-hottest} list (default 5). *)
+val analyze : ?top:int -> ?invocations:int -> fid:int -> Cfg.t -> proc_report
+
+val pp : Format.formatter -> proc_report -> unit
+
+(** Whole-program document: [{"schema": "balign-analyze-1", "procs": [...]}] *)
+val program_json : proc_report list -> Ba_obs.Json.t

@@ -63,7 +63,7 @@ let to_error (d : D.t) : Errors.t =
           got = datum "got";
           what = "blocks";
         }
-  | r when starts_with ~prefix:"cfg-" r ->
+  | r when starts_with ~prefix:"cfg-" r || starts_with ~prefix:"ana-" r ->
       Errors.Invalid_cfg
         {
           proc = d.D.loc.D.proc;
@@ -114,6 +114,103 @@ let report_json (r : report) : Json.t =
       ("warnings", Json.Int r.warnings);
       ("infos", Json.Int r.infos);
       ("findings", Json.List (List.map D.to_json r.diags));
+    ]
+
+(** SARIF 2.1.0 log for [balign lint --format sarif].  One run, the
+    whole rule catalogue as the tool's rule metadata, one result per
+    finding.  Severities map Error/Warning/Info -> error/warning/note;
+    locations are logical (procedure/block), since minic programs have
+    no stable physical coordinates. *)
+let sarif_level = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Info -> "note"
+
+let sarif_rule (r : Rules.rule) =
+  Json.Obj
+    [
+      ("id", Json.String r.Rules.id);
+      ( "shortDescription",
+        Json.Obj [ ("text", Json.String r.Rules.code) ] );
+      ( "fullDescription",
+        Json.Obj [ ("text", Json.String r.Rules.doc) ] );
+      ( "defaultConfiguration",
+        Json.Obj [ ("level", Json.String (sarif_level r.Rules.severity)) ] );
+    ]
+
+let sarif_result (d : D.t) =
+  let logical =
+    let name what = function
+      | None -> []
+      | Some v -> [ (what, Printf.sprintf "%s %s" what v) ]
+    in
+    name "procedure" d.D.loc.D.proc_name
+    @ name "block" (Option.map string_of_int d.D.loc.D.block)
+    @ name "edge"
+        (Option.map
+           (fun (s, t) -> Printf.sprintf "%d->%d" s t)
+           d.D.loc.D.edge)
+  in
+  let message =
+    match d.D.hint with
+    | None -> d.D.message
+    | Some h -> d.D.message ^ " (hint: " ^ h ^ ")"
+  in
+  Json.Obj
+    ([
+       ("ruleId", Json.String d.D.rule);
+       ("level", Json.String (sarif_level d.D.severity));
+       ("message", Json.Obj [ ("text", Json.String message) ]);
+     ]
+    @
+    if logical = [] then []
+    else
+      [
+        ( "locations",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ( "logicalLocations",
+                    Json.List
+                      (List.map
+                         (fun (kind, fqn) ->
+                           Json.Obj
+                             [
+                               ("kind", Json.String kind);
+                               ("fullyQualifiedName", Json.String fqn);
+                             ])
+                         logical) );
+                ];
+            ] );
+      ])
+
+let sarif_json (r : report) : Json.t =
+  Json.Obj
+    [
+      ( "$schema",
+        Json.String
+          "https://json.schemastore.org/sarif-2.1.0.json" );
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "balign-lint");
+                            ( "rules",
+                              Json.List (List.map sarif_rule Rules.all) );
+                          ] );
+                    ] );
+                ("results", Json.List (List.map sarif_result r.diags));
+              ];
+          ] );
     ]
 
 (* ------------------------------------------------------------------ *)

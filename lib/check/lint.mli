@@ -39,6 +39,11 @@ val pp_report : Format.formatter -> report -> unit
     ["balign-lint-1"], see docs/ANALYSIS.md). *)
 val report_json : report -> Ba_obs.Json.t
 
+(** SARIF 2.1.0 log for [balign lint --format sarif]: one run, the full
+    rule catalogue as tool metadata, one result per finding with
+    logical (procedure/block/edge) locations. *)
+val sarif_json : report -> Ba_obs.Json.t
+
 (** [(block_attr, edge_attr)] hooks for {!Ba_cfg.Dot.emit}: blocks and
     edges with findings in procedure [proc] are colored by worst
     severity, rule ids in the tooltip. *)

@@ -764,9 +764,197 @@ and prof_cold_ratio =
                      else None));
   }
 
+(* ------------------------------------------------------------------ *)
+(* structural-analysis rules (BA3xx)                                   *)
+
+and ana_irreducible =
+  {
+    id = "ana-irreducible-loop";
+    code = "BA301";
+    severity = D.Warning;
+    doc =
+      "a retreating edge whose target does not dominate its tail is a \
+       cycle with multiple entries — no natural loop, so loop-driven \
+       heuristics and the static profile estimator treat its flow \
+       conservatively";
+    run =
+      (fun ctx ->
+        per_cfg ctx (fun fid g ->
+            if not (sound g) then []
+            else
+              let dom = Ba_analysis.Dom.compute g in
+              let loops = Ba_analysis.Loops.compute dom in
+              Ba_analysis.Loops.irreducible loops
+              |> List.map (fun (u, v) ->
+                     diag ana_irreducible
+                       ~loc:(D.in_proc ~block:u ~edge:(u, v) fid g.Cfg.name)
+                       ~hint:
+                         "node splitting (duplicating the shared blocks) \
+                          restores reducibility"
+                       (Printf.sprintf
+                          "retreating edge %d->%d re-enters a cycle whose \
+                           header does not dominate it (irreducible control \
+                           flow)"
+                          u v))));
+  }
+
+and ana_unreachable_loop =
+  {
+    id = "ana-unreachable-loop-body";
+    code = "BA302";
+    severity = D.Warning;
+    doc =
+      "a cycle lying entirely in unreachable code is a loop no \
+       execution can ever enter — stronger evidence of a lowering bug \
+       than plain unreachable straight-line code";
+    run =
+      (fun ctx ->
+        per_cfg ctx (fun fid g ->
+            match reachable_opt g with
+            | None -> []
+            | Some seen ->
+                let n = Cfg.n_blocks g in
+                (* cycle detection restricted to the unreachable induced
+                   subgraph: iterative DFS, gray-edge witnesses *)
+                let color = Array.make n 0 in
+                let witness = Array.make n false in
+                for root = 0 to n - 1 do
+                  if (not seen.(root)) && color.(root) = 0 then begin
+                    let stack =
+                      ref [ (root, ref (Cfg.successors g root)) ]
+                    in
+                    color.(root) <- 1;
+                    while !stack <> [] do
+                      match !stack with
+                      | [] -> ()
+                      | (l, rest) :: tl -> (
+                          match !rest with
+                          | [] ->
+                              color.(l) <- 2;
+                              stack := tl
+                          | v :: more ->
+                              rest := more;
+                              if not seen.(v) then
+                                if color.(v) = 0 then begin
+                                  color.(v) <- 1;
+                                  stack :=
+                                    (v, ref (Cfg.successors g v)) :: !stack
+                                end
+                                else if color.(v) = 1 then
+                                  witness.(v) <- true)
+                    done
+                  end
+                done;
+                let out = ref [] in
+                for l = n - 1 downto 0 do
+                  if witness.(l) then
+                    out :=
+                      diag ana_unreachable_loop
+                        ~loc:(D.in_proc ~block:l fid g.Cfg.name)
+                        ~hint:
+                          "dead loops cannot be profiled or laid out; \
+                           delete them or reconnect them to reachable code"
+                        (Printf.sprintf
+                           "block %d heads a cycle that lies entirely in \
+                            unreachable code"
+                           l)
+                      :: !out
+                done;
+                !out));
+  }
+
+and ana_estimate_divergence =
+  {
+    id = "ana-estimate-divergence";
+    code = "BA303";
+    severity = D.Info;
+    doc =
+      "when the static estimator's predicted successors disagree with \
+       the collected profile on most executed branch sites, structure \
+       is a poor stand-in for this procedure's behavior — prefer the \
+       collected profile";
+    run =
+      (fun ctx ->
+        shared_procs ctx
+        |> List.filter_map (fun (fid, g, p) ->
+               if
+                 (not (proc_rows_sound g p)) || Profile.total_transfers p = 0
+               then None
+               else begin
+                 let est = Ba_analysis.Estimate.proc g in
+                 let sites = ref 0 and agree = ref 0 in
+                 Cfg.iter
+                   (fun b ->
+                     let l = b.Block.id in
+                     if Block.is_conditional b && Profile.out_count p l > 0
+                     then begin
+                       incr sites;
+                       if Profile.predicted p l = Profile.predicted est l
+                       then incr agree
+                     end)
+                   g;
+                 if !sites >= 8 && 2 * !agree < !sites then
+                   Some
+                     (diag ana_estimate_divergence
+                        ~loc:(D.in_proc fid g.Cfg.name)
+                        ~data:[ ("agree", !agree); ("sites", !sites) ]
+                        ~hint:
+                          "keep training this procedure on collected \
+                           profiles; --profile static would misplace its \
+                           hot paths"
+                        (Printf.sprintf
+                           "static estimate agrees with the collected \
+                            profile on only %d of %d executed branch \
+                            site(s)"
+                           !agree !sites))
+                 else None
+               end));
+  }
+
+and ana_loop_depth =
+  {
+    id = "ana-loop-depth";
+    code = "BA304";
+    severity = D.Warning;
+    doc =
+      "loop nests deeper than 32 overflow any sensible iteration-count \
+       model (multipliers compound per level) — almost always a \
+       generator or lowering artifact, not real control flow";
+    run =
+      (fun ctx ->
+        per_cfg ctx (fun fid g ->
+            if not (sound g) then []
+            else
+              let dom = Ba_analysis.Dom.compute g in
+              let loops = Ba_analysis.Loops.compute dom in
+              let d = Ba_analysis.Loops.max_depth loops in
+              if d <= 32 then []
+              else
+                (* locate the first deepest loop for the report *)
+                let header = ref g.Cfg.entry in
+                Array.iter
+                  (fun (l : Ba_analysis.Loops.loop) ->
+                    if l.Ba_analysis.Loops.depth = d && !header = g.Cfg.entry
+                    then header := l.Ba_analysis.Loops.header)
+                  (Ba_analysis.Loops.loops loops);
+                [
+                  diag ana_loop_depth
+                    ~loc:(D.in_proc ~block:!header fid g.Cfg.name)
+                    ~data:[ ("depth", d) ]
+                    ~hint:
+                      "check the front end: nests this deep usually come \
+                       from unrolled or duplicated control flow"
+                    (Printf.sprintf
+                       "loop nest reaches depth %d (header of the deepest \
+                        loop: block %d)"
+                       d !header);
+                ]));
+  }
+
 (** The catalogue, in gating order: CFG shape errors, CFG hygiene
     warnings, profile shape errors, profile hygiene warnings and
-    coverage infos. *)
+    coverage infos, then the structural-analysis family (all
+    non-gating by default: warnings and infos only). *)
 let all : rule list =
   [
     cfg_empty;
@@ -789,6 +977,10 @@ let all : rule list =
     prof_overflow_risk;
     prof_cold_branch;
     prof_cold_ratio;
+    ana_irreducible;
+    ana_unreachable_loop;
+    ana_estimate_divergence;
+    ana_loop_depth;
   ]
 
 let by_id id = List.find_opt (fun r -> r.id = id) all

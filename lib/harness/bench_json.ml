@@ -9,7 +9,8 @@
                   "penalty_cycles": ..., "hk_gap": ...,
                   "objectives": { "tsp":    { "penalty": ..., "ext_tsp": ... },
                                   "calder": { ... }, "greedy": { ... },
-                                  "btfnt":  { ... } },
+                                  "btfnt":  { ... }, "tsp_static": { ... },
+                                  "greedy_static": { ... } },
                   "wall_ms": ..., "p50_ms": ..., "p95_ms": ...,
                   "jobs": ..., "certs": ..., "cert_failures": ... }, ... ] }
     v}
@@ -18,7 +19,9 @@
     layout vs the Held–Karp bound); [objectives] reports both cost
     objectives — control-penalty cycles (lower is better) and the
     Ext-TSP locality score (higher is better) — for every self-trained
-    aligner; [certs]/[cert_failures] count the independent alignment
+    aligner and for the two static-estimate-trained layouts
+    ([tsp_static], [greedy_static]: no training run at all);
+    [certs]/[cert_failures] count the independent alignment
     certificates of the row ({!Ba_check.Certify}); the [*_ms] fields
     are wall-clock and vary run to run.  Document construction is pure
     ({!make}) so tests can golden-check the deterministic slice. *)
@@ -50,6 +53,8 @@ let objectives_json (r : Runner.row) : Json.t =
       ("calder", objective_json r.Runner.calder_self);
       ("greedy", objective_json r.Runner.greedy_self);
       ("btfnt", objective_json r.Runner.btfnt_self);
+      ("tsp_static", objective_json r.Runner.tsp_static);
+      ("greedy_static", objective_json r.Runner.greedy_static);
     ]
 
 let row_json ~jobs (o : Runner.row Task.outcome) : Json.t =

@@ -52,12 +52,18 @@ type row = {
   tsp_self : measurement;
   greedy_cross : measurement;
   tsp_cross : measurement;
+  greedy_static : measurement;
+      (** greedy layout trained on the {!Ba_analysis.Estimate} static
+          profile (no training run at all), measured on the testing set *)
+  tsp_static : measurement;
+      (** TSP layout trained on the static estimate, measured on the
+          testing set *)
   lower_bound : int;
   tsp_exact_procs : int;  (** procedures solved to proven optimality *)
   tsp_timeouts : int;
       (** self-trained procedures whose TSP solve hit the budget *)
   certs : int;
-      (** alignment certificates issued ({!Ba_check.Certify}, all five
+      (** alignment certificates issued ({!Ba_check.Certify}, all seven
           programs of the row) *)
   cert_failures : int;  (** certificates that failed re-verification *)
   stages : Timing.stages;
@@ -246,6 +252,26 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
     sp "realize-tsp-cross" (fun () ->
         realize_program config cfgs tsp_cross_orders ~train:cross_profile)
   in
+  (* static-estimate regime: train on frequencies computed from CFG
+     structure alone ({!Ba_analysis.Estimate}), never on a run.  The
+     gap these rows recover between the original layout and the
+     self-trained one is the paper's "unprofiled code" story. *)
+  let static_profile =
+    sp "profile-static" (fun () -> Ba_analysis.Estimate.program cfgs)
+  in
+  let greedy_static_orders = greedy_orders_of static_profile in
+  let greedy_static, _ =
+    sp "greedy-static" (fun () ->
+        realize_program config cfgs greedy_static_orders ~train:static_profile)
+  in
+  let tsp_static_orders, _, _, _, _, _ =
+    sp "tsp-static" (fun () ->
+        tsp_align_program config cfgs ~train:static_profile)
+  in
+  let tsp_static, _ =
+    sp "realize-tsp-static" (fun () ->
+        realize_program config cfgs tsp_static_orders ~train:static_profile)
+  in
   (* ---- measurements (always on the testing input) ---- *)
   let m a = measure config a ~test_profile ~run:run_test in
   let original_m, greedy_self_m, tsp_self_m, greedy_cross_m, tsp_cross_m =
@@ -253,6 +279,7 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
         (m original, m greedy_self, m tsp_self, m greedy_cross, m tsp_cross))
   in
   let calder_self_m, btfnt_self_m = (m calder_self, m btfnt_self) in
+  let greedy_static_m, tsp_static_m = (m greedy_static, m tsp_static) in
   (* ---- lower bound (kept per procedure for the certificates) ---- *)
   (* The Held–Karp upper bound and the certificate's claimed cost are
      denominated in the model's OBJECTIVE units — the DTSP walk cost of
@@ -301,7 +328,8 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
      of this row ({!Ba_check.Certify}).  The self-trained TSP layout
      gets the full treatment — claimed-cost cross-check against the
      analytic evaluator, DTSP→STSP locked-pair round-trip, and the
-     per-procedure Held–Karp bound; the other four programs get the
+     per-procedure Held–Karp bound; the other six programs (the
+     static-estimate-trained pair included) get the
      walk/faithfulness/cost re-verification. *)
   let certs = ref 0 and cert_failures = ref 0 in
   sp "certify" (fun () ->
@@ -328,7 +356,9 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
         ~hk:(fun fid -> Ba_check.Certify.Given proc_bounds.(fid))
         ~sym_check:true tsp_self_orders;
       certify ~train:cross_profile greedy_cross_orders;
-      certify ~train:cross_profile tsp_cross_orders);
+      certify ~train:cross_profile tsp_cross_orders;
+      certify ~train:static_profile greedy_static_orders;
+      certify ~train:static_profile tsp_static_orders);
   (* gap of the self-trained TSP layout to the Held–Karp lower bound *)
   if bound > 0 then
     Ba_obs.Metrics.observe_hk_gap
@@ -371,6 +401,8 @@ let run_benchmark ?(config = default) ?(spans = Ba_obs.Span.null)
     tsp_self = tsp_self_m;
     greedy_cross = greedy_cross_m;
     tsp_cross = tsp_cross_m;
+    greedy_static = greedy_static_m;
+    tsp_static = tsp_static_m;
     lower_bound = bound;
     tsp_exact_procs = n_exact;
     tsp_timeouts = n_timeouts;

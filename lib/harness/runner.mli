@@ -32,12 +32,18 @@ type row = {
   tsp_self : measurement;
   greedy_cross : measurement;
   tsp_cross : measurement;
+  greedy_static : measurement;
+      (** greedy layout trained on the {!Ba_analysis.Estimate} static
+          profile (no training run at all), measured on the testing set *)
+  tsp_static : measurement;
+      (** TSP layout trained on the static estimate, measured on the
+          testing set *)
   lower_bound : int;
   tsp_exact_procs : int;  (** procedures solved to proven optimality *)
   tsp_timeouts : int;
       (** self-trained procedures whose TSP solve hit the budget *)
   certs : int;
-      (** alignment certificates issued ({!Ba_check.Certify}, all five
+      (** alignment certificates issued ({!Ba_check.Certify}, all seven
           programs of the row) *)
   cert_failures : int;  (** certificates that failed re-verification *)
   stages : Timing.stages;

@@ -187,6 +187,41 @@ let fig3_times ppf (rows : Runner.row list) =
 
 (* ------------------------------------------------------------------ *)
 
+(** Static-estimate recovery: how much of the penalty reduction a
+    collected profile buys is recovered by training on the
+    {!Ba_analysis.Estimate} structural profile instead.  [recovered] is
+    [(orig - static) / (orig - self)] — 1.0 means the static layout is
+    as good as the profile-trained one, 0.0 means it is no better than
+    the original, negative means it made things worse. *)
+let static_recovery ppf (rows : Runner.row list) =
+  section ppf
+    "Static estimation: penalty recovered without a training run (vs original)";
+  Fmt.pf ppf "%-9s %12s %12s %12s %12s %12s %12s@." "bench.ds" "orig"
+    "tsp-self" "tsp-static" "recovered" "greedy-self" "g-recovered";
+  let recovered orig self static =
+    if orig <= self then 0.0
+    else float_of_int (orig - static) /. float_of_int (orig - self)
+  in
+  let rt = ref [] and rg = ref [] in
+  List.iter
+    (fun (r : Runner.row) ->
+      let orig = r.Runner.original.Runner.penalty in
+      let ts = r.Runner.tsp_self.Runner.penalty
+      and tst = r.Runner.tsp_static.Runner.penalty
+      and gs = r.Runner.greedy_self.Runner.penalty
+      and gst = r.Runner.greedy_static.Runner.penalty in
+      let rec_t = recovered orig ts tst and rec_g = recovered orig gs gst in
+      rt := rec_t :: !rt;
+      rg := rec_g :: !rg;
+      Fmt.pf ppf "%-9s %12d %12d %12d %12.3f %12d %12.3f@."
+        (r.Runner.bench ^ "." ^ r.Runner.ds)
+        orig ts tst rec_t gs rec_g)
+    rows;
+  Fmt.pf ppf "%-9s %12s %12s %12s %12.3f %12s %12.3f   (means)@." "MEAN" "" ""
+    "" (mean !rt) "" (mean !rg)
+
+(* ------------------------------------------------------------------ *)
+
 (** Appendix: bound-quality and solver-reliability statistics. *)
 let appendix ppf (s : Appendix.stats) =
   section ppf "Appendix: AP / Held-Karp bound quality, iterated 3-Opt reliability";

@@ -26,6 +26,11 @@ val fig3_penalties : Format.formatter -> Runner.row list -> unit
 
 val fig3_times : Format.formatter -> Runner.row list -> unit
 
+(** Static-estimate recovery: fraction of the profile-trained penalty
+    reduction recovered by training on the structural estimate
+    ([balign bench --profile static]). *)
+val static_recovery : Format.formatter -> Runner.row list -> unit
+
 (** Appendix: bound-quality and solver-reliability statistics. *)
 val appendix : Format.formatter -> Appendix.stats -> unit
 

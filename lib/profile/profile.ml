@@ -1,9 +1,6 @@
-(** Edge-frequency profiles.
-
-    A profile records, for every procedure and every basic block, how
-    often control transferred to each CFG successor during a training run.
-    Profiles drive both the static predictions (most common successor) and
-    the DTSP edge weights of the reduction. *)
+(** Edge-frequency profiles.  The interface documentation (what profiles
+    record and what they drive) lives in [profile.mli]; this file only
+    documents implementation details. *)
 
 open Ba_cfg
 
@@ -102,28 +99,36 @@ let scale k (p : proc) =
   if k < 0 then invalid_arg "Profile.scale: negative factor";
   { freqs = Array.map (Array.map (fun (d, n) -> (d, n * k))) p.freqs }
 
+(** [of_freqs rows] builds a per-procedure profile from one raw
+    [(dst, count)] row per block, re-establishing the row invariant
+    instead of trusting the caller: duplicate destinations are summed,
+    non-positive counts dropped, and each row is sorted by destination
+    label. *)
+let of_freqs (rows : (Block.label * int) array array) =
+  let tbl = Hashtbl.create 16 in
+  {
+    freqs =
+      Array.map
+        (fun row ->
+          Hashtbl.reset tbl;
+          Array.iter
+            (fun (d, n) ->
+              Hashtbl.replace tbl d
+                (n + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+            row;
+          Hashtbl.fold (fun d n acc -> if n > 0 then (d, n) :: acc else acc) tbl []
+          |> List.sort compare |> Array.of_list)
+        rows;
+  }
+
 (** [merge a b] sums two profiles of the same procedure shape.
     @raise Invalid_argument on shape mismatch. *)
 let merge (a : proc) (b : proc) =
   if Array.length a.freqs <> Array.length b.freqs then
     invalid_arg "Profile.merge: different block counts";
-  let tbl = Hashtbl.create 16 in
-  {
-    freqs =
-      Array.init (Array.length a.freqs) (fun l ->
-          Hashtbl.reset tbl;
-          let add (d, n) =
-            Hashtbl.replace tbl d (n + Option.value ~default:0 (Hashtbl.find_opt tbl d))
-          in
-          Array.iter add a.freqs.(l);
-          Array.iter add b.freqs.(l);
-          let row =
-            Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl []
-            |> List.filter (fun (_, n) -> n > 0)
-            |> List.sort compare
-          in
-          Array.of_list row);
-  }
+  of_freqs
+    (Array.init (Array.length a.freqs) (fun l ->
+         Array.append a.freqs.(l) b.freqs.(l)))
 
 (** [validate_proc g p] checks that every recorded destination is a CFG
     successor of its source block and every count is positive. *)

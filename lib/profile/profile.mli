@@ -69,4 +69,10 @@ val validate : Cfg.t array -> t -> (unit, Ba_robust.Errors.t) result
     summing duplicates and dropping zeros. *)
 val of_assoc : n_blocks:int -> (int * int * int) list -> proc
 
+(** Smart constructor: build a per-procedure profile from one raw
+    [(dst, count)] row per block, enforcing the documented row invariant
+    (sorted by destination, positive counts only, duplicates summed)
+    rather than leaving it implicit at each construction site. *)
+val of_freqs : (Block.label * int) array array -> proc
+
 val pp_proc : Format.formatter -> proc -> unit

@@ -16,6 +16,8 @@ module Executor = Ba_engine.Executor
 module Metrics = Ba_obs.Metrics
 module Json = Ba_obs.Json
 
+let ( let* ) = Result.bind
+
 type config = {
   executor : Executor.t;
   model : Ba_machine.Model.t;
@@ -26,6 +28,9 @@ type config = {
   max_blocks : int;
   default_deadline_ms : int option;
   max_deadline_ms : int option;
+  static_profile : bool;
+      (** train every request on the structural estimate unless its
+          options say ["profile": "collected"] *)
 }
 
 let default =
@@ -38,6 +43,7 @@ let default =
     max_blocks = 10_000;
     default_deadline_ms = None;
     max_deadline_ms = None;
+    static_profile = false;
   }
 
 type stop_reason =
@@ -137,9 +143,32 @@ let solve config cache ~key ~warm cfg profile (options : Wire.align_options) :
               fallbacks = List.length report.Ba_align.Driver.fallbacks;
             })
 
+(** Whether one request trains on the structural estimate: its own
+    option wins, the server default otherwise. *)
+let wants_static config (options : Wire.align_options) =
+  match options.Wire.profile_mode with
+  | Some `Static -> true
+  | Some `Collected -> false
+  | None -> config.static_profile
+
 let handle_align config cache cfg profile options :
     (Wire.ok_payload, Errors.t) result =
   let model = request_model config options in
+  (* static mode replaces the profile BEFORE the cache key is computed,
+     so cached layouts are keyed (and hit-time re-certified) against
+     the very profile they were trained on.  The estimator needs a
+     traversable CFG; an unsound one gets the typed error the lint
+     gate would have raised. *)
+  let* profile =
+    if not (wants_static config options) then Ok profile
+    else
+      match Cfg.validate cfg with
+      | Ok () -> Ok (Ba_analysis.Estimate.proc cfg)
+      | Error reason ->
+          Error
+            (Errors.Invalid_cfg
+               { proc = Some 0; name = Some cfg.Cfg.name; reason })
+  in
   let key = Cache.key_of cfg profile ~model in
   match Cache.find cache key with
   | Some (order, cost) -> (

@@ -28,6 +28,10 @@ type config = {
   max_blocks : int;  (** CFGs above this are rejected, typed error *)
   default_deadline_ms : int option;  (** per-request budget when unspecified *)
   max_deadline_ms : int option;  (** clamp on client-requested budgets *)
+  static_profile : bool;
+      (** train every request on the {!Ba_analysis.Estimate} structural
+          estimate instead of its submitted profile (a request can
+          still opt out with ["profile": "collected"]) *)
 }
 
 val default : config

@@ -208,6 +208,9 @@ type align_options = {
   method_ : Ba_align.Driver.method_;
   model : Ba_machine.Model.t option;
       (** [None] = the server's configured default model *)
+  profile_mode : [ `Collected | `Static ] option;
+      (** [`Static] trains on the structural estimate instead of the
+          request's profile; [None] = the server's configured default *)
 }
 
 let default_options =
@@ -215,6 +218,7 @@ let default_options =
     deadline_ms = None;
     method_ = Ba_align.Driver.Tsp Ba_align.Tsp_align.default;
     model = None;
+    profile_mode = None;
   }
 
 type request =
@@ -451,7 +455,21 @@ let options_of_json = function
                       (Errors.Unknown_model
                          { requested = s; known = Ba_machine.Model.known })))
       in
-      Ok { deadline_ms; method_; model }
+      let* profile_mode =
+        match Json.member "profile" v with
+        | None -> Ok None
+        | Some p -> (
+            match Json.to_str p with
+            | Some "collected" -> Ok (Some `Collected)
+            | Some "static" -> Ok (Some `Static)
+            | Some s ->
+                Error
+                  (Errors.Usage
+                     (Printf.sprintf
+                        "unknown profile mode %S (collected | static)" s))
+            | None -> perr "profile is not a string")
+      in
+      Ok { deadline_ms; method_; model; profile_mode }
 
 let method_string = Ba_align.Driver.method_name
 
@@ -464,6 +482,13 @@ let options_to_json (o : align_options) : Json.t =
          Option.map
            (fun m -> ("model", Json.String (Ba_machine.Model.to_string m)))
            o.model;
+         Option.map
+           (fun pm ->
+             ( "profile",
+               Json.String
+                 (match pm with `Collected -> "collected" | `Static -> "static")
+             ))
+           o.profile_mode;
        ])
 
 let request_of_string ?(max_blocks = 100_000) s =

@@ -62,6 +62,11 @@ type align_options = {
       (** requested cost model; [None] = the server's configured
           default.  An unrecognized name decodes to a typed
           [Unknown_model] error (wire class ["unknown-model"]). *)
+  profile_mode : [ `Collected | `Static ] option;
+      (** wire field ["profile"]: [`Static] makes the server discard
+          the request's profile and train on the structural estimate
+          ({!Ba_analysis.Estimate}); [`Collected] forces the request's
+          profile; [None] = the server's configured default. *)
 }
 
 val default_options : align_options

@@ -77,3 +77,41 @@ dot --lint colors offending blocks and attaches rule ids as tooltips:
 
   $ $BALIGN dot cold.mc --lint --input 5 | grep -c 'tooltip="BA209 prof-cold-branch"'
   1
+
+lint --list prints the whole catalogue (one line per rule, in gating
+order); the BA3xx structural family rides at the end and is entirely
+non-gating (warnings and infos only):
+
+  $ $BALIGN lint --list | wc -l
+  24
+  $ $BALIGN lint --list | sed -n '1p;11p'
+  BA101  cfg-empty                  error    a procedure must have at least one basic block
+  BA201  prof-proc-count            error    the profile must describe exactly the program's procedures
+  $ $BALIGN lint --list | grep -c '^BA3.*\(warning\|info\)'
+  4
+
+Without --list a FILE is required:
+
+  $ $BALIGN lint 2>/dev/null
+  [2]
+
+--format sarif renders the same findings as a SARIF 2.1.0 log: the
+driver carries the full rule catalogue, and each result points at its
+procedure, block, or edge through logicalLocations:
+
+  $ $BALIGN lint cold.mc --input 5 --format sarif > l.sarif
+  $ grep -o '"[$]schema":"[^"]*"' l.sarif
+  "$schema":"https://json.schemastore.org/sarif-2.1.0.json"
+  $ grep -o '"version":"2.1.0"' l.sarif
+  "version":"2.1.0"
+  $ grep -o '"name":"balign-lint"' l.sarif
+  "name":"balign-lint"
+  $ grep -o '"id":"[a-z-]*"' l.sarif | wc -l
+  24
+  $ grep -o '"ruleId":"[a-z-]*"' l.sarif
+  "ruleId":"prof-cold-branch"
+  "ruleId":"prof-cold-ratio"
+  $ grep -o '"fullyQualifiedName":"[^"]*"' l.sarif
+  "fullyQualifiedName":"procedure main"
+  "fullyQualifiedName":"block 1"
+  "fullyQualifiedName":"procedure main"

@@ -111,3 +111,36 @@ instead of dying mid-request:
   $ exec 9>&-
   $ grep -c '"status":"ok"' drain.out
   1
+
+Training regimes: an options.profile field picks collected (default)
+or static — the Wu-Larus structural estimate replaces the submitted
+profile before the cache key is computed, so the two regimes key
+separate cache slices (the repeated static request hits, warm from
+the collected entry's structural twin) and a bad mode is a typed
+error the daemon survives:
+
+  $ stat='{"id":2,"verb":"align","options":{"profile":"static"},"cfg":{"name":"f","entry":0,"blocks":[{"size":4,"term":{"kind":"branch","t":1,"f":2}},{"size":2,"term":{"kind":"goto","to":3}},{"size":7,"term":{"kind":"goto","to":3}},{"size":1,"term":{"kind":"exit"}}]},"profile":[[[1,10],[2,90]],[[3,10]],[[3,90]],[]]}'
+  $ badp='{"id":3,"verb":"align","options":{"profile":"psychic"},"cfg":{"name":"f","entry":0,"blocks":[{"size":1,"term":{"kind":"exit"}}]},"profile":[[]]}'
+  $ { frame "$req"; frame "$stat"; frame "$stat"; frame "$badp"; frame "$shut"; } | $BALIGN serve
+  93
+  {"id":1,"status":"ok","layout":[0,2,3,1],"cost":70,"cached":false,"warm":false,"fallbacks":0}
+  95
+  {"id":2,"status":"ok","layout":[0,1,3,2],"cost":35000,"cached":false,"warm":true,"fallbacks":0}
+  95
+  {"id":2,"status":"ok","layout":[0,1,3,2],"cost":35000,"cached":true,"warm":false,"fallbacks":0}
+  138
+  {"id":3,"status":"error","error":{"class":"usage","exit_code":2,"message":"usage: unknown profile mode \"psychic\" (collected | static)"}}
+  28
+  {"id":9,"status":"shutdown"}
+
+Starting the daemon with --profile static flips the default; an
+explicit options.profile always wins:
+
+  $ coll='{"id":2,"verb":"align","options":{"profile":"collected"},"cfg":{"name":"f","entry":0,"blocks":[{"size":4,"term":{"kind":"branch","t":1,"f":2}},{"size":2,"term":{"kind":"goto","to":3}},{"size":7,"term":{"kind":"goto","to":3}},{"size":1,"term":{"kind":"exit"}}]},"profile":[[[1,10],[2,90]],[[3,10]],[[3,90]],[]]}'
+  $ { frame "$req"; frame "$coll"; frame "$shut"; } | $BALIGN serve --profile static
+  96
+  {"id":1,"status":"ok","layout":[0,1,3,2],"cost":35000,"cached":false,"warm":false,"fallbacks":0}
+  92
+  {"id":2,"status":"ok","layout":[0,2,3,1],"cost":70,"cached":false,"warm":true,"fallbacks":0}
+  28
+  {"id":9,"status":"shutdown"}

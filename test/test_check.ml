@@ -354,6 +354,7 @@ let test_catalogue_integrity () =
       let consistent =
         (prefix = "cfg-" && family = "BA1")
         || (prefix = "prof" && family = "BA2")
+        || (prefix = "ana-" && family = "BA3")
       in
       if not consistent then
         Alcotest.failf "rule %s has inconsistent code %s" r.Rules.id
@@ -363,6 +364,56 @@ let test_catalogue_integrity () =
   Alcotest.(check bool)
     "by_id finds rules" true
     (Rules.by_id "cfg-unreachable" <> None && Rules.by_id "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* doc drift: the ANALYSIS.md rule table mirrors Rules.all             *)
+
+(** docs/ANALYSIS.md (a declared dep of this test) carries the rule
+    catalogue as a markdown table whose rows look like
+    [| `BA101` | cfg-empty | error | ... |].  Extract the (code, id)
+    pairs from every such row. *)
+let documented_rules path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> (
+            match String.split_on_char '|' line with
+            | _ :: code :: id :: _ -> (
+                let code = String.trim code and id = String.trim id in
+                match String.length code with
+                | 7 when code.[0] = '`' && code.[6] = '`' ->
+                    go ((String.sub code 1 5, id) :: acc)
+                | _ -> go acc)
+            | _ -> go acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(** Both directions must hold: every rule in {!Rules.all} has a doc
+    row with the same code/id pairing, and every doc row names a live
+    rule.  A new rule without documentation — or a stale row for a
+    renamed rule — fails here instead of drifting silently. *)
+let test_doc_catalogue_in_sync () =
+  (* under `dune runtest` the binary runs in _build/default/test and
+     the declared dep materializes the doc one level up; `dune exec`
+     from the repo root sees the source tree directly *)
+  let path =
+    List.find Sys.file_exists [ "../docs/ANALYSIS.md"; "docs/ANALYSIS.md" ]
+  in
+  let documented = documented_rules path in
+  let in_code =
+    List.sort compare
+      (List.map (fun r -> (r.Rules.code, r.Rules.id)) Rules.all)
+  in
+  Alcotest.(check bool)
+    "doc table non-empty" true
+    (List.length documented > 0);
+  Alcotest.(check (list (pair string string)))
+    "ANALYSIS.md rule table = Rules.all" in_code
+    (List.sort compare documented)
 
 let () =
   Alcotest.run "check"
@@ -399,5 +450,7 @@ let () =
           Alcotest.test_case "DOT annotations" `Quick test_dot_annotations;
           Alcotest.test_case "catalogue integrity" `Quick
             test_catalogue_integrity;
+          Alcotest.test_case "ANALYSIS.md catalogue in sync" `Quick
+            test_doc_catalogue_in_sync;
         ] );
     ]

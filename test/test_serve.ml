@@ -134,8 +134,15 @@ let request_gen =
       | _ -> Some (Ba_machine.Model.ext_tsp ~window:512 ())
     in
     let id = Random.State.int rng 1_000_000 in
+    let profile_mode =
+      match Random.State.int rng 3 with
+      | 0 -> None
+      | 1 -> Some `Collected
+      | _ -> Some `Static
+    in
     return
-      (Wire.Align { id; cfg; profile; options = { deadline_ms; method_; model } }))
+      (Wire.Align
+         { id; cfg; profile; options = { deadline_ms; method_; model; profile_mode } }))
 
 let test_request_qcheck =
   QCheck2.Test.make ~count:200 ~name:"request encode/decode round-trips"

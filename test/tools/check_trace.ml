@@ -5,6 +5,7 @@
      check_trace --metrics M.json          validate a metrics snapshot
      check_trace --bench B.json            validate a bench trajectory
      check_trace --solver-bench S.json     validate a solver microbenchmark
+     check_trace --analyze A.json          validate a balign-analyze-1 report
 
    Exit 0 with a one-line deterministic summary on stdout, exit 1 with
    the reason on stderr otherwise.  Everything run-dependent (times,
@@ -158,7 +159,7 @@ let check_bench path =
               let v = num (member k o) in
               if v < 0. then die "negative %S for aligner %S" k aligner)
             [ "penalty"; "ext_tsp" ])
-        [ "tsp"; "calder"; "greedy"; "btfnt" ];
+        [ "tsp"; "calder"; "greedy"; "btfnt"; "tsp_static"; "greedy_static" ];
       (* the TSP penalty is reported twice; the copies must agree *)
       if num (member "penalty" (member "tsp" objectives))
          <> num (member "penalty_cycles" r)
@@ -224,6 +225,67 @@ let check_solver_bench path =
   Printf.printf "solver-bench ok: variant %s, %d entries\n" variant
     (List.length entries)
 
+(* ---------------- analyze report ---------------- *)
+
+let check_analyze path =
+  let doc = parse path in
+  if str (member "schema" doc) <> "balign-analyze-1" then die "bad schema";
+  let procs = list (member "procs" doc) in
+  if procs = [] then die "no procs";
+  List.iter
+    (fun p ->
+      ignore (str (member "name" p));
+      let get k =
+        let v = num (member k p) in
+        if v < 0. || not (Float.is_integer v) then die "%S is not a count" k;
+        int_of_float v
+      in
+      let n_blocks = get "n_blocks" and n_reachable = get "n_reachable" in
+      let n_loops = get "n_loops" and max_depth = get "max_loop_depth" in
+      let n_back = get "n_back_edges" in
+      ignore (get "proc");
+      ignore (get "n_edges");
+      ignore (get "dom_height");
+      ignore (get "est_scale");
+      if n_reachable > n_blocks then die "more reachable blocks than blocks";
+      if n_reachable = 0 then die "entry not reachable";
+      let loops = list (member "loops" p) in
+      if List.length loops <> n_loops then die "loops list disagrees with n_loops";
+      let seen_depth = ref 0 in
+      List.iter
+        (fun l ->
+          let d = int_of_float (num (member "depth" l)) in
+          if d < 1 || d > max_depth then die "loop depth %d out of range" d;
+          if d > !seen_depth then seen_depth := d;
+          if num (member "n_blocks" l) < 1. then die "empty loop";
+          ignore (num (member "header" l)))
+        loops;
+      if n_loops > 0 && !seen_depth <> max_depth then
+        die "max_loop_depth %d never reached (deepest loop is %d)" max_depth
+          !seen_depth;
+      if n_loops = 0 && max_depth <> 0 then die "loop-free proc with depth > 0";
+      if n_back < n_loops then die "fewer back edges than loops";
+      List.iter
+        (fun e ->
+          ignore (num (member "src" e));
+          ignore (num (member "dst" e)))
+        (list (member "irreducible" p));
+      (* estimated hotness: counts positive, sorted hottest-first *)
+      let last = ref max_int in
+      List.iter
+        (fun h ->
+          ignore (num (member "block" h));
+          let c = int_of_float (num (member "count" h)) in
+          if c <= 0 then die "non-positive hotness count";
+          if c > !last then die "hottest list not sorted";
+          last := c)
+        (list (member "hottest" p));
+      let est = get "est_transfers" in
+      if n_blocks > 1 && n_reachable > 1 && est = 0 then
+        die "no estimated transfers in a multi-block proc")
+    procs;
+  Printf.printf "analyze ok: %d procs\n" (List.length procs)
+
 (* ---------------- serve soak ---------------- *)
 
 let check_serve_soak path =
@@ -262,6 +324,8 @@ let () =
   | [| _; "--bench"; path |] -> check_bench path
   | [| _; "--solver-bench"; path |] -> check_solver_bench path
   | [| _; "--serve-soak"; path |] -> check_serve_soak path
+  | [| _; "--analyze"; path |] -> check_analyze path
   | [| _; path |] -> check_chrome path
   | _ ->
-      die "usage: check_trace [--metrics|--bench|--solver-bench|--serve-soak] FILE"
+      die "usage: check_trace \
+           [--metrics|--bench|--solver-bench|--serve-soak|--analyze] FILE"
