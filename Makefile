@@ -79,7 +79,7 @@ check-par: build test
 	  >/dev/null 2>&1; \
 	BALIGN_COMMIT=checkpar $(BALIGN) bench com --json $$tmp/bmax.json --jobs $$j \
 	  >/dev/null 2>&1; \
-	mask() { sed -E -e 's/"(wall_ms|p50_ms|p95_ms)":[0-9.]+/"\1":X/g' \
+	mask() { sed -E -e 's/"(wall_ms|p50_ms|p95_ms|run_s|moves_per_s)":[0-9.eE+-]+/"\1":X/g' \
 	  -e 's/"date":"[^"]*"/"date":X/' -e 's/"jobs":[0-9]+/"jobs":X/g' "$$1"; }; \
 	mask $$tmp/b1.json > $$tmp/b1.masked; \
 	mask $$tmp/bmax.json > $$tmp/bmax.masked; \
@@ -93,12 +93,29 @@ check-par: build test
 	  --sizes 64,700 --kicks 32 --certify --jobs $$j \
 	  --json $$tmp/sbmax.json 2>/dev/null; \
 	smask() { sed -E \
-	  -e 's/"(build_s|build_words|sym_s|nbr_s|opt_s|cert_s|moves_per_s)":[0-9.eE+-]+/"\1":X/g' \
+	  -e 's/"(build_s|build_words|sym_s|nbr_s|opt_s|cert_s|moves_per_s|move_cost_p50|move_cost_p95)":[0-9.eE+-]+/"\1":X/g' \
 	  -e 's/"date":"[^"]*"/"date":X/' -e 's/"jobs":[0-9]+/"jobs":X/' "$$1"; }; \
 	smask $$tmp/sb1.json > $$tmp/sb1.masked; \
 	smask $$tmp/sbmax.json > $$tmp/sbmax.masked; \
 	diff -u $$tmp/sb1.masked $$tmp/sbmax.masked \
 	  || { echo "check-par FAIL: pooled neighbor lists differ from sequential"; exit 1; }; \
+	echo "check-par: solver_bench --repr two-level at --jobs 1 vs $$j..."; \
+	$(DUNE) exec --no-print-directory bench/solver_bench.exe -- \
+	  --sizes 64,700 --kicks 32 --certify --repr two-level --jobs 1 \
+	  --json $$tmp/tl1.json 2>/dev/null; \
+	$(DUNE) exec --no-print-directory bench/solver_bench.exe -- \
+	  --sizes 64,700 --kicks 32 --certify --repr two-level --jobs $$j \
+	  --json $$tmp/tlmax.json 2>/dev/null; \
+	smask $$tmp/tl1.json > $$tmp/tl1.masked; \
+	smask $$tmp/tlmax.json > $$tmp/tlmax.masked; \
+	diff -u $$tmp/tl1.masked $$tmp/tlmax.masked \
+	  || { echo "check-par FAIL: pooled two-level trajectory differs from sequential"; exit 1; }; \
+	rmask() { sed -E -e 's/"repr":"[^"]*"/"repr":X/g' \
+	  -e 's/"(seg_splits|rebalances)":[0-9]+/"\1":X/g' "$$1"; }; \
+	rmask $$tmp/sb1.masked > $$tmp/sb1.rmasked; \
+	rmask $$tmp/tl1.masked > $$tmp/tl1.rmasked; \
+	diff -u $$tmp/sb1.rmasked $$tmp/tl1.rmasked \
+	  || { echo "check-par FAIL: two-level trajectory differs from the flat arrays"; exit 1; }; \
 	sed -n 's/^/  /p' $$tmp/err.1 $$tmp/err.max | grep wall-clock || true; \
 	awk -v a=$$((e1-s1)) -v b=$$((e2-s2)) 'BEGIN { \
 	  printf "check-par ok: output identical; wall-clock %.1fs -> %.1fs (speedup x%.2f)\n", \
@@ -174,11 +191,22 @@ bench-solver: build
 	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- \
 	  --solver-bench SOLVER_BENCH.json
 	$(DUNE) exec --no-print-directory bench/solver_bench.exe -- \
+	  --repr two-level --certify --json SOLVER_BENCH_TWOLEVEL.json
+	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- \
+	  --solver-bench SOLVER_BENCH_TWOLEVEL.json
+	@# hard gate: the two representations must walk the same trajectory
+	@jq '.entries | map({n_blocks, moves, scans_skipped, best_cost, tour_hash})' \
+	  SOLVER_BENCH.json > /tmp/sb_traj_array.json
+	@jq '.entries | map({n_blocks, moves, scans_skipped, best_cost, tour_hash})' \
+	  SOLVER_BENCH_TWOLEVEL.json > /tmp/sb_traj_twolevel.json
+	@diff -u /tmp/sb_traj_array.json /tmp/sb_traj_twolevel.json \
+	  && echo "bench-solver ok: array and two-level trajectories identical"
+	$(DUNE) exec --no-print-directory bench/solver_bench.exe -- \
 	  --family switch --sizes 100000 --kicks 8 --certify \
 	  --variant scale-switch --json SOLVER_BENCH_SCALE.json
 	$(DUNE) exec --no-print-directory test/tools/check_trace.exe -- \
 	  --solver-bench SOLVER_BENCH_SCALE.json
-	@echo "bench-solver ok: SOLVER_BENCH.json + SOLVER_BENCH_SCALE.json written"
+	@echo "bench-solver ok: SOLVER_BENCH.json + SOLVER_BENCH_TWOLEVEL.json + SOLVER_BENCH_SCALE.json written"
 
 # Daemon robustness gate (docs/SERVING.md): replay 1000 mixed
 # good/faulty requests at an in-process `balign serve` loop, re-certify

@@ -13,8 +13,8 @@
      dune exec bench/solver_bench.exe -- \
        [--sizes 64,256,1024,4096] [--kicks 256] [--seed 7] \
        [--family syn|loop-nest|switch|interp] [--jobs N] \
-       [--mode auto|exact|select] [--certify] \
-       [--variant NAME] [--json FILE]
+       [--mode auto|exact|select] [--repr auto|array|two-level] \
+       [--certify] [--variant NAME] [--json FILE]
 
    Output is a single JSON document (stdout, or FILE with --json); the
    committed trajectory lives in results/solver_bench.json with one
@@ -55,6 +55,7 @@ let measured f =
 type entry = {
   n_blocks : int;
   n_cities : int;
+  repr : string;  (** representation actually used (Auto resolved) *)
   build_s : float;
   build_words : float;  (** words allocated by Reduction.build *)
   sym_s : float;
@@ -63,13 +64,27 @@ type entry = {
   opt_s : float;  (** initial 3-Opt descent + kick loop *)
   moves : int;
   moves_per_s : float;
+  move_cost_p50 : float;  (** seconds/move percentiles over run calls *)
+  move_cost_p95 : float;
+  seg_splits : int;  (** two-level segment splits (0 on flat) *)
+  rebalances : int;  (** two-level full rebuilds (0 on flat) *)
   scans_skipped : int;  (** don't-look-bit elisions during opt *)
   best_cost : int;  (** symmetric tour cost after the kick loop *)
   tour_hash : int;
   cert : (bool * float) option;  (** --certify verdict and wall time *)
 }
 
-let run_size ~family ~seed ~kicks ~k ~mode ~exec ~certify n =
+(* nearest-rank percentile of an unsorted sample array *)
+let percentile p samples =
+  match samples with
+  | [] -> 0.
+  | _ ->
+      let a = Array.of_list samples in
+      Array.sort compare a;
+      let len = Array.length a in
+      a.(min (len - 1) (int_of_float (p *. float_of_int len)))
+
+let run_size ~family ~seed ~kicks ~k ~mode ~repr ~exec ~certify n =
   let g, prof =
     match family with
     | None ->
@@ -91,16 +106,25 @@ let run_size ~family ~seed ~kicks ~k ~mode ~exec ~certify n =
      taken from a deterministic rng and never undone, so the trajectory
      is a pure function of the instance *)
   let nn = s.Sym.nn in
-  let st = Three_opt.init s ~nbr ~tour:(Array.init nn Fun.id) in
+  let st = Three_opt.init ~repr s ~nbr ~tour:(Array.init nn Fun.id) in
   let krng = Random.State.make [| seed; n; kicks |] in
+  (* per-run-call seconds/move samples: the descent and every kick
+     re-optimization contribute one sample each (when they moved) *)
+  let samples = ref [] in
+  let timed_run () =
+    let m0 = st.Three_opt.moves_2opt + st.Three_opt.moves_3opt in
+    let (), secs = time (fun () -> Three_opt.run st) in
+    let dm = st.Three_opt.moves_2opt + st.Three_opt.moves_3opt - m0 in
+    if dm > 0 then samples := (secs /. float_of_int dm) :: !samples
+  in
   let (), opt_s =
     time (fun () ->
         Three_opt.activate_all st;
-        Three_opt.run st;
+        timed_run ();
         for _ = 1 to kicks do
           let touched = Iterated.double_bridge st krng in
           List.iter (Three_opt.activate st) touched;
-          Three_opt.run st
+          timed_run ()
         done)
   in
   let moves = st.Three_opt.moves_2opt + st.Three_opt.moves_3opt in
@@ -127,6 +151,7 @@ let run_size ~family ~seed ~kicks ~k ~mode ~exec ~certify n =
   {
     n_blocks = n;
     n_cities = Dtsp.(d.n);
+    repr = Ba_tsp.Tour_repr.kind_name (Three_opt.repr_kind st);
     build_s;
     build_words;
     sym_s;
@@ -135,6 +160,10 @@ let run_size ~family ~seed ~kicks ~k ~mode ~exec ~certify n =
     opt_s;
     moves;
     moves_per_s = (if opt_s > 0. then float_of_int moves /. opt_s else 0.);
+    move_cost_p50 = percentile 0.50 !samples;
+    move_cost_p95 = percentile 0.95 !samples;
+    seg_splits = Three_opt.seg_splits st;
+    rebalances = Three_opt.rebalances st;
     scans_skipped = st.Three_opt.scans_skipped;
     best_cost = Three_opt.cost st;
     tour_hash = Hashtbl.hash (Three_opt.tour st);
@@ -146,6 +175,7 @@ let entry_json e =
     ([
        ("n_blocks", Json.Int e.n_blocks);
        ("n_cities", Json.Int e.n_cities);
+       ("repr", Json.String e.repr);
        ("build_s", Json.Float e.build_s);
        ("build_words", Json.Float e.build_words);
        ("sym_s", Json.Float e.sym_s);
@@ -154,6 +184,10 @@ let entry_json e =
        ("opt_s", Json.Float e.opt_s);
        ("moves", Json.Int e.moves);
        ("moves_per_s", Json.Float e.moves_per_s);
+       ("move_cost_p50", Json.Float e.move_cost_p50);
+       ("move_cost_p95", Json.Float e.move_cost_p95);
+       ("seg_splits", Json.Int e.seg_splits);
+       ("rebalances", Json.Int e.rebalances);
        ("scans_skipped", Json.Int e.scans_skipped);
        ("best_cost", Json.Int e.best_cost);
        ("tour_hash", Json.Int e.tour_hash);
@@ -164,10 +198,10 @@ let entry_json e =
     | Some (ok, cert_s) ->
         [ ("certified", Json.Bool ok); ("cert_s", Json.Float cert_s) ])
 
-let doc ~variant ~family ~seed ~kicks ~k ~jobs ~mode entries =
+let doc ~variant ~family ~seed ~kicks ~k ~jobs ~mode ~repr entries =
   Json.Obj
     [
-      ("schema", Json.String "solver-bench/2");
+      ("schema", Json.String "solver-bench/3");
       ("commit", Json.String (Ba_harness.Bench_json.current_commit ()));
       ("date", Json.String (Ba_harness.Bench_json.now_utc ()));
       ("variant", Json.String variant);
@@ -177,6 +211,7 @@ let doc ~variant ~family ~seed ~kicks ~k ~jobs ~mode entries =
       ("neighbors", Json.Int k);
       ("jobs", Json.Int jobs);
       ("mode", Json.String mode);
+      ("repr", Json.String repr);
       ("entries", Json.List (List.map entry_json entries));
     ]
 
@@ -188,6 +223,7 @@ let () =
   and family = ref None
   and jobs = ref 1
   and mode = ref Neighbors.Auto
+  and repr = ref Ba_tsp.Tour_repr.Auto
   and certify = ref false
   and variant = ref "heap-select"
   and out = ref None in
@@ -217,6 +253,12 @@ let () =
                prerr_endline ("solver_bench: unknown mode " ^ v);
                exit 2);
         parse rest
+    | "--repr" :: v :: rest -> (
+        match Ba_tsp.Tour_repr.kind_of_string v with
+        | Some r -> repr := r; parse rest
+        | None ->
+            prerr_endline ("solver_bench: unknown repr " ^ v);
+            exit 2)
     | "--certify" :: rest -> certify := true; parse rest
     | "--variant" :: v :: rest -> variant := v; parse rest
     | "--json" :: v :: rest -> out := Some v; parse rest
@@ -231,13 +273,13 @@ let () =
       (fun n ->
         let e =
           run_size ~family:!family ~seed:!seed ~kicks:!kicks ~k:!k
-            ~mode:!mode ~exec ~certify:!certify n
+            ~mode:!mode ~repr:!repr ~exec ~certify:!certify n
         in
         Printf.eprintf
-          "n=%-6d build %.4fs  sym %.4fs  nbr %.4fs  opt %.3fs  %9.0f \
+          "n=%-6d %-9s build %.4fs  sym %.4fs  nbr %.4fs  opt %.3fs  %9.0f \
            moves/s  %9d live words  cost %d%s\n%!"
-          n e.build_s e.sym_s e.nbr_s e.opt_s e.moves_per_s e.instance_words
-          e.best_cost
+          n e.repr e.build_s e.sym_s e.nbr_s e.opt_s e.moves_per_s
+          e.instance_words e.best_cost
           (match e.cert with
           | None -> ""
           | Some (true, cs) -> Printf.sprintf "  certified (%.3fs)" cs
@@ -256,7 +298,8 @@ let () =
   in
   let j =
     doc ~variant:!variant ~family:family_name ~seed:!seed ~kicks:!kicks
-      ~k:!k ~jobs:!jobs ~mode:mode_name entries
+      ~k:!k ~jobs:!jobs ~mode:mode_name
+      ~repr:(Ba_tsp.Tour_repr.kind_name !repr) entries
   in
   let failed =
     List.exists (fun e -> match e.cert with Some (false, _) -> true | _ -> false)

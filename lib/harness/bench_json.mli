@@ -10,10 +10,19 @@
     as a fraction of the bound (0 when the bound is degenerate). *)
 val hk_gap : Runner.row -> float
 
-(** [make ?model ~commit ~date ~jobs outcomes] builds the document;
-    pure.  [model] names the cost model the rows were measured under. *)
+(** Per-representation 3-Opt throughput split ([{array, two_level:
+    {moves, run_s, moves_per_s}, segment_splits, segment_rebalances}])
+    read from the process metrics registry; moves are deterministic,
+    times and rates are wall-clock. *)
+val solver_split : unit -> Ba_obs.Json.t
+
+(** [make ?model ?solver ~commit ~date ~jobs outcomes] builds the
+    document; pure.  [model] names the cost model the rows were
+    measured under; [solver] (e.g. {!solver_split}) is embedded
+    verbatim when given. *)
 val make :
   ?model:Ba_machine.Model.t ->
+  ?solver:Ba_obs.Json.t ->
   commit:string ->
   date:string ->
   jobs:int ->

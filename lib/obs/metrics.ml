@@ -42,6 +42,12 @@ type counter =
   | Serve_cache_misses  (** cache misses (fresh solves) *)
   | Serve_cache_poisoned  (** cached layouts rejected by certification *)
   | Serve_warm_starts  (** drift hits: 3-Opt seeded from the cached tour *)
+  | Moves_array_repr  (** improving moves applied on the flat tour arrays *)
+  | Moves_two_level_repr  (** improving moves applied on the two-level tour *)
+  | Run_ns_array_repr  (** ns spent inside 3-Opt runs, flat representation *)
+  | Run_ns_two_level_repr  (** ns spent inside 3-Opt runs, two-level *)
+  | Segment_splits  (** two-level segment boundary splits *)
+  | Segment_rebalances  (** two-level O(n) rebuilds *)
 
 let all_counters =
   [
@@ -67,6 +73,12 @@ let all_counters =
     (Serve_cache_misses, "serve.cache_misses");
     (Serve_cache_poisoned, "serve.cache_poisoned");
     (Serve_warm_starts, "serve.warm_starts");
+    (Moves_array_repr, "solver.moves.array_repr");
+    (Moves_two_level_repr, "solver.moves.two_level_repr");
+    (Run_ns_array_repr, "solver.run_ns.array_repr");
+    (Run_ns_two_level_repr, "solver.run_ns.two_level_repr");
+    (Segment_splits, "solver.segment_splits");
+    (Segment_rebalances, "solver.segment_rebalances");
   ]
 
 let counter_name c = List.assoc c all_counters
@@ -94,6 +106,12 @@ let counter_index = function
   | Serve_cache_misses -> 19
   | Serve_cache_poisoned -> 20
   | Serve_warm_starts -> 21
+  | Moves_array_repr -> 22
+  | Moves_two_level_repr -> 23
+  | Run_ns_array_repr -> 24
+  | Run_ns_two_level_repr -> 25
+  | Segment_splits -> 26
+  | Segment_rebalances -> 27
 
 let n_counters = List.length all_counters
 let counters : int Atomic.t array = Array.init n_counters (fun _ -> Atomic.make 0)
@@ -111,6 +129,8 @@ type gauge =
   | Serve_queue_depth  (** complete frames buffered but not yet handled *)
   | Serve_in_flight  (** requests currently being handled *)
   | Serve_cache_entries  (** live layout-cache entries *)
+  | Tsp_repr  (** tour representation of the last init (0 flat, 1 two-level) *)
+  | Tsp_segments  (** two-level segment count after the last run *)
 
 let all_gauges =
   [
@@ -119,6 +139,8 @@ let all_gauges =
     (Serve_queue_depth, "serve.queue_depth");
     (Serve_in_flight, "serve.in_flight");
     (Serve_cache_entries, "serve.cache_entries");
+    (Tsp_repr, "tsp.repr");
+    (Tsp_segments, "tsp.segments");
   ]
 
 let gauge_name g = List.assoc g all_gauges
@@ -129,8 +151,10 @@ let gauge_index = function
   | Serve_queue_depth -> 2
   | Serve_in_flight -> 3
   | Serve_cache_entries -> 4
+  | Tsp_repr -> 5
+  | Tsp_segments -> 6
 
-let gauges : int Atomic.t array = Array.init 5 (fun _ -> Atomic.make 0)
+let gauges : int Atomic.t array = Array.init 7 (fun _ -> Atomic.make 0)
 let set_gauge g v = Atomic.set gauges.(gauge_index g) v
 let get_gauge g = Atomic.get gauges.(gauge_index g)
 

@@ -26,6 +26,12 @@ type counter =
   | Serve_cache_misses
   | Serve_cache_poisoned
   | Serve_warm_starts
+  | Moves_array_repr
+  | Moves_two_level_repr
+  | Run_ns_array_repr
+  | Run_ns_two_level_repr
+  | Segment_splits
+  | Segment_rebalances
 
 (** Every counter with its stable snapshot name, in catalogue order. *)
 val all_counters : (counter * string) list
@@ -43,6 +49,8 @@ type gauge =
   | Serve_queue_depth
   | Serve_in_flight
   | Serve_cache_entries
+  | Tsp_repr
+  | Tsp_segments
 
 val all_gauges : (gauge * string) list
 val gauge_name : gauge -> string

@@ -4,53 +4,118 @@
     starts, 4 randomized Nearest Neighbor starts, and once the original
     ordering given by the compiler" (Appendix).  Both heuristics here are
     randomized in the classic way: instead of always taking the cheapest
-    feasible choice, pick uniformly among the best few. *)
+    feasible choice, pick uniformly among the best few.
+
+    Both are {e sparse-aware}: they drive the CSR rows of {!Dtsp}
+    (explicit deviations + per-row default) instead of scanning the
+    O(n²) logical matrix, which is what makes multi-start solves viable
+    at 10⁵–10⁶ blocks.  Nearest-neighbor is {e bit-identical} to the
+    historical dense scan at every size, randomized or not (it consumes
+    the same single RNG draw per step over the same candidate buffer).
+    The randomized greedy draws one RNG float {e per edge over all
+    n(n−1) edges} in the dense formulation, which no sub-quadratic
+    enumeration can reproduce, so it is gated like
+    {!Neighbors.exact_threshold}: the dense scan (and its exact RNG
+    stream) below {!greedy_dense_threshold}, the sparse merge above —
+    deterministic for a fixed RNG either way, and identical to the
+    dense result whenever no RNG is supplied. *)
 
 (** The identity tour 0,1,…,n−1. *)
 let identity n = Array.init n (fun i -> i)
 
+(* ------------------------------------------------------------------ *)
+(* nearest neighbor                                                    *)
+
 (** [nearest_neighbor ?rng ?choices d ~start] grows a tour from [start],
     repeatedly moving to one of the [choices] nearest unvisited cities
     (uniformly at random among them; [choices = 1] is the deterministic
-    heuristic). *)
+    heuristic).
+
+    Per step, the candidate buffer — the [choices] lexicographically
+    smallest (cost, city) pairs over the unvisited cities, exactly what
+    the dense scan's insertion sort kept — is built by merging the
+    current row's explicit deviations (pre-sorted by (cost, column))
+    with the default-cost tail, an ascending walk of an unvisited
+    doubly-linked list that skips the explicit columns.  O(choices +
+    deg) per step instead of O(n), and bit-identical to the dense scan
+    including the RNG stream (one draw per step). *)
 let nearest_neighbor ?rng ?(choices = 1) (d : Dtsp.t) ~start =
   if start < 0 || start >= d.Dtsp.n then invalid_arg "nearest_neighbor: bad start";
   let n = d.Dtsp.n in
   let visited = Array.make n false in
   let tour = Array.make n start in
   visited.(start) <- true;
-  let cur = ref start in
-  (* scratch: candidate (cost, city) pairs of the current step *)
+  (* unvisited doubly-linked list over city ids, ascending; sentinel n *)
+  let nxt = Array.make (n + 1) 0 and prv = Array.make (n + 1) 0 in
+  for i = 0 to n do
+    nxt.(i) <- (if i = n then 0 else i + 1);
+    prv.(i) <- (if i = 0 then n else i - 1)
+  done;
+  let remove j =
+    nxt.(prv.(j)) <- nxt.(j);
+    prv.(nxt.(j)) <- prv.(j)
+  in
+  remove start;
+  (* scratch: candidate (cost, city) pairs of the current step, and a
+     per-step stamp marking the current row's explicit columns *)
   let cand = Array.make choices (max_int, -1) in
+  let mark = Array.make n (-1) in
+  let dev = Array.make n (0, 0) in
+  let cur = ref start in
   for i = 1 to n - 1 do
+    let row_cols = d.Dtsp.row_cols.(!cur)
+    and row_costs = d.Dtsp.row_costs.(!cur) in
+    let default = d.Dtsp.row_default.(!cur) in
+    (* explicit stream: the row's off-diagonal deviations by (cost, col) *)
+    let nd = ref 0 in
+    Array.iteri
+      (fun k c ->
+        if c <> !cur then begin
+          dev.(!nd) <- (row_costs.(k), c);
+          incr nd;
+          mark.(c) <- i
+        end)
+      row_cols;
+    let nd = !nd in
+    let sub = Array.sub dev 0 nd in
+    Array.sort compare sub;
+    Array.blit sub 0 dev 0 nd;
+    (* merge with the default tail (unvisited ∧ unmarked, ascending id)
+       into the k smallest (cost, city) pairs, ascending — exactly the
+       dense insertion buffer *)
+    let ei = ref 0 and dj = ref nxt.(n) in
+    let adv_explicit () =
+      while !ei < nd && visited.(snd dev.(!ei)) do
+        incr ei
+      done
+    in
+    let adv_default () =
+      while !dj < n && mark.(!dj) = i do
+        dj := nxt.(!dj)
+      done
+    in
+    adv_explicit ();
+    adv_default ();
     let n_cand = ref 0 in
-    for j = 0 to n - 1 do
-      if not visited.(j) then begin
-        let c = Dtsp.cost d !cur j in
-        (* insert (c, j) into the best-[choices] candidate buffer *)
-        if !n_cand < choices then begin
-          cand.(!n_cand) <- (c, j);
-          incr n_cand;
-          (* keep the buffer sorted, worst last *)
-          let k = ref (!n_cand - 1) in
-          while !k > 0 && fst cand.(!k) < fst cand.(!k - 1) do
-            let t = cand.(!k) in
-            cand.(!k) <- cand.(!k - 1);
-            cand.(!k - 1) <- t;
-            decr k
-          done
-        end
-        else if c < fst cand.(choices - 1) then begin
-          cand.(choices - 1) <- (c, j);
-          let k = ref (choices - 1) in
-          while !k > 0 && fst cand.(!k) < fst cand.(!k - 1) do
-            let t = cand.(!k) in
-            cand.(!k) <- cand.(!k - 1);
-            cand.(!k - 1) <- t;
-            decr k
-          done
-        end
+    while !n_cand < choices && (!ei < nd || !dj < n) do
+      let explicit =
+        !ei < nd
+        && (!dj >= n
+           ||
+           let c, j = dev.(!ei) in
+           c < default || (c = default && j < !dj))
+      in
+      if explicit then begin
+        cand.(!n_cand) <- dev.(!ei);
+        incr ei;
+        adv_explicit ()
       end
+      else begin
+        cand.(!n_cand) <- (default, !dj);
+        dj := nxt.(!dj);
+        adv_default ()
+      end;
+      incr n_cand
     done;
     let pick =
       match rng with
@@ -60,88 +125,280 @@ let nearest_neighbor ?rng ?(choices = 1) (d : Dtsp.t) ~start =
     let _, next = cand.(pick) in
     tour.(i) <- next;
     visited.(next) <- true;
+    remove next;
     cur := next
   done;
   tour
 
-(** [greedy_edge ?rng ?skip_prob d] builds a tour by scanning all directed
-    edges in increasing cost order and accepting an edge when its source
-    still lacks a layout successor, its destination lacks a predecessor,
-    and it does not close a subtour early.  With [rng], each acceptable
-    edge is randomly skipped with probability [skip_prob], which
-    randomizes the construction; leftover path fragments are then stitched
-    cheapest-first.  This mirrors the greedy matching heuristic the
-    greedy branch aligners use, applied to the full cost matrix. *)
+(* ------------------------------------------------------------------ *)
+(* greedy edge matching                                                *)
+
+(** Largest instance the randomized greedy still serves with the dense
+    all-edges scan (and hence the historical RNG stream); mirrors the
+    {!Neighbors.exact_threshold} gate, and every committed trajectory
+    that consumes randomized greedy starts lives below it. *)
+let greedy_dense_threshold = Neighbors.exact_threshold
+
+(* shared fragment bookkeeping: next/prev successor arrays, union-find
+   over path fragments to refuse early cycles *)
+type frag = {
+  fnext : int array;
+  fprev : int array;
+  parent : int array;
+  mutable accepted : int;
+}
+
+let frag_make n =
+  { fnext = Array.make n (-1); fprev = Array.make n (-1);
+    parent = Array.init n Fun.id; accepted = 0 }
+
+let frag_find f i =
+  let root = ref i in
+  while f.parent.(!root) <> !root do
+    root := f.parent.(!root)
+  done;
+  let cur = ref i in
+  while !cur <> !root do
+    let p = f.parent.(!cur) in
+    f.parent.(!cur) <- !root;
+    cur := p
+  done;
+  !root
+
+let frag_try_edge f n i j =
+  if
+    f.accepted < n - 1 && i <> j && f.fnext.(i) < 0 && f.fprev.(j) < 0
+    && frag_find f i <> frag_find f j
+  then begin
+    f.fnext.(i) <- j;
+    f.fprev.(j) <- i;
+    f.parent.(frag_find f i) <- frag_find f j;
+    f.accepted <- f.accepted + 1;
+    true
+  end
+  else false
+
+(* stitch remaining fragments cheapest-first and close the path *)
+let frag_finish (d : Dtsp.t) f =
+  let n = d.Dtsp.n in
+  while f.accepted < n - 1 do
+    let best = ref (max_int, -1, -1) in
+    for i = 0 to n - 1 do
+      if f.fnext.(i) < 0 then
+        for j = 0 to n - 1 do
+          if f.fprev.(j) < 0 && i <> j && frag_find f i <> frag_find f j then begin
+            let c = Dtsp.cost d i j in
+            let bc, _, _ = !best in
+            if c < bc then best := (c, i, j)
+          end
+        done
+    done;
+    let _, i, j = !best in
+    if i < 0 then invalid_arg "greedy_edge: cannot complete tour";
+    ignore (frag_try_edge f n i j)
+  done;
+  let head = ref (-1) in
+  for j = 0 to n - 1 do
+    if f.fprev.(j) < 0 then head := j
+  done;
+  let tour = Array.make n 0 in
+  let cur = ref !head in
+  for i = 0 to n - 1 do
+    tour.(i) <- !cur;
+    cur := f.fnext.(!cur)
+  done;
+  tour
+
+(* the historical dense scan: materialize and sort all n(n−1) directed
+   edges, then consider every one in (cost, i, j) order, drawing one
+   RNG float per edge when randomized *)
+let greedy_dense ?rng ~skip_prob (d : Dtsp.t) =
+  let n = d.Dtsp.n in
+  let f = frag_make n in
+  let edges = Array.make (n * (n - 1)) (0, 0, 0) in
+  let k = ref 0 in
+  let row = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Dtsp.blit_row d i row;
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        edges.(!k) <- (row.(j), i, j);
+        incr k
+      end
+    done
+  done;
+  Array.sort compare edges;
+  Array.iter
+    (fun (_, i, j) ->
+      let skip =
+        match rng with
+        | Some st -> Random.State.float st 1.0 < skip_prob
+        | None -> false
+      in
+      if not skip then ignore (frag_try_edge f n i j))
+    edges;
+  frag_finish d f
+
+(* Sparse merge scan: enumerate the acceptable edges in the same
+   (cost, i, j) order without materializing the matrix.  The explicit
+   stream is the sorted array of all explicit off-diagonal deviations;
+   the default stream walks the rows in (default, row) order, each row
+   emitting its implicit columns ascending, restricted to cities that
+   still lack a predecessor (a path-compressed first-open-≥ skip array
+   makes the restriction near-O(1)).  Edges that the dense scan would
+   consider but that can no longer be accepted (source already linked,
+   destination already linked, explicit column) are exactly the ones
+   the filters drop, so without an RNG the result is identical to the
+   dense scan; with an RNG, one float is drawn per emitted edge and
+   enumeration stops once the path set is complete, which is a
+   different (but deterministic) stream from the dense all-edges
+   draw — the reason the dense path is kept below the gate. *)
+let greedy_sparse ?rng ~skip_prob (d : Dtsp.t) =
+  let n = d.Dtsp.n in
+  let f = frag_make n in
+  (* explicit stream *)
+  let nnz = Dtsp.nnz d in
+  let ex = Array.make (max 1 nnz) (0, 0, 0) in
+  let nex = ref 0 in
+  for i = 0 to n - 1 do
+    let cols = d.Dtsp.row_cols.(i) and costs = d.Dtsp.row_costs.(i) in
+    Array.iteri
+      (fun k c ->
+        if c <> i then begin
+          ex.(!nex) <- (costs.(k), i, c);
+          incr nex
+        end)
+      cols
+  done;
+  let nex = !nex in
+  let ex = Array.sub ex 0 nex in
+  Array.sort compare ex;
+  (* default stream: rows by (default, row) *)
+  let ord = Array.init n Fun.id in
+  Array.sort
+    (fun r r' ->
+      compare (d.Dtsp.row_default.(r), r) (d.Dtsp.row_default.(r'), r'))
+    ord;
+  let lb = Array.make n 0 in
+  (* first-open-≥: skip.(j) = j while j may still take a predecessor *)
+  let skip = Array.init (n + 1) Fun.id in
+  let first_open j0 =
+    let j = ref j0 in
+    while !j < n && skip.(!j) <> !j do
+      j := skip.(!j)
+    done;
+    let r = if !j > n then n else !j in
+    let cur = ref j0 in
+    while !cur < n && skip.(!cur) <> !cur && skip.(!cur) <> r do
+      let next = skip.(!cur) in
+      skip.(!cur) <- r;
+      cur := next
+    done;
+    r
+  in
+  let close j = skip.(j) <- j + 1 in
+  let try_edge i j =
+    if frag_try_edge f n i j then begin
+      close j;
+      true
+    end
+    else false
+  in
+  let is_explicit_col i j =
+    let cols = d.Dtsp.row_cols.(i) in
+    let lo = ref 0 and hi = ref (Array.length cols - 1) in
+    let found = ref false in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = cols.(mid) in
+      if c = j then begin
+        found := true;
+        lo := !hi + 1
+      end
+      else if c < j then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  in
+  let ei = ref 0 and ri = ref 0 in
+  (* peek the next emittable default edge, advancing past closed rows
+     and exhausted columns; None when the stream is dry *)
+  let default_head () =
+    let res = ref None and scanning = ref true in
+    while !scanning do
+      if !ri >= n then scanning := false
+      else begin
+        let i = ord.(!ri) in
+        if f.fnext.(i) >= 0 then incr ri
+        else begin
+          (* next emittable column ≥ lb.(i): open, off-diagonal, implicit *)
+          let j = ref (first_open lb.(i)) in
+          while !j < n && (!j = i || is_explicit_col i !j) do
+            j := first_open (!j + 1)
+          done;
+          if !j >= n then incr ri
+          else begin
+            lb.(i) <- !j;
+            res := Some (d.Dtsp.row_default.(i), i, !j);
+            scanning := false
+          end
+        end
+      end
+    done;
+    !res
+  in
+  let consider (_, i, j) =
+    let skip_edge =
+      match rng with
+      | Some st -> Random.State.float st 1.0 < skip_prob
+      | None -> false
+    in
+    if not skip_edge then ignore (try_edge i j)
+  in
+  let exhausted = ref false in
+  while f.accepted < n - 1 && not !exhausted do
+    let eh = if !ei < nex then Some ex.(!ei) else None in
+    let dh = default_head () in
+    match (eh, dh) with
+    | None, None -> exhausted := true
+    | Some e, None ->
+        incr ei;
+        consider e
+    | None, Some ((_, i, j) as e) ->
+        lb.(i) <- j + 1;
+        consider e
+    | Some e, Some ((_, i, j) as e') ->
+        if e <= e' then begin
+          incr ei;
+          consider e
+        end
+        else begin
+          lb.(i) <- j + 1;
+          consider e'
+        end
+  done;
+  frag_finish d f
+
+(** [greedy_edge ?rng ?skip_prob d] builds a tour by scanning the
+    directed edges in increasing (cost, i, j) order and accepting an
+    edge when its source still lacks a layout successor, its
+    destination lacks a predecessor, and it does not close a subtour
+    early.  With [rng], each acceptable edge is randomly skipped with
+    probability [skip_prob], which randomizes the construction;
+    leftover path fragments are then stitched cheapest-first.  This
+    mirrors the greedy matching heuristic the greedy branch aligners
+    use, applied to the full cost matrix.
+
+    Deterministic calls always take the sparse merge scan (identical
+    result to the dense scan, O((n + E) log) instead of O(n² log n));
+    randomized calls keep the dense scan — and its exact historical
+    RNG stream — up to {!greedy_dense_threshold} cities and use the
+    sparse enumeration above it. *)
 let greedy_edge ?rng ?(skip_prob = 0.1) (d : Dtsp.t) =
   let n = d.Dtsp.n in
   if n = 2 then [| 0; 1 |]
-  else begin
-    let next = Array.make n (-1) and prev = Array.make n (-1) in
-    (* union-find over path fragments to detect early cycles *)
-    let parent = Array.init n (fun i -> i) in
-    let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); find parent.(i)) in
-    let accepted = ref 0 in
-    let try_edge i j =
-      if
-        !accepted < n - 1 && i <> j && next.(i) < 0 && prev.(j) < 0
-        && find i <> find j
-      then begin
-        next.(i) <- j;
-        prev.(j) <- i;
-        parent.(find i) <- find j;
-        incr accepted
-      end
-    in
-    let edges = Array.make (n * (n - 1)) (0, 0, 0) in
-    let k = ref 0 in
-    let row = Array.make n 0 in
-    for i = 0 to n - 1 do
-      Dtsp.blit_row d i row;
-      for j = 0 to n - 1 do
-        if i <> j then begin
-          edges.(!k) <- (row.(j), i, j);
-          incr k
-        end
-      done
-    done;
-    Array.sort compare edges;
-    Array.iter
-      (fun (_, i, j) ->
-        let skip =
-          match rng with
-          | Some st -> Random.State.float st 1.0 < skip_prob
-          | None -> false
-        in
-        if not skip then try_edge i j)
-      edges;
-    (* stitch any remaining fragments: connect each open tail to the
-       cheapest open head of another fragment *)
-    while !accepted < n - 1 do
-      let best = ref (max_int, -1, -1) in
-      for i = 0 to n - 1 do
-        if next.(i) < 0 then
-          for j = 0 to n - 1 do
-            if prev.(j) < 0 && i <> j && find i <> find j then begin
-              let c = Dtsp.cost d i j in
-              let bc, _, _ = !best in
-              if c < bc then best := (c, i, j)
-            end
-          done
-      done;
-      let _, i, j = !best in
-      if i < 0 then invalid_arg "greedy_edge: cannot complete tour";
-      try_edge i j
-    done;
-    (* close the single remaining path into a cycle *)
-    let head = ref (-1) in
-    for j = 0 to n - 1 do
-      if prev.(j) < 0 then head := j
-    done;
-    let tour = Array.make n 0 in
-    let cur = ref !head in
-    for i = 0 to n - 1 do
-      tour.(i) <- !cur;
-      cur := next.(!cur)
-    done;
-    tour
-  end
+  else
+    match rng with
+    | Some _ when n <= greedy_dense_threshold ->
+        greedy_dense ?rng ~skip_prob d
+    | _ -> greedy_sparse ?rng ~skip_prob d

@@ -1,18 +1,35 @@
 (** Tour-construction heuristics for directed instances; both are
     randomized the way the paper's solver uses them (pick among the best
-    few / randomly skip edges). *)
+    few / randomly skip edges), and both are sparse-aware: they drive
+    the CSR rows of {!Dtsp} instead of scanning the O(n²) logical
+    matrix, which is what makes multi-start solves viable at 10⁵–10⁶
+    blocks. *)
 
 (** The identity tour 0,1,…,n−1. *)
 val identity : int -> int array
 
 (** Grow a tour from [start], moving to one of the [choices] nearest
     unvisited cities (uniformly among them; [choices = 1] is
-    deterministic). *)
+    deterministic).  O(choices + deg) per step via a merge of the
+    current row's sorted explicit deviations with an unvisited-list
+    walk at the default cost; bit-identical to the dense O(n)-per-step
+    scan at every size, including the RNG stream (one draw per step). *)
 val nearest_neighbor :
   ?rng:Random.State.t -> ?choices:int -> Dtsp.t -> start:int -> int array
 
-(** Scan all edges in increasing cost order, linking chain tails to
-    chain heads; with [rng], acceptable edges are skipped with
+(** Largest instance the randomized greedy still serves with the dense
+    all-edges scan (and hence the historical RNG stream); mirrors the
+    {!Neighbors.exact_threshold} gate. *)
+val greedy_dense_threshold : int
+
+(** Scan the edges in increasing (cost, i, j) order, linking chain
+    tails to chain heads; with [rng], acceptable edges are skipped with
     probability [skip_prob] and leftover fragments stitched
-    cheapest-first. *)
+    cheapest-first.  Deterministic calls always use a sparse merge of
+    the explicit-deviation stream with a per-row default stream —
+    identical result to the dense scan without materializing the n(n−1)
+    edges.  Randomized calls keep the dense scan (exact historical RNG
+    stream) up to {!greedy_dense_threshold} cities and switch to the
+    sparse enumeration (one draw per emitted edge, deterministic for a
+    fixed RNG) above it. *)
 val greedy_edge : ?rng:Random.State.t -> ?skip_prob:float -> Dtsp.t -> int array

@@ -18,6 +18,9 @@ type config = {
   seed : int;
   deadline_ms : int option;  (** wall-clock budget per solve; [None] = none *)
   max_moves : int option;  (** improving-move budget per solve *)
+  tour_repr : Tour_repr.kind;
+      (** tour representation for the 3-Opt states (trajectory-neutral;
+          [Auto] gates on instance size) *)
 }
 
 let default =
@@ -31,6 +34,7 @@ let default =
     seed = 0x5eed;
     deadline_ms = None;
     max_moves = None;
+    tour_repr = Tour_repr.Auto;
   }
 
 type stats = {
@@ -52,7 +56,7 @@ let set_tour = Three_opt.set_tour
 let double_bridge (st : Three_opt.state) rng =
   let s = st.Three_opt.s in
   let n = s.Sym.nn in
-  let t = Array.copy st.Three_opt.tour in
+  let t = Three_opt.tour st in
   (* make sure the wrap-around edge (t[n-1], t[0]) is not locked; the
      rotation does not change the cycle *)
   if Sym.is_locked s t.(n - 1) t.(0) then begin
@@ -180,7 +184,10 @@ let solve ?(config = default) ?rng ?budget ?initial
           Construct.nearest_neighbor ~rng ~choices:config.nn_choices d
             ~start:(Random.State.int rng n)
       in
-      let st = Three_opt.init s ~nbr ~tour:(Sym.expand s start_directed) in
+      let st =
+        Three_opt.init ~repr:config.tour_repr s ~nbr
+          ~tour:(Sym.expand s start_directed)
+      in
       Three_opt.activate_all st;
       Three_opt.run ~budget st;
       let run_best = ref (Three_opt.tour st) in

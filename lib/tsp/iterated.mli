@@ -13,6 +13,9 @@ type config = {
   seed : int;
   deadline_ms : int option;  (** wall-clock budget per solve *)
   max_moves : int option;  (** improving-move budget per solve *)
+  tour_repr : Tour_repr.kind;
+      (** tour representation for the 3-Opt states (trajectory-neutral;
+          [Auto] gates on instance size) *)
 }
 
 val default : config

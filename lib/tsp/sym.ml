@@ -25,6 +25,8 @@ type t = {
   m : int;  (** magnitude of the locked-edge weight *)
   inf : int;  (** weight of forbidden pairs *)
   real_max : int;  (** largest directed cost; bounds improving-move gains *)
+  nonneg : bool;  (** every directed cost is ≥ 0 (true for all registered
+                      objectives); licenses the locked-edge scan skips *)
   offset : int;  (** directed tour cost = symmetric cost + offset = sym + n·m *)
 }
 
@@ -40,7 +42,24 @@ let of_dtsp (d : Dtsp.t) : t =
   let cmax = Dtsp.max_cost d in
   let m = (2 * cmax) + 2 in
   let inf = 8 * (cmax + m + 1) in
-  { n_cities = n; nn = 2 * n; dir = d; m; inf; real_max = cmax; offset = n * m }
+  (* O(n + E) sign sweep: every registered objective emits nonnegative
+     costs, and recording that here lets the 3-Opt scan prove locked
+     edges unprofitable to remove without evaluating the gain *)
+  let nonneg = ref true in
+  for i = 0 to n - 1 do
+    if d.Dtsp.row_default.(i) < 0 then nonneg := false;
+    Array.iter (fun c -> if c < 0 then nonneg := false) d.Dtsp.row_costs.(i)
+  done;
+  {
+    n_cities = n;
+    nn = 2 * n;
+    dir = d;
+    m;
+    inf;
+    real_max = cmax;
+    nonneg = !nonneg;
+    offset = n * m;
+  }
 
 (** [cost s a b] is the symmetric weight of the pair (a, b): [−m] on the
     locked in/out pair of one city, [inf] on same-parity pairs (and the

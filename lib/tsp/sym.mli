@@ -15,6 +15,8 @@ type t = {
   m : int;  (** locked-edge weight magnitude *)
   inf : int;  (** forbidden-pair weight *)
   real_max : int;  (** largest directed cost; bounds improving gains *)
+  nonneg : bool;  (** every directed cost is ≥ 0 (true for all registered
+                      objectives); licenses the locked-edge scan skips *)
   offset : int;  (** directed cost = symmetric cost + offset (= n·m) *)
 }
 

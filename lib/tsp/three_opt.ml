@@ -10,8 +10,12 @@
     to add, so the alternating in/out structure of the symmetrized tour is
     preserved by construction (and re-checked by the caller).
 
-    Tour representation: [tour] maps position → city, [pos] city →
-    position; segment reversals keep both in sync.
+    The tour lives behind {!Tour_repr}: flat position/city arrays
+    (O(n) reversals) or the two-level √n-segment structure (O(√n)
+    moves) — every search decision is made from absolute positions,
+    which both representations report identically, so the trajectory
+    is representation-independent (pinned by the differential
+    property suite).
 
     Don't-look bits are version stamps rather than booleans: [version]
     counts tour mutations (every applied move, every [set_tour]) and
@@ -26,8 +30,7 @@
 type state = {
   s : Sym.t;
   nbr : int array array;  (** candidate lists, sorted by cost *)
-  tour : int array;
-  pos : int array;
+  repr : Tour_repr.t;  (** the tour (flat arrays or two-level segments) *)
   in_queue : bool array;
   queue : int Queue.t;
   mutable moves_2opt : int;
@@ -36,28 +39,52 @@ type state = {
   last_fail : int array;  (** per city: version at last failed scan, −1 never *)
   mutable scans_skipped : int;  (** scans elided by the don't-look stamps *)
   dont_look : bool;
+  (* y-side scratch of the 3-opt candidate scan: for each candidate y
+     of the removed edge's head b, the quantities that do not depend on
+     the other candidate x — computed once per scan instead of once per
+     (x, y) pair; grown on demand to the neighbor-list width *)
+  mutable scr_dby : int array;
+  mutable scr_ry : int array;  (** position of y relative to the base cut *)
+  mutable scr_ry1 : int array;  (** same minus one, cyclically *)
+  mutable scr_sy : int array;  (** tour successor of y *)
+  mutable scr_pry : int array;  (** tour predecessor of y *)
 }
 
 let nn st = st.s.Sym.nn
 let d st a b = Sym.cost st.s a b
-let city_at st p = st.tour.(p)
-let succ st c = st.tour.((st.pos.(c) + 1) mod nn st)
-let pred st c = st.tour.((st.pos.(c) - 1 + nn st) mod nn st)
+let city_at st p = Tour_repr.city_at st.repr p
+let position st c = Tour_repr.pos st.repr c
+let succ st c = Tour_repr.succ st.repr c
+let pred st c = Tour_repr.pred st.repr c
+let repr_kind st = Tour_repr.kind_of st.repr
+let segments st = Tour_repr.segments st.repr
+let rebalances st = Tour_repr.rebalances st.repr
+let seg_splits st = Tour_repr.splits st.repr
 
 (** [init s ~nbr ~tour] starts a search state from a tour (copied).
     [dont_look] (default on) enables the version-stamp scan skips —
-    trajectory-neutral either way. *)
-let init ?(dont_look = true) (s : Sym.t) ~nbr ~tour =
+    trajectory-neutral either way.  [repr] (default [Auto]) picks the
+    tour representation — trajectory-neutral too, by the position
+    contract of {!Tour_repr}.  [spans] feeds the two-level structure's
+    rebalance spans. *)
+let init ?(dont_look = true) ?(repr = Tour_repr.Auto) ?spans (s : Sym.t) ~nbr
+    ~tour =
   let n = s.Sym.nn in
   if Array.length tour <> n then invalid_arg "Three_opt.init: wrong tour size";
-  let pos = Array.make n (-1) in
-  Array.iteri (fun i c -> pos.(c) <- i) tour;
-  Array.iter (fun p -> if p < 0 then invalid_arg "Three_opt.init: not a permutation") pos;
+  let seen = Array.make n false in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= n || seen.(c) then
+        invalid_arg "Three_opt.init: not a permutation"
+      else seen.(c) <- true)
+    tour;
+  let repr = Tour_repr.make ?spans repr ~n_cities:s.Sym.n_cities tour in
+  Ba_obs.Metrics.set_gauge Ba_obs.Metrics.Tsp_repr
+    (match Tour_repr.kind_of repr with Tour_repr.Two_level -> 1 | _ -> 0);
   {
     s;
     nbr;
-    tour = Array.copy tour;
-    pos;
+    repr;
     in_queue = Array.make n false;
     queue = Queue.create ();
     moves_2opt = 0;
@@ -66,7 +93,21 @@ let init ?(dont_look = true) (s : Sym.t) ~nbr ~tour =
     last_fail = Array.make n (-1);
     scans_skipped = 0;
     dont_look;
+    scr_dby = [||];
+    scr_ry = [||];
+    scr_ry1 = [||];
+    scr_sy = [||];
+    scr_pry = [||];
   }
+
+let ensure_scratch st len =
+  if Array.length st.scr_dby < len then begin
+    st.scr_dby <- Array.make len 0;
+    st.scr_ry <- Array.make len 0;
+    st.scr_ry1 <- Array.make len 0;
+    st.scr_sy <- Array.make len 0;
+    st.scr_pry <- Array.make len 0
+  end
 
 (** Replace the tour wholesale (same cities, new order), e.g. for a
     perturbation restart.  Bumps [version] so stale failed-scan stamps
@@ -75,8 +116,7 @@ let set_tour st tour =
   let n = nn st in
   if Array.length tour <> n then
     invalid_arg "Three_opt.set_tour: wrong tour size";
-  Array.blit tour 0 st.tour 0 n;
-  Array.iteri (fun i c -> st.pos.(c) <- i) st.tour;
+  Tour_repr.set_tour st.repr tour;
   st.version <- st.version + 1
 
 (** Mark a city to be re-examined. *)
@@ -91,54 +131,25 @@ let activate_all st =
     activate st c
   done
 
-(** Reverse the cyclic position segment [l..r] (inclusive). *)
-let reverse_seg st l r =
-  let n = nn st in
-  let len = ((r - l + n) mod n) + 1 in
-  let i = ref l and j = ref r in
-  for _ = 1 to len / 2 do
-    let ci = st.tour.(!i) and cj = st.tour.(!j) in
-    st.tour.(!i) <- cj;
-    st.tour.(!j) <- ci;
-    st.pos.(cj) <- !i;
-    st.pos.(ci) <- !j;
-    i := (!i + 1) mod n;
-    j := (!j - 1 + n) mod n
-  done
-
 (** Reverse the cheaper side for a 2-opt move cutting after positions
-    [pa] and [px] (removing edges (t[pa],t[pa+1]) and (t[px],t[px+1])). *)
+    [pa] and [px] (removing edges (t[pa],t[pa+1]) and (t[px],t[px+1])).
+    The side choice counts tour cells, so it is representation-
+    independent. *)
 let apply_2opt st ~pa ~px =
   let n = nn st in
   let len_fwd = (px - pa + n) mod n in
   (* reversing positions pa+1..px, or equivalently px+1..pa *)
-  if len_fwd <= n - len_fwd then reverse_seg st ((pa + 1) mod n) px
-  else reverse_seg st ((px + 1) mod n) pa;
+  if len_fwd <= n - len_fwd then Tour_repr.reverse st.repr ((pa + 1) mod n) px
+  else Tour_repr.reverse st.repr ((px + 1) mod n) pa;
   st.moves_2opt <- st.moves_2opt + 1;
   st.version <- st.version + 1
 
-type reconnection = T3 | T4 | T5 | T6
+type reconnection = Tour_repr.reconnection = T3 | T4 | T5 | T6
 
 (** Apply a pure 3-opt reconnection with cuts after positions [pi],
     [pi+jj], [pi+kk] (see DESIGN.md §6 for the segment algebra). *)
 let apply_3opt st ~pi ~jj ~kk ty =
-  let n = nn st in
-  let pj = (pi + jj) mod n and pk = (pi + kk) mod n in
-  let p1 = (pi + 1) mod n and pj1 = (pj + 1) mod n in
-  (match ty with
-  | T3 ->
-      reverse_seg st p1 pj;
-      reverse_seg st pj1 pk
-  | T4 ->
-      reverse_seg st p1 pj;
-      reverse_seg st pj1 pk;
-      reverse_seg st p1 pk
-  | T5 ->
-      reverse_seg st pj1 pk;
-      reverse_seg st p1 pk
-  | T6 ->
-      reverse_seg st p1 pj;
-      reverse_seg st p1 pk);
+  Tour_repr.reconnect st.repr ~pi ~jj ~kk ty;
   st.moves_3opt <- st.moves_3opt + 1;
   st.version <- st.version + 1
 
@@ -147,10 +158,9 @@ let apply_3opt st ~pi ~jj ~kk ty =
 let try_city st a =
   let n = nn st in
   let found = ref false in
-  let dirs = [| true; false |] in
   let di = ref 0 in
   while (not !found) && !di < 2 do
-    let forward = dirs.(!di) in
+    let forward = !di = 0 in
     incr di;
     (* the removed base edge, read as (a, b) with b following a in the
        chosen direction; in position terms the cut is after position pa *)
@@ -172,8 +182,8 @@ let try_city st a =
             if gain > 0 then begin
               (* in forward reading, cuts are after a and after x;
                  in backward reading, after b' = pred a and after y *)
-              (if forward then apply_2opt st ~pa:st.pos.(a) ~px:st.pos.(x)
-               else apply_2opt st ~pa:st.pos.(y) ~px:st.pos.(b));
+              (if forward then apply_2opt st ~pa:(position st a) ~px:(position st x)
+               else apply_2opt st ~pa:(position st y) ~px:(position st b));
               activate st a;
               activate st b;
               activate st x;
@@ -184,11 +194,65 @@ let try_city st a =
         end
       done;
       (* ---- pure 3-opt scan (forward orientation only; every move is
-              found from one of its removed edges read forward) ---- *)
+              found from one of its removed edges read forward).
+
+              Every non-base city a reconnection touches sits at
+              position px±1 or py±1, i.e. it is the tour successor or
+              predecessor of a candidate — so the scan never needs
+              [city_at] (a binary search under the two-level
+              representation), only the O(1) succ/pred links whose
+              cache lines the [position] calls just pulled in. *)
       if (not !found) && forward then begin
-        let pi = st.pos.(a) in
+        let pi = position st a in
         let limit = dab + (2 * st.s.Sym.real_max) in
         let na = st.nbr.(a) and nb = st.nbr.(b) in
+        (* Hoist the y-side of the pair scan: dby, position and tour
+           neighbors of each candidate y depend only on (b, pi), not on
+           x, so compute them once per scan instead of once per pair.
+           The prefix ends at the first dby ≥ limit, exactly where the
+           inner loop used to break (nb is sorted). *)
+        let nbl = Array.length nb in
+        ensure_scratch st nbl;
+        let dby_s = st.scr_dby
+        and ry_s = st.scr_ry
+        and ry1_s = st.scr_ry1
+        and sy_s = st.scr_sy
+        and pry_s = st.scr_pry in
+        let ny = ref 0 in
+        let stop = ref false in
+        while (not !stop) && !ny < nbl do
+          let y = nb.(!ny) in
+          let dby = d st b y in
+          if dby >= limit then stop := true
+          else begin
+            dby_s.(!ny) <- dby;
+            let py = position st y in
+            (* positions live in [0, n): conditional adds replace mods *)
+            let ry = let r = py - pi in if r < 0 then r + n else r in
+            ry_s.(!ny) <- ry;
+            ry1_s.(!ny) <- (if ry = 0 then n - 1 else ry - 1);
+            sy_s.(!ny) <- succ st y;
+            pry_s.(!ny) <- pred st y;
+            incr ny
+          end
+        done;
+        let ny = !ny in
+        (* Locked-edge pruning (sound, trajectory-identical): when every
+           directed cost is ≥ 0, a reconnection whose removed edges are
+           all locked-or-real (at least one locked) and whose added
+           edges are all non-locked has gain = removed − added
+           ≤ (dab + real_max − m) − 0 = dab − real_max − 2 < 0 whenever
+           the base edge is real — so its evaluation can be skipped
+           without ever computing the costs.  Every test is a parity
+           check on cities the scan already loaded (locked ⇔ xor = 1,
+           forbidden ⇔ even xor), so this holds on any tour, including
+           the transiently non-alternating tours a double-bridge kick
+           leaves behind (where re-adding a split locked pair IS
+           profitable — those evaluations are kept).  On an intact
+           alternating tour exactly one of T3–T6 survives per (x, y)
+           parity combination, which is what makes the 144-pair scan
+           cheap. *)
+        let skip_locked = st.s.Sym.nonneg && dab <= st.s.Sym.real_max in
         let xi = ref 0 in
         while (not !found) && !xi < Array.length na do
           let x = na.(!xi) in
@@ -196,23 +260,48 @@ let try_city st a =
           let dax = d st a x in
           if dax >= limit then xi := Array.length na
           else begin
-            let px = st.pos.(x) in
+            let px = position st x in
+            let sx = succ st x and prx = pred st x in
+            (* removed-edge flags for the x-side cuts: locked, and
+               locked-or-real (odd xor = not forbidden) *)
+            let cut_xs = Sym.is_locked st.s x sx in
+            let cut_px = Sym.is_locked st.s prx x in
+            let rok_xs = (x lxor sx) land 1 = 1 in
+            let rok_px = (prx lxor x) land 1 = 1 in
+            (* every reconnection adds (a, x): never skippable when
+               that pair is locked (it may re-join a kicked-apart
+               pair) *)
+            let add_ax = Sym.is_locked st.s a x in
+            let rx = let r = px - pi in if r < 0 then r + n else r in
+            let rx1 = if rx = 0 then n - 1 else rx - 1 in
             let yi = ref 0 in
-            while (not !found) && !yi < Array.length nb do
-              let y = nb.(!yi) in
+            while (not !found) && !yi < ny do
+              let yk = !yi in
               incr yi;
-              let dby = d st b y in
-              if dby >= limit then yi := Array.length nb
-              else begin
-                let py = st.pos.(y) in
-                (* helper: relative position from pi *)
-                let rel p = (p - pi + n) mod n in
-                let at p = city_at st (p mod n) in
+              let y = nb.(yk) in
+              let dby = dby_s.(yk) in
+              begin
+                let ry = ry_s.(yk) and ry1 = ry1_s.(yk) in
+                let sy = sy_s.(yk) and pry = pry_s.(yk) in
+                let cut_ys = Sym.is_locked st.s y sy in
+                let cut_py = Sym.is_locked st.s pry y in
+                let rok_ys = (y lxor sy) land 1 = 1 in
+                let rok_py = (pry lxor y) land 1 = 1 in
+                (* (b, y) is added by every reconnection *)
+                let add_by = Sym.is_locked st.s b y in
+                let addable = (not add_ax) && not add_by in
                 (* T3: x = c at cut j, y = e at cut k.
-                   added (a,c) (b,e) (d,f) *)
-                (let jj = rel px and kk = rel py in
-                 if (not !found) && jj >= 1 && kk > jj && kk <= n - 1 then begin
-                   let dd = at (pi + jj + 1) and f = at (pi + kk + 1) in
+                   added (a,c) (b,e) (d,f); d = succ x, f = succ y;
+                   removed (x, succ x) and (y, succ y) *)
+                (let jj = rx and kk = ry in
+                 if
+                   (not !found) && jj >= 1 && kk > jj && kk <= n - 1
+                   && not
+                        (skip_locked && (cut_xs || cut_ys)
+                        && rok_xs && rok_ys && addable
+                        && not (Sym.is_locked st.s sx sy))
+                 then begin
+                   let dd = sx and f = sy in
                    let gain =
                      dab + d st x dd + d st y f - dax - dby - d st dd f
                    in
@@ -223,10 +312,17 @@ let try_city st a =
                    end
                  end);
                 (* T4: x = d (so cut j is just before x), y = e at cut k.
-                   added (a,d) (e,b) (c,f) *)
-                (let jj = (rel px - 1 + n) mod n and kk = rel py in
-                 if (not !found) && jj >= 1 && kk > jj && kk <= n - 1 then begin
-                   let c = at (pi + jj) and f = at (pi + kk + 1) in
+                   added (a,d) (e,b) (c,f); c = pred x, f = succ y;
+                   removed (pred x, x) and (y, succ y) *)
+                (let jj = rx1 and kk = ry in
+                 if
+                   (not !found) && jj >= 1 && kk > jj && kk <= n - 1
+                   && not
+                        (skip_locked && (cut_px || cut_ys)
+                        && rok_px && rok_ys && addable
+                        && not (Sym.is_locked st.s prx sy))
+                 then begin
+                   let c = prx and f = sy in
                    let gain = dab + d st c x + d st y f - dax - dby - d st c f in
                    if gain > 0 then begin
                      apply_3opt st ~pi ~jj ~kk T4;
@@ -235,10 +331,17 @@ let try_city st a =
                    end
                  end);
                 (* T5: x = d (cut j before x), y = f (cut k before y).
-                   added (a,d) (e,c) (b,f) *)
-                (let jj = (rel px - 1 + n) mod n and kk = (rel py - 1 + n) mod n in
-                 if (not !found) && jj >= 1 && kk > jj && kk <= n - 1 then begin
-                   let c = at (pi + jj) and e = at (pi + kk) in
+                   added (a,d) (e,c) (b,f); c = pred x, e = pred y;
+                   removed (pred x, x) and (pred y, y) *)
+                (let jj = rx1 and kk = ry1 in
+                 if
+                   (not !found) && jj >= 1 && kk > jj && kk <= n - 1
+                   && not
+                        (skip_locked && (cut_px || cut_py)
+                        && rok_px && rok_py && addable
+                        && not (Sym.is_locked st.s pry prx))
+                 then begin
+                   let c = prx and e = pry in
                    let gain = dab + d st c x + d st e y - dax - dby - d st e c in
                    if gain > 0 then begin
                      apply_3opt st ~pi ~jj ~kk T5;
@@ -247,10 +350,17 @@ let try_city st a =
                    end
                  end);
                 (* T6: x = e at cut k, y = d (cut j before y).
-                   added (a,e) (d,b) (c,f) *)
-                (let jj = (rel py - 1 + n) mod n and kk = rel px in
-                 if (not !found) && jj >= 1 && kk > jj && kk <= n - 1 then begin
-                   let c = at (pi + jj) and f = at (pi + kk + 1) in
+                   added (a,e) (d,b) (c,f); c = pred y, f = succ x;
+                   removed (pred y, y) and (x, succ x) *)
+                (let jj = ry1 and kk = rx in
+                 if
+                   (not !found) && jj >= 1 && kk > jj && kk <= n - 1
+                   && not
+                        (skip_locked && (cut_py || cut_xs)
+                        && rok_py && rok_xs && addable
+                        && not (Sym.is_locked st.s pry sx))
+                 then begin
+                   let c = pry and f = sx in
                    let gain = dab + d st c y + d st x f - dax - dby - d st c f in
                    if gain > 0 then begin
                      apply_3opt st ~pi ~jj ~kk T6;
@@ -280,6 +390,8 @@ let run ?budget st =
     match budget with Some b -> Ba_robust.Budget.spend b | None -> ()
   in
   let m2_before = st.moves_2opt and m3_before = st.moves_3opt in
+  let splits_before = seg_splits st and rebal_before = rebalances st in
+  let t0 = Ba_obs.Mono.now_ns () in
   (try
      while not (Queue.is_empty st.queue) do
        if exhausted () then raise_notrace Exit;
@@ -300,12 +412,27 @@ let run ?budget st =
        end
      done
    with Exit -> ());
-  (* observability: one atomic add per run call, never per move *)
-  Ba_obs.Metrics.incr ~n:(st.moves_2opt - m2_before) Ba_obs.Metrics.Moves_2opt;
-  Ba_obs.Metrics.incr ~n:(st.moves_3opt - m3_before) Ba_obs.Metrics.Moves_3opt
+  (* observability: a handful of atomic adds per run call, never per
+     move; the per-representation pair feeds the moves_per_s split in
+     bench --json *)
+  let dt_ns = Int64.to_int (Int64.sub (Ba_obs.Mono.now_ns ()) t0) in
+  let dmoves = st.moves_2opt - m2_before + (st.moves_3opt - m3_before) in
+  Ba_obs.Metrics.(
+    incr ~n:(st.moves_2opt - m2_before) Moves_2opt;
+    incr ~n:(st.moves_3opt - m3_before) Moves_3opt;
+    match Tour_repr.kind_of st.repr with
+    | Tour_repr.Two_level ->
+        incr ~n:dmoves Moves_two_level_repr;
+        incr ~n:dt_ns Run_ns_two_level_repr;
+        incr ~n:(seg_splits st - splits_before) Segment_splits;
+        incr ~n:(rebalances st - rebal_before) Segment_rebalances;
+        set_gauge Tsp_segments (segments st)
+    | _ ->
+        incr ~n:dmoves Moves_array_repr;
+        incr ~n:dt_ns Run_ns_array_repr)
 
 (** Current tour (copied). *)
-let tour st = Array.copy st.tour
+let tour st = Tour_repr.to_array st.repr
 
 (** Current symmetric tour cost. *)
-let cost st = Sym.tour_cost st.s st.tour
+let cost st = Sym.tour_cost st.s (tour st)

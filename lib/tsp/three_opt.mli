@@ -3,6 +3,11 @@
     locked/forbidden weight structure guarantees improving moves preserve
     the alternating in/out tour shape.
 
+    The tour lives behind {!Tour_repr} (flat arrays or the two-level
+    √n-segment structure); every search decision is position-based and
+    both representations preserve absolute positions exactly, so the
+    trajectory is representation-independent.
+
     Don't-look bits are trajectory-exact version stamps: a popped
     city's scan is skipped only when the tour is bit-identical to the
     one its last scan failed against ([last_fail.(c) = version]), so
@@ -12,8 +17,7 @@
 type state = {
   s : Sym.t;
   nbr : int array array;
-  tour : int array;  (** position → city *)
-  pos : int array;  (** city → position *)
+  repr : Tour_repr.t;  (** the tour representation *)
   in_queue : bool array;
   queue : int Queue.t;
   mutable moves_2opt : int;
@@ -22,14 +26,27 @@ type state = {
   last_fail : int array;  (** per city: version at last failed scan, −1 never *)
   mutable scans_skipped : int;  (** scans elided by the don't-look stamps *)
   dont_look : bool;
+  mutable scr_dby : int array;  (** y-side scan scratch (see the .ml) *)
+  mutable scr_ry : int array;
+  mutable scr_ry1 : int array;
+  mutable scr_sy : int array;
+  mutable scr_pry : int array;
 }
 
 (** Start a search state from a tour (copied).  [dont_look] (default
-    [true]) enables the version-stamp scan skips — trajectory-neutral
-    either way.
+    [true]) enables the version-stamp scan skips; [repr] (default
+    [Auto]) picks the tour representation; both are
+    trajectory-neutral.  [spans] (default disabled) receives the
+    two-level structure's [two_level.rebalance] spans.
     @raise Invalid_argument on malformed tours. *)
 val init :
-  ?dont_look:bool -> Sym.t -> nbr:int array array -> tour:int array -> state
+  ?dont_look:bool ->
+  ?repr:Tour_repr.kind ->
+  ?spans:Ba_obs.Span.buf ->
+  Sym.t ->
+  nbr:int array array ->
+  tour:int array ->
+  state
 
 (** Replace the tour wholesale (same cities, new order), bumping
     [version] so stale stamps never suppress a needed rescan.
@@ -52,6 +69,26 @@ val run : ?budget:Ba_robust.Budget.t -> state -> unit
 
 (** Current tour (copied). *)
 val tour : state -> int array
+
+(** City at a tour position. *)
+val city_at : state -> int -> int
+
+(** Tour position of a city. *)
+val position : state -> int -> int
+
+(** Tour successor / predecessor of a city. *)
+val succ : state -> int -> int
+
+val pred : state -> int -> int
+
+(** The representation actually in use ([Array] or [Two_level]). *)
+val repr_kind : state -> Tour_repr.kind
+
+(** Two-level structure statistics (1 / 0 / 0 on the flat arrays). *)
+val segments : state -> int
+
+val seg_splits : state -> int
+val rebalances : state -> int
 
 (** Current symmetric tour cost. *)
 val cost : state -> int

@@ -80,7 +80,7 @@ extension:
 
   $ $BALIGN align p.mc --input 9 --metrics m.json > /dev/null
   $ $CT --metrics m.json
-  metrics ok: 22 counters, 5 gauges
+  metrics ok: 28 counters, 7 gauges
   $ $BALIGN align p.mc --input 9 --metrics m.csv > /dev/null
   $ head -1 m.csv
   metric,value

@@ -52,20 +52,24 @@ let churn seed (st : Three_opt.state) =
 (* ---------------- invariants ---------------- *)
 
 let inverse_permutations (st : Three_opt.state) =
-  let nn = Array.length st.Three_opt.tour in
-  Array.length st.Three_opt.pos = nn
+  let nn = st.Three_opt.s.Sym.nn in
+  let t = Three_opt.tour st in
+  Array.length t = nn
+  && Array.for_all (fun c -> 0 <= c && c < nn) t
   && Array.for_all
-       (fun c -> 0 <= c && c < nn && st.Three_opt.pos.(c) >= 0)
-       st.Three_opt.tour
-  && Array.for_all
-       (fun i -> st.Three_opt.pos.(st.Three_opt.tour.(i)) = i)
+       (fun i ->
+         let c = Three_opt.city_at st i in
+         t.(i) = c
+         && Three_opt.position st c = i
+         && Three_opt.succ st c = t.((i + 1) mod nn)
+         && Three_opt.pred st c = t.((i + nn - 1) mod nn))
        (Array.init nn Fun.id)
 
 let locked_pairs_intact (st : Three_opt.state) =
   Sym.check_alternating st.Three_opt.s (Three_opt.tour st)
 
 let queue_consistent (st : Three_opt.state) =
-  let nn = Array.length st.Three_opt.tour in
+  let nn = st.Three_opt.s.Sym.nn in
   let seen = Array.make nn 0 in
   Queue.iter
     (fun c -> if c >= 0 && c < nn then seen.(c) <- seen.(c) + 1)
@@ -176,7 +180,7 @@ let prop_converged_pass_all_skipped =
     ~name:"post-convergence pass skips every scan" gen_seed (fun seed ->
       let _, _, st = state_of_seed seed in
       settle st;
-      let nn = Array.length st.Three_opt.tour in
+      let nn = st.Three_opt.s.Sym.nn in
       let skipped = st.Three_opt.scans_skipped in
       let moves = st.Three_opt.moves_2opt + st.Three_opt.moves_3opt in
       Three_opt.activate_all st;

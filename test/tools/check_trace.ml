@@ -133,6 +133,22 @@ let check_bench path =
      || date.[19] <> 'Z'
   then die "date %S is not ISO-8601 UTC" date;
   if str (member "model" doc) = "" then die "empty model";
+  (* the per-representation solver split, when the document carries one *)
+  (match Json.member "solver" doc with
+  | None -> ()
+  | Some s ->
+      List.iter
+        (fun repr ->
+          let o = member repr s in
+          List.iter
+            (fun k ->
+              if num (member k o) < 0. then
+                die "negative solver %s.%s" repr k)
+            [ "moves"; "run_s"; "moves_per_s" ])
+        [ "array"; "two_level" ];
+      List.iter
+        (fun k -> if num (member k s) < 0. then die "negative solver %s" k)
+        [ "segment_splits"; "segment_rebalances" ]);
   let rows = list (member "rows" doc) in
   if rows = [] then die "no rows";
   List.iter
@@ -174,10 +190,11 @@ let check_bench path =
 
 let check_solver_bench path =
   let doc = parse path in
-  let v2 =
+  let version =
     match str (member "schema" doc) with
-    | "solver-bench/1" -> false
-    | "solver-bench/2" -> true
+    | "solver-bench/1" -> 1
+    | "solver-bench/2" -> 2
+    | "solver-bench/3" -> 3
     | _ -> die "bad schema"
   in
   if str (member "commit" doc) = "" then die "empty commit";
@@ -188,12 +205,14 @@ let check_solver_bench path =
   let variant = str (member "variant" doc) in
   if variant = "" then die "empty variant";
   List.iter (fun k -> ignore (num (member k doc))) [ "seed"; "kicks"; "neighbors" ];
-  if v2 then begin
+  if version >= 2 then begin
     (* the v2 header records the instance family and construction knobs *)
     if str (member "family" doc) = "" then die "empty family";
     if str (member "mode" doc) = "" then die "empty mode";
     if num (member "jobs" doc) < 1. then die "jobs < 1"
   end;
+  (* the v3 header records the requested tour representation *)
+  if version >= 3 && str (member "repr" doc) = "" then die "empty repr";
   let entries = list (member "entries" doc) in
   if entries = [] then die "no entries";
   let last_n = ref 0 in
@@ -210,7 +229,19 @@ let check_solver_bench path =
           if v < 0. then die "negative %S at n=%d" k n)
         ([ "build_s"; "build_words"; "sym_s"; "nbr_s"; "instance_words";
            "opt_s"; "moves"; "moves_per_s" ]
-        @ if v2 then [ "scans_skipped" ] else []);
+        @ (if version >= 2 then [ "scans_skipped" ] else [])
+        @
+        if version >= 3 then
+          [ "move_cost_p50"; "move_cost_p95"; "seg_splits"; "rebalances" ]
+        else []);
+      if version >= 3 then begin
+        (* the representation each entry actually ran on (Auto resolved) *)
+        (match str (member "repr" e) with
+        | "array" | "two-level" -> ()
+        | r -> die "unknown entry repr %S at n=%d" r n);
+        if num (member "move_cost_p50" e) > num (member "move_cost_p95" e)
+        then die "move-cost p50 above p95 at n=%d" n
+      end;
       (* best_cost/tour_hash are deterministic identity anchors; any
          shape will do but they must be present *)
       ignore (num (member "best_cost" e));
